@@ -1,0 +1,476 @@
+(* tecore — command-line front-end reproducing the demo workflow of the
+   TeCoRe Web UI: select a UTKG, choose rules and constraints, run MAP
+   inference, browse consistent and conflicting statements, inspect
+   statistics, and generate the synthetic datasets. *)
+
+open Cmdliner
+
+let engine_of_string = function
+  | "mln" -> Ok (Tecore.Engine.Mln Mln.Map_inference.default_options)
+  | "mln-exact" ->
+      Ok
+        (Tecore.Engine.Mln
+           {
+             Mln.Map_inference.default_options with
+             Mln.Map_inference.solver = Mln.Map_inference.Ilp_exact;
+             use_cpi = false;
+           })
+  | "psl" -> Ok (Tecore.Engine.Psl Psl.Npsl.default_options)
+  | "auto" -> Ok Tecore.Engine.Auto
+  | s -> Error (Printf.sprintf "unknown engine %S (mln|mln-exact|psl|auto)" s)
+
+let engine_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (engine_of_string s) in
+  let print ppf _ = Format.pp_print_string ppf "<engine>" in
+  Arg.conv (parse, print)
+
+let data_arg =
+  let doc = "UTKG file in the temporal-quads format." in
+  Arg.(required & opt (some file) None & info [ "d"; "data" ] ~docv:"FILE" ~doc)
+
+let rules_arg =
+  let doc = "Rules/constraints file in the rule language." in
+  Arg.(value & opt (some file) None & info [ "r"; "rules" ] ~docv:"FILE" ~doc)
+
+let engine_arg =
+  let doc = "Inference engine: mln, mln-exact, psl or auto." in
+  Arg.(value & opt engine_conv Tecore.Engine.Auto & info [ "e"; "engine" ] ~doc)
+
+let threshold_arg =
+  let doc = "Drop derived facts below this confidence." in
+  Arg.(value & opt (some float) None & info [ "t"; "threshold" ] ~doc)
+
+let load_session ?rules_file data_file =
+  let session = Tecore.Session.create () in
+  (match Tecore.Session.load_file session data_file with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match rules_file with
+  | None -> ()
+  | Some path ->
+      let ic = open_in path in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Tecore.Session.add_rules session src with
+      | Ok _ -> ()
+      | Error e -> failwith e));
+  session
+
+let handle f = try f (); 0 with Failure msg -> Printf.eprintf "error: %s\n" msg; 1
+
+(* ------------------------------------------------------------------ *)
+
+let resolve data rules engine threshold output verbose explain json =
+  handle (fun () ->
+      let session = load_session ?rules_file:rules data in
+      match Tecore.Session.run ~engine ?threshold session with
+      | Error e -> failwith e
+      | Ok result when json ->
+          print_endline
+            (Tecore.Json_out.of_result
+               ~namespace:(Tecore.Session.namespace session)
+               result)
+      | Ok result ->
+          print_endline (Tecore.Session.statistics session);
+          (if explain then
+             match Tecore.Session.graph session with
+             | None -> ()
+             | Some graph ->
+                 let removals, derivations =
+                   Tecore.Explain.of_result graph result
+                 in
+                 print_endline "-- explanations --";
+                 List.iter
+                   (fun r -> Format.printf "%a@." Tecore.Explain.pp_removal r)
+                   removals;
+                 List.iter
+                   (fun d -> Format.printf "%a@." Tecore.Explain.pp_derivation d)
+                   derivations);
+          if verbose then begin
+            print_endline "-- removed (conflicting) statements --";
+            List.iter
+              (fun q -> Format.printf "%a@." Kg.Quad.pp q)
+              (Tecore.Session.conflicting_statements session);
+            print_endline "-- derived statements --";
+            List.iter
+              (fun (d : Tecore.Conflict.derived_fact) ->
+                Format.printf "%a  %.3f@." Logic.Atom.Ground.pp
+                  d.Tecore.Conflict.atom d.Tecore.Conflict.confidence)
+              result.Tecore.Engine.resolution.Tecore.Conflict.derived
+          end;
+          match output with
+          | None -> ()
+          | Some path ->
+              Kg.Nquads.save_file
+                ~namespace:(Tecore.Session.namespace session)
+                path
+                result.Tecore.Engine.resolution.Tecore.Conflict.consistent;
+              Printf.printf "consistent KG written to %s\n" path)
+
+let resolve_cmd =
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Write the consistent KG here.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ] ~doc:"List removed and derived facts.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the full result as JSON.")
+  in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Explain every removal (clash partners, weights) and \
+                   derivation (firing rules).")
+  in
+  Cmd.v
+    (Cmd.info "resolve"
+       ~doc:"Compute the most probable conflict-free temporal KG")
+    Term.(
+      const resolve $ data_arg $ rules_arg $ engine_arg $ threshold_arg
+      $ output $ verbose $ explain $ json)
+
+(* ------------------------------------------------------------------ *)
+
+let analyse data rules =
+  handle (fun () ->
+      let session = load_session ?rules_file:rules data in
+      match Tecore.Session.analyse session with
+      | Ok report -> Format.printf "%a@." Tecore.Translator.pp_report report
+      | Error e -> failwith e)
+
+let analyse_cmd =
+  Cmd.v
+    (Cmd.info "analyse"
+       ~doc:"Run the translator's verification pass without solving")
+    Term.(const analyse $ data_arg $ rules_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let complete data prefix =
+  handle (fun () ->
+      let session = load_session data in
+      List.iter print_endline (Tecore.Session.complete_predicate session prefix))
+
+let complete_cmd =
+  let prefix =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PREFIX" ~doc:"Predicate prefix to complete.")
+  in
+  Cmd.v
+    (Cmd.info "complete"
+       ~doc:"Predicate auto-completion (the constraint editor's helper)")
+    Term.(const complete $ data_arg $ prefix)
+
+(* ------------------------------------------------------------------ *)
+
+let generate dataset output seed players noise total conflicts =
+  handle (fun () ->
+      let graph, summary =
+        match dataset with
+        | "footballdb" ->
+            let d =
+              Datagen.Footballdb.generate ~seed ~players ~noise_ratio:noise ()
+            in
+            ( d.Datagen.Footballdb.graph,
+              Printf.sprintf "footballdb: %d facts (%d planted errors)"
+                (Kg.Graph.size d.Datagen.Footballdb.graph)
+                (List.length d.Datagen.Footballdb.planted) )
+        | "wikidata" ->
+            let d =
+              Datagen.Wikidata.generate ~seed ~total_facts:total
+                ~conflict_rate:conflicts ()
+            in
+            ( d.Datagen.Wikidata.graph,
+              Printf.sprintf "wikidata: %d facts (%d planted conflicts)"
+                (Kg.Graph.size d.Datagen.Wikidata.graph)
+                (List.length d.Datagen.Wikidata.planted) )
+        | other -> failwith (Printf.sprintf "unknown dataset %S" other)
+      in
+      Kg.Nquads.save_file output graph;
+      Printf.printf "%s -> %s\n" summary output)
+
+let generate_cmd =
+  let dataset =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DATASET" ~doc:"footballdb or wikidata.")
+  in
+  let output =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let players =
+    Arg.(value & opt int 6500 & info [ "players" ] ~doc:"footballdb players.")
+  in
+  let noise =
+    Arg.(value & opt float 0.0
+         & info [ "noise" ] ~doc:"footballdb erroneous/correct ratio.")
+  in
+  let total =
+    Arg.(value & opt int 63_000 & info [ "total" ] ~doc:"wikidata fact count.")
+  in
+  let conflicts =
+    Arg.(value & opt float 0.0
+         & info [ "conflicts" ] ~doc:"wikidata planted conflict rate.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic UTKG dataset")
+    Term.(
+      const generate $ dataset $ output $ seed $ players $ noise $ total
+      $ conflicts)
+
+(* ------------------------------------------------------------------ *)
+
+let query data query_text =
+  handle (fun () ->
+      let session = load_session data in
+      match Tecore.Session.graph session with
+      | None -> failwith "no graph"
+      | Some graph -> (
+          match
+            Tecore.Query.run
+              ~namespace:(Tecore.Session.namespace session)
+              graph query_text
+          with
+          | Error e -> failwith e
+          | Ok answers ->
+              Printf.printf "%d answers\n" (List.length answers);
+              List.iter
+                (fun a ->
+                  Format.printf "%a@." (Tecore.Query.pp_answer graph) a)
+                answers))
+
+let query_cmd =
+  let text =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"QUERY"
+             ~doc:"Temporal conjunctive query, e.g. \"coach(x,y)@t ^ coach(x,z)@t2 ^ y != z ^ intersects(t,t2)\".")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a temporal conjunctive query on a UTKG")
+    Term.(const query $ data_arg $ text)
+
+(* ------------------------------------------------------------------ *)
+
+let suggest data min_ratio min_support =
+  handle (fun () ->
+      let session = load_session data in
+      match Tecore.Session.graph session with
+      | None -> failwith "no graph"
+      | Some graph ->
+          let config =
+            { Tecore.Suggest.default_config with
+              Tecore.Suggest.min_ratio; min_support }
+          in
+          let suggestions = Tecore.Suggest.mine ~config graph in
+          Printf.printf "%d suggested constraints\n" (List.length suggestions);
+          List.iter
+            (fun s -> Format.printf "%a@.@." Tecore.Suggest.pp_suggestion s)
+            suggestions)
+
+let suggest_cmd =
+  let min_ratio =
+    Arg.(value & opt float 0.9
+         & info [ "min-ratio" ] ~doc:"Acceptance threshold on the support ratio.")
+  in
+  let min_support =
+    Arg.(value & opt int 20
+         & info [ "min-support" ] ~doc:"Minimum fact pairs before suggesting.")
+  in
+  Cmd.v
+    (Cmd.info "suggest"
+       ~doc:"Mine candidate temporal constraints from the selected UTKG")
+    Term.(const suggest $ data_arg $ min_ratio $ min_support)
+
+(* ------------------------------------------------------------------ *)
+
+let export data rules target output =
+  handle (fun () ->
+      let session = load_session ?rules_file:rules data in
+      let text =
+        match target with
+        | "mln" -> Tecore.Export.to_mln (Tecore.Session.rules session)
+        | "psl" -> Tecore.Export.to_psl (Tecore.Session.rules session)
+        | "evidence" -> (
+            match Tecore.Session.graph session with
+            | Some g -> Tecore.Export.to_mln_evidence g
+            | None -> failwith "no graph")
+        | other -> failwith (Printf.sprintf "unknown target %S (mln|psl|evidence)" other)
+      in
+      match output with
+      | None -> print_string text
+      | Some path ->
+          Tecore.Export.save ~path text;
+          Printf.printf "written to %s\n" path)
+
+let export_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TARGET" ~doc:"mln, psl or evidence.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Render the program in a solver's native syntax (translator output)")
+    Term.(const export $ data_arg $ rules_arg $ target $ output)
+
+(* ------------------------------------------------------------------ *)
+
+let coalesce data output =
+  handle (fun () ->
+      let session = load_session data in
+      match Tecore.Session.graph session with
+      | None -> failwith "no graph"
+      | Some graph ->
+          let merged = Kg.Coalesce.coalesce graph in
+          Printf.printf "%d facts -> %d after coalescing\n"
+            (Kg.Graph.size graph) (Kg.Graph.size merged);
+          (match output with
+          | None -> ()
+          | Some path ->
+              Kg.Nquads.save_file
+                ~namespace:(Tecore.Session.namespace session)
+                path merged;
+              Printf.printf "written to %s\n" path))
+
+let coalesce_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "coalesce"
+       ~doc:"Merge same-statement facts with adjacent or overlapping intervals")
+    Term.(const coalesce $ data_arg $ output)
+
+(* ------------------------------------------------------------------ *)
+
+let diff_cmd =
+  let load path =
+    match Kg.Nquads.parse_file path with
+    | Ok g -> g
+    | Error e -> failwith (Format.asprintf "%s: %a" path Kg.Nquads.pp_error e)
+  in
+  let run left right =
+    handle (fun () ->
+        let d = Tecore.Diff.diff (load left) (load right) in
+        Format.printf "%a@." Tecore.Diff.pp d;
+        if not (Tecore.Diff.is_empty d) then raise Exit)
+  in
+  let run left right = try run left right with Exit -> 1 in
+  let left =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LEFT" ~doc:"Left UTKG.")
+  in
+  let right =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"RIGHT" ~doc:"Right UTKG.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Diff two UTKGs (exit status 1 when they differ)")
+    Term.(const run $ left $ right)
+
+(* ------------------------------------------------------------------ *)
+
+let learn data rules iterations =
+  handle (fun () ->
+      let session = load_session ?rules_file:(Some rules) data in
+      match Tecore.Session.graph session with
+      | None -> failwith "no graph"
+      | Some graph ->
+          let rule_set = Tecore.Session.rules session in
+          let store = Grounder.Atom_store.of_graph graph in
+          let ground = Grounder.Ground.run store rule_set in
+          let options =
+            { Mln.Learn.default_options with Mln.Learn.iterations }
+          in
+          let result =
+            Mln.Learn.learn ~options store ground.Grounder.Ground.instances
+              rule_set
+          in
+          Printf.printf "learned weights (pseudo-likelihood, %d iterations):\n"
+            iterations;
+          List.iter
+            (fun (name, w) -> Printf.printf "  %-24s %.4f\n" name w)
+            result.Mln.Learn.weights;
+          print_endline "\nupdated program:";
+          Format.printf "%a@."
+            Rulelang.Printer.pp_program
+            (Mln.Learn.apply result rule_set))
+
+let learn_cmd =
+  let rules =
+    Arg.(required & opt (some file) None
+         & info [ "r"; "rules" ] ~docv:"FILE" ~doc:"Rules to learn weights for.")
+  in
+  let iterations =
+    Arg.(value & opt int 200 & info [ "iterations" ] ~doc:"Ascent iterations.")
+  in
+  Cmd.v
+    (Cmd.info "learn"
+       ~doc:"Learn soft-rule weights from a UTKG by pseudo-likelihood")
+    Term.(const learn $ data_arg $ rules $ iterations)
+
+(* ------------------------------------------------------------------ *)
+
+let demo () =
+  handle (fun () ->
+      let session = Tecore.Session.create () in
+      let data =
+        {|# Figure 1: coach Claudio Ranieri's career
+ex:CR ex:coach ex:Chelsea [2000,2004] 0.9 .
+ex:CR ex:coach ex:Leicester [2015,2017] 0.7 .
+ex:CR ex:playsFor ex:Palermo [1984,1986] 0.5 .
+ex:CR ex:birthDate 1951 [1951,2017] .
+ex:CR ex:coach ex:Napoli [2001,2003] 0.6 .
+|}
+      in
+      let rules =
+        {|rule f1 2.5: ex:playsFor(x, y)@t => ex:worksFor(x, y)@t .
+constraint c2: ex:coach(x, y)@t ^ ex:coach(x, z)@t2 ^ y != z => disjoint(t, t2) .
+|}
+      in
+      print_endline "== input UTKG (Figure 1) ==";
+      print_string data;
+      (match Tecore.Session.load_string session data with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      (match Tecore.Session.add_rules session rules with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      print_endline "== rules and constraints ==";
+      print_string rules;
+      (match Tecore.Session.run session with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      print_endline "== statistics (Figure 8) ==";
+      print_endline (Tecore.Session.statistics session);
+      print_endline "== consistent statements (Figure 7) ==";
+      List.iter
+        (fun q -> Format.printf "%a@." Kg.Quad.pp q)
+        (Tecore.Session.consistent_statements session);
+      print_endline "== conflicting statements ==";
+      List.iter
+        (fun q -> Format.printf "%a@." Kg.Quad.pp q)
+        (Tecore.Session.conflicting_statements session))
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's Claudio Ranieri example end to end")
+    Term.(const demo $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  Cmd.group
+    (Cmd.info "tecore" ~version:"1.0.0"
+       ~doc:"Temporal conflict resolution in uncertain knowledge graphs")
+    [ resolve_cmd; analyse_cmd; complete_cmd; generate_cmd; query_cmd;
+      suggest_cmd; export_cmd; coalesce_cmd; learn_cmd; diff_cmd;
+      demo_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,38 @@
+(* Quickstart: build an uncertain temporal KG in a few lines, state one
+   temporal constraint, and compute the most probable conflict-free KG.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* An uncertain temporal KG: who directed the lab, and when. Two of the
+     facts claim different directors over overlapping years. *)
+  let graph = Kg.Graph.create () in
+  let fact s p o span conf = ignore (Kg.Graph.add graph (Kg.Quad.v s p o span conf)) in
+  fact "Lab" "directedBy" (Kg.Term.iri "Ada") (1996, 2003) 0.9;
+  fact "Lab" "directedBy" (Kg.Term.iri "Grace") (2001, 2008) 0.6;
+  fact "Lab" "directedBy" (Kg.Term.iri "Edsger") (2009, 2015) 0.8;
+  fact "Lab" "locatedIn" (Kg.Term.iri "Zurich") (1996, 2015) 1.0;
+
+  (* One hard constraint: a lab has a single director at a time. *)
+  let rules =
+    match
+      Rulelang.Parser.parse_string
+        {|
+constraint one_director:
+  directedBy(x, y)@t ^ directedBy(x, z)@t2 ^ y != z => disjoint(t, t2) .
+|}
+    with
+    | Ok rules -> rules
+    | Error e -> failwith (Format.asprintf "%a" Rulelang.Parser.pp_error e)
+  in
+
+  (* Resolve: the engine keeps the most probable consistent subset. *)
+  let result = Tecore.Engine.resolve graph rules in
+  Format.printf "%a@.@." Tecore.Engine.pp_result result;
+
+  Format.printf "consistent KG:@.%a@." Kg.Graph.pp
+    result.resolution.Tecore.Conflict.consistent;
+
+  List.iter
+    (fun (_, q) -> Format.printf "removed: %a@." Kg.Quad.pp q)
+    result.resolution.Tecore.Conflict.removed

@@ -1,0 +1,148 @@
+module Prng = Prelude.Prng
+
+type dataset = {
+  graph : Kg.Graph.t;
+  planted : Kg.Graph.id list;
+  players : int;
+  clean_facts : int;
+}
+
+let horizon = 2017
+
+type career = {
+  name : string;
+  birth : int;
+  stints : (string * Kg.Interval.t) list;
+}
+
+let make_career rng i =
+  let name = Names.person rng i in
+  let birth = Prng.range rng 1948 1992 in
+  let debut = birth + Prng.range rng 20 24 in
+  let num_stints =
+    (* Mean just above 2, giving ~13K playsFor for 6.5K players. *)
+    let r = Prng.float rng 1.0 in
+    if r < 0.30 then 1 else if r < 0.65 then 2 else if r < 0.85 then 3 else 4
+  in
+  let rec build start n acc =
+    if n = 0 || start >= horizon then List.rev acc
+    else begin
+      let len = Prng.range rng 1 6 in
+      let finish = min horizon (start + len - 1) in
+      let team = Prng.pick rng Names.football_teams in
+      let gap = if Prng.bernoulli rng 0.6 then 1 else Prng.range rng 2 3 in
+      build (finish + gap) (n - 1) ((team, Kg.Interval.make start finish) :: acc)
+    end
+  in
+  { name; birth; stints = build debut num_stints [] }
+
+let add graph q = Kg.Graph.add graph q
+
+let clean_confidence rng = 0.6 +. Prng.float rng 0.35
+let noise_confidence rng = 0.5 +. Prng.float rng 0.25
+
+let emit_career rng graph career =
+  let birth_id =
+    add graph
+      (Kg.Quad.v career.name "birthDate"
+         (Kg.Term.int career.birth)
+         (career.birth, horizon)
+         (0.8 +. Prng.float rng 0.2))
+  in
+  let stint_ids =
+    List.map
+      (fun (team, interval) ->
+        add graph
+          (Kg.Quad.v career.name "playsFor" (Kg.Term.iri team)
+             (Kg.Interval.lo interval, Kg.Interval.hi interval)
+             (clean_confidence rng)))
+      career.stints
+  in
+  birth_id :: stint_ids
+
+(* A different team than [avoid]. *)
+let other_team rng avoid =
+  let rec pick () =
+    let team = Prng.pick rng Names.football_teams in
+    if team = avoid then pick () else team
+  in
+  pick ()
+
+let inject_noise rng graph career =
+  match Prng.int rng 3 with
+  | 0 when career.stints <> [] ->
+      (* Overlapping stint at another club. *)
+      let team, interval = Prng.pick_list rng career.stints in
+      let lo = Kg.Interval.lo interval and hi = Kg.Interval.hi interval in
+      let start = Prng.range rng (max (lo - 1) 1948) hi in
+      let finish = min horizon (start + Prng.range rng 1 4) in
+      Some
+        (add graph
+           (Kg.Quad.v career.name "playsFor"
+              (Kg.Term.iri (other_team rng team))
+              (start, finish) (noise_confidence rng)))
+  | 1 ->
+      (* A stint before any plausible debut. *)
+      let start = career.birth + Prng.range rng 0 10 in
+      let finish = start + Prng.range rng 1 3 in
+      Some
+        (add graph
+           (Kg.Quad.v career.name "playsFor"
+              (Kg.Term.iri (Prng.pick rng Names.football_teams))
+              (start, finish) (noise_confidence rng)))
+  | _ ->
+      (* A second, different birth year. *)
+      let year = career.birth + (if Prng.bool rng then 1 else -1) * Prng.range rng 1 5 in
+      Some
+        (add graph
+           (Kg.Quad.v career.name "birthDate" (Kg.Term.int year)
+              (year, horizon) (noise_confidence rng)))
+
+let generate ?(seed = 1) ?(players = 6500) ?(noise_ratio = 0.0) () =
+  let rng = Prng.create seed in
+  let graph = Kg.Graph.create () in
+  let careers = List.init players (fun i -> make_career rng i) in
+  let clean_facts =
+    List.fold_left
+      (fun acc career -> acc + List.length (emit_career rng graph career))
+      0 careers
+  in
+  let num_noise =
+    int_of_float (Float.round (noise_ratio *. float_of_int clean_facts))
+  in
+  let career_array = Array.of_list careers in
+  let planted = ref [] in
+  let attempts = ref 0 in
+  while List.length !planted < num_noise && !attempts < num_noise * 10 do
+    incr attempts;
+    let career = Prng.pick rng career_array in
+    match inject_noise rng graph career with
+    | Some id -> planted := id :: !planted
+    | None -> ()
+  done;
+  { graph; planted = List.rev !planted; players; clean_facts }
+
+let parse_rules src =
+  match Rulelang.Parser.parse_string src with
+  | Ok rules -> rules
+  | Error e ->
+      failwith (Format.asprintf "Footballdb: %a" Rulelang.Parser.pp_error e)
+
+let constraints () =
+  parse_rules
+    {|
+constraint fb_one_team:
+  playsFor(x, y)@t ^ playsFor(x, z)@t2 ^ y != z => disjoint(t, t2) .
+constraint fb_one_birth:
+  birthDate(x, y)@t ^ birthDate(x, z)@t2 ^ intersects(t, t2) => y = z .
+constraint fb_debut_age:
+  playsFor(x, y)@t ^ birthDate(x, z)@t2 => start(t) - value(z) >= 15 .
+|}
+
+let rules () =
+  parse_rules
+    {|
+rule fb_veteran 1.8:
+  playsFor(x, y)@t ^ birthDate(x, z)@t2 ^ start(t) - value(z) > 30
+  => VeteranPlayer(x) .
+|}

@@ -1,0 +1,117 @@
+module Vec = Prelude.Vec
+module Ground = Logic.Atom.Ground
+
+type id = int
+
+type origin =
+  | Evidence of { confidence : float; fact : Kg.Graph.id }
+  | Hidden
+
+module Atom_table = Hashtbl.Make (struct
+  type t = Ground.t
+
+  let equal = Ground.equal
+  let hash = Ground.hash
+end)
+
+type t = {
+  atoms : Ground.t Vec.t;
+  origins : origin Vec.t;
+  dict : id Atom_table.t;
+  db : Reldb.Database.t;
+  facts : (id, Kg.Graph.id list) Hashtbl.t;
+      (* every graph fact behind an atom, newest first *)
+}
+
+let create () =
+  {
+    atoms = Vec.create ();
+    origins = Vec.create ();
+    dict = Atom_table.create 4096;
+    db = Reldb.Database.create ();
+    facts = Hashtbl.create 4096;
+  }
+
+let table_name predicate ~arity ~temporal =
+  Printf.sprintf "%s/%d%s" predicate arity (if temporal then "@" else "")
+
+let table_columns arity =
+  List.init arity (fun i -> Printf.sprintf "a%d" i) @ [ "t"; "atom" ]
+
+let table_for t predicate ~arity ~temporal =
+  Reldb.Database.table t.db (table_name predicate ~arity ~temporal)
+
+let insert_row t (atom : Ground.t) id =
+  let arity = List.length atom.args in
+  let temporal = Option.is_some atom.time in
+  let table =
+    Reldb.Database.get_or_create t.db
+      ~name:(table_name atom.predicate ~arity ~temporal)
+      ~columns:(table_columns arity)
+  in
+  let time_value =
+    match atom.time with
+    | Some i -> Reldb.Value.interval i
+    | None -> Reldb.Value.Null
+  in
+  Reldb.Table.insert table
+    (Array.of_list
+       (List.map Reldb.Value.term atom.args @ [ time_value; Reldb.Value.int id ]))
+
+let record_fact t id origin =
+  match origin with
+  | Evidence { fact; _ } ->
+      let existing = Option.value (Hashtbl.find_opt t.facts id) ~default:[] in
+      if not (List.mem fact existing) then
+        Hashtbl.replace t.facts id (fact :: existing)
+  | Hidden -> ()
+
+let intern t origin atom =
+  match Atom_table.find_opt t.dict atom with
+  | Some id ->
+      (match (Vec.get t.origins id, origin) with
+      | Hidden, Evidence _ -> Vec.set t.origins id origin
+      | Evidence { confidence = c; _ }, Evidence { confidence = c'; _ }
+        when c' > c ->
+          Vec.set t.origins id origin
+      | _ -> ());
+      record_fact t id origin;
+      id
+  | None ->
+      let id = Vec.length t.atoms in
+      Vec.push t.atoms atom;
+      Vec.push t.origins origin;
+      Atom_table.replace t.dict atom id;
+      insert_row t atom id;
+      record_fact t id origin;
+      id
+
+let of_graph graph =
+  let t = create () in
+  Kg.Graph.iter
+    (fun fact q ->
+      ignore
+        (intern t
+           (Evidence { confidence = q.Kg.Quad.confidence; fact })
+           (Ground.of_quad q)))
+    graph;
+  t
+
+let find t atom = Atom_table.find_opt t.dict atom
+
+let atom t id = Vec.get t.atoms id
+
+let origin t id = Vec.get t.origins id
+
+let is_evidence t id =
+  match origin t id with Evidence _ -> true | Hidden -> false
+
+let size t = Vec.length t.atoms
+
+let iter f t =
+  Vec.iteri (fun id atom -> f id atom (Vec.get t.origins id)) t.atoms
+
+let database t = t.db
+
+let evidence_facts t id =
+  List.rev (Option.value (Hashtbl.find_opt t.facts id) ~default:[])

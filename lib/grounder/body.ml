@@ -1,0 +1,203 @@
+module Value = Reldb.Value
+module Table = Reldb.Table
+module Relalg = Reldb.Relalg
+
+type binding = {
+  subst : Logic.Subst.t;
+  body_atoms : Atom_store.id list;
+}
+
+let var_col v = "?" ^ v
+let tvar_col v = "!" ^ v
+let atom_col i = "#" ^ string_of_int i
+
+let is_var_col c = String.length c > 0 && c.[0] = '?'
+let is_tvar_col c = String.length c > 0 && c.[0] = '!'
+
+let col_var c = String.sub c 1 (String.length c - 1)
+
+(* Rebuild a substitution from a bindings row. *)
+let subst_of_row table =
+  let cols = Table.columns table in
+  let typed =
+    List.filteri (fun _ c -> is_var_col c || is_tvar_col c) cols
+    |> List.map (fun c -> (c, Table.column_index table c))
+  in
+  fun row ->
+    List.fold_left
+      (fun subst (c, i) ->
+        match subst with
+        | None -> None
+        | Some s ->
+            if is_var_col c then
+              match Value.as_term row.(i) with
+              | Some term -> Logic.Subst.bind s (col_var c) term
+              | None -> None
+            else
+              match Value.as_interval row.(i) with
+              | Some iv -> Logic.Subst.bind_time s (col_var c) iv
+              | None -> None)
+      (Some Logic.Subst.empty) typed
+
+(* Transform one body atom's extension table into a bindings fragment:
+   select constants and intra-atom repeated variables, then rename
+   argument columns to variable columns and keep one column per variable
+   plus the atom-id column. *)
+let atom_fragment store index (atom : Logic.Atom.t) =
+  let arity = List.length atom.args in
+  let temporal = Option.is_some atom.time in
+  match Atom_store.table_for store atom.predicate ~arity ~temporal with
+  | None -> None
+  | Some table ->
+      (* Positions of each argument column, with the pattern term. *)
+      let arg_cols = List.mapi (fun j term -> (Printf.sprintf "a%d" j, term)) atom.args in
+      (* First column for each variable; later occurrences filter. *)
+      let first_of_var = Hashtbl.create 8 in
+      let renames = ref [] in
+      let keep = ref [] in
+      let filters = ref [] in
+      List.iter
+        (fun (col, term) ->
+          match term with
+          | Logic.Lterm.Const c ->
+              let want = Value.term c in
+              filters := (col, `Equals want) :: !filters
+          | Logic.Lterm.Var v -> (
+              match Hashtbl.find_opt first_of_var v with
+              | None ->
+                  Hashtbl.replace first_of_var v col;
+                  renames := (col, var_col v) :: !renames;
+                  keep := var_col v :: !keep
+              | Some first -> filters := (col, `Same_as first) :: !filters))
+        arg_cols;
+      (match atom.time with
+      | None -> ()
+      | Some (Logic.Lterm.Tvar v) ->
+          renames := ("t", tvar_col v) :: !renames;
+          keep := tvar_col v :: !keep
+      | Some (Logic.Lterm.Tconst i) ->
+          filters := ("t", `Equals (Value.interval i)) :: !filters
+      | Some (Logic.Lterm.Tinter _ | Logic.Lterm.Thull _) ->
+          invalid_arg
+            (Printf.sprintf
+               "body atom %s: computed intervals are not allowed in bodies"
+               atom.predicate));
+      renames := ("atom", atom_col index) :: !renames;
+      keep := atom_col index :: !keep;
+      let filters = !filters in
+      let selected =
+        if filters = [] then table
+        else begin
+          let compiled =
+            List.map
+              (fun (col, test) ->
+                let i = Table.column_index table col in
+                match test with
+                | `Equals v -> fun (row : Table.row) -> Value.equal row.(i) v
+                | `Same_as other ->
+                    let j = Table.column_index table other in
+                    fun (row : Table.row) -> Value.equal row.(i) row.(j))
+              filters
+          in
+          Relalg.select (fun row -> List.for_all (fun p -> p row) compiled) table
+        end
+      in
+      let renamed = Relalg.rename !renames selected in
+      Some (Relalg.project (List.rev !keep) renamed)
+
+(* Conditions become selections once all their variables are bound. *)
+let apply_ready_conditions bound pending table =
+  let ready, still_pending =
+    List.partition
+      (fun cond ->
+        List.for_all (fun v -> List.mem (var_col v) bound) (Logic.Cond.vars cond)
+        && List.for_all
+             (fun v -> List.mem (tvar_col v) bound)
+             (Logic.Cond.tvars cond))
+      pending
+  in
+  if ready = [] then (table, still_pending)
+  else begin
+    let to_subst = subst_of_row table in
+    let filtered =
+      Relalg.select
+        (fun row ->
+          match to_subst row with
+          | None -> false
+          | Some s ->
+              List.for_all
+                (fun cond -> Logic.Cond.eval s cond = Some true)
+                ready)
+        table
+    in
+    (filtered, still_pending)
+  end
+
+let all store (rule : Logic.Rule.t) =
+  let rec loop acc pending index = function
+    | [] -> (acc, pending)
+    | atom :: rest -> (
+        match atom_fragment store index atom with
+        | None -> (None, pending)
+        | Some fragment -> (
+            match acc with
+            | None -> (None, pending)
+            | Some bindings ->
+                let joined =
+                  if Table.cardinal bindings = 0 && Table.columns bindings = []
+                  then fragment
+                  else begin
+                    let shared =
+                      List.filter
+                        (fun c ->
+                          (is_var_col c || is_tvar_col c)
+                          && List.mem c (Table.columns bindings))
+                        (Table.columns fragment)
+                    in
+                    if shared = [] then Relalg.product bindings fragment
+                    else
+                      Relalg.hash_join
+                        ~on:(List.map (fun c -> (c, c)) shared)
+                        bindings fragment
+                  end
+                in
+                let bound = Table.columns joined in
+                let joined, pending =
+                  apply_ready_conditions bound pending joined
+                in
+                if Table.cardinal joined = 0 then (None, pending)
+                else loop (Some joined) pending (index + 1) rest))
+  in
+  let start = Table.create ~name:"empty" ~columns:[] in
+  let result, pending = loop (Some start) rule.conditions 0 rule.body in
+  match result with
+  | None -> []
+  | Some bindings ->
+      (match pending with
+      | [] -> ()
+      | c :: _ ->
+          (* Rule.make validates safety, so this is unreachable for rules
+             built through the public API. *)
+          invalid_arg
+            (Format.asprintf "rule %s: condition %a has unbound variables"
+               rule.name Logic.Cond.pp c));
+      let to_subst = subst_of_row bindings in
+      let atom_positions =
+        List.mapi (fun i _ -> Table.column_index bindings (atom_col i)) rule.body
+      in
+      Table.fold
+        (fun acc row ->
+          match to_subst row with
+          | None -> acc
+          | Some subst ->
+              let body_atoms =
+                List.map
+                  (fun i ->
+                    match Value.as_int row.(i) with
+                    | Some id -> id
+                    | None -> assert false)
+                  atom_positions
+              in
+              { subst; body_atoms } :: acc)
+        [] bindings
+      |> List.rev

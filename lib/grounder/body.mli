@@ -1,0 +1,21 @@
+(** Conjunctive-body evaluation over the atom store.
+
+    Grounds a rule's body by a left-to-right relational plan: each body
+    atom's extension table is filtered (constant arguments, repeated
+    variables, constant intervals), renamed to variable columns and
+    hash-joined with the bindings accumulated so far; numeric and Allen
+    conditions are applied as selections as soon as their variables are
+    bound. This is the RockIt grounding architecture with {!Reldb} in
+    place of SQL. *)
+
+type binding = {
+  subst : Logic.Subst.t;
+  body_atoms : Atom_store.id list;
+      (** ids of the ground atoms matched by the body, in body order *)
+}
+
+val all : Atom_store.t -> Logic.Rule.t -> binding list
+(** Every grounding of the rule's body whose conditions all hold.
+
+    @raise Invalid_argument when a body atom carries a computed temporal
+    term ([Tinter]/[Thull] are only meaningful in heads and conditions). *)

@@ -1,0 +1,95 @@
+module Instance = struct
+  type head_state =
+    | Derives of Atom_store.id
+    | Satisfied
+    | Violated
+
+  type t = {
+    rule : Logic.Rule.t;
+    body_atoms : Atom_store.id list;
+    head : head_state;
+  }
+
+  let pp store ppf t =
+    let pp_atom ppf id = Logic.Atom.Ground.pp ppf (Atom_store.atom store id) in
+    Format.fprintf ppf "%s: %a -> " t.rule.Logic.Rule.name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ^ ")
+         pp_atom)
+      t.body_atoms;
+    match t.head with
+    | Derives id -> pp_atom ppf id
+    | Satisfied -> Format.pp_print_string ppf "(satisfied)"
+    | Violated -> Format.pp_print_string ppf "(violated)"
+end
+
+type result = {
+  instances : Instance.t list;
+  derived : Atom_store.id list;
+  rounds : int;
+}
+
+let head_atom (rule : Logic.Rule.t) =
+  match rule.head with Logic.Rule.Infer a -> Some a | _ -> None
+
+(* Saturate the store under inference rules. Derived atoms are interned as
+   Hidden, which inserts them into the extension tables, so subsequent
+   rounds see them; the loop stops when a round adds no atom. *)
+let closure ?(max_rounds = 50) store rules =
+  let inference = List.filter Logic.Rule.is_inference rules in
+  let derived = ref [] in
+  let rec loop round =
+    if round > max_rounds then
+      failwith
+        (Printf.sprintf "Grounder.closure: no fixpoint after %d rounds"
+           max_rounds);
+    let before = Atom_store.size store in
+    List.iter
+      (fun rule ->
+        match head_atom rule with
+        | None -> ()
+        | Some head ->
+            List.iter
+              (fun { Body.subst; _ } ->
+                match Logic.Atom.instantiate subst head with
+                | None -> () (* e.g. empty interval intersection *)
+                | Some ground ->
+                    if Atom_store.find store ground = None then
+                      derived :=
+                        Atom_store.intern store Atom_store.Hidden ground
+                        :: !derived)
+              (Body.all store rule))
+      inference;
+    if Atom_store.size store > before then loop (round + 1) else round
+  in
+  let rounds = loop 1 in
+  (List.rev !derived, rounds)
+
+let instances_of_rule store (rule : Logic.Rule.t) =
+  List.filter_map
+    (fun { Body.subst; body_atoms } ->
+      match rule.head with
+      | Logic.Rule.Infer head -> (
+          match Logic.Atom.instantiate subst head with
+          | None -> None
+          | Some ground ->
+              let id = Atom_store.intern store Atom_store.Hidden ground in
+              Some { Instance.rule; body_atoms; head = Instance.Derives id })
+      | Logic.Rule.Require cond -> (
+          match Logic.Cond.eval subst cond with
+          | Some true -> Some { Instance.rule; body_atoms; head = Instance.Satisfied }
+          | Some false ->
+              Some { Instance.rule; body_atoms; head = Instance.Violated }
+          | None ->
+              invalid_arg
+                (Format.asprintf
+                   "rule %s: head condition %a not evaluable under %a"
+                   rule.name Logic.Cond.pp cond Logic.Subst.pp subst))
+      | Logic.Rule.Bottom ->
+          Some { Instance.rule; body_atoms; head = Instance.Violated })
+    (Body.all store rule)
+
+let run ?max_rounds store rules =
+  let derived, rounds = closure ?max_rounds store rules in
+  let instances = List.concat_map (instances_of_rule store) rules in
+  { instances; derived; rounds }

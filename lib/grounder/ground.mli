@@ -1,0 +1,36 @@
+(** Grounding driver: closure under inference rules, then rule instances.
+
+    [run store rules] first saturates the store under the inference rules
+    (deriving hidden atoms, e.g. worksFor facts from playsFor facts via
+    f1), then grounds every rule once, producing the ground rule instances
+    from which the MLN and PSL engines build their networks. *)
+
+module Instance : sig
+  type head_state =
+    | Derives of Atom_store.id
+        (** inference instance: body supports this (possibly new) atom *)
+    | Satisfied
+        (** constraint instance whose head condition holds — trivially
+            satisfied, carried for statistics only *)
+    | Violated
+        (** constraint instance whose head condition fails: the body atoms
+            cannot all be true together *)
+
+  type t = {
+    rule : Logic.Rule.t;
+    body_atoms : Atom_store.id list;
+    head : head_state;
+  }
+
+  val pp : Atom_store.t -> Format.formatter -> t -> unit
+end
+
+type result = {
+  instances : Instance.t list;
+  derived : Atom_store.id list;   (** hidden atoms introduced by closure *)
+  rounds : int;                   (** closure iterations until fixpoint *)
+}
+
+val run : ?max_rounds:int -> Atom_store.t -> Logic.Rule.t list -> result
+(** @raise Failure when the closure does not reach a fixpoint within
+    [max_rounds] (default 50) iterations. *)

@@ -1,0 +1,73 @@
+type relop = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;
+  op : relop;
+  rhs : float;
+}
+
+type t = {
+  num_vars : int;
+  objective : float array;
+  constraints : constr list;
+}
+
+type outcome =
+  | Optimal of { x : float array; value : float }
+  | Infeasible
+  | Unbounded
+
+let constr coeffs op rhs = { coeffs; op; rhs }
+
+let make ~num_vars ~objective constraints =
+  if Array.length objective <> num_vars then
+    invalid_arg "Lp.make: objective length mismatch";
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (v, _) ->
+          if v < 0 || v >= num_vars then
+            invalid_arg (Printf.sprintf "Lp.make: variable %d out of range" v))
+        c.coeffs)
+    constraints;
+  { num_vars; objective; constraints }
+
+let eval_objective t x =
+  let acc = ref 0.0 in
+  for i = 0 to t.num_vars - 1 do
+    acc := !acc +. (t.objective.(i) *. x.(i))
+  done;
+  !acc
+
+let row_value c x =
+  List.fold_left (fun acc (v, a) -> acc +. (a *. x.(v))) 0.0 c.coeffs
+
+let feasible ?(eps = 1e-6) t x =
+  Array.for_all (fun v -> v >= -.eps) x
+  && List.for_all
+       (fun c ->
+         let lhs = row_value c x in
+         match c.op with
+         | Le -> lhs <= c.rhs +. eps
+         | Ge -> lhs >= c.rhs -. eps
+         | Eq -> Float.abs (lhs -. c.rhs) <= eps)
+       t.constraints
+
+let pp_relop ppf = function
+  | Le -> Format.pp_print_string ppf "<="
+  | Ge -> Format.pp_print_string ppf ">="
+  | Eq -> Format.pp_print_string ppf "="
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>maximize";
+  Array.iteri
+    (fun i c ->
+      if c <> 0.0 then Format.fprintf ppf " %+gx%d" c i)
+    t.objective;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@ s.t.";
+      List.iter (fun (v, a) -> Format.fprintf ppf " %+gx%d" a v) c.coeffs;
+      Format.fprintf ppf " %a %g" pp_relop c.op c.rhs)
+    t.constraints;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** Linear programming problems (maximisation form).
+
+    nRockIt reduces MLN MAP inference to integer linear programming and
+    ships it to Gurobi; {!Ilp} is our replacement. A problem has [n]
+    non-negative variables, a linear objective to maximise and a list of
+    linear constraints. Upper bounds are expressed as constraints by the
+    callers that need them (MaxSAT encodings bound every variable by 1). *)
+
+type relop = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse row: (variable, coefficient) *)
+  op : relop;
+  rhs : float;
+}
+
+type t = {
+  num_vars : int;
+  objective : float array;      (** length [num_vars] *)
+  constraints : constr list;
+}
+
+type outcome =
+  | Optimal of { x : float array; value : float }
+  | Infeasible
+  | Unbounded
+
+val make : num_vars:int -> objective:float array -> constr list -> t
+(** @raise Invalid_argument on length mismatch or out-of-range variable
+    indices. *)
+
+val constr : (int * float) list -> relop -> float -> constr
+
+val eval_objective : t -> float array -> float
+
+val feasible : ?eps:float -> t -> float array -> bool
+(** Check a point against all constraints and non-negativity. *)
+
+val pp : Format.formatter -> t -> unit

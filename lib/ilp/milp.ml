@@ -1,0 +1,66 @@
+type result = {
+  x : float array;
+  value : float;
+  nodes : int;
+  optimal : bool;
+}
+
+let is_integral ?(eps = 1e-6) v = Float.abs (v -. Float.round v) <= eps
+
+let solve ?(eps = 1e-6) ?(max_nodes = 100_000) ~binary (lp : Lp.t) =
+  (* Ensure x <= 1 for every binary variable. *)
+  let bound_rows =
+    List.map (fun v -> Lp.constr [ (v, 1.0) ] Lp.Le 1.0) binary
+  in
+  let base = { lp with Lp.constraints = bound_rows @ lp.constraints } in
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  let better value =
+    match !incumbent with None -> true | Some (_, v) -> value > v +. eps
+  in
+  (* [fixed] is a list of (variable, 0/1) decisions on the path. *)
+  let rec explore fixed =
+    if !nodes >= max_nodes then exhausted := true
+    else begin
+      incr nodes;
+      let extra =
+        List.map (fun (v, b) -> Lp.constr [ (v, 1.0) ] Lp.Eq (float_of_int b)) fixed
+      in
+      let node_lp = { base with Lp.constraints = extra @ base.Lp.constraints } in
+      match Simplex.solve node_lp with
+      | Lp.Infeasible -> ()
+      | Lp.Unbounded ->
+          (* A bounded 0/1 encoding can only be unbounded through a
+             modelling error in the continuous part. *)
+          failwith "Milp: unbounded relaxation"
+      | Lp.Optimal { x; value } ->
+          if better value then begin
+            let fractional =
+              List.filter (fun v -> not (is_integral ~eps x.(v))) binary
+            in
+            match fractional with
+            | [] -> incumbent := Some (Array.copy x, value)
+            | _ ->
+                (* Branch on the most fractional binary variable. *)
+                let v =
+                  List.fold_left
+                    (fun best v ->
+                      let frac u = Float.abs (x.(u) -. 0.5) in
+                      if frac v < frac best then v else best)
+                    (List.hd fractional) fractional
+                in
+                (* Explore the rounding-preferred branch first. *)
+                let first = if x.(v) >= 0.5 then 1 else 0 in
+                explore ((v, first) :: fixed);
+                explore ((v, 1 - first) :: fixed)
+          end
+    end
+  in
+  explore [];
+  match !incumbent with
+  | None -> None
+  | Some (x, value) ->
+      (* Snap binaries exactly. *)
+      List.iter (fun v -> x.(v) <- Float.round x.(v)) binary;
+      Some { x; value; nodes = !nodes; optimal = not !exhausted }

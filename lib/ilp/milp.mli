@@ -1,0 +1,25 @@
+(** Mixed 0/1 integer programming by branch & bound over LP relaxations.
+
+    This is the exact solving backend of the MLN path: the MaxSAT
+    encoding of a ground Markov network is a 0/1 ILP (nRockIt's Gurobi
+    reduction). Branching fixes a fractional binary variable to 0 or 1 by
+    adding an equality row; subtrees whose relaxation bound cannot beat
+    the incumbent are pruned. *)
+
+type result = {
+  x : float array;          (** integral on the binary variables *)
+  value : float;
+  nodes : int;              (** branch & bound nodes explored *)
+  optimal : bool;           (** false when the node budget was exhausted *)
+}
+
+val solve :
+  ?eps:float ->
+  ?max_nodes:int ->
+  binary:int list ->
+  Lp.t ->
+  result option
+(** [solve ~binary lp] maximises [lp] with the listed variables restricted
+    to {0, 1} (their [x <= 1] rows must already be part of [lp] or are
+    added here). Returns [None] when infeasible. Default node budget is
+    100_000. *)

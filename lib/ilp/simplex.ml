@@ -1,0 +1,195 @@
+(* Dense two-phase primal simplex with Bland's rule.
+
+   Canonical layout: [m] tableau rows over columns
+   [0 .. n-1]           structural variables
+   [n .. n+s-1]         slack/surplus variables
+   [n+s .. n+s+a-1]     artificial variables
+   plus a right-hand-side entry per row. [basis.(i)] is the basic column
+   of row [i]. The objective row holds reduced costs; a pivot keeps the
+   whole system in canonical form. *)
+
+type tableau = {
+  rows : float array array; (* m x (total + 1); last entry is rhs *)
+  obj : float array;        (* total + 1; last entry is -objective value *)
+  basis : int array;
+  total : int;
+}
+
+let pivot t ~row ~col =
+  let width = t.total + 1 in
+  let prow = t.rows.(row) in
+  let scale = prow.(col) in
+  for j = 0 to width - 1 do
+    prow.(j) <- prow.(j) /. scale
+  done;
+  let eliminate target =
+    let factor = target.(col) in
+    if factor <> 0.0 then
+      for j = 0 to width - 1 do
+        target.(j) <- target.(j) -. (factor *. prow.(j))
+      done
+  in
+  Array.iteri (fun i r -> if i <> row then eliminate r) t.rows;
+  eliminate t.obj;
+  t.basis.(row) <- col
+
+(* Bland: entering = smallest eligible column; leaving = smallest ratio,
+   ties broken by smallest basic column. *)
+let iterate ?(eps = 1e-9) ?(max_iters = 200_000) t ~allowed =
+  let m = Array.length t.rows in
+  let rec step iters =
+    if iters > max_iters then failwith "Simplex: iteration limit";
+    let entering =
+      let rec find j =
+        if j >= t.total then None
+        else if allowed j && t.obj.(j) > eps then Some j
+        else find (j + 1)
+      in
+      find 0
+    in
+    match entering with
+    | None -> `Optimal
+    | Some col ->
+        let leaving = ref (-1) in
+        let best_ratio = ref infinity in
+        for i = 0 to m - 1 do
+          let a = t.rows.(i).(col) in
+          if a > eps then begin
+            let ratio = t.rows.(i).(t.total) /. a in
+            if
+              ratio < !best_ratio -. eps
+              || (Float.abs (ratio -. !best_ratio) <= eps
+                 && (!leaving = -1 || t.basis.(i) < t.basis.(!leaving)))
+            then begin
+              best_ratio := ratio;
+              leaving := i
+            end
+          end
+        done;
+        if !leaving = -1 then `Unbounded
+        else begin
+          pivot t ~row:!leaving ~col;
+          step (iters + 1)
+        end
+  in
+  step 0
+
+(* Install costs [c] (length total) for the current basis: the objective
+   row becomes the reduced costs and the negated objective value. *)
+let price_out t c =
+  let width = t.total + 1 in
+  Array.blit c 0 t.obj 0 t.total;
+  t.obj.(t.total) <- 0.0;
+  Array.iteri
+    (fun i row ->
+      let cb = c.(t.basis.(i)) in
+      if cb <> 0.0 then
+        for j = 0 to width - 1 do
+          t.obj.(j) <- t.obj.(j) -. (cb *. row.(j))
+        done)
+    t.rows
+
+let solve ?(eps = 1e-7) (lp : Lp.t) =
+  let n = lp.num_vars in
+  let constraints = Array.of_list lp.constraints in
+  let m = Array.length constraints in
+  (* Normalise every row to a non-negative right-hand side. *)
+  let rows =
+    Array.map
+      (fun (c : Lp.constr) ->
+        if c.rhs < 0.0 then
+          ( List.map (fun (v, a) -> (v, -.a)) c.coeffs,
+            (match c.op with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq),
+            -.c.rhs )
+        else (c.coeffs, c.op, c.rhs))
+      constraints
+  in
+  let num_slack =
+    Array.fold_left
+      (fun acc (_, op, _) -> match op with Lp.Eq -> acc | _ -> acc + 1)
+      0 rows
+  in
+  let num_art =
+    Array.fold_left
+      (fun acc (_, op, _) -> match op with Lp.Le -> acc | _ -> acc + 1)
+      0 rows
+  in
+  let total = n + num_slack + num_art in
+  let t =
+    {
+      rows = Array.make_matrix m (total + 1) 0.0;
+      obj = Array.make (total + 1) 0.0;
+      basis = Array.make m (-1);
+      total;
+    }
+  in
+  let first_art = n + num_slack in
+  let next_slack = ref n in
+  let next_art = ref first_art in
+  Array.iteri
+    (fun i (coeffs, op, rhs) ->
+      let row = t.rows.(i) in
+      List.iter (fun (v, a) -> row.(v) <- row.(v) +. a) coeffs;
+      row.(total) <- rhs;
+      (match op with
+      | Lp.Le ->
+          row.(!next_slack) <- 1.0;
+          t.basis.(i) <- !next_slack;
+          incr next_slack
+      | Lp.Ge ->
+          row.(!next_slack) <- -1.0;
+          incr next_slack;
+          row.(!next_art) <- 1.0;
+          t.basis.(i) <- !next_art;
+          incr next_art
+      | Lp.Eq ->
+          row.(!next_art) <- 1.0;
+          t.basis.(i) <- !next_art;
+          incr next_art))
+    rows;
+  let is_artificial j = j >= first_art in
+  (* Phase 1: maximise minus the sum of artificials. *)
+  if num_art > 0 then begin
+    let phase1_cost = Array.make total 0.0 in
+    for j = first_art to total - 1 do
+      phase1_cost.(j) <- -1.0
+    done;
+    price_out t phase1_cost;
+    (match iterate ~eps t ~allowed:(fun _ -> true) with
+    | `Optimal -> ()
+    | `Unbounded -> assert false (* phase-1 objective is bounded by 0 *));
+    (* The objective row's rhs holds the negated objective value; the
+       phase-1 value is -(sum of artificials), so the rhs is the sum. *)
+    let infeasibility = t.obj.(total) in
+    if infeasibility < -.eps then failwith "Simplex: negative phase-1 value";
+    if Float.abs infeasibility > eps then raise Exit
+  end;
+  (* Drive remaining artificials out of the basis (they sit at zero). *)
+  Array.iteri
+    (fun i b ->
+      if is_artificial b then begin
+        let col = ref (-1) in
+        for j = 0 to first_art - 1 do
+          if !col = -1 && Float.abs t.rows.(i).(j) > eps then col := j
+        done;
+        if !col >= 0 then pivot t ~row:i ~col:!col
+        (* else: the row is redundant; the artificial stays basic at 0 and
+           is never allowed to re-enter, so it is harmless. *)
+      end)
+    t.basis;
+  (* Phase 2: original objective over structural variables. *)
+  let cost = Array.make total 0.0 in
+  Array.blit lp.objective 0 cost 0 n;
+  price_out t cost;
+  match iterate ~eps t ~allowed:(fun j -> not (is_artificial j)) with
+  | `Unbounded -> Lp.Unbounded
+  | `Optimal ->
+      let x = Array.make n 0.0 in
+      Array.iteri
+        (fun i b -> if b < n then x.(b) <- t.rows.(i).(total))
+        t.basis;
+      Lp.Optimal { x; value = Lp.eval_objective lp x }
+
+let solve ?eps lp =
+  try solve ?eps lp with
+  | Exit -> Lp.Infeasible

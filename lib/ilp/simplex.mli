@@ -1,0 +1,9 @@
+(** Two-phase primal simplex over a dense tableau.
+
+    Solves {!Lp.t} problems (maximise, non-negative variables). Bland's
+    anti-cycling rule guarantees termination. Intended for the moderate
+    instances the exact MLN path handles — the scalable path in TeCoRe is
+    PSL, mirroring the paper's observation that "MLN solvers do not scale
+    well". *)
+
+val solve : ?eps:float -> Lp.t -> Lp.outcome

@@ -1,0 +1,337 @@
+type relation =
+  | Before
+  | Meets
+  | Overlaps
+  | Finished_by
+  | Contains
+  | Starts
+  | Equals
+  | Started_by
+  | During
+  | Finishes
+  | Overlapped_by
+  | Met_by
+  | After
+
+let all =
+  [ Before; Meets; Overlaps; Finished_by; Contains; Starts; Equals;
+    Started_by; During; Finishes; Overlapped_by; Met_by; After ]
+
+let to_index = function
+  | Before -> 0
+  | Meets -> 1
+  | Overlaps -> 2
+  | Finished_by -> 3
+  | Contains -> 4
+  | Starts -> 5
+  | Equals -> 6
+  | Started_by -> 7
+  | During -> 8
+  | Finishes -> 9
+  | Overlapped_by -> 10
+  | Met_by -> 11
+  | After -> 12
+
+let of_index = function
+  | 0 -> Before
+  | 1 -> Meets
+  | 2 -> Overlaps
+  | 3 -> Finished_by
+  | 4 -> Contains
+  | 5 -> Starts
+  | 6 -> Equals
+  | 7 -> Started_by
+  | 8 -> During
+  | 9 -> Finishes
+  | 10 -> Overlapped_by
+  | 11 -> Met_by
+  | 12 -> After
+  | i -> invalid_arg (Printf.sprintf "Allen.of_index: %d" i)
+
+let name = function
+  | Before -> "before"
+  | Meets -> "meets"
+  | Overlaps -> "overlaps"
+  | Finished_by -> "finished-by"
+  | Contains -> "contains"
+  | Starts -> "starts"
+  | Equals -> "equals"
+  | Started_by -> "started-by"
+  | During -> "during"
+  | Finishes -> "finishes"
+  | Overlapped_by -> "overlapped-by"
+  | Met_by -> "met-by"
+  | After -> "after"
+
+let normalise_name s =
+  (* Lower-case, camelCase and snake_case all map to the hyphenated form. *)
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      if c = '_' then Buffer.add_char buf '-'
+      else if c >= 'A' && c <= 'Z' then begin
+        Buffer.add_char buf '-';
+        Buffer.add_char buf (Char.lowercase_ascii c)
+      end
+      else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let of_name s =
+  match normalise_name s with
+  | "before" | "precedes" -> Some Before
+  | "meets" -> Some Meets
+  | "overlaps" | "overlap" -> Some Overlaps
+  | "finished-by" -> Some Finished_by
+  | "contains" -> Some Contains
+  | "starts" -> Some Starts
+  | "equals" | "equal" -> Some Equals
+  | "started-by" -> Some Started_by
+  | "during" -> Some During
+  | "finishes" -> Some Finishes
+  | "overlapped-by" -> Some Overlapped_by
+  | "met-by" -> Some Met_by
+  | "after" | "preceded-by" -> Some After
+  | _ -> None
+
+let pp ppf r = Format.pp_print_string ppf (name r)
+
+let converse = function
+  | Before -> After
+  | Meets -> Met_by
+  | Overlaps -> Overlapped_by
+  | Finished_by -> Finishes
+  | Contains -> During
+  | Starts -> Started_by
+  | Equals -> Equals
+  | Started_by -> Starts
+  | During -> Contains
+  | Finishes -> Finished_by
+  | Overlapped_by -> Overlaps
+  | Met_by -> Meets
+  | After -> Before
+
+let relate a b =
+  let alo = Interval.lo a and ahi = Interval.hi a in
+  let blo = Interval.lo b and bhi = Interval.hi b in
+  if ahi + 1 < blo then Before
+  else if ahi + 1 = blo then Meets
+  else if bhi + 1 < alo then After
+  else if bhi + 1 = alo then Met_by
+  else if alo = blo && ahi = bhi then Equals
+  else if alo = blo then if ahi < bhi then Starts else Started_by
+  else if ahi = bhi then if alo > blo then Finishes else Finished_by
+  else if alo > blo && ahi < bhi then During
+  else if alo < blo && ahi > bhi then Contains
+  else if alo < blo then Overlaps
+  else Overlapped_by
+
+let holds r a b = relate a b = r
+
+module Set = struct
+  type t = int
+
+  let empty = 0
+  let full = (1 lsl 13) - 1
+  let singleton r = 1 lsl to_index r
+  let mem r s = s land singleton r <> 0
+  let add r s = s lor singleton r
+  let of_list rs = List.fold_left (fun s r -> add r s) empty rs
+  let union = ( lor )
+  let inter = ( land )
+  let equal = Int.equal
+  let is_empty s = s = 0
+
+  let cardinal s =
+    let rec loop s acc = if s = 0 then acc else loop (s lsr 1) (acc + (s land 1)) in
+    loop s 0
+
+  let to_list s = List.filter (fun r -> mem r s) all
+
+  let converse s =
+    List.fold_left
+      (fun acc r -> if mem r s then add (converse r) acc else acc)
+      empty all
+
+  let holds s a b = mem (relate a b) s
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         pp)
+      (to_list s)
+
+  let disjoint = of_list [ Before; Meets; Met_by; After ]
+  let intersects = full land lnot disjoint
+  let before_or_meets = of_list [ Before; Meets ]
+  let within = of_list [ Starts; During; Finishes; Equals ]
+end
+
+(* The composition table is derived once by exhaustive enumeration over a
+   small discrete domain. Every entry of Allen's classical table is
+   witnessed by a configuration with at most six distinct endpoints and
+   unit gaps, so endpoints in 0..16 are sufficient. Soundness and
+   completeness are cross-checked by property tests over a larger domain. *)
+let composition_table =
+  lazy
+    (let table = Array.make (13 * 13) Set.empty in
+     let max_point = 16 in
+     let intervals =
+       let acc = ref [] in
+       for lo = max_point downto 0 do
+         for hi = max_point downto lo do
+           acc := Interval.make lo hi :: !acc
+         done
+       done;
+       Array.of_list !acc
+     in
+     let n = Array.length intervals in
+     (* Bucket pairs by their relation to avoid the full cubic loop over
+        (a, b, c): for each b, relate it to every a and c. *)
+     for bi = 0 to n - 1 do
+       let b = intervals.(bi) in
+       let by_rel_a = Array.make 13 [] in
+       let by_rel_c = Array.make 13 [] in
+       for i = 0 to n - 1 do
+         let x = intervals.(i) in
+         let ra = to_index (relate x b) in
+         by_rel_a.(ra) <- x :: by_rel_a.(ra);
+         let rc = to_index (relate b x) in
+         by_rel_c.(rc) <- x :: by_rel_c.(rc)
+       done;
+       for r1 = 0 to 12 do
+         for r2 = 0 to 12 do
+           let idx = (r1 * 13) + r2 in
+           if Set.cardinal table.(idx) < 13 then
+             List.iter
+               (fun a ->
+                 List.iter
+                   (fun c ->
+                     table.(idx) <- Set.add (relate a c) table.(idx))
+                   by_rel_c.(r2))
+               by_rel_a.(r1)
+         done
+       done
+     done;
+     table)
+
+let compose r1 r2 =
+  (Lazy.force composition_table).((to_index r1 * 13) + to_index r2)
+
+let compose_set s1 s2 =
+  let table = Lazy.force composition_table in
+  let acc = ref Set.empty in
+  List.iter
+    (fun r1 ->
+      if Set.mem r1 s1 then
+        List.iter
+          (fun r2 ->
+            if Set.mem r2 s2 then
+              acc := Set.union !acc table.((to_index r1 * 13) + to_index r2))
+          all)
+    all;
+  !acc
+
+module Network = struct
+  type t = {
+    n : int;
+    constraints : int array; (* n*n relation-set masks *)
+  }
+
+  let create n =
+    let constraints = Array.make (n * n) (Set.full :> int) in
+    for i = 0 to n - 1 do
+      constraints.((i * n) + i) <- (Set.singleton Equals :> int)
+    done;
+    { n; constraints }
+
+  let size t = t.n
+
+  let get t i j = (t.constraints.((i * t.n) + j) : int :> Set.t)
+
+  let set_raw t i j (s : Set.t) =
+    t.constraints.((i * t.n) + j) <- (s :> int);
+    t.constraints.((j * t.n) + i) <- (Set.converse s :> int)
+
+  let constrain t i j s =
+    let current = get t i j in
+    set_raw t i j (Set.inter current s)
+
+  let path_consistency t =
+    let n = t.n in
+    let queue = Queue.create () in
+    let ok = ref true in
+    (* Direct contradictions (empty constraints) are found before any
+       composition — a two-variable network has no intermediate k. *)
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Set.is_empty (get t i j) then ok := false;
+        Queue.add (i, j) queue
+      done
+    done;
+    let revise i j =
+      (* Tighten (i, j) through every intermediate k. *)
+      let changed = ref false in
+      for k = 0 to n - 1 do
+        if k <> i && k <> j && !ok then begin
+          let via = compose_set (get t i k) (get t k j) in
+          let tightened = Set.inter (get t i j) via in
+          if not (Set.equal tightened (get t i j)) then begin
+            set_raw t i j tightened;
+            changed := true;
+            if Set.is_empty tightened then ok := false
+          end
+        end
+      done;
+      !changed
+    in
+    while !ok && not (Queue.is_empty queue) do
+      let i, j = Queue.pop queue in
+      if revise i j then
+        for k = 0 to n - 1 do
+          if k <> i && k <> j then begin
+            Queue.add (min i k, max i k) queue;
+            Queue.add (min j k, max j k) queue
+          end
+        done
+    done;
+    !ok
+
+  let consistent_scenario t =
+    let n = t.n in
+    if n = 0 then Some [||]
+    else begin
+      let bound = (4 * n) + 2 in
+      let assignment = Array.make n (Interval.point 0) in
+      let candidates =
+        let acc = ref [] in
+        for lo = bound downto 0 do
+          for hi = bound downto lo do
+            acc := Interval.make lo hi :: !acc
+          done
+        done;
+        !acc
+      in
+      let compatible v iv =
+        let rec loop u =
+          u >= v
+          || (Set.mem (relate assignment.(u) iv) (get t u v) && loop (u + 1))
+        in
+        loop 0
+      in
+      let rec assign v =
+        if v = n then true
+        else
+          List.exists
+            (fun iv ->
+              if compatible v iv then begin
+                assignment.(v) <- iv;
+                assign (v + 1)
+              end
+              else false)
+            candidates
+      in
+      if assign 0 then Some (Array.copy assignment) else None
+    end
+end

@@ -1,0 +1,138 @@
+(** Allen's interval algebra over discrete intervals.
+
+    TeCoRe's temporal constraints and rule conditions are expressed with
+    Allen's thirteen basic interval relations. This module provides:
+    the relations themselves, classification of a pair of intervals,
+    converses, the full 13x13 composition table, relation sets encoded as
+    bitmasks, and path consistency for qualitative interval networks.
+
+    On a discrete time domain we interpret endpoints as in the paper:
+    intervals are inclusive, [meets] holds when one interval ends exactly
+    one time point before the next begins (the intervals are adjacent but
+    share no point). *)
+
+type relation =
+  | Before        (** a ends with a gap before b starts *)
+  | Meets         (** a ends immediately before b starts *)
+  | Overlaps      (** proper overlap, a starts first, a ends inside b *)
+  | Finished_by   (** a starts first, both end together *)
+  | Contains      (** b strictly inside a *)
+  | Starts        (** both start together, a ends first *)
+  | Equals
+  | Started_by    (** both start together, b ends first *)
+  | During        (** a strictly inside b *)
+  | Finishes      (** b starts first, both end together *)
+  | Overlapped_by (** converse of Overlaps *)
+  | Met_by        (** converse of Meets *)
+  | After         (** converse of Before *)
+
+val all : relation list
+(** The thirteen basic relations in canonical order. *)
+
+val to_index : relation -> int
+(** Position 0..12 in {!all}. *)
+
+val of_index : int -> relation
+
+val name : relation -> string
+(** Lower-case name as used in the constraint language, e.g. ["before"],
+    ["overlaps"], ["met-by"]. *)
+
+val of_name : string -> relation option
+(** Inverse of {!name}; also accepts the paper's spelling variants
+    (["overlap"], ["metBy"], ...). *)
+
+val pp : Format.formatter -> relation -> unit
+
+val converse : relation -> relation
+(** [converse r] relates (b, a) whenever [r] relates (a, b). *)
+
+val relate : Interval.t -> Interval.t -> relation
+(** The unique basic relation holding between two intervals. *)
+
+val holds : relation -> Interval.t -> Interval.t -> bool
+(** [holds r a b] iff [relate a b = r]. *)
+
+(** {1 Relation sets}
+
+    A set of basic relations is a 13-bit mask; general Allen relations
+    (e.g. "disjoint" = before ∪ after ∪ meets ∪ met-by) are such sets. *)
+
+module Set : sig
+  type t = private int
+
+  val empty : t
+  val full : t
+  val singleton : relation -> t
+  val of_list : relation list -> t
+  val to_list : t -> relation list
+  val mem : relation -> t -> bool
+  val add : relation -> t -> t
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val equal : t -> t -> bool
+  val is_empty : t -> bool
+  val cardinal : t -> int
+  val converse : t -> t
+  val holds : t -> Interval.t -> Interval.t -> bool
+  (** True when the basic relation between the intervals is in the set. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  (** Common derived relations used by TeCoRe constraints. *)
+
+  val disjoint : t
+  (** No shared time point: before, after, meets, met-by. *)
+
+  val intersects : t
+  (** Shares at least one time point (complement of {!disjoint}). *)
+
+  val before_or_meets : t
+  (** Strictly earlier in the weak sense used by constraint c1. *)
+
+  val within : t
+  (** starts, during, finishes, equals: contained in. *)
+end
+
+val compose : relation -> relation -> Set.t
+(** Allen's composition: the set of relations possibly holding between
+    (a, c) given [r1] between (a, b) and [r2] between (b, c). The table is
+    derived by exhaustive enumeration over a small discrete domain (sound
+    and complete for Allen's algebra since every entry of the classical
+    table has a witness with few distinct endpoints). *)
+
+val compose_set : Set.t -> Set.t -> Set.t
+(** Pointwise union of compositions. *)
+
+(** {1 Qualitative interval networks}
+
+    A network has [n] interval variables and a constraint (relation set)
+    on every ordered pair. {!Network.path_consistency} runs the classic
+    PC-2 style algebraic closure; an empty constraint proves the network
+    inconsistent. Used to check sets of qualitative temporal constraints
+    for satisfiability before translation. *)
+
+module Network : sig
+  type t
+
+  val create : int -> t
+  (** [create n] makes a network over [n] variables, all pairs
+      unconstrained (full relation set). *)
+
+  val size : t -> int
+
+  val constrain : t -> int -> int -> Set.t -> unit
+  (** Intersect the constraint on (i, j) with the given set; the converse
+      is maintained on (j, i) automatically. *)
+
+  val get : t -> int -> int -> Set.t
+
+  val path_consistency : t -> bool
+  (** Algebraic closure; returns [false] when some constraint becomes
+      empty (inconsistency detected). *)
+
+  val consistent_scenario : t -> Interval.t array option
+  (** Attempts to realise the network with concrete discrete intervals by
+      backtracking search over basic relations and endpoint assignment.
+      Intended for small networks (tests, constraint editor feedback). *)
+end

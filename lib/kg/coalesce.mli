@@ -1,0 +1,36 @@
+(** Temporal coalescing and per-subject timelines.
+
+    Noisy extraction often yields the same statement split into several
+    overlapping or adjacent validity intervals; temporal databases call
+    merging them {e coalescing}. [coalesce] merges facts that agree on
+    subject, predicate and object and whose intervals overlap or meet,
+    combining confidences by noisy-or (several independent extractions
+    strengthen belief). [timeline] renders one predicate's history for a
+    subject and reports the gaps and overlaps a curator would inspect. *)
+
+val coalesce : Graph.t -> Graph.t
+(** A new graph with maximal merged intervals per statement; facts of
+    distinct statements are untouched. Insertion order is preserved up to
+    merging (a merged group appears at its first member's position). *)
+
+type segment = {
+  object_ : Term.t;
+  interval : Interval.t;
+  confidence : float;
+}
+
+type gap_or_overlap =
+  | Gap of Interval.t          (** no value known during this interval *)
+  | Overlap of Interval.t * Term.t * Term.t
+      (** two distinct objects claimed simultaneously *)
+
+type timeline = {
+  subject : Term.t;
+  predicate : Term.t;
+  segments : segment list;     (** sorted by interval start *)
+  issues : gap_or_overlap list;
+}
+
+val timeline : Graph.t -> subject:Term.t -> predicate:Term.t -> timeline
+
+val pp_timeline : Format.formatter -> timeline -> unit

@@ -1,0 +1,91 @@
+type t = { year : int; month : int; day : int }
+
+exception Invalid of string
+
+let is_leap_year y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month ~year ~month =
+  match month with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year year then 29 else 28
+  | _ -> raise (Invalid (Printf.sprintf "month %d out of range" month))
+
+let make ~year ~month ~day =
+  if month < 1 || month > 12 then
+    raise (Invalid (Printf.sprintf "month %d out of range" month));
+  let max_day = days_in_month ~year ~month in
+  if day < 1 || day > max_day then
+    raise
+      (Invalid
+         (Printf.sprintf "day %d out of range for %04d-%02d" day year month));
+  { year; month; day }
+
+(* Howard Hinnant's days-from-civil: exact for the proleptic Gregorian
+   calendar over the whole int range. *)
+let to_day_number { year; month; day } =
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (month + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + day - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let of_day_number z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - (((153 * mp) + 2) / 5) + 1 in
+  let month = if mp < 10 then mp + 3 else mp - 9 in
+  let year = if month <= 2 then y + 1 else y in
+  { year; month; day }
+
+let of_iso s =
+  let s = String.trim s in
+  let negative = String.length s > 0 && s.[0] = '-' in
+  let body = if negative then String.sub s 1 (String.length s - 1) else s in
+  match String.split_on_char '-' body with
+  | [ y; m; d ] -> (
+      match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d)
+      with
+      | Some year, Some month, Some day -> (
+          let year = if negative then -year else year in
+          match make ~year ~month ~day with
+          | date -> Ok date
+          | exception Invalid msg -> Error msg)
+      | _ -> Error (Printf.sprintf "malformed date %S" s))
+  | _ -> Error (Printf.sprintf "malformed date %S (expected YYYY-MM-DD)" s)
+
+let to_iso { year; month; day } =
+  if year < 0 then Printf.sprintf "-%04d-%02d-%02d" (-year) month day
+  else Printf.sprintf "%04d-%02d-%02d" year month day
+
+let compare a b =
+  match Int.compare a.year b.year with
+  | 0 -> (
+      match Int.compare a.month b.month with
+      | 0 -> Int.compare a.day b.day
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let interval from_s to_s =
+  match (of_iso from_s, of_iso to_s) with
+  | Ok from_d, Ok to_d ->
+      let lo = to_day_number from_d and hi = to_day_number to_d in
+      if lo > hi then
+        Error (Printf.sprintf "%s is after %s" from_s to_s)
+      else Ok (Interval.make lo hi)
+  | Error e, _ | _, Error e -> Error e
+
+let interval_to_iso i =
+  ( to_iso (of_day_number (Interval.lo i)),
+    to_iso (of_day_number (Interval.hi i)) )
+
+let pp ppf d = Format.pp_print_string ppf (to_iso d)

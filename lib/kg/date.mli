@@ -1,0 +1,46 @@
+(** Calendar dates as time points.
+
+    The paper's discrete time domain can be "days, minutes, or
+    milliseconds"; the year-level examples need no conversion, but
+    day-granularity KGs do. This module maps proleptic-Gregorian civil
+    dates to day numbers (days since 1970-01-01, negative before) so
+    ISO-8601 dates can be used as interval endpoints.
+
+    The conversion uses the standard days-from-civil algorithm and is
+    exact over the full int range of years. *)
+
+type t = { year : int; month : int; day : int }
+
+exception Invalid of string
+
+val make : year:int -> month:int -> day:int -> t
+(** @raise Invalid for out-of-range months or days (leap years
+    respected). *)
+
+val is_leap_year : int -> bool
+
+val days_in_month : year:int -> month:int -> int
+
+val to_day_number : t -> int
+(** Days since 1970-01-01 (0 for the epoch itself). *)
+
+val of_day_number : int -> t
+(** Inverse of {!to_day_number}. *)
+
+val of_iso : string -> (t, string) result
+(** Parse ["YYYY-MM-DD"] (a leading [-] allows BCE years). *)
+
+val to_iso : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val interval : string -> string -> (Interval.t, string) result
+(** [interval "2000-01-01" "2004-06-30"] — a day-granularity validity
+    interval from two ISO dates. Errors when either date is malformed or
+    the first is after the second. *)
+
+val interval_to_iso : Interval.t -> string * string
+(** Render a day-granularity interval's endpoints as ISO dates. *)
+
+val pp : Format.formatter -> t -> unit

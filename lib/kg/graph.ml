@@ -1,0 +1,244 @@
+module Vec = Prelude.Vec
+
+module Term_table = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+module Pair_table = Hashtbl.Make (struct
+  type t = Term.t * Term.t
+
+  let equal (a1, b1) (a2, b2) = Term.equal a1 a2 && Term.equal b1 b2
+  let hash (a, b) = Hashtbl.hash (Term.hash a, Term.hash b)
+end)
+
+type id = int
+
+type t = {
+  quads : Quad.t Vec.t;
+  alive : bool Vec.t;
+  mutable live : int;
+  by_subject : id Vec.t Term_table.t;
+  by_predicate : id Vec.t Term_table.t;
+  by_sp : id Vec.t Pair_table.t;
+  mutable temporal : id Interval_tree.t Term_table.t;
+}
+
+let create () =
+  {
+    quads = Vec.create ();
+    alive = Vec.create ();
+    live = 0;
+    by_subject = Term_table.create 64;
+    by_predicate = Term_table.create 16;
+    by_sp = Pair_table.create 64;
+    temporal = Term_table.create 16;
+  }
+
+let index_push table key id =
+  match Term_table.find_opt table key with
+  | Some vec -> Vec.push vec id
+  | None ->
+      let vec = Vec.create () in
+      Vec.push vec id;
+      Term_table.replace table key vec
+
+let add t q =
+  let id = Vec.length t.quads in
+  Vec.push t.quads q;
+  Vec.push t.alive true;
+  t.live <- t.live + 1;
+  index_push t.by_subject q.Quad.subject id;
+  index_push t.by_predicate q.Quad.predicate id;
+  (match Pair_table.find_opt t.by_sp (q.Quad.subject, q.Quad.predicate) with
+  | Some vec -> Vec.push vec id
+  | None ->
+      let vec = Vec.create () in
+      Vec.push vec id;
+      Pair_table.replace t.by_sp (q.Quad.subject, q.Quad.predicate) vec);
+  let tree =
+    Option.value
+      (Term_table.find_opt t.temporal q.Quad.predicate)
+      ~default:Interval_tree.empty
+  in
+  Term_table.replace t.temporal q.Quad.predicate
+    (Interval_tree.add q.Quad.time id tree);
+  id
+
+let check_id t id =
+  if id < 0 || id >= Vec.length t.quads then
+    invalid_arg (Printf.sprintf "Graph: unknown fact id %d" id)
+
+let remove t id =
+  check_id t id;
+  if Vec.get t.alive id then begin
+    Vec.set t.alive id false;
+    t.live <- t.live - 1
+  end
+
+let restore t id =
+  check_id t id;
+  if not (Vec.get t.alive id) then begin
+    Vec.set t.alive id true;
+    t.live <- t.live + 1
+  end
+
+let mem_id t id = id >= 0 && id < Vec.length t.quads && Vec.get t.alive id
+
+let find t id =
+  check_id t id;
+  Vec.get t.quads id
+
+let size t = t.live
+
+let total t = Vec.length t.quads
+
+let iter f t =
+  Vec.iteri (fun id q -> if Vec.get t.alive id then f id q) t.quads
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun id q -> acc := f id q !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun _ q acc -> q :: acc) t [])
+
+let ids t = List.rev (fold (fun id _ acc -> id :: acc) t [])
+
+let of_list quads =
+  let t = create () in
+  List.iter (fun q -> ignore (add t q)) quads;
+  t
+
+let copy t =
+  let t' = create () in
+  Vec.iter (fun q -> ignore (add t' q)) t.quads;
+  Vec.iteri (fun id alive -> if not alive then remove t' id) t.alive;
+  t'
+
+let live_of_index t table key =
+  match Term_table.find_opt table key with
+  | None -> []
+  | Some vec ->
+      List.rev
+        (Vec.fold
+           (fun acc id ->
+             if Vec.get t.alive id then (id, Vec.get t.quads id) :: acc
+             else acc)
+           [] vec)
+
+let by_subject t s = live_of_index t t.by_subject s
+
+let by_predicate t p = live_of_index t t.by_predicate p
+
+let by_subject_predicate t s p =
+  match Pair_table.find_opt t.by_sp (s, p) with
+  | None -> []
+  | Some vec ->
+      List.rev
+        (Vec.fold
+           (fun acc id ->
+             if Vec.get t.alive id then (id, Vec.get t.quads id) :: acc
+             else acc)
+           [] vec)
+
+let overlapping t p window =
+  match Term_table.find_opt t.temporal p with
+  | None -> []
+  | Some tree ->
+      Interval_tree.overlapping window tree
+      |> List.filter_map (fun (_, id) ->
+             if Vec.get t.alive id then Some (id, Vec.get t.quads id)
+             else None)
+
+let contains_statement t q =
+  List.exists
+    (fun (_, q') -> Quad.same_statement q q')
+    (by_subject_predicate t q.Quad.subject q.Quad.predicate)
+
+let predicates t =
+  let counts = Term_table.create 16 in
+  iter
+    (fun _ q ->
+      let c =
+        Option.value (Term_table.find_opt counts q.Quad.predicate) ~default:0
+      in
+      Term_table.replace counts q.Quad.predicate (c + 1))
+    t;
+  Term_table.fold (fun p c acc -> (p, c) :: acc) counts []
+  |> List.sort (fun (p1, c1) (p2, c2) ->
+         match Int.compare c2 c1 with 0 -> Term.compare p1 p2 | c -> c)
+
+let subjects t =
+  let seen = Term_table.create 64 in
+  let acc = ref [] in
+  iter
+    (fun _ q ->
+      if not (Term_table.mem seen q.Quad.subject) then begin
+        Term_table.replace seen q.Quad.subject ();
+        acc := q.Quad.subject :: !acc
+      end)
+    t;
+  List.rev !acc
+
+let complete_predicate t prefix =
+  let prefix = String.lowercase_ascii prefix in
+  let matches name =
+    let name = String.lowercase_ascii name in
+    String.length prefix <= String.length name
+    && String.sub name 0 (String.length prefix) = prefix
+  in
+  predicates t
+  |> List.filter_map (fun (p, _) ->
+         if matches (Term.to_string p) then Some p else None)
+
+type stats = {
+  facts : int;
+  removed : int;
+  distinct_subjects : int;
+  distinct_predicates : int;
+  certain_facts : int;
+  min_confidence : float;
+  max_confidence : float;
+  time_span : Interval.t option;
+}
+
+let stats t =
+  let certain = ref 0 in
+  let min_c = ref 1.0 and max_c = ref 0.0 in
+  let span = ref None in
+  iter
+    (fun _ q ->
+      if Quad.is_certain q then incr certain;
+      if q.Quad.confidence < !min_c then min_c := q.Quad.confidence;
+      if q.Quad.confidence > !max_c then max_c := q.Quad.confidence;
+      span :=
+        Some
+          (match !span with
+          | None -> q.Quad.time
+          | Some s -> Interval.hull s q.Quad.time))
+    t;
+  {
+    facts = t.live;
+    removed = total t - t.live;
+    distinct_subjects = List.length (subjects t);
+    distinct_predicates = List.length (predicates t);
+    certain_facts = !certain;
+    min_confidence = (if t.live = 0 then 0.0 else !min_c);
+    max_confidence = !max_c;
+    time_span = !span;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>facts: %d@ removed: %d@ subjects: %d@ predicates: %d@ certain: \
+     %d@ confidence: [%.3g, %.3g]@ span: %a@]"
+    s.facts s.removed s.distinct_subjects s.distinct_predicates
+    s.certain_facts s.min_confidence s.max_confidence
+    (Format.pp_print_option Interval.pp)
+    s.time_span
+
+let pp ppf t =
+  iter (fun _ q -> Format.fprintf ppf "%a@." Quad.pp q) t

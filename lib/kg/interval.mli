@@ -1,0 +1,63 @@
+(** Discrete time intervals.
+
+    TeCoRe assumes a discrete, linearly ordered, finite time domain (days,
+    years, ...). An interval [\[lo, hi\]] is inclusive on both ends with
+    [lo <= hi]; a time point [t] is the singleton [\[t, t\]]. *)
+
+type t = private { lo : int; hi : int }
+
+exception Invalid of string
+
+val make : int -> int -> t
+(** [make lo hi] builds [\[lo, hi\]].
+    @raise Invalid if [lo > hi]. *)
+
+val point : int -> t
+(** [point t] is the singleton interval [\[t, t\]]. *)
+
+val lo : t -> int
+val hi : t -> int
+
+val length : t -> int
+(** Number of time points covered: [hi - lo + 1]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic on [(lo, hi)]. *)
+
+val contains : t -> int -> bool
+(** [contains i t] is true when time point [t] lies inside [i]. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes outer inner]: every point of [inner] is in [outer]. *)
+
+val overlaps : t -> t -> bool
+(** True when the two intervals share at least one time point. *)
+
+val disjoint : t -> t -> bool
+(** Negation of {!overlaps}. *)
+
+val intersect : t -> t -> t option
+(** Largest common sub-interval, when the intervals overlap. This realises
+    the [t'' = t ∩ t'] interval computation of rule heads (rule f2 in the
+    paper). *)
+
+val hull : t -> t -> t
+(** Smallest interval covering both arguments. *)
+
+val before : t -> t -> bool
+(** Strictly earlier, with a gap (Allen's [before]). *)
+
+val shift : t -> int -> t
+(** Translate both endpoints. *)
+
+val clamp : t -> within:t -> t option
+(** Restrict to a window; [None] if the intersection is empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's notation, e.g. [\[2000,2004\]]. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses [\[lo,hi\]] or a bare time point [t]. *)

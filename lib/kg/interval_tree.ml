@@ -1,0 +1,149 @@
+type 'a t =
+  | Leaf
+  | Node of {
+      left : 'a t;
+      key : Interval.t;
+      values : 'a list;
+      right : 'a t;
+      height : int;
+      max_hi : int; (* max interval end in this subtree *)
+      min_lo : int; (* min interval start in this subtree *)
+    }
+
+let empty = Leaf
+
+let is_empty = function Leaf -> true | Node _ -> false
+
+let height = function Leaf -> 0 | Node n -> n.height
+
+let max_hi = function Leaf -> min_int | Node n -> n.max_hi
+
+let min_lo = function Leaf -> max_int | Node n -> n.min_lo
+
+let node left key values right =
+  Node
+    {
+      left;
+      key;
+      values;
+      right;
+      height = 1 + max (height left) (height right);
+      max_hi = max (Interval.hi key) (max (max_hi left) (max_hi right));
+      min_lo = min (Interval.lo key) (min (min_lo left) (min_lo right));
+    }
+
+let balance_factor = function
+  | Leaf -> 0
+  | Node n -> height n.left - height n.right
+
+let rotate_left = function
+  | Node { left; key; values; right = Node r; _ } ->
+      node (node left key values r.left) r.key r.values r.right
+  | t -> t
+
+let rotate_right = function
+  | Node { left = Node l; key; values; right; _ } ->
+      node l.left l.key l.values (node l.right key values right)
+  | t -> t
+
+let rebalance t =
+  match t with
+  | Leaf -> t
+  | Node n ->
+      let bf = balance_factor t in
+      if bf > 1 then
+        let left =
+          if balance_factor n.left < 0 then rotate_left n.left else n.left
+        in
+        rotate_right (node left n.key n.values n.right)
+      else if bf < -1 then
+        let right =
+          if balance_factor n.right > 0 then rotate_right n.right else n.right
+        in
+        rotate_left (node n.left n.key n.values right)
+      else t
+
+let rec add key v = function
+  | Leaf -> node Leaf key [ v ] Leaf
+  | Node n ->
+      let c = Interval.compare key n.key in
+      if c = 0 then node n.left n.key (v :: n.values) n.right
+      else if c < 0 then rebalance (node (add key v n.left) n.key n.values n.right)
+      else rebalance (node n.left n.key n.values (add key v n.right))
+
+let rec min_node = function
+  | Leaf -> invalid_arg "Interval_tree.min_node"
+  | Node { left = Leaf; key; values; _ } -> (key, values)
+  | Node { left; _ } -> min_node left
+
+let rec delete_key key = function
+  | Leaf -> Leaf
+  | Node n ->
+      let c = Interval.compare key n.key in
+      if c < 0 then rebalance (node (delete_key key n.left) n.key n.values n.right)
+      else if c > 0 then
+        rebalance (node n.left n.key n.values (delete_key key n.right))
+      else begin
+        match (n.left, n.right) with
+        | Leaf, r -> r
+        | l, Leaf -> l
+        | l, r ->
+            let skey, svalues = min_node r in
+            rebalance (node l skey svalues (delete_key skey r))
+      end
+
+let rec remove key p = function
+  | Leaf -> Leaf
+  | Node n ->
+      let c = Interval.compare key n.key in
+      if c < 0 then rebalance (node (remove key p n.left) n.key n.values n.right)
+      else if c > 0 then
+        rebalance (node n.left n.key n.values (remove key p n.right))
+      else begin
+        let kept = List.filter (fun v -> not (p v)) n.values in
+        match kept with
+        | [] -> delete_key n.key (node n.left n.key n.values n.right)
+        | _ -> node n.left n.key kept n.right
+      end
+
+let overlapping query t =
+  let rec loop t acc =
+    match t with
+    | Leaf -> acc
+    | Node n ->
+        (* Prune subtrees that cannot overlap the query window. *)
+        if n.max_hi < Interval.lo query || n.min_lo > Interval.hi query then acc
+        else begin
+          let acc = loop n.left acc in
+          let acc =
+            if Interval.overlaps n.key query then
+              List.fold_left (fun acc v -> (n.key, v) :: acc) acc n.values
+            else acc
+          in
+          loop n.right acc
+        end
+  in
+  loop t []
+
+let stabbing point t = overlapping (Interval.point point) t
+
+let rec iter f = function
+  | Leaf -> ()
+  | Node n ->
+      iter f n.left;
+      List.iter (fun v -> f n.key v) n.values;
+      iter f n.right
+
+let rec fold f t acc =
+  match t with
+  | Leaf -> acc
+  | Node n ->
+      let acc = fold f n.left acc in
+      let acc = List.fold_left (fun acc v -> f n.key v acc) acc n.values in
+      fold f n.right acc
+
+let cardinal t = fold (fun _ _ acc -> acc + 1) t 0
+
+let span = function
+  | Leaf -> None
+  | Node n -> Some (Interval.make n.min_lo n.max_hi)

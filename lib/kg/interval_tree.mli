@@ -1,0 +1,34 @@
+(** Interval tree: an AVL tree over intervals augmented with subtree
+    maxima, supporting O(log n + k) temporal overlap and stabbing queries.
+
+    The quad store keeps one tree per predicate so that grounding
+    constraints such as "coach(x, y, t) ∧ coach(x, z, t') ∧ overlaps(t,t')"
+    does not scan the whole relation. *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+val cardinal : 'a t -> int
+(** Number of stored values (an interval may carry several). *)
+
+val add : Interval.t -> 'a -> 'a t -> 'a t
+
+val remove : Interval.t -> ('a -> bool) -> 'a t -> 'a t
+(** [remove i p t] drops every value [v] with [p v] stored under interval
+    [i]. No-op when nothing matches. *)
+
+val overlapping : Interval.t -> 'a t -> (Interval.t * 'a) list
+(** All values whose interval shares a point with the query interval. *)
+
+val stabbing : int -> 'a t -> (Interval.t * 'a) list
+(** All values whose interval contains the time point. *)
+
+val iter : (Interval.t -> 'a -> unit) -> 'a t -> unit
+
+val fold : (Interval.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+
+val span : 'a t -> Interval.t option
+(** Hull of all stored intervals. *)

@@ -1,0 +1,48 @@
+type t = (string, string) Hashtbl.t
+
+let defaults =
+  [
+    ("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#");
+    ("rdfs", "http://www.w3.org/2000/01/rdf-schema#");
+    ("xsd", "http://www.w3.org/2001/XMLSchema#");
+    ("ex", "http://example.org/");
+  ]
+
+let create () =
+  let t = Hashtbl.create 8 in
+  List.iter (fun (p, iri) -> Hashtbl.replace t p iri) defaults;
+  t
+
+let add t ~prefix ~iri = Hashtbl.replace t prefix iri
+
+let bindings t =
+  Hashtbl.fold (fun p iri acc -> (p, iri) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let expand t name =
+  match String.index_opt name ':' with
+  | None -> name
+  | Some i -> (
+      let prefix = String.sub name 0 i in
+      let local = String.sub name (i + 1) (String.length name - i - 1) in
+      match Hashtbl.find_opt t prefix with
+      | Some iri -> iri ^ local
+      | None -> name)
+
+let shrink t iri =
+  let best = ref None in
+  Hashtbl.iter
+    (fun prefix ns ->
+      let nslen = String.length ns in
+      if
+        nslen <= String.length iri
+        && String.sub iri 0 nslen = ns
+        && (match !best with
+           | None -> true
+           | Some (_, blen) -> nslen > blen)
+      then best := Some (prefix, nslen))
+    t;
+  match !best with
+  | None -> iri
+  | Some (prefix, nslen) ->
+      prefix ^ ":" ^ String.sub iri nslen (String.length iri - nslen)

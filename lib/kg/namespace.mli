@@ -1,0 +1,23 @@
+(** Prefix management for compact IRIs (CURIEs).
+
+    The serialisation format and the CLI accept [prefix:local] names; this
+    table expands them to full IRIs and shrinks IRIs back for display. *)
+
+type t
+
+val create : unit -> t
+(** Fresh table preloaded with the common [rdf:], [rdfs:], [xsd:] and the
+    demo's [ex:] prefixes. *)
+
+val add : t -> prefix:string -> iri:string -> unit
+(** Register or overwrite a prefix binding. *)
+
+val bindings : t -> (string * string) list
+(** All (prefix, iri) pairs, sorted by prefix. *)
+
+val expand : t -> string -> string
+(** [expand t "ex:CR"] is ["http://example.org/CR"] when [ex:] is bound;
+    unbound or prefix-free names are returned unchanged. *)
+
+val shrink : t -> string -> string
+(** Longest-match inverse of {!expand}. *)

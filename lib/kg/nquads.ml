@@ -1,0 +1,192 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+(* Split a fact line into tokens: quoted strings, <iri>, [interval] and
+   bare words. *)
+let tokenize line =
+  let n = String.length line in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let error msg = Error msg in
+  let rec scan () =
+    while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do
+      incr i
+    done;
+    if !i >= n then Ok (List.rev !tokens)
+    else
+      match line.[!i] with
+      | '#' -> Ok (List.rev !tokens)
+      | '"' -> (
+          let start = !i in
+          incr i;
+          let rec find_close () =
+            if !i >= n then None
+            else if line.[!i] = '\\' then begin
+              i := !i + 2;
+              find_close ()
+            end
+            else if line.[!i] = '"' then Some !i
+            else begin
+              incr i;
+              find_close ()
+            end
+          in
+          match find_close () with
+          | None -> error "unterminated string literal"
+          | Some close ->
+              i := close + 1;
+              tokens := String.sub line start (close - start + 1) :: !tokens;
+              scan ())
+      | '<' -> (
+          match String.index_from_opt line !i '>' with
+          | None -> error "unterminated <iri>"
+          | Some close ->
+              tokens := String.sub line !i (close - !i + 1) :: !tokens;
+              i := close + 1;
+              scan ())
+      | '[' -> (
+          match String.index_from_opt line !i ']' with
+          | None -> error "unterminated [interval]"
+          | Some close ->
+              tokens := String.sub line !i (close - !i + 1) :: !tokens;
+              i := close + 1;
+              scan ())
+      | _ ->
+          let start = !i in
+          while
+            !i < n && line.[!i] <> ' ' && line.[!i] <> '\t' && line.[!i] <> '#'
+          do
+            incr i
+          done;
+          tokens := String.sub line start (!i - start) :: !tokens;
+          scan ()
+  in
+  scan ()
+
+let parse_term ns token =
+  let n = String.length token in
+  if n >= 2 && token.[0] = '<' && token.[n - 1] = '>' then
+    Term.iri (String.sub token 1 (n - 2))
+  else if n >= 2 && token.[0] = '"' && token.[n - 1] = '"' then
+    Term.of_string token
+  else
+    match Term.of_string token with
+    | Term.Iri name -> Term.iri (Namespace.expand ns name)
+    | t -> t
+
+let strip_dot tokens =
+  match List.rev tokens with "." :: rest -> List.rev rest | _ -> tokens
+
+let parse_quad ns line =
+  match tokenize line with
+  | Error msg -> Error msg
+  | Ok tokens -> (
+      match strip_dot tokens with
+      | [ s; p; o; time ] | [ s; p; o; time; _ ] as fields -> (
+          let confidence =
+            match fields with
+            | [ _; _; _; _; c ] -> float_of_string_opt c
+            | _ -> Some 1.0
+          in
+          match (Interval.of_string time, confidence) with
+          | Error e, _ -> Error e
+          | _, None -> Error "confidence is not a number"
+          | Ok interval, Some confidence -> (
+              try
+                Ok
+                  (Quad.make ~confidence ~subject:(parse_term ns s)
+                     ~predicate:(parse_term ns p) ~object_:(parse_term ns o)
+                     interval)
+              with Quad.Invalid msg -> Error msg))
+      | [] -> Error "empty fact line"
+      | tokens ->
+          Error
+            (Printf.sprintf "expected 4 or 5 fields, got %d"
+               (List.length tokens)))
+
+let is_blank line =
+  String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line
+
+let parse_prefix_directive line =
+  (* "@prefix ex: <http://...> ." *)
+  let parts =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "" && s <> ".")
+  in
+  match parts with
+  | [ "@prefix"; prefixed; iri ] ->
+      let n = String.length prefixed in
+      let m = String.length iri in
+      if n >= 1 && prefixed.[n - 1] = ':' && m >= 2 && iri.[0] = '<'
+         && iri.[m - 1] = '>'
+      then
+        Some (String.sub prefixed 0 (n - 1), String.sub iri 1 (m - 2))
+      else None
+  | _ -> None
+
+let parse_string ?namespace text =
+  let ns = match namespace with Some ns -> ns | None -> Namespace.create () in
+  let graph = Graph.create () in
+  let lines = String.split_on_char '\n' text in
+  let rec loop lineno = function
+    | [] -> Ok graph
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if is_blank line || (trimmed <> "" && trimmed.[0] = '#') then
+          loop (lineno + 1) rest
+        else if String.length trimmed >= 7 && String.sub trimmed 0 7 = "@prefix"
+        then
+          match parse_prefix_directive trimmed with
+          | Some (prefix, iri) ->
+              Namespace.add ns ~prefix ~iri;
+              loop (lineno + 1) rest
+          | None -> Error { line = lineno; message = "malformed @prefix" }
+        else
+          match parse_quad ns trimmed with
+          | Ok q ->
+              ignore (Graph.add graph q);
+              loop (lineno + 1) rest
+          | Error message -> Error { line = lineno; message }
+  in
+  loop 1 lines
+
+let parse_file ?namespace path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string ?namespace text
+
+let print_term ns ppf t =
+  match t with
+  | Term.Iri name -> Format.pp_print_string ppf (Namespace.shrink ns name)
+  | t -> Term.pp ppf t
+
+let print ?namespace ppf graph =
+  let ns = match namespace with Some ns -> ns | None -> Namespace.create () in
+  List.iter
+    (fun (prefix, iri) ->
+      Format.fprintf ppf "@@prefix %s: <%s> .@." prefix iri)
+    (Namespace.bindings ns);
+  Graph.iter
+    (fun _ q ->
+      Format.fprintf ppf "%a %a %a %a"
+        (print_term ns) q.Quad.subject
+        (print_term ns) q.Quad.predicate
+        (print_term ns) q.Quad.object_
+        Interval.pp q.Quad.time;
+      if q.Quad.confidence < 1.0 then
+        Format.fprintf ppf " %g" q.Quad.confidence;
+      Format.fprintf ppf " .@.")
+    graph
+
+let to_string ?namespace graph =
+  Format.asprintf "%a" (fun ppf g -> print ?namespace ppf g) graph
+
+let save_file ?namespace path graph =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  print ?namespace ppf graph;
+  Format.pp_print_flush ppf ();
+  close_out oc

@@ -1,0 +1,36 @@
+(** Text serialisation of uncertain temporal knowledge graphs.
+
+    The format is an N-Quads-style line format extended with a validity
+    interval and an optional confidence, matching the paper's notation:
+
+    {v
+    @prefix ex: <http://example.org/> .
+    # subject predicate object interval confidence .
+    ex:CR ex:coach ex:Chelsea [2000,2004] 0.9 .
+    ex:CR ex:birthDate 1951 [1951,2017] .
+    v}
+
+    Terms are CURIEs (expanded through the prefix table), [<full-iris>],
+    double-quoted strings, or numeric literals. Missing confidence means
+    1.0. Lines starting with [#] and blank lines are ignored. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : ?namespace:Namespace.t -> string -> (Graph.t, error) result
+(** Parse a whole document. The prefix table collects [@prefix] directives
+    encountered in the document (it may be pre-populated). *)
+
+val parse_file : ?namespace:Namespace.t -> string -> (Graph.t, error) result
+
+val parse_quad : Namespace.t -> string -> (Quad.t, string) result
+(** Parse a single fact line (no directives). *)
+
+val print : ?namespace:Namespace.t -> Format.formatter -> Graph.t -> unit
+(** Serialise; IRIs are shrunk through the prefix table and the table's
+    bindings are emitted as [@prefix] directives. *)
+
+val to_string : ?namespace:Namespace.t -> Graph.t -> string
+
+val save_file : ?namespace:Namespace.t -> string -> Graph.t -> unit

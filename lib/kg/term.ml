@@ -1,0 +1,60 @@
+type t =
+  | Iri of string
+  | Str of string
+  | Int of int
+  | Flt of float
+
+let iri s = Iri s
+let str s = Str s
+let int n = Int n
+let float f = Flt f
+
+let equal a b =
+  match (a, b) with
+  | Iri x, Iri y | Str x, Str y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Flt x, Flt y -> Float.equal x y
+  | (Iri _ | Str _ | Int _ | Flt _), _ -> false
+
+let tag = function Iri _ -> 0 | Str _ -> 1 | Int _ -> 2 | Flt _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Iri x, Iri y | Str x, Str y -> String.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Flt x, Flt y -> Float.compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let hash = function
+  | Iri s -> Hashtbl.hash (0, s)
+  | Str s -> Hashtbl.hash (1, s)
+  | Int n -> Hashtbl.hash (2, n)
+  | Flt f -> Hashtbl.hash (3, f)
+
+let is_literal = function Iri _ -> false | Str _ | Int _ | Flt _ -> true
+
+let as_int = function
+  | Int n -> Some n
+  | Str s | Iri s -> int_of_string_opt s
+  | Flt f -> if Float.is_integer f then Some (int_of_float f) else None
+
+let pp ppf = function
+  | Iri s -> Format.pp_print_string ppf s
+  | Str s -> Format.fprintf ppf "%S" s
+  | Int n -> Format.pp_print_int ppf n
+  | Flt f -> Format.fprintf ppf "%g" f
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
+    Str (Scanf.unescaped (String.sub s 1 (n - 2)))
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Flt f
+        | None -> Iri s)

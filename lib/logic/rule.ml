@@ -1,0 +1,90 @@
+type head =
+  | Infer of Atom.t
+  | Require of Cond.t
+  | Bottom
+
+type t = {
+  name : string;
+  weight : float option;
+  body : Atom.t list;
+  conditions : Cond.t list;
+  head : head;
+}
+
+exception Ill_formed of string
+
+let is_hard r = Option.is_none r.weight
+
+let is_inference r = match r.head with Infer _ -> true | _ -> false
+
+let dedup l =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.replace seen v ();
+        true
+      end)
+    l
+
+let body_vars r = dedup (List.concat_map Atom.vars r.body)
+
+let body_tvars r = dedup (List.concat_map Atom.tvars r.body)
+
+let check_safety r =
+  let bvars = body_vars r in
+  let btvars = body_tvars r in
+  let head_vars, head_tvars =
+    match r.head with
+    | Infer a -> (Atom.vars a, Atom.tvars a)
+    | Require c -> (Cond.vars c, Cond.tvars c)
+    | Bottom -> ([], [])
+  in
+  let cond_vars = List.concat_map Cond.vars r.conditions in
+  let cond_tvars = List.concat_map Cond.tvars r.conditions in
+  let unbound =
+    List.filter (fun v -> not (List.mem v bvars)) (head_vars @ cond_vars)
+  in
+  let unbound_t =
+    List.filter (fun v -> not (List.mem v btvars)) (head_tvars @ cond_tvars)
+  in
+  match (dedup unbound, dedup unbound_t) with
+  | [], [] -> Ok ()
+  | vs, ts ->
+      Error
+        (Printf.sprintf "unsafe rule %s: unbound variable(s) %s" r.name
+           (String.concat ", "
+              (List.map (fun v -> "?" ^ v) (vs @ ts))))
+
+let make ?weight ?(conditions = []) ~name ~body head =
+  if body = [] then raise (Ill_formed (name ^ ": empty body"));
+  (match weight with
+  | Some w when not (w > 0.0) ->
+      raise (Ill_formed (Printf.sprintf "%s: weight %g not positive" name w))
+  | _ -> ());
+  let r = { name; weight; body; conditions; head } in
+  match check_safety r with
+  | Ok () -> r
+  | Error msg -> raise (Ill_formed msg)
+
+let pp_head ppf = function
+  | Infer a -> Atom.pp ppf a
+  | Require c -> Cond.pp ppf c
+  | Bottom -> Format.pp_print_string ppf "false"
+
+let pp ppf r =
+  let pp_sep ppf () = Format.pp_print_string ppf " ^ " in
+  Format.fprintf ppf "%s: %a" r.name
+    (Format.pp_print_list ~pp_sep Atom.pp)
+    r.body;
+  if r.conditions <> [] then
+    Format.fprintf ppf " ^ %a"
+      (Format.pp_print_list ~pp_sep Cond.pp)
+      r.conditions;
+  Format.fprintf ppf " -> %a" pp_head r.head;
+  match r.weight with
+  | None -> Format.fprintf ppf "  [hard]"
+  | Some w -> Format.fprintf ppf "  w=%g" w
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,52 @@
+type stats = {
+  iterations : int;
+  active_clauses : int;
+  total_clauses : int;
+}
+
+let default_solver network ~init =
+  fst (Maxwalksat.solve ~init network)
+
+let solve ?(solver = default_solver) ~init (network : Network.t) =
+  let total = Array.length network.clauses in
+  let active = Array.make total false in
+  (* Seed with the unit clauses: evidence and priors. *)
+  Array.iteri
+    (fun ci (c : Network.clause) ->
+      if Array.length c.literals = 1 then active.(ci) <- true)
+    network.clauses;
+  let build_active () =
+    let clauses = ref [] in
+    for ci = total - 1 downto 0 do
+      if active.(ci) then clauses := network.clauses.(ci) :: !clauses
+    done;
+    { network with Network.clauses = Array.of_list !clauses }
+  in
+  let rec iterate assignment iteration =
+    (* Separation: activate every clause the solution violates. *)
+    let added = ref 0 in
+    Array.iteri
+      (fun ci c ->
+        if (not active.(ci)) && not (Network.clause_satisfied c assignment)
+        then begin
+          active.(ci) <- true;
+          incr added
+        end)
+      network.clauses;
+    if !added = 0 then (assignment, iteration)
+    else begin
+      let sub = build_active () in
+      (* Restart every inner solve from the caller's init: re-seeding
+         from the previous round's solution lets an early,
+         under-constrained round (priors only) collapse derived atoms
+         and strand later rounds in a poor basin. *)
+      let assignment = solver sub ~init in
+      iterate assignment (iteration + 1)
+    end
+  in
+  let first = solver (build_active ()) ~init in
+  let assignment, iterations = iterate first 1 in
+  let active_clauses =
+    Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 active
+  in
+  (assignment, { iterations; active_clauses; total_clauses = total })

@@ -1,0 +1,21 @@
+(** Cutting-plane inference (CPI).
+
+    RockIt-style MAP inference rarely needs the full ground network: most
+    ground clauses are already satisfied by the evidence. CPI starts from
+    the unit clauses only (evidence and priors), solves that relaxation,
+    then adds the clauses the current solution violates and re-solves,
+    iterating until no clause of the full network is violated. On sparse
+    conflict structure the solver only ever sees a small active set. *)
+
+type stats = {
+  iterations : int;
+  active_clauses : int;     (** clauses in the final active set *)
+  total_clauses : int;
+}
+
+val solve :
+  ?solver:(Network.t -> init:bool array -> bool array) ->
+  init:bool array ->
+  Network.t ->
+  bool array * stats
+(** The default [solver] is MaxWalkSAT seeded from [init]. *)

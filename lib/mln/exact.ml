@@ -1,0 +1,180 @@
+type result = {
+  assignment : bool array;
+  soft_cost : float;
+  nodes : int;
+  optimal : bool;
+}
+
+type undo = {
+  mutable trail : int list; (* vars assigned since the choice point *)
+}
+
+let solve ?(max_nodes = 2_000_000) (network : Network.t) =
+  let n = network.num_atoms in
+  let clauses = network.clauses in
+  let num_clauses = Array.length clauses in
+  (* -1 unassigned, 0 false, 1 true *)
+  let value = Array.make n (-1) in
+  let occurrences = Array.make n [] in
+  Array.iteri
+    (fun ci (c : Network.clause) ->
+      Array.iter
+        (fun (l : Network.literal) ->
+          occurrences.(l.atom) <- ci :: occurrences.(l.atom))
+        c.literals)
+    clauses;
+  (* Variable order: descending occurrence count (most constrained first). *)
+  let order =
+    let vars = Array.init n (fun v -> v) in
+    Array.sort
+      (fun a b ->
+        Int.compare (List.length occurrences.(b)) (List.length occurrences.(a)))
+      vars;
+    vars
+  in
+  let lit_state (l : Network.literal) =
+    match value.(l.atom) with
+    | -1 -> `Unassigned
+    | v -> if (v = 1) = l.positive then `True else `False
+  in
+  let clause_state ci =
+    let c = clauses.(ci) in
+    let unassigned = ref 0 in
+    let satisfied = ref false in
+    Array.iter
+      (fun l ->
+        match lit_state l with
+        | `True -> satisfied := true
+        | `False -> ()
+        | `Unassigned -> incr unassigned)
+      c.literals;
+    if !satisfied then `Satisfied
+    else if !unassigned = 0 then `Violated
+    else `Open !unassigned
+  in
+  let incumbent = ref None in
+  let incumbent_cost = ref infinity in
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  (* Current violated soft weight on the path. *)
+  let violated_soft = ref 0.0 in
+  let assign_var trail v b =
+    value.(v) <- (if b then 1 else 0);
+    trail.trail <- v :: trail.trail
+  in
+  let unwind trail =
+    List.iter (fun v -> value.(v) <- -1) trail.trail;
+    trail.trail <- []
+  in
+  (* Propagate hard unit clauses; returns false on hard conflict. Also
+     accumulates soft weight of clauses that became fully violated. *)
+  let rec propagate trail touched =
+    match touched with
+    | [] -> true
+    | v :: rest ->
+        let conflict = ref false in
+        let new_touched = ref rest in
+        List.iter
+          (fun ci ->
+            let c = clauses.(ci) in
+            if not !conflict then
+              match clause_state ci with
+              | `Satisfied -> ()
+              | `Violated -> if c.weight = None then conflict := true
+              | `Open 1 when c.weight = None ->
+                  (* Hard unit: force the remaining literal. *)
+                  Array.iter
+                    (fun (l : Network.literal) ->
+                      if lit_state l = `Unassigned then begin
+                        assign_var trail l.atom l.positive;
+                        new_touched := l.atom :: !new_touched
+                      end)
+                    c.literals
+              | `Open _ -> ())
+          occurrences.(v);
+        (not !conflict) && propagate trail !new_touched
+  in
+  (* Soft cost is tracked incrementally: a soft clause is charged the
+     first time it becomes fully violated (stamped so it is charged only
+     once) and uncharged on backtrack. *)
+  let charged = Array.make num_clauses false in
+  let charge_stack = ref [] in
+  let charge_soft trail_vars =
+    List.iter
+      (fun v ->
+        List.iter
+          (fun ci ->
+            let c = clauses.(ci) in
+            match c.weight with
+            | Some w when (not charged.(ci)) && clause_state ci = `Violated ->
+                charged.(ci) <- true;
+                charge_stack := (ci, w) :: !charge_stack;
+                violated_soft := !violated_soft +. w
+            | _ -> ())
+          occurrences.(v))
+      trail_vars
+  in
+  let uncharge until =
+    let rec loop () =
+      if !charge_stack != until then
+        match !charge_stack with
+        | [] -> ()
+        | (ci, w) :: rest ->
+            charged.(ci) <- false;
+            violated_soft := !violated_soft -. w;
+            charge_stack := rest;
+            loop ()
+    in
+    loop ()
+  in
+  let record_solution () =
+    if !violated_soft < !incumbent_cost -. 1e-12 then begin
+      incumbent_cost := !violated_soft;
+      incumbent :=
+        Some (Array.map (fun v -> v = 1) value)
+    end
+  in
+  let rec search depth =
+    if !nodes >= max_nodes then exhausted := true
+    else begin
+      incr nodes;
+      if !violated_soft >= !incumbent_cost -. 1e-12 then () (* prune *)
+      else begin
+        (* Next unassigned variable in static order. *)
+        let rec next i =
+          if i >= n then None
+          else if value.(order.(i)) = -1 then Some i
+          else next (i + 1)
+        in
+        match next depth with
+        | None -> record_solution ()
+        | Some i ->
+            let v = order.(i) in
+            let try_value b =
+              let trail = { trail = [] } in
+              let saved_charges = !charge_stack in
+              assign_var trail v b;
+              if propagate trail [ v ] then begin
+                charge_soft trail.trail;
+                if !violated_soft < !incumbent_cost -. 1e-12 then
+                  search (i + 1)
+              end;
+              uncharge saved_charges;
+              unwind trail
+            in
+            try_value true;
+            try_value false
+      end
+    end
+  in
+  search 0;
+  match !incumbent with
+  | None -> None
+  | Some assignment ->
+      Some
+        {
+          assignment;
+          soft_cost = !incumbent_cost;
+          nodes = !nodes;
+          optimal = not !exhausted;
+        }

@@ -1,0 +1,18 @@
+(** Exact weighted partial MaxSAT by depth-first branch & bound.
+
+    Complete MAP inference for moderate ground networks: assigns atoms in
+    a static order (most-constrained first), propagates hard unit clauses,
+    and prunes branches whose already-violated soft weight cannot beat the
+    incumbent. Complexity is exponential; intended for the expressive,
+    small-instance regime where the paper uses nRockIt. *)
+
+type result = {
+  assignment : bool array;
+  soft_cost : float;       (** violated soft weight in the optimum *)
+  nodes : int;
+  optimal : bool;          (** false when the node budget was exhausted *)
+}
+
+val solve : ?max_nodes:int -> Network.t -> result option
+(** [None] when the hard clauses are unsatisfiable. Default node budget
+    is 2_000_000. *)

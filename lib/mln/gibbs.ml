@@ -1,0 +1,68 @@
+module Prng = Prelude.Prng
+
+type result = {
+  marginals : float array;
+  samples : int;
+  burn_in : int;
+}
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
+    ?(hard_weight = 2.0 *. Kg.Quad.max_weight) ?init (network : Network.t) =
+  let n = network.num_atoms in
+  let state =
+    match init with Some a -> Array.copy a | None -> Array.make n false
+  in
+  let occurrences = Array.make n [] in
+  Array.iteri
+    (fun ci (c : Network.clause) ->
+      Array.iter
+        (fun (l : Network.literal) ->
+          occurrences.(l.atom) <- ci :: occurrences.(l.atom))
+        c.literals)
+    network.clauses;
+  let weight (c : Network.clause) =
+    match c.weight with Some w -> w | None -> hard_weight
+  in
+  (* Energy difference of clauses containing [v] between x_v=1 and
+     x_v=0, with the rest of the state fixed. *)
+  let delta v =
+    List.fold_left
+      (fun acc ci ->
+        let c = network.clauses.(ci) in
+        let satisfied_with value =
+          Array.exists
+            (fun (l : Network.literal) ->
+              if l.atom = v then l.positive = value
+              else state.(l.atom) = l.positive)
+            c.literals
+        in
+        let sat1 = satisfied_with true and sat0 = satisfied_with false in
+        if sat1 = sat0 then acc
+        else if sat1 then acc +. weight c
+        else acc -. weight c)
+      0.0 occurrences.(v)
+  in
+  let rng = Prng.create seed in
+  let sweep () =
+    for v = 0 to n - 1 do
+      state.(v) <- Prng.bernoulli rng (sigmoid (delta v))
+    done
+  in
+  for _ = 1 to burn_in do
+    sweep ()
+  done;
+  let counts = Array.make n 0 in
+  for _ = 1 to samples do
+    sweep ();
+    for v = 0 to n - 1 do
+      if state.(v) then counts.(v) <- counts.(v) + 1
+    done
+  done;
+  {
+    marginals =
+      Array.map (fun c -> float_of_int c /. float_of_int samples) counts;
+    samples;
+    burn_in;
+  }

@@ -1,0 +1,32 @@
+(** Marginal inference by Gibbs sampling.
+
+    TeCoRe focuses on MAP inference, but the demo's discussion
+    contrasts it with marginal inference; this sampler provides the
+    latter over the same ground network: the probability of each ground
+    atom being true under the MLN distribution
+
+    [P(X = x) = Z^-1 exp (Σ_i w_i n_i(x))].
+
+    Hard clauses are handled as large-but-finite weights so the chain
+    stays ergodic; the returned marginals therefore concentrate on (not
+    strictly restrict to) the consistent worlds. Marginals give each
+    fact an individual posterior confidence — a per-fact complement to
+    the single most-probable world computed by MAP. *)
+
+type result = {
+  marginals : float array;  (** P(atom = true), one entry per atom id *)
+  samples : int;
+  burn_in : int;
+}
+
+val run :
+  ?seed:int ->
+  ?burn_in:int ->
+  ?samples:int ->
+  ?hard_weight:float ->
+  ?init:bool array ->
+  Network.t ->
+  result
+(** Defaults: [burn_in = 1_000] sweeps, [samples = 5_000] sweeps,
+    [hard_weight = 2 * Kg.Quad.max_weight], start at [init] (all-false
+    when omitted). One sweep resamples every atom once in order. *)

@@ -1,0 +1,64 @@
+type encoding = {
+  lp : Ilp.Lp.t;
+  binary : int list;
+  num_atom_vars : int;
+}
+
+(* A clause Σ lit >= k translates to a row over atom variables: positive
+   literal x contributes +x, negative contributes -x with 1 added to the
+   constant side. *)
+let clause_row (c : Network.clause) =
+  let coeffs, negs =
+    Array.fold_left
+      (fun (coeffs, negs) (l : Network.literal) ->
+        if l.positive then ((l.atom, 1.0) :: coeffs, negs)
+        else ((l.atom, -1.0) :: coeffs, negs + 1))
+      ([], 0) c.literals
+  in
+  (coeffs, negs)
+
+let encode (network : Network.t) =
+  let n = network.num_atoms in
+  let num_soft =
+    Array.fold_left
+      (fun acc (c : Network.clause) ->
+        if c.weight = None then acc else acc + 1)
+      0 network.clauses
+  in
+  let num_vars = n + num_soft in
+  let objective = Array.make num_vars 0.0 in
+  let constraints = ref [] in
+  let next_aux = ref n in
+  Array.iter
+    (fun (c : Network.clause) ->
+      let coeffs, negs = clause_row c in
+      match c.weight with
+      | None ->
+          (* Hard: Σ lit >= 1, i.e. Σ coeffs >= 1 - negs. *)
+          constraints :=
+            Ilp.Lp.constr coeffs Ilp.Lp.Ge (1.0 -. float_of_int negs)
+            :: !constraints
+      | Some w ->
+          (* Soft: z <= Σ lit (z - Σ coeffs <= negs) and z <= 1. With the
+             atoms integral, Σ lit is an integer, so z is integral at the
+             optimum without being branched on. *)
+          let z = !next_aux in
+          incr next_aux;
+          objective.(z) <- w;
+          constraints :=
+            Ilp.Lp.constr ((z, 1.0) :: List.map (fun (v, a) -> (v, -.a)) coeffs)
+              Ilp.Lp.Le (float_of_int negs)
+            :: Ilp.Lp.constr [ (z, 1.0) ] Ilp.Lp.Le 1.0
+            :: !constraints)
+    network.clauses;
+  let lp = Ilp.Lp.make ~num_vars ~objective !constraints in
+  { lp; binary = List.init n (fun i -> i); num_atom_vars = n }
+
+let decode enc x =
+  Array.init enc.num_atom_vars (fun i -> x.(i) > 0.5)
+
+let solve ?max_nodes network =
+  let enc = encode network in
+  match Ilp.Milp.solve ?max_nodes ~binary:enc.binary enc.lp with
+  | None -> None
+  | Some { x; optimal; _ } -> Some (decode enc x, optimal)

@@ -1,0 +1,116 @@
+module Store = Grounder.Atom_store
+
+type solver =
+  | Walk
+  | Exact_bb
+  | Ilp_exact
+
+type options = {
+  solver : solver;
+  use_cpi : bool;
+  network_config : Network.config;
+  seed : int;
+  max_flips : int;
+  restarts : int;
+}
+
+let default_options =
+  {
+    solver = Walk;
+    use_cpi = true;
+    network_config = Network.default_config;
+    seed = 7;
+    max_flips = 100_000;
+    restarts = 3;
+  }
+
+type stats = {
+  atoms : int;
+  evidence_atoms : int;
+  hidden_atoms : int;
+  clauses : int;
+  hard_clauses : int;
+  closure_rounds : int;
+  ground_ms : float;
+  solve_ms : float;
+  cpi : Cpi.stats option;
+  hard_violations : int;
+  objective : float;
+}
+
+type outcome = {
+  assignment : bool array;
+  store : Grounder.Atom_store.t;
+  instances : Grounder.Ground.Instance.t list;
+  network : Network.t;
+  stats : stats;
+}
+
+let base_solver options network ~init =
+  match options.solver with
+  | Walk ->
+      fst
+        (Maxwalksat.solve ~seed:options.seed ~max_flips:options.max_flips
+           ~restarts:options.restarts ~init network)
+  | Exact_bb -> (
+      match Exact.solve network with
+      | Some { assignment; _ } -> assignment
+      | None -> init (* hard clauses unsatisfiable: report via stats *))
+  | Ilp_exact -> (
+      match Ilp_encoding.solve network with
+      | Some (assignment, _) -> assignment
+      | None -> init)
+
+let run_store ?(options = default_options) store rules =
+  let (ground_result : Grounder.Ground.result), ground_ms =
+    Prelude.Timing.time (fun () -> Grounder.Ground.run store rules)
+  in
+  let network =
+    Network.build ~config:options.network_config store
+      ground_result.Grounder.Ground.instances
+  in
+  let init = Network.expanded_assignment network in
+  let solve () =
+    if options.use_cpi then
+      let assignment, cpi_stats =
+        Cpi.solve ~solver:(base_solver options) ~init network
+      in
+      (assignment, Some cpi_stats)
+    else (base_solver options network ~init, None)
+  in
+  let (assignment, cpi), solve_ms = Prelude.Timing.time solve in
+  let evidence_atoms = ref 0 in
+  Store.iter
+    (fun _ _ origin ->
+      match origin with
+      | Store.Evidence _ -> incr evidence_atoms
+      | Store.Hidden -> ())
+    store;
+  let hard_clauses =
+    Array.fold_left
+      (fun acc (c : Network.clause) -> if c.weight = None then acc + 1 else acc)
+      0 network.Network.clauses
+  in
+  {
+    assignment;
+    store;
+    instances = ground_result.Grounder.Ground.instances;
+    network;
+    stats =
+      {
+        atoms = Store.size store;
+        evidence_atoms = !evidence_atoms;
+        hidden_atoms = Store.size store - !evidence_atoms;
+        clauses = Array.length network.Network.clauses;
+        hard_clauses;
+        closure_rounds = ground_result.Grounder.Ground.rounds;
+        ground_ms;
+        solve_ms;
+        cpi;
+        hard_violations = Network.hard_violations network assignment;
+        objective = Network.score network assignment;
+      };
+  }
+
+let run ?options graph rules =
+  run_store ?options (Store.of_graph graph) rules

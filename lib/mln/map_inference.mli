@@ -1,0 +1,53 @@
+(** End-to-end MAP inference over a UTKG with the MLN engine: the
+    [map(θ(G), F ∪ C)] computation of the paper on the nRockIt path.
+
+    Pipeline: θ-translate the graph into an atom store, saturate and
+    ground the rules relationally, compile the ground network, solve
+    weighted partial MaxSAT with the configured backend, and return the
+    MAP state together with the artefacts needed to interpret it
+    (removed evidence, derived facts). *)
+
+type solver =
+  | Walk           (** MaxWalkSAT local search (scalable, approximate) *)
+  | Exact_bb       (** branch & bound MaxSAT (complete, small instances) *)
+  | Ilp_exact      (** ILP reduction solved by simplex + branch & bound *)
+
+type options = {
+  solver : solver;
+  use_cpi : bool;               (** wrap the solver in cutting-plane inference *)
+  network_config : Network.config;
+  seed : int;
+  max_flips : int;
+  restarts : int;
+}
+
+val default_options : options
+(** [Walk] with CPI on, default network config, seed 7. *)
+
+type stats = {
+  atoms : int;
+  evidence_atoms : int;
+  hidden_atoms : int;
+  clauses : int;
+  hard_clauses : int;
+  closure_rounds : int;
+  ground_ms : float;
+  solve_ms : float;
+  cpi : Cpi.stats option;
+  hard_violations : int;        (** 0 unless the hard part is unsatisfiable *)
+  objective : float;            (** satisfied soft weight of the MAP state *)
+}
+
+type outcome = {
+  assignment : bool array;      (** MAP truth value per atom id *)
+  store : Grounder.Atom_store.t;
+  instances : Grounder.Ground.Instance.t list;
+  network : Network.t;
+  stats : stats;
+}
+
+val run : ?options:options -> Kg.Graph.t -> Logic.Rule.t list -> outcome
+
+val run_store :
+  ?options:options -> Grounder.Atom_store.t -> Logic.Rule.t list -> outcome
+(** Same, over a pre-built atom store (lets callers inject extra atoms). *)

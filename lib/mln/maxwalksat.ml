@@ -1,0 +1,260 @@
+module Prng = Prelude.Prng
+
+type stats = {
+  flips : int;
+  restarts_used : int;
+  hard_violated : int;
+  soft_cost : float;
+}
+
+(* One dense set of clause indices with O(1) insert/remove. *)
+type clause_set = {
+  items : int array;
+  pos : int array; (* clause -> position or -1 *)
+  mutable len : int;
+}
+
+let set_create n =
+  { items = Array.make (max 1 n) 0; pos = Array.make (max 1 n) (-1); len = 0 }
+
+let set_add s ci =
+  if s.pos.(ci) = -1 then begin
+    s.items.(s.len) <- ci;
+    s.pos.(ci) <- s.len;
+    s.len <- s.len + 1
+  end
+
+let set_remove s ci =
+  let p = s.pos.(ci) in
+  if p <> -1 then begin
+    let last = s.len - 1 in
+    let moved = s.items.(last) in
+    s.items.(p) <- moved;
+    s.pos.(moved) <- p;
+    s.len <- last;
+    s.pos.(ci) <- -1
+  end
+
+(* Mutable solver state: per-clause count of true literals, violated hard
+   and soft clauses tracked separately (hard violations are repaired with
+   priority), and the running (hard, soft) cost. *)
+type state = {
+  network : Network.t;
+  assignment : bool array;
+  true_counts : int array;
+  occurrences : int list array;
+  unsat_hard : clause_set;
+  unsat_soft : clause_set;
+  mutable soft_cost : float;
+}
+
+let clause_weight (c : Network.clause) =
+  match c.weight with None -> `Hard | Some w -> `Soft w
+
+let mark_unsat st ci =
+  match clause_weight st.network.clauses.(ci) with
+  | `Hard -> set_add st.unsat_hard ci
+  | `Soft w ->
+      if st.unsat_soft.pos.(ci) = -1 then st.soft_cost <- st.soft_cost +. w;
+      set_add st.unsat_soft ci
+
+let mark_sat st ci =
+  match clause_weight st.network.clauses.(ci) with
+  | `Hard -> set_remove st.unsat_hard ci
+  | `Soft w ->
+      if st.unsat_soft.pos.(ci) <> -1 then st.soft_cost <- st.soft_cost -. w;
+      set_remove st.unsat_soft ci
+
+let literal_true assignment (l : Network.literal) =
+  assignment.(l.atom) = l.positive
+
+let init_state network assignment =
+  let num_clauses = Array.length network.Network.clauses in
+  let occurrences = Array.make network.Network.num_atoms [] in
+  Array.iteri
+    (fun ci (c : Network.clause) ->
+      Array.iter
+        (fun (l : Network.literal) ->
+          occurrences.(l.atom) <- ci :: occurrences.(l.atom))
+        c.literals)
+    network.Network.clauses;
+  let st =
+    {
+      network;
+      assignment = Array.copy assignment;
+      true_counts = Array.make num_clauses 0;
+      occurrences;
+      unsat_hard = set_create num_clauses;
+      unsat_soft = set_create num_clauses;
+      soft_cost = 0.0;
+    }
+  in
+  Array.iteri
+    (fun ci (c : Network.clause) ->
+      let count =
+        Array.fold_left
+          (fun acc l -> if literal_true st.assignment l then acc + 1 else acc)
+          0 c.literals
+      in
+      st.true_counts.(ci) <- count;
+      if count = 0 then mark_unsat st ci)
+    network.Network.clauses;
+  st
+
+let flip st v =
+  let old_value = st.assignment.(v) in
+  st.assignment.(v) <- not old_value;
+  List.iter
+    (fun ci ->
+      let c = st.network.Network.clauses.(ci) in
+      Array.iter
+        (fun (l : Network.literal) ->
+          if l.atom = v then
+            if l.positive = old_value then begin
+              st.true_counts.(ci) <- st.true_counts.(ci) - 1;
+              if st.true_counts.(ci) = 0 then mark_unsat st ci
+            end
+            else begin
+              st.true_counts.(ci) <- st.true_counts.(ci) + 1;
+              if st.true_counts.(ci) = 1 then mark_sat st ci
+            end)
+        c.literals)
+    st.occurrences.(v)
+
+(* Cost change (hard, soft) of flipping [v], by break/make counting. *)
+let delta st v =
+  let dhard = ref 0 and dsoft = ref 0.0 in
+  List.iter
+    (fun ci ->
+      let c = st.network.Network.clauses.(ci) in
+      let sign =
+        if st.true_counts.(ci) = 1 then begin
+          (* Breaks iff the single true literal is carried by [v]. *)
+          if
+            Array.exists
+              (fun (l : Network.literal) ->
+                l.atom = v && literal_true st.assignment l)
+              c.literals
+          then 1
+          else 0
+        end
+        else if st.true_counts.(ci) = 0 then
+          (* Makes iff [v] carries a literal that becomes true. *)
+          if
+            Array.exists
+              (fun (l : Network.literal) ->
+                l.atom = v && not (literal_true st.assignment l))
+              c.literals
+          then -1
+          else 0
+        else 0
+      in
+      if sign <> 0 then
+        match clause_weight c with
+        | `Hard -> dhard := !dhard + sign
+        | `Soft w -> dsoft := !dsoft +. (w *. float_of_int sign))
+    st.occurrences.(v);
+  (!dhard, !dsoft)
+
+let better (h1, s1) (h2, s2) =
+  h1 < h2 || (h1 = h2 && s1 < s2 -. 1e-12)
+
+let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
+    ?(stall = 20_000) ?init network =
+  let rng = Prng.create seed in
+  let base =
+    match init with
+    | Some a -> Array.copy a
+    | None -> Array.make network.Network.num_atoms false
+  in
+  let best = ref (Array.copy base) in
+  let best_cost = ref (max_int, infinity) in
+  let total_flips = ref 0 in
+  let restarts_used = ref 0 in
+  let run start =
+    let st = init_state network start in
+    let current_cost st = (st.unsat_hard.len, st.soft_cost) in
+    let update_best () =
+      let cost = current_cost st in
+      if better cost !best_cost then begin
+        best_cost := cost;
+        best := Array.copy st.assignment;
+        true
+      end
+      else false
+    in
+    ignore (update_best ());
+    let since_improvement = ref 0 in
+    let flips = ref 0 in
+    while
+      !flips < max_flips
+      && st.unsat_hard.len + st.unsat_soft.len > 0
+      && !since_improvement < stall
+    do
+      incr flips;
+      incr total_flips;
+      (* Repair hard violations with priority: a solution violating a
+         hard constraint is worthless whatever its soft cost. *)
+      let ci =
+        if st.unsat_hard.len > 0
+           && (st.unsat_soft.len = 0 || not (Prng.bernoulli rng 0.1))
+        then st.unsat_hard.items.(Prng.int rng st.unsat_hard.len)
+        else st.unsat_soft.items.(Prng.int rng st.unsat_soft.len)
+      in
+      let c = st.network.Network.clauses.(ci) in
+      let v =
+        if Prng.bernoulli rng noise then
+          (Array.get c.literals (Prng.int rng (Array.length c.literals))).atom
+        else begin
+          (* Greedy: the literal whose flip lowers cost the most. *)
+          let best_var = ref (Array.get c.literals 0).atom in
+          let best_delta = ref (delta st !best_var) in
+          Array.iter
+            (fun (l : Network.literal) ->
+              if l.atom <> !best_var then begin
+                let d = delta st l.atom in
+                if better d !best_delta then begin
+                  best_delta := d;
+                  best_var := l.atom
+                end
+              end)
+            c.literals;
+          !best_var
+        end
+      in
+      flip st v;
+      if update_best () then since_improvement := 0
+      else incr since_improvement
+    done
+  in
+  let rec attempts i =
+    if i < restarts && not (fst !best_cost = 0 && snd !best_cost = 0.0) then begin
+      if i = 0 then run base
+      else begin
+        incr restarts_used;
+        (* Perturb the best assignment to escape its basin. WalkSAT moves
+           only touch variables of violated clauses, so the perturbation
+           must be able to reach the others: flip a guaranteed handful. *)
+        let start = Array.copy !best in
+        let n = Array.length start in
+        if n > 0 then begin
+          let flips = max 1 (n / 10) in
+          for _ = 1 to flips do
+            let v = Prng.int rng n in
+            start.(v) <- not start.(v)
+          done;
+          Array.iteri
+            (fun v _ ->
+              if Prng.bernoulli rng 0.05 then start.(v) <- not start.(v))
+            start
+        end;
+        run start
+      end;
+      attempts (i + 1)
+    end
+  in
+  attempts 0;
+  let hard_violated, soft_cost = !best_cost in
+  ( !best,
+    { flips = !total_flips; restarts_used = !restarts_used; hard_violated;
+      soft_cost } )

@@ -1,0 +1,29 @@
+(** MaxWalkSAT: stochastic local search for weighted partial MaxSAT.
+
+    The scalable approximate MAP solver of the MLN path (the exact
+    ILP/branch-and-bound path is {!Exact} and {!Ilp_encoding}). Hard
+    clauses dominate lexicographically: an assignment with fewer hard
+    violations always beats one with more, regardless of soft cost. *)
+
+type stats = {
+  flips : int;
+  restarts_used : int;
+  hard_violated : int;      (** in the returned assignment *)
+  soft_cost : float;        (** violated soft weight in the result *)
+}
+
+val solve :
+  ?seed:int ->
+  ?max_flips:int ->
+  ?restarts:int ->
+  ?noise:float ->
+  ?stall:int ->
+  ?init:bool array ->
+  Network.t ->
+  bool array * stats
+(** [solve network] returns the best assignment found. Defaults:
+    [max_flips = 100_000] per restart, [restarts = 3], [noise = 0.2]
+    (probability of a random walk move), [stall = 20_000] flips without
+    improvement before restarting early. [init] seeds the first descent
+    (by default the evidence assignment is all-false; callers should pass
+    {!Network.initial_assignment}). *)

@@ -1,0 +1,131 @@
+module Prng = Prelude.Prng
+
+type result = {
+  marginals : float array;
+  samples : int;
+  rejected : int;
+}
+
+(* Draw a (near-)uniform satisfying assignment of the clause subset [m]
+   with randomized WalkSAT from a random initial state: high noise gives
+   the chain enough entropy to act as a SampleSAT stand-in. Returns None
+   when the flip budget is exhausted. *)
+let sample_sat rng network m sample_flips state =
+  let selected =
+    { network with Network.clauses = Array.of_list m }
+  in
+  (* Random restart point: perturb the current state a little rather than
+     fully randomize, which keeps acceptance high while still moving. *)
+  let start = Array.copy state in
+  Array.iteri
+    (fun v _ -> if Prng.bernoulli rng 0.2 then start.(v) <- not start.(v))
+    start;
+  let assignment, stats =
+    Maxwalksat.solve
+      ~seed:(Prng.int rng 1_000_000)
+      ~max_flips:sample_flips ~restarts:2 ~noise:0.5 ~init:start selected
+  in
+  (* All selected clauses are treated as hard by the caller's contract:
+     they entered [m] as "must stay satisfied". Our MaxWalkSAT treats
+     hard (None-weight) clauses lexicographically, so check both. *)
+  if
+    stats.Maxwalksat.hard_violated = 0
+    && Array.for_all
+         (fun c -> Network.clause_satisfied c assignment)
+         selected.Network.clauses
+  then begin
+    (* WalkSAT halts at the first solution it reaches, which biases
+       toward solutions near the start. De-bias with a Metropolis walk
+       inside the solution space: flip a random variable, keep the flip
+       only if every selected clause still holds — a symmetric chain
+       whose stationary distribution is uniform over solutions. *)
+    let n = Array.length assignment in
+    let occurrences = Array.make n [] in
+    Array.iteri
+      (fun ci (c : Network.clause) ->
+        Array.iter
+          (fun (l : Network.literal) ->
+            occurrences.(l.atom) <- ci :: occurrences.(l.atom))
+          c.literals)
+      selected.Network.clauses;
+    let x = Array.copy assignment in
+    for _ = 1 to 6 * n do
+      let v = Prng.int rng n in
+      x.(v) <- not x.(v);
+      let still_ok =
+        List.for_all
+          (fun ci ->
+            Network.clause_satisfied selected.Network.clauses.(ci) x)
+          occurrences.(v)
+      in
+      if not still_ok then x.(v) <- not x.(v)
+    done;
+    Some x
+  end
+  else None
+
+let harden (c : Network.clause) = { c with Network.weight = None }
+
+let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
+    ?(sample_flips = 10_000) ?init (network : Network.t) =
+  let rng = Prng.create seed in
+  let n = network.num_atoms in
+  let hard, soft =
+    Array.to_list network.clauses
+    |> List.partition (fun (c : Network.clause) -> c.weight = None)
+  in
+  let hard = List.map harden hard in
+  (* Initial state: satisfy the hard clauses. *)
+  let state =
+    let candidate =
+      match init with Some a -> Array.copy a | None -> Array.make n false
+    in
+    if
+      List.for_all (fun c -> Network.clause_satisfied c candidate) hard
+    then candidate
+    else begin
+      let hard_only = { network with Network.clauses = Array.of_list hard } in
+      let a, stats = Maxwalksat.solve ~seed ~init:candidate hard_only in
+      if stats.Maxwalksat.hard_violated > 0 then
+        invalid_arg "Mcsat.run: hard clauses are unsatisfiable";
+      a
+    end
+  in
+  let state = ref state in
+  let counts = Array.make n 0 in
+  let rejected = ref 0 in
+  let step record =
+    (* Slice selection: hard clauses always; satisfied soft clauses with
+       probability 1 - exp(-w). *)
+    let m =
+      hard
+      @ List.filter_map
+          (fun (c : Network.clause) ->
+            match c.weight with
+            | Some w
+              when Network.clause_satisfied c !state
+                   && Prng.bernoulli rng (1.0 -. exp (-.w)) ->
+                Some (harden c)
+            | _ -> None)
+          soft
+    in
+    (match sample_sat rng network m sample_flips !state with
+    | Some next -> state := next
+    | None -> incr rejected);
+    if record then
+      Array.iteri
+        (fun v value -> if value then counts.(v) <- counts.(v) + 1)
+        !state
+  in
+  for _ = 1 to burn_in do
+    step false
+  done;
+  for _ = 1 to samples do
+    step true
+  done;
+  {
+    marginals =
+      Array.map (fun c -> float_of_int c /. float_of_int samples) counts;
+    samples;
+    rejected = !rejected;
+  }

@@ -1,0 +1,31 @@
+(** MC-SAT: slice-sampling marginal inference (Poon & Domingos 2006).
+
+    Gibbs sampling mixes poorly in the presence of the near-deterministic
+    dependencies TeCoRe's hard constraints create. MC-SAT samples instead
+    by repeatedly (i) selecting a clause set [M] — every hard clause plus
+    each currently-satisfied soft clause with probability
+    [1 - exp(-w)] — and (ii) drawing a (near-)uniform satisfying
+    assignment of [M] with a SampleSAT-style randomized solver. Hard
+    constraints are honoured exactly in every sample, so marginals of
+    facts in unsatisfiable combinations are driven to genuine zeros
+    rather than the small residuals a finite hard weight leaves. *)
+
+type result = {
+  marginals : float array;
+  samples : int;
+  rejected : int;
+      (** slice-sampling steps where no satisfying assignment was found
+          within the flip budget (the previous state is kept) *)
+}
+
+val run :
+  ?seed:int ->
+  ?burn_in:int ->
+  ?samples:int ->
+  ?sample_flips:int ->
+  ?init:bool array ->
+  Network.t ->
+  result
+(** Defaults: [burn_in = 100], [samples = 1_000], [sample_flips = 10_000]
+    WalkSAT flips per slice. [init] must satisfy the hard clauses when
+    one exists (otherwise MC-SAT first solves for one). *)

@@ -1,0 +1,62 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = int64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value fits OCaml's native int without wrapping. *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  (* 53 random bits scaled to [0, 1) then to [0, bound). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.compare (Int64.logand (int64 t) 1L) 0L <> 0
+
+let bernoulli t p = float t 1.0 < p
+
+let range t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let gaussian t ~mean ~stddev =
+  let u1 = max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)

@@ -1,0 +1,46 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    All stochastic components of the reproduction (data generators,
+    MaxWalkSAT, sampling in benches) draw from this generator so that every
+    run of every experiment is bit-for-bit reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a statistically independent child
+    generator; used to give sub-components their own streams. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is true with probability [p]. *)
+
+val range : t -> int -> int -> int
+(** [range g lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box-Muller normal deviate. *)

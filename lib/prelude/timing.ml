@@ -1,0 +1,15 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  let stop = Unix.gettimeofday () in
+  (result, (stop -. start) *. 1000.0)
+
+let time_ms f = snd (time f)
+
+let mean_ms ?(runs = 10) f =
+  assert (runs > 0);
+  let total = ref 0.0 in
+  for _ = 1 to runs do
+    total := !total +. time_ms f
+  done;
+  !total /. float_of_int runs

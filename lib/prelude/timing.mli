@@ -1,0 +1,12 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock time in milliseconds. *)
+
+val time_ms : (unit -> unit) -> float
+(** Elapsed milliseconds of a unit thunk. *)
+
+val mean_ms : ?runs:int -> (unit -> unit) -> float
+(** [mean_ms ~runs f] averages the wall-clock time of [runs] executions,
+    matching the paper's "averaged over 10 runs" protocol. *)

@@ -1,0 +1,173 @@
+type stats = {
+  iterations : int;
+  primal_residual : float;
+  dual_residual : float;
+  converged : bool;
+  objective : float;
+}
+
+type kind =
+  | Hinge of float  (* weight *)
+  | Con_le
+  | Con_eq
+
+type factor = {
+  kind : kind;
+  vars : int array;
+  coeffs : float array;
+  const : float;
+  norm_sq : float;
+  y : float array;  (* local copy *)
+  u : float array;  (* scaled dual *)
+}
+
+let factor_of_potential (p : Hlmrf.potential) =
+  let vars = Array.of_list (List.map fst p.expr.coeffs) in
+  let coeffs = Array.of_list (List.map snd p.expr.coeffs) in
+  {
+    kind = Hinge p.weight;
+    vars;
+    coeffs;
+    const = p.expr.const;
+    norm_sq = Array.fold_left (fun acc a -> acc +. (a *. a)) 0.0 coeffs;
+    y = Array.make (Array.length vars) 0.0;
+    u = Array.make (Array.length vars) 0.0;
+  }
+
+let factor_of_constraint (c : Hlmrf.lincon) =
+  let expr, kind =
+    match c with Hlmrf.Le e -> (e, Con_le) | Hlmrf.Eq e -> (e, Con_eq)
+  in
+  let vars = Array.of_list (List.map fst expr.coeffs) in
+  let coeffs = Array.of_list (List.map snd expr.coeffs) in
+  {
+    kind;
+    vars;
+    coeffs;
+    const = expr.const;
+    norm_sq = Array.fold_left (fun acc a -> acc +. (a *. a)) 0.0 coeffs;
+    y = Array.make (Array.length vars) 0.0;
+    u = Array.make (Array.length vars) 0.0;
+  }
+
+let dot coeffs v =
+  let acc = ref 0.0 in
+  Array.iteri (fun i a -> acc := !acc +. (a *. v.(i))) coeffs;
+  !acc
+
+(* argmin_y f(y) + rho/2 ||y - v||^2 for one factor, written into f.y. *)
+let prox rho f v =
+  let k = Array.length f.vars in
+  let value = dot f.coeffs v +. f.const in
+  let project () =
+    (* Euclidean projection of v onto the hyperplane a.y + c = 0. *)
+    let step = value /. f.norm_sq in
+    for i = 0 to k - 1 do
+      f.y.(i) <- v.(i) -. (step *. f.coeffs.(i))
+    done
+  in
+  match f.kind with
+  | Con_eq -> if f.norm_sq = 0.0 then Array.blit v 0 f.y 0 k else project ()
+  | Con_le ->
+      if value <= 0.0 || f.norm_sq = 0.0 then Array.blit v 0 f.y 0 k
+      else project ()
+  | Hinge w ->
+      if f.norm_sq = 0.0 then Array.blit v 0 f.y 0 k
+      else begin
+        (* Active-hinge candidate: gradient step of the linear part. *)
+        let shift = w /. rho in
+        let candidate_value = value -. (shift *. f.norm_sq) in
+        if candidate_value >= 0.0 then
+          for i = 0 to k - 1 do
+            f.y.(i) <- v.(i) -. (shift *. f.coeffs.(i))
+          done
+        else if value <= 0.0 then Array.blit v 0 f.y 0 k
+        else project ()
+      end
+
+let clip01 x = Float.min 1.0 (Float.max 0.0 x)
+
+let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
+    (model : Hlmrf.t) =
+  let n = model.num_vars in
+  let factors =
+    Array.append
+      (Array.map factor_of_potential model.potentials)
+      (Array.map factor_of_constraint model.constraints)
+  in
+  let z =
+    match init with
+    | Some x -> Array.map clip01 x
+    | None -> Array.make n 0.5
+  in
+  (* How many local copies each variable has (for averaging). *)
+  let copies = Array.make n 0 in
+  Array.iter
+    (fun f -> Array.iter (fun v -> copies.(v) <- copies.(v) + 1) f.vars)
+    factors;
+  (* Initialise local copies at the consensus value. *)
+  Array.iter
+    (fun f -> Array.iteri (fun i v -> f.y.(i) <- z.(v)) f.vars)
+    factors;
+  let v_buf = Array.make (Array.fold_left (fun m f -> max m (Array.length f.vars)) 1 factors) 0.0 in
+  let sums = Array.make n 0.0 in
+  let z_old = Array.make n 0.0 in
+  let iterations = ref 0 in
+  let primal = ref infinity in
+  let dual = ref infinity in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iters do
+    incr iterations;
+    (* Local proximal steps. *)
+    Array.iter
+      (fun f ->
+        let k = Array.length f.vars in
+        for i = 0 to k - 1 do
+          v_buf.(i) <- z.(f.vars.(i)) -. f.u.(i)
+        done;
+        let v = Array.sub v_buf 0 k in
+        prox rho f v)
+      factors;
+    (* Consensus update: average local copies plus duals, clipped. *)
+    Array.blit z 0 z_old 0 n;
+    Array.fill sums 0 n 0.0;
+    Array.iter
+      (fun f ->
+        Array.iteri
+          (fun i v -> sums.(v) <- sums.(v) +. f.y.(i) +. f.u.(i))
+          f.vars)
+      factors;
+    for v = 0 to n - 1 do
+      if copies.(v) > 0 then
+        z.(v) <- clip01 (sums.(v) /. float_of_int copies.(v))
+      (* variables in no factor keep their initial value *)
+    done;
+    (* Dual update and residuals. *)
+    let pr = ref 0.0 in
+    Array.iter
+      (fun f ->
+        Array.iteri
+          (fun i v ->
+            let r = f.y.(i) -. z.(v) in
+            f.u.(i) <- f.u.(i) +. r;
+            pr := !pr +. (r *. r))
+          f.vars)
+      factors;
+    let du = ref 0.0 in
+    for v = 0 to n - 1 do
+      let d = z.(v) -. z_old.(v) in
+      du := !du +. (float_of_int copies.(v) *. d *. d)
+    done;
+    primal := sqrt !pr;
+    dual := rho *. sqrt !du;
+    let scale = sqrt (float_of_int (max 1 n)) in
+    if !primal <= tol *. scale && !dual <= tol *. scale then converged := true
+  done;
+  ( z,
+    {
+      iterations = !iterations;
+      primal_residual = !primal;
+      dual_residual = !dual;
+      converged = !converged;
+      objective = Hlmrf.objective model z;
+    } )

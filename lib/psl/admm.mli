@@ -1,0 +1,29 @@
+(** Consensus ADMM solver for hinge-loss MRF MAP inference.
+
+    The MAP problem of an HL-MRF is convex: minimise the weighted hinge
+    losses subject to the linear constraints over [\[0,1\]] variables. We
+    use the consensus formulation of Bach et al.: each potential and each
+    constraint owns a local copy of its variables; the proximal step for a
+    linear hinge and the projection step for a halfspace/hyperplane have
+    closed forms; the consensus variable averages the local copies and is
+    clipped to the box. This is the algorithm behind the PSL solver the
+    paper runs, and the reason the nPSL path scales. *)
+
+type stats = {
+  iterations : int;
+  primal_residual : float;
+  dual_residual : float;
+  converged : bool;
+  objective : float;
+}
+
+val solve :
+  ?rho:float ->
+  ?max_iters:int ->
+  ?tol:float ->
+  ?init:float array ->
+  Hlmrf.t ->
+  float array * stats
+(** Defaults: [rho = 1.0], [max_iters = 2_000], [tol = 1e-4]. [init]
+    seeds the consensus vector (clipped to the box); by default 0.5
+    everywhere. *)

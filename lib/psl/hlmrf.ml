@@ -1,0 +1,138 @@
+module Vec = Prelude.Vec
+module Store = Grounder.Atom_store
+module Instance = Grounder.Ground.Instance
+
+type linexp = {
+  coeffs : (int * float) list;
+  const : float;
+}
+
+type potential = {
+  weight : float;
+  expr : linexp;
+}
+
+type lincon =
+  | Le of linexp
+  | Eq of linexp
+
+type t = {
+  num_vars : int;
+  potentials : potential array;
+  constraints : lincon array;
+}
+
+type config = {
+  hidden_prior : float;
+  evidence_bonus : float;
+  evidence_hard : bool;
+}
+
+let default_config =
+  { hidden_prior = 0.005; evidence_bonus = 0.1; evidence_hard = true }
+
+let eval_linexp e x =
+  List.fold_left (fun acc (v, a) -> acc +. (a *. x.(v))) e.const e.coeffs
+
+let build ?(config = default_config) store instances =
+  let potentials = Vec.create () in
+  let constraints = Vec.create () in
+  Store.iter
+    (fun id _atom origin ->
+      match origin with
+      | Store.Evidence { confidence; _ } ->
+          if confidence >= 1.0 && config.evidence_hard then
+            (* x = 1 *)
+            Vec.push constraints (Eq { coeffs = [ (id, 1.0) ]; const = -1.0 })
+          else
+            (* weight · (1 - x) = weight · max(0, 1 - x) since x <= 1 *)
+            Vec.push potentials
+              {
+                weight = confidence +. config.evidence_bonus;
+                expr = { coeffs = [ (id, -1.0) ]; const = 1.0 };
+              }
+      | Store.Hidden ->
+          if config.hidden_prior > 0.0 then
+            Vec.push potentials
+              {
+                weight = config.hidden_prior;
+                expr = { coeffs = [ (id, 1.0) ]; const = 0.0 };
+              })
+    store;
+  let seen_hard = Hashtbl.create 1024 in
+  List.iter
+    (fun { Instance.rule; body_atoms; head } ->
+      let n = List.length body_atoms in
+      let body_coeffs = List.map (fun id -> (id, 1.0)) body_atoms in
+      let body_const = -.float_of_int (n - 1) in
+      match (head, rule.Logic.Rule.weight) with
+      | Instance.Satisfied, _ -> ()
+      | Instance.Violated, Some w ->
+          Vec.push potentials
+            { weight = w; expr = { coeffs = body_coeffs; const = body_const } }
+      | Instance.Violated, None ->
+          (* Σ body - (n-1) <= 0 *)
+          let key = List.sort compare body_atoms in
+          if not (Hashtbl.mem seen_hard (key, -1)) then begin
+            Hashtbl.replace seen_hard (key, -1) ();
+            Vec.push constraints
+              (Le { coeffs = body_coeffs; const = body_const })
+          end
+      | Instance.Derives h, Some w ->
+          Vec.push potentials
+            {
+              weight = w;
+              expr = { coeffs = (h, -1.0) :: body_coeffs; const = body_const };
+            }
+      | Instance.Derives h, None ->
+          let key = List.sort compare body_atoms in
+          if not (Hashtbl.mem seen_hard (key, h)) then begin
+            Hashtbl.replace seen_hard (key, h) ();
+            Vec.push constraints
+              (Le { coeffs = (h, -1.0) :: body_coeffs; const = body_const })
+          end)
+    instances;
+  {
+    num_vars = Store.size store;
+    potentials = Vec.to_array potentials;
+    constraints = Vec.to_array constraints;
+  }
+
+let objective t x =
+  Array.fold_left
+    (fun acc p -> acc +. (p.weight *. Float.max 0.0 (eval_linexp p.expr x)))
+    0.0 t.potentials
+
+let constraint_violation t x =
+  Array.fold_left
+    (fun acc c ->
+      let v =
+        match c with
+        | Le e -> Float.max 0.0 (eval_linexp e x)
+        | Eq e -> Float.abs (eval_linexp e x)
+      in
+      Float.max acc v)
+    0.0 t.constraints
+
+let pp_linexp ppf e =
+  List.iter (fun (v, a) -> Format.fprintf ppf "%+gx%d " a v) e.coeffs;
+  if e.const <> 0.0 then Format.fprintf ppf "%+g" e.const
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>hl-mrf: %d vars, %d potentials, %d constraints"
+    t.num_vars
+    (Array.length t.potentials)
+    (Array.length t.constraints);
+  Array.iteri
+    (fun i p ->
+      if i < 8 then
+        Format.fprintf ppf "@ %g * max(0, %a)" p.weight pp_linexp p.expr)
+    t.potentials;
+  Array.iteri
+    (fun i c ->
+      if i < 8 then
+        match c with
+        | Le e -> Format.fprintf ppf "@ %a <= 0" pp_linexp e
+        | Eq e -> Format.fprintf ppf "@ %a = 0" pp_linexp e)
+    t.constraints;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,60 @@
+(** Hinge-loss Markov random fields — the PSL ground model.
+
+    PSL relaxes Boolean atoms to soft truth values in [0, 1] and replaces
+    clause satisfaction by Łukasiewicz logic; MAP becomes the convex
+    minimisation of a sum of hinge potentials subject to linear
+    constraints. The translation of TeCoRe's ground rule instances:
+
+    - inference instance [b1 ∧ ... ∧ bn -> h] with weight [w]:
+      potential [w · max(0, Σ x_bi - (n-1) - x_h)] (the implication's
+      distance to satisfaction);
+    - violated soft constraint instance: [w · max(0, Σ x_bi - (n-1))];
+    - violated hard constraint instance: linear constraint
+      [Σ x_bi <= n-1];
+    - evidence atom with confidence [c < 1]: potential [w_c · (1 - x)]
+      with [w_c = c + bonus], pulling the atom toward 1 with strength
+      proportional to its confidence;
+    - deterministic evidence: constraint [x = 1];
+    - hidden atom: prior potential [w_p · x]. *)
+
+type linexp = {
+  coeffs : (int * float) list;  (** (variable, coefficient) *)
+  const : float;
+}
+
+type potential = {
+  weight : float;
+  expr : linexp;   (** the potential is [weight · max(0, expr)] *)
+}
+
+type lincon =
+  | Le of linexp   (** expr <= 0 *)
+  | Eq of linexp   (** expr = 0 *)
+
+type t = {
+  num_vars : int;
+  potentials : potential array;
+  constraints : lincon array;
+}
+
+type config = {
+  hidden_prior : float;      (** default 0.05 *)
+  evidence_bonus : float;    (** default 0.1 *)
+  evidence_hard : bool;      (** confidence-1 evidence pinned to 1 *)
+}
+
+val default_config : config
+
+val build :
+  ?config:config ->
+  Grounder.Atom_store.t ->
+  Grounder.Ground.Instance.t list ->
+  t
+
+val objective : t -> float array -> float
+(** Total weighted hinge loss of a point (lower is better). *)
+
+val constraint_violation : t -> float array -> float
+(** Maximum violation of the linear constraints (0 when feasible). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+module Store = Grounder.Atom_store
+
+type options = {
+  config : Hlmrf.config;
+  rho : float;
+  max_iters : int;
+  tol : float;
+  threshold : float;
+}
+
+let default_options =
+  {
+    config = Hlmrf.default_config;
+    rho = 1.0;
+    max_iters = 2_000;
+    tol = 1e-4;
+    threshold = 0.5;
+  }
+
+type stats = {
+  atoms : int;
+  evidence_atoms : int;
+  hidden_atoms : int;
+  potentials : int;
+  hard_constraints : int;
+  closure_rounds : int;
+  ground_ms : float;
+  solve_ms : float;
+  admm : Admm.stats;
+  rounding : Rounding.stats;
+}
+
+type outcome = {
+  assignment : bool array;
+  truth : float array;
+  store : Grounder.Atom_store.t;
+  instances : Grounder.Ground.Instance.t list;
+  model : Hlmrf.t;
+  stats : stats;
+}
+
+let run_store ?(options = default_options) store rules =
+  let (ground_result : Grounder.Ground.result), ground_ms =
+    Prelude.Timing.time (fun () -> Grounder.Ground.run store rules)
+  in
+  let model =
+    Hlmrf.build ~config:options.config store
+      ground_result.Grounder.Ground.instances
+  in
+  (* Seed the consensus at the evidence state. *)
+  let init = Array.make model.Hlmrf.num_vars 0.0 in
+  Store.iter
+    (fun id _ origin ->
+      match origin with
+      | Store.Evidence { confidence; _ } -> init.(id) <- confidence
+      | Store.Hidden -> init.(id) <- 0.0)
+    store;
+  let (truth, admm_stats), solve_ms =
+    Prelude.Timing.time (fun () ->
+        Admm.solve ~rho:options.rho ~max_iters:options.max_iters
+          ~tol:options.tol ~init model)
+  in
+  let assignment, rounding_stats =
+    Rounding.round ~threshold:options.threshold model truth
+  in
+  let evidence_atoms = ref 0 in
+  Store.iter
+    (fun _ _ origin ->
+      match origin with
+      | Store.Evidence _ -> incr evidence_atoms
+      | Store.Hidden -> ())
+    store;
+  {
+    assignment;
+    truth;
+    store;
+    instances = ground_result.Grounder.Ground.instances;
+    model;
+    stats =
+      {
+        atoms = Store.size store;
+        evidence_atoms = !evidence_atoms;
+        hidden_atoms = Store.size store - !evidence_atoms;
+        potentials = Array.length model.Hlmrf.potentials;
+        hard_constraints = Array.length model.Hlmrf.constraints;
+        closure_rounds = ground_result.Grounder.Ground.rounds;
+        ground_ms;
+        solve_ms;
+        admm = admm_stats;
+        rounding = rounding_stats;
+      };
+  }
+
+let run ?options graph rules =
+  run_store ?options (Store.of_graph graph) rules

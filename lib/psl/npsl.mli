@@ -1,0 +1,43 @@
+(** nPSL: the numerically-extended PSL path of TeCoRe, end to end.
+
+    Mirrors {!Mln.Map_inference} on the scalable side: θ-translate the
+    UTKG, ground relationally (numeric and Allen conditions are evaluated
+    during grounding — the "numerical extension on top of PSL" the paper
+    describes), build the hinge-loss MRF, run consensus ADMM, round. *)
+
+type options = {
+  config : Hlmrf.config;
+  rho : float;
+  max_iters : int;
+  tol : float;
+  threshold : float;        (** rounding threshold *)
+}
+
+val default_options : options
+
+type stats = {
+  atoms : int;
+  evidence_atoms : int;
+  hidden_atoms : int;
+  potentials : int;
+  hard_constraints : int;
+  closure_rounds : int;
+  ground_ms : float;
+  solve_ms : float;
+  admm : Admm.stats;
+  rounding : Rounding.stats;
+}
+
+type outcome = {
+  assignment : bool array;   (** rounded MAP state per atom id *)
+  truth : float array;       (** continuous MAP state per atom id *)
+  store : Grounder.Atom_store.t;
+  instances : Grounder.Ground.Instance.t list;
+  model : Hlmrf.t;
+  stats : stats;
+}
+
+val run : ?options:options -> Kg.Graph.t -> Logic.Rule.t list -> outcome
+
+val run_store :
+  ?options:options -> Grounder.Atom_store.t -> Logic.Rule.t list -> outcome

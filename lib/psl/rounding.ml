@@ -1,0 +1,65 @@
+type stats = {
+  flipped : int;
+  unrepaired : int;
+}
+
+let bool_value assignment v = if assignment.(v) then 1.0 else 0.0
+
+let eval_bool (e : Hlmrf.linexp) assignment =
+  List.fold_left
+    (fun acc (v, a) -> acc +. (a *. bool_value assignment v))
+    e.const e.coeffs
+
+let round ?(threshold = 0.5) (model : Hlmrf.t) x =
+  let assignment = Array.map (fun v -> v >= threshold) x in
+  (* Variables pinned to a value by an equality constraint. *)
+  let pinned = Array.make model.num_vars false in
+  Array.iter
+    (fun c ->
+      match c with
+      | Hlmrf.Eq { coeffs = [ (v, a) ]; const } when a <> 0.0 ->
+          pinned.(v) <- true;
+          assignment.(v) <- -.const /. a >= 0.5
+      | _ -> ())
+    model.constraints;
+  let flipped = ref 0 in
+  let progress = ref true in
+  let max_passes = 1 + Array.length model.constraints in
+  let passes = ref 0 in
+  while !progress && !passes < max_passes do
+    progress := false;
+    incr passes;
+    Array.iter
+      (fun c ->
+        match c with
+        | Hlmrf.Le e when eval_bool e assignment > 1e-9 -> (
+            (* Flip the true positive-coefficient variable with the lowest
+               soft value (the least-supported fact). *)
+            let candidate =
+              List.fold_left
+                (fun best (v, a) ->
+                  if a > 0.0 && assignment.(v) && not pinned.(v) then
+                    match best with
+                    | Some b when x.(b) <= x.(v) -> best
+                    | _ -> Some v
+                  else best)
+                None e.coeffs
+            in
+            match candidate with
+            | Some v ->
+                assignment.(v) <- false;
+                incr flipped;
+                progress := true
+            | None -> ())
+        | Hlmrf.Le _ | Hlmrf.Eq _ -> ())
+      model.constraints
+  done;
+  let unrepaired =
+    Array.fold_left
+      (fun acc c ->
+        match c with
+        | Hlmrf.Le e when eval_bool e assignment > 1e-9 -> acc + 1
+        | _ -> acc)
+      0 model.constraints
+  in
+  (assignment, { flipped = !flipped; unrepaired })

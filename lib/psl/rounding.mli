@@ -1,0 +1,17 @@
+(** Discretisation of a soft MAP state.
+
+    PSL's MAP state is continuous; TeCoRe needs a Boolean keep/remove
+    decision per fact. We threshold at 0.5 and then greedily repair any
+    hard constraint the rounding broke, flipping the lowest-valued
+    positive contributor of each violated constraint — the soft analogue
+    of "the fact with inferior weight is removed". *)
+
+type stats = {
+  flipped : int;       (** repair flips performed *)
+  unrepaired : int;    (** hard constraints still violated (0 normally) *)
+}
+
+val round :
+  ?threshold:float -> Hlmrf.t -> float array -> bool array * stats
+(** Variables pinned by equality constraints are never flipped during
+    repair. *)

@@ -1,0 +1,29 @@
+type t = (string, Table.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let add_table t table = Hashtbl.replace t (Table.name table) table
+
+let table t name = Hashtbl.find_opt t name
+
+let table_exn t name =
+  match table t name with Some tbl -> tbl | None -> raise Not_found
+
+let get_or_create t ~name ~columns =
+  match table t name with
+  | Some tbl ->
+      if Table.columns tbl <> columns then
+        invalid_arg (Printf.sprintf "Database: schema mismatch for %s" name);
+      tbl
+  | None ->
+      let tbl = Table.create ~name ~columns in
+      add_table t tbl;
+      tbl
+
+let tables t = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t []
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort String.compare
+
+let pp ppf t =
+  List.iter (fun tbl -> Format.fprintf ppf "%a@." Table.pp tbl) (tables t)

@@ -1,0 +1,23 @@
+(** A named collection of tables. *)
+
+type t
+
+val create : unit -> t
+
+val add_table : t -> Table.t -> unit
+(** Register (or replace) a table under its own name. *)
+
+val table : t -> string -> Table.t option
+
+val table_exn : t -> string -> Table.t
+(** @raise Not_found *)
+
+val get_or_create : t -> name:string -> columns:string list -> Table.t
+(** Existing table of that name, or a fresh empty one registered in the
+    database. The existing table's schema must match. *)
+
+val tables : t -> Table.t list
+
+val names : t -> string list
+
+val pp : Format.formatter -> t -> unit

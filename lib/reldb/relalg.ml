@@ -1,0 +1,141 @@
+let fresh_name base = base ^ "'"
+
+let select p t =
+  let out = Table.create ~name:(fresh_name (Table.name t)) ~columns:(Table.columns t) in
+  Table.iter (fun row -> if p row then Table.insert out row) t;
+  out
+
+let project cols t =
+  let positions = List.map (Table.column_index t) cols in
+  let out = Table.create ~name:(fresh_name (Table.name t)) ~columns:cols in
+  Table.iter
+    (fun row ->
+      Table.insert out (Array.of_list (List.map (fun i -> row.(i)) positions)))
+    t;
+  out
+
+let rename mapping t =
+  let columns =
+    List.map
+      (fun c -> match List.assoc_opt c mapping with Some n -> n | None -> c)
+      (Table.columns t)
+  in
+  let out = Table.create ~name:(fresh_name (Table.name t)) ~columns in
+  Table.iter (fun row -> Table.insert out row) t;
+  out
+
+module Key_table = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash k = Hashtbl.hash (List.map Value.hash k)
+end)
+
+let join_columns ~on left right =
+  let right_keys = List.map snd on in
+  let left_cols = Table.columns left in
+  let kept_right =
+    List.filter (fun c -> not (List.mem c right_keys)) (Table.columns right)
+  in
+  let result_cols =
+    left_cols
+    @ List.map
+        (fun c ->
+          if List.mem c left_cols then Table.name right ^ "." ^ c else c)
+        kept_right
+  in
+  (kept_right, result_cols)
+
+let hash_join ~on left right =
+  let kept_right, result_cols = join_columns ~on left right in
+  let out =
+    Table.create
+      ~name:(Table.name left ^ "_" ^ Table.name right)
+      ~columns:result_cols
+  in
+  let lkeys = List.map (fun (l, _) -> Table.column_index left l) on in
+  let rkeys = List.map (fun (_, r) -> Table.column_index right r) on in
+  let rkept = List.map (Table.column_index right) kept_right in
+  (* Build on the smaller side; probe with the larger. *)
+  let build_left = Table.cardinal left <= Table.cardinal right in
+  let buckets = Key_table.create 1024 in
+  let build_table, build_keys = if build_left then (left, lkeys) else (right, rkeys) in
+  Table.iter
+    (fun row ->
+      let key = List.map (fun i -> row.(i)) build_keys in
+      Key_table.replace buckets key
+        (row :: Option.value (Key_table.find_opt buckets key) ~default:[]))
+    build_table;
+  let emit lrow rrow =
+    let extra = List.map (fun i -> rrow.(i)) rkept in
+    Table.insert out (Array.append lrow (Array.of_list extra))
+  in
+  let probe_table, probe_keys = if build_left then (right, rkeys) else (left, lkeys) in
+  Table.iter
+    (fun row ->
+      let key = List.map (fun i -> row.(i)) probe_keys in
+      match Key_table.find_opt buckets key with
+      | None -> ()
+      | Some matches ->
+          List.iter
+            (fun other ->
+              if build_left then emit other row else emit row other)
+            matches)
+    probe_table;
+  out
+
+let product left right =
+  let renamed_right =
+    List.map
+      (fun c ->
+        if List.mem c (Table.columns left) then Table.name right ^ "." ^ c
+        else c)
+      (Table.columns right)
+  in
+  let out =
+    Table.create
+      ~name:(Table.name left ^ "_x_" ^ Table.name right)
+      ~columns:(Table.columns left @ renamed_right)
+  in
+  Table.iter
+    (fun lrow ->
+      Table.iter (fun rrow -> Table.insert out (Array.append lrow rrow)) right)
+    left;
+  out
+
+let union a b =
+  if Table.columns a <> Table.columns b then
+    invalid_arg "Relalg.union: schema mismatch";
+  let out = Table.create ~name:(fresh_name (Table.name a)) ~columns:(Table.columns a) in
+  Table.iter (fun row -> Table.insert out row) a;
+  Table.iter (fun row -> Table.insert out row) b;
+  out
+
+let distinct t =
+  let out = Table.create ~name:(fresh_name (Table.name t)) ~columns:(Table.columns t) in
+  let seen = Key_table.create 1024 in
+  Table.iter
+    (fun row ->
+      let key = Array.to_list row in
+      if not (Key_table.mem seen key) then begin
+        Key_table.replace seen key ();
+        Table.insert out row
+      end)
+    t;
+  out
+
+let sort_by cols t =
+  let positions = List.map (Table.column_index t) cols in
+  let rows = Array.of_list (Table.to_list t) in
+  let cmp a b =
+    let rec loop = function
+      | [] -> 0
+      | i :: rest -> (
+          match Value.compare a.(i) b.(i) with 0 -> loop rest | c -> c)
+    in
+    loop positions
+  in
+  Array.stable_sort cmp rows;
+  let out = Table.create ~name:(fresh_name (Table.name t)) ~columns:(Table.columns t) in
+  Array.iter (fun row -> Table.insert out row) rows;
+  out

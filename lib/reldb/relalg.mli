@@ -1,0 +1,31 @@
+(** Relational-algebra operators, materialised.
+
+    The grounding engine evaluates rule bodies as conjunctive queries; the
+    operators here are the physical plan primitives: selection, projection,
+    renaming, hash equi-join, union and duplicate elimination. *)
+
+val select : (Table.row -> bool) -> Table.t -> Table.t
+
+val project : string list -> Table.t -> Table.t
+(** Keep the named columns, in the given order. *)
+
+val rename : (string * string) list -> Table.t -> Table.t
+(** [(old, new)] pairs; unlisted columns keep their names. *)
+
+val hash_join : on:(string * string) list -> Table.t -> Table.t -> Table.t
+(** [hash_join ~on:[(l1, r1); ...] left right] — equi-join on the listed
+    column pairs. The result carries all left columns followed by the
+    right columns that are not join keys; duplicate result names get the
+    right table's name as prefix. Builds the hash table on the smaller
+    input. *)
+
+val product : Table.t -> Table.t -> Table.t
+(** Cartesian product (used for condition-only joins). *)
+
+val union : Table.t -> Table.t -> Table.t
+(** Schema-compatible bag union. *)
+
+val distinct : Table.t -> Table.t
+
+val sort_by : string list -> Table.t -> Table.t
+(** Stable sort on the named columns, ascending {!Value.compare}. *)

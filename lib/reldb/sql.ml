@@ -1,0 +1,322 @@
+type error = string
+
+(* ---------------- lexer ---------------- *)
+
+type token =
+  | Word of string     (* keywords, identifiers (case preserved) *)
+  | Str of string      (* 'quoted' *)
+  | Num of int
+  | Comma
+  | Star
+  | Op of string       (* = != < <= > >= *)
+  | Eof
+
+exception Error of string
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '/' || c = '@' || c = ':' || c = '#'
+    || c = '?' || c = '!'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ',' then begin
+      tokens := Comma :: !tokens;
+      incr i
+    end
+    else if c = '*' then begin
+      tokens := Star :: !tokens;
+      incr i
+    end
+    else if c = '\'' then begin
+      let close =
+        match String.index_from_opt src (!i + 1) '\'' with
+        | Some k -> k
+        | None -> raise (Error "unterminated string literal")
+      in
+      tokens := Str (String.sub src (!i + 1) (close - !i - 1)) :: !tokens;
+      i := close + 1
+    end
+    else if c = '=' then begin
+      tokens := Op "=" :: !tokens;
+      incr i
+    end
+    else if c = '!' && !i + 1 < n && src.[!i + 1] = '=' then begin
+      tokens := Op "!=" :: !tokens;
+      i := !i + 2
+    end
+    else if c = '<' then
+      if !i + 1 < n && src.[!i + 1] = '=' then begin
+        tokens := Op "<=" :: !tokens;
+        i := !i + 2
+      end
+      else begin
+        tokens := Op "<" :: !tokens;
+        incr i
+      end
+    else if c = '>' then
+      if !i + 1 < n && src.[!i + 1] = '=' then begin
+        tokens := Op ">=" :: !tokens;
+        i := !i + 2
+      end
+      else begin
+        tokens := Op ">" :: !tokens;
+        incr i
+      end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && src.[!i + 1] >= '0' && src.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      incr i;
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        incr i
+      done;
+      tokens := Num (int_of_string (String.sub src start (!i - start))) :: !tokens
+    end
+    else if is_word c then begin
+      let start = !i in
+      while !i < n && is_word src.[!i] do
+        incr i
+      done;
+      tokens := Word (String.sub src start (!i - start)) :: !tokens
+    end
+    else raise (Error (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev (Eof :: !tokens)
+
+(* ---------------- parser ---------------- *)
+
+type comparison = { column : string; op : string; value : Value.t }
+
+type statement = {
+  projection : string list option; (* None = * *)
+  table : string;
+  joins : (string * string * string) list; (* table, left col, right col *)
+  where : comparison list;
+  order_by : string list;
+  limit : int option;
+}
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with t :: _ -> t | [] -> Eof
+
+let advance st =
+  match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let keyword st word =
+  match peek st with
+  | Word w when String.lowercase_ascii w = word ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_keyword st word =
+  if not (keyword st word) then raise (Error (Printf.sprintf "expected %s" (String.uppercase_ascii word)))
+
+let ident st what =
+  match peek st with
+  | Word w ->
+      advance st;
+      w
+  | _ -> raise (Error ("expected " ^ what))
+
+let literal st =
+  match peek st with
+  | Num v ->
+      advance st;
+      Value.int v
+  | Str s ->
+      advance st;
+      Value.term (Kg.Term.iri s)
+  | _ -> raise (Error "expected a literal ('string' or number)")
+
+let parse_statement src =
+  let st = { tokens = tokenize src } in
+  expect_keyword st "select";
+  let projection =
+    if peek st = Star then begin
+      advance st;
+      None
+    end
+    else begin
+      let rec cols acc =
+        let c = ident st "a column" in
+        if peek st = Comma then begin
+          advance st;
+          cols (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      Some (cols [])
+    end
+  in
+  expect_keyword st "from";
+  let table = ident st "a table name" in
+  let joins = ref [] in
+  while keyword st "join" do
+    let t = ident st "a table name" in
+    expect_keyword st "on";
+    let left = ident st "a column" in
+    (match peek st with
+    | Op "=" -> advance st
+    | _ -> raise (Error "JOIN conditions must use ="));
+    let right = ident st "a column" in
+    joins := (t, left, right) :: !joins
+  done;
+  let where = ref [] in
+  if keyword st "where" then begin
+    let rec conds () =
+      let column = ident st "a column" in
+      let op =
+        match peek st with
+        | Op o ->
+            advance st;
+            o
+        | _ -> raise (Error "expected a comparison operator")
+      in
+      let value = literal st in
+      where := { column; op; value } :: !where;
+      if keyword st "and" then conds ()
+    in
+    conds ()
+  end;
+  let order_by = ref [] in
+  if keyword st "order" then begin
+    expect_keyword st "by";
+    let rec cols () =
+      order_by := ident st "a column" :: !order_by;
+      if peek st = Comma then begin
+        advance st;
+        cols ()
+      end
+    in
+    cols ()
+  end;
+  let limit =
+    if keyword st "limit" then
+      match peek st with
+      | Num v ->
+          advance st;
+          Some v
+      | _ -> raise (Error "expected a number after LIMIT")
+    else None
+  in
+  (match peek st with
+  | Eof -> ()
+  | _ -> raise (Error "trailing input"));
+  {
+    projection;
+    table;
+    joins = List.rev !joins;
+    where = List.rev !where;
+    order_by = List.rev !order_by;
+    limit;
+  }
+
+(* ---------------- executor ---------------- *)
+
+let compare_values op a b =
+  let c = Value.compare a b in
+  match op with
+  | "=" -> c = 0
+  | "!=" -> c <> 0
+  | "<" -> c < 0
+  | "<=" -> c <= 0
+  | ">" -> c > 0
+  | ">=" -> c >= 0
+  | _ -> raise (Error ("unknown operator " ^ op))
+
+let execute db stmt =
+  let base =
+    match Database.table db stmt.table with
+    | Some t -> t
+    | None -> raise (Error (Printf.sprintf "unknown table %s" stmt.table))
+  in
+  let joined =
+    List.fold_left
+      (fun acc (tname, left, right) ->
+        match Database.table db tname with
+        | None -> raise (Error (Printf.sprintf "unknown table %s" tname))
+        | Some t -> Relalg.hash_join ~on:[ (left, right) ] acc t)
+      base stmt.joins
+  in
+  let filtered =
+    if stmt.where = [] then joined
+    else begin
+      let compiled =
+        List.map
+          (fun cond ->
+            let idx =
+              try Table.column_index joined cond.column
+              with Not_found ->
+                raise (Error (Printf.sprintf "unknown column %s" cond.column))
+            in
+            fun (row : Table.row) ->
+              compare_values cond.op row.(idx) cond.value)
+          stmt.where
+      in
+      Relalg.select (fun row -> List.for_all (fun p -> p row) compiled) joined
+    end
+  in
+  let ordered =
+    if stmt.order_by = [] then filtered
+    else begin
+      List.iter
+        (fun c ->
+          if not (List.mem c (Table.columns filtered)) then
+            raise (Error (Printf.sprintf "unknown column %s" c)))
+        stmt.order_by;
+      Relalg.sort_by stmt.order_by filtered
+    end
+  in
+  let projected =
+    match stmt.projection with
+    | None -> ordered
+    | Some cols ->
+        List.iter
+          (fun c ->
+            if not (List.mem c (Table.columns ordered)) then
+              raise (Error (Printf.sprintf "unknown column %s" c)))
+          cols;
+        Relalg.project cols ordered
+  in
+  match stmt.limit with
+  | None -> projected
+  | Some k ->
+      let out =
+        Table.create ~name:(Table.name projected)
+          ~columns:(Table.columns projected)
+      in
+      let count = ref 0 in
+      Table.iter
+        (fun row ->
+          if !count < k then begin
+            Table.insert out row;
+            incr count
+          end)
+        projected;
+      out
+
+let query db src =
+  match execute db (parse_statement src) with
+  | table -> Ok table
+  | exception Error msg -> Result.Error msg
+
+let pp_result ppf table =
+  Format.fprintf ppf "@[<v>%s" (String.concat " | " (Table.columns table));
+  Table.iter
+    (fun row ->
+      Format.fprintf ppf "@ %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+           Value.pp)
+        (Array.to_list row))
+    table;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,24 @@
+(** A small SQL front-end over the relational engine.
+
+    The architecture the paper inherits from RockIt grounds through a SQL
+    database (MySQL/H2); the grounder itself drives {!Relalg} directly,
+    but this module exposes the same capability surface for inspection,
+    debugging and tests:
+
+    {v
+    SELECT name, age FROM people WHERE city = 'london' ORDER BY age LIMIT 10
+    SELECT * FROM people JOIN cities ON city = city WHERE country = 'uk'
+    v}
+
+    Supported: [SELECT cols|*], one [FROM] table, any number of
+    [JOIN ... ON a = b] equi-joins, [WHERE] with [AND]-ed comparisons
+    against literals (numbers become integer values, ['quoted'] strings
+    become IRI terms), [ORDER BY] and [LIMIT]. Keywords are
+    case-insensitive. *)
+
+type error = string
+
+val query : Database.t -> string -> (Table.t, error) result
+
+val pp_result : Format.formatter -> Table.t -> unit
+(** Column header plus one row per line. *)

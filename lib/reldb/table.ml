@@ -1,0 +1,120 @@
+module Vec = Prelude.Vec
+
+type row = Value.t array
+
+module Key_table = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
+  let hash k = Hashtbl.hash (List.map Value.hash k)
+end)
+
+type index = {
+  on : int list; (* column positions *)
+  buckets : int Vec.t Key_table.t;
+}
+
+type t = {
+  table_name : string;
+  cols : string array;
+  positions : (string, int) Hashtbl.t;
+  rows : row Vec.t;
+  mutable indexes : index list;
+}
+
+let create ~name ~columns =
+  let positions = Hashtbl.create 8 in
+  List.iteri
+    (fun i c ->
+      if Hashtbl.mem positions c then
+        invalid_arg (Printf.sprintf "Table %s: duplicate column %s" name c);
+      Hashtbl.replace positions c i)
+    columns;
+  {
+    table_name = name;
+    cols = Array.of_list columns;
+    positions;
+    rows = Vec.create ();
+    indexes = [];
+  }
+
+let name t = t.table_name
+let columns t = Array.to_list t.cols
+let width t = Array.length t.cols
+let cardinal t = Vec.length t.rows
+
+let column_index t c =
+  match Hashtbl.find_opt t.positions c with
+  | Some i -> i
+  | None -> raise Not_found
+
+let key_of_row positions row = List.map (fun i -> row.(i)) positions
+
+let index_insert idx rowid row =
+  let key = key_of_row idx.on row in
+  match Key_table.find_opt idx.buckets key with
+  | Some vec -> Vec.push vec rowid
+  | None ->
+      let vec = Vec.create () in
+      Vec.push vec rowid;
+      Key_table.replace idx.buckets key vec
+
+let insert t row =
+  if Array.length row <> width t then
+    invalid_arg
+      (Printf.sprintf "Table %s: row width %d, expected %d" t.table_name
+         (Array.length row) (width t));
+  let rowid = Vec.length t.rows in
+  Vec.push t.rows row;
+  List.iter (fun idx -> index_insert idx rowid row) t.indexes
+
+let get t i = Vec.get t.rows i
+
+let iter f t = Vec.iter f t.rows
+
+let fold f acc t = Vec.fold f acc t.rows
+
+let to_list t = Vec.to_list t.rows
+
+let create_index t cols =
+  let on = List.map (column_index t) cols in
+  let idx = { on; buckets = Key_table.create 256 } in
+  Vec.iteri (fun rowid row -> index_insert idx rowid row) t.rows;
+  (* Replace an existing index on the same columns. *)
+  t.indexes <- idx :: List.filter (fun i -> i.on <> on) t.indexes
+
+let lookup t cols key =
+  let on = List.map (column_index t) cols in
+  match List.find_opt (fun idx -> idx.on = on) t.indexes with
+  | Some idx -> (
+      match Key_table.find_opt idx.buckets key with
+      | None -> []
+      | Some vec ->
+          List.rev (Vec.fold (fun acc rid -> Vec.get t.rows rid :: acc) [] vec))
+  | None ->
+      List.rev
+        (fold
+           (fun acc row ->
+             if List.for_all2 Value.equal (key_of_row on row) key then
+               row :: acc
+             else acc)
+           [] t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s(%s) [%d rows]" t.table_name
+    (String.concat ", " (columns t))
+    (cardinal t);
+  let shown = ref 0 in
+  iter
+    (fun row ->
+      if !shown < 20 then begin
+        Format.fprintf ppf "@ %a"
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+             Value.pp)
+          (Array.to_list row);
+        incr shown
+      end)
+    t;
+  if cardinal t > 20 then Format.fprintf ppf "@ ...";
+  Format.fprintf ppf "@]"

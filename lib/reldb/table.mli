@@ -1,0 +1,35 @@
+(** In-memory relational tables with named columns and hash indexes. *)
+
+type row = Value.t array
+
+type t
+
+val create : name:string -> columns:string list -> t
+(** @raise Invalid_argument on duplicate column names. *)
+
+val name : t -> string
+val columns : t -> string list
+val width : t -> int
+val cardinal : t -> int
+
+val column_index : t -> string -> int
+(** @raise Not_found for an unknown column. *)
+
+val insert : t -> row -> unit
+(** @raise Invalid_argument when the row width mismatches. *)
+
+val get : t -> int -> row
+val iter : (row -> unit) -> t -> unit
+val fold : ('acc -> row -> 'acc) -> 'acc -> t -> 'acc
+val to_list : t -> row list
+
+val create_index : t -> string list -> unit
+(** Build (or rebuild) a hash index on the column list; kept up to date by
+    subsequent inserts. *)
+
+val lookup : t -> string list -> Value.t list -> row list
+(** [lookup t cols key] — rows whose [cols] equal [key]. Uses the index on
+    [cols] when one exists, otherwise scans. *)
+
+val pp : Format.formatter -> t -> unit
+(** Small ASCII rendering for debugging and the CLI. *)

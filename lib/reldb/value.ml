@@ -1,0 +1,46 @@
+type t =
+  | Term of Kg.Term.t
+  | Int of int
+  | Interval of Kg.Interval.t
+  | Null
+
+let term t = Term t
+let int n = Int n
+let interval i = Interval i
+
+let equal a b =
+  match (a, b) with
+  | Term x, Term y -> Kg.Term.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Interval x, Interval y -> Kg.Interval.equal x y
+  | Null, Null -> true
+  | (Term _ | Int _ | Interval _ | Null), _ -> false
+
+let tag = function Term _ -> 0 | Int _ -> 1 | Interval _ -> 2 | Null -> 3
+
+let compare a b =
+  match (a, b) with
+  | Term x, Term y -> Kg.Term.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Interval x, Interval y -> Kg.Interval.compare x y
+  | Null, Null -> 0
+  | _ -> Int.compare (tag a) (tag b)
+
+let hash = function
+  | Term t -> Hashtbl.hash (0, Kg.Term.hash t)
+  | Int n -> Hashtbl.hash (1, n)
+  | Interval i -> Hashtbl.hash (2, Kg.Interval.lo i, Kg.Interval.hi i)
+  | Null -> Hashtbl.hash 3
+
+let as_term = function Term t -> Some t | Int _ | Interval _ | Null -> None
+let as_int = function Int n -> Some n | Term _ | Interval _ | Null -> None
+
+let as_interval = function
+  | Interval i -> Some i
+  | Term _ | Int _ | Null -> None
+
+let pp ppf = function
+  | Term t -> Kg.Term.pp ppf t
+  | Int n -> Format.pp_print_int ppf n
+  | Interval i -> Kg.Interval.pp ppf i
+  | Null -> Format.pp_print_string ppf "NULL"

@@ -1,0 +1,26 @@
+(** Column values of the relational grounding backend.
+
+    RockIt-style systems ground MLNs through SQL joins over a relational
+    store; we reproduce that architecture with an in-memory engine. Values
+    carry KG terms, machine integers (interval endpoints, fact ids) and
+    whole intervals. *)
+
+type t =
+  | Term of Kg.Term.t
+  | Int of int
+  | Interval of Kg.Interval.t
+  | Null
+
+val term : Kg.Term.t -> t
+val int : int -> t
+val interval : Kg.Interval.t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val as_term : t -> Kg.Term.t option
+val as_int : t -> int option
+val as_interval : t -> Kg.Interval.t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,187 @@
+type error = { line : int; column : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.column e.message
+
+let is_digit c = c >= '0' && c <= '9'
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_start c = is_letter c || c = '_' || c = '?'
+let is_ident_char c = is_letter c || is_digit c || c = '_' || c = '\''
+
+exception Lex_error of error
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let error message =
+    raise (Lex_error { line = !line; column = !i - !line_start + 1; message })
+  in
+  let push tok = tokens := (tok, !line) :: !tokens in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let skip_line () =
+    while !i < n && src.[!i] <> '\n' do
+      incr i
+    done
+  in
+  let scan_int () =
+    let start = !i in
+    if !i < n && (src.[!i] = '-' || src.[!i] = '+') then incr i;
+    while !i < n && is_digit src.[!i] do
+      incr i
+    done;
+    match int_of_string_opt (String.sub src start (!i - start)) with
+    | Some v -> v
+    | None -> error "expected an integer"
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      line_start := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then skip_line ()
+    else if c = '/' && peek 1 = Some '/' then skip_line ()
+    else if is_digit c then begin
+      let start = !i in
+      while
+        !i < n
+        && (is_digit src.[!i] || src.[!i] = '.'
+           || (src.[!i] = 'e' && !i + 1 < n && is_digit src.[!i + 1]))
+      do
+        incr i
+      done;
+      (* A trailing '.' is the statement terminator, not a decimal part. *)
+      if !i > start && src.[!i - 1] = '.' then decr i;
+      match float_of_string_opt (String.sub src start (!i - start)) with
+      | Some f -> push (Token.Number f)
+      | None -> error "malformed number"
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      incr i;
+      let continue = ref true in
+      while !continue && !i < n do
+        let c = src.[!i] in
+        if is_ident_char c then incr i
+        else if
+          (* '-' or ':' bind into the identifier only when followed by an
+             identifier character: met-by, ex:coach. *)
+          (c = '-' || c = ':')
+          && match peek 1 with Some d -> is_ident_char d | None -> false
+        then i := !i + 1
+        else continue := false
+      done;
+      push (Token.Ident (String.sub src start (!i - start)))
+    end
+    else
+      match c with
+      | '"' ->
+          let start = !i + 1 in
+          incr i;
+          while !i < n && src.[!i] <> '"' do
+            incr i
+          done;
+          if !i >= n then error "unterminated string"
+          else begin
+            push (Token.String (String.sub src start (!i - start)));
+            incr i
+          end
+      | '<' -> (
+          (* Either <iri> or the comparison operators. *)
+          let rec find_close j =
+            if j >= n || src.[j] = ' ' || src.[j] = '\n' then None
+            else if src.[j] = '>' then Some j
+            else find_close (j + 1)
+          in
+          match
+            (match peek 1 with
+            | Some d when is_letter d -> find_close (!i + 1)
+            | _ -> None)
+          with
+          | Some close ->
+              push (Token.Ident (String.sub src (!i + 1) (close - !i - 1)));
+              i := close + 1
+          | None ->
+              if peek 1 = Some '=' then begin
+                push Token.Le;
+                i := !i + 2
+              end
+              else begin
+                push Token.Lt;
+                incr i
+              end)
+      | '[' ->
+          incr i;
+          let lo = scan_int () in
+          let hi =
+            if !i < n && src.[!i] = ',' then begin
+              incr i;
+              scan_int ()
+            end
+            else lo
+          in
+          if !i < n && src.[!i] = ']' then begin
+            incr i;
+            push (Token.Interval (lo, hi))
+          end
+          else error "unterminated interval"
+      | '(' -> push Token.Lparen; incr i
+      | ')' -> push Token.Rparen; incr i
+      | ',' -> push Token.Comma; incr i
+      | ':' -> push Token.Colon; incr i
+      | '@' -> push Token.At; incr i
+      | '^' | '&' -> push Token.And; incr i
+      | '.' -> push Token.Dot; incr i
+      | '*' -> push Token.Star; incr i
+      | '+' -> push Token.Plus; incr i
+      | '=' ->
+          if peek 1 = Some '>' then begin
+            push Token.Arrow;
+            i := !i + 2
+          end
+          else if peek 1 = Some '=' then begin
+            push Token.Eq;
+            i := !i + 2
+          end
+          else begin
+            push Token.Eq;
+            incr i
+          end
+      | '!' ->
+          if peek 1 = Some '=' then begin
+            push Token.Neq;
+            i := !i + 2
+          end
+          else error "expected '=' after '!'"
+      | '-' ->
+          if peek 1 = Some '>' then begin
+            push Token.Arrow;
+            i := !i + 2
+          end
+          else begin
+            push Token.Minus;
+            incr i
+          end
+      | '>' ->
+          if peek 1 = Some '=' then begin
+            push Token.Ge;
+            i := !i + 2
+          end
+          else begin
+            push Token.Gt;
+            incr i
+          end
+      | c -> error (Printf.sprintf "unexpected character %C" c)
+  done;
+  push Token.Eof;
+  List.rev !tokens
+
+let tokenize src =
+  match tokenize src with
+  | tokens -> Ok tokens
+  | exception Lex_error e -> Error e

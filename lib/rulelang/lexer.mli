@@ -1,0 +1,14 @@
+(** Hand-written lexer for the rule language.
+
+    Comments run from [#] or [//] to end of line. Identifiers may contain
+    letters, digits, [_], ['], [.], [-] and — to support CURIEs like
+    [ex:coach] — a [:] that is directly followed by an identifier
+    character (so [c2: coach(...)] still separates the rule label from
+    the body). *)
+
+type error = { line : int; column : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val tokenize : string -> ((Token.t * int) list, error) result
+(** Token stream with line numbers, ending with [Eof]. *)

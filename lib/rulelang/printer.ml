@@ -1,0 +1,84 @@
+open Logic
+
+let pp_term ppf = function
+  | Lterm.Var v -> Format.pp_print_string ppf v
+  | Lterm.Const c -> Kg.Term.pp ppf c
+
+let rec pp_ttime ppf = function
+  | Lterm.Tvar v -> Format.pp_print_string ppf v
+  | Lterm.Tconst i -> Kg.Interval.pp ppf i
+  | Lterm.Tinter (a, b) -> Format.fprintf ppf "(%a * %a)" pp_ttime a pp_ttime b
+  | Lterm.Thull (a, b) -> Format.fprintf ppf "(%a + %a)" pp_ttime a pp_ttime b
+
+let pp_atom ppf (a : Atom.t) =
+  Format.fprintf ppf "%s(%a)" a.predicate
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_term)
+    a.args;
+  match a.time with
+  | None -> ()
+  | Some tt -> Format.fprintf ppf "@@%a" pp_ttime tt
+
+let rec pp_arith ppf = function
+  | Cond.Num n -> Format.pp_print_int ppf n
+  | Cond.Start_of tt -> Format.fprintf ppf "start(%a)" pp_ttime tt
+  | Cond.End_of tt -> Format.fprintf ppf "end(%a)" pp_ttime tt
+  | Cond.Length_of tt -> Format.fprintf ppf "length(%a)" pp_ttime tt
+  | Cond.Value_of t -> Format.fprintf ppf "value(%a)" pp_term t
+  | Cond.Add (a, b) -> Format.fprintf ppf "%a + %a" pp_arith a pp_arith b
+  | Cond.Sub (a, b) -> Format.fprintf ppf "%a - %a" pp_arith a pp_arith b
+
+let cmp_name = function
+  | Cond.Lt -> "<"
+  | Cond.Le -> "<="
+  | Cond.Gt -> ">"
+  | Cond.Ge -> ">="
+  | Cond.Eq_cmp -> "="
+  | Cond.Ne_cmp -> "!="
+
+let pp_cond ppf = function
+  | Cond.Allen (set, a, b) ->
+      let name =
+        if Kg.Allen.Set.equal set Kg.Allen.Set.disjoint then "disjoint"
+        else if Kg.Allen.Set.equal set Kg.Allen.Set.intersects then
+          "intersects"
+        else
+          match Kg.Allen.Set.to_list set with
+          | [ r ] -> Kg.Allen.name r
+          | _ -> Format.asprintf "%a" Kg.Allen.Set.pp set
+      in
+      Format.fprintf ppf "%s(%a, %a)" name pp_ttime a pp_ttime b
+  | Cond.Cmp (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" pp_arith a (cmp_name op) pp_arith b
+  | Cond.Eq (a, b) -> Format.fprintf ppf "%a = %a" pp_term a pp_term b
+  | Cond.Neq (a, b) -> Format.fprintf ppf "%a != %a" pp_term a pp_term b
+
+let pp_rule ppf (r : Rule.t) =
+  let kind = if Rule.is_inference r then "rule" else "constraint" in
+  Format.fprintf ppf "%s %s" kind r.name;
+  (match r.weight with
+  | Some w -> Format.fprintf ppf " %g" w
+  | None -> if Rule.is_inference r then () else ());
+  Format.fprintf ppf ": ";
+  let pp_sep ppf () = Format.pp_print_string ppf " ^ " in
+  Format.pp_print_list ~pp_sep pp_atom ppf r.body;
+  if r.conditions <> [] then begin
+    pp_sep ppf ();
+    Format.pp_print_list ~pp_sep pp_cond ppf r.conditions
+  end;
+  Format.fprintf ppf " => ";
+  (match r.head with
+  | Rule.Infer a -> pp_atom ppf a
+  | Rule.Require c -> pp_cond ppf c
+  | Rule.Bottom -> Format.pp_print_string ppf "false");
+  Format.fprintf ppf " ."
+
+let pp_program ppf rules =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    pp_rule ppf rules
+
+let rule_to_string r = Format.asprintf "%a" pp_rule r
+
+let program_to_string rules = Format.asprintf "@[<v>%a@]" pp_program rules

@@ -1,0 +1,10 @@
+(** Serialise rules back to the surface syntax (round-trips through
+    {!Parser.parse_string}). *)
+
+val pp_rule : Format.formatter -> Logic.Rule.t -> unit
+
+val pp_program : Format.formatter -> Logic.Rule.t list -> unit
+
+val rule_to_string : Logic.Rule.t -> string
+
+val program_to_string : Logic.Rule.t list -> string

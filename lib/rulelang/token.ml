@@ -1,0 +1,55 @@
+type t =
+  | Ident of string
+  | Number of float
+  | String of string
+  | Interval of int * int
+  | Lparen
+  | Rparen
+  | Comma
+  | Colon
+  | At
+  | And
+  | Arrow
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Dot
+  | Eof
+
+let pp ppf = function
+  | Ident s -> Format.fprintf ppf "%s" s
+  | Number f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+  | Interval (a, b) -> Format.fprintf ppf "[%d,%d]" a b
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Comma -> Format.pp_print_string ppf ","
+  | Colon -> Format.pp_print_string ppf ":"
+  | At -> Format.pp_print_string ppf "@"
+  | And -> Format.pp_print_string ppf "^"
+  | Arrow -> Format.pp_print_string ppf "=>"
+  | Eq -> Format.pp_print_string ppf "="
+  | Neq -> Format.pp_print_string ppf "!="
+  | Lt -> Format.pp_print_string ppf "<"
+  | Le -> Format.pp_print_string ppf "<="
+  | Gt -> Format.pp_print_string ppf ">"
+  | Ge -> Format.pp_print_string ppf ">="
+  | Plus -> Format.pp_print_string ppf "+"
+  | Minus -> Format.pp_print_string ppf "-"
+  | Star -> Format.pp_print_string ppf "*"
+  | Dot -> Format.pp_print_string ppf "."
+  | Eof -> Format.pp_print_string ppf "<eof>"
+
+let equal a b =
+  match (a, b) with
+  | Ident x, Ident y -> String.equal x y
+  | Number x, Number y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | Interval (a1, b1), Interval (a2, b2) -> a1 = a2 && b1 = b2
+  | _ -> a = b

@@ -1,0 +1,29 @@
+(** Tokens of the rule and constraint language. *)
+
+type t =
+  | Ident of string       (** predicates, variables, constants, keywords *)
+  | Number of float
+  | String of string      (** double-quoted literal *)
+  | Interval of int * int (** [lo,hi] *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Colon
+  | At                    (** @, introduces a temporal term *)
+  | And                   (** ^ *)
+  | Arrow                 (** => or -> *)
+  | Eq                    (** = or == *)
+  | Neq                   (** != *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Dot
+  | Eof
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,125 @@
+module Store = Grounder.Atom_store
+module Instance = Grounder.Ground.Instance
+
+type derived_fact = {
+  atom : Logic.Atom.Ground.t;
+  confidence : float;
+  as_quad : Kg.Quad.t option;
+}
+
+type resolution = {
+  consistent : Kg.Graph.t;
+  removed : (Kg.Graph.id * Kg.Quad.t) list;
+  derived : derived_fact list;
+  conflicting : Kg.Graph.id list;
+  kept : int;
+}
+
+let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
+
+(* Facts involved in a hard constraint instance that is violated when all
+   evidence is taken at face value — the conflicts the debugger reports. *)
+let conflicting_facts store instances =
+  let ids = Hashtbl.create 256 in
+  List.iter
+    (fun { Instance.rule; body_atoms; head } ->
+      let is_violation =
+        head = Instance.Violated && Logic.Rule.is_hard rule
+      in
+      if is_violation then
+        List.iter
+          (fun atom_id ->
+            List.iter
+              (fun fact -> Hashtbl.replace ids fact ())
+              (Store.evidence_facts store atom_id))
+          body_atoms)
+    instances;
+  Hashtbl.fold (fun id () acc -> id :: acc) ids [] |> List.sort Int.compare
+
+(* Support of a hidden atom: total weight of its firing derivations. *)
+let derived_confidences instances assignment =
+  let support = Hashtbl.create 64 in
+  List.iter
+    (fun { Instance.rule; body_atoms; head } ->
+      match head with
+      | Instance.Derives h when assignment.(h) ->
+          let body_true = List.for_all (fun b -> assignment.(b)) body_atoms in
+          if body_true then begin
+            let w =
+              match rule.Logic.Rule.weight with
+              | Some w -> w
+              | None -> Kg.Quad.max_weight
+            in
+            Hashtbl.replace support h
+              (w +. Option.value (Hashtbl.find_opt support h) ~default:0.0)
+          end
+      | _ -> ())
+    instances;
+  fun atom_id ->
+    sigmoid (Option.value (Hashtbl.find_opt support atom_id) ~default:0.0)
+
+let interpret ~graph ~store ~instances ~assignment () =
+  let consistent = Kg.Graph.copy graph in
+  let removed = ref [] in
+  let derived = ref [] in
+  let kept = ref 0 in
+  let confidence_of = derived_confidences instances assignment in
+  Store.iter
+    (fun atom_id atom origin ->
+      match origin with
+      | Store.Evidence _ ->
+          (* A decision about the atom applies to every duplicate fact
+             behind it. *)
+          let facts = Store.evidence_facts store atom_id in
+          if assignment.(atom_id) then kept := !kept + List.length facts
+          else
+            List.iter
+              (fun fact ->
+                Kg.Graph.remove consistent fact;
+                removed := (fact, Kg.Graph.find graph fact) :: !removed)
+              facts
+      | Store.Hidden ->
+          if assignment.(atom_id) then begin
+            let confidence = confidence_of atom_id in
+            let as_quad = Logic.Atom.Ground.to_quad ~confidence atom in
+            (match as_quad with
+            | Some q -> ignore (Kg.Graph.add consistent q)
+            | None -> ());
+            derived := { atom; confidence; as_quad } :: !derived
+          end)
+    store;
+  {
+    consistent;
+    removed = List.rev !removed;
+    derived = List.rev !derived;
+    conflicting = conflicting_facts store instances;
+    kept = !kept;
+  }
+
+let apply_threshold threshold r =
+  let keep, drop =
+    List.partition (fun d -> d.confidence >= threshold) r.derived
+  in
+  let consistent = Kg.Graph.copy r.consistent in
+  (* Derived quads were appended after the original facts; drop them by
+     statement identity. *)
+  List.iter
+    (fun d ->
+      match d.as_quad with
+      | None -> ()
+      | Some q ->
+          Kg.Graph.iter
+            (fun id q' ->
+              if Kg.Quad.same_statement q q' then Kg.Graph.remove consistent id)
+            consistent)
+    drop;
+  { r with consistent; derived = keep }
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "@[<v>kept facts:        %d@ removed facts:     %d@ derived facts:     \
+     %d@ conflicting facts: %d@]"
+    r.kept
+    (List.length r.removed)
+    (List.length r.derived)
+    (List.length r.conflicting)

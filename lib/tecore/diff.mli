@@ -1,0 +1,25 @@
+(** Diffing two UTKGs.
+
+    Debugging sessions compare graphs constantly: the input against the
+    resolved output, two resolutions under different constraint sets, a
+    re-extraction against the previous crawl. A diff reports statements
+    only in the left graph, only in the right, and statements present in
+    both whose confidence changed. Statements are compared by triple and
+    interval (the identity {!Kg.Quad.same_statement} uses). *)
+
+type t = {
+  only_left : Kg.Quad.t list;
+  only_right : Kg.Quad.t list;
+  confidence_changed : (Kg.Quad.t * Kg.Quad.t) list;
+      (** (left version, right version) of statements in both *)
+  unchanged : int;
+}
+
+val diff : Kg.Graph.t -> Kg.Graph.t -> t
+
+val is_empty : t -> bool
+(** No additions, removals or confidence changes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Unified-diff-flavoured rendering: [-] left-only, [+] right-only,
+    [~] confidence changes. *)

@@ -1,0 +1,99 @@
+type engine =
+  | Mln of Mln.Map_inference.options
+  | Psl of Psl.Npsl.options
+  | Auto
+
+type run_stats = {
+  engine_used : Translator.engine_choice;
+  atoms : int;
+  ground_ms : float;
+  solve_ms : float;
+  total_ms : float;
+  hard_violations : int;
+}
+
+type raw = {
+  store : Grounder.Atom_store.t;
+  instances : Grounder.Ground.Instance.t list;
+  assignment : bool array;
+}
+
+type result = {
+  resolution : Conflict.resolution;
+  report : Translator.report;
+  stats : run_stats;
+  raw : raw;
+}
+
+exception Rejected of Translator.report
+
+let resolve ?(engine = Auto) ?threshold graph rules =
+  let report = Translator.analyse graph rules in
+  if not report.Translator.ok then raise (Rejected report);
+  let engine =
+    match engine with
+    | Auto -> (
+        match report.Translator.recommended with
+        | Translator.Mln_engine -> Mln Mln.Map_inference.default_options
+        | Translator.Psl_engine -> Psl Psl.Npsl.default_options)
+    | e -> e
+  in
+  let run () =
+    match engine with
+    | Auto -> assert false
+    | Mln options ->
+        let out = Mln.Map_inference.run ~options graph rules in
+        ( Conflict.interpret ~graph ~store:out.Mln.Map_inference.store
+            ~instances:out.Mln.Map_inference.instances
+            ~assignment:out.Mln.Map_inference.assignment (),
+          {
+            store = out.Mln.Map_inference.store;
+            instances = out.Mln.Map_inference.instances;
+            assignment = out.Mln.Map_inference.assignment;
+          },
+          Translator.Mln_engine,
+          out.Mln.Map_inference.stats.Mln.Map_inference.atoms,
+          out.Mln.Map_inference.stats.Mln.Map_inference.ground_ms,
+          out.Mln.Map_inference.stats.Mln.Map_inference.solve_ms,
+          out.Mln.Map_inference.stats.Mln.Map_inference.hard_violations )
+    | Psl options ->
+        let out = Psl.Npsl.run ~options graph rules in
+        ( Conflict.interpret ~graph ~store:out.Psl.Npsl.store
+            ~instances:out.Psl.Npsl.instances
+            ~assignment:out.Psl.Npsl.assignment (),
+          {
+            store = out.Psl.Npsl.store;
+            instances = out.Psl.Npsl.instances;
+            assignment = out.Psl.Npsl.assignment;
+          },
+          Translator.Psl_engine,
+          out.Psl.Npsl.stats.Psl.Npsl.atoms,
+          out.Psl.Npsl.stats.Psl.Npsl.ground_ms,
+          out.Psl.Npsl.stats.Psl.Npsl.solve_ms,
+          out.Psl.Npsl.stats.Psl.Npsl.rounding.Psl.Rounding.unrepaired )
+  in
+  let ( (resolution, raw, engine_used, atoms, ground_ms, solve_ms,
+         hard_violations),
+        total_ms ) =
+    Prelude.Timing.time run
+  in
+  let resolution =
+    match threshold with
+    | None -> resolution
+    | Some t -> Conflict.apply_threshold t resolution
+  in
+  {
+    resolution;
+    report;
+    stats =
+      { engine_used; atoms; ground_ms; solve_ms; total_ms; hard_violations };
+    raw;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>engine: %s@ %a@ runtime: %.1f ms (ground %.1f, solve %.1f)@]"
+    (match r.stats.engine_used with
+    | Translator.Mln_engine -> "MLN (nRockIt path)"
+    | Translator.Psl_engine -> "nPSL")
+    Conflict.pp_summary r.resolution r.stats.total_ms r.stats.ground_ms
+    r.stats.solve_ms

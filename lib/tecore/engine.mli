@@ -1,0 +1,51 @@
+(** The TeCoRe facade: one call from UTKG + rules to a conflict-free KG.
+
+    [resolve] is the demo's headline operation, [map(θ(G), F ∪ C)]: pick
+    an engine (the expressive MLN path or the scalable nPSL path), run MAP
+    inference, and interpret the state as a resolution. *)
+
+type engine =
+  | Mln of Mln.Map_inference.options
+  | Psl of Psl.Npsl.options
+  | Auto
+      (** follow the translator's recommendation with default options *)
+
+type run_stats = {
+  engine_used : Translator.engine_choice;
+  atoms : int;
+  ground_ms : float;
+  solve_ms : float;
+  total_ms : float;
+  hard_violations : int;
+      (** >0 means the hard constraints are unsatisfiable even after
+          removals (e.g. two conflicting confidence-1.0 facts) *)
+}
+
+type raw = {
+  store : Grounder.Atom_store.t;
+  instances : Grounder.Ground.Instance.t list;
+  assignment : bool array;
+}
+(** The grounding artefacts behind a result, for downstream analyses
+    (explanations, marginals) that need more than the resolution. *)
+
+type result = {
+  resolution : Conflict.resolution;
+  report : Translator.report;
+  stats : run_stats;
+  raw : raw;
+}
+
+exception Rejected of Translator.report
+(** Raised when the translator finds an [Error]-level problem. *)
+
+val resolve :
+  ?engine:engine ->
+  ?threshold:float ->
+  Kg.Graph.t ->
+  Logic.Rule.t list ->
+  result
+(** [threshold] filters derived facts by confidence after resolution
+    (defaults to keeping all). Default engine is [Auto]. *)
+
+val pp_result : Format.formatter -> result -> unit

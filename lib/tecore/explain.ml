@@ -1,0 +1,154 @@
+module Store = Grounder.Atom_store
+module Instance = Grounder.Ground.Instance
+
+type removal = {
+  fact : Kg.Graph.id;
+  quad : Kg.Quad.t;
+  clashes : clash list;
+}
+
+and clash = {
+  constraint_name : string;
+  winners : Kg.Quad.t list;
+  winner_weight : float;
+  loser_weight : float;
+}
+
+type derivation = {
+  atom : Logic.Atom.Ground.t;
+  via : (string * Kg.Quad.t list) list;
+}
+
+(* The atom id of a removed evidence fact. *)
+let atom_of_fact store fact =
+  let found = ref None in
+  Store.iter
+    (fun id _ origin ->
+      match origin with
+      | Store.Evidence _ when !found = None ->
+          if List.mem fact (Store.evidence_facts store id) then found := Some id
+      | _ -> ())
+    store;
+  !found
+
+let quads_of_atoms store graph atom_ids =
+  List.concat_map
+    (fun id ->
+      List.map (Kg.Graph.find graph) (Store.evidence_facts store id))
+    atom_ids
+
+let removals ~store ~instances ~assignment ~graph ~resolution =
+  List.map
+    (fun (fact, quad) ->
+      let atom_id = atom_of_fact store fact in
+      (* Symmetric groundings (both orders of a self-join) describe the
+         same clash; dedupe on constraint name and partner atoms. *)
+      let seen = Hashtbl.create 8 in
+      let clashes =
+        match atom_id with
+        | None -> []
+        | Some removed_atom ->
+            List.filter_map
+              (fun { Instance.rule; body_atoms; head } ->
+                (* A clash explains the removal when the instance is a
+                   violation containing the removed atom whose other
+                   body atoms all survived. *)
+                if
+                  head = Instance.Violated
+                  && List.mem removed_atom body_atoms
+                then begin
+                  let others =
+                    List.filter (fun a -> a <> removed_atom) body_atoms
+                  in
+                  let key =
+                    (rule.Logic.Rule.name, List.sort Int.compare others)
+                  in
+                  if
+                    List.for_all (fun a -> assignment.(a)) others
+                    && not (Hashtbl.mem seen key)
+                  then begin
+                    Hashtbl.replace seen key ();
+                    let winners = quads_of_atoms store graph others in
+                    if winners = [] then None
+                    else
+                      Some
+                        {
+                          constraint_name = rule.Logic.Rule.name;
+                          winners;
+                          winner_weight =
+                            List.fold_left
+                              (fun acc q -> Float.min acc (Kg.Quad.weight q))
+                              infinity winners;
+                          loser_weight = Kg.Quad.weight quad;
+                        }
+                  end
+                  else None
+                end
+                else None)
+              instances
+      in
+      { fact; quad; clashes })
+    resolution.Conflict.removed
+
+let derivations ~store ~instances ~assignment ~graph ~resolution =
+  List.map
+    (fun (d : Conflict.derived_fact) ->
+      let atom_id = Store.find store d.Conflict.atom in
+      let via =
+        match atom_id with
+        | None -> []
+        | Some id ->
+            List.filter_map
+              (fun { Instance.rule; body_atoms; head } ->
+                match head with
+                | Instance.Derives h
+                  when h = id
+                       && List.for_all (fun a -> assignment.(a)) body_atoms ->
+                    let evidence_support =
+                      List.filter (Store.is_evidence store) body_atoms
+                    in
+                    Some
+                      ( rule.Logic.Rule.name,
+                        quads_of_atoms store graph evidence_support )
+                | _ -> None)
+              instances
+      in
+      { atom = d.Conflict.atom; via })
+    resolution.Conflict.derived
+
+let pp_removal ppf r =
+  Format.fprintf ppf "@[<v>removed %a" Kg.Quad.pp r.quad;
+  (match r.clashes with
+  | [] ->
+      Format.fprintf ppf "@   (lost on its own weight: confidence %.2g)"
+        r.quad.Kg.Quad.confidence
+  | clashes ->
+      List.iter
+        (fun c ->
+          Format.fprintf ppf "@   clashes under %s with:" c.constraint_name;
+          List.iter
+            (fun q -> Format.fprintf ppf "@     %a" Kg.Quad.pp q)
+            c.winners;
+          Format.fprintf ppf
+            "@     (their weight %.2f vs its weight %.2f: it loses)"
+            c.winner_weight c.loser_weight)
+        clashes);
+  Format.fprintf ppf "@]"
+
+let pp_derivation ppf d =
+  Format.fprintf ppf "@[<v>derived %a" Logic.Atom.Ground.pp d.atom;
+  List.iter
+    (fun (rule_name, support) ->
+      Format.fprintf ppf "@   via %s from:" rule_name;
+      List.iter (fun q -> Format.fprintf ppf "@     %a" Kg.Quad.pp q) support)
+    d.via;
+  Format.fprintf ppf "@]"
+
+let of_result graph (result : Engine.result) =
+  let raw = result.Engine.raw in
+  ( removals ~store:raw.Engine.store ~instances:raw.Engine.instances
+      ~assignment:raw.Engine.assignment ~graph
+      ~resolution:result.Engine.resolution,
+    derivations ~store:raw.Engine.store ~instances:raw.Engine.instances
+      ~assignment:raw.Engine.assignment ~graph
+      ~resolution:result.Engine.resolution )

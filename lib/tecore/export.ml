@@ -1,0 +1,205 @@
+open Logic
+
+(* Alchemy-compatible identifiers: letters, digits and underscores;
+   constants start upper-case, variables lower-case. *)
+let sanitize s =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      then c
+      else '_')
+    s
+
+let constant term =
+  let s = sanitize (Kg.Term.to_string term) in
+  if s = "" then "C"
+  else if s.[0] >= 'a' && s.[0] <= 'z' then String.capitalize_ascii s
+  else if s.[0] >= '0' && s.[0] <= '9' then "C" ^ s
+  else s
+
+let variable v = String.lowercase_ascii (sanitize v)
+
+let mln_term = function
+  | Lterm.Var v -> variable v
+  | Lterm.Const c -> constant c
+
+(* Temporal arguments are flattened to two integer arguments (the
+   interval endpoints); computed intervals keep symbolic names and emit a
+   comment, since Alchemy has no interval algebra. *)
+let rec time_args = function
+  | Lterm.Tvar v -> (variable v ^ "_lo", variable v ^ "_hi")
+  | Lterm.Tconst i ->
+      (string_of_int (Kg.Interval.lo i), string_of_int (Kg.Interval.hi i))
+  | Lterm.Tinter (a, b) | Lterm.Thull (a, b) ->
+      let alo, _ = time_args a and _, bhi = time_args b in
+      (alo, bhi)
+
+let mln_atom (a : Atom.t) =
+  let args = List.map mln_term a.args in
+  let args =
+    match a.time with
+    | None -> args
+    | Some tt ->
+        let lo, hi = time_args tt in
+        args @ [ lo; hi ]
+  in
+  Printf.sprintf "%s(%s)" (sanitize a.predicate) (String.concat ", " args)
+
+let rec mln_arith = function
+  | Cond.Num n -> string_of_int n
+  | Cond.Start_of tt -> fst (time_args tt)
+  | Cond.End_of tt -> snd (time_args tt)
+  | Cond.Length_of tt ->
+      let lo, hi = time_args tt in
+      Printf.sprintf "(%s - %s + 1)" hi lo
+  | Cond.Value_of t -> mln_term t
+  | Cond.Add (a, b) -> Printf.sprintf "(%s + %s)" (mln_arith a) (mln_arith b)
+  | Cond.Sub (a, b) -> Printf.sprintf "(%s - %s)" (mln_arith a) (mln_arith b)
+
+let cmp_symbol = function
+  | Cond.Lt -> "<"
+  | Cond.Le -> "<="
+  | Cond.Gt -> ">"
+  | Cond.Ge -> ">="
+  | Cond.Eq_cmp -> "="
+  | Cond.Ne_cmp -> "!="
+
+(* Allen relations over flattened endpoints become endpoint arithmetic,
+   the numerical-constraints encoding of the ECAI-2016 extension. *)
+let mln_allen set a b =
+  let alo, ahi = time_args a and blo, bhi = time_args b in
+  if Kg.Allen.Set.equal set Kg.Allen.Set.disjoint then
+    Printf.sprintf "(%s + 1 < %s v %s + 1 < %s v %s + 1 = %s v %s + 1 = %s)"
+      ahi blo bhi alo ahi blo bhi alo
+  else if Kg.Allen.Set.equal set Kg.Allen.Set.intersects then
+    Printf.sprintf "(%s <= %s ^ %s <= %s)" alo bhi blo ahi
+  else if Kg.Allen.Set.equal set (Kg.Allen.Set.singleton Kg.Allen.Before) then
+    Printf.sprintf "(%s + 1 < %s)" ahi blo
+  else
+    (* Remaining relations: conjunction of endpoint comparisons per basic
+       relation, joined disjunctively. *)
+    let basic r =
+      match r with
+      | Kg.Allen.Before -> Printf.sprintf "(%s + 1 < %s)" ahi blo
+      | Kg.Allen.Meets -> Printf.sprintf "(%s + 1 = %s)" ahi blo
+      | Kg.Allen.Overlaps ->
+          Printf.sprintf "(%s < %s ^ %s <= %s ^ %s < %s)" alo blo blo ahi ahi bhi
+      | Kg.Allen.Finished_by -> Printf.sprintf "(%s < %s ^ %s = %s)" alo blo ahi bhi
+      | Kg.Allen.Contains ->
+          Printf.sprintf "(%s < %s ^ %s < %s)" alo blo bhi ahi
+      | Kg.Allen.Starts -> Printf.sprintf "(%s = %s ^ %s < %s)" alo blo ahi bhi
+      | Kg.Allen.Equals -> Printf.sprintf "(%s = %s ^ %s = %s)" alo blo ahi bhi
+      | Kg.Allen.Started_by -> Printf.sprintf "(%s = %s ^ %s < %s)" alo blo bhi ahi
+      | Kg.Allen.During -> Printf.sprintf "(%s < %s ^ %s < %s)" blo alo ahi bhi
+      | Kg.Allen.Finishes -> Printf.sprintf "(%s < %s ^ %s = %s)" blo alo ahi bhi
+      | Kg.Allen.Overlapped_by ->
+          Printf.sprintf "(%s < %s ^ %s <= %s ^ %s < %s)" blo alo alo bhi bhi ahi
+      | Kg.Allen.Met_by -> Printf.sprintf "(%s + 1 = %s)" bhi alo
+      | Kg.Allen.After -> Printf.sprintf "(%s + 1 < %s)" bhi alo
+    in
+    "("
+    ^ String.concat " v " (List.map basic (Kg.Allen.Set.to_list set))
+    ^ ")"
+
+let mln_cond = function
+  | Cond.Allen (set, a, b) -> mln_allen set a b
+  | Cond.Cmp (op, a, b) ->
+      Printf.sprintf "%s %s %s" (mln_arith a) (cmp_symbol op) (mln_arith b)
+  | Cond.Eq (a, b) -> Printf.sprintf "%s = %s" (mln_term a) (mln_term b)
+  | Cond.Neq (a, b) -> Printf.sprintf "%s != %s" (mln_term a) (mln_term b)
+
+let mln_rule (r : Rule.t) =
+  let body =
+    List.map mln_atom r.body @ List.map mln_cond r.conditions
+  in
+  let head =
+    match r.head with
+    | Rule.Infer a -> mln_atom a
+    | Rule.Require c -> mln_cond c
+    | Rule.Bottom -> "FALSE"
+  in
+  let formula = String.concat " ^ " body ^ " => " ^ head in
+  match r.weight with
+  | None -> Printf.sprintf "// %s\n%s." r.name formula
+  | Some w -> Printf.sprintf "// %s\n%g %s" r.name w formula
+
+(* Predicate declarations inferred from the rules. *)
+let declarations rules =
+  let seen = Hashtbl.create 16 in
+  let decls = ref [] in
+  let visit (a : Atom.t) =
+    let name = sanitize a.predicate in
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      let object_args =
+        List.mapi (fun i _ -> Printf.sprintf "arg%d" i) a.args
+      in
+      let args =
+        object_args @ (if a.time = None then [] else [ "lo"; "hi" ])
+      in
+      decls := Printf.sprintf "%s(%s)" name (String.concat ", " args) :: !decls
+    end
+  in
+  List.iter
+    (fun (r : Rule.t) ->
+      List.iter visit r.body;
+      match r.head with Rule.Infer a -> visit a | _ -> ())
+    rules;
+  List.rev !decls
+
+let to_mln rules =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "// TeCoRe translation: MLN with numerical constraints\n";
+  Buffer.add_string buf "// (temporal arguments flattened to interval endpoints)\n\n";
+  List.iter
+    (fun d -> Buffer.add_string buf (d ^ "\n"))
+    (declarations rules);
+  Buffer.add_char buf '\n';
+  List.iter (fun r -> Buffer.add_string buf (mln_rule r ^ "\n\n")) rules;
+  Buffer.contents buf
+
+let to_mln_evidence graph =
+  let buf = Buffer.create 4096 in
+  Kg.Graph.iter
+    (fun _ q ->
+      let atom =
+        Printf.sprintf "%s(%s, %s, %d, %d)"
+          (sanitize (Kg.Term.to_string q.Kg.Quad.predicate))
+          (constant q.Kg.Quad.subject)
+          (constant q.Kg.Quad.object_)
+          (Kg.Interval.lo q.Kg.Quad.time)
+          (Kg.Interval.hi q.Kg.Quad.time)
+      in
+      if Kg.Quad.is_certain q then
+        Buffer.add_string buf (atom ^ "\n")
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "%g %s\n" q.Kg.Quad.confidence atom))
+    graph;
+  Buffer.contents buf
+
+let psl_rule (r : Rule.t) =
+  let body =
+    List.map mln_atom r.body @ List.map mln_cond r.conditions
+  in
+  let head =
+    match r.head with
+    | Rule.Infer a -> mln_atom a
+    | Rule.Require c -> mln_cond c
+    | Rule.Bottom -> "~( " ^ String.concat " & " (List.map mln_atom r.body) ^ " )"
+  in
+  let arrow = String.concat " & " body ^ " -> " ^ head in
+  match r.weight with
+  | None -> Printf.sprintf "// %s\n%s ." r.name arrow
+  | Some w -> Printf.sprintf "// %s\n%g: %s" r.name w arrow
+
+let to_psl rules =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "// TeCoRe translation: nPSL program (linear hinges)\n\n";
+  List.iter (fun r -> Buffer.add_string buf (psl_rule r ^ "\n\n")) rules;
+  Buffer.contents buf
+
+let save ~path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc

@@ -1,0 +1,24 @@
+(** Rendering programs in the solvers' native syntaxes.
+
+    The paper's translator "transforms those into the specific syntax of
+    the chosen solver (e.g. nRockIt, PSL)". Our engines consume ground
+    instances directly, but the textual translations are exposed so that
+    the output can be fed to off-the-shelf ProbFOL systems, mirroring the
+    architecture's pluggable-solver claim:
+
+    - {!to_mln}: Alchemy/RockIt-style [.mln] program — declarations,
+      weighted first-order formulas (hard formulas end with a period),
+      with temporal arguments flattened to interval-endpoint pairs;
+    - {!to_mln_evidence}: the θ-translated UTKG as an Alchemy [.db]
+      evidence file (soft evidence with its confidence);
+    - {!to_psl}: PSL-style rules with arrow syntax and squared-hinge
+      markers omitted (we use linear hinges, as TeCoRe's nPSL does). *)
+
+val to_mln : Logic.Rule.t list -> string
+
+val to_mln_evidence : Kg.Graph.t -> string
+
+val to_psl : Logic.Rule.t list -> string
+
+val save : path:string -> string -> unit
+(** Write a rendered program to a file. *)

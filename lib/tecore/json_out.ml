@@ -1,0 +1,100 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = Printf.sprintf "\"%s\"" (escape s)
+
+let obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let float_value f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%g" f
+
+let term ns t =
+  match t with
+  | Kg.Term.Iri name -> (
+      match ns with
+      | Some ns -> str (Kg.Namespace.shrink ns name)
+      | None -> str name)
+  | Kg.Term.Str s -> str s
+  | Kg.Term.Int n -> string_of_int n
+  | Kg.Term.Flt f -> float_value f
+
+let of_quad ?namespace (q : Kg.Quad.t) =
+  obj
+    [
+      ("subject", term namespace q.subject);
+      ("predicate", term namespace q.predicate);
+      ("object", term namespace q.object_);
+      ("from", string_of_int (Kg.Interval.lo q.time));
+      ("to", string_of_int (Kg.Interval.hi q.time));
+      ("confidence", float_value q.confidence);
+    ]
+
+let of_derived ?namespace (d : Conflict.derived_fact) =
+  let atom = d.atom in
+  obj
+    (("predicate", str atom.Logic.Atom.Ground.predicate)
+     :: ("args", arr (List.map (term namespace) atom.Logic.Atom.Ground.args))
+     :: ("confidence", float_value d.confidence)
+     ::
+     (match atom.Logic.Atom.Ground.time with
+     | Some i ->
+         [
+           ("from", string_of_int (Kg.Interval.lo i));
+           ("to", string_of_int (Kg.Interval.hi i));
+         ]
+     | None -> []))
+
+let of_resolution ?namespace (r : Conflict.resolution) =
+  obj
+    [
+      ("kept", string_of_int r.kept);
+      ( "removed",
+        arr (List.map (fun (_, q) -> of_quad ?namespace q) r.removed) );
+      ("derived", arr (List.map (of_derived ?namespace) r.derived));
+      ("conflicting_ids", arr (List.map string_of_int r.conflicting));
+      ( "consistent",
+        arr
+          (List.map (of_quad ?namespace) (Kg.Graph.to_list r.consistent)) );
+    ]
+
+let of_result ?namespace (result : Engine.result) =
+  let stats = result.stats in
+  obj
+    [
+      ( "engine",
+        str
+          (match stats.Engine.engine_used with
+          | Translator.Mln_engine -> "mln"
+          | Translator.Psl_engine -> "psl") );
+      ( "stats",
+        obj
+          [
+            ("atoms", string_of_int stats.Engine.atoms);
+            ("ground_ms", float_value stats.Engine.ground_ms);
+            ("solve_ms", float_value stats.Engine.solve_ms);
+            ("total_ms", float_value stats.Engine.total_ms);
+            ("hard_violations", string_of_int stats.Engine.hard_violations);
+          ] );
+      ("resolution", of_resolution ?namespace result.resolution);
+    ]

@@ -1,0 +1,20 @@
+(** JSON rendering of resolution results.
+
+    The demo's browser front-end consumes resolution results over the
+    wire; this module is that data contract: a self-contained, dependency
+    free JSON serialisation of facts, resolutions and run statistics,
+    used by the CLI's [--json] mode and by anything embedding TeCoRe as
+    a service. *)
+
+val of_quad : ?namespace:Kg.Namespace.t -> Kg.Quad.t -> string
+
+val of_resolution : ?namespace:Kg.Namespace.t -> Conflict.resolution -> string
+(** Object with [kept], [removed] (fact array), [derived] (atom,
+    confidence and quad form when it exists) and [conflicting] (fact id
+    array). *)
+
+val of_result : ?namespace:Kg.Namespace.t -> Engine.result -> string
+(** The full payload: engine, statistics and the resolution. *)
+
+val escape : string -> string
+(** JSON string escaping (quotes, backslashes, control characters). *)

@@ -1,0 +1,46 @@
+(** Alternative repair strategies, for comparison with MAP inference.
+
+    TeCoRe's repair is the most probable consistent subgraph (MAP). The
+    KB-debugging literature the paper builds on (e.g. Schlobach et al.'s
+    axiom pinpointing) suggests two natural baselines:
+
+    - {b greedy}: while any hard-constraint clash remains, remove the
+      lowest-confidence fact involved in the most clashes — fast,
+      no solver, but can over-remove;
+    - {b minimal hitting sets}: enumerate the conflict sets (bodies of
+      violated hard instances) and compute all minimal fact sets whose
+      removal resolves every clash — exponential, for small inputs and
+      for explaining {e why} the MAP repair chose what it chose.
+
+    Both operate on the same grounding artefacts as the engines, so the
+    comparison (bench a7) isolates the repair policy. *)
+
+type repair = {
+  removed : (Kg.Graph.id * Kg.Quad.t) list;
+  consistent : Kg.Graph.t;
+  removed_confidence : float;
+      (** effective confidence mass removed (duplicate statements count
+          once, at their maximum confidence, matching θ) — lower is a
+          better repair *)
+}
+
+val greedy : Kg.Graph.t -> Logic.Rule.t list -> repair
+(** Iteratively removes the lowest-confidence / most-conflicting fact
+    until no hard-constraint instance is violated. Deterministic. *)
+
+val conflict_sets : Kg.Graph.t -> Logic.Rule.t list -> Kg.Graph.id list list
+(** The evidence-fact sets that cannot jointly survive (one per violated
+    hard instance, deduplicated). *)
+
+val minimal_hitting_sets :
+  ?max_sets:int -> Kg.Graph.id list list -> Kg.Graph.id list list
+(** All minimal hitting sets of the conflict sets, smallest first,
+    truncated at [max_sets] (default 100). Exponential: meant for small
+    diagnosis tasks. *)
+
+val optimal_hitting_set :
+  Kg.Graph.t -> Logic.Rule.t list -> repair option
+(** The minimum-confidence repair among all minimal hitting sets. Agrees
+    with MAP inference when no soft rules are present. Returns [None]
+    beyond diagnosis scale (more than 15 conflict sets): the HS-tree
+    enumeration is exponential and MAP is the scalable way to repair. *)

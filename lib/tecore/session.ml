@@ -1,0 +1,107 @@
+type t = {
+  ns : Kg.Namespace.t;
+  mutable kg : Kg.Graph.t option;
+  mutable rule_set : Logic.Rule.t list;
+  mutable result : Engine.result option;
+}
+
+let create () =
+  { ns = Kg.Namespace.create (); kg = None; rule_set = []; result = None }
+
+let namespace t = t.ns
+
+let load_graph t g =
+  t.kg <- Some g;
+  t.result <- None
+
+let load_file t path =
+  match Kg.Nquads.parse_file ~namespace:t.ns path with
+  | Ok g ->
+      load_graph t g;
+      Ok ()
+  | Error e -> Error (Format.asprintf "%a" Kg.Nquads.pp_error e)
+  | exception Sys_error msg -> Error msg
+
+let load_string t text =
+  match Kg.Nquads.parse_string ~namespace:t.ns text with
+  | Ok g ->
+      load_graph t g;
+      Ok ()
+  | Error e -> Error (Format.asprintf "%a" Kg.Nquads.pp_error e)
+
+let graph t = t.kg
+
+let add_rules t src =
+  match Rulelang.Parser.parse_string ~namespace:t.ns src with
+  | Ok rules ->
+      t.rule_set <- t.rule_set @ rules;
+      t.result <- None;
+      Ok rules
+  | Error e -> Error (Format.asprintf "%a" Rulelang.Parser.pp_error e)
+
+let remove_rule t name =
+  let before = List.length t.rule_set in
+  t.rule_set <-
+    List.filter (fun (r : Logic.Rule.t) -> r.name <> name) t.rule_set;
+  if List.length t.rule_set < before then begin
+    t.result <- None;
+    true
+  end
+  else false
+
+let rules t = t.rule_set
+
+let clear_rules t =
+  t.rule_set <- [];
+  t.result <- None
+
+let complete_predicate t prefix =
+  match t.kg with
+  | None -> []
+  | Some g ->
+      (* Match against both the CURIE and the full IRI rendering. *)
+      let lower = String.lowercase_ascii prefix in
+      let starts_with name =
+        let name = String.lowercase_ascii name in
+        String.length lower <= String.length name
+        && String.sub name 0 (String.length lower) = lower
+      in
+      List.filter_map
+        (fun (p, _) ->
+          let full = Kg.Term.to_string p in
+          let short = Kg.Namespace.shrink t.ns full in
+          if starts_with short || starts_with full then Some short else None)
+        (Kg.Graph.predicates g)
+
+let analyse t =
+  match t.kg with
+  | None -> Error "no knowledge graph selected"
+  | Some g -> Ok (Translator.analyse g t.rule_set)
+
+let run ?engine ?threshold t =
+  match t.kg with
+  | None -> Error "no knowledge graph selected"
+  | Some g -> (
+      match Engine.resolve ?engine ?threshold g t.rule_set with
+      | result ->
+          t.result <- Some result;
+          Ok result
+      | exception Engine.Rejected report ->
+          Error (Format.asprintf "%a" Translator.pp_report report))
+
+let last_result t = t.result
+
+let consistent_statements t =
+  match t.result with
+  | None -> []
+  | Some r -> Kg.Graph.to_list r.Engine.resolution.Conflict.consistent
+
+let conflicting_statements t =
+  match t.result with
+  | None -> []
+  | Some r -> List.map snd r.Engine.resolution.Conflict.removed
+
+let statistics t =
+  match t.result with
+  | None -> "no run yet"
+  | Some r -> Format.asprintf "%a" Engine.pp_result r

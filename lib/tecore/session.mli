@@ -1,0 +1,56 @@
+(** The demo workflow as a library — TeCoRe's Web UI without the browser.
+
+    A session mirrors the interface of Figures 3, 5 and 8: select a UTKG,
+    add inference rules and constraints (with predicate auto-completion
+    against the loaded KG), run conflict resolution, and browse the
+    consistent and conflicting statements and the statistics panel. The
+    CLI in [bin/] drives exactly this API. *)
+
+type t
+
+val create : unit -> t
+
+val namespace : t -> Kg.Namespace.t
+
+(** {1 Data selection} *)
+
+val load_graph : t -> Kg.Graph.t -> unit
+val load_file : t -> string -> (unit, string) result
+val load_string : t -> string -> (unit, string) result
+val graph : t -> Kg.Graph.t option
+
+(** {1 Rules and constraints editor} *)
+
+val add_rules : t -> string -> (Logic.Rule.t list, string) result
+(** Parse declarations in the rule language and add them; returns the
+    newly added rules. *)
+
+val remove_rule : t -> string -> bool
+(** Remove by name; false when absent. *)
+
+val rules : t -> Logic.Rule.t list
+
+val clear_rules : t -> unit
+
+val complete_predicate : t -> string -> string list
+(** Auto-completion for the constraints editor (Figure 5): predicates of
+    the loaded KG starting with the prefix. *)
+
+val analyse : t -> (Translator.report, string) result
+(** The translator's verification pass for the current selection. *)
+
+(** {1 Running and browsing results} *)
+
+val run : ?engine:Engine.engine -> ?threshold:float -> t -> (Engine.result, string) result
+(** Runs resolution and stores the result in the session. *)
+
+val last_result : t -> Engine.result option
+
+val consistent_statements : t -> Kg.Quad.t list
+(** Facts of the conflict-free expanded KG (empty before a run). *)
+
+val conflicting_statements : t -> Kg.Quad.t list
+(** The removed facts (browsable list of Figure 8). *)
+
+val statistics : t -> string
+(** The statistics panel as rendered text. *)

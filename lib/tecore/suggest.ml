@@ -1,0 +1,245 @@
+type kind =
+  | Disjointness
+  | Functionality
+  | Precedence of string
+
+type suggestion = {
+  rule : Logic.Rule.t;
+  kind : kind;
+  predicate : string;
+  support : int;
+  violations : int;
+  ratio : float;
+}
+
+type config = {
+  min_support : int;
+  min_ratio : float;
+  max_pairs_per_subject : int;
+}
+
+let default_config =
+  { min_support = 20; min_ratio = 0.9; max_pairs_per_subject = 50 }
+
+(* Weight for a soft suggestion: log-odds of the observed ratio, capped. *)
+let weight_of_ratio ratio =
+  if ratio >= 1.0 then None
+  else Some (Float.min 10.0 (log (ratio /. (1.0 -. ratio))))
+
+let var = Logic.Lterm.var
+
+let quad p s o t = Logic.Atom.quad_pattern p ~subject:s ~object_:o ~time:t
+
+let disjointness_rule predicate weight =
+  Logic.Rule.make ?weight
+    ~name:(Printf.sprintf "suggested_%s_disjoint" predicate)
+    ~conditions:[ Logic.Cond.Neq (var "y", var "z") ]
+    ~body:
+      [
+        quad predicate (var "x") (var "y") (Logic.Lterm.Tvar "t");
+        quad predicate (var "x") (var "z") (Logic.Lterm.Tvar "t2");
+      ]
+    (Logic.Rule.Require
+       (Logic.Cond.allen_set Kg.Allen.Set.disjoint (Logic.Lterm.Tvar "t")
+          (Logic.Lterm.Tvar "t2")))
+
+let functionality_rule predicate weight =
+  Logic.Rule.make ?weight
+    ~name:(Printf.sprintf "suggested_%s_functional" predicate)
+    ~conditions:
+      [
+        Logic.Cond.allen_set Kg.Allen.Set.intersects (Logic.Lterm.Tvar "t")
+          (Logic.Lterm.Tvar "t2");
+      ]
+    ~body:
+      [
+        quad predicate (var "x") (var "y") (Logic.Lterm.Tvar "t");
+        quad predicate (var "x") (var "z") (Logic.Lterm.Tvar "t2");
+      ]
+    (Logic.Rule.Require (Logic.Cond.Eq (var "y", var "z")))
+
+let precedence_rule p q weight =
+  Logic.Rule.make ?weight
+    ~name:(Printf.sprintf "suggested_%s_before_%s" p q)
+    ~body:
+      [
+        quad p (var "x") (var "y") (Logic.Lterm.Tvar "t");
+        quad q (var "x") (var "z") (Logic.Lterm.Tvar "t2");
+      ]
+    (Logic.Rule.Require
+       (Logic.Cond.Cmp
+          ( Logic.Cond.Le,
+            Logic.Cond.Start_of (Logic.Lterm.Tvar "t"),
+            Logic.Cond.Start_of (Logic.Lterm.Tvar "t2") )))
+
+(* All same-subject fact pairs of a predicate, capped per subject. *)
+let subject_pairs config graph predicate =
+  let by_subject = Hashtbl.create 256 in
+  List.iter
+    (fun (_, q) ->
+      let key = Kg.Term.to_string q.Kg.Quad.subject in
+      Hashtbl.replace by_subject key
+        (q :: Option.value (Hashtbl.find_opt by_subject key) ~default:[]))
+    (Kg.Graph.by_predicate graph (Kg.Term.iri predicate));
+  Hashtbl.fold
+    (fun _ facts acc ->
+      let rec pairs taken acc = function
+        | [] | [ _ ] -> acc
+        | a :: rest ->
+            if taken >= config.max_pairs_per_subject then acc
+            else
+              let acc, taken =
+                List.fold_left
+                  (fun (acc, taken) b ->
+                    if taken >= config.max_pairs_per_subject then (acc, taken)
+                    else ((a, b) :: acc, taken + 1))
+                  (acc, taken) rest
+              in
+              pairs taken acc rest
+      in
+      pairs 0 acc facts)
+    by_subject []
+
+let mine_predicate config graph predicate =
+  let pairs = subject_pairs config graph predicate in
+  let support = List.length pairs in
+  if support < config.min_support then []
+  else begin
+    let distinct_objects =
+      List.filter
+        (fun ((a : Kg.Quad.t), (b : Kg.Quad.t)) ->
+          not (Kg.Term.equal a.object_ b.object_))
+        pairs
+    in
+    let candidates = ref [] in
+    (* Disjointness over pairs with distinct objects. *)
+    let d_support = List.length distinct_objects in
+    if d_support >= config.min_support then begin
+      let violations =
+        List.length
+          (List.filter
+             (fun ((a : Kg.Quad.t), (b : Kg.Quad.t)) ->
+               Kg.Interval.overlaps a.time b.time)
+             distinct_objects)
+      in
+      let ratio =
+        float_of_int (d_support - violations) /. float_of_int d_support
+      in
+      if ratio >= config.min_ratio then
+        candidates :=
+          {
+            rule = disjointness_rule predicate (weight_of_ratio ratio);
+            kind = Disjointness;
+            predicate;
+            support = d_support;
+            violations;
+            ratio;
+          }
+          :: !candidates
+    end;
+    (* Functionality over temporally intersecting pairs. *)
+    let intersecting =
+      List.filter
+        (fun ((a : Kg.Quad.t), (b : Kg.Quad.t)) ->
+          Kg.Interval.overlaps a.time b.time)
+        pairs
+    in
+    let f_support = List.length intersecting in
+    if f_support >= config.min_support then begin
+      let violations =
+        List.length
+          (List.filter
+             (fun ((a : Kg.Quad.t), (b : Kg.Quad.t)) ->
+               not (Kg.Term.equal a.object_ b.object_))
+             intersecting)
+      in
+      let ratio =
+        float_of_int (f_support - violations) /. float_of_int f_support
+      in
+      if ratio >= config.min_ratio then
+        candidates :=
+          {
+            rule = functionality_rule predicate (weight_of_ratio ratio);
+            kind = Functionality;
+            predicate;
+            support = f_support;
+            violations;
+            ratio;
+          }
+          :: !candidates
+    end;
+    !candidates
+  end
+
+(* Precedence between two predicates sharing subjects. *)
+let mine_precedence config graph p q =
+  let q_by_subject = Hashtbl.create 256 in
+  List.iter
+    (fun (_, fact) ->
+      let key = Kg.Term.to_string fact.Kg.Quad.subject in
+      Hashtbl.replace q_by_subject key
+        (fact :: Option.value (Hashtbl.find_opt q_by_subject key) ~default:[]))
+    (Kg.Graph.by_predicate graph (Kg.Term.iri q));
+  let support = ref 0 in
+  let violations = ref 0 in
+  List.iter
+    (fun (_, (pf : Kg.Quad.t)) ->
+      match
+        Hashtbl.find_opt q_by_subject (Kg.Term.to_string pf.subject)
+      with
+      | None -> ()
+      | Some qfacts ->
+          List.iter
+            (fun (qf : Kg.Quad.t) ->
+              incr support;
+              if Kg.Interval.lo pf.time > Kg.Interval.lo qf.time then
+                incr violations)
+            qfacts)
+    (Kg.Graph.by_predicate graph (Kg.Term.iri p));
+  if !support < config.min_support then None
+  else
+    let ratio =
+      float_of_int (!support - !violations) /. float_of_int !support
+    in
+    if ratio >= config.min_ratio then
+      Some
+        {
+          rule = precedence_rule p q (weight_of_ratio ratio);
+          kind = Precedence q;
+          predicate = p;
+          support = !support;
+          violations = !violations;
+          ratio;
+        }
+    else None
+
+let mine ?(config = default_config) graph =
+  let predicates =
+    List.map (fun (p, _) -> Kg.Term.to_string p) (Kg.Graph.predicates graph)
+  in
+  let unary = List.concat_map (mine_predicate config graph) predicates in
+  let pairwise =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun q -> if p = q then None else mine_precedence config graph p q)
+          predicates)
+      predicates
+  in
+  List.sort
+    (fun a b ->
+      match Float.compare b.ratio a.ratio with
+      | 0 -> Int.compare b.support a.support
+      | c -> c)
+    (unary @ pairwise)
+
+let pp_suggestion ppf s =
+  let kind_name =
+    match s.kind with
+    | Disjointness -> "disjointness"
+    | Functionality -> "functionality"
+    | Precedence q -> "precedence vs " ^ q
+  in
+  Format.fprintf ppf "[%s on %s, ratio %.3f, support %d, violations %d]@ %a"
+    kind_name s.predicate s.ratio s.support s.violations Rulelang.Printer.pp_rule
+    s.rule

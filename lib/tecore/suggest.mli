@@ -1,0 +1,50 @@
+(** Automatic constraint suggestion.
+
+    The demo's discussion asks for "automatic derivation or suggestion of
+    constraints and inference rules"; this module mines candidate
+    temporal constraints from the selected UTKG itself:
+
+    - {b disjointness}: for a predicate [p], if almost every pair of
+      same-subject facts with distinct objects is temporally disjoint,
+      suggest [p(x,y)@t ∧ p(x,z)@t2 ∧ y ≠ z → disjoint(t, t2)] — the
+      shape of the paper's c2;
+    - {b object functionality}: if same-subject facts with intersecting
+      intervals almost always agree on the object, suggest
+      [p(x,y)@t ∧ p(x,z)@t2 ∧ intersects(t,t2) → y = z] — the shape of c3;
+    - {b precedence}: for a predicate pair (p, q) co-occurring on many
+      subjects, if [p]'s interval (almost) always starts before [q]'s,
+      suggest [p(..)@t ∧ q(..)@t2 → start(t) <= start(t2)] — the shape
+      of c1.
+
+    A suggestion whose support ratio is 1.0 is proposed as a hard
+    constraint; otherwise it gets the log-odds of its ratio as a soft
+    weight. Suggestions are ordinary {!Logic.Rule.t} values, directly
+    runnable by the engine. *)
+
+type kind =
+  | Disjointness
+  | Functionality
+  | Precedence of string  (** the second predicate *)
+
+type suggestion = {
+  rule : Logic.Rule.t;
+  kind : kind;
+  predicate : string;
+  support : int;        (** fact pairs examined *)
+  violations : int;     (** pairs contradicting the candidate *)
+  ratio : float;        (** (support - violations) / support *)
+}
+
+type config = {
+  min_support : int;    (** pairs needed before suggesting (default 20) *)
+  min_ratio : float;    (** acceptance threshold (default 0.9) *)
+  max_pairs_per_subject : int;
+      (** cap on pairs per subject to keep mining linear-ish (default 50) *)
+}
+
+val default_config : config
+
+val mine : ?config:config -> Kg.Graph.t -> suggestion list
+(** Candidates sorted by descending ratio, then support. *)
+
+val pp_suggestion : Format.formatter -> suggestion -> unit

@@ -1,0 +1,94 @@
+type severity = Info | Warning | Error
+
+type note = {
+  severity : severity;
+  rule : string option;
+  message : string;
+}
+
+type engine_choice = Mln_engine | Psl_engine
+
+type report = {
+  notes : note list;
+  ok : bool;
+  recommended : engine_choice;
+  estimated_atoms : int;
+}
+
+let mln_size_limit = 20_000
+
+let analyse graph rules =
+  let notes = ref [] in
+  let note severity rule message = notes := { severity; rule; message } :: !notes in
+  let predicates = List.map (fun (p, _) -> Kg.Term.to_string p) (Kg.Graph.predicates graph) in
+  let head_predicates =
+    List.filter_map
+      (fun (r : Logic.Rule.t) ->
+        match r.head with
+        | Logic.Rule.Infer a -> Some a.predicate
+        | _ -> None)
+      rules
+  in
+  List.iter
+    (fun (r : Logic.Rule.t) ->
+      (match Logic.Rule.check_safety r with
+      | Ok () -> ()
+      | Error msg -> note Error (Some r.name) msg);
+      List.iter
+        (fun (a : Logic.Atom.t) ->
+          if
+            (not (List.mem a.predicate predicates))
+            && not (List.mem a.predicate head_predicates)
+          then
+            note Warning (Some r.name)
+              (Printf.sprintf
+                 "predicate %s does not occur in the selected KG" a.predicate))
+        r.body;
+      if (not (Logic.Rule.is_inference r)) && r.weight <> None then
+        note Info (Some r.name)
+          "soft constraint: the PSL path approximates its penalty by the \
+           Lukasiewicz distance to satisfaction";
+      match r.head with
+      | Logic.Rule.Infer a when List.length a.args > 2 ->
+          note Info (Some r.name)
+            "non-binary head atoms are kept out of the expanded KG (they \
+             have no quad form)"
+      | _ -> ())
+    rules;
+  let estimated_atoms = Kg.Graph.size graph in
+  let recommended =
+    if estimated_atoms > mln_size_limit then Psl_engine else Mln_engine
+  in
+  if recommended = Psl_engine then
+    note Info None
+      (Printf.sprintf
+         "%d facts exceed the MLN comfort zone (%d); the scalable nPSL \
+          engine is recommended"
+         estimated_atoms mln_size_limit);
+  let notes = List.rev !notes in
+  {
+    notes;
+    ok = not (List.exists (fun n -> n.severity = Error) notes);
+    recommended;
+    estimated_atoms;
+  }
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>translator: %s, %d facts, recommended engine: %s"
+    (if r.ok then "ok" else "rejected")
+    r.estimated_atoms
+    (match r.recommended with
+    | Mln_engine -> "MLN (nRockIt path)"
+    | Psl_engine -> "nPSL");
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "@ [%s]%s %s" (severity_name n.severity)
+        (match n.rule with Some name -> " " ^ name ^ ":" | None -> "")
+        n.message)
+    r.notes;
+  Format.fprintf ppf "@]"

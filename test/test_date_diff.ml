@@ -1,0 +1,174 @@
+(* Tests for calendar dates and KG diffing. *)
+
+module D = Kg.Date
+module Diff = Tecore.Diff
+
+let date y m d = D.make ~year:y ~month:m ~day:d
+
+let test_epoch () =
+  Alcotest.(check int) "epoch day 0" 0 (D.to_day_number (date 1970 1 1));
+  Alcotest.(check int) "day 1" 1 (D.to_day_number (date 1970 1 2));
+  Alcotest.(check int) "day -1" (-1) (D.to_day_number (date 1969 12 31))
+
+let test_known_days () =
+  (* 2000-03-01 is day 11017 (post leap day of a 400-divisible year). *)
+  Alcotest.(check int) "2000-03-01" 11017 (D.to_day_number (date 2000 3 1));
+  Alcotest.(check int) "2000-02-29 exists" 11016
+    (D.to_day_number (date 2000 2 29))
+
+let test_leap_years () =
+  Alcotest.(check bool) "2000 leap" true (D.is_leap_year 2000);
+  Alcotest.(check bool) "1900 not leap" false (D.is_leap_year 1900);
+  Alcotest.(check bool) "2024 leap" true (D.is_leap_year 2024);
+  Alcotest.(check bool) "2023 not leap" false (D.is_leap_year 2023);
+  Alcotest.(check int) "feb 2024" 29 (D.days_in_month ~year:2024 ~month:2);
+  Alcotest.(check int) "feb 1900" 28 (D.days_in_month ~year:1900 ~month:2)
+
+let test_invalid_dates () =
+  let bad y m d =
+    match D.make ~year:y ~month:m ~day:d with
+    | exception D.Invalid _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "%d-%d-%d accepted" y m d)
+  in
+  bad 2023 2 29;
+  bad 2024 2 30;
+  bad 2024 13 1;
+  bad 2024 0 1;
+  bad 2024 4 31;
+  bad 2024 1 0
+
+let test_iso_roundtrip () =
+  List.iter
+    (fun s ->
+      match D.of_iso s with
+      | Ok d -> Alcotest.(check string) s s (D.to_iso d)
+      | Error e -> Alcotest.fail e)
+    [ "1970-01-01"; "2000-02-29"; "1951-10-20"; "0001-01-01"; "-0044-03-15" ];
+  (match D.of_iso "not-a-date" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match D.of_iso "2023-02-29" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid leap day accepted"
+
+let test_interval_building () =
+  (match D.interval "2000-01-01" "2004-06-30" with
+  | Ok i ->
+      Alcotest.(check int) "length" 1643 (Kg.Interval.length i);
+      let from_s, to_s = D.interval_to_iso i in
+      Alcotest.(check string) "from" "2000-01-01" from_s;
+      Alcotest.(check string) "to" "2004-06-30" to_s
+  | Error e -> Alcotest.fail e);
+  match D.interval "2004-01-01" "2000-01-01" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "reversed interval accepted"
+
+let qcheck_day_roundtrip =
+  QCheck.Test.make ~name:"of_day_number (to_day_number d) = d" ~count:2000
+    QCheck.(int_range (-1_000_000) 1_000_000)
+    (fun day ->
+      let d = D.of_day_number day in
+      D.to_day_number d = day)
+
+let qcheck_successive_days =
+  QCheck.Test.make ~name:"day n+1 is the calendar successor" ~count:1000
+    QCheck.(int_range (-200_000) 200_000)
+    (fun day ->
+      let a = D.of_day_number day and b = D.of_day_number (day + 1) in
+      D.compare a b < 0)
+
+(* ---------------- diff ---------------- *)
+
+let g quads = Kg.Graph.of_list quads
+let q ?(c = 0.9) s p o span = Kg.Quad.v s p (Kg.Term.iri o) span c
+
+let test_diff_empty () =
+  let a = g [ q "s" "p" "o" (1, 2) ] in
+  let d = Diff.diff a (Kg.Graph.copy a) in
+  Alcotest.(check bool) "empty diff" true (Diff.is_empty d);
+  Alcotest.(check int) "unchanged" 1 d.Diff.unchanged
+
+let test_diff_additions_removals () =
+  let left = g [ q "a" "p" "x" (1, 2); q "b" "p" "y" (1, 2) ] in
+  let right = g [ q "b" "p" "y" (1, 2); q "c" "p" "z" (1, 2) ] in
+  let d = Diff.diff left right in
+  Alcotest.(check int) "one removed" 1 (List.length d.Diff.only_left);
+  Alcotest.(check int) "one added" 1 (List.length d.Diff.only_right);
+  Alcotest.(check int) "one shared" 1 d.Diff.unchanged;
+  Alcotest.(check string) "removed is a" "a"
+    (Kg.Term.to_string (List.hd d.Diff.only_left).Kg.Quad.subject);
+  Alcotest.(check string) "added is c" "c"
+    (Kg.Term.to_string (List.hd d.Diff.only_right).Kg.Quad.subject)
+
+let test_diff_confidence_change () =
+  let left = g [ q ~c:0.9 "a" "p" "x" (1, 2) ] in
+  let right = g [ q ~c:0.4 "a" "p" "x" (1, 2) ] in
+  let d = Diff.diff left right in
+  Alcotest.(check int) "one changed" 1 (List.length d.Diff.confidence_changed);
+  Alcotest.(check bool) "not empty" false (Diff.is_empty d);
+  let l, r = List.hd d.Diff.confidence_changed in
+  Alcotest.(check bool) "directions" true
+    (l.Kg.Quad.confidence = 0.9 && r.Kg.Quad.confidence = 0.4)
+
+let test_diff_interval_matters () =
+  (* Same triple, different interval: an add + a remove, not a change. *)
+  let left = g [ q "a" "p" "x" (1, 2) ] in
+  let right = g [ q "a" "p" "x" (1, 3) ] in
+  let d = Diff.diff left right in
+  Alcotest.(check int) "removed" 1 (List.length d.Diff.only_left);
+  Alcotest.(check int) "added" 1 (List.length d.Diff.only_right)
+
+let test_diff_resolution_use_case () =
+  (* Diffing input against its resolution shows exactly the removals and
+     the derived facts. *)
+  let graph =
+    g [ q ~c:0.9 "x" "coach" "A" (2000, 2005); q ~c:0.6 "x" "coach" "B" (2003, 2007) ]
+  in
+  let rules =
+    match
+      Rulelang.Parser.parse_string
+        "constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) ."
+    with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "parse"
+  in
+  let result = Tecore.Engine.resolve graph rules in
+  let d = Diff.diff graph result.Tecore.Engine.resolution.Tecore.Conflict.consistent in
+  Alcotest.(check int) "the removed fact" 1 (List.length d.Diff.only_left);
+  Alcotest.(check int) "nothing added (no inference rules)" 0
+    (List.length d.Diff.only_right)
+
+let test_diff_pp () =
+  let left = g [ q "a" "p" "x" (1, 2) ] in
+  let right = g [ q "b" "p" "y" (1, 2) ] in
+  let s = Format.asprintf "%a" Diff.pp (Diff.diff left right) in
+  Alcotest.(check bool) "minus line" true (String.contains s '-');
+  Alcotest.(check bool) "plus line" true (String.contains s '+')
+
+let () =
+  Alcotest.run "date-diff"
+    [
+      ( "date",
+        [
+          Alcotest.test_case "epoch" `Quick test_epoch;
+          Alcotest.test_case "known days" `Quick test_known_days;
+          Alcotest.test_case "leap years" `Quick test_leap_years;
+          Alcotest.test_case "invalid dates" `Quick test_invalid_dates;
+          Alcotest.test_case "iso roundtrip" `Quick test_iso_roundtrip;
+          Alcotest.test_case "interval building" `Quick test_interval_building;
+          QCheck_alcotest.to_alcotest qcheck_day_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_successive_days;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "empty" `Quick test_diff_empty;
+          Alcotest.test_case "add/remove" `Quick test_diff_additions_removals;
+          Alcotest.test_case "confidence change" `Quick
+            test_diff_confidence_change;
+          Alcotest.test_case "interval identity" `Quick
+            test_diff_interval_matters;
+          Alcotest.test_case "resolution diff" `Quick
+            test_diff_resolution_use_case;
+          Alcotest.test_case "pp" `Quick test_diff_pp;
+        ] );
+    ]

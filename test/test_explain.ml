@@ -1,0 +1,135 @@
+(* Tests for removal and derivation explanations. *)
+
+module E = Tecore.Explain
+
+let parse_rules src =
+  match Rulelang.Parser.parse_string src with
+  | Ok rules -> rules
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Rulelang.Parser.pp_error e)
+
+let cr_rules () =
+  parse_rules
+    {|constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) .
+rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .|}
+
+let cr_graph () =
+  Kg.Graph.of_list
+    [
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Chelsea") (2000, 2004) 0.9;
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Napoli") (2001, 2003) 0.6;
+      Kg.Quad.v "CR" "playsFor" (Kg.Term.iri "Palermo") (1984, 1986) 0.5;
+    ]
+
+let test_removal_explained_by_clash () =
+  let graph = cr_graph () in
+  let result = Tecore.Engine.resolve graph (cr_rules ()) in
+  let removals, _ = E.of_result graph result in
+  match removals with
+  | [ r ] -> (
+      Alcotest.(check string) "napoli removed" "Napoli"
+        (Kg.Term.to_string r.E.quad.Kg.Quad.object_);
+      match r.E.clashes with
+      | [ clash ] ->
+          Alcotest.(check string) "constraint name" "c2" clash.E.constraint_name;
+          Alcotest.(check int) "one winner" 1 (List.length clash.E.winners);
+          Alcotest.(check string) "chelsea won" "Chelsea"
+            (Kg.Term.to_string (List.hd clash.E.winners).Kg.Quad.object_);
+          Alcotest.(check bool) "winner outweighs loser" true
+            (clash.E.winner_weight > clash.E.loser_weight)
+      | clashes ->
+          Alcotest.fail (Printf.sprintf "expected 1 clash, got %d" (List.length clashes)))
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 removal, got %d" (List.length rs))
+
+let test_low_confidence_removal_has_no_clash () =
+  (* A fact below confidence 0.5 is dropped by its own weight. *)
+  let graph =
+    Kg.Graph.of_list [ Kg.Quad.v "a" "p" (Kg.Term.iri "b") (1, 2) 0.2 ]
+  in
+  let result = Tecore.Engine.resolve graph [] in
+  let removals, _ = E.of_result graph result in
+  match removals with
+  | [ r ] -> Alcotest.(check int) "no clash" 0 (List.length r.E.clashes)
+  | _ -> Alcotest.fail "expected one removal"
+
+let test_derivation_explained () =
+  let graph = cr_graph () in
+  let result = Tecore.Engine.resolve graph (cr_rules ()) in
+  let _, derivations = E.of_result graph result in
+  match derivations with
+  | [ d ] -> (
+      Alcotest.(check string) "worksFor derived" "worksFor"
+        d.E.atom.Logic.Atom.Ground.predicate;
+      match d.E.via with
+      | [ (rule, support) ] ->
+          Alcotest.(check string) "via f1" "f1" rule;
+          Alcotest.(check int) "one supporting fact" 1 (List.length support);
+          Alcotest.(check string) "palermo supports" "Palermo"
+            (Kg.Term.to_string (List.hd support).Kg.Quad.object_)
+      | _ -> Alcotest.fail "expected one firing rule")
+  | ds -> Alcotest.fail (Printf.sprintf "expected 1 derivation, got %d" (List.length ds))
+
+let test_chained_derivation_support () =
+  (* The second derivation's direct support is the first (hidden) atom,
+     so its evidence support is the playsFor fact transitively only when
+     listed in the instance body; via f2 the evidence support is the
+     locatedIn fact. *)
+  let graph =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "CR" "playsFor" (Kg.Term.iri "Palermo") (1984, 1986) 0.5;
+        Kg.Quad.v "Palermo" "locatedIn" (Kg.Term.iri "Sicily") (1900, 2017) 1.0;
+      ]
+  in
+  let rules =
+    parse_rules
+      {|rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .
+rule f2 1.6: worksFor(x, y)@t ^ locatedIn(y, z)@t2 ^ intersects(t, t2) => livesIn(x, z)@(t * t2) .|}
+  in
+  let result = Tecore.Engine.resolve graph rules in
+  let _, derivations = E.of_result graph result in
+  let lives =
+    List.find_opt
+      (fun d -> d.E.atom.Logic.Atom.Ground.predicate = "livesIn")
+      derivations
+  in
+  match lives with
+  | Some d -> (
+      match d.E.via with
+      | [ ("f2", support) ] ->
+          Alcotest.(check int) "evidence support (locatedIn only)" 1
+            (List.length support)
+      | _ -> Alcotest.fail "expected f2 firing")
+  | None -> Alcotest.fail "livesIn not derived"
+
+let test_pp_smoke () =
+  let graph = cr_graph () in
+  let result = Tecore.Engine.resolve graph (cr_rules ()) in
+  let removals, derivations = E.of_result graph result in
+  List.iter
+    (fun r ->
+      let s = Format.asprintf "%a" E.pp_removal r in
+      Alcotest.(check bool) "non-empty" true (String.length s > 0))
+    removals;
+  List.iter
+    (fun d ->
+      let s = Format.asprintf "%a" E.pp_derivation d in
+      Alcotest.(check bool) "non-empty" true (String.length s > 0))
+    derivations
+
+let () =
+  Alcotest.run "explain"
+    [
+      ( "removals",
+        [
+          Alcotest.test_case "clash explanation" `Quick
+            test_removal_explained_by_clash;
+          Alcotest.test_case "own-weight removal" `Quick
+            test_low_confidence_removal_has_no_clash;
+        ] );
+      ( "derivations",
+        [
+          Alcotest.test_case "direct" `Quick test_derivation_explained;
+          Alcotest.test_case "chained" `Quick test_chained_derivation_support;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+        ] );
+    ]

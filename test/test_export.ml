@@ -1,0 +1,124 @@
+(* Tests for the solver-syntax exports (Alchemy-style MLN, PSL). *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  loop 0
+
+let parse_rules src =
+  match Rulelang.Parser.parse_string src with
+  | Ok rules -> rules
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Rulelang.Parser.pp_error e)
+
+let paper_rules () =
+  parse_rules
+    {|rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .
+constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) .|}
+
+let test_mln_weighted_rule () =
+  let text = Tecore.Export.to_mln (paper_rules ()) in
+  Alcotest.(check bool) "weight prefix" true
+    (contains text "2.5 playsFor(x, t_lo, t_hi)" || contains text "2.5 playsFor(x, y, t_lo, t_hi)");
+  Alcotest.(check bool) "implication" true (contains text "=>");
+  Alcotest.(check bool) "head atom" true
+    (contains text "worksFor(x, y, t_lo, t_hi)")
+
+let test_mln_hard_rule_period () =
+  let text = Tecore.Export.to_mln (paper_rules ()) in
+  (* hard formulas end with a period in Alchemy syntax *)
+  Alcotest.(check bool) "hard marker" true (contains text ".");
+  Alcotest.(check bool) "disjoint flattened to endpoints" true
+    (contains text "t_hi + 1 < t2_lo")
+
+let test_mln_declarations () =
+  let text = Tecore.Export.to_mln (paper_rules ()) in
+  Alcotest.(check bool) "playsFor declared" true
+    (contains text "playsFor(arg0, arg1, lo, hi)");
+  Alcotest.(check bool) "coach declared" true
+    (contains text "coach(arg0, arg1, lo, hi)");
+  Alcotest.(check bool) "head predicate declared" true
+    (contains text "worksFor(arg0, arg1, lo, hi)")
+
+let test_mln_constant_sanitisation () =
+  let rules =
+    parse_rules "rule k 1: coach(x, Real_Montara)@t => Top(x) ."
+  in
+  let text = Tecore.Export.to_mln rules in
+  Alcotest.(check bool) "constant kept upper" true
+    (contains text "Real_Montara")
+
+let test_evidence_export () =
+  let graph =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "CR" "coach" (Kg.Term.iri "Chelsea") (2000, 2004) 0.9;
+        Kg.Quad.v "CR" "birthDate" (Kg.Term.int 1951) (1951, 2017) 1.0;
+      ]
+  in
+  let text = Tecore.Export.to_mln_evidence graph in
+  Alcotest.(check bool) "soft evidence has weight" true
+    (contains text "0.9 coach(CR, Chelsea, 2000, 2004)");
+  Alcotest.(check bool) "hard evidence bare" true
+    (contains text "birthDate(CR, C1951, 1951, 2017)");
+  Alcotest.(check bool) "hard line has no weight prefix" true
+    (not (contains text "1 birthDate"))
+
+let test_psl_rule () =
+  let text = Tecore.Export.to_psl (paper_rules ()) in
+  Alcotest.(check bool) "weighted arrow rule" true
+    (contains text "2.5: playsFor(x, y, t_lo, t_hi) -> worksFor(x, y, t_lo, t_hi)");
+  Alcotest.(check bool) "hard rule with period" true (contains text " .")
+
+let test_allen_encodings () =
+  let rules =
+    parse_rules
+      {|constraint a: p(x, y)@t ^ q(x, z)@t2 => before(t, t2) .
+constraint b: p(x, y)@t ^ q(x, z)@t2 => intersects(t, t2) .
+constraint c: p(x, y)@t ^ q(x, z)@t2 => during(t, t2) .|}
+  in
+  let text = Tecore.Export.to_mln rules in
+  Alcotest.(check bool) "before" true (contains text "t_hi + 1 < t2_lo");
+  Alcotest.(check bool) "intersects" true
+    (contains text "t_lo <= t2_hi ^ t2_lo <= t_hi");
+  Alcotest.(check bool) "during" true
+    (contains text "t2_lo < t_lo ^ t_hi < t2_hi")
+
+let test_computed_interval_flattening () =
+  let rules =
+    parse_rules
+      "rule f2 1.6: p(x, y)@t ^ q(y, z)@t2 ^ intersects(t, t2) => r(x, z)@(t * t2) ."
+  in
+  let text = Tecore.Export.to_mln rules in
+  (* The intersection's endpoints are the max/min of the operands; our
+     flattening approximates with the operand endpoints. *)
+  Alcotest.(check bool) "head emitted" true (contains text "r(x, z,")
+
+let test_save () =
+  let path = Filename.temp_file "tecore" ".mln" in
+  Tecore.Export.save ~path "content";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "saved" "content" line
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "mln",
+        [
+          Alcotest.test_case "weighted rule" `Quick test_mln_weighted_rule;
+          Alcotest.test_case "hard rule" `Quick test_mln_hard_rule_period;
+          Alcotest.test_case "declarations" `Quick test_mln_declarations;
+          Alcotest.test_case "constants" `Quick test_mln_constant_sanitisation;
+          Alcotest.test_case "evidence" `Quick test_evidence_export;
+          Alcotest.test_case "allen encodings" `Quick test_allen_encodings;
+          Alcotest.test_case "computed intervals" `Quick
+            test_computed_interval_flattening;
+        ] );
+      ( "psl",
+        [
+          Alcotest.test_case "rules" `Quick test_psl_rule;
+          Alcotest.test_case "save" `Quick test_save;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Fuzzing the parsers: arbitrary input must produce an [Error], never an
+   escaping exception, and valid printed output must re-parse. *)
+
+module Prng = Prelude.Prng
+
+let random_string rng len charset =
+  String.init (Prng.int rng (len + 1)) (fun _ -> Prng.pick rng charset)
+
+let printable =
+  Array.init 95 (fun i -> Char.chr (32 + i))
+
+let rule_ish =
+  [|
+    'a'; 'b'; 'x'; 'y'; 'z'; 't'; '('; ')'; ','; '@'; '^'; '='; '>'; '<';
+    '!'; '.'; ':'; ' '; '['; ']'; '1'; '2'; '-'; '+'; '*'; '"'; '\'';
+    'r'; 'u'; 'l'; 'e'; 'c'; 'o'; 'n'; 's'; 'i'; '\n';
+  |]
+
+let test_rule_parser_total () =
+  let rng = Prng.create 101 in
+  for _ = 1 to 3_000 do
+    let src = random_string rng 60 rule_ish in
+    match Rulelang.Parser.parse_string src with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "parser raised %s on %S" (Printexc.to_string e) src)
+  done
+
+let test_rule_parser_printable_total () =
+  let rng = Prng.create 102 in
+  for _ = 1 to 2_000 do
+    let src = random_string rng 80 printable in
+    match Rulelang.Parser.parse_string src with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "parser raised %s on %S" (Printexc.to_string e) src)
+  done
+
+let test_query_parser_total () =
+  let rng = Prng.create 103 in
+  for _ = 1 to 2_000 do
+    let src = random_string rng 50 rule_ish in
+    match Rulelang.Parser.parse_query src with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "query parser raised %s on %S" (Printexc.to_string e)
+             src)
+  done
+
+let test_nquads_parser_total () =
+  let rng = Prng.create 104 in
+  for _ = 1 to 3_000 do
+    let src = random_string rng 80 printable in
+    match Kg.Nquads.parse_string src with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "nquads raised %s on %S" (Printexc.to_string e) src)
+  done
+
+let test_sql_parser_total () =
+  let rng = Prng.create 105 in
+  let db = Reldb.Database.create () in
+  Reldb.Database.add_table db
+    (Reldb.Table.create ~name:"t" ~columns:[ "a"; "b" ]);
+  let sql_ish =
+    [|
+      'S'; 'E'; 'L'; 'C'; 'T'; 'F'; 'R'; 'O'; 'M'; 'W'; 'H'; ' '; '*'; ',';
+      '='; '<'; '>'; '\''; 'a'; 'b'; 't'; '1'; '2'; 'J'; 'I'; 'N'; 'D';
+    |]
+  in
+  for _ = 1 to 3_000 do
+    let src = random_string rng 60 sql_ish in
+    match Reldb.Sql.query db src with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "sql raised %s on %S" (Printexc.to_string e) src)
+  done
+
+let test_interval_of_string_total () =
+  let rng = Prng.create 106 in
+  for _ = 1 to 3_000 do
+    let src = random_string rng 20 printable in
+    match Kg.Interval.of_string src with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "interval raised %s on %S" (Printexc.to_string e) src)
+  done
+
+(* Structured fuzz: generate random *valid* programs, print, re-parse. *)
+let random_program rng =
+  let predicate () =
+    Prng.pick rng [| "p"; "q"; "coach"; "playsFor"; "worksFor" |]
+  in
+  let bound_var () = Prng.pick rng [| "x"; "y"; "z" |] in
+  let tvar () = Prng.pick rng [| "t"; "t2" |] in
+  let atom () =
+    (* Heads reuse body-bound variables only, keeping the rule safe. *)
+    Printf.sprintf "%s(%s, %s)@%s" (predicate ()) (bound_var ()) (bound_var ())
+      (tvar ())
+  in
+  let cond () =
+    match Prng.int rng 3 with
+    | 0 -> "y != z"
+    | 1 -> Printf.sprintf "intersects(%s, %s)" (tvar ()) (tvar ())
+    | _ -> Printf.sprintf "start(%s) < %d" (tvar ()) (Prng.int rng 100)
+  in
+  let name = Printf.sprintf "r%d" (Prng.int rng 1000) in
+  (* The body binds exactly x, y, z, t and t2, so every head and
+     condition above is range-restricted. *)
+  let body =
+    Printf.sprintf "%s(x, y)@t ^ %s(x, z)@t2" (predicate ()) (predicate ())
+  in
+  let body = if Prng.bool rng then body ^ " ^ " ^ cond () else body in
+  if Prng.bool rng then
+    Printf.sprintf "constraint %s: %s => disjoint(t, t2) ." name body
+  else
+    Printf.sprintf "rule %s %.1f: %s => %s ." name
+      (0.5 +. Prng.float rng 5.0)
+      body (atom ())
+
+let test_valid_programs_roundtrip () =
+  let rng = Prng.create 107 in
+  for _ = 1 to 500 do
+    let src = random_program rng in
+    match Rulelang.Parser.parse_string src with
+    | Error e ->
+        Alcotest.fail
+          (Format.asprintf "valid program rejected: %S (%a)" src
+             Rulelang.Parser.pp_error e)
+    | Ok rules -> (
+        let printed = Rulelang.Printer.program_to_string rules in
+        match Rulelang.Parser.parse_string printed with
+        | Ok rules' ->
+            Alcotest.(check int) "same arity" (List.length rules)
+              (List.length rules')
+        | Error e ->
+            Alcotest.fail
+              (Format.asprintf "printed program rejected: %S (%a)" printed
+                 Rulelang.Parser.pp_error e))
+  done
+
+let test_engine_survives_random_small_graphs () =
+  (* Random tiny graphs + the c2 constraint: resolution must terminate
+     with no hard violations (nothing is certain) on both engines. *)
+  let rng = Prng.create 108 in
+  let rules =
+    match
+      Rulelang.Parser.parse_string
+        "constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) ."
+    with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "parse"
+  in
+  for _ = 1 to 40 do
+    let g = Kg.Graph.create () in
+    let n = 1 + Prng.int rng 12 in
+    for _ = 1 to n do
+      let lo = Prng.range rng 2000 2010 in
+      let hi = lo + Prng.int rng 5 in
+      ignore
+        (Kg.Graph.add g
+           (Kg.Quad.v
+              (Prng.pick rng [| "a"; "b"; "c" |])
+              "coach"
+              (Kg.Term.iri (Prng.pick rng [| "X"; "Y"; "Z" |]))
+              (lo, hi)
+              (0.5 +. Prng.float rng 0.45)))
+    done;
+    List.iter
+      (fun engine ->
+        let result = Tecore.Engine.resolve ~engine g rules in
+        Alcotest.(check int) "resolved" 0
+          result.Tecore.Engine.stats.Tecore.Engine.hard_violations)
+      [
+        Tecore.Engine.Mln Mln.Map_inference.default_options;
+        Tecore.Engine.Psl Psl.Npsl.default_options;
+      ]
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "parsers are total",
+        [
+          Alcotest.test_case "rule parser (rule-ish)" `Quick
+            test_rule_parser_total;
+          Alcotest.test_case "rule parser (printable)" `Quick
+            test_rule_parser_printable_total;
+          Alcotest.test_case "query parser" `Quick test_query_parser_total;
+          Alcotest.test_case "nquads parser" `Quick test_nquads_parser_total;
+          Alcotest.test_case "sql parser" `Quick test_sql_parser_total;
+          Alcotest.test_case "interval parser" `Quick
+            test_interval_of_string_total;
+        ] );
+      ( "structured",
+        [
+          Alcotest.test_case "valid programs roundtrip" `Quick
+            test_valid_programs_roundtrip;
+          Alcotest.test_case "engine survives random graphs" `Slow
+            test_engine_survives_random_small_graphs;
+        ] );
+    ]

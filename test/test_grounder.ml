@@ -1,0 +1,309 @@
+(* Tests for the atom store, relational body grounding and the closure. *)
+
+module Store = Grounder.Atom_store
+module Ground = Grounder.Ground
+module Body = Grounder.Body
+open Logic
+
+let iv = Kg.Interval.make
+
+let quad_atom p s o t = Atom.quad_pattern p ~subject:s ~object_:o ~time:t
+
+let cr_graph () =
+  Kg.Graph.of_list
+    [
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Chelsea") (2000, 2004) 0.9;
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Leicester") (2015, 2017) 0.7;
+      Kg.Quad.v "CR" "playsFor" (Kg.Term.iri "Palermo") (1984, 1986) 0.5;
+      Kg.Quad.v "CR" "birthDate" (Kg.Term.int 1951) (1951, 2017) 1.0;
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Napoli") (2001, 2003) 0.6;
+    ]
+
+let parse_rules src =
+  match Rulelang.Parser.parse_string src with
+  | Ok rules -> rules
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Rulelang.Parser.pp_error e)
+
+let test_store_of_graph () =
+  let store = Store.of_graph (cr_graph ()) in
+  Alcotest.(check int) "five atoms" 5 (Store.size store);
+  Store.iter
+    (fun id _atom origin ->
+      Alcotest.(check bool) "all evidence" true
+        (match origin with Store.Evidence _ -> true | Store.Hidden -> false);
+      Alcotest.(check bool) "evidence flag" true (Store.is_evidence store id))
+    store
+
+let test_store_intern_dedup () =
+  let store = Store.create () in
+  let atom =
+    Atom.Ground.make ~time:(iv 1 2) "p" [ Kg.Term.iri "a"; Kg.Term.iri "b" ]
+  in
+  let id1 = Store.intern store Store.Hidden atom in
+  let id2 = Store.intern store Store.Hidden atom in
+  Alcotest.(check int) "same id" id1 id2;
+  Alcotest.(check int) "size 1" 1 (Store.size store);
+  Alcotest.(check bool) "find" true (Store.find store atom = Some id1)
+
+let test_store_evidence_upgrade () =
+  let store = Store.create () in
+  let atom =
+    Atom.Ground.make ~time:(iv 1 2) "p" [ Kg.Term.iri "a"; Kg.Term.iri "b" ]
+  in
+  let id = Store.intern store Store.Hidden atom in
+  Alcotest.(check bool) "hidden" false (Store.is_evidence store id);
+  let id' =
+    Store.intern store (Store.Evidence { confidence = 0.7; fact = 0 }) atom
+  in
+  Alcotest.(check int) "same id" id id';
+  Alcotest.(check bool) "upgraded" true (Store.is_evidence store id);
+  (* Higher confidence wins. *)
+  ignore (Store.intern store (Store.Evidence { confidence = 0.9; fact = 1 }) atom);
+  (match Store.origin store id with
+  | Store.Evidence { confidence; _ } ->
+      Alcotest.(check bool) "max confidence" true (confidence = 0.9)
+  | Store.Hidden -> Alcotest.fail "should stay evidence");
+  (* Lower confidence does not downgrade. *)
+  ignore (Store.intern store (Store.Evidence { confidence = 0.2; fact = 2 }) atom);
+  match Store.origin store id with
+  | Store.Evidence { confidence; _ } ->
+      Alcotest.(check bool) "still max" true (confidence = 0.9)
+  | Store.Hidden -> Alcotest.fail "should stay evidence"
+
+let test_store_tables () =
+  let store = Store.of_graph (cr_graph ()) in
+  (match Store.table_for store "coach" ~arity:2 ~temporal:true with
+  | Some t -> Alcotest.(check int) "coach rows" 3 (Reldb.Table.cardinal t)
+  | None -> Alcotest.fail "coach table missing");
+  Alcotest.(check bool) "absent predicate" true
+    (Store.table_for store "zzz" ~arity:2 ~temporal:true = None);
+  Alcotest.(check string) "table name scheme" "coach/2@"
+    (Store.table_name "coach" ~arity:2 ~temporal:true)
+
+let test_body_single_atom () =
+  let store = Store.of_graph (cr_graph ()) in
+  let rule =
+    Rule.make ~name:"r" ~weight:1.0
+      ~body:[ quad_atom "coach" (Lterm.var "x") (Lterm.var "y") (Lterm.Tvar "t") ]
+      (Rule.Infer (quad_atom "worksFor" (Lterm.var "x") (Lterm.var "y") (Lterm.Tvar "t")))
+  in
+  let bindings = Body.all store rule in
+  Alcotest.(check int) "three coach bindings" 3 (List.length bindings);
+  List.iter
+    (fun { Body.subst; body_atoms } ->
+      Alcotest.(check int) "one body atom" 1 (List.length body_atoms);
+      Alcotest.(check bool) "x is CR" true
+        (Subst.find subst "x" = Some (Kg.Term.iri "CR")))
+    bindings
+
+let test_body_join_with_condition () =
+  let store = Store.of_graph (cr_graph ()) in
+  let rule =
+    List.hd
+      (parse_rules
+         "constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) .")
+  in
+  let bindings = Body.all store rule in
+  (* 3 coach facts, ordered pairs with distinct objects: 3*2 = 6. *)
+  Alcotest.(check int) "six ordered pairs" 6 (List.length bindings)
+
+let test_body_constant_filter () =
+  let store = Store.of_graph (cr_graph ()) in
+  let rule =
+    Rule.make ~name:"r"
+      ~body:[ quad_atom "coach" (Lterm.var "x") (Lterm.iri "Chelsea") (Lterm.Tvar "t") ]
+      Rule.Bottom
+  in
+  Alcotest.(check int) "only chelsea" 1 (List.length (Body.all store rule))
+
+let test_body_constant_interval () =
+  let store = Store.of_graph (cr_graph ()) in
+  let rule =
+    Rule.make ~name:"r"
+      ~body:
+        [ quad_atom "coach" (Lterm.var "x") (Lterm.var "y")
+            (Lterm.Tconst (iv 2015 2017)) ]
+      Rule.Bottom
+  in
+  Alcotest.(check int) "only leicester" 1 (List.length (Body.all store rule))
+
+let test_body_missing_predicate () =
+  let store = Store.of_graph (cr_graph ()) in
+  let rule =
+    Rule.make ~name:"r"
+      ~body:[ quad_atom "zzz" (Lterm.var "x") (Lterm.var "y") (Lterm.Tvar "t") ]
+      Rule.Bottom
+  in
+  Alcotest.(check int) "no bindings" 0 (List.length (Body.all store rule))
+
+let test_body_rejects_computed_time () =
+  let store = Store.of_graph (cr_graph ()) in
+  let rule =
+    Rule.make ~name:"r"
+      ~body:
+        [
+          quad_atom "coach" (Lterm.var "x") (Lterm.var "y") (Lterm.Tvar "t");
+          quad_atom "coach" (Lterm.var "x") (Lterm.var "z")
+            (Lterm.Tinter (Lterm.Tvar "t", Lterm.Tvar "t"));
+        ]
+      Rule.Bottom
+  in
+  match Body.all store rule with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "computed body time accepted"
+
+let test_closure_derives () =
+  let store = Store.of_graph (cr_graph ()) in
+  let rules =
+    parse_rules "rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t ."
+  in
+  let result = Ground.run store rules in
+  Alcotest.(check int) "one derived atom" 1 (List.length result.Ground.derived);
+  Alcotest.(check int) "six atoms total" 6 (Store.size store);
+  let derived = List.hd result.Ground.derived in
+  Alcotest.(check string) "derived atom"
+    "worksFor(CR, Palermo)@[1984,1986]"
+    (Atom.Ground.to_string (Store.atom store derived));
+  Alcotest.(check bool) "derived is hidden" false (Store.is_evidence store derived)
+
+let test_closure_chain () =
+  (* f1 feeds f2: two closure rounds. *)
+  let graph =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "CR" "playsFor" (Kg.Term.iri "Palermo") (1984, 1986) 0.5;
+        Kg.Quad.v "Palermo" "locatedIn" (Kg.Term.iri "Sicily") (1900, 2017) 1.0;
+      ]
+  in
+  let store = Store.of_graph graph in
+  let rules =
+    parse_rules
+      {|rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .
+rule f2 1.6: worksFor(x, y)@t ^ locatedIn(y, z)@t2 ^ intersects(t, t2) => livesIn(x, z)@(t * t2) .|}
+  in
+  let result = Ground.run store rules in
+  Alcotest.(check int) "two derived" 2 (List.length result.Ground.derived);
+  Alcotest.(check bool) "at least two rounds" true (result.Ground.rounds >= 2);
+  (* livesIn gets the computed intersection interval. *)
+  let lives =
+    Store.find store
+      (Atom.Ground.make ~time:(iv 1984 1986) "livesIn"
+         [ Kg.Term.iri "CR"; Kg.Term.iri "Sicily" ])
+  in
+  Alcotest.(check bool) "livesIn@[1984,1986] exists" true (lives <> None)
+
+let test_instances_heads () =
+  let store = Store.of_graph (cr_graph ()) in
+  let rules =
+    parse_rules
+      {|constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) .
+rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .|}
+  in
+  let result = Ground.run store rules in
+  let violated, satisfied, derives =
+    List.fold_left
+      (fun (v, s, d) i ->
+        match i.Ground.Instance.head with
+        | Ground.Instance.Violated -> (v + 1, s, d)
+        | Ground.Instance.Satisfied -> (v, s + 1, d)
+        | Ground.Instance.Derives _ -> (v, s, d + 1))
+      (0, 0, 0) result.Ground.instances
+  in
+  (* Chelsea/Napoli clash in both orders: 2 violated; the other 4 ordered
+     pairs are disjoint: satisfied. *)
+  Alcotest.(check int) "violated" 2 violated;
+  Alcotest.(check int) "satisfied" 4 satisfied;
+  Alcotest.(check int) "derives" 1 derives
+
+let test_equality_generating_head () =
+  let graph =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "P" "birthDate" (Kg.Term.int 1951) (1951, 2017) 0.9;
+        Kg.Quad.v "P" "birthDate" (Kg.Term.int 1953) (1953, 2017) 0.6;
+      ]
+  in
+  let store = Store.of_graph graph in
+  let rules =
+    parse_rules
+      "constraint b: birthDate(x, y)@t ^ birthDate(x, z)@t2 ^ intersects(t, t2) => y = z ."
+  in
+  let result = Ground.run store rules in
+  let violated =
+    List.filter
+      (fun i -> i.Ground.Instance.head = Ground.Instance.Violated)
+      result.Ground.instances
+  in
+  (* (1951,1953) and (1953,1951): both violate y = z. The reflexive
+     pairings satisfy it. *)
+  Alcotest.(check int) "two violations" 2 (List.length violated)
+
+let test_arith_condition_grounding () =
+  let graph =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "Kid" "playsFor" (Kg.Term.iri "Ajax") (2010, 2012) 0.8;
+        Kg.Quad.v "Kid" "birthDate" (Kg.Term.int 1994) (1994, 2017) 0.95;
+        Kg.Quad.v "Old" "playsFor" (Kg.Term.iri "Ajax") (2010, 2012) 0.8;
+        Kg.Quad.v "Old" "birthDate" (Kg.Term.int 1970) (1970, 2017) 0.95;
+      ]
+  in
+  let store = Store.of_graph graph in
+  let rules =
+    parse_rules
+      "rule f3 2.9: playsFor(x, y)@t ^ birthDate(x, z)@t2 ^ t - t2 < 20 => TeenPlayer(x) ."
+  in
+  let result = Ground.run store rules in
+  (* Kid: 2010-1994=16 < 20 fires; Old: 2010-1970=40 does not. *)
+  Alcotest.(check int) "one derived" 1 (List.length result.Ground.derived);
+  let teen =
+    Store.find store (Atom.Ground.make "TeenPlayer" [ Kg.Term.iri "Kid" ])
+  in
+  Alcotest.(check bool) "Kid is the teen" true (teen <> None)
+
+let test_closure_terminates () =
+  (* A self-feeding rule must reach a fixpoint, not loop. *)
+  let graph =
+    Kg.Graph.of_list [ Kg.Quad.v "a" "p" (Kg.Term.iri "b") (1, 10) 0.9 ]
+  in
+  let store = Store.of_graph graph in
+  let rules = parse_rules "rule loop 1: p(x, y)@t => p(x, y)@t ." in
+  let result = Ground.run store rules in
+  Alcotest.(check int) "nothing new" 0 (List.length result.Ground.derived)
+
+let () =
+  Alcotest.run "grounder"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "of_graph" `Quick test_store_of_graph;
+          Alcotest.test_case "intern dedup" `Quick test_store_intern_dedup;
+          Alcotest.test_case "evidence upgrade" `Quick test_store_evidence_upgrade;
+          Alcotest.test_case "tables" `Quick test_store_tables;
+        ] );
+      ( "body",
+        [
+          Alcotest.test_case "single atom" `Quick test_body_single_atom;
+          Alcotest.test_case "join with condition" `Quick
+            test_body_join_with_condition;
+          Alcotest.test_case "constant filter" `Quick test_body_constant_filter;
+          Alcotest.test_case "constant interval" `Quick test_body_constant_interval;
+          Alcotest.test_case "missing predicate" `Quick test_body_missing_predicate;
+          Alcotest.test_case "rejects computed time" `Quick
+            test_body_rejects_computed_time;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "derives" `Quick test_closure_derives;
+          Alcotest.test_case "chain (f1 -> f2)" `Quick test_closure_chain;
+          Alcotest.test_case "terminates" `Quick test_closure_terminates;
+        ] );
+      ( "instances",
+        [
+          Alcotest.test_case "heads" `Quick test_instances_heads;
+          Alcotest.test_case "equality-generating" `Quick
+            test_equality_generating_head;
+          Alcotest.test_case "arithmetic condition" `Quick
+            test_arith_condition_grounding;
+        ] );
+    ]

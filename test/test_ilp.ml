@@ -1,0 +1,242 @@
+(* Tests for the LP/ILP substrate: simplex and branch & bound. *)
+
+module Lp = Ilp.Lp
+module Simplex = Ilp.Simplex
+module Milp = Ilp.Milp
+
+let check_optimal ?(eps = 1e-6) name lp expected =
+  match Simplex.solve lp with
+  | Lp.Optimal { value; x } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: value %g ~ %g" name value expected)
+        true
+        (Float.abs (value -. expected) < eps);
+      Alcotest.(check bool) (name ^ ": feasible") true (Lp.feasible lp x)
+  | Lp.Infeasible -> Alcotest.fail (name ^ ": unexpectedly infeasible")
+  | Lp.Unbounded -> Alcotest.fail (name ^ ": unexpectedly unbounded")
+
+let test_simplex_basic () =
+  (* max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> 12 at (4, 0). *)
+  let lp =
+    Lp.make ~num_vars:2 ~objective:[| 3.0; 2.0 |]
+      [
+        Lp.constr [ (0, 1.0); (1, 1.0) ] Lp.Le 4.0;
+        Lp.constr [ (0, 1.0); (1, 3.0) ] Lp.Le 6.0;
+      ]
+  in
+  check_optimal "basic" lp 12.0
+
+let test_simplex_interior () =
+  (* max x + y s.t. 2x + y <= 4, x + 2y <= 4 -> 8/3 at (4/3, 4/3). *)
+  let lp =
+    Lp.make ~num_vars:2 ~objective:[| 1.0; 1.0 |]
+      [
+        Lp.constr [ (0, 2.0); (1, 1.0) ] Lp.Le 4.0;
+        Lp.constr [ (0, 1.0); (1, 2.0) ] Lp.Le 4.0;
+      ]
+  in
+  check_optimal "interior vertex" lp (8.0 /. 3.0)
+
+let test_simplex_infeasible () =
+  let lp =
+    Lp.make ~num_vars:1 ~objective:[| 1.0 |]
+      [
+        Lp.constr [ (0, 1.0) ] Lp.Ge 2.0;
+        Lp.constr [ (0, 1.0) ] Lp.Le 1.0;
+      ]
+  in
+  match Simplex.solve lp with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  let lp =
+    Lp.make ~num_vars:2 ~objective:[| 1.0; 0.0 |]
+      [ Lp.constr [ (1, 1.0) ] Lp.Le 3.0 ]
+  in
+  match Simplex.solve lp with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_equality () =
+  (* max x + y s.t. x + y = 3, x >= 1 -> 3. *)
+  let lp =
+    Lp.make ~num_vars:2 ~objective:[| 1.0; 1.0 |]
+      [
+        Lp.constr [ (0, 1.0); (1, 1.0) ] Lp.Eq 3.0;
+        Lp.constr [ (0, 1.0) ] Lp.Ge 1.0;
+      ]
+  in
+  check_optimal "equality" lp 3.0
+
+let test_simplex_negative_rhs () =
+  (* x >= -2 written as -x <= 2; max -x s.t. x >= 1 -> -1. *)
+  let lp =
+    Lp.make ~num_vars:1 ~objective:[| -1.0 |]
+      [ Lp.constr [ (0, -1.0) ] Lp.Le (-1.0) ]
+  in
+  check_optimal "negative rhs" lp (-1.0)
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex: redundant constraints through the optimum. *)
+  let lp =
+    Lp.make ~num_vars:2 ~objective:[| 1.0; 1.0 |]
+      [
+        Lp.constr [ (0, 1.0) ] Lp.Le 1.0;
+        Lp.constr [ (1, 1.0) ] Lp.Le 1.0;
+        Lp.constr [ (0, 1.0); (1, 1.0) ] Lp.Le 2.0;
+        Lp.constr [ (0, 2.0); (1, 2.0) ] Lp.Le 4.0;
+      ]
+  in
+  check_optimal "degenerate" lp 2.0
+
+let test_simplex_zero_objective () =
+  let lp =
+    Lp.make ~num_vars:1 ~objective:[| 0.0 |]
+      [ Lp.constr [ (0, 1.0) ] Lp.Le 5.0 ]
+  in
+  check_optimal "zero objective" lp 0.0
+
+let test_milp_vertex_cover_style () =
+  (* max x+y+z with x+y <= 1, y+z <= 1 -> 2 (x and z). *)
+  let lp =
+    Lp.make ~num_vars:3 ~objective:[| 1.0; 1.0; 1.0 |]
+      [
+        Lp.constr [ (0, 1.0); (1, 1.0) ] Lp.Le 1.0;
+        Lp.constr [ (1, 1.0); (2, 1.0) ] Lp.Le 1.0;
+      ]
+  in
+  match Milp.solve ~binary:[ 0; 1; 2 ] lp with
+  | Some r ->
+      Alcotest.(check bool) "value 2" true (Float.abs (r.Milp.value -. 2.0) < 1e-6);
+      Alcotest.(check bool) "optimal" true r.Milp.optimal;
+      Alcotest.(check bool) "x=1" true (r.Milp.x.(0) = 1.0);
+      Alcotest.(check bool) "y=0" true (r.Milp.x.(1) = 0.0);
+      Alcotest.(check bool) "z=1" true (r.Milp.x.(2) = 1.0)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_milp_fractional_relaxation () =
+  (* Odd cycle: LP relaxation gives 1.5, ILP optimum is 1. *)
+  let lp =
+    Lp.make ~num_vars:3 ~objective:[| 1.0; 1.0; 1.0 |]
+      [
+        Lp.constr [ (0, 1.0); (1, 1.0) ] Lp.Le 1.0;
+        Lp.constr [ (1, 1.0); (2, 1.0) ] Lp.Le 1.0;
+        Lp.constr [ (0, 1.0); (2, 1.0) ] Lp.Le 1.0;
+      ]
+  in
+  (match Simplex.solve lp with
+  | Lp.Optimal { value; _ } ->
+      Alcotest.(check bool) "relaxation 1.5" true (Float.abs (value -. 1.5) < 1e-6)
+  | _ -> Alcotest.fail "relaxation failed");
+  match Milp.solve ~binary:[ 0; 1; 2 ] lp with
+  | Some r ->
+      Alcotest.(check bool) "integer optimum 1" true
+        (Float.abs (r.Milp.value -. 1.0) < 1e-6);
+      Alcotest.(check bool) "branched" true (r.Milp.nodes > 1)
+  | None -> Alcotest.fail "expected a solution"
+
+let test_milp_infeasible () =
+  let lp =
+    Lp.make ~num_vars:1 ~objective:[| 1.0 |]
+      [
+        Lp.constr [ (0, 1.0) ] Lp.Ge 2.0;
+      ]
+  in
+  (* x binary but x >= 2: infeasible. *)
+  match Milp.solve ~binary:[ 0 ] lp with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected infeasible"
+
+let test_milp_weighted_choice () =
+  (* Choose at most one of each conflicting pair, maximise weights:
+     conflicts (0,1) and (2,3); weights 5,3,2,4 -> pick 0 and 3 = 9. *)
+  let lp =
+    Lp.make ~num_vars:4 ~objective:[| 5.0; 3.0; 2.0; 4.0 |]
+      [
+        Lp.constr [ (0, 1.0); (1, 1.0) ] Lp.Le 1.0;
+        Lp.constr [ (2, 1.0); (3, 1.0) ] Lp.Le 1.0;
+      ]
+  in
+  match Milp.solve ~binary:[ 0; 1; 2; 3 ] lp with
+  | Some r ->
+      Alcotest.(check bool) "value 9" true (Float.abs (r.Milp.value -. 9.0) < 1e-6)
+  | None -> Alcotest.fail "expected a solution"
+
+(* Property: on random weighted-conflict instances, the MILP optimum is
+   feasible, integral, and at least as good as the greedy solution. *)
+let arbitrary_instance =
+  QCheck.(
+    pair
+      (list_of_size (Gen.int_range 1 6) (int_range 1 20))
+      (list_of_size (Gen.int_range 0 8) (pair (int_range 0 5) (int_range 0 5))))
+
+let qcheck_milp_beats_greedy =
+  QCheck.Test.make ~name:"milp >= greedy on conflict graphs" ~count:100
+    arbitrary_instance
+    (fun (weights, conflicts) ->
+      let n = List.length weights in
+      let weights = Array.of_list (List.map float_of_int weights) in
+      let conflicts =
+        List.filter (fun (a, b) -> a < n && b < n && a <> b) conflicts
+      in
+      let lp =
+        Lp.make ~num_vars:n ~objective:weights
+          (List.map
+             (fun (a, b) -> Lp.constr [ (a, 1.0); (b, 1.0) ] Lp.Le 1.0)
+             conflicts)
+      in
+      match Milp.solve ~binary:(List.init n (fun i -> i)) lp with
+      | None -> false
+      | Some r ->
+          (* Greedy: take vertices in weight order when compatible. *)
+          let order = List.init n (fun i -> i) in
+          let order =
+            List.sort (fun a b -> compare weights.(b) weights.(a)) order
+          in
+          let taken = Array.make n false in
+          List.iter
+            (fun v ->
+              let ok =
+                List.for_all
+                  (fun (a, b) ->
+                    not ((a = v && taken.(b)) || (b = v && taken.(a))))
+                  conflicts
+              in
+              if ok then taken.(v) <- true)
+            order;
+          let greedy =
+            Array.to_list (Array.mapi (fun i t -> if t then weights.(i) else 0.0) taken)
+            |> List.fold_left ( +. ) 0.0
+          in
+          let integral =
+            List.for_all
+              (fun i -> r.Milp.x.(i) = 0.0 || r.Milp.x.(i) = 1.0)
+              (List.init n (fun i -> i))
+          in
+          integral && Lp.feasible lp r.Milp.x && r.Milp.value >= greedy -. 1e-6)
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic" `Quick test_simplex_basic;
+          Alcotest.test_case "interior vertex" `Quick test_simplex_interior;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "equality" `Quick test_simplex_equality;
+          Alcotest.test_case "negative rhs" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
+          Alcotest.test_case "zero objective" `Quick test_simplex_zero_objective;
+        ] );
+      ( "milp",
+        [
+          Alcotest.test_case "conflict pairs" `Quick test_milp_vertex_cover_style;
+          Alcotest.test_case "fractional relaxation" `Quick
+            test_milp_fractional_relaxation;
+          Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
+          Alcotest.test_case "weighted choice" `Quick test_milp_weighted_choice;
+          QCheck_alcotest.to_alcotest qcheck_milp_beats_greedy;
+        ] );
+    ]

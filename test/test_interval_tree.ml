@@ -1,0 +1,146 @@
+(* Tests for the augmented interval tree, including a property check
+   against a naive list implementation. *)
+
+module IT = Kg.Interval_tree
+module I = Kg.Interval
+
+let iv = I.make
+
+let interval_testable = Alcotest.testable I.pp I.equal
+
+let sorted_values t query =
+  IT.overlapping query t |> List.map snd |> List.sort Int.compare
+
+let test_empty () =
+  Alcotest.(check bool) "is_empty" true (IT.is_empty IT.empty);
+  Alcotest.(check int) "cardinal" 0 (IT.cardinal IT.empty);
+  Alcotest.(check (list int)) "no overlaps" []
+    (sorted_values IT.empty (iv 0 100));
+  Alcotest.(check bool) "no span" true (IT.span IT.empty = None)
+
+let build pairs =
+  List.fold_left (fun t (i, v) -> IT.add i v t) IT.empty pairs
+
+let sample =
+  [
+    (iv 1 5, 0);
+    (iv 3 9, 1);
+    (iv 10 12, 2);
+    (iv 6 6, 3);
+    (iv 1 5, 4); (* duplicate interval, second value *)
+    (iv 20 30, 5);
+  ]
+
+let test_overlapping () =
+  let t = build sample in
+  Alcotest.(check int) "cardinal" 6 (IT.cardinal t);
+  Alcotest.(check (list int)) "query [4,7]" [ 0; 1; 3; 4 ]
+    (sorted_values t (iv 4 7));
+  Alcotest.(check (list int)) "query [13,19]" [] (sorted_values t (iv 13 19));
+  Alcotest.(check (list int)) "query [12,20]" [ 2; 5 ]
+    (sorted_values t (iv 12 20))
+
+let test_stabbing () =
+  let t = build sample in
+  let at p = IT.stabbing p t |> List.map snd |> List.sort Int.compare in
+  Alcotest.(check (list int)) "stab 6" [ 1; 3 ] (at 6);
+  Alcotest.(check (list int)) "stab 1" [ 0; 4 ] (at 1);
+  Alcotest.(check (list int)) "stab 15" [] (at 15)
+
+let test_remove () =
+  let t = build sample in
+  let t = IT.remove (iv 1 5) (fun v -> v = 0) t in
+  Alcotest.(check int) "one removed" 5 (IT.cardinal t);
+  Alcotest.(check (list int)) "query after remove" [ 1; 3; 4 ]
+    (sorted_values t (iv 4 7));
+  (* Removing the last value under a key deletes the node. *)
+  let t = IT.remove (iv 1 5) (fun v -> v = 4) t in
+  Alcotest.(check int) "key gone" 4 (IT.cardinal t);
+  Alcotest.(check (list int)) "still correct" [ 1; 3 ] (sorted_values t (iv 4 7));
+  (* Removing a missing key is a no-op. *)
+  let t = IT.remove (iv 99 100) (fun _ -> true) t in
+  Alcotest.(check int) "no-op" 4 (IT.cardinal t)
+
+let test_span () =
+  let t = build sample in
+  Alcotest.(check (option interval_testable)) "span" (Some (iv 1 30)) (IT.span t)
+
+let test_iter_fold () =
+  let t = build sample in
+  let count = ref 0 in
+  IT.iter (fun _ _ -> incr count) t;
+  Alcotest.(check int) "iter visits all" 6 !count;
+  let sum = IT.fold (fun _ v acc -> acc + v) t 0 in
+  Alcotest.(check int) "fold sum" 15 sum
+
+(* Balance under sorted insertion: a linear chain would overflow the
+   stack or at least be very deep; we only check correctness here plus a
+   large-input sanity pass. *)
+let test_large_sorted_insert () =
+  let n = 10_000 in
+  let t = ref IT.empty in
+  for i = 0 to n - 1 do
+    t := IT.add (iv i (i + 2)) i !t
+  done;
+  Alcotest.(check int) "cardinal" n (IT.cardinal !t);
+  let hits = sorted_values !t (iv 500 501) in
+  Alcotest.(check (list int)) "window hits" [ 498; 499; 500; 501 ] hits
+
+let arbitrary_pairs =
+  let interval =
+    QCheck.map
+      (fun (a, b) -> if a <= b then iv a b else iv b a)
+      QCheck.(pair (int_range 0 200) (int_range 0 200))
+  in
+  QCheck.(list_of_size (Gen.int_range 0 80) (pair interval small_nat))
+
+let qcheck_matches_naive =
+  QCheck.Test.make ~name:"overlapping matches naive scan" ~count:300
+    QCheck.(pair arbitrary_pairs (pair (int_range 0 200) (int_range 0 200)))
+    (fun (pairs, (a, b)) ->
+      let query = if a <= b then iv a b else iv b a in
+      let t = build pairs in
+      let tree_hits =
+        IT.overlapping query t |> List.map snd |> List.sort Int.compare
+      in
+      let naive_hits =
+        List.filter (fun (i, _) -> I.overlaps i query) pairs
+        |> List.map snd |> List.sort Int.compare
+      in
+      tree_hits = naive_hits)
+
+let qcheck_remove_then_absent =
+  QCheck.Test.make ~name:"removed values are gone" ~count:300 arbitrary_pairs
+    (fun pairs ->
+      match pairs with
+      | [] -> true
+      | (key, v) :: _ ->
+          let t = build pairs in
+          let t = IT.remove key (fun v' -> v' = v) t in
+          IT.overlapping key t
+          |> List.for_all (fun (i, v') -> not (I.equal i key && v' = v)))
+
+let qcheck_cardinal =
+  QCheck.Test.make ~name:"cardinal = list length" ~count:300 arbitrary_pairs
+    (fun pairs -> IT.cardinal (build pairs) = List.length pairs)
+
+let () =
+  Alcotest.run "interval-tree"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "overlapping" `Quick test_overlapping;
+          Alcotest.test_case "stabbing" `Quick test_stabbing;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "span" `Quick test_span;
+          Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+          Alcotest.test_case "large sorted insert" `Quick test_large_sorted_insert;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_matches_naive;
+          QCheck_alcotest.to_alcotest qcheck_remove_then_absent;
+          QCheck_alcotest.to_alcotest qcheck_cardinal;
+        ] );
+    ]

@@ -1,0 +1,299 @@
+(* Tests for the MLN engine: network compilation, the three MAP solvers
+   (and their mutual agreement on small instances), and CPI. *)
+
+module Network = Mln.Network
+module Store = Grounder.Atom_store
+open Logic
+
+let parse_rules src =
+  match Rulelang.Parser.parse_string src with
+  | Ok rules -> rules
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Rulelang.Parser.pp_error e)
+
+let cr_graph () =
+  Kg.Graph.of_list
+    [
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Chelsea") (2000, 2004) 0.9;
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Leicester") (2015, 2017) 0.7;
+      Kg.Quad.v "CR" "playsFor" (Kg.Term.iri "Palermo") (1984, 1986) 0.5;
+      Kg.Quad.v "CR" "birthDate" (Kg.Term.int 1951) (1951, 2017) 1.0;
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Napoli") (2001, 2003) 0.6;
+    ]
+
+let cr_rules () =
+  parse_rules
+    {|constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) .
+rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .|}
+
+let build_cr () =
+  let store = Store.of_graph (cr_graph ()) in
+  let result = Grounder.Ground.run store (cr_rules ()) in
+  (store, Network.build store result.Grounder.Ground.instances)
+
+let test_network_shape () =
+  let _store, network = build_cr () in
+  Alcotest.(check int) "six atoms" 6 network.Network.num_atoms;
+  let hard =
+    Array.fold_left
+      (fun acc (c : Network.clause) -> if c.weight = None then acc + 1 else acc)
+      0 network.Network.clauses
+  in
+  (* 1 hard evidence (birthDate) + 1 deduplicated hard violation clause
+     for the Chelsea/Napoli clash. *)
+  Alcotest.(check int) "hard clauses" 2 hard
+
+let test_clause_satisfaction_and_score () =
+  let store, network = build_cr () in
+  let everything_true = Array.make network.Network.num_atoms true in
+  Alcotest.(check bool) "all-true violates the clash" true
+    (Network.hard_violations network everything_true > 0);
+  let init = Network.initial_assignment network store in
+  Alcotest.(check bool) "evidence init also violates" true
+    (Network.hard_violations network init > 0);
+  (* Score + cost partition the total soft weight. *)
+  let total =
+    Array.fold_left
+      (fun acc (c : Network.clause) ->
+        match c.weight with Some w -> acc +. w | None -> acc)
+      0.0 network.Network.clauses
+  in
+  Alcotest.(check bool) "score + cost = total" true
+    (Float.abs (Network.score network init +. Network.cost network init -. total)
+    < 1e-9)
+
+let solve_walk network store =
+  fst
+    (Mln.Maxwalksat.solve ~seed:5
+       ~init:(Network.initial_assignment network store)
+       network)
+
+let assignment_to_facts store assignment =
+  let kept = ref [] in
+  Store.iter
+    (fun id atom origin ->
+      if assignment.(id) then
+        match origin with
+        | Store.Evidence _ -> kept := Atom.Ground.to_string atom :: !kept
+        | Store.Hidden -> ())
+    store;
+  List.sort String.compare !kept
+
+let expected_kept =
+  [
+    "birthDate(CR, 1951)@[1951,2017]";
+    "coach(CR, Chelsea)@[2000,2004]";
+    "coach(CR, Leicester)@[2015,2017]";
+    "playsFor(CR, Palermo)@[1984,1986]";
+  ]
+
+let test_walk_running_example () =
+  let store, network = build_cr () in
+  let assignment = solve_walk network store in
+  Alcotest.(check int) "no hard violations" 0
+    (Network.hard_violations network assignment);
+  Alcotest.(check (list string)) "figure 7" expected_kept
+    (assignment_to_facts store assignment)
+
+let test_exact_running_example () =
+  let store, network = build_cr () in
+  match Mln.Exact.solve network with
+  | Some { Mln.Exact.assignment; optimal; _ } ->
+      Alcotest.(check bool) "optimal" true optimal;
+      Alcotest.(check int) "no hard violations" 0
+        (Network.hard_violations network assignment);
+      Alcotest.(check (list string)) "figure 7" expected_kept
+        (assignment_to_facts store assignment)
+  | None -> Alcotest.fail "exact solver failed"
+
+let test_ilp_running_example () =
+  let store, network = build_cr () in
+  match Mln.Ilp_encoding.solve network with
+  | Some (assignment, optimal) ->
+      Alcotest.(check bool) "optimal" true optimal;
+      Alcotest.(check (list string)) "figure 7" expected_kept
+        (assignment_to_facts store assignment)
+  | None -> Alcotest.fail "ilp solver failed"
+
+let test_exact_unsat_hard () =
+  (* Two contradictory hard unit clauses. *)
+  let network =
+    {
+      Network.num_atoms = 1;
+      clauses =
+        [|
+          { Network.literals = [| { Network.atom = 0; positive = true } |];
+            weight = None; source = "a" };
+          { Network.literals = [| { Network.atom = 0; positive = false } |];
+            weight = None; source = "b" };
+        |];
+    }
+  in
+  Alcotest.(check bool) "unsatisfiable" true (Mln.Exact.solve network = None);
+  Alcotest.(check bool) "ilp agrees" true (Mln.Ilp_encoding.solve network = None)
+
+let test_cpi_agrees_with_direct () =
+  let store, network = build_cr () in
+  let init = Network.initial_assignment network store in
+  let solver net ~init = fst (Mln.Maxwalksat.solve ~seed:5 ~init net) in
+  let direct = solver network ~init in
+  let cpi, stats = Mln.Cpi.solve ~solver ~init network in
+  Alcotest.(check int) "same hard"
+    (Network.hard_violations network direct)
+    (Network.hard_violations network cpi);
+  Alcotest.(check bool) "same score" true
+    (Float.abs (Network.score network direct -. Network.score network cpi) < 1e-6);
+  Alcotest.(check bool) "cpi activated fewer clauses" true
+    (stats.Mln.Cpi.active_clauses <= stats.Mln.Cpi.total_clauses);
+  Alcotest.(check bool) "at least one iteration" true (stats.Mln.Cpi.iterations >= 1)
+
+let test_map_inference_pipeline () =
+  let options =
+    { Mln.Map_inference.default_options with Mln.Map_inference.use_cpi = false }
+  in
+  let out = Mln.Map_inference.run ~options (cr_graph ()) (cr_rules ()) in
+  Alcotest.(check int) "atoms" 6 out.Mln.Map_inference.stats.Mln.Map_inference.atoms;
+  Alcotest.(check int) "evidence" 5
+    out.Mln.Map_inference.stats.Mln.Map_inference.evidence_atoms;
+  Alcotest.(check int) "hidden" 1
+    out.Mln.Map_inference.stats.Mln.Map_inference.hidden_atoms;
+  Alcotest.(check int) "no hard violations" 0
+    out.Mln.Map_inference.stats.Mln.Map_inference.hard_violations;
+  Alcotest.(check bool) "napoli removed" false
+    out.Mln.Map_inference.assignment.(4)
+
+(* Random small networks: all three solvers must agree on the optimum
+   (modulo ties, compare objective values not assignments). *)
+let random_network rng =
+  let num_atoms = 2 + Prelude.Prng.int rng 5 in
+  let num_clauses = 3 + Prelude.Prng.int rng 8 in
+  let clauses =
+    Array.init num_clauses (fun i ->
+        let len = 1 + Prelude.Prng.int rng 3 in
+        let literals =
+          Array.init len (fun _ ->
+              {
+                Network.atom = Prelude.Prng.int rng num_atoms;
+                positive = Prelude.Prng.bool rng;
+              })
+        in
+        (* Avoid tautologies (solvers treat them fine but they blur the
+           objective comparison with Network.score). *)
+        let tautology =
+          Array.exists
+            (fun (l : Network.literal) ->
+              Array.exists
+                (fun (l' : Network.literal) ->
+                  l.atom = l'.atom && l.positive <> l'.positive)
+                literals)
+            literals
+        in
+        let literals =
+          if tautology then
+            [| { Network.atom = Prelude.Prng.int rng num_atoms; positive = true } |]
+          else literals
+        in
+        {
+          Network.literals;
+          weight = Some (0.5 +. Prelude.Prng.float rng 3.0);
+          source = Printf.sprintf "c%d" i;
+        })
+  in
+  { Network.num_atoms; clauses }
+
+let test_solvers_agree_on_random_networks () =
+  let rng = Prelude.Prng.create 99 in
+  for _ = 1 to 50 do
+    let network = random_network rng in
+    let exact =
+      match Mln.Exact.solve network with
+      | Some r -> r
+      | None -> Alcotest.fail "soft-only network cannot be unsat"
+    in
+    Alcotest.(check bool) "exact optimal" true exact.Mln.Exact.optimal;
+    let exact_score = Network.score network exact.Mln.Exact.assignment in
+    (match Mln.Ilp_encoding.solve network with
+    | Some (x, true) ->
+        let ilp_score = Network.score network x in
+        Alcotest.(check bool)
+          (Printf.sprintf "ilp %.4f = exact %.4f" ilp_score exact_score)
+          true
+          (Float.abs (ilp_score -. exact_score) < 1e-6)
+    | Some (_, false) -> Alcotest.fail "ilp hit the node budget"
+    | None -> Alcotest.fail "ilp infeasible on soft-only network");
+    (* MaxWalkSAT is a stochastic local search: it trades optimality for
+       scalability (the paper's PSL-vs-MLN story in miniature). Demand
+       near-optimality, not exactness. *)
+    let walk, _ =
+      Mln.Maxwalksat.solve ~seed:3 ~max_flips:50_000 ~restarts:8 ~noise:0.3
+        network
+    in
+    let walk_score = Network.score network walk in
+    Alcotest.(check bool)
+      (Printf.sprintf "walk %.4f within 95%% of optimum %.4f" walk_score
+         exact_score)
+      true
+      (walk_score >= (0.95 *. exact_score) -. 1e-6)
+  done
+
+let test_negative_confidence_evidence () =
+  (* Confidence < 0.5 evidence becomes a negated unit clause; MAP should
+     drop the fact even without constraints. *)
+  let graph =
+    Kg.Graph.of_list [ Kg.Quad.v "a" "p" (Kg.Term.iri "b") (1, 2) 0.2 ]
+  in
+  let out = Mln.Map_inference.run graph [] in
+  Alcotest.(check bool) "dropped" false out.Mln.Map_inference.assignment.(0)
+
+let test_hard_evidence_immovable () =
+  (* Certain facts survive even when a hard constraint prefers dropping
+     one of two conflicting uncertain facts. *)
+  let graph =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "A") (2000, 2005) 1.0;
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "B") (2003, 2007) 0.95;
+      ]
+  in
+  let rules =
+    parse_rules
+      "constraint c: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) ."
+  in
+  let out = Mln.Map_inference.run graph rules in
+  Alcotest.(check bool) "certain fact kept" true out.Mln.Map_inference.assignment.(0);
+  Alcotest.(check bool) "uncertain fact dropped" false
+    out.Mln.Map_inference.assignment.(1);
+  Alcotest.(check int) "resolved" 0
+    out.Mln.Map_inference.stats.Mln.Map_inference.hard_violations
+
+let () =
+  Alcotest.run "mln"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "shape" `Quick test_network_shape;
+          Alcotest.test_case "satisfaction/score" `Quick
+            test_clause_satisfaction_and_score;
+        ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "walk on running example" `Quick
+            test_walk_running_example;
+          Alcotest.test_case "exact on running example" `Quick
+            test_exact_running_example;
+          Alcotest.test_case "ilp on running example" `Quick
+            test_ilp_running_example;
+          Alcotest.test_case "unsat hard detected" `Quick test_exact_unsat_hard;
+          Alcotest.test_case "solvers agree on random nets" `Slow
+            test_solvers_agree_on_random_networks;
+        ] );
+      ( "cpi",
+        [ Alcotest.test_case "agrees with direct" `Quick test_cpi_agrees_with_direct ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "map_inference" `Quick test_map_inference_pipeline;
+          Alcotest.test_case "low-confidence evidence" `Quick
+            test_negative_confidence_evidence;
+          Alcotest.test_case "hard evidence immovable" `Quick
+            test_hard_evidence_immovable;
+        ] );
+    ]

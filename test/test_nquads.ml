@@ -1,0 +1,163 @@
+(* Tests for the temporal-quads serialisation format. *)
+
+module N = Kg.Nquads
+module G = Kg.Graph
+module Q = Kg.Quad
+module T = Kg.Term
+
+let quad_testable = Alcotest.testable Q.pp Q.equal
+
+let parse_ok text =
+  match N.parse_string text with
+  | Ok g -> g
+  | Error e -> Alcotest.fail (Format.asprintf "%a" N.pp_error e)
+
+let parse_err text =
+  match N.parse_string text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let test_basic_fact () =
+  let g = parse_ok "ex:CR ex:coach ex:Chelsea [2000,2004] 0.9 ." in
+  Alcotest.(check int) "one fact" 1 (G.size g);
+  let q = List.hd (G.to_list g) in
+  Alcotest.check quad_testable "expanded"
+    (Q.v "http://example.org/CR" "http://example.org/coach"
+       (T.iri "http://example.org/Chelsea")
+       (2000, 2004) 0.9)
+    q
+
+let test_default_confidence () =
+  let g = parse_ok "ex:CR ex:birthDate 1951 [1951,2017] ." in
+  let q = List.hd (G.to_list g) in
+  Alcotest.(check bool) "certain" true (Q.is_certain q);
+  Alcotest.check (Alcotest.testable T.pp T.equal) "int object" (T.int 1951)
+    q.Q.object_
+
+let test_optional_dot () =
+  let g = parse_ok "a p b [1,2] 0.5" in
+  Alcotest.(check int) "fact without dot" 1 (G.size g)
+
+let test_comments_and_blanks () =
+  let g =
+    parse_ok
+      "# a comment\n\n  \t\na p b [1,2] 0.5 . # trailing comment\n# done\n"
+  in
+  Alcotest.(check int) "one fact" 1 (G.size g)
+
+let test_prefix_directive () =
+  let g =
+    parse_ok
+      "@prefix foo: <http://foo.example/> .\nfoo:x foo:p foo:y [1,2] .\n"
+  in
+  let q = List.hd (G.to_list g) in
+  Alcotest.(check string) "expanded subject" "http://foo.example/x"
+    (T.to_string q.Q.subject)
+
+let test_explicit_iri () =
+  let g = parse_ok "<http://a/s> <http://a/p> <http://a/o> [3] ." in
+  let q = List.hd (G.to_list g) in
+  Alcotest.(check string) "subject" "http://a/s" (T.to_string q.Q.subject);
+  Alcotest.(check int) "point interval" 3 (Kg.Interval.lo q.Q.time)
+
+let test_string_literal () =
+  let g = parse_ok {|a label "hello world" [1,2] 0.8 .|} in
+  let q = List.hd (G.to_list g) in
+  Alcotest.check (Alcotest.testable T.pp T.equal) "string object"
+    (T.str "hello world") q.Q.object_
+
+let test_errors () =
+  let e = parse_err "a p b\n" in
+  Alcotest.(check int) "line 1" 1 e.N.line;
+  let e = parse_err "ok p b [1,2] .\nbad bad\n" in
+  Alcotest.(check int) "line 2" 2 e.N.line;
+  ignore (parse_err "a p b [5,3] .");
+  ignore (parse_err "a p b [1,2] conf .");
+  ignore (parse_err "a p b [1,2] 1.5 .");
+  (* confidence above 1 *)
+  ignore (parse_err "@prefix broken\n")
+
+let test_roundtrip_explicit () =
+  let ns = Kg.Namespace.create () in
+  let g =
+    parse_ok
+      {|ex:CR ex:coach ex:Chelsea [2000,2004] 0.9 .
+ex:CR ex:birthDate 1951 [1951,2017] .
+ex:CR ex:label "the tinkerman" [2000,2004] 0.7 .|}
+  in
+  let text = N.to_string ~namespace:ns g in
+  let g' = parse_ok text in
+  Alcotest.(check int) "same size" (G.size g) (G.size g');
+  List.iter2
+    (fun a b -> Alcotest.check quad_testable "fact preserved" a b)
+    (G.to_list g) (G.to_list g')
+
+let test_file_roundtrip () =
+  let g = parse_ok "a p b [1,2] 0.5 ." in
+  let path = Filename.temp_file "tecore" ".tq" in
+  N.save_file path g;
+  (match N.parse_file path with
+  | Ok g' -> Alcotest.(check int) "file roundtrip" (G.size g) (G.size g')
+  | Error e -> Alcotest.fail (Format.asprintf "%a" N.pp_error e));
+  Sys.remove path
+
+let test_parse_quad_single () =
+  let ns = Kg.Namespace.create () in
+  (match N.parse_quad ns "ex:a ex:p ex:b [1,5] 0.75" with
+  | Ok q -> Alcotest.(check bool) "confidence" true (q.Q.confidence = 0.75)
+  | Error e -> Alcotest.fail e);
+  match N.parse_quad ns "too few" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+(* Round-trip property over generated graphs. *)
+let arbitrary_quads =
+  let quad_gen =
+    QCheck.map
+      (fun ((s, o), (lo, len), conf10) ->
+        Q.v
+          (Printf.sprintf "s%d" s)
+          "pred"
+          (T.iri (Printf.sprintf "o%d" o))
+          (lo, lo + len)
+          (float_of_int (conf10 + 1) /. 10.0))
+      QCheck.(
+        triple
+          (pair (int_range 0 20) (int_range 0 20))
+          (pair (int_range (-50) 50) (int_range 0 30))
+          (int_range 0 9))
+  in
+  QCheck.(list_of_size (Gen.int_range 0 40) quad_gen)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:200 arbitrary_quads
+    (fun quads ->
+      let g = G.of_list quads in
+      match N.parse_string (N.to_string g) with
+      | Error _ -> false
+      | Ok g' ->
+          let xs = G.to_list g and ys = G.to_list g' in
+          List.length xs = List.length ys && List.for_all2 Q.equal xs ys)
+
+let () =
+  Alcotest.run "nquads"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "basic fact" `Quick test_basic_fact;
+          Alcotest.test_case "default confidence" `Quick test_default_confidence;
+          Alcotest.test_case "optional dot" `Quick test_optional_dot;
+          Alcotest.test_case "comments/blanks" `Quick test_comments_and_blanks;
+          Alcotest.test_case "prefix directive" `Quick test_prefix_directive;
+          Alcotest.test_case "explicit iri" `Quick test_explicit_iri;
+          Alcotest.test_case "string literal" `Quick test_string_literal;
+          Alcotest.test_case "errors with line numbers" `Quick test_errors;
+          Alcotest.test_case "parse_quad" `Quick test_parse_quad_single;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "explicit" `Quick test_roundtrip_explicit;
+          Alcotest.test_case "file" `Quick test_file_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+(* Tests for the prelude: deterministic PRNG, growable vectors, timing. *)
+
+module Prng = Prelude.Prng
+module Vec = Prelude.Vec
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.int64 a) (Prng.int64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_int_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_prng_range_bounds () =
+  let rng = Prng.create 8 in
+  for _ = 1 to 10_000 do
+    let v = Prng.range rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_float_bounds () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_bernoulli_extremes () =
+  let rng = Prng.create 10 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Prng.bernoulli rng 1.0);
+    Alcotest.(check bool) "p=0 always false" false (Prng.bernoulli rng 0.0)
+  done
+
+let test_prng_bernoulli_rate () =
+  let rng = Prng.create 11 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.3f near 0.3" rate)
+    true
+    (Float.abs (rate -. 0.3) < 0.02)
+
+let test_prng_split_independent () =
+  let parent = Prng.create 12 in
+  let child = Prng.split parent in
+  let a = Prng.int64 parent and b = Prng.int64 child in
+  Alcotest.(check bool) "parent and child differ" false (Int64.equal a b)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 13 in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 100 (fun i -> i))
+    sorted
+
+let test_prng_pick () =
+  let rng = Prng.create 14 in
+  let pool = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "picked from pool" true
+      (Array.mem (Prng.pick rng pool) pool)
+  done;
+  Alcotest.check_raises "empty list" (Invalid_argument "Prng.pick_list: empty list")
+    (fun () -> ignore (Prng.pick_list rng []))
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.create 15 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Prng.gaussian rng ~mean:3.0 ~stddev:2.0 in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true
+    (Float.abs (sqrt var -. 2.0) < 0.1)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh is empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Vec.set v 7 0;
+  Alcotest.(check int) "set 7" 0 (Vec.get v 7)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 3));
+  Alcotest.check_raises "set out of bounds"
+    (Invalid_argument "Vec.set: index out of bounds") (fun () ->
+      Vec.set v (-1) 0)
+
+let test_vec_pop () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Vec.pop v);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let test_vec_conversions () =
+  let v = Vec.of_list [ 3; 1; 4; 1; 5 ] in
+  Alcotest.(check (list int)) "to_list" [ 3; 1; 4; 1; 5 ] (Vec.to_list v);
+  Alcotest.(check (array int)) "to_array" [| 3; 1; 4; 1; 5 |] (Vec.to_array v);
+  let doubled = Vec.map (fun x -> 2 * x) v in
+  Alcotest.(check (list int)) "map" [ 6; 2; 8; 2; 10 ] (Vec.to_list doubled);
+  let evens = Vec.filter (fun x -> x mod 2 = 0) v in
+  Alcotest.(check (list int)) "filter" [ 4 ] (Vec.to_list evens)
+
+let test_vec_fold_iter () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sum" 10 (Vec.fold ( + ) 0 v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !seen);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+let test_vec_clear () =
+  let v = Vec.of_list [ 1 ] in
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Vec.push v 5;
+  Alcotest.(check int) "reusable" 5 (Vec.get v 0)
+
+let test_timing_mean () =
+  let ms = Prelude.Timing.mean_ms ~runs:3 (fun () -> ignore (Sys.opaque_identity 1)) in
+  Alcotest.(check bool) "non-negative" true (ms >= 0.0)
+
+let qcheck_vec_roundtrip =
+  QCheck.Test.make ~name:"vec of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let qcheck_prng_int_uniformish =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "range bounds" `Quick test_prng_range_bounds;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_prng_bernoulli_rate;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "pick" `Quick test_prng_pick;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+          QCheck_alcotest.to_alcotest qcheck_prng_int_uniformish;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "pop" `Quick test_vec_pop;
+          Alcotest.test_case "conversions" `Quick test_vec_conversions;
+          Alcotest.test_case "fold/iter/exists" `Quick test_vec_fold_iter;
+          Alcotest.test_case "clear" `Quick test_vec_clear;
+          QCheck_alcotest.to_alcotest qcheck_vec_roundtrip;
+        ] );
+      ( "timing",
+        [ Alcotest.test_case "mean_ms" `Quick test_timing_mean ] );
+    ]

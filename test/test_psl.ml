@@ -1,0 +1,237 @@
+(* Tests for the PSL engine: HL-MRF compilation, the ADMM solver on
+   problems with known optima, rounding, and the nPSL pipeline. *)
+
+module Hlmrf = Psl.Hlmrf
+module Admm = Psl.Admm
+module Store = Grounder.Atom_store
+
+let parse_rules src =
+  match Rulelang.Parser.parse_string src with
+  | Ok rules -> rules
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Rulelang.Parser.pp_error e)
+
+let near ?(eps = 2e-2) a b = Float.abs (a -. b) <= eps
+
+let test_admm_single_pull () =
+  (* minimize 1.0 * max(0, 1 - x): optimum x = 1. *)
+  let model =
+    {
+      Hlmrf.num_vars = 1;
+      potentials =
+        [| { Hlmrf.weight = 1.0; expr = { coeffs = [ (0, -1.0) ]; const = 1.0 } } |];
+      constraints = [||];
+    }
+  in
+  let x, stats = Admm.solve model in
+  Alcotest.(check bool) "converged" true stats.Admm.converged;
+  Alcotest.(check bool) "x = 1" true (near x.(0) 1.0)
+
+let test_admm_competing_pulls () =
+  (* min 3*max(0,1-x) + 1*max(0,x): linear in x with slope -2 on [0,1],
+     optimum x = 1. Swap weights -> x = 0. *)
+  let model w_up w_down =
+    {
+      Hlmrf.num_vars = 1;
+      potentials =
+        [|
+          { Hlmrf.weight = w_up; expr = { coeffs = [ (0, -1.0) ]; const = 1.0 } };
+          { Hlmrf.weight = w_down; expr = { coeffs = [ (0, 1.0) ]; const = 0.0 } };
+        |];
+      constraints = [||];
+    }
+  in
+  let x, _ = Admm.solve (model 3.0 1.0) in
+  Alcotest.(check bool) "strong pull wins" true (near x.(0) 1.0);
+  let x, _ = Admm.solve (model 1.0 3.0) in
+  Alcotest.(check bool) "strong push wins" true (near x.(0) 0.0)
+
+let test_admm_mutual_exclusion () =
+  (* Pull both vars to 1 with weights 0.9 and 0.6 under x0 + x1 <= 1:
+     optimum keeps the heavier at 1. *)
+  let model =
+    {
+      Hlmrf.num_vars = 2;
+      potentials =
+        [|
+          { Hlmrf.weight = 0.9; expr = { coeffs = [ (0, -1.0) ]; const = 1.0 } };
+          { Hlmrf.weight = 0.6; expr = { coeffs = [ (1, -1.0) ]; const = 1.0 } };
+        |];
+      constraints =
+        [| Hlmrf.Le { coeffs = [ (0, 1.0); (1, 1.0) ]; const = -1.0 } |];
+    }
+  in
+  let x, stats = Admm.solve ~max_iters:5000 model in
+  Alcotest.(check bool) "feasible" true
+    (Hlmrf.constraint_violation model x < 0.05);
+  Alcotest.(check bool) "heavier kept" true (x.(0) > x.(1));
+  Alcotest.(check bool) "x0 near 1" true (near ~eps:0.05 x.(0) 1.0);
+  Alcotest.(check bool) "x1 near 0" true (near ~eps:0.05 x.(1) 0.0);
+  Alcotest.(check bool) "objective near 0.6" true
+    (near ~eps:0.05 stats.Admm.objective 0.6)
+
+let test_admm_equality_pin () =
+  let model =
+    {
+      Hlmrf.num_vars = 1;
+      potentials =
+        [| { Hlmrf.weight = 5.0; expr = { coeffs = [ (0, 1.0) ]; const = 0.0 } } |];
+      constraints = [| Hlmrf.Eq { coeffs = [ (0, 1.0) ]; const = -1.0 } |];
+    }
+  in
+  (* Even a strong pull to 0 cannot move a pinned variable. *)
+  let x, _ = Admm.solve ~max_iters:5000 model in
+  Alcotest.(check bool) "pinned at 1" true (near ~eps:0.05 x.(0) 1.0)
+
+let test_admm_implication_potential () =
+  (* body -> head with body pinned at 1: w*max(0, x_b - x_h) plus a tiny
+     prior on the head; the head should rise to ~1. *)
+  let model =
+    {
+      Hlmrf.num_vars = 2;
+      potentials =
+        [|
+          { Hlmrf.weight = 2.0; expr = { coeffs = [ (0, 1.0); (1, -1.0) ]; const = 0.0 } };
+          { Hlmrf.weight = 0.05; expr = { coeffs = [ (1, 1.0) ]; const = 0.0 } };
+        |];
+      constraints = [| Hlmrf.Eq { coeffs = [ (0, 1.0) ]; const = -1.0 } |];
+    }
+  in
+  let x, _ = Admm.solve ~max_iters:5000 model in
+  Alcotest.(check bool) "head derived" true (x.(1) > 0.9)
+
+let test_objective_and_violation () =
+  let model =
+    {
+      Hlmrf.num_vars = 2;
+      potentials =
+        [| { Hlmrf.weight = 2.0; expr = { coeffs = [ (0, 1.0) ]; const = -0.25 } } |];
+      constraints =
+        [| Hlmrf.Le { coeffs = [ (0, 1.0); (1, 1.0) ]; const = -1.0 } |];
+    }
+  in
+  Alcotest.(check bool) "objective" true
+    (near (Hlmrf.objective model [| 0.75; 0.0 |]) 1.0);
+  Alcotest.(check bool) "violation zero" true
+    (Hlmrf.constraint_violation model [| 0.5; 0.5 |] = 0.0);
+  Alcotest.(check bool) "violation positive" true
+    (Hlmrf.constraint_violation model [| 1.0; 0.5 |] > 0.0)
+
+let test_rounding_simple () =
+  let model = { Hlmrf.num_vars = 3; potentials = [||]; constraints = [||] } in
+  let assignment, stats = Psl.Rounding.round model [| 0.9; 0.4; 0.5 |] in
+  Alcotest.(check (array bool)) "threshold 0.5" [| true; false; true |] assignment;
+  Alcotest.(check int) "no flips" 0 stats.Psl.Rounding.flipped
+
+let test_rounding_repair () =
+  (* Both rounded to true but mutually exclusive: the lower soft value is
+     flipped. *)
+  let model =
+    {
+      Hlmrf.num_vars = 2;
+      potentials = [||];
+      constraints =
+        [| Hlmrf.Le { coeffs = [ (0, 1.0); (1, 1.0) ]; const = -1.0 } |];
+    }
+  in
+  let assignment, stats = Psl.Rounding.round model [| 0.8; 0.6 |] in
+  Alcotest.(check (array bool)) "lower flipped" [| true; false |] assignment;
+  Alcotest.(check int) "one flip" 1 stats.Psl.Rounding.flipped;
+  Alcotest.(check int) "repaired" 0 stats.Psl.Rounding.unrepaired
+
+let test_rounding_respects_pins () =
+  let model =
+    {
+      Hlmrf.num_vars = 2;
+      potentials = [||];
+      constraints =
+        [|
+          Hlmrf.Eq { coeffs = [ (0, 1.0) ]; const = -1.0 };
+          Hlmrf.Le { coeffs = [ (0, 1.0); (1, 1.0) ]; const = -1.0 };
+        |];
+    }
+  in
+  let assignment, _ = Psl.Rounding.round model [| 0.6; 0.9 |] in
+  Alcotest.(check (array bool)) "pinned survives, other flips"
+    [| true; false |] assignment
+
+let cr_graph () =
+  Kg.Graph.of_list
+    [
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Chelsea") (2000, 2004) 0.9;
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Leicester") (2015, 2017) 0.7;
+      Kg.Quad.v "CR" "playsFor" (Kg.Term.iri "Palermo") (1984, 1986) 0.5;
+      Kg.Quad.v "CR" "birthDate" (Kg.Term.int 1951) (1951, 2017) 1.0;
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Napoli") (2001, 2003) 0.6;
+    ]
+
+let test_hlmrf_build_shape () =
+  let store = Store.of_graph (cr_graph ()) in
+  let rules =
+    parse_rules
+      {|constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) .
+rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .|}
+  in
+  let result = Grounder.Ground.run store rules in
+  let model = Hlmrf.build store result.Grounder.Ground.instances in
+  Alcotest.(check int) "vars" 6 model.Hlmrf.num_vars;
+  (* 1 equality pin (birthDate) + 1 deduplicated clash constraint. *)
+  Alcotest.(check int) "constraints" 2 (Array.length model.Hlmrf.constraints);
+  (* 4 uncertain evidence pulls + 1 hidden prior + 1 soft rule instance. *)
+  Alcotest.(check int) "potentials" 6 (Array.length model.Hlmrf.potentials)
+
+let test_npsl_running_example () =
+  let rules =
+    parse_rules
+      {|constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) .
+rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .|}
+  in
+  let out = Psl.Npsl.run (cr_graph ()) rules in
+  Alcotest.(check bool) "admm converged" true out.Psl.Npsl.stats.Psl.Npsl.admm.Admm.converged;
+  Alcotest.(check int) "repaired" 0
+    out.Psl.Npsl.stats.Psl.Npsl.rounding.Psl.Rounding.unrepaired;
+  (* Figure 7: facts 1-4 kept, fact 5 (Napoli) removed, worksFor derived. *)
+  Alcotest.(check (array bool)) "assignment"
+    [| true; true; true; true; false; true |]
+    out.Psl.Npsl.assignment;
+  (* The continuous state is crisp on this instance. *)
+  Alcotest.(check bool) "napoli near 0" true (out.Psl.Npsl.truth.(4) < 0.2);
+  Alcotest.(check bool) "chelsea near 1" true (out.Psl.Npsl.truth.(0) > 0.8)
+
+let test_npsl_agrees_with_mln_on_example () =
+  let rules =
+    parse_rules
+      "constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) ."
+  in
+  let psl_out = Psl.Npsl.run (cr_graph ()) rules in
+  let mln_out = Mln.Map_inference.run (cr_graph ()) rules in
+  Alcotest.(check (array bool)) "same MAP state"
+    mln_out.Mln.Map_inference.assignment psl_out.Psl.Npsl.assignment
+
+let () =
+  Alcotest.run "psl"
+    [
+      ( "admm",
+        [
+          Alcotest.test_case "single pull" `Quick test_admm_single_pull;
+          Alcotest.test_case "competing pulls" `Quick test_admm_competing_pulls;
+          Alcotest.test_case "mutual exclusion" `Quick test_admm_mutual_exclusion;
+          Alcotest.test_case "equality pin" `Quick test_admm_equality_pin;
+          Alcotest.test_case "implication potential" `Quick
+            test_admm_implication_potential;
+          Alcotest.test_case "objective/violation" `Quick
+            test_objective_and_violation;
+        ] );
+      ( "rounding",
+        [
+          Alcotest.test_case "simple threshold" `Quick test_rounding_simple;
+          Alcotest.test_case "repair" `Quick test_rounding_repair;
+          Alcotest.test_case "respects pins" `Quick test_rounding_respects_pins;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "hlmrf shape" `Quick test_hlmrf_build_shape;
+          Alcotest.test_case "running example" `Quick test_npsl_running_example;
+          Alcotest.test_case "agrees with mln" `Quick
+            test_npsl_agrees_with_mln_on_example;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* Tests for the in-memory relational engine. *)
+
+module V = Reldb.Value
+module Tbl = Reldb.Table
+module RA = Reldb.Relalg
+module DB = Reldb.Database
+module I = Kg.Interval
+
+let value_testable = Alcotest.testable V.pp V.equal
+
+let row vals = Array.of_list vals
+
+let people () =
+  let t = Tbl.create ~name:"people" ~columns:[ "name"; "age"; "city" ] in
+  List.iter (Tbl.insert t)
+    [
+      row [ V.term (Kg.Term.iri "ada"); V.int 36; V.term (Kg.Term.iri "london") ];
+      row [ V.term (Kg.Term.iri "alan"); V.int 41; V.term (Kg.Term.iri "london") ];
+      row [ V.term (Kg.Term.iri "grace"); V.int 85; V.term (Kg.Term.iri "arlington") ];
+    ];
+  t
+
+let cities () =
+  let t = Tbl.create ~name:"cities" ~columns:[ "city"; "country" ] in
+  List.iter (Tbl.insert t)
+    [
+      row [ V.term (Kg.Term.iri "london"); V.term (Kg.Term.iri "uk") ];
+      row [ V.term (Kg.Term.iri "arlington"); V.term (Kg.Term.iri "usa") ];
+      row [ V.term (Kg.Term.iri "paris"); V.term (Kg.Term.iri "france") ];
+    ];
+  t
+
+let test_value_kinds () =
+  Alcotest.(check bool) "term eq" true
+    (V.equal (V.term (Kg.Term.iri "a")) (V.term (Kg.Term.iri "a")));
+  Alcotest.(check bool) "int vs term" false (V.equal (V.int 1) (V.term (Kg.Term.int 1)));
+  Alcotest.(check bool) "interval eq" true
+    (V.equal (V.interval (I.make 1 2)) (V.interval (I.make 1 2)));
+  Alcotest.(check bool) "null eq" true (V.equal V.Null V.Null);
+  Alcotest.(check (option int)) "as_int" (Some 3) (V.as_int (V.int 3));
+  Alcotest.(check (option int)) "as_int of term" None
+    (V.as_int (V.term (Kg.Term.int 3)));
+  Alcotest.(check bool) "as_interval" true
+    (V.as_interval (V.interval (I.make 1 2)) = Some (I.make 1 2));
+  Alcotest.(check bool) "hash consistent" true
+    (V.hash (V.int 5) = V.hash (V.int 5))
+
+let test_table_basics () =
+  let t = people () in
+  Alcotest.(check int) "cardinal" 3 (Tbl.cardinal t);
+  Alcotest.(check int) "width" 3 (Tbl.width t);
+  Alcotest.(check int) "column_index" 1 (Tbl.column_index t "age");
+  (match Tbl.column_index t "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown column must raise");
+  Alcotest.check value_testable "get" (V.int 41) (Tbl.get t 1).(1)
+
+let test_table_schema_checks () =
+  (match Tbl.create ~name:"dup" ~columns:[ "a"; "a" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate columns accepted");
+  let t = Tbl.create ~name:"t" ~columns:[ "a" ] in
+  match Tbl.insert t (row [ V.int 1; V.int 2 ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width mismatch accepted"
+
+let test_index_lookup () =
+  let t = people () in
+  Tbl.create_index t [ "city" ];
+  let hits = Tbl.lookup t [ "city" ] [ V.term (Kg.Term.iri "london") ] in
+  Alcotest.(check int) "two londoners" 2 (List.length hits);
+  (* Index stays fresh under inserts. *)
+  Tbl.insert t
+    (row [ V.term (Kg.Term.iri "edsger"); V.int 72; V.term (Kg.Term.iri "london") ]);
+  Alcotest.(check int) "three after insert" 3
+    (List.length (Tbl.lookup t [ "city" ] [ V.term (Kg.Term.iri "london") ]));
+  (* Lookup without an index scans. *)
+  Alcotest.(check int) "scan on age" 1
+    (List.length (Tbl.lookup t [ "age" ] [ V.int 85 ]))
+
+let test_select_project_rename () =
+  let t = people () in
+  let adults =
+    RA.select (fun r -> match V.as_int r.(1) with Some a -> a > 40 | None -> false) t
+  in
+  Alcotest.(check int) "two adults" 2 (Tbl.cardinal adults);
+  let names = RA.project [ "name" ] adults in
+  Alcotest.(check (list string)) "projected schema" [ "name" ] (Tbl.columns names);
+  let renamed = RA.rename [ ("name", "who") ] names in
+  Alcotest.(check (list string)) "renamed" [ "who" ] (Tbl.columns renamed)
+
+let test_hash_join () =
+  let joined = RA.hash_join ~on:[ ("city", "city") ] (people ()) (cities ()) in
+  Alcotest.(check int) "three matches" 3 (Tbl.cardinal joined);
+  Alcotest.(check (list string)) "join schema"
+    [ "name"; "age"; "city"; "country" ]
+    (Tbl.columns joined);
+  (* Every output row is consistent with its inputs. *)
+  Tbl.iter
+    (fun r ->
+      let city = r.(2) and country = r.(3) in
+      let expected =
+        if V.equal city (V.term (Kg.Term.iri "london")) then
+          V.term (Kg.Term.iri "uk")
+        else V.term (Kg.Term.iri "usa")
+      in
+      Alcotest.check value_testable "country" expected country)
+    joined
+
+let test_join_empty_sides () =
+  let empty = Tbl.create ~name:"empty" ~columns:[ "city" ] in
+  let j = RA.hash_join ~on:[ ("city", "city") ] empty (cities ()) in
+  Alcotest.(check int) "left empty" 0 (Tbl.cardinal j);
+  let j2 = RA.hash_join ~on:[ ("city", "city") ] (cities ()) empty in
+  Alcotest.(check int) "right empty" 0 (Tbl.cardinal j2)
+
+let test_product () =
+  let p = RA.product (people ()) (cities ()) in
+  Alcotest.(check int) "3x3" 9 (Tbl.cardinal p);
+  Alcotest.(check int) "5 columns" 5 (Tbl.width p)
+
+let test_union_distinct () =
+  let t = people () in
+  let u = RA.union t t in
+  Alcotest.(check int) "bag union" 6 (Tbl.cardinal u);
+  Alcotest.(check int) "distinct" 3 (Tbl.cardinal (RA.distinct u));
+  let other = cities () in
+  match RA.union t other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "schema mismatch accepted"
+
+let test_sort_by () =
+  let t = people () in
+  let sorted = RA.sort_by [ "age" ] t in
+  let ages =
+    List.filter_map (fun r -> V.as_int r.(1)) (Tbl.to_list sorted)
+  in
+  Alcotest.(check (list int)) "ascending" [ 36; 41; 85 ] ages
+
+let test_database () =
+  let db = DB.create () in
+  DB.add_table db (people ());
+  Alcotest.(check bool) "found" true (DB.table db "people" <> None);
+  Alcotest.(check bool) "missing" true (DB.table db "nope" = None);
+  let t = DB.get_or_create db ~name:"people" ~columns:[ "name"; "age"; "city" ] in
+  Alcotest.(check int) "same table" 3 (Tbl.cardinal t);
+  (match DB.get_or_create db ~name:"people" ~columns:[ "other" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "schema mismatch accepted");
+  let fresh = DB.get_or_create db ~name:"new" ~columns:[ "a" ] in
+  Alcotest.(check int) "fresh empty" 0 (Tbl.cardinal fresh);
+  Alcotest.(check (list string)) "names" [ "new"; "people" ] (DB.names db)
+
+(* Property: hash join agrees with nested-loop join. *)
+let arbitrary_rows =
+  QCheck.(
+    list_of_size (Gen.int_range 0 30) (pair (int_range 0 8) (int_range 0 8)))
+
+let qcheck_join_vs_nested_loop =
+  QCheck.Test.make ~name:"hash_join = nested loop join" ~count:300
+    QCheck.(pair arbitrary_rows arbitrary_rows)
+    (fun (left_rows, right_rows) ->
+      let mk name cols rows =
+        let t = Tbl.create ~name ~columns:cols in
+        List.iter
+          (fun (k, v) -> Tbl.insert t (row [ V.int k; V.int v ]))
+          rows;
+        t
+      in
+      let left = mk "l" [ "k"; "lv" ] left_rows in
+      let right = mk "r" [ "k"; "rv" ] right_rows in
+      let joined = RA.hash_join ~on:[ ("k", "k") ] left right in
+      let fast =
+        Tbl.to_list joined
+        |> List.map (fun r -> (V.as_int r.(0), V.as_int r.(1), V.as_int r.(2)))
+        |> List.sort compare
+      in
+      let naive =
+        List.concat_map
+          (fun (k, lv) ->
+            List.filter_map
+              (fun (k', rv) ->
+                if k = k' then Some (Some k, Some lv, Some rv) else None)
+              right_rows)
+          left_rows
+        |> List.sort compare
+      in
+      fast = naive)
+
+let () =
+  Alcotest.run "reldb"
+    [
+      ( "value",
+        [ Alcotest.test_case "kinds" `Quick test_value_kinds ] );
+      ( "table",
+        [
+          Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "schema checks" `Quick test_table_schema_checks;
+          Alcotest.test_case "index lookup" `Quick test_index_lookup;
+        ] );
+      ( "relalg",
+        [
+          Alcotest.test_case "select/project/rename" `Quick
+            test_select_project_rename;
+          Alcotest.test_case "hash join" `Quick test_hash_join;
+          Alcotest.test_case "join empty sides" `Quick test_join_empty_sides;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "union/distinct" `Quick test_union_distinct;
+          Alcotest.test_case "sort_by" `Quick test_sort_by;
+          QCheck_alcotest.to_alcotest qcheck_join_vs_nested_loop;
+        ] );
+      ( "database",
+        [ Alcotest.test_case "registry" `Quick test_database ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the alternative repair strategies. *)
+
+module R = Tecore.Repair
+
+let parse_rules src =
+  match Rulelang.Parser.parse_string src with
+  | Ok rules -> rules
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Rulelang.Parser.pp_error e)
+
+let c2 =
+  parse_rules
+    "constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) ."
+
+let pair_clash () =
+  Kg.Graph.of_list
+    [
+      Kg.Quad.v "x" "coach" (Kg.Term.iri "A") (2000, 2005) 0.9;
+      Kg.Quad.v "x" "coach" (Kg.Term.iri "B") (2003, 2007) 0.6;
+    ]
+
+let test_conflict_sets () =
+  let sets = R.conflict_sets (pair_clash ()) c2 in
+  (* One clash, both orders deduplicated by the sorted projection. *)
+  Alcotest.(check (list (list int))) "one set" [ [ 0; 1 ] ] sets
+
+let test_conflict_sets_clean () =
+  let g =
+    Kg.Graph.of_list [ Kg.Quad.v "x" "coach" (Kg.Term.iri "A") (2000, 2005) 0.9 ]
+  in
+  Alcotest.(check (list (list int))) "no sets" [] (R.conflict_sets g c2)
+
+let test_greedy_simple () =
+  let r = R.greedy (pair_clash ()) c2 in
+  Alcotest.(check int) "one removed" 1 (List.length r.R.removed);
+  Alcotest.(check string) "cheaper fact removed" "B"
+    (Kg.Term.to_string (snd (List.hd r.R.removed)).Kg.Quad.object_);
+  Alcotest.(check int) "consistent size" 1 (Kg.Graph.size r.R.consistent);
+  Alcotest.(check bool) "confidence tally" true
+    (Float.abs (r.R.removed_confidence -. 0.6) < 1e-9)
+
+let test_greedy_hub () =
+  (* One cheap hub fact clashing with two expensive ones: greedy removes
+     the hub (most clashes). *)
+  let g =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "Hub") (2000, 2010) 0.5;
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "A") (2001, 2003) 0.9;
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "B") (2006, 2008) 0.9;
+      ]
+  in
+  let r = R.greedy g c2 in
+  Alcotest.(check int) "only the hub removed" 1 (List.length r.R.removed);
+  Alcotest.(check string) "hub" "Hub"
+    (Kg.Term.to_string (snd (List.hd r.R.removed)).Kg.Quad.object_)
+
+let test_hitting_sets_basic () =
+  let sets = [ [ 1; 2 ]; [ 2; 3 ] ] in
+  let hs = R.minimal_hitting_sets sets in
+  (* Minimal hitting sets: {2}, {1,3}. *)
+  Alcotest.(check bool) "contains {2}" true (List.mem [ 2 ] hs);
+  Alcotest.(check bool) "contains {1;3}" true (List.mem [ 1; 3 ] hs);
+  Alcotest.(check bool) "no superset of {2} with 2 inside" true
+    (not (List.exists (fun s -> List.mem 2 s && List.length s > 1) hs));
+  (* Smallest first. *)
+  Alcotest.(check (list int)) "first is {2}" [ 2 ] (List.hd hs)
+
+let test_hitting_sets_empty () =
+  Alcotest.(check (list (list int))) "no conflicts: empty repair" [ [] ]
+    (R.minimal_hitting_sets [])
+
+let test_hitting_sets_disjoint_conflicts () =
+  let hs = R.minimal_hitting_sets [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check int) "four combinations" 4 (List.length hs);
+  List.iter
+    (fun s -> Alcotest.(check int) "size two" 2 (List.length s))
+    hs
+
+let test_optimal_vs_greedy () =
+  (* Greedy can over-pay: hub has many clashes but high confidence.
+     hub (0.95) clashes with a (0.3), b (0.3), c (0.3): greedy removes
+     the hub first (3 clashes); optimal removes the three cheap facts
+     (cost 0.9 < 0.95). *)
+  let g =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "Hub") (2000, 2010) 0.95;
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "A") (2001, 2002) 0.3;
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "B") (2004, 2005) 0.3;
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "C") (2007, 2008) 0.3;
+      ]
+  in
+  let greedy = R.greedy g c2 in
+  (match R.optimal_hitting_set g c2 with
+  | None -> Alcotest.fail "optimal repair missing"
+  | Some optimal ->
+      Alcotest.(check bool)
+        (Printf.sprintf "optimal %.2f <= greedy %.2f"
+           optimal.R.removed_confidence greedy.R.removed_confidence)
+        true
+        (optimal.R.removed_confidence <= greedy.R.removed_confidence +. 1e-9);
+      Alcotest.(check int) "optimal removes the three cheap facts" 3
+        (List.length optimal.R.removed));
+  (* MAP agrees with the optimal hitting set here (no soft rules). *)
+  let map_result = Tecore.Engine.resolve g c2 in
+  Alcotest.(check int) "MAP removes three" 3
+    (List.length map_result.Tecore.Engine.resolution.Tecore.Conflict.removed)
+
+let test_repairs_are_consistent () =
+  let d = Datagen.Footballdb.generate ~seed:31 ~players:60 ~noise_ratio:0.5 () in
+  let rules = Datagen.Footballdb.constraints () in
+  List.iter
+    (fun (label, repair) ->
+      let remaining = R.conflict_sets repair.R.consistent rules in
+      Alcotest.(check (list (list int))) (label ^ " leaves no clash") []
+        remaining)
+    [
+      ("greedy", R.greedy d.Datagen.Footballdb.graph rules);
+    ]
+
+let () =
+  Alcotest.run "repair"
+    [
+      ( "conflict sets",
+        [
+          Alcotest.test_case "pair clash" `Quick test_conflict_sets;
+          Alcotest.test_case "clean graph" `Quick test_conflict_sets_clean;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "simple" `Quick test_greedy_simple;
+          Alcotest.test_case "hub" `Quick test_greedy_hub;
+          Alcotest.test_case "consistency" `Quick test_repairs_are_consistent;
+        ] );
+      ( "hitting sets",
+        [
+          Alcotest.test_case "basic" `Quick test_hitting_sets_basic;
+          Alcotest.test_case "empty" `Quick test_hitting_sets_empty;
+          Alcotest.test_case "disjoint conflicts" `Quick
+            test_hitting_sets_disjoint_conflicts;
+          Alcotest.test_case "optimal vs greedy vs MAP" `Quick
+            test_optimal_vs_greedy;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+(* Tests for the SQL front-end over the relational engine. *)
+
+module V = Reldb.Value
+module Tbl = Reldb.Table
+module DB = Reldb.Database
+module Sql = Reldb.Sql
+
+let db () =
+  let db = DB.create () in
+  let people = Tbl.create ~name:"people" ~columns:[ "name"; "age"; "city" ] in
+  List.iter (Tbl.insert people)
+    [
+      [| V.term (Kg.Term.iri "ada"); V.int 36; V.term (Kg.Term.iri "london") |];
+      [| V.term (Kg.Term.iri "alan"); V.int 41; V.term (Kg.Term.iri "london") |];
+      [| V.term (Kg.Term.iri "grace"); V.int 85; V.term (Kg.Term.iri "arlington") |];
+    ];
+  DB.add_table db people;
+  let cities = Tbl.create ~name:"cities" ~columns:[ "cname"; "country" ] in
+  List.iter (Tbl.insert cities)
+    [
+      [| V.term (Kg.Term.iri "london"); V.term (Kg.Term.iri "uk") |];
+      [| V.term (Kg.Term.iri "arlington"); V.term (Kg.Term.iri "usa") |];
+    ];
+  DB.add_table db cities;
+  db
+
+let run src =
+  match Sql.query (db ()) src with
+  | Ok table -> table
+  | Error e -> Alcotest.fail e
+
+let fails src =
+  match Sql.query (db ()) src with
+  | Ok _ -> Alcotest.fail ("should fail: " ^ src)
+  | Error _ -> ()
+
+let names table =
+  Tbl.fold
+    (fun acc row ->
+      match V.as_term row.(0) with
+      | Some t -> Kg.Term.to_string t :: acc
+      | None -> acc)
+    [] table
+  |> List.rev
+
+let test_select_star () =
+  let t = run "SELECT * FROM people" in
+  Alcotest.(check int) "all rows" 3 (Tbl.cardinal t);
+  Alcotest.(check int) "all columns" 3 (Tbl.width t)
+
+let test_projection () =
+  let t = run "SELECT name, age FROM people" in
+  Alcotest.(check (list string)) "columns" [ "name"; "age" ] (Tbl.columns t)
+
+let test_where_string () =
+  let t = run "SELECT name FROM people WHERE city = 'london'" in
+  Alcotest.(check (list string)) "londoners" [ "ada"; "alan" ] (names t)
+
+let test_where_number_comparison () =
+  let t = run "SELECT name FROM people WHERE age > 40" in
+  Alcotest.(check (list string)) "over 40" [ "alan"; "grace" ] (names t);
+  let t = run "SELECT name FROM people WHERE age <= 41 AND city = 'london'" in
+  Alcotest.(check (list string)) "conjunction" [ "ada"; "alan" ] (names t);
+  let t = run "SELECT name FROM people WHERE city != 'london'" in
+  Alcotest.(check (list string)) "negation" [ "grace" ] (names t)
+
+let test_order_and_limit () =
+  let t = run "SELECT name FROM people ORDER BY age LIMIT 2" in
+  Alcotest.(check (list string)) "youngest two" [ "ada"; "alan" ] (names t);
+  let t = run "SELECT name FROM people ORDER BY name LIMIT 1" in
+  Alcotest.(check (list string)) "alphabetical" [ "ada" ] (names t)
+
+let test_join () =
+  let t =
+    run "SELECT name, country FROM people JOIN cities ON city = cname WHERE country = 'uk'"
+  in
+  Alcotest.(check (list string)) "uk residents" [ "ada"; "alan" ] (names t);
+  Alcotest.(check (list string)) "projected" [ "name"; "country" ]
+    (Tbl.columns t)
+
+let test_case_insensitive_keywords () =
+  let t = run "select name from people where age >= 85" in
+  Alcotest.(check (list string)) "lowercase keywords" [ "grace" ] (names t)
+
+let test_errors () =
+  fails "SELECT name FROM nope";
+  fails "SELECT nope FROM people";
+  fails "SELECT name FROM people WHERE nope = 1";
+  fails "SELECT name FROM people WHERE age";
+  fails "FROM people";
+  fails "SELECT name FROM people LIMIT x";
+  fails "SELECT name FROM people ORDER age";
+  fails "SELECT name FROM people trailing"
+
+let test_grounding_tables_queryable () =
+  (* The grounder's extension tables answer SQL directly. *)
+  let graph =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "CR" "coach" (Kg.Term.iri "Chelsea") (2000, 2004) 0.9;
+        Kg.Quad.v "CR" "coach" (Kg.Term.iri "Napoli") (2001, 2003) 0.6;
+        Kg.Quad.v "Kid" "coach" (Kg.Term.iri "Ajax") (2010, 2012) 0.8;
+      ]
+  in
+  let store = Grounder.Atom_store.of_graph graph in
+  let db = Grounder.Atom_store.database store in
+  match Reldb.Sql.query db "SELECT a0, a1 FROM coach/2@ WHERE a0 = 'CR'" with
+  | Ok t -> Alcotest.(check int) "CR rows" 2 (Tbl.cardinal t)
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "queries",
+        [
+          Alcotest.test_case "select star" `Quick test_select_star;
+          Alcotest.test_case "projection" `Quick test_projection;
+          Alcotest.test_case "where string" `Quick test_where_string;
+          Alcotest.test_case "where numbers" `Quick test_where_number_comparison;
+          Alcotest.test_case "order/limit" `Quick test_order_and_limit;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "case-insensitive" `Quick
+            test_case_insensitive_keywords;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "grounder tables" `Quick
+            test_grounding_tables_queryable;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for automatic constraint suggestion. *)
+
+module S = Tecore.Suggest
+
+let config = { S.default_config with S.min_support = 5 }
+
+(* A clean corpus: one person per index, disjoint club stints, birth
+   before debut. *)
+let clean_corpus n =
+  let g = Kg.Graph.create () in
+  for i = 0 to n - 1 do
+    let who = Printf.sprintf "P%d" i in
+    let birth = 1960 + (i mod 20) in
+    ignore
+      (Kg.Graph.add g
+         (Kg.Quad.v who "birthDate" (Kg.Term.int birth) (birth, 2017) 0.95));
+    ignore
+      (Kg.Graph.add g
+         (Kg.Quad.v who "playsFor"
+            (Kg.Term.iri (Printf.sprintf "Club%d" (i mod 7)))
+            (birth + 20, birth + 23)
+            0.8));
+    ignore
+      (Kg.Graph.add g
+         (Kg.Quad.v who "playsFor"
+            (Kg.Term.iri (Printf.sprintf "Club%d" ((i + 3) mod 7)))
+            (birth + 25, birth + 28)
+            0.8))
+  done;
+  g
+
+let find kind suggestions =
+  List.find_opt
+    (fun s ->
+      match (kind, s.S.kind) with
+      | `Disjoint p, S.Disjointness -> s.S.predicate = p
+      | `Functional p, S.Functionality -> s.S.predicate = p
+      | `Before (p, q), S.Precedence q' -> s.S.predicate = p && q = q'
+      | _ -> false)
+    suggestions
+
+let test_mines_disjointness () =
+  let suggestions = S.mine ~config (clean_corpus 50) in
+  match find (`Disjoint "playsFor") suggestions with
+  | Some s ->
+      Alcotest.(check bool) "perfect ratio" true (s.S.ratio = 1.0);
+      Alcotest.(check bool) "hard rule" true (Logic.Rule.is_hard s.S.rule);
+      Alcotest.(check int) "no violations" 0 s.S.violations
+  | None -> Alcotest.fail "playsFor disjointness not mined"
+
+let test_mines_precedence () =
+  let suggestions = S.mine ~config (clean_corpus 50) in
+  match find (`Before ("birthDate", "playsFor")) suggestions with
+  | Some s -> Alcotest.(check bool) "perfect" true (s.S.ratio = 1.0)
+  | None -> Alcotest.fail "birth-before-playsFor not mined"
+
+let test_noise_softens () =
+  (* Corrupt a fraction of stints into overlaps: the disjointness
+     suggestion should become soft (ratio < 1) or vanish. *)
+  let g = clean_corpus 60 in
+  for i = 0 to 7 do
+    ignore
+      (Kg.Graph.add g
+         (Kg.Quad.v
+            (Printf.sprintf "P%d" i)
+            "playsFor"
+            (Kg.Term.iri "Rogue")
+            (1960 + (i mod 20) + 20, 1960 + (i mod 20) + 30)
+            0.6))
+  done;
+  let suggestions = S.mine ~config g in
+  match find (`Disjoint "playsFor") suggestions with
+  | Some s ->
+      Alcotest.(check bool) "ratio below 1" true (s.S.ratio < 1.0);
+      Alcotest.(check bool) "soft rule" true (not (Logic.Rule.is_hard s.S.rule));
+      Alcotest.(check bool) "violations counted" true (s.S.violations > 0)
+  | None -> () (* dropping below min_ratio is also acceptable *)
+
+let test_min_support_gate () =
+  let suggestions = S.mine ~config:{ config with S.min_support = 10_000 }
+      (clean_corpus 50)
+  in
+  Alcotest.(check int) "nothing with huge support gate" 0
+    (List.length suggestions)
+
+let test_functionality_mined () =
+  (* A predicate whose same-subject intersecting facts always agree:
+     birthDate with interval [year, 2017]. *)
+  let g = Kg.Graph.create () in
+  for i = 0 to 19 do
+    let who = Printf.sprintf "P%d" (i mod 10) in
+    (* Each person asserted twice with the same year. *)
+    ignore
+      (Kg.Graph.add g
+         (Kg.Quad.v who "birthDate" (Kg.Term.int 1980) (1980, 2017) 0.9))
+  done;
+  let suggestions = S.mine ~config g in
+  match find (`Functional "birthDate") suggestions with
+  | Some s -> Alcotest.(check bool) "perfect" true (s.S.ratio = 1.0)
+  | None -> Alcotest.fail "birthDate functionality not mined"
+
+let test_suggestions_are_runnable () =
+  let corpus = clean_corpus 40 in
+  let suggestions = S.mine ~config corpus in
+  Alcotest.(check bool) "some suggestions" true (suggestions <> []);
+  (* Resolving the clean corpus under its own mined constraints removes
+     nothing. *)
+  let rules = List.map (fun s -> s.S.rule) suggestions in
+  let result = Tecore.Engine.resolve corpus rules in
+  Alcotest.(check int) "clean corpus stays intact" 0
+    (List.length result.Tecore.Engine.resolution.Tecore.Conflict.removed)
+
+let test_mined_constraints_catch_noise () =
+  (* Mine on clean data, then debug a noisy graph with the suggestions. *)
+  let suggestions = S.mine ~config (clean_corpus 60) in
+  let rules = List.map (fun s -> s.S.rule) suggestions in
+  let noisy =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "X" "birthDate" (Kg.Term.int 1980) (1980, 2017) 0.95;
+        Kg.Quad.v "X" "playsFor" (Kg.Term.iri "A") (2000, 2005) 0.9;
+        Kg.Quad.v "X" "playsFor" (Kg.Term.iri "B") (2003, 2007) 0.5;
+      ]
+  in
+  let result = Tecore.Engine.resolve noisy rules in
+  let removed =
+    List.map (fun (_, q) -> Kg.Quad.to_string q)
+      result.Tecore.Engine.resolution.Tecore.Conflict.removed
+  in
+  Alcotest.(check (list string)) "overlap removed"
+    [ "(X, playsFor, B, [2003,2007]) 0.5" ]
+    removed
+
+let test_ordering () =
+  let suggestions = S.mine ~config (clean_corpus 50) in
+  let ratios = List.map (fun s -> s.S.ratio) suggestions in
+  Alcotest.(check bool) "sorted by ratio desc" true
+    (List.sort (fun a b -> Float.compare b a) ratios = ratios)
+
+let () =
+  Alcotest.run "suggest"
+    [
+      ( "mining",
+        [
+          Alcotest.test_case "disjointness" `Quick test_mines_disjointness;
+          Alcotest.test_case "precedence" `Quick test_mines_precedence;
+          Alcotest.test_case "functionality" `Quick test_functionality_mined;
+          Alcotest.test_case "noise softens" `Quick test_noise_softens;
+          Alcotest.test_case "support gate" `Quick test_min_support_gate;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "runnable suggestions" `Quick
+            test_suggestions_are_runnable;
+          Alcotest.test_case "mined constraints catch noise" `Quick
+            test_mined_constraints_catch_noise;
+        ] );
+    ]

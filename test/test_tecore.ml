@@ -1,0 +1,278 @@
+(* Tests for the TeCoRe core: translator, conflict interpretation,
+   threshold, the engine facade and the session workflow. *)
+
+let parse_rules src =
+  match Rulelang.Parser.parse_string src with
+  | Ok rules -> rules
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Rulelang.Parser.pp_error e)
+
+let cr_graph () =
+  Kg.Graph.of_list
+    [
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Chelsea") (2000, 2004) 0.9;
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Leicester") (2015, 2017) 0.7;
+      Kg.Quad.v "CR" "playsFor" (Kg.Term.iri "Palermo") (1984, 1986) 0.5;
+      Kg.Quad.v "CR" "birthDate" (Kg.Term.int 1951) (1951, 2017) 1.0;
+      Kg.Quad.v "CR" "coach" (Kg.Term.iri "Napoli") (2001, 2003) 0.6;
+    ]
+
+let cr_rules () =
+  parse_rules
+    {|constraint c2: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) .
+rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .|}
+
+let test_translator_ok () =
+  let report = Tecore.Translator.analyse (cr_graph ()) (cr_rules ()) in
+  Alcotest.(check bool) "ok" true report.Tecore.Translator.ok;
+  Alcotest.(check bool) "recommends MLN for 5 facts" true
+    (report.Tecore.Translator.recommended = Tecore.Translator.Mln_engine)
+
+let test_translator_warnings () =
+  let rules =
+    parse_rules "constraint c: nosuch(x, y)@t ^ nosuch(x, z)@t2 => y = z ."
+  in
+  let report = Tecore.Translator.analyse (cr_graph ()) rules in
+  Alcotest.(check bool) "still ok" true report.Tecore.Translator.ok;
+  Alcotest.(check bool) "warns about predicate" true
+    (List.exists
+       (fun n -> n.Tecore.Translator.severity = Tecore.Translator.Warning)
+       report.Tecore.Translator.notes)
+
+let test_translator_recommends_psl_at_scale () =
+  let graph = Kg.Graph.create () in
+  for i = 0 to Tecore.Translator.mln_size_limit do
+    ignore
+      (Kg.Graph.add graph
+         (Kg.Quad.v (Printf.sprintf "s%d" i) "p" (Kg.Term.iri "o") (1, 2) 0.9))
+  done;
+  let report = Tecore.Translator.analyse graph [] in
+  Alcotest.(check bool) "psl recommended" true
+    (report.Tecore.Translator.recommended = Tecore.Translator.Psl_engine)
+
+let test_translator_head_predicate_not_warned () =
+  (* worksFor only exists as a rule head; chained rules must not warn. *)
+  let rules =
+    parse_rules
+      {|rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .
+rule g 1.0: worksFor(x, y)@t => employed(x, y)@t .|}
+  in
+  let report = Tecore.Translator.analyse (cr_graph ()) rules in
+  Alcotest.(check bool) "no warnings" true
+    (not
+       (List.exists
+          (fun n -> n.Tecore.Translator.severity = Tecore.Translator.Warning)
+          report.Tecore.Translator.notes))
+
+let figure7 result =
+  Kg.Graph.to_list result.Tecore.Engine.resolution.Tecore.Conflict.consistent
+  |> List.map Kg.Quad.to_string
+  |> List.sort String.compare
+
+let expected_figure7 =
+  List.sort String.compare
+    [
+      "(CR, coach, Chelsea, [2000,2004]) 0.9";
+      "(CR, coach, Leicester, [2015,2017]) 0.7";
+      "(CR, playsFor, Palermo, [1984,1986]) 0.5";
+      "(CR, birthDate, 1951, [1951,2017])";
+      "(CR, worksFor, Palermo, [1984,1986]) 0.924";
+    ]
+
+let test_resolve_mln () =
+  let result =
+    Tecore.Engine.resolve
+      ~engine:(Tecore.Engine.Mln Mln.Map_inference.default_options)
+      (cr_graph ()) (cr_rules ())
+  in
+  Alcotest.(check (list string)) "figure 7" expected_figure7 (figure7 result);
+  Alcotest.(check int) "one removed" 1
+    (List.length result.Tecore.Engine.resolution.Tecore.Conflict.removed);
+  Alcotest.(check int) "kept" 4 result.Tecore.Engine.resolution.Tecore.Conflict.kept;
+  Alcotest.(check int) "clash involves two facts" 2
+    (List.length result.Tecore.Engine.resolution.Tecore.Conflict.conflicting);
+  let removed_fact =
+    snd (List.hd result.Tecore.Engine.resolution.Tecore.Conflict.removed)
+  in
+  Alcotest.(check string) "napoli removed"
+    "(CR, coach, Napoli, [2001,2003]) 0.6"
+    (Kg.Quad.to_string removed_fact)
+
+let test_resolve_psl () =
+  let result =
+    Tecore.Engine.resolve ~engine:(Tecore.Engine.Psl Psl.Npsl.default_options)
+      (cr_graph ()) (cr_rules ())
+  in
+  Alcotest.(check (list string)) "figure 7 via psl" expected_figure7
+    (figure7 result)
+
+let test_resolve_auto () =
+  let result = Tecore.Engine.resolve (cr_graph ()) (cr_rules ()) in
+  Alcotest.(check bool) "auto uses mln on small input" true
+    (result.Tecore.Engine.stats.Tecore.Engine.engine_used
+    = Tecore.Translator.Mln_engine)
+
+let test_threshold () =
+  (* worksFor is derived with confidence sigmoid(2.5) ~ 0.924. *)
+  let resolve t =
+    Tecore.Engine.resolve ?threshold:t (cr_graph ()) (cr_rules ())
+  in
+  let keep = resolve (Some 0.5) in
+  Alcotest.(check int) "below threshold kept" 1
+    (List.length keep.Tecore.Engine.resolution.Tecore.Conflict.derived);
+  let drop = resolve (Some 0.95) in
+  Alcotest.(check int) "above threshold dropped" 0
+    (List.length drop.Tecore.Engine.resolution.Tecore.Conflict.derived);
+  (* The derived quad is also removed from the consistent graph. *)
+  Alcotest.(check int) "consistent shrinks" 4
+    (Kg.Graph.size drop.Tecore.Engine.resolution.Tecore.Conflict.consistent)
+
+let test_derived_confidence_monotone () =
+  (* Two rules deriving the same atom give higher confidence than one. *)
+  let graph =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "a" "p" (Kg.Term.iri "b") (1, 2) 0.9;
+        Kg.Quad.v "a" "q" (Kg.Term.iri "b") (1, 2) 0.9;
+      ]
+  in
+  let one = parse_rules "rule r1 1.0: p(x, y)@t => d(x, y)@t ." in
+  let two =
+    parse_rules
+      {|rule r1 1.0: p(x, y)@t => d(x, y)@t .
+rule r2 1.0: q(x, y)@t => d(x, y)@t .|}
+  in
+  let conf rules =
+    let result = Tecore.Engine.resolve graph rules in
+    match result.Tecore.Engine.resolution.Tecore.Conflict.derived with
+    | [ d ] -> d.Tecore.Conflict.confidence
+    | ds -> Alcotest.fail (Printf.sprintf "expected 1 derived, got %d" (List.length ds))
+  in
+  Alcotest.(check bool) "two rules > one rule" true (conf two > conf one)
+
+let test_rejected () =
+  let unsafe =
+    [
+      Logic.Rule.
+        {
+          name = "bad";
+          weight = None;
+          body = [ Logic.Atom.make "p" [ Logic.Lterm.var "x" ] ];
+          conditions = [];
+          head =
+            Infer (Logic.Atom.make "q" [ Logic.Lterm.var "y" ]);
+        };
+    ]
+  in
+  match Tecore.Engine.resolve (cr_graph ()) unsafe with
+  | exception Tecore.Engine.Rejected report ->
+      Alcotest.(check bool) "report not ok" false report.Tecore.Translator.ok
+  | _ -> Alcotest.fail "unsafe rule accepted"
+
+let test_session_workflow () =
+  let s = Tecore.Session.create () in
+  Alcotest.(check bool) "no graph yet" true (Tecore.Session.graph s = None);
+  (match Tecore.Session.run s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "run without graph must fail");
+  (match
+     Tecore.Session.load_string s
+       {|ex:CR ex:coach ex:Chelsea [2000,2004] 0.9 .
+ex:CR ex:coach ex:Napoli [2001,2003] 0.6 .|}
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Tecore.Session.add_rules s
+       "constraint c2: ex:coach(x, y)@t ^ ex:coach(x, z)@t2 ^ y != z => disjoint(t, t2) ."
+   with
+  | Ok [ _ ] -> ()
+  | Ok _ -> Alcotest.fail "one rule expected"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (list string)) "completion" [ "ex:coach" ]
+    (Tecore.Session.complete_predicate s "ex:c");
+  (match Tecore.Session.run s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "one consistent statement" 1
+    (List.length (Tecore.Session.consistent_statements s));
+  Alcotest.(check int) "one conflicting statement" 1
+    (List.length (Tecore.Session.conflicting_statements s));
+  Alcotest.(check bool) "stats mention engine" true
+    (Tecore.Session.statistics s <> "no run yet");
+  (* Editing rules invalidates the previous result. *)
+  Alcotest.(check bool) "remove rule" true (Tecore.Session.remove_rule s "c2");
+  Alcotest.(check bool) "result cleared" true (Tecore.Session.last_result s = None);
+  Alcotest.(check bool) "remove absent rule" false
+    (Tecore.Session.remove_rule s "zz");
+  Tecore.Session.clear_rules s;
+  Alcotest.(check int) "rules cleared" 0 (List.length (Tecore.Session.rules s))
+
+let test_session_load_errors () =
+  let s = Tecore.Session.create () in
+  (match Tecore.Session.load_string s "not a fact line" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "bad data accepted");
+  (match Tecore.Session.add_rules s "rule broken" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad rules accepted");
+  match Tecore.Session.load_file s "/nonexistent/path.tq" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing file accepted"
+
+let test_conflicting_count_on_noisy_graph () =
+  (* Three mutually overlapping coach facts: all three are conflicting,
+     but only the cheapest ones are removed. *)
+  let graph =
+    Kg.Graph.of_list
+      [
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "A") (2000, 2010) 0.9;
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "B") (2001, 2005) 0.6;
+        Kg.Quad.v "x" "coach" (Kg.Term.iri "C") (2004, 2008) 0.7;
+      ]
+  in
+  let rules =
+    parse_rules
+      "constraint c: coach(x, y)@t ^ coach(x, z)@t2 ^ y != z => disjoint(t, t2) ."
+  in
+  let result = Tecore.Engine.resolve graph rules in
+  Alcotest.(check int) "three conflicting" 3
+    (List.length result.Tecore.Engine.resolution.Tecore.Conflict.conflicting);
+  Alcotest.(check int) "two removed" 2
+    (List.length result.Tecore.Engine.resolution.Tecore.Conflict.removed);
+  Alcotest.(check int) "one kept" 1 result.Tecore.Engine.resolution.Tecore.Conflict.kept;
+  (* The highest-confidence fact survives. *)
+  let kept = Kg.Graph.to_list result.Tecore.Engine.resolution.Tecore.Conflict.consistent in
+  Alcotest.(check int) "graph size" 1 (List.length kept);
+  Alcotest.(check string) "A kept" "(x, coach, A, [2000,2010]) 0.9"
+    (Kg.Quad.to_string (List.hd kept))
+
+let () =
+  Alcotest.run "tecore"
+    [
+      ( "translator",
+        [
+          Alcotest.test_case "ok" `Quick test_translator_ok;
+          Alcotest.test_case "warnings" `Quick test_translator_warnings;
+          Alcotest.test_case "psl at scale" `Quick
+            test_translator_recommends_psl_at_scale;
+          Alcotest.test_case "head predicates" `Quick
+            test_translator_head_predicate_not_warned;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "resolve mln" `Quick test_resolve_mln;
+          Alcotest.test_case "resolve psl" `Quick test_resolve_psl;
+          Alcotest.test_case "resolve auto" `Quick test_resolve_auto;
+          Alcotest.test_case "threshold" `Quick test_threshold;
+          Alcotest.test_case "derived confidence monotone" `Quick
+            test_derived_confidence_monotone;
+          Alcotest.test_case "rejected" `Quick test_rejected;
+          Alcotest.test_case "conflicting count" `Quick
+            test_conflicting_count_on_noisy_graph;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "workflow" `Quick test_session_workflow;
+          Alcotest.test_case "load errors" `Quick test_session_load_errors;
+        ] );
+    ]
