@@ -10,7 +10,7 @@
    Absolute times will not match the paper (different machine, different
    substrate); the shapes are what is being reproduced. *)
 
-let fast_mode = Sys.getenv_opt "BENCH_FAST" <> None
+let fast_mode = ref (Sys.getenv_opt "BENCH_FAST" <> None)
 
 let section id title =
   Printf.printf "\n==============================================================\n";
@@ -85,7 +85,7 @@ let e2 () =
   section "E2" "Figure 8: conflicting-fact statistics on a Wikidata-style UTKG";
   row "%-12s %-10s %-12s %-12s %-10s %-10s\n" "facts" "planted" "conflicting"
     "removed" "kept" "time(ms)";
-  let sizes = if fast_mode then [ 24_315 ] else [ 24_315; 243_157 ] in
+  let sizes = if !fast_mode then [ 24_315 ] else [ 24_315; 243_157 ] in
   List.iter
     (fun total ->
       let d =
@@ -119,7 +119,7 @@ let e3 () =
   row "dataset: %d facts (%d planted errors)\n"
     (Kg.Graph.size d.Datagen.Footballdb.graph)
     (List.length d.Datagen.Footballdb.planted);
-  let runs = if fast_mode then 3 else 10 in
+  let runs = if !fast_mode then 3 else 10 in
   let measure engine =
     Prelude.Timing.mean_ms ~runs (fun () ->
         ignore (Tecore.Engine.resolve ~engine d.Datagen.Footballdb.graph rules))
@@ -227,7 +227,7 @@ let e7 () =
   section "E7" "scalability: PSL scales, MLN does not (size sweep)";
   row "%-10s %-14s %-14s %-10s\n" "facts" "MLN (ms)" "nPSL (ms)" "ratio";
   let sizes =
-    if fast_mode then [ 1_000; 4_000; 16_000 ]
+    if !fast_mode then [ 1_000; 4_000; 16_000 ]
     else [ 1_000; 2_000; 4_000; 8_000; 16_000; 32_000; 64_000 ]
   in
   List.iter
@@ -623,19 +623,164 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* OBS: per-stage medians over repeated end-to-end runs, exported as   *)
+(* machine-readable BENCH_obs.json (validated by re-parsing it).       *)
+
+let obs_json_path = "BENCH_obs.json"
+
+let obs_bench () =
+  section "OBS" "observability: per-stage medians -> BENCH_obs.json";
+  let reps = if !fast_mode then 3 else 5 in
+  let datasets =
+    let fb players =
+      let d =
+        Datagen.Footballdb.generate ~seed:13 ~players ~noise_ratio:0.5 ()
+      in
+      ( Printf.sprintf "footballdb-%d" players,
+        d.Datagen.Footballdb.graph,
+        Datagen.Footballdb.constraints () )
+    in
+    let wd total =
+      let d =
+        Datagen.Wikidata.generate ~seed:13 ~total_facts:total
+          ~conflict_rate:0.08 ()
+      in
+      ( Printf.sprintf "wikidata-%d" total,
+        d.Datagen.Wikidata.graph,
+        Datagen.Wikidata.constraints () )
+    in
+    if !fast_mode then [ fb 150; wd 1_000 ] else [ fb 400; wd 4_000 ]
+  in
+  let engines = [ ("mln", mln_engine); ("psl", psl_engine) ] in
+  let stage_paths =
+    [
+      ("total", [ "resolve" ]);
+      ("ground", [ "resolve"; "ground" ]);
+      ("encode", [ "resolve"; "encode" ]);
+      ("solve", [ "resolve"; "solve" ]);
+      ("interpret", [ "resolve"; "interpret" ]);
+    ]
+  in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let runs =
+    List.concat_map
+      (fun (dataset, graph, rules) ->
+        List.map
+          (fun (engine_id, engine) ->
+            let reports =
+              List.init reps (fun _ ->
+                  Obs.reset ();
+                  Obs.set_enabled true;
+                  ignore (Tecore.Engine.resolve ~engine graph rules);
+                  let r = Obs.Report.capture () in
+                  Obs.set_enabled false;
+                  r)
+            in
+            let stages =
+              List.filter_map
+                (fun (stage, path) ->
+                  let samples =
+                    List.filter_map
+                      (fun r ->
+                        Option.map
+                          (fun (n : Obs.Report.node) -> n.Obs.Report.total_ms)
+                          (Obs.Report.find r path))
+                      reports
+                  in
+                  if samples = [] then None
+                  else
+                    Some
+                      ( stage,
+                        Obs.Json.Obj
+                          [
+                            ("median_ms", Obs.Json.Num (median samples));
+                            ( "runs_ms",
+                              Obs.Json.Arr
+                                (List.map (fun s -> Obs.Json.Num s) samples) );
+                          ] ))
+                stage_paths
+            in
+            List.iter
+              (fun (stage, v) ->
+                match Obs.Json.member "median_ms" v with
+                | Some (Obs.Json.Num ms) ->
+                    row "%-16s %-5s %-10s median %10.2f ms\n" dataset
+                      engine_id stage ms
+                | _ -> ())
+              stages;
+            Obs.Json.Obj
+              [
+                ("dataset", Obs.Json.Str dataset);
+                ("engine", Obs.Json.Str engine_id);
+                ("facts", Obs.Json.Num (float_of_int (Kg.Graph.size graph)));
+                ("reps", Obs.Json.Num (float_of_int reps));
+                ("stages", Obs.Json.Obj stages);
+              ])
+          engines)
+      datasets
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "tecore-bench-obs/1");
+        ("fast", Obs.Json.Bool !fast_mode);
+        ("runs", Obs.Json.Arr runs);
+      ]
+  in
+  let oc = open_out obs_json_path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  (* Self-check: the file must round-trip through our own parser and
+     contain the stages the downstream tooling keys on. *)
+  let ic = open_in obs_json_path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Obs.Json.parse text with
+  | Error e -> failwith (Printf.sprintf "%s: invalid JSON: %s" obs_json_path e)
+  | Ok parsed -> (
+      match Obs.Json.member "runs" parsed with
+      | Some (Obs.Json.Arr (_ :: _ as rs)) ->
+          List.iter
+            (fun r ->
+              match Obs.Json.member "stages" r with
+              | Some (Obs.Json.Obj stages) ->
+                  List.iter
+                    (fun stage ->
+                      if not (List.mem_assoc stage stages) then
+                        failwith
+                          (Printf.sprintf "%s: run misses stage %S"
+                             obs_json_path stage))
+                    [ "ground"; "encode"; "solve" ]
+              | _ -> failwith (obs_json_path ^ ": run without stages"))
+            rs
+      | _ -> failwith (obs_json_path ^ ": no runs")));
+  row "wrote %s (%d runs, %d reps each) -- JSON validated\n" obs_json_path
+    (List.length runs) reps
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4);
     ("a5", a5); ("a6", a6); ("a7", a7); ("micro", micro);
+    ("obs", obs_bench);
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  if smoke then fast_mode := true;
+  let names = List.filter (fun a -> a <> "--smoke") args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with
+    | _ :: _ -> names
+    | [] -> if smoke then [ "e1"; "obs" ] else List.map fst experiments
   in
   List.iter
     (fun name ->

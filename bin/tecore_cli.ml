@@ -60,16 +60,30 @@ let handle f = try f (); 0 with Failure msg -> Printf.eprintf "error: %s\n" msg;
 
 (* ------------------------------------------------------------------ *)
 
-let resolve data rules engine threshold output verbose explain json =
+let resolve data rules engine threshold output verbose explain json stats
+    trace =
   handle (fun () ->
+      let observing = stats || trace in
+      if observing then begin
+        Obs.reset ();
+        Obs.set_enabled true
+      end;
+      if trace then
+        Obs.set_trace
+          (Some
+             (fun ~depth name ms ->
+               Printf.eprintf "[trace] %s%s %.3f ms\n%!"
+                 (String.make (2 * depth) ' ')
+                 name ms));
       let session = load_session ?rules_file:rules data in
       match Tecore.Session.run ~engine ?threshold session with
       | Error e -> failwith e
       | Ok result when json ->
+          let obs = if observing then Some (Obs.Report.capture ()) else None in
           print_endline
             (Tecore.Json_out.of_result
                ~namespace:(Tecore.Session.namespace session)
-               result)
+               ?obs result)
       | Ok result ->
           print_endline (Tecore.Session.statistics session);
           (if explain then
@@ -98,14 +112,18 @@ let resolve data rules engine threshold output verbose explain json =
                   d.Tecore.Conflict.atom d.Tecore.Conflict.confidence)
               result.Tecore.Engine.resolution.Tecore.Conflict.derived
           end;
-          match output with
+          (match output with
           | None -> ()
           | Some path ->
               Kg.Nquads.save_file
                 ~namespace:(Tecore.Session.namespace session)
                 path
                 result.Tecore.Engine.resolution.Tecore.Conflict.consistent;
-              Printf.printf "consistent KG written to %s\n" path)
+              Printf.printf "consistent KG written to %s\n" path);
+          if stats then begin
+            print_endline "-- observability --";
+            Format.printf "%a@." Obs.Report.pp (Obs.Report.capture ())
+          end)
 
 let resolve_cmd =
   let output =
@@ -126,12 +144,23 @@ let resolve_cmd =
              ~doc:"Explain every removal (clash partners, weights) and \
                    derivation (firing rules).")
   in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print a per-stage timing and counter report (span tree) \
+                   after resolving.")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Stream span close events to stderr as they happen.")
+  in
   Cmd.v
     (Cmd.info "resolve"
        ~doc:"Compute the most probable conflict-free temporal KG")
     Term.(
       const resolve $ data_arg $ rules_arg $ engine_arg $ threshold_arg
-      $ output $ verbose $ explain $ json)
+      $ output $ verbose $ explain $ json $ stats $ trace)
 
 (* ------------------------------------------------------------------ *)
 

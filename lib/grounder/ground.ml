@@ -49,6 +49,8 @@ let closure ?(max_rounds = 50) store rules =
         match head_atom rule with
         | None -> ()
         | Some head ->
+            let bindings = Body.all store rule in
+            Obs.count ~n:(List.length bindings) "ground.join_rows";
             List.iter
               (fun { Body.subst; _ } ->
                 match Logic.Atom.instantiate subst head with
@@ -58,7 +60,7 @@ let closure ?(max_rounds = 50) store rules =
                       derived :=
                         Atom_store.intern store Atom_store.Hidden ground
                         :: !derived)
-              (Body.all store rule))
+              bindings)
       inference;
     if Atom_store.size store > before then loop (round + 1) else round
   in
@@ -66,6 +68,8 @@ let closure ?(max_rounds = 50) store rules =
   (List.rev !derived, rounds)
 
 let instances_of_rule store (rule : Logic.Rule.t) =
+  let bindings = Body.all store rule in
+  Obs.count ~n:(List.length bindings) "ground.join_rows";
   List.filter_map
     (fun { Body.subst; body_atoms } ->
       match rule.head with
@@ -87,9 +91,18 @@ let instances_of_rule store (rule : Logic.Rule.t) =
                    rule.name Logic.Cond.pp cond Logic.Subst.pp subst))
       | Logic.Rule.Bottom ->
           Some { Instance.rule; body_atoms; head = Instance.Violated })
-    (Body.all store rule)
+    bindings
 
 let run ?max_rounds store rules =
-  let derived, rounds = closure ?max_rounds store rules in
-  let instances = List.concat_map (instances_of_rule store) rules in
+  let derived, rounds =
+    Obs.span "closure" (fun () -> closure ?max_rounds store rules)
+  in
+  let instances =
+    Obs.span "instances" (fun () ->
+        List.concat_map (instances_of_rule store) rules)
+  in
+  Obs.count ~n:(List.length instances) "ground.instances";
+  Obs.count ~n:(List.length derived) "ground.derived_atoms";
+  Obs.count ~n:rounds "ground.rounds";
+  Obs.count ~n:(Atom_store.size store) "ground.atoms";
   { instances; derived; rounds }

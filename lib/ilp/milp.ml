@@ -58,6 +58,8 @@ let solve ?(eps = 1e-6) ?(max_nodes = 100_000) ~binary (lp : Lp.t) =
     end
   in
   explore [];
+  Obs.count ~n:!nodes "milp.nodes";
+  Obs.record "milp.nodes_per_solve" (float_of_int !nodes);
   match !incumbent with
   | None -> None
   | Some (x, value) ->

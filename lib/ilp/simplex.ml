@@ -37,6 +37,10 @@ let pivot t ~row ~col =
    ties broken by smallest basic column. *)
 let iterate ?(eps = 1e-9) ?(max_iters = 200_000) t ~allowed =
   let m = Array.length t.rows in
+  let finish iters outcome =
+    Obs.count ~n:iters "simplex.pivots";
+    outcome
+  in
   let rec step iters =
     if iters > max_iters then failwith "Simplex: iteration limit";
     let entering =
@@ -48,7 +52,7 @@ let iterate ?(eps = 1e-9) ?(max_iters = 200_000) t ~allowed =
       find 0
     in
     match entering with
-    | None -> `Optimal
+    | None -> finish iters `Optimal
     | Some col ->
         let leaving = ref (-1) in
         let best_ratio = ref infinity in
@@ -66,7 +70,7 @@ let iterate ?(eps = 1e-9) ?(max_iters = 200_000) t ~allowed =
             end
           end
         done;
-        if !leaving = -1 then `Unbounded
+        if !leaving = -1 then finish iters `Unbounded
         else begin
           pivot t ~row:!leaving ~col;
           step (iters + 1)
@@ -90,6 +94,7 @@ let price_out t c =
     t.rows
 
 let solve ?(eps = 1e-7) (lp : Lp.t) =
+  Obs.count "simplex.solves";
   let n = lp.num_vars in
   let constraints = Array.of_list lp.constraints in
   let m = Array.length constraints in

@@ -33,21 +33,27 @@ let tokenize line =
             end
           in
           match find_close () with
-          | None -> error "unterminated string literal"
+          | None ->
+              error
+                (Printf.sprintf "unterminated string literal (column %d)"
+                   (start + 1))
           | Some close ->
               i := close + 1;
               tokens := String.sub line start (close - start + 1) :: !tokens;
               scan ())
       | '<' -> (
           match String.index_from_opt line !i '>' with
-          | None -> error "unterminated <iri>"
+          | None ->
+              error (Printf.sprintf "unterminated <iri> (column %d)" (!i + 1))
           | Some close ->
               tokens := String.sub line !i (close - !i + 1) :: !tokens;
               i := close + 1;
               scan ())
       | '[' -> (
           match String.index_from_opt line !i ']' with
-          | None -> error "unterminated [interval]"
+          | None ->
+              error
+                (Printf.sprintf "unterminated [interval] (column %d)" (!i + 1))
           | Some close ->
               tokens := String.sub line !i (close - !i + 1) :: !tokens;
               i := close + 1;

@@ -49,4 +49,7 @@ let solve ?(solver = default_solver) ~init (network : Network.t) =
   let active_clauses =
     Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 active
   in
+  Obs.count ~n:iterations "cpi.iterations";
+  Obs.count ~n:active_clauses "cpi.active_clauses";
+  Obs.count ~n:total "cpi.total_clauses";
   (assignment, { iterations; active_clauses; total_clauses = total })

@@ -60,6 +60,8 @@ let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
       if state.(v) then counts.(v) <- counts.(v) + 1
     done
   done;
+  Obs.count ~n:(burn_in + samples) "gibbs.sweeps";
+  Obs.count ~n:samples "gibbs.samples";
   {
     marginals =
       Array.map (fun c -> float_of_int c /. float_of_int samples) counts;

@@ -52,6 +52,8 @@ let encode (network : Network.t) =
             :: !constraints)
     network.clauses;
   let lp = Ilp.Lp.make ~num_vars ~objective !constraints in
+  Obs.count ~n:num_vars "ilp.vars";
+  Obs.count ~n:(List.length !constraints) "ilp.constraints";
   { lp; binary = List.init n (fun i -> i); num_atom_vars = n }
 
 let decode enc x =

@@ -63,11 +63,20 @@ let base_solver options network ~init =
 
 let run_store ?(options = default_options) store rules =
   let (ground_result : Grounder.Ground.result), ground_ms =
-    Prelude.Timing.time (fun () -> Grounder.Ground.run store rules)
+    Prelude.Timing.time (fun () ->
+        Obs.span "ground" (fun () -> Grounder.Ground.run store rules))
   in
   let network =
-    Network.build ~config:options.network_config store
-      ground_result.Grounder.Ground.instances
+    Obs.span "encode" (fun () ->
+        let network =
+          Network.build ~config:options.network_config store
+            ground_result.Grounder.Ground.instances
+        in
+        Obs.count ~n:network.Network.num_atoms "network.atoms";
+        Obs.count
+          ~n:(Array.length network.Network.clauses)
+          "network.clauses";
+        network)
   in
   let init = Network.expanded_assignment network in
   let solve () =
@@ -78,7 +87,9 @@ let run_store ?(options = default_options) store rules =
       (assignment, Some cpi_stats)
     else (base_solver options network ~init, None)
   in
-  let (assignment, cpi), solve_ms = Prelude.Timing.time solve in
+  let (assignment, cpi), solve_ms =
+    Prelude.Timing.time (fun () -> Obs.span "solve" solve)
+  in
   let evidence_atoms = ref 0 in
   Store.iter
     (fun _ _ origin ->

@@ -255,6 +255,10 @@ let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
   in
   attempts 0;
   let hard_violated, soft_cost = !best_cost in
+  Obs.count ~n:!total_flips "walksat.flips";
+  Obs.count ~n:!restarts_used "walksat.restarts";
+  Obs.record "walksat.flips_per_solve" (float_of_int !total_flips);
+  Obs.gauge "walksat.soft_cost" soft_cost;
   ( !best,
     { flips = !total_flips; restarts_used = !restarts_used; hard_violated;
       soft_cost } )

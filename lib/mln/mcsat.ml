@@ -123,6 +123,8 @@ let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
   for _ = 1 to samples do
     step true
   done;
+  Obs.count ~n:samples "mcsat.samples";
+  Obs.count ~n:!rejected "mcsat.rejected";
   {
     marginals =
       Array.map (fun c -> float_of_int c /. float_of_int samples) counts;

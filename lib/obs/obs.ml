@@ -1,0 +1,598 @@
+(* Span-based tracing and metrics. One implicit stack of open frames;
+   closing a frame folds it into its parent as a completed node. All
+   entry points are single-flag no-ops while disabled, so the pipeline
+   keeps its instrumentation in release builds. *)
+
+module Histogram = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create () = { data = Array.make 16 0.0; len = 0 }
+
+  let add h x =
+    if h.len = Array.length h.data then begin
+      let bigger = Array.make (2 * Array.length h.data) 0.0 in
+      Array.blit h.data 0 bigger 0 h.len;
+      h.data <- bigger
+    end;
+    h.data.(h.len) <- x;
+    h.len <- h.len + 1
+
+  let count h = h.len
+
+  let total h =
+    let acc = ref 0.0 in
+    for i = 0 to h.len - 1 do
+      acc := !acc +. h.data.(i)
+    done;
+    !acc
+
+  let mean h = if h.len = 0 then Float.nan else total h /. float_of_int h.len
+
+  let fold_extreme better h =
+    if h.len = 0 then Float.nan
+    else begin
+      let acc = ref h.data.(0) in
+      for i = 1 to h.len - 1 do
+        if better h.data.(i) !acc then acc := h.data.(i)
+      done;
+      !acc
+    end
+
+  let minimum h = fold_extreme ( < ) h
+  let maximum h = fold_extreme ( > ) h
+
+  let quantile h q =
+    if h.len = 0 then Float.nan
+    else begin
+      let sorted = Array.sub h.data 0 h.len in
+      Array.sort Float.compare sorted;
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank = int_of_float (Float.ceil (q *. float_of_int h.len)) in
+      sorted.(max 0 (min (h.len - 1) (rank - 1)))
+    end
+
+  let merge a b =
+    let h = { data = Array.make (max 16 (a.len + b.len)) 0.0; len = 0 } in
+    Array.blit a.data 0 h.data 0 a.len;
+    Array.blit b.data 0 h.data a.len b.len;
+    h.len <- a.len + b.len;
+    h
+
+  let to_list h = Array.to_list (Array.sub h.data 0 h.len)
+end
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let add_escaped buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let number f =
+    if not (Float.is_finite f) then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.12g" f
+
+  let rec add_value buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (number f)
+    | Str s -> add_escaped buf s
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            add_value buf v)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            add_escaped buf k;
+            Buffer.add_char buf ':';
+            add_value buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    add_value buf t;
+    Buffer.contents buf
+
+  exception Bad of int * string
+
+  let parse text =
+    let n = String.length text in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (!pos, msg)) in
+    let peek () = if !pos < n then Some text.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let m = String.length word in
+      if !pos + m <= n && String.sub text !pos m = word then begin
+        pos := !pos + m;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let add_utf8 buf code =
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string";
+        let c = text.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape");
+          let e = text.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub text !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code -> add_utf8 buf code
+              | None -> fail "bad \\u escape")
+          | _ -> fail "unknown escape");
+          loop ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let numeric c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && numeric text.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub text start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (items [])
+          end
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+          end
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad (at, msg) ->
+        Error (Printf.sprintf "json error at offset %d: %s" at msg)
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Collection state.                                                   *)
+
+type metrics = {
+  m_counters : (string, float ref) Hashtbl.t;
+  m_gauges : (string, float ref) Hashtbl.t;
+  m_hists : (string, Histogram.t) Hashtbl.t;
+}
+
+let fresh_metrics () =
+  {
+    m_counters = Hashtbl.create 8;
+    m_gauges = Hashtbl.create 4;
+    m_hists = Hashtbl.create 4;
+  }
+
+type node = {
+  name : string;
+  calls : int;
+  total_ms : float;
+  counters : (string * float) list;
+  gauges : (string * float) list;
+  hists : (string * Histogram.t) list;
+  children : node list;
+}
+
+type frame = {
+  fname : string;
+  start_ms : float;
+  fmetrics : metrics;
+  mutable fchildren : node list; (* reversed *)
+}
+
+let fresh_frame name =
+  {
+    fname = name;
+    start_ms = Prelude.Timing.now_ms ();
+    fmetrics = fresh_metrics ();
+    fchildren = [];
+  }
+
+let is_enabled = ref false
+
+let trace_hook : (depth:int -> string -> float -> unit) option ref = ref None
+
+(* The bottom of the stack is the permanent root frame. *)
+let stack = ref [ fresh_frame "root" ]
+
+let enabled () = !is_enabled
+let set_enabled b = is_enabled := b
+let set_trace h = trace_hook := h
+let reset () = stack := [ fresh_frame "root" ]
+
+let current () =
+  match !stack with frame :: _ -> frame | [] -> assert false
+
+let sorted_assoc tbl extract =
+  Hashtbl.fold (fun k v acc -> (k, extract v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let metrics_counters m = sorted_assoc m.m_counters (fun r -> !r)
+let metrics_gauges m = sorted_assoc m.m_gauges (fun r -> !r)
+let metrics_hists m = sorted_assoc m.m_hists (fun h -> h)
+
+let node_of_frame fr elapsed =
+  {
+    name = fr.fname;
+    calls = 1;
+    total_ms = elapsed;
+    counters = metrics_counters fr.fmetrics;
+    gauges = metrics_gauges fr.fmetrics;
+    hists = metrics_hists fr.fmetrics;
+    children = List.rev fr.fchildren;
+  }
+
+let span name f =
+  if not !is_enabled then f ()
+  else begin
+    let fr = fresh_frame name in
+    stack := fr :: !stack;
+    let close () =
+      let elapsed = Prelude.Timing.now_ms () -. fr.start_ms in
+      (match !stack with
+      | top :: parent :: rest when top == fr ->
+          stack := parent :: rest;
+          parent.fchildren <- node_of_frame fr elapsed :: parent.fchildren;
+          (match !trace_hook with
+          | Some hook when !is_enabled ->
+              hook ~depth:(List.length rest) name elapsed
+          | _ -> ())
+      | _ ->
+          (* A reset happened under us (or collection was toggled while
+             the span was open): the frame is an orphan; drop it. *)
+          ())
+    in
+    Fun.protect ~finally:close f
+  end
+
+let add name v =
+  if !is_enabled then begin
+    let m = (current ()).fmetrics in
+    match Hashtbl.find_opt m.m_counters name with
+    | Some r -> r := !r +. v
+    | None -> Hashtbl.add m.m_counters name (ref v)
+  end
+
+let count ?(n = 1) name = add name (float_of_int n)
+
+let gauge name v =
+  if !is_enabled then begin
+    let m = (current ()).fmetrics in
+    match Hashtbl.find_opt m.m_gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add m.m_gauges name (ref v)
+  end
+
+let record name v =
+  if !is_enabled then begin
+    let m = (current ()).fmetrics in
+    match Hashtbl.find_opt m.m_hists name with
+    | Some h -> Histogram.add h v
+    | None ->
+        let h = Histogram.create () in
+        Histogram.add h v;
+        Hashtbl.add m.m_hists name h
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reports.                                                            *)
+
+module Report = struct
+  type nonrec node = node = {
+    name : string;
+    calls : int;
+    total_ms : float;
+    counters : (string * float) list;
+    gauges : (string * float) list;
+    hists : (string * Histogram.t) list;
+    children : node list;
+  }
+
+  type t = {
+    wall_ms : float;
+    counters : (string * float) list;
+    gauges : (string * float) list;
+    hists : (string * Histogram.t) list;
+    spans : node list;
+  }
+
+  (* Union of sorted assoc lists. *)
+  let merge_assoc combine xs ys =
+    let rec go xs ys =
+      match (xs, ys) with
+      | [], rest | rest, [] -> rest
+      | (kx, vx) :: xs', (ky, vy) :: ys' ->
+          let c = String.compare kx ky in
+          if c < 0 then (kx, vx) :: go xs' ys
+          else if c > 0 then (ky, vy) :: go xs ys'
+          else (kx, combine vx vy) :: go xs' ys'
+    in
+    go xs ys
+
+  let combine_nodes a b =
+    {
+      name = a.name;
+      calls = a.calls + b.calls;
+      total_ms = a.total_ms +. b.total_ms;
+      counters = merge_assoc ( +. ) a.counters b.counters;
+      gauges = merge_assoc (fun _ later -> later) a.gauges b.gauges;
+      hists = merge_assoc Histogram.merge a.hists b.hists;
+      children = a.children @ b.children;
+    }
+
+  (* Merge same-named siblings, preserving first-appearance order. *)
+  let rec merge_siblings nodes =
+    let order = ref [] in
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun nd ->
+        match Hashtbl.find_opt tbl nd.name with
+        | None ->
+            Hashtbl.add tbl nd.name nd;
+            order := nd.name :: !order
+        | Some prev -> Hashtbl.replace tbl nd.name (combine_nodes prev nd))
+      nodes;
+    List.rev_map
+      (fun name ->
+        let nd = Hashtbl.find tbl name in
+        { nd with children = merge_siblings nd.children })
+      !order
+
+  let capture () =
+    let root = List.nth !stack (List.length !stack - 1) in
+    {
+      wall_ms = Prelude.Timing.now_ms () -. root.start_ms;
+      counters = metrics_counters root.fmetrics;
+      gauges = metrics_gauges root.fmetrics;
+      hists = metrics_hists root.fmetrics;
+      spans = merge_siblings (List.rev root.fchildren);
+    }
+
+  let self_ms nd =
+    nd.total_ms
+    -. List.fold_left (fun acc c -> acc +. c.total_ms) 0.0 nd.children
+
+  let find t path =
+    let rec go nodes = function
+      | [] -> None
+      | [ name ] -> List.find_opt (fun nd -> nd.name = name) nodes
+      | name :: rest -> (
+          match List.find_opt (fun nd -> nd.name = name) nodes with
+          | Some nd -> go nd.children rest
+          | None -> None)
+    in
+    go t.spans path
+
+  (* -------------------------------------------------------------- *)
+
+  let pp_value ppf v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Format.fprintf ppf "%.0f" v
+    else Format.fprintf ppf "%g" v
+
+  let pp_metrics ~indent ppf (counters, gauges, hists) =
+    let pad = String.make indent ' ' in
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "%s. %s = %a@," pad k pp_value v)
+      counters;
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "%s. %s ~ %a@," pad k pp_value v)
+      gauges;
+    List.iter
+      (fun (k, h) ->
+        Format.fprintf ppf "%s. %s : n=%d mean=%a p50=%a p90=%a max=%a@," pad k
+          (Histogram.count h) pp_value (Histogram.mean h) pp_value
+          (Histogram.quantile h 0.5) pp_value (Histogram.quantile h 0.9)
+          pp_value (Histogram.maximum h))
+      hists
+
+  let rec pp_node ~depth ppf nd =
+    let indent = 2 * depth in
+    let label = String.make indent ' ' ^ nd.name in
+    let width = 40 in
+    let label =
+      if String.length label >= width then label
+      else label ^ String.make (width - String.length label) ' '
+    in
+    Format.fprintf ppf "%s%10.3f ms" label nd.total_ms;
+    if nd.calls > 1 then Format.fprintf ppf "  (%d calls)" nd.calls;
+    if nd.children <> [] then
+      Format.fprintf ppf "  (self %.3f ms)" (self_ms nd);
+    Format.fprintf ppf "@,";
+    pp_metrics ~indent:(indent + 2) ppf (nd.counters, nd.gauges, nd.hists);
+    List.iter (pp_node ~depth:(depth + 1) ppf) nd.children
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>-- observability report (wall %.3f ms) --@,"
+      t.wall_ms;
+    List.iter (pp_node ~depth:0 ppf) t.spans;
+    pp_metrics ~indent:0 ppf (t.counters, t.gauges, t.hists);
+    Format.fprintf ppf "@]"
+
+  (* -------------------------------------------------------------- *)
+
+  let json_metrics (counters, gauges, hists) =
+    let assoc kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) kvs) in
+    let hist h =
+      Json.Obj
+        [
+          ("count", Json.Num (float_of_int (Histogram.count h)));
+          ("total", Json.Num (Histogram.total h));
+          ("mean", Json.Num (Histogram.mean h));
+          ("min", Json.Num (Histogram.minimum h));
+          ("max", Json.Num (Histogram.maximum h));
+          ("p50", Json.Num (Histogram.quantile h 0.5));
+          ("p90", Json.Num (Histogram.quantile h 0.9));
+          ("p99", Json.Num (Histogram.quantile h 0.99));
+        ]
+    in
+    (match counters with [] -> [] | kvs -> [ ("counters", assoc kvs) ])
+    @ (match gauges with [] -> [] | kvs -> [ ("gauges", assoc kvs) ])
+    @
+    match hists with
+    | [] -> []
+    | kvs ->
+        [ ("histograms", Json.Obj (List.map (fun (k, h) -> (k, hist h)) kvs)) ]
+
+  let rec json_node nd =
+    Json.Obj
+      ([
+         ("name", Json.Str nd.name);
+         ("calls", Json.Num (float_of_int nd.calls));
+         ("total_ms", Json.Num nd.total_ms);
+         ("self_ms", Json.Num (self_ms nd));
+       ]
+      @ json_metrics (nd.counters, nd.gauges, nd.hists)
+      @
+      match nd.children with
+      | [] -> []
+      | children -> [ ("spans", Json.Arr (List.map json_node children)) ])
+
+  let to_json t =
+    Json.Obj
+      ([ ("wall_ms", Json.Num t.wall_ms) ]
+      @ json_metrics (t.counters, t.gauges, t.hists)
+      @ [ ("spans", Json.Arr (List.map json_node t.spans)) ])
+
+  let to_string t = Json.to_string (to_json t)
+end

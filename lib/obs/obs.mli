@@ -1,0 +1,148 @@
+(** Zero-dependency observability for the TeCoRe pipeline.
+
+    The library keeps one implicit thread of hierarchical spans. Code
+    under measurement wraps stages in {!span} and drops {!count},
+    {!gauge} and {!record} calls wherever interesting quantities are
+    produced; all of them attach to the innermost open span. When
+    observation is disabled (the default) every entry point reduces to a
+    single flag test, so instrumentation can stay in hot paths
+    permanently.
+
+    Typical use:
+
+    {[
+      Obs.set_enabled true;
+      let result = Obs.span "resolve" (fun () -> run ()) in
+      let report = Obs.Report.capture () in
+      Format.printf "%a" Obs.Report.pp report
+    ]} *)
+
+val enabled : unit -> bool
+(** Whether spans and metrics are being collected. *)
+
+val set_enabled : bool -> unit
+(** Turn collection on or off. Turning it on does not reset previously
+    collected data; call {!reset} for a clean slate. *)
+
+val reset : unit -> unit
+(** Drop all collected spans and metrics and restart the wall clock.
+    Any spans currently open are abandoned (their exit is ignored). *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()] inside a span called [name]. Spans nest:
+    spans opened while [f] runs become children of this one. The span is
+    closed even when [f] raises. Repeated spans with the same name under
+    the same parent are merged at {!Report.capture} time (their call
+    counts and durations accumulate). Disabled: tail-calls [f]. *)
+
+val count : ?n:int -> string -> unit
+(** [count name] bumps the counter [name] of the innermost open span by
+    [n] (default 1). Counters accumulate over merged spans. *)
+
+val add : string -> float -> unit
+(** Like {!count} with a float increment. *)
+
+val gauge : string -> float -> unit
+(** [gauge name v] sets gauge [name] of the innermost open span to [v];
+    the most recent write wins, also across merged spans. *)
+
+val record : string -> float -> unit
+(** [record name v] appends an observation to histogram [name] of the
+    innermost open span. *)
+
+val set_trace : (depth:int -> string -> float -> unit) option -> unit
+(** Install a hook invoked at every span close with the span's depth
+    (0 = top level), name and elapsed milliseconds — children report
+    before their parents. [None] uninstalls. The hook only fires while
+    collection is enabled. *)
+
+(** Growable sample reservoir with quantile queries, used for
+    solver-iteration metrics (flips per solve, nodes per MILP call, ...). *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val minimum : t -> float
+  val maximum : t -> float
+
+  val quantile : t -> float -> float
+  (** Nearest-rank quantile: [quantile h q] with [q] clamped to [0, 1]
+      returns the smallest sample s.t. at least [ceil (q * count)]
+      samples are [<=] it ([q = 0] gives the minimum). [nan] when
+      empty. *)
+
+  val merge : t -> t -> t
+  (** A new histogram holding both sample sets. *)
+
+  val to_list : t -> float list
+  (** Samples in insertion order. *)
+end
+
+(** A minimal JSON tree: enough to emit reports, parse them back (for
+    round-trip tests and benchmark validation), and build ad-hoc
+    documents without external dependencies. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact rendering. Non-finite numbers render as [null]. *)
+
+  val parse : string -> (t, string) result
+  (** Strict parser for the subset above (no trailing garbage). Errors
+      mention the byte offset. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] otherwise. *)
+end
+
+(** Aggregated view of everything collected since the last {!reset}. *)
+module Report : sig
+  type node = {
+    name : string;
+    calls : int;
+    total_ms : float;
+    counters : (string * float) list;  (** sorted by name *)
+    gauges : (string * float) list;
+    hists : (string * Histogram.t) list;
+    children : node list;
+  }
+
+  type t = {
+    wall_ms : float;  (** wall time since the last {!reset} *)
+    counters : (string * float) list;  (** recorded outside any span *)
+    gauges : (string * float) list;
+    hists : (string * Histogram.t) list;
+    spans : node list;
+  }
+
+  val capture : unit -> t
+  (** Snapshot of all {e completed} top-level spans (still-open spans
+      are not included) plus root-level metrics. Does not reset. *)
+
+  val self_ms : node -> float
+  (** [total_ms] minus the children's [total_ms]. *)
+
+  val find : t -> string list -> node option
+  (** [find t path] follows span names from the top, e.g.
+      [find t ["resolve"; "ground"]]. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Human-readable stage tree with timings and metrics. *)
+
+  val to_json : t -> Json.t
+
+  val to_string : t -> string
+  (** [to_json] rendered compactly. *)
+end

@@ -1,5 +1,9 @@
 (** Wall-clock timing helpers for the benchmark harness. *)
 
+val now_ms : unit -> float
+(** Current wall-clock reading in milliseconds. Only differences are
+    meaningful; the observability layer's span timers are built on it. *)
+
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
     wall-clock time in milliseconds. *)

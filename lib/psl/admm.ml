@@ -163,6 +163,10 @@ let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
     let scale = sqrt (float_of_int (max 1 n)) in
     if !primal <= tol *. scale && !dual <= tol *. scale then converged := true
   done;
+  Obs.count ~n:!iterations "admm.iterations";
+  Obs.gauge "admm.primal_residual" !primal;
+  Obs.gauge "admm.dual_residual" !dual;
+  Obs.record "admm.iters_per_solve" (float_of_int !iterations);
   ( z,
     {
       iterations = !iterations;

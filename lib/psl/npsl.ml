@@ -41,11 +41,23 @@ type outcome = {
 
 let run_store ?(options = default_options) store rules =
   let (ground_result : Grounder.Ground.result), ground_ms =
-    Prelude.Timing.time (fun () -> Grounder.Ground.run store rules)
+    Prelude.Timing.time (fun () ->
+        Obs.span "ground" (fun () -> Grounder.Ground.run store rules))
   in
   let model =
-    Hlmrf.build ~config:options.config store
-      ground_result.Grounder.Ground.instances
+    Obs.span "encode" (fun () ->
+        let model =
+          Hlmrf.build ~config:options.config store
+            ground_result.Grounder.Ground.instances
+        in
+        Obs.count ~n:model.Hlmrf.num_vars "hlmrf.vars";
+        Obs.count
+          ~n:(Array.length model.Hlmrf.potentials)
+          "hlmrf.potentials";
+        Obs.count
+          ~n:(Array.length model.Hlmrf.constraints)
+          "hlmrf.constraints";
+        model)
   in
   (* Seed the consensus at the evidence state. *)
   let init = Array.make model.Hlmrf.num_vars 0.0 in
@@ -57,11 +69,13 @@ let run_store ?(options = default_options) store rules =
     store;
   let (truth, admm_stats), solve_ms =
     Prelude.Timing.time (fun () ->
-        Admm.solve ~rho:options.rho ~max_iters:options.max_iters
-          ~tol:options.tol ~init model)
+        Obs.span "solve" (fun () ->
+            Admm.solve ~rho:options.rho ~max_iters:options.max_iters
+              ~tol:options.tol ~init model))
   in
   let assignment, rounding_stats =
-    Rounding.round ~threshold:options.threshold model truth
+    Obs.span "round" (fun () ->
+        Rounding.round ~threshold:options.threshold model truth)
   in
   let evidence_atoms = ref 0 in
   Store.iter

@@ -28,7 +28,8 @@ type result = {
 exception Rejected of Translator.report
 
 let resolve ?(engine = Auto) ?threshold graph rules =
-  let report = Translator.analyse graph rules in
+  Obs.span "resolve" @@ fun () ->
+  let report = Obs.span "translate" (fun () -> Translator.analyse graph rules) in
   if not report.Translator.ok then raise (Rejected report);
   let engine =
     match engine with
@@ -43,9 +44,10 @@ let resolve ?(engine = Auto) ?threshold graph rules =
     | Auto -> assert false
     | Mln options ->
         let out = Mln.Map_inference.run ~options graph rules in
-        ( Conflict.interpret ~graph ~store:out.Mln.Map_inference.store
-            ~instances:out.Mln.Map_inference.instances
-            ~assignment:out.Mln.Map_inference.assignment (),
+        ( Obs.span "interpret" (fun () ->
+              Conflict.interpret ~graph ~store:out.Mln.Map_inference.store
+                ~instances:out.Mln.Map_inference.instances
+                ~assignment:out.Mln.Map_inference.assignment ()),
           {
             store = out.Mln.Map_inference.store;
             instances = out.Mln.Map_inference.instances;
@@ -58,9 +60,10 @@ let resolve ?(engine = Auto) ?threshold graph rules =
           out.Mln.Map_inference.stats.Mln.Map_inference.hard_violations )
     | Psl options ->
         let out = Psl.Npsl.run ~options graph rules in
-        ( Conflict.interpret ~graph ~store:out.Psl.Npsl.store
-            ~instances:out.Psl.Npsl.instances
-            ~assignment:out.Psl.Npsl.assignment (),
+        ( Obs.span "interpret" (fun () ->
+              Conflict.interpret ~graph ~store:out.Psl.Npsl.store
+                ~instances:out.Psl.Npsl.instances
+                ~assignment:out.Psl.Npsl.assignment ()),
           {
             store = out.Psl.Npsl.store;
             instances = out.Psl.Npsl.instances;

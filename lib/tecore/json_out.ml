@@ -78,23 +78,27 @@ let of_resolution ?namespace (r : Conflict.resolution) =
           (List.map (of_quad ?namespace) (Kg.Graph.to_list r.consistent)) );
     ]
 
-let of_result ?namespace (result : Engine.result) =
+let of_result ?namespace ?obs (result : Engine.result) =
   let stats = result.stats in
   obj
-    [
-      ( "engine",
-        str
-          (match stats.Engine.engine_used with
-          | Translator.Mln_engine -> "mln"
-          | Translator.Psl_engine -> "psl") );
-      ( "stats",
-        obj
-          [
-            ("atoms", string_of_int stats.Engine.atoms);
-            ("ground_ms", float_value stats.Engine.ground_ms);
-            ("solve_ms", float_value stats.Engine.solve_ms);
-            ("total_ms", float_value stats.Engine.total_ms);
-            ("hard_violations", string_of_int stats.Engine.hard_violations);
-          ] );
-      ("resolution", of_resolution ?namespace result.resolution);
-    ]
+    ([
+       ( "engine",
+         str
+           (match stats.Engine.engine_used with
+           | Translator.Mln_engine -> "mln"
+           | Translator.Psl_engine -> "psl") );
+       ( "stats",
+         obj
+           [
+             ("atoms", string_of_int stats.Engine.atoms);
+             ("ground_ms", float_value stats.Engine.ground_ms);
+             ("solve_ms", float_value stats.Engine.solve_ms);
+             ("total_ms", float_value stats.Engine.total_ms);
+             ("hard_violations", string_of_int stats.Engine.hard_violations);
+           ] );
+       ("resolution", of_resolution ?namespace result.resolution);
+     ]
+    @
+    match obs with
+    | None -> []
+    | Some report -> [ ("obs", Obs.Json.to_string (Obs.Report.to_json report)) ])

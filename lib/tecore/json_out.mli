@@ -13,8 +13,11 @@ val of_resolution : ?namespace:Kg.Namespace.t -> Conflict.resolution -> string
     confidence and quad form when it exists) and [conflicting] (fact id
     array). *)
 
-val of_result : ?namespace:Kg.Namespace.t -> Engine.result -> string
-(** The full payload: engine, statistics and the resolution. *)
+val of_result :
+  ?namespace:Kg.Namespace.t -> ?obs:Obs.Report.t -> Engine.result -> string
+(** The full payload: engine, statistics and the resolution. When [obs]
+    is given, the captured observability report is embedded under an
+    ["obs"] key (see {!Obs.Report.to_json}). *)
 
 val escape : string -> string
 (** JSON string escaping (quotes, backslashes, control characters). *)

@@ -15,7 +15,7 @@ let load_graph t g =
   t.result <- None
 
 let load_file t path =
-  match Kg.Nquads.parse_file ~namespace:t.ns path with
+  match Obs.span "parse" (fun () -> Kg.Nquads.parse_file ~namespace:t.ns path) with
   | Ok g ->
       load_graph t g;
       Ok ()
@@ -23,7 +23,7 @@ let load_file t path =
   | exception Sys_error msg -> Error msg
 
 let load_string t text =
-  match Kg.Nquads.parse_string ~namespace:t.ns text with
+  match Obs.span "parse" (fun () -> Kg.Nquads.parse_string ~namespace:t.ns text) with
   | Ok g ->
       load_graph t g;
       Ok ()
@@ -32,7 +32,10 @@ let load_string t text =
 let graph t = t.kg
 
 let add_rules t src =
-  match Rulelang.Parser.parse_string ~namespace:t.ns src with
+  match
+    Obs.span "parse-rules" (fun () ->
+        Rulelang.Parser.parse_string ~namespace:t.ns src)
+  with
   | Ok rules ->
       t.rule_set <- t.rule_set @ rules;
       t.result <- None;

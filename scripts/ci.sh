@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: build, run the full test suite, then smoke-run the
+# benchmark harness and check that it produced valid machine-readable
+# observability output. Fails on the first broken step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke (e1 + obs) =="
+rm -f BENCH_obs.json
+BENCH_FAST=1 dune exec bench/main.exe -- --smoke
+
+echo "== validate BENCH_obs.json =="
+test -s BENCH_obs.json || { echo "BENCH_obs.json missing or empty" >&2; exit 1; }
+case "$(head -c 1 BENCH_obs.json)" in
+  '{') ;;
+  *) echo "BENCH_obs.json does not start with '{'" >&2; exit 1 ;;
+esac
+# The bench already re-parses the file with Obs.Json and fails on
+# malformed output or missing ground/encode/solve stages; the checks
+# above only guard against the file not being written at all.
+
+echo "CI OK"

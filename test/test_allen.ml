@@ -250,6 +250,40 @@ let qcheck_converse_relate =
     QCheck.(pair arbitrary_interval arbitrary_interval)
     (fun (a, b) -> A.relate b a = A.converse (A.relate a b))
 
+(* Lift soundness to sets: whatever sets S1 ∋ relate(a,b) and
+   S2 ∋ relate(b,c) we pick, compose_set S1 S2 must keep relate(a,c). *)
+let arbitrary_relation_set =
+  QCheck.map
+    (fun picks ->
+      List.fold_left
+        (fun acc (keep, r) -> if keep then A.Set.union acc (A.Set.singleton r) else acc)
+        A.Set.empty
+        (List.combine picks A.all))
+    QCheck.(list_of_size (QCheck.Gen.return 13) bool)
+
+let qcheck_compose_set_sound =
+  QCheck.Test.make
+    ~name:"compose_set preserves relate(a,c) for any covering sets"
+    ~count:1000
+    QCheck.(
+      pair
+        (triple arbitrary_interval arbitrary_interval arbitrary_interval)
+        (pair arbitrary_relation_set arbitrary_relation_set))
+    (fun ((a, b, c), (s1, s2)) ->
+      let s1 = A.Set.union s1 (A.Set.singleton (A.relate a b)) in
+      let s2 = A.Set.union s2 (A.Set.singleton (A.relate b c)) in
+      A.Set.mem (A.relate a c) (A.compose_set s1 s2))
+
+let qcheck_compose_never_empty =
+  (* Every cell of the composition table is non-empty: two basic
+     relations are always jointly realisable through some middle
+     interval, so at least one composite relation must survive. *)
+  QCheck.Test.make ~name:"compose r1 r2 is never empty" ~count:169
+    QCheck.(
+      pair (int_range 0 12) (int_range 0 12))
+    (fun (i, j) ->
+      not (A.Set.is_empty (A.compose (A.of_index i) (A.of_index j))))
+
 let () =
   Alcotest.run "allen"
     [
@@ -288,5 +322,7 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_composition_sound;
           QCheck_alcotest.to_alcotest qcheck_exactly_one_relation;
           QCheck_alcotest.to_alcotest qcheck_converse_relate;
+          QCheck_alcotest.to_alcotest qcheck_compose_set_sound;
+          QCheck_alcotest.to_alcotest qcheck_compose_never_empty;
         ] );
     ]

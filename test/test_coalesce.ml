@@ -191,6 +191,66 @@ let qcheck_no_mergeable_remains =
             out)
         out)
 
+(* Canonical form of a graph: statement + interval keys sorted, with
+   confidences compared separately under a small tolerance (noisy-or
+   accumulation is order-independent only up to float association). *)
+let canonical g =
+  G.to_list g
+  |> List.map (fun (q : Q.t) ->
+         ( ( T.to_string q.Q.subject,
+             T.to_string q.Q.predicate,
+             T.to_string q.Q.object_,
+             I.lo q.Q.time,
+             I.hi q.Q.time ),
+           q.Q.confidence ))
+  |> List.sort compare
+
+let canonical_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ka, ca) (kb, cb) -> ka = kb && Float.abs (ca -. cb) <= 1e-9)
+       a b
+
+let arbitrary_quads =
+  (* Several statements so merging interleaves across groups. *)
+  QCheck.(
+    list_of_size (Gen.int_range 1 25)
+      (quad (int_range 0 2) (int_range 0 2) (pair (int_range 0 40) (int_range 0 6))
+         (int_range 1 9)))
+  |> QCheck.map
+       (List.map (fun (s, p, (lo, len), c) ->
+            Q.v
+              (Printf.sprintf "s%d" s)
+              (Printf.sprintf "p%d" p)
+              (T.iri "o") (lo, lo + len)
+              (float_of_int c /. 10.0)))
+
+let qcheck_idempotent =
+  QCheck.Test.make ~name:"coalesce is idempotent" ~count:300 arbitrary_quads
+    (fun quads ->
+      let once = C.coalesce (G.of_list quads) in
+      let twice = C.coalesce once in
+      canonical_equal (canonical once) (canonical twice))
+
+let shuffle seed l =
+  let rng = Prelude.Prng.create seed in
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Prelude.Prng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let qcheck_order_independent =
+  QCheck.Test.make ~name:"coalesce is insertion-order independent" ~count:300
+    QCheck.(pair arbitrary_quads (int_bound 1_000_000))
+    (fun (quads, seed) ->
+      let a = C.coalesce (G.of_list quads) in
+      let b = C.coalesce (G.of_list (shuffle seed quads)) in
+      canonical_equal (canonical a) (canonical b))
+
 let () =
   Alcotest.run "coalesce"
     [
@@ -218,5 +278,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest qcheck_coverage_preserved;
           QCheck_alcotest.to_alcotest qcheck_no_mergeable_remains;
+          QCheck_alcotest.to_alcotest qcheck_idempotent;
+          QCheck_alcotest.to_alcotest qcheck_order_independent;
         ] );
     ]

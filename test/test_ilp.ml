@@ -216,6 +216,58 @@ let qcheck_milp_beats_greedy =
           in
           integral && Lp.feasible lp r.Milp.x && r.Milp.value >= greedy -. 1e-6)
 
+(* Differential property: on random small all-binary MILPs, branch &
+   bound must agree with brute force over every 0/1 assignment. Integer
+   coefficients keep feasibility decisions far from the solver's eps
+   boundaries, so the comparison is exact up to float rounding. *)
+let arbitrary_milp =
+  QCheck.(
+    pair
+      (list_of_size (Gen.int_range 1 4) (int_range (-9) 9))
+      (list_of_size (Gen.int_range 0 5)
+         (triple
+            (list_of_size (Gen.int_range 1 4) (int_range (-3) 3))
+            (int_range 0 2) (int_range (-4) 6))))
+
+let qcheck_milp_matches_brute_force =
+  QCheck.Test.make ~name:"milp = brute force on random 0/1 programs"
+    ~count:300 arbitrary_milp
+    (fun (objective, raw_constraints) ->
+      let n = List.length objective in
+      let objective = Array.of_list (List.map float_of_int objective) in
+      let constraints =
+        List.map
+          (fun (coeffs, op, rhs) ->
+            let coeffs =
+              List.mapi (fun i c -> (i mod n, float_of_int c)) coeffs
+            in
+            let op = match op with 0 -> Lp.Le | 1 -> Lp.Ge | _ -> Lp.Eq in
+            Lp.constr coeffs op (float_of_int rhs))
+          raw_constraints
+      in
+      let lp = Lp.make ~num_vars:n ~objective constraints in
+      let binary = List.init n (fun i -> i) in
+      (* Brute force over all 2^n assignments. *)
+      let brute = ref None in
+      for mask = 0 to (1 lsl n) - 1 do
+        let x =
+          Array.init n (fun i -> if mask land (1 lsl i) <> 0 then 1.0 else 0.0)
+        in
+        if Lp.feasible lp x then begin
+          let value = Lp.eval_objective lp x in
+          match !brute with
+          | Some best when best >= value -> ()
+          | _ -> brute := Some value
+        end
+      done;
+      match (Milp.solve ~binary lp, !brute) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some r, Some best ->
+          r.Milp.optimal
+          && Float.abs (r.Milp.value -. best) < 1e-6
+          && Lp.feasible lp r.Milp.x)
+
 let () =
   Alcotest.run "ilp"
     [
@@ -238,5 +290,6 @@ let () =
           Alcotest.test_case "infeasible" `Quick test_milp_infeasible;
           Alcotest.test_case "weighted choice" `Quick test_milp_weighted_choice;
           QCheck_alcotest.to_alcotest qcheck_milp_beats_greedy;
+          QCheck_alcotest.to_alcotest qcheck_milp_matches_brute_force;
         ] );
     ]

@@ -66,6 +66,56 @@ let test_string_literal () =
   Alcotest.check (Alcotest.testable T.pp T.equal) "string object"
     (T.str "hello world") q.Q.object_
 
+let contains ~needle hay =
+  let n = String.length needle and m = String.length hay in
+  let rec at i = i + n <= m && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+(* Malformed inputs must come back as [Error] with the offending line
+   (and, for lexical errors, the column) — never as an exception. *)
+let test_malformed_regressions () =
+  let cases =
+    [
+      (* input, expected line, fragment the message must mention *)
+      ("a p \"unterminated [1,2] .", 1, "unterminated string literal");
+      ("a p <no-close [1,2] .", 1, "unterminated <iri>");
+      ("a p b [1,2 .", 1, "unterminated [interval]");
+      ("a p b [5,3] .", 1, "");             (* inverted interval *)
+      ("a p b [x,y] .", 1, "");             (* non-numeric bounds *)
+      ("a p b [1,2] 0.5 junk extra .", 1, "field");
+      ("a p b [1,2] nan .", 1, "");         (* nan confidence rejected *)
+      ("a p b [1,2] inf .", 1, "");
+      ("a p b [1,2] -0.5 .", 1, "");
+      ("a p b [1,2] 0.0 .", 1, "");         (* zero confidence invalid *)
+      ("a p b [1,2] 1.5 .", 1, "");         (* above one invalid *)
+      ("ok p b [1,2] .\na p \"oops [1,2] .", 2, "unterminated string literal");
+      ("ok p b [1,2] .\n\n# comment\nbad bad\n", 4, "field");
+    ]
+  in
+  List.iter
+    (fun (input, line, fragment) ->
+      match N.parse_string input with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" input
+      | Error e ->
+          Alcotest.(check int)
+            (Printf.sprintf "line for %S" input)
+            line e.N.line;
+          if fragment <> "" then
+            Alcotest.(check bool)
+              (Printf.sprintf "message %S mentions %S" e.N.message fragment)
+              true
+              (contains ~needle:fragment e.N.message)
+      | exception exn ->
+          Alcotest.failf "raised %s on %S" (Printexc.to_string exn) input)
+    cases
+
+let test_error_columns () =
+  let e = parse_err "a p \"late unterminated [1,2] ." in
+  Alcotest.(check bool)
+    (Printf.sprintf "column reported in %S" e.N.message)
+    true
+    (contains ~needle:"column 5" e.N.message)
+
 let test_errors () =
   let e = parse_err "a p b\n" in
   Alcotest.(check int) "line 1" 1 e.N.line;
@@ -152,6 +202,9 @@ let () =
           Alcotest.test_case "explicit iri" `Quick test_explicit_iri;
           Alcotest.test_case "string literal" `Quick test_string_literal;
           Alcotest.test_case "errors with line numbers" `Quick test_errors;
+          Alcotest.test_case "malformed regressions" `Quick
+            test_malformed_regressions;
+          Alcotest.test_case "error columns" `Quick test_error_columns;
           Alcotest.test_case "parse_quad" `Quick test_parse_quad_single;
         ] );
       ( "roundtrip",

@@ -1,0 +1,224 @@
+(* Unit tests for the observability library: span nesting, metric
+   accumulation across merged spans, histogram quantiles, and the JSON
+   round-trip used by the CLI and the benchmark exporter. *)
+
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_trace None;
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Spans.                                                             *)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      Obs.span "outer" (fun () ->
+          Obs.span "inner" (fun () -> ());
+          Obs.span "inner2" (fun () -> ()));
+      let r = Obs.Report.capture () in
+      Alcotest.(check int) "one top-level span" 1 (List.length r.Obs.Report.spans);
+      let outer = List.hd r.Obs.Report.spans in
+      Alcotest.(check string) "outer name" "outer" outer.Obs.Report.name;
+      Alcotest.(check (list string))
+        "children in order" [ "inner"; "inner2" ]
+        (List.map
+           (fun (n : Obs.Report.node) -> n.Obs.Report.name)
+           outer.Obs.Report.children);
+      match Obs.Report.find r [ "outer"; "inner" ] with
+      | Some n -> Alcotest.(check int) "inner calls" 1 n.Obs.Report.calls
+      | None -> Alcotest.fail "find outer/inner")
+
+let test_span_merging () =
+  with_obs (fun () ->
+      for _ = 1 to 3 do
+        Obs.span "stage" (fun () -> Obs.count "work")
+      done;
+      let r = Obs.Report.capture () in
+      Alcotest.(check int) "merged to one node" 1 (List.length r.Obs.Report.spans);
+      let n = List.hd r.Obs.Report.spans in
+      Alcotest.(check int) "three calls" 3 n.Obs.Report.calls;
+      Alcotest.(check (float 1e-9))
+        "counters accumulate" 3.0
+        (List.assoc "work" n.Obs.Report.counters))
+
+let test_span_exception_balance () =
+  with_obs (fun () ->
+      (try
+         Obs.span "outer" (fun () ->
+             Obs.span "boom" (fun () -> failwith "x"))
+       with Failure _ -> ());
+      (* The stack must be balanced: a fresh span lands at top level. *)
+      Obs.span "after" (fun () -> ());
+      let r = Obs.Report.capture () in
+      Alcotest.(check (list string))
+        "both top level" [ "outer"; "after" ]
+        (List.map
+           (fun (n : Obs.Report.node) -> n.Obs.Report.name)
+           r.Obs.Report.spans);
+      match Obs.Report.find r [ "outer"; "boom" ] with
+      | Some n -> Alcotest.(check int) "raising span closed" 1 n.Obs.Report.calls
+      | None -> Alcotest.fail "raising span lost")
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  Obs.span "ghost" (fun () -> Obs.count "ghost.count");
+  Obs.set_enabled true;
+  let r = Obs.Report.capture () in
+  Obs.set_enabled false;
+  Alcotest.(check int) "no spans recorded" 0 (List.length r.Obs.Report.spans);
+  Alcotest.(check int)
+    "no counters recorded" 0
+    (List.length r.Obs.Report.counters)
+
+let test_root_metrics () =
+  with_obs (fun () ->
+      Obs.count ~n:5 "loose";
+      Obs.gauge "level" 0.75;
+      let r = Obs.Report.capture () in
+      Alcotest.(check (float 1e-9))
+        "root counter" 5.0
+        (List.assoc "loose" r.Obs.Report.counters);
+      Alcotest.(check (float 1e-9))
+        "root gauge" 0.75
+        (List.assoc "level" r.Obs.Report.gauges))
+
+let test_trace_hook () =
+  with_obs (fun () ->
+      let events = ref [] in
+      Obs.set_trace
+        (Some (fun ~depth name _ms -> events := (depth, name) :: !events));
+      Obs.span "a" (fun () -> Obs.span "b" (fun () -> ()));
+      Obs.set_trace None;
+      (* Children close before parents; depth counts from 0 at top level. *)
+      Alcotest.(check (list (pair int string)))
+        "close order and depths"
+        [ (1, "b"); (0, "a") ]
+        (List.rev !events))
+
+(* ------------------------------------------------------------------ *)
+(* Histograms.                                                        *)
+
+let test_histogram_quantiles () =
+  let h = Obs.Histogram.create () in
+  for i = 100 downto 1 do
+    Obs.Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "total" 5050.0 (Obs.Histogram.total h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Obs.Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Obs.Histogram.minimum h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Obs.Histogram.maximum h);
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (Obs.Histogram.quantile h 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Obs.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p90" 90.0 (Obs.Histogram.quantile h 0.9);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Obs.Histogram.quantile h 0.99);
+  Alcotest.(check (float 1e-9)) "p100 = max" 100.0 (Obs.Histogram.quantile h 1.0)
+
+let test_histogram_merge () =
+  let a = Obs.Histogram.create () and b = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.add a) [ 1.0; 2.0 ];
+  List.iter (Obs.Histogram.add b) [ 3.0; 4.0 ];
+  let m = Obs.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 4 (Obs.Histogram.count m);
+  Alcotest.(check (float 1e-9)) "merged total" 10.0 (Obs.Histogram.total m);
+  (* Merge must not alias the inputs. *)
+  Obs.Histogram.add m 99.0;
+  Alcotest.(check int) "input a untouched" 2 (Obs.Histogram.count a)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip.                                                   *)
+
+let test_json_roundtrip_report () =
+  let report =
+    with_obs (fun () ->
+        Obs.span "ground" (fun () -> Obs.count ~n:42 "atoms");
+        Obs.span "solve" (fun () ->
+            Obs.record "flips" 10.0;
+            Obs.record "flips" 30.0;
+            Obs.gauge "cost" 1.5);
+        Obs.Report.capture ())
+  in
+  let text = Obs.Report.to_string report in
+  match Obs.Json.parse text with
+  | Error e -> Alcotest.fail ("report JSON does not parse: " ^ e)
+  | Ok json ->
+      (* Printing the parsed tree must reproduce the exact encoding: the
+         printer/parser pair is the data contract for BENCH_obs.json. *)
+      Alcotest.(check string) "print . parse = id" text (Obs.Json.to_string json);
+      let spans =
+        match Obs.Json.member "spans" json with
+        | Some (Obs.Json.Arr spans) -> spans
+        | _ -> Alcotest.fail "no spans array"
+      in
+      Alcotest.(check int) "two spans" 2 (List.length spans);
+      let solve = List.nth spans 1 in
+      (match Obs.Json.member "name" solve with
+      | Some (Obs.Json.Str s) -> Alcotest.(check string) "name" "solve" s
+      | _ -> Alcotest.fail "span without name");
+      (match Obs.Json.member "histograms" solve with
+      | Some (Obs.Json.Obj [ ("flips", flips) ]) -> (
+          match Obs.Json.member "mean" flips with
+          | Some (Obs.Json.Num m) ->
+              Alcotest.(check (float 1e-9)) "hist mean survives" 20.0 m
+          | _ -> Alcotest.fail "histogram without mean")
+      | _ -> Alcotest.fail "solve without histograms")
+
+let test_json_parse_errors () =
+  List.iter
+    (fun input ->
+      match Obs.Json.parse input with
+      | Ok _ -> Alcotest.failf "accepted malformed JSON %S" input
+      | Error e ->
+          let contains_offset =
+            let needle = "offset" in
+            let n = String.length needle and m = String.length e in
+            let rec at i = i + n <= m && (String.sub e i n = needle || at (i + 1)) in
+            at 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "error for %S mentions offset" input)
+            true contains_offset)
+    [ "{"; "[1,"; "\"unterminated"; "{\"a\":}"; "truefalse"; "{} x" ]
+
+let test_json_escapes () =
+  let s = "line\nbreak \"quoted\" \\ tab\t" in
+  let text = Obs.Json.to_string (Obs.Json.Str s) in
+  match Obs.Json.parse text with
+  | Ok (Obs.Json.Str back) -> Alcotest.(check string) "string survives" s back
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "same-name merging" `Quick test_span_merging;
+          Alcotest.test_case "exception balance" `Quick
+            test_span_exception_balance;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "root metrics" `Quick test_root_metrics;
+          Alcotest.test_case "trace hook" `Quick test_trace_hook;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles 1..100" `Quick test_histogram_quantiles;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "report round-trip" `Quick
+            test_json_roundtrip_report;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "string escapes" `Quick test_json_escapes;
+        ] );
+    ]
