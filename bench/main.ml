@@ -763,24 +763,307 @@ let obs_bench () =
     (List.length runs) reps
 
 (* ------------------------------------------------------------------ *)
+(* PAR: the multicore execution layer — per-stage medians at --jobs 1  *)
+(* vs N, exported as BENCH_parallel.json (validated by re-parsing).    *)
+
+let par_json_path = "BENCH_parallel.json"
+let compare_jobs = ref 4
+
+let par_bench () =
+  let jobs_hi =
+    let pool = Prelude.Pool.create ~jobs:!compare_jobs in
+    Prelude.Pool.jobs pool
+  in
+  section "PAR"
+    (Printf.sprintf
+       "multicore: per-stage medians at jobs 1 vs %d -> %s" jobs_hi
+       par_json_path);
+  let reps = if !fast_mode then 3 else 5 in
+  let datasets =
+    let wd total =
+      let d =
+        Datagen.Wikidata.generate ~seed:13 ~total_facts:total
+          ~conflict_rate:0.08 ()
+      in
+      ( Printf.sprintf "wikidata-%d" total,
+        d.Datagen.Wikidata.graph,
+        Datagen.Wikidata.constraints () )
+    in
+    let fb players =
+      let d =
+        Datagen.Footballdb.generate ~seed:13 ~players ~noise_ratio:0.5 ()
+      in
+      ( Printf.sprintf "footballdb-%d" players,
+        d.Datagen.Footballdb.graph,
+        Datagen.Footballdb.constraints () )
+    in
+    if !fast_mode then [ wd 1_000 ] else [ wd 4_000; fb 400 ]
+  in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  (* One measured run of an engine pipeline over a fresh store, without
+     the resolve/interpret wrapper: the ground/encode/solve spans sit at
+     the top level, and the MAP objective comes from the solver stats. *)
+  let measure_mln pool graph rules =
+    let options =
+      { Mln.Map_inference.default_options with Mln.Map_inference.pool }
+    in
+    let out = Mln.Map_inference.run ~options graph rules in
+    out.Mln.Map_inference.stats.Mln.Map_inference.objective
+  in
+  let measure_psl pool graph rules =
+    let options = { Psl.Npsl.default_options with Psl.Npsl.pool } in
+    let out = Psl.Npsl.run ~options graph rules in
+    out.Psl.Npsl.stats.Psl.Npsl.admm.Psl.Admm.objective
+  in
+  let engines = [ ("mln", measure_mln); ("psl", measure_psl) ] in
+  let stage_paths =
+    [ ("ground", [ "ground" ]); ("encode", [ "encode" ]); ("solve", [ "solve" ]) ]
+  in
+  let runs =
+    List.concat_map
+      (fun (dataset, graph, rules) ->
+        List.map
+          (fun (engine_id, measure) ->
+            (* Measure the pipeline at every job count; reps share one
+               pool per job count. *)
+            let per_jobs =
+              List.map
+                (fun jobs ->
+                  let pool = Prelude.Pool.create ~jobs in
+                  let samples =
+                    List.init reps (fun _ ->
+                        Obs.reset ();
+                        Obs.set_enabled true;
+                        let objective, total_ms =
+                          Prelude.Timing.time (fun () ->
+                              measure pool graph rules)
+                        in
+                        let r = Obs.Report.capture () in
+                        Obs.set_enabled false;
+                        (objective, total_ms, r))
+                  in
+                  let objective =
+                    match samples with
+                    | (o, _, _) :: rest ->
+                        List.iter
+                          (fun (o', _, _) ->
+                            if o <> o' then
+                              failwith
+                                (Printf.sprintf
+                                   "%s %s: objective drifts across reps \
+                                    at jobs=%d (%.6f vs %.6f)"
+                                   dataset engine_id
+                                   (Prelude.Pool.jobs pool) o o'))
+                          rest;
+                        o
+                    | [] -> assert false
+                  in
+                  let stage_medians =
+                    List.filter_map
+                      (fun (stage, path) ->
+                        let ms =
+                          List.filter_map
+                            (fun (_, _, r) ->
+                              Option.map
+                                (fun (n : Obs.Report.node) ->
+                                  n.Obs.Report.total_ms)
+                                (Obs.Report.find r path))
+                            samples
+                        in
+                        if ms = [] then None else Some (stage, median ms))
+                      stage_paths
+                  in
+                  let total_median =
+                    median (List.map (fun (_, ms, _) -> ms) samples)
+                  in
+                  ( Prelude.Pool.jobs pool,
+                    objective,
+                    ("total", total_median) :: stage_medians ))
+                (List.sort_uniq compare [ 1; jobs_hi ])
+            in
+            (* Determinism gate: the MAP objective must be identical at
+               every job count. *)
+            (match per_jobs with
+            | (_, base_objective, _) :: rest ->
+                List.iter
+                  (fun (jobs, objective, _) ->
+                    if objective <> base_objective then
+                      failwith
+                        (Printf.sprintf
+                           "%s %s: objective differs at jobs=%d (%.6f vs \
+                            %.6f at jobs=1)"
+                           dataset engine_id jobs objective base_objective))
+                  rest
+            | [] -> assert false);
+            let medians_of jobs =
+              match
+                List.find_opt (fun (j, _, _) -> j = jobs) per_jobs
+              with
+              | Some (_, _, medians) -> medians
+              | None -> []
+            in
+            let speedups =
+              let base = medians_of 1 in
+              List.filter_map
+                (fun (stage, hi_ms) ->
+                  match List.assoc_opt stage base with
+                  | Some base_ms when hi_ms > 0.0 ->
+                      Some (stage, base_ms /. hi_ms)
+                  | _ -> None)
+                (medians_of jobs_hi)
+            in
+            List.iter
+              (fun (jobs, _, medians) ->
+                List.iter
+                  (fun (stage, ms) ->
+                    row "%-16s %-5s jobs=%-3d %-8s median %10.2f ms\n"
+                      dataset engine_id jobs stage ms)
+                  medians)
+              per_jobs;
+            List.iter
+              (fun (stage, s) ->
+                row "%-16s %-5s speedup  %-8s %.2fx\n" dataset engine_id
+                  stage s)
+              speedups;
+            let objective =
+              match per_jobs with (_, o, _) :: _ -> o | [] -> 0.0
+            in
+            Obs.Json.Obj
+              [
+                ("dataset", Obs.Json.Str dataset);
+                ("engine", Obs.Json.Str engine_id);
+                ("facts", Obs.Json.Num (float_of_int (Kg.Graph.size graph)));
+                ("reps", Obs.Json.Num (float_of_int reps));
+                ("objective", Obs.Json.Num objective);
+                ( "jobs",
+                  Obs.Json.Obj
+                    (List.map
+                       (fun (jobs, objective, medians) ->
+                         ( string_of_int jobs,
+                           Obs.Json.Obj
+                             [
+                               ("objective", Obs.Json.Num objective);
+                               ( "stages",
+                                 Obs.Json.Obj
+                                   (List.map
+                                      (fun (stage, ms) ->
+                                        (stage, Obs.Json.Num ms))
+                                      medians) );
+                             ] ))
+                       per_jobs) );
+                ( "speedup",
+                  Obs.Json.Obj
+                    (List.map
+                       (fun (stage, s) -> (stage, Obs.Json.Num s))
+                       speedups) );
+              ])
+          engines)
+      datasets
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "tecore-bench-parallel/1");
+        ("fast", Obs.Json.Bool !fast_mode);
+        ("cores", Obs.Json.Num (float_of_int (Prelude.Pool.recommended_jobs ())));
+        ( "jobs_compared",
+          Obs.Json.Arr
+            (List.map
+               (fun j -> Obs.Json.Num (float_of_int j))
+               (List.sort_uniq compare [ 1; jobs_hi ])) );
+        ("runs", Obs.Json.Arr runs);
+      ]
+  in
+  let oc = open_out par_json_path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  (* Self-check: round-trip through our own parser and verify the
+     objective agreement the schema promises. *)
+  let ic = open_in par_json_path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Obs.Json.parse text with
+  | Error e -> failwith (Printf.sprintf "%s: invalid JSON: %s" par_json_path e)
+  | Ok parsed -> (
+      match Obs.Json.member "runs" parsed with
+      | Some (Obs.Json.Arr (_ :: _ as rs)) ->
+          List.iter
+            (fun r ->
+              match Obs.Json.member "jobs" r with
+              | Some (Obs.Json.Obj ((_ :: _) as per_jobs)) ->
+                  let objectives =
+                    List.filter_map
+                      (fun (_, v) -> Obs.Json.member "objective" v)
+                      per_jobs
+                  in
+                  (match objectives with
+                  | Obs.Json.Num o :: rest ->
+                      List.iter
+                        (function
+                          | Obs.Json.Num o' when o = o' -> ()
+                          | _ ->
+                              failwith
+                                (par_json_path
+                                ^ ": objectives differ across job counts"))
+                        rest
+                  | _ -> failwith (par_json_path ^ ": run without objective"));
+                  List.iter
+                    (fun (_, v) ->
+                      match Obs.Json.member "stages" v with
+                      | Some (Obs.Json.Obj stages) ->
+                          List.iter
+                            (fun stage ->
+                              if not (List.mem_assoc stage stages) then
+                                failwith
+                                  (Printf.sprintf "%s: run misses stage %S"
+                                     par_json_path stage))
+                            [ "ground"; "encode"; "solve"; "total" ]
+                      | _ ->
+                          failwith (par_json_path ^ ": job entry without stages"))
+                    per_jobs
+              | _ -> failwith (par_json_path ^ ": run without jobs"))
+            rs
+      | _ -> failwith (par_json_path ^ ": no runs")));
+  row "wrote %s (%d runs, %d reps each, jobs 1 vs %d) -- JSON validated\n"
+    par_json_path (List.length runs) reps jobs_hi
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4);
     ("a5", a5); ("a6", a6); ("a7", a7); ("micro", micro);
-    ("obs", obs_bench);
+    ("obs", obs_bench); ("par", par_bench);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--smoke" :: rest ->
+        fast_mode := true;
+        parse names rest
+    | "--jobs" :: n :: rest ->
+        (match Prelude.Pool.parse_jobs (Some n) with
+        | Some jobs -> compare_jobs := jobs
+        | None ->
+            Printf.eprintf "invalid --jobs value %s\n" n;
+            exit 1);
+        parse names rest
+    | a :: rest -> parse (a :: names) rest
+  in
   let smoke = List.mem "--smoke" args in
-  if smoke then fast_mode := true;
-  let names = List.filter (fun a -> a <> "--smoke") args in
+  let names = parse [] args in
   let requested =
     match names with
     | _ :: _ -> names
-    | [] -> if smoke then [ "e1"; "obs" ] else List.map fst experiments
+    | [] -> if smoke then [ "e1"; "obs"; "par" ] else List.map fst experiments
   in
   List.iter
     (fun name ->

@@ -40,6 +40,14 @@ let threshold_arg =
   let doc = "Drop derived facts below this confidence." in
   Arg.(value & opt (some float) None & info [ "t"; "threshold" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for grounding and solver portfolios (0 = all cores). \
+     Defaults to $(b,TECORE_JOBS), else 1. Results are \
+     objective-identical at every job count."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let load_session ?rules_file data_file =
   let session = Tecore.Session.create () in
   (match Tecore.Session.load_file session data_file with
@@ -60,8 +68,8 @@ let handle f = try f (); 0 with Failure msg -> Printf.eprintf "error: %s\n" msg;
 
 (* ------------------------------------------------------------------ *)
 
-let resolve data rules engine threshold output verbose explain json stats
-    trace =
+let resolve data rules engine jobs threshold output verbose explain json
+    stats trace =
   handle (fun () ->
       let observing = stats || trace in
       if observing then begin
@@ -76,7 +84,7 @@ let resolve data rules engine threshold output verbose explain json stats
                  (String.make (2 * depth) ' ')
                  name ms));
       let session = load_session ?rules_file:rules data in
-      match Tecore.Session.run ~engine ?threshold session with
+      match Tecore.Session.run ~engine ?jobs ?threshold session with
       | Error e -> failwith e
       | Ok result when json ->
           let obs = if observing then Some (Obs.Report.capture ()) else None in
@@ -159,8 +167,8 @@ let resolve_cmd =
     (Cmd.info "resolve"
        ~doc:"Compute the most probable conflict-free temporal KG")
     Term.(
-      const resolve $ data_arg $ rules_arg $ engine_arg $ threshold_arg
-      $ output $ verbose $ explain $ json $ stats $ trace)
+      const resolve $ data_arg $ rules_arg $ engine_arg $ jobs_arg
+      $ threshold_arg $ output $ verbose $ explain $ json $ stats $ trace)
 
 (* ------------------------------------------------------------------ *)
 

@@ -133,10 +133,65 @@ let apply_ready_conditions bound pending table =
     (filtered, still_pending)
   end
 
+(* Join-order heuristic: fold the most selective fragments first.
+   Greedy: start from the smallest extension, then repeatedly take the
+   smallest remaining atom that shares a variable with what is already
+   bound (falling back to the overall smallest when the join graph is
+   disconnected and a product is unavoidable). Original body position
+   breaks ties, and [atom_col] keeps the original position, so the
+   produced bindings are order-insensitive. *)
+let atom_cardinality store (atom : Logic.Atom.t) =
+  match
+    Atom_store.table_for store atom.predicate
+      ~arity:(List.length atom.args)
+      ~temporal:(Option.is_some atom.time)
+  with
+  | None -> 0
+  | Some table -> Table.cardinal table
+
+let atom_vars (atom : Logic.Atom.t) =
+  let term_vars =
+    List.filter_map
+      (function Logic.Lterm.Var v -> Some (var_col v) | Logic.Lterm.Const _ -> None)
+      atom.args
+  in
+  match atom.time with
+  | Some (Logic.Lterm.Tvar v) -> tvar_col v :: term_vars
+  | _ -> term_vars
+
+let join_order store (rule : Logic.Rule.t) =
+  let items =
+    List.mapi (fun i a -> (i, a, atom_cardinality store a, atom_vars a)) rule.body
+  in
+  let smallest candidates =
+    List.fold_left
+      (fun best ((i, _, card, _) as item) ->
+        match best with
+        | Some (bi, _, bcard, _) when (bcard, bi) <= (card, i) -> best
+        | _ -> Some item)
+      None candidates
+  in
+  let rec pick bound acc = function
+    | [] -> List.rev acc
+    | remaining ->
+        let connected =
+          List.filter
+            (fun (_, _, _, vars) -> List.exists (fun v -> List.mem v bound) vars)
+            remaining
+        in
+        let candidates = if connected = [] then remaining else connected in
+        let ((i, atom, _, vars) as chosen) =
+          match smallest candidates with Some item -> item | None -> assert false
+        in
+        let remaining = List.filter (fun item -> item != chosen) remaining in
+        pick (vars @ bound) ((i, atom) :: acc) remaining
+  in
+  pick [] [] items
+
 let all store (rule : Logic.Rule.t) =
-  let rec loop acc pending index = function
+  let rec loop acc pending = function
     | [] -> (acc, pending)
-    | atom :: rest -> (
+    | (index, atom) :: rest -> (
         match atom_fragment store index atom with
         | None -> (None, pending)
         | Some fragment -> (
@@ -166,10 +221,10 @@ let all store (rule : Logic.Rule.t) =
                   apply_ready_conditions bound pending joined
                 in
                 if Table.cardinal joined = 0 then (None, pending)
-                else loop (Some joined) pending (index + 1) rest))
+                else loop (Some joined) pending rest))
   in
   let start = Table.create ~name:"empty" ~columns:[] in
-  let result, pending = loop (Some start) rule.conditions 0 rule.body in
+  let result, pending = loop (Some start) rule.conditions (join_order store rule) in
   match result with
   | None -> []
   | Some bindings ->

@@ -67,8 +67,7 @@ let closure ?(max_rounds = 50) store rules =
   let rounds = loop 1 in
   (List.rev !derived, rounds)
 
-let instances_of_rule store (rule : Logic.Rule.t) =
-  let bindings = Body.all store rule in
+let instances_of_bindings store (rule : Logic.Rule.t) bindings =
   Obs.count ~n:(List.length bindings) "ground.join_rows";
   List.filter_map
     (fun { Body.subst; body_atoms } ->
@@ -93,13 +92,23 @@ let instances_of_rule store (rule : Logic.Rule.t) =
           Some { Instance.rule; body_atoms; head = Instance.Violated })
     bindings
 
-let run ?max_rounds store rules =
+let run ?max_rounds ?(pool = Prelude.Pool.sequential) store rules =
   let derived, rounds =
     Obs.span "closure" (fun () -> closure ?max_rounds store rules)
   in
   let instances =
+    (* The store is saturated, so the per-rule joins are read-only and
+       run on the pool; interning the results stays sequential in rule
+       order (every Infer head already exists at the fixpoint, so this
+       is lookup-only), which keeps atom-id assignment deterministic and
+       independent of the job count. The closure itself stays
+       sequential: its rounds interleave joins with interning, and that
+       interleaving defines the id order we must preserve. *)
     Obs.span "instances" (fun () ->
-        List.concat_map (instances_of_rule store) rules)
+        let all_bindings =
+          Prelude.Pool.map pool (fun rule -> Body.all store rule) rules
+        in
+        List.concat (List.map2 (instances_of_bindings store) rules all_bindings))
   in
   Obs.count ~n:(List.length instances) "ground.instances";
   Obs.count ~n:(List.length derived) "ground.derived_atoms";

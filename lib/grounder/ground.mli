@@ -31,6 +31,17 @@ type result = {
   rounds : int;                   (** closure iterations until fixpoint *)
 }
 
-val run : ?max_rounds:int -> Atom_store.t -> Logic.Rule.t list -> result
-(** @raise Failure when the closure does not reach a fixpoint within
+val run :
+  ?max_rounds:int ->
+  ?pool:Prelude.Pool.t ->
+  Atom_store.t ->
+  Logic.Rule.t list ->
+  result
+(** [pool] parallelises the per-rule grounding joins after the closure
+    (the closure itself is sequential — its rounds interleave joins with
+    atom interning); interning happens sequentially in rule order, so the
+    produced instances and atom ids are identical at every job count.
+    Default: {!Prelude.Pool.sequential}.
+
+    @raise Failure when the closure does not reach a fixpoint within
     [max_rounds] (default 50) iterations. *)

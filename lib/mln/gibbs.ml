@@ -1,19 +1,25 @@
 module Prng = Prelude.Prng
+module Pool = Prelude.Pool
 
 type result = {
   marginals : float array;
   samples : int;
   burn_in : int;
+  chains : int;
 }
 
 let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
 
 let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
-    ?(hard_weight = 2.0 *. Kg.Quad.max_weight) ?init (network : Network.t) =
+    ?(hard_weight = 2.0 *. Kg.Quad.max_weight) ?init ?(chains = 1)
+    ?(pool = Pool.sequential) (network : Network.t) =
+  if chains < 1 then invalid_arg "Gibbs.run: chains must be >= 1";
   let n = network.num_atoms in
-  let state =
+  let base =
     match init with Some a -> Array.copy a | None -> Array.make n false
   in
+  (* The occurrence lists depend only on the network: build once, share
+     read-only across chains. *)
   let occurrences = Array.make n [] in
   Array.iteri
     (fun ci (c : Network.clause) ->
@@ -26,8 +32,8 @@ let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
     match c.weight with Some w -> w | None -> hard_weight
   in
   (* Energy difference of clauses containing [v] between x_v=1 and
-     x_v=0, with the rest of the state fixed. *)
-  let delta v =
+     x_v=0, with the rest of the chain state fixed. *)
+  let delta state v =
     List.fold_left
       (fun acc ci ->
         let c = network.clauses.(ci) in
@@ -44,27 +50,46 @@ let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
         else acc -. weight c)
       0.0 occurrences.(v)
   in
-  let rng = Prng.create seed in
-  let sweep () =
-    for v = 0 to n - 1 do
-      state.(v) <- Prng.bernoulli rng (sigmoid (delta v))
-    done
+  (* One independent chain: own state, own PRNG stream. Chain 0 keeps
+     the caller's seed (identical to the single-chain behaviour);
+     further chains derive theirs, so the chain set — and the merged
+     marginals — do not depend on the job count. *)
+  let run_chain k =
+    let chain_seed = if k = 0 then seed else Prng.subseed seed k in
+    let rng = Prng.create chain_seed in
+    let state = Array.copy base in
+    let sweep () =
+      for v = 0 to n - 1 do
+        state.(v) <- Prng.bernoulli rng (sigmoid (delta state v))
+      done
+    in
+    for _ = 1 to burn_in do
+      sweep ()
+    done;
+    let counts = Array.make n 0 in
+    for _ = 1 to samples do
+      sweep ();
+      for v = 0 to n - 1 do
+        if state.(v) then counts.(v) <- counts.(v) + 1
+      done
+    done;
+    counts
   in
-  for _ = 1 to burn_in do
-    sweep ()
-  done;
-  let counts = Array.make n 0 in
-  for _ = 1 to samples do
-    sweep ();
-    for v = 0 to n - 1 do
-      if state.(v) then counts.(v) <- counts.(v) + 1
-    done
-  done;
-  Obs.count ~n:(burn_in + samples) "gibbs.sweeps";
-  Obs.count ~n:samples "gibbs.samples";
+  let all_counts = Pool.map pool run_chain (List.init chains Fun.id) in
+  let totals = Array.make n 0 in
+  List.iter
+    (fun counts ->
+      for v = 0 to n - 1 do
+        totals.(v) <- totals.(v) + counts.(v)
+      done)
+    all_counts;
+  Obs.count ~n:(chains * (burn_in + samples)) "gibbs.sweeps";
+  Obs.count ~n:(chains * samples) "gibbs.samples";
+  Obs.count ~n:chains "gibbs.chains";
+  let denom = float_of_int (chains * samples) in
   {
-    marginals =
-      Array.map (fun c -> float_of_int c /. float_of_int samples) counts;
+    marginals = Array.map (fun c -> float_of_int c /. denom) totals;
     samples;
     burn_in;
+    chains;
   }

@@ -15,8 +15,9 @@
 
 type result = {
   marginals : float array;  (** P(atom = true), one entry per atom id *)
-  samples : int;
-  burn_in : int;
+  samples : int;            (** per chain *)
+  burn_in : int;            (** per chain *)
+  chains : int;
 }
 
 val run :
@@ -25,8 +26,18 @@ val run :
   ?samples:int ->
   ?hard_weight:float ->
   ?init:bool array ->
+  ?chains:int ->
+  ?pool:Prelude.Pool.t ->
   Network.t ->
   result
 (** Defaults: [burn_in = 1_000] sweeps, [samples = 5_000] sweeps,
     [hard_weight = 2 * Kg.Quad.max_weight], start at [init] (all-false
-    when omitted). One sweep resamples every atom once in order. *)
+    when omitted). One sweep resamples every atom once in order.
+
+    [chains] (default 1) runs that many independent chains and averages
+    their sample counts; chain 0 uses [seed] verbatim (so [chains = 1]
+    reproduces the single-chain sampler exactly) and chain [k] derives
+    its stream with {!Prelude.Prng.subseed}. [pool] (default
+    {!Prelude.Pool.sequential}) runs chains on worker domains; the chain
+    set is fixed by [chains] and [seed] alone, so the merged marginals
+    are identical at every job count. *)

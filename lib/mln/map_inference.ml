@@ -12,6 +12,8 @@ type options = {
   seed : int;
   max_flips : int;
   restarts : int;
+  portfolio : int list;
+  pool : Prelude.Pool.t;
 }
 
 let default_options =
@@ -22,6 +24,8 @@ let default_options =
     seed = 7;
     max_flips = 100_000;
     restarts = 3;
+    portfolio = [];
+    pool = Prelude.Pool.sequential;
   }
 
 type stats = {
@@ -51,7 +55,8 @@ let base_solver options network ~init =
   | Walk ->
       fst
         (Maxwalksat.solve ~seed:options.seed ~max_flips:options.max_flips
-           ~restarts:options.restarts ~init network)
+           ~restarts:options.restarts ~portfolio:options.portfolio
+           ~pool:options.pool ~init network)
   | Exact_bb -> (
       match Exact.solve network with
       | Some { assignment; _ } -> assignment
@@ -64,7 +69,8 @@ let base_solver options network ~init =
 let run_store ?(options = default_options) store rules =
   let (ground_result : Grounder.Ground.result), ground_ms =
     Prelude.Timing.time (fun () ->
-        Obs.span "ground" (fun () -> Grounder.Ground.run store rules))
+        Obs.span "ground" (fun () ->
+            Grounder.Ground.run ~pool:options.pool store rules))
   in
   let network =
     Obs.span "encode" (fun () ->

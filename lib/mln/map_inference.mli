@@ -19,10 +19,15 @@ type options = {
   seed : int;
   max_flips : int;
   restarts : int;
+  portfolio : int list;         (** extra MaxWalkSAT descent seeds *)
+  pool : Prelude.Pool.t;
+      (** runs grounding joins and MaxWalkSAT descents in parallel;
+          results are objective-identical at every job count *)
 }
 
 val default_options : options
-(** [Walk] with CPI on, default network config, seed 7. *)
+(** [Walk] with CPI on, default network config, seed 7, no extra
+    portfolio seeds, {!Prelude.Pool.sequential}. *)
 
 type stats = {
   atoms : int;

@@ -1,4 +1,5 @@
 module Prng = Prelude.Prng
+module Pool = Prelude.Pool
 
 type stats = {
   flips : int;
@@ -35,9 +36,17 @@ let set_remove s ci =
     s.pos.(ci) <- -1
   end
 
+let set_clear s =
+  for p = 0 to s.len - 1 do
+    s.pos.(s.items.(p)) <- -1
+  done;
+  s.len <- 0
+
 (* Mutable solver state: per-clause count of true literals, violated hard
    and soft clauses tracked separately (hard violations are repaired with
-   priority), and the running (hard, soft) cost. *)
+   priority), and the running (hard, soft) cost. The occurrence lists are
+   a function of the network alone, so one array is built per solve and
+   shared read-only by every restart (and every domain). *)
 type state = {
   network : Network.t;
   assignment : bool array;
@@ -68,8 +77,7 @@ let mark_sat st ci =
 let literal_true assignment (l : Network.literal) =
   assignment.(l.atom) = l.positive
 
-let init_state network assignment =
-  let num_clauses = Array.length network.Network.clauses in
+let build_occurrences (network : Network.t) =
   let occurrences = Array.make network.Network.num_atoms [] in
   Array.iteri
     (fun ci (c : Network.clause) ->
@@ -78,17 +86,27 @@ let init_state network assignment =
           occurrences.(l.atom) <- ci :: occurrences.(l.atom))
         c.literals)
     network.Network.clauses;
-  let st =
-    {
-      network;
-      assignment = Array.copy assignment;
-      true_counts = Array.make num_clauses 0;
-      occurrences;
-      unsat_hard = set_create num_clauses;
-      unsat_soft = set_create num_clauses;
-      soft_cost = 0.0;
-    }
-  in
+  occurrences
+
+let make_state network occurrences =
+  let num_clauses = Array.length network.Network.clauses in
+  {
+    network;
+    assignment = Array.make (max 1 network.Network.num_atoms) false;
+    true_counts = Array.make (max 1 num_clauses) 0;
+    occurrences;
+    unsat_hard = set_create num_clauses;
+    unsat_soft = set_create num_clauses;
+    soft_cost = 0.0;
+  }
+
+(* (Re)initialise the state at [start] without reallocating: restarts
+   reuse the arrays and, crucially, the shared occurrence lists. *)
+let reset_state st start =
+  Array.blit start 0 st.assignment 0 (Array.length start);
+  set_clear st.unsat_hard;
+  set_clear st.unsat_soft;
+  st.soft_cost <- 0.0;
   Array.iteri
     (fun ci (c : Network.clause) ->
       let count =
@@ -98,8 +116,7 @@ let init_state network assignment =
       in
       st.true_counts.(ci) <- count;
       if count = 0 then mark_unsat st ci)
-    network.Network.clauses;
-  st
+    st.network.Network.clauses
 
 let flip st v =
   let old_value = st.assignment.(v) in
@@ -159,106 +176,213 @@ let delta st v =
 let better (h1, s1) (h2, s2) =
   h1 < h2 || (h1 = h2 && s1 < s2 -. 1e-12)
 
+let perfect (h, s) = h = 0 && s = 0.0
+
+(* Exact cost of [assignment], summing violated soft weight in clause
+   order. The in-descent soft cost is incremental and drifts by float
+   rounding ((s +. w) -. w need not equal s), so attempts are compared
+   on this recomputation: the reported cost — and hence the portfolio
+   winner — is a pure function of the assignment, not of the add/remove
+   history, which keeps the winner identical at every job count. *)
+let evaluate (network : Network.t) assignment =
+  let hard = ref 0 and soft = ref 0.0 in
+  Array.iter
+    (fun (c : Network.clause) ->
+      if not (Array.exists (literal_true assignment) c.literals) then
+        match clause_weight c with
+        | `Hard -> incr hard
+        | `Soft w -> soft := !soft +. w)
+    network.Network.clauses;
+  (!hard, !soft)
+
+(* One full WalkSAT descent from [start], task-local. [stop] holds the
+   smallest task index that has reached cost (0, 0) ([max_int] while
+   none has). It is only consulted *between* tasks, never inside a
+   running descent, and task [k] skips only when [stop < k] — a plain
+   boolean would let a later, faster-scheduled optimum skip an
+   earlier-indexed task it loses the tie-break to. With the index
+   check, every task below the first perfect one completes identically
+   to a sequential run, and a skipped later task could at best have
+   tied — which loses the earliest-task tie-break. The winning
+   assignment, not just its cost, is thus the same at every job
+   count. *)
+type attempt = {
+  a_cost : int * float;
+  a_assignment : bool array;
+  a_flips : int;
+}
+
+let skipped_attempt = { a_cost = (max_int, infinity); a_assignment = [||]; a_flips = 0 }
+
+(* Lower [stop] to [k] if no smaller index is recorded yet. *)
+let rec note_perfect stop k =
+  let cur = Atomic.get stop in
+  if k < cur && not (Atomic.compare_and_set stop cur k) then note_perfect stop k
+
+let descend st rng ~max_flips ~stall ~noise ~stop ~k start =
+  reset_state st start;
+  let current_cost st = (st.unsat_hard.len, st.soft_cost) in
+  let best = ref (Array.copy st.assignment) in
+  let best_cost = ref (current_cost st) in
+  let update_best () =
+    let cost = current_cost st in
+    if better cost !best_cost then begin
+      best_cost := cost;
+      Array.blit st.assignment 0 !best 0 (Array.length st.assignment);
+      true
+    end
+    else false
+  in
+  let since_improvement = ref 0 in
+  let flips = ref 0 in
+  while
+    !flips < max_flips
+    && st.unsat_hard.len + st.unsat_soft.len > 0
+    && !since_improvement < stall
+  do
+    incr flips;
+    (* Repair hard violations with priority: a solution violating a
+       hard constraint is worthless whatever its soft cost. *)
+    let ci =
+      if st.unsat_hard.len > 0
+         && (st.unsat_soft.len = 0 || not (Prng.bernoulli rng 0.1))
+      then st.unsat_hard.items.(Prng.int rng st.unsat_hard.len)
+      else st.unsat_soft.items.(Prng.int rng st.unsat_soft.len)
+    in
+    let c = st.network.Network.clauses.(ci) in
+    let v =
+      if Prng.bernoulli rng noise then
+        (Array.get c.literals (Prng.int rng (Array.length c.literals))).atom
+      else begin
+        (* Greedy: the literal whose flip lowers cost the most. *)
+        let best_var = ref (Array.get c.literals 0).atom in
+        let best_delta = ref (delta st !best_var) in
+        Array.iter
+          (fun (l : Network.literal) ->
+            if l.atom <> !best_var then begin
+              let d = delta st l.atom in
+              if better d !best_delta then begin
+                best_delta := d;
+                best_var := l.atom
+              end
+            end)
+          c.literals;
+        !best_var
+      end
+    in
+    flip st v;
+    if update_best () then since_improvement := 0 else incr since_improvement
+  done;
+  let cost = evaluate st.network !best in
+  if perfect cost then note_perfect stop k;
+  { a_cost = cost; a_assignment = !best; a_flips = !flips }
+
 let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
-    ?(stall = 20_000) ?init network =
-  let rng = Prng.create seed in
+    ?(stall = 20_000) ?init ?(portfolio = []) ?(pool = Pool.sequential) network
+    =
   let base =
     match init with
     | Some a -> Array.copy a
     | None -> Array.make network.Network.num_atoms false
   in
-  let best = ref (Array.copy base) in
-  let best_cost = ref (max_int, infinity) in
-  let total_flips = ref 0 in
-  let restarts_used = ref 0 in
-  let run start =
-    let st = init_state network start in
-    let current_cost st = (st.unsat_hard.len, st.soft_cost) in
-    let update_best () =
-      let cost = current_cost st in
-      if better cost !best_cost then begin
-        best_cost := cost;
-        best := Array.copy st.assignment;
-        true
-      end
-      else false
-    in
-    ignore (update_best ());
-    let since_improvement = ref 0 in
-    let flips = ref 0 in
-    while
-      !flips < max_flips
-      && st.unsat_hard.len + st.unsat_soft.len > 0
-      && !since_improvement < stall
-    do
-      incr flips;
-      incr total_flips;
-      (* Repair hard violations with priority: a solution violating a
-         hard constraint is worthless whatever its soft cost. *)
-      let ci =
-        if st.unsat_hard.len > 0
-           && (st.unsat_soft.len = 0 || not (Prng.bernoulli rng 0.1))
-        then st.unsat_hard.items.(Prng.int rng st.unsat_hard.len)
-        else st.unsat_soft.items.(Prng.int rng st.unsat_soft.len)
-      in
-      let c = st.network.Network.clauses.(ci) in
-      let v =
-        if Prng.bernoulli rng noise then
-          (Array.get c.literals (Prng.int rng (Array.length c.literals))).atom
-        else begin
-          (* Greedy: the literal whose flip lowers cost the most. *)
-          let best_var = ref (Array.get c.literals 0).atom in
-          let best_delta = ref (delta st !best_var) in
-          Array.iter
-            (fun (l : Network.literal) ->
-              if l.atom <> !best_var then begin
-                let d = delta st l.atom in
-                if better d !best_delta then begin
-                  best_delta := d;
-                  best_var := l.atom
-                end
-              end)
-            c.literals;
-          !best_var
-        end
-      in
-      flip st v;
-      if update_best () then since_improvement := 0
-      else incr since_improvement
-    done
+  (* Task seeds: the configured restarts draw derived seeds; portfolio
+     seeds are appended verbatim as extra independent descents. Task 0
+     starts at [base]; every other task starts at a perturbation of
+     [base] drawn from its own stream, so tasks are independent of each
+     other and of the schedule. *)
+  let seeds =
+    Array.of_list
+      (List.init (max 1 restarts) (fun i -> Prng.subseed seed i) @ portfolio)
   in
-  let rec attempts i =
-    if i < restarts && not (fst !best_cost = 0 && snd !best_cost = 0.0) then begin
-      if i = 0 then run base
-      else begin
-        incr restarts_used;
-        (* Perturb the best assignment to escape its basin. WalkSAT moves
-           only touch variables of violated clauses, so the perturbation
-           must be able to reach the others: flip a guaranteed handful. *)
-        let start = Array.copy !best in
-        let n = Array.length start in
-        if n > 0 then begin
-          let flips = max 1 (n / 10) in
-          for _ = 1 to flips do
-            let v = Prng.int rng n in
-            start.(v) <- not start.(v)
-          done;
-          Array.iteri
-            (fun v _ ->
-              if Prng.bernoulli rng 0.05 then start.(v) <- not start.(v))
-            start
-        end;
-        run start
+  let occurrences = build_occurrences network in
+  let stop = Atomic.make max_int in
+  let start_of_task rng k =
+    if k = 0 then Array.copy base
+    else begin
+      (* Perturb the base assignment to escape its basin. WalkSAT moves
+         only touch variables of violated clauses, so the perturbation
+         must be able to reach the others: flip a guaranteed handful. *)
+      let start = Array.copy base in
+      let n = Array.length start in
+      if n > 0 then begin
+        let forced = max 1 (n / 10) in
+        for _ = 1 to forced do
+          let v = Prng.int rng n in
+          start.(v) <- not start.(v)
+        done;
+        Array.iteri
+          (fun v _ ->
+            if Prng.bernoulli rng 0.05 then start.(v) <- not start.(v))
+          start
       end;
-      attempts (i + 1)
+      start
     end
   in
-  attempts 0;
-  let hard_violated, soft_cost = !best_cost in
-  Obs.count ~n:!total_flips "walksat.flips";
-  Obs.count ~n:!restarts_used "walksat.restarts";
-  Obs.record "walksat.flips_per_solve" (float_of_int !total_flips);
+  let attempts =
+    if Pool.jobs pool = 1 then begin
+      (* Sequential path: one state reused across restarts (reset in
+         place), early exit once an optimum has been found. *)
+      let st = make_state network occurrences in
+      let out = ref [] in
+      Array.iteri
+        (fun k task_seed ->
+          if not (Atomic.get stop < k) then begin
+            let rng = Prng.create task_seed in
+            let start = start_of_task rng k in
+            out := descend st rng ~max_flips ~stall ~noise ~stop ~k start :: !out
+          end)
+        seeds;
+      List.rev !out
+    end
+    else
+      (* Parallel portfolio: every task gets its own state over the
+         shared occurrence lists; once some domain reaches cost (0, 0)
+         descents with a larger index stop being started (running ones
+         complete). *)
+      Pool.map pool
+        (fun k ->
+          if Atomic.get stop < k then skipped_attempt
+          else begin
+            let rng = Prng.create seeds.(k) in
+            let start = start_of_task rng k in
+            let st = make_state network occurrences in
+            descend st rng ~max_flips ~stall ~noise ~stop ~k start
+          end)
+        (List.init (Array.length seeds) Fun.id)
+  in
+  (* Deterministic pick: lexicographic (hard, soft), earliest task wins
+     ties. The (0, 0) short-circuit can only drop attempts that would
+     have lost anyway, so the winning cost is schedule-independent. *)
+  let best =
+    List.fold_left
+      (fun acc a ->
+        match acc with
+        | Some b when not (better a.a_cost b.a_cost) -> acc
+        | _ -> Some a)
+      None attempts
+  in
+  let best =
+    match best with
+    | Some a -> a
+    | None ->
+        (* Unreachable in practice — task 0 can never be skipped (no
+           index is below 0) — but kept total: score the base
+           assignment directly. *)
+        {
+          a_cost = evaluate network base;
+          a_assignment = Array.copy base;
+          a_flips = 0;
+        }
+  in
+  let total_flips = List.fold_left (fun acc a -> acc + a.a_flips) 0 attempts in
+  let restarts_used =
+    max 0 (List.length (List.filter (fun a -> a.a_flips > 0) attempts) - 1)
+  in
+  let hard_violated, soft_cost = best.a_cost in
+  Obs.count ~n:total_flips "walksat.flips";
+  Obs.count ~n:restarts_used "walksat.restarts";
+  Obs.count ~n:(List.length attempts) "walksat.portfolio_tasks";
+  Obs.record "walksat.flips_per_solve" (float_of_int total_flips);
   Obs.gauge "walksat.soft_cost" soft_cost;
-  ( !best,
-    { flips = !total_flips; restarts_used = !restarts_used; hard_violated;
-      soft_cost } )
+  ( best.a_assignment,
+    { flips = total_flips; restarts_used; hard_violated; soft_cost } )

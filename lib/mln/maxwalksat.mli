@@ -3,11 +3,20 @@
     The scalable approximate MAP solver of the MLN path (the exact
     ILP/branch-and-bound path is {!Exact} and {!Ilp_encoding}). Hard
     clauses dominate lexicographically: an assignment with fewer hard
-    violations always beats one with more, regardless of soft cost. *)
+    violations always beats one with more, regardless of soft cost.
+
+    The solver runs a portfolio of independent descents: the configured
+    [restarts] (task 0 starts from [init], later tasks from seeded
+    perturbations of it) plus any extra [portfolio] seeds. Tasks draw
+    from per-task PRNG streams ({!Prelude.Prng.subseed}) and the winner
+    is picked by lexicographic [(hard, soft)] cost with the earliest
+    task breaking ties, so the result cost does not depend on how the
+    tasks are scheduled: passing a {!Prelude.Pool} runs them on worker
+    domains without changing the reported objective. *)
 
 type stats = {
-  flips : int;
-  restarts_used : int;
+  flips : int;              (** total across all descents *)
+  restarts_used : int;      (** descents beyond the first that did work *)
   hard_violated : int;      (** in the returned assignment *)
   soft_cost : float;        (** violated soft weight in the result *)
 }
@@ -19,11 +28,18 @@ val solve :
   ?noise:float ->
   ?stall:int ->
   ?init:bool array ->
+  ?portfolio:int list ->
+  ?pool:Prelude.Pool.t ->
   Network.t ->
   bool array * stats
 (** [solve network] returns the best assignment found. Defaults:
-    [max_flips = 100_000] per restart, [restarts = 3], [noise = 0.2]
+    [max_flips = 100_000] per descent, [restarts = 3], [noise = 0.2]
     (probability of a random walk move), [stall = 20_000] flips without
-    improvement before restarting early. [init] seeds the first descent
-    (by default the evidence assignment is all-false; callers should pass
-    {!Network.initial_assignment}). *)
+    improvement before giving up on a descent. [init] seeds the base
+    assignment (by default all-false; callers should pass
+    {!Network.initial_assignment}). [portfolio] appends extra descents
+    with exactly these seeds. [pool] (default
+    {!Prelude.Pool.sequential}) runs the descents as parallel tasks; a
+    descent reaching cost [(0, 0)] prevents further descents from
+    starting (running ones complete), which never changes the winning
+    assignment. *)

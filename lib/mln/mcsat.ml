@@ -1,9 +1,11 @@
 module Prng = Prelude.Prng
+module Pool = Prelude.Pool
 
 type result = {
   marginals : float array;
   samples : int;
   rejected : int;
+  chains : int;
 }
 
 (* Draw a (near-)uniform satisfying assignment of the clause subset [m]
@@ -67,16 +69,18 @@ let sample_sat rng network m sample_flips state =
 let harden (c : Network.clause) = { c with Network.weight = None }
 
 let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
-    ?(sample_flips = 10_000) ?init (network : Network.t) =
-  let rng = Prng.create seed in
+    ?(sample_flips = 10_000) ?init ?(chains = 1) ?(pool = Pool.sequential)
+    (network : Network.t) =
+  if chains < 1 then invalid_arg "Mcsat.run: chains must be >= 1";
   let n = network.num_atoms in
   let hard, soft =
     Array.to_list network.clauses
     |> List.partition (fun (c : Network.clause) -> c.weight = None)
   in
   let hard = List.map harden hard in
-  (* Initial state: satisfy the hard clauses. *)
-  let state =
+  (* Initial state: satisfy the hard clauses. Computed once (it depends
+     only on [seed] and [init]) and copied into every chain. *)
+  let initial =
     let candidate =
       match init with Some a -> Array.copy a | None -> Array.make n false
     in
@@ -91,43 +95,65 @@ let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
       a
     end
   in
-  let state = ref state in
-  let counts = Array.make n 0 in
-  let rejected = ref 0 in
-  let step record =
-    (* Slice selection: hard clauses always; satisfied soft clauses with
-       probability 1 - exp(-w). *)
-    let m =
-      hard
-      @ List.filter_map
-          (fun (c : Network.clause) ->
-            match c.weight with
-            | Some w
-              when Network.clause_satisfied c !state
-                   && Prng.bernoulli rng (1.0 -. exp (-.w)) ->
-                Some (harden c)
-            | _ -> None)
-          soft
+  (* One independent chain. Chain 0 keeps the caller's seed (identical
+     to the single-chain sampler); chain [k] derives its own stream, so
+     the merged marginals depend only on [chains] and [seed], never on
+     how the chains are scheduled. *)
+  let run_chain k =
+    let chain_seed = if k = 0 then seed else Prng.subseed seed k in
+    let rng = Prng.create chain_seed in
+    let state = ref (Array.copy initial) in
+    let counts = Array.make n 0 in
+    let rejected = ref 0 in
+    let step record =
+      (* Slice selection: hard clauses always; satisfied soft clauses with
+         probability 1 - exp(-w). *)
+      let m =
+        hard
+        @ List.filter_map
+            (fun (c : Network.clause) ->
+              match c.weight with
+              | Some w
+                when Network.clause_satisfied c !state
+                     && Prng.bernoulli rng (1.0 -. exp (-.w)) ->
+                  Some (harden c)
+              | _ -> None)
+            soft
+      in
+      (match sample_sat rng network m sample_flips !state with
+      | Some next -> state := next
+      | None -> incr rejected);
+      if record then
+        Array.iteri
+          (fun v value -> if value then counts.(v) <- counts.(v) + 1)
+          !state
     in
-    (match sample_sat rng network m sample_flips !state with
-    | Some next -> state := next
-    | None -> incr rejected);
-    if record then
-      Array.iteri
-        (fun v value -> if value then counts.(v) <- counts.(v) + 1)
-        !state
+    for _ = 1 to burn_in do
+      step false
+    done;
+    for _ = 1 to samples do
+      step true
+    done;
+    (counts, !rejected)
   in
-  for _ = 1 to burn_in do
-    step false
-  done;
-  for _ = 1 to samples do
-    step true
-  done;
-  Obs.count ~n:samples "mcsat.samples";
-  Obs.count ~n:!rejected "mcsat.rejected";
+  let per_chain = Pool.map pool run_chain (List.init chains Fun.id) in
+  let totals = Array.make n 0 in
+  let rejected =
+    List.fold_left
+      (fun acc (counts, rej) ->
+        for v = 0 to n - 1 do
+          totals.(v) <- totals.(v) + counts.(v)
+        done;
+        acc + rej)
+      0 per_chain
+  in
+  Obs.count ~n:(chains * samples) "mcsat.samples";
+  Obs.count ~n:rejected "mcsat.rejected";
+  Obs.count ~n:chains "mcsat.chains";
+  let denom = float_of_int (chains * samples) in
   {
-    marginals =
-      Array.map (fun c -> float_of_int c /. float_of_int samples) counts;
+    marginals = Array.map (fun c -> float_of_int c /. denom) totals;
     samples;
-    rejected = !rejected;
+    rejected;
+    chains;
   }

@@ -12,10 +12,12 @@
 
 type result = {
   marginals : float array;
-  samples : int;
+  samples : int;  (** per chain *)
   rejected : int;
       (** slice-sampling steps where no satisfying assignment was found
-          within the flip budget (the previous state is kept) *)
+          within the flip budget (the previous state is kept), summed
+          over chains *)
+  chains : int;
 }
 
 val run :
@@ -24,8 +26,18 @@ val run :
   ?samples:int ->
   ?sample_flips:int ->
   ?init:bool array ->
+  ?chains:int ->
+  ?pool:Prelude.Pool.t ->
   Network.t ->
   result
 (** Defaults: [burn_in = 100], [samples = 1_000], [sample_flips = 10_000]
     WalkSAT flips per slice. [init] must satisfy the hard clauses when
-    one exists (otherwise MC-SAT first solves for one). *)
+    one exists (otherwise MC-SAT first solves for one; that solve
+    happens once and seeds every chain).
+
+    [chains] (default 1) runs that many independent slice-sampling
+    chains and averages their counts; chain 0 uses [seed] verbatim (so
+    [chains = 1] reproduces the single-chain sampler exactly), chain
+    [k] derives its stream with {!Prelude.Prng.subseed}. [pool]
+    (default {!Prelude.Pool.sequential}) runs chains on worker domains;
+    the merged marginals are identical at every job count. *)

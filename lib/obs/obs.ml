@@ -335,10 +335,20 @@ let trace_hook : (depth:int -> string -> float -> unit) option ref = ref None
 (* The bottom of the stack is the permanent root frame. *)
 let stack = ref [ fresh_frame "root" ]
 
+(* Solver tasks running on a Prelude.Pool emit counters from worker
+   domains while the coordinator blocks in the join, so every mutation
+   of the stack and of the per-frame registries is serialised here. The
+   disabled path stays a single unsynchronised flag test. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let enabled () = !is_enabled
-let set_enabled b = is_enabled := b
-let set_trace h = trace_hook := h
-let reset () = stack := [ fresh_frame "root" ]
+let set_enabled b = locked (fun () -> is_enabled := b)
+let set_trace h = locked (fun () -> trace_hook := h)
+let reset () = locked (fun () -> stack := [ fresh_frame "root" ])
 
 let current () =
   match !stack with frame :: _ -> frame | [] -> assert false
@@ -366,53 +376,54 @@ let span name f =
   if not !is_enabled then f ()
   else begin
     let fr = fresh_frame name in
-    stack := fr :: !stack;
+    locked (fun () -> stack := fr :: !stack);
     let close () =
       let elapsed = Prelude.Timing.now_ms () -. fr.start_ms in
-      (match !stack with
-      | top :: parent :: rest when top == fr ->
-          stack := parent :: rest;
-          parent.fchildren <- node_of_frame fr elapsed :: parent.fchildren;
-          (match !trace_hook with
-          | Some hook when !is_enabled ->
-              hook ~depth:(List.length rest) name elapsed
-          | _ -> ())
-      | _ ->
-          (* A reset happened under us (or collection was toggled while
-             the span was open): the frame is an orphan; drop it. *)
-          ())
+      locked (fun () ->
+          match !stack with
+          | top :: parent :: rest when top == fr ->
+              stack := parent :: rest;
+              parent.fchildren <- node_of_frame fr elapsed :: parent.fchildren;
+              (match !trace_hook with
+              | Some hook when !is_enabled ->
+                  hook ~depth:(List.length rest) name elapsed
+              | _ -> ())
+          | _ ->
+              (* A reset happened under us (or collection was toggled while
+                 the span was open): the frame is an orphan; drop it. *)
+              ())
     in
     Fun.protect ~finally:close f
   end
 
 let add name v =
-  if !is_enabled then begin
-    let m = (current ()).fmetrics in
-    match Hashtbl.find_opt m.m_counters name with
-    | Some r -> r := !r +. v
-    | None -> Hashtbl.add m.m_counters name (ref v)
-  end
+  if !is_enabled then
+    locked (fun () ->
+        let m = (current ()).fmetrics in
+        match Hashtbl.find_opt m.m_counters name with
+        | Some r -> r := !r +. v
+        | None -> Hashtbl.add m.m_counters name (ref v))
 
 let count ?(n = 1) name = add name (float_of_int n)
 
 let gauge name v =
-  if !is_enabled then begin
-    let m = (current ()).fmetrics in
-    match Hashtbl.find_opt m.m_gauges name with
-    | Some r -> r := v
-    | None -> Hashtbl.add m.m_gauges name (ref v)
-  end
+  if !is_enabled then
+    locked (fun () ->
+        let m = (current ()).fmetrics in
+        match Hashtbl.find_opt m.m_gauges name with
+        | Some r -> r := v
+        | None -> Hashtbl.add m.m_gauges name (ref v))
 
 let record name v =
-  if !is_enabled then begin
-    let m = (current ()).fmetrics in
-    match Hashtbl.find_opt m.m_hists name with
-    | Some h -> Histogram.add h v
-    | None ->
-        let h = Histogram.create () in
-        Histogram.add h v;
-        Hashtbl.add m.m_hists name h
-  end
+  if !is_enabled then
+    locked (fun () ->
+        let m = (current ()).fmetrics in
+        match Hashtbl.find_opt m.m_hists name with
+        | Some h -> Histogram.add h v
+        | None ->
+            let h = Histogram.create () in
+            Histogram.add h v;
+            Hashtbl.add m.m_hists name h)
 
 (* ------------------------------------------------------------------ *)
 (* Reports.                                                            *)
@@ -479,6 +490,7 @@ module Report = struct
       !order
 
   let capture () =
+    locked @@ fun () ->
     let root = List.nth !stack (List.length !stack - 1) in
     {
       wall_ms = Prelude.Timing.now_ms () -. root.start_ms;

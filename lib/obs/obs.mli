@@ -8,6 +8,13 @@
     single flag test, so instrumentation can stay in hot paths
     permanently.
 
+    Metric entry points ({!count}, {!add}, {!gauge}, {!record}) are safe
+    to call from worker domains of a {!Prelude.Pool} while the
+    coordinating domain blocks in the join: registry mutation is
+    serialised by an internal mutex and the emissions attach to the span
+    the coordinator has open. Only the coordinating domain should open
+    {!span}s.
+
     Typical use:
 
     {[

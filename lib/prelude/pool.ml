@@ -1,0 +1,279 @@
+(* A pool is a concurrency bound plus counters; the worker domains
+   behind it are a single process-wide crew, spawned lazily on first
+   parallel use, grown to the largest bound ever requested and joined at
+   exit. Batches from different pools serialise on the crew, so pools
+   stay cheap to create, impossible to leak, and bounded by the OCaml
+   domain limit no matter how many are made.
+
+   Determinism contract: tasks receive their input index, results land
+   at that index, and nothing a task can observe depends on which domain
+   ran it. *)
+
+type stats = {
+  calls : int;
+  tasks : int;
+  busy_ms : float;
+  wall_ms : float;
+}
+
+type t = {
+  jobs : int;
+  active : bool Atomic.t;
+  lock : Mutex.t; (* guards the counters below *)
+  mutable calls : int;
+  mutable tasks : int;
+  mutable busy_ms : float;
+  mutable wall_ms : float;
+}
+
+exception Nested_use
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let create ~jobs =
+  if jobs < 0 then invalid_arg "Pool.create: jobs < 0";
+  let jobs = if jobs = 0 then recommended_jobs () else jobs in
+  {
+    jobs;
+    active = Atomic.make false;
+    lock = Mutex.create ();
+    calls = 0;
+    tasks = 0;
+    busy_ms = 0.0;
+    wall_ms = 0.0;
+  }
+
+let sequential = create ~jobs:1
+
+let jobs t = t.jobs
+
+let parse_jobs = function
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some 0 -> Some (recommended_jobs ())
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_jobs () =
+  Option.value (parse_jobs (Sys.getenv_opt "TECORE_JOBS")) ~default:1
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    { calls = t.calls; tasks = t.tasks; busy_ms = t.busy_ms; wall_ms = t.wall_ms }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let record t ~n ~busy ~wall =
+  Mutex.lock t.lock;
+  t.calls <- t.calls + 1;
+  t.tasks <- t.tasks + n;
+  t.busy_ms <- t.busy_ms +. busy;
+  t.wall_ms <- t.wall_ms +. wall;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* The process-wide worker crew.                                       *)
+
+type batch = {
+  f : int -> unit;
+  n : int;
+  bound : int; (* concurrency bound of the submitting pool *)
+}
+
+type crew = {
+  m : Mutex.t;
+  cond : Condition.t; (* broadcast on every state change *)
+  mutable batch : batch option;
+  mutable next : int; (* next task index to deal *)
+  mutable running : int; (* tasks currently executing *)
+  mutable busy : float; (* summed task time of the current batch *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable domains : unit Domain.t list;
+  mutable size : int; (* List.length domains *)
+  mutable shutdown : bool;
+}
+
+let crew =
+  {
+    m = Mutex.create ();
+    cond = Condition.create ();
+    batch = None;
+    next = 0;
+    running = 0;
+    busy = 0.0;
+    failure = None;
+    domains = [];
+    size = 0;
+    shutdown = false;
+  }
+
+(* Leave headroom under the runtime's maximum domain count. *)
+let max_workers = 126
+
+(* True while the current domain executes a crew task. A nested parallel
+   operation from inside a task would wait on itself (same pool raises
+   {!Nested_use}; any other pool falls back to a sequential loop). *)
+let in_task = Domain.DLS.new_key (fun () -> false)
+
+(* Deal and execute tasks of the current batch until no index is
+   available (all dealt, bound reached, or a task failed). Called and
+   returns with [crew.m] held. *)
+let rec deal () =
+  match crew.batch with
+  | Some b when crew.next < b.n && crew.running < b.bound && crew.failure = None
+    ->
+      let i = crew.next in
+      crew.next <- crew.next + 1;
+      crew.running <- crew.running + 1;
+      Mutex.unlock crew.m;
+      let t0 = Timing.now_ms () in
+      let outcome =
+        Domain.DLS.set in_task true;
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set in_task false)
+          (fun () ->
+            try
+              b.f i;
+              None
+            with e -> Some (e, Printexc.get_raw_backtrace ()))
+      in
+      let elapsed = Timing.now_ms () -. t0 in
+      Mutex.lock crew.m;
+      crew.busy <- crew.busy +. elapsed;
+      crew.running <- crew.running - 1;
+      (match outcome with
+      | Some _ when crew.failure = None ->
+          crew.failure <- outcome;
+          crew.next <- b.n (* stop dealing the remaining tasks *)
+      | _ -> ());
+      Condition.broadcast crew.cond;
+      deal ()
+  | _ -> ()
+
+let worker () =
+  Mutex.lock crew.m;
+  let rec loop () =
+    if not crew.shutdown then begin
+      deal ();
+      if not crew.shutdown then begin
+        Condition.wait crew.cond crew.m;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  Mutex.unlock crew.m
+
+(* Grow the crew to [wanted] workers; with [crew.m] held. *)
+let ensure_workers wanted =
+  let wanted = min wanted max_workers in
+  if crew.size = 0 && wanted > 0 then
+    at_exit (fun () ->
+        Mutex.lock crew.m;
+        crew.shutdown <- true;
+        Condition.broadcast crew.cond;
+        Mutex.unlock crew.m;
+        List.iter Domain.join crew.domains);
+  while crew.size < wanted do
+    crew.domains <- Domain.spawn worker :: crew.domains;
+    crew.size <- crew.size + 1
+  done
+
+(* Run one batch on the crew: publish it, participate in the dealing,
+   then wait for stragglers. Returns the batch's summed task time. *)
+let run_batch ~bound n f =
+  Mutex.lock crew.m;
+  while crew.batch <> None do
+    Condition.wait crew.cond crew.m
+  done;
+  crew.batch <- Some { f; n; bound };
+  crew.next <- 0;
+  crew.running <- 0;
+  crew.busy <- 0.0;
+  crew.failure <- None;
+  ensure_workers (min bound n - 1);
+  Condition.broadcast crew.cond;
+  let rec coordinate () =
+    deal ();
+    match crew.batch with
+    | Some b when crew.next < b.n || crew.running > 0 ->
+        Condition.wait crew.cond crew.m;
+        coordinate ()
+    | _ -> ()
+  in
+  coordinate ();
+  let busy = crew.busy in
+  let failure = crew.failure in
+  crew.batch <- None;
+  crew.failure <- None;
+  Condition.broadcast crew.cond;
+  Mutex.unlock crew.m;
+  (busy, failure)
+
+(* ------------------------------------------------------------------ *)
+
+(* Run [f 0 .. f (n-1)], at most [t.jobs] concurrently. The first task
+   exception aborts the dealing of further tasks and is re-raised (with
+   its backtrace) after every running task has drained. *)
+let run_tasks t n f =
+  if n > 0 then
+    if t.jobs = 1 || n = 1 then begin
+      (* Sequential path: no domains, no crew, identical to a loop. *)
+      let start = Timing.now_ms () in
+      for i = 0 to n - 1 do
+        f i
+      done;
+      let elapsed = Timing.now_ms () -. start in
+      record t ~n ~busy:elapsed ~wall:elapsed
+    end
+    else begin
+      if not (Atomic.compare_and_set t.active false true) then
+        raise Nested_use;
+      let finally () = Atomic.set t.active false in
+      Fun.protect ~finally @@ fun () ->
+      if Domain.DLS.get in_task then begin
+        (* Inside a crew task of another pool: submitting a batch would
+           wait on the batch this task belongs to. Degrade to the
+           sequential loop — results are identical by contract. *)
+        let start = Timing.now_ms () in
+        for i = 0 to n - 1 do
+          f i
+        done;
+        let elapsed = Timing.now_ms () -. start in
+        record t ~n ~busy:elapsed ~wall:elapsed
+      end
+      else begin
+        let start = Timing.now_ms () in
+        let busy, failure = run_batch ~bound:t.jobs n f in
+        record t ~n ~busy ~wall:(Timing.now_ms () -. start);
+        match failure with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
+    end
+
+let map_array t f xs =
+  let n = Array.length xs in
+  let out = Array.make n None in
+  run_tasks t n (fun i -> out.(i) <- Some (f xs.(i)));
+  Array.map (function Some v -> v | None -> assert false) out
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+let run_all t thunks =
+  let thunks = Array.of_list thunks in
+  run_tasks t (Array.length thunks) (fun i -> thunks.(i) ())
+
+let for_ t ?(chunk = 1024) n f =
+  if chunk <= 0 then invalid_arg "Pool.for_: chunk <= 0";
+  if n > 0 then begin
+    let nchunks = (n + chunk - 1) / chunk in
+    run_tasks t nchunks (fun c ->
+        let hi = min n ((c + 1) * chunk) in
+        for i = c * chunk to hi - 1 do
+          f i
+        done)
+  end

@@ -1,0 +1,86 @@
+(** Domain-based work pool: the one multicore primitive of the codebase.
+
+    Every parallel stage of the pipeline (solver portfolios, sampler
+    chains, ADMM block updates, grounding) schedules through a pool so
+    that parallelism is controlled by a single [--jobs] knob and results
+    stay deterministic at any job count:
+
+    - results are always returned (or side effects committed) in task
+      order, never completion order;
+    - a pool created with [jobs = 1] bypasses domains entirely — every
+      combinator degenerates to a plain sequential loop, so the default
+      configuration behaves exactly like the pre-multicore code;
+    - callers derive per-task PRNG seeds with {!Prng.subseed} so the
+      work done by task [i] does not depend on scheduling.
+
+    The pool itself holds no OS resources: the worker domains behind
+    every pool are one process-wide crew, spawned lazily on first
+    parallel use, reused across operations and pools (batches
+    serialise), and joined at process exit — so pools are safe to store
+    in options records and free to create in any number. Operations on
+    one pool do not nest: a task must not submit work to the pool
+    executing it (see {!exception-Nested_use}); work submitted from
+    inside a task to a {e different} pool runs sequentially on the
+    calling domain. *)
+
+type t
+
+exception Nested_use
+(** Raised when a task running on a pool submits more work to that same
+    pool (or when two threads race to use one pool). Nesting would
+    deadlock a fixed-size worker set; split the work or use a second
+    pool. A [jobs = 1] pool is purely sequential and therefore exempt. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] is a pool running at most [jobs] tasks concurrently.
+    [jobs = 1] never spawns a domain. [jobs = 0] means
+    [recommended_jobs ()]. Raises [Invalid_argument] when [jobs < 0]. *)
+
+val sequential : t
+(** A shared [jobs = 1] pool: the default for every [?pool] argument. *)
+
+val jobs : t -> int
+(** The concurrency bound the pool was created with (after resolving 0
+    to the recommended count). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val parse_jobs : string option -> int option
+(** Parse a [--jobs]/[TECORE_JOBS] value: [Some "0"] means recommended,
+    [Some "n"] with [n >= 1] means [n], anything else [None]. *)
+
+val default_jobs : unit -> int
+(** Job count from the [TECORE_JOBS] environment variable (same syntax
+    as {!parse_jobs}), defaulting to 1. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element, running up to [jobs]
+    applications concurrently, and returns results in input order. The
+    first exception raised by any task is re-raised after all workers
+    stop (remaining tasks are not started). *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val run_all : t -> (unit -> unit) list -> unit
+(** Run every thunk, in input order when [jobs = 1]. *)
+
+val for_ : t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [for_ pool ~chunk n f] runs [f i] for every [0 <= i < n], dealing
+    indices to workers in contiguous chunks of [chunk] (default 1024).
+    Within a chunk, indices run in increasing order. Chunk boundaries
+    depend only on [chunk] and [n] — never on the job count — so a
+    caller that accumulates per-chunk partial results gets bit-identical
+    floating-point sums at every job count. *)
+
+type stats = {
+  calls : int;    (** parallel operations executed *)
+  tasks : int;    (** tasks run across all operations *)
+  busy_ms : float;(** summed per-domain busy time *)
+  wall_ms : float;(** summed wall time of the operations *)
+}
+
+val stats : t -> stats
+(** Cumulative scheduling statistics since [create]; callers surface
+    them through [Obs]. ([busy_ms /. wall_ms] approximates achieved
+    parallelism.) *)

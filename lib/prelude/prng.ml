@@ -19,6 +19,16 @@ let split t =
   let seed = int64 t in
   { state = seed }
 
+let subseed seed i =
+  if i < 0 then invalid_arg "Prng.subseed: negative index";
+  (* Jump the splitmix state by (i+1) gammas and mix, so child seeds are
+     decorrelated from each other and from the parent stream; keep 62
+     bits so the result is a non-negative native int. *)
+  let z =
+    mix Int64.(add (of_int seed) (mul golden_gamma (of_int (i + 1))))
+  in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
 let int t bound =
   assert (bound > 0);
   (* Keep 62 bits so the value fits OCaml's native int without wrapping. *)

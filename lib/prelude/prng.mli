@@ -16,6 +16,12 @@ val split : t -> t
 (** [split g] advances [g] and returns a statistically independent child
     generator; used to give sub-components their own streams. *)
 
+val subseed : int -> int -> int
+(** [subseed seed i] is a decorrelated child seed for task [i] of a
+    computation seeded with [seed] — a pure function of its arguments,
+    so parallel tasks get reproducible streams at any job count. The
+    result is non-negative. Raises [Invalid_argument] when [i < 0]. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -87,8 +87,14 @@ let prox rho f v =
 
 let clip01 x = Float.min 1.0 (Float.max 0.0 x)
 
+(* Fixed block size for the parallel factor sweeps. The chunk boundaries
+   depend on this constant alone — never on the job count — so per-chunk
+   floating-point partial sums reduce in the same association at any
+   parallelism and the iterates are bitwise identical. *)
+let block = 256
+
 let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
-    (model : Hlmrf.t) =
+    ?(pool = Prelude.Pool.sequential) (model : Hlmrf.t) =
   let n = model.num_vars in
   let factors =
     Array.append
@@ -109,7 +115,9 @@ let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
   Array.iter
     (fun f -> Array.iteri (fun i v -> f.y.(i) <- z.(v)) f.vars)
     factors;
-  let v_buf = Array.make (Array.fold_left (fun m f -> max m (Array.length f.vars)) 1 factors) 0.0 in
+  let num_factors = Array.length factors in
+  let num_blocks = (num_factors + block - 1) / block in
+  let pr_parts = Array.make (max 1 num_blocks) 0.0 in
   let sums = Array.make n 0.0 in
   let z_old = Array.make n 0.0 in
   let iterations = ref 0 in
@@ -118,17 +126,16 @@ let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
   let converged = ref false in
   while (not !converged) && !iterations < max_iters do
     incr iterations;
-    (* Local proximal steps. *)
-    Array.iter
-      (fun f ->
+    (* Local proximal steps. Factors are independent given the consensus
+       [z] (each writes only its own [y]), so the sweep fans out over
+       fixed-size blocks. *)
+    Prelude.Pool.for_ pool ~chunk:block num_factors (fun fi ->
+        let f = factors.(fi) in
         let k = Array.length f.vars in
-        for i = 0 to k - 1 do
-          v_buf.(i) <- z.(f.vars.(i)) -. f.u.(i)
-        done;
-        let v = Array.sub v_buf 0 k in
-        prox rho f v)
-      factors;
-    (* Consensus update: average local copies plus duals, clipped. *)
+        let v = Array.init k (fun i -> z.(f.vars.(i)) -. f.u.(i)) in
+        prox rho f v);
+    (* Consensus update: average local copies plus duals, clipped.
+       Sequential — the per-variable sums overlap across factors. *)
     Array.blit z 0 z_old 0 n;
     Array.fill sums 0 n 0.0;
     Array.iter
@@ -142,17 +149,23 @@ let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
         z.(v) <- clip01 (sums.(v) /. float_of_int copies.(v))
       (* variables in no factor keep their initial value *)
     done;
-    (* Dual update and residuals. *)
-    let pr = ref 0.0 in
-    Array.iter
-      (fun f ->
+    (* Dual update and primal residual: per-block partial sums (a block
+       is processed by one worker), reduced sequentially in block order
+       so the residual is bitwise identical at every job count. *)
+    Array.fill pr_parts 0 (Array.length pr_parts) 0.0;
+    Prelude.Pool.for_ pool ~chunk:block num_factors (fun fi ->
+        let f = factors.(fi) in
+        let b = fi / block in
         Array.iteri
           (fun i v ->
             let r = f.y.(i) -. z.(v) in
             f.u.(i) <- f.u.(i) +. r;
-            pr := !pr +. (r *. r))
-          f.vars)
-      factors;
+            pr_parts.(b) <- pr_parts.(b) +. (r *. r))
+          f.vars);
+    let pr = ref 0.0 in
+    for b = 0 to num_blocks - 1 do
+      pr := !pr +. pr_parts.(b)
+    done;
     let du = ref 0.0 in
     for v = 0 to n - 1 do
       let d = z.(v) -. z_old.(v) in

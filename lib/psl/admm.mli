@@ -22,8 +22,16 @@ val solve :
   ?max_iters:int ->
   ?tol:float ->
   ?init:float array ->
+  ?pool:Prelude.Pool.t ->
   Hlmrf.t ->
   float array * stats
 (** Defaults: [rho = 1.0], [max_iters = 2_000], [tol = 1e-4]. [init]
     seeds the consensus vector (clipped to the box); by default 0.5
-    everywhere. *)
+    everywhere.
+
+    [pool] (default {!Prelude.Pool.sequential}) parallelises the
+    per-factor proximal steps and the dual update over fixed-size factor
+    blocks; the consensus averaging stays sequential. Partial residual
+    sums are accumulated per block and reduced in block order, so the
+    iterates — and the returned solution — are bitwise identical at
+    every job count. *)

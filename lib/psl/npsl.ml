@@ -6,6 +6,7 @@ type options = {
   max_iters : int;
   tol : float;
   threshold : float;
+  pool : Prelude.Pool.t;
 }
 
 let default_options =
@@ -15,6 +16,7 @@ let default_options =
     max_iters = 2_000;
     tol = 1e-4;
     threshold = 0.5;
+    pool = Prelude.Pool.sequential;
   }
 
 type stats = {
@@ -42,7 +44,8 @@ type outcome = {
 let run_store ?(options = default_options) store rules =
   let (ground_result : Grounder.Ground.result), ground_ms =
     Prelude.Timing.time (fun () ->
-        Obs.span "ground" (fun () -> Grounder.Ground.run store rules))
+        Obs.span "ground" (fun () ->
+            Grounder.Ground.run ~pool:options.pool store rules))
   in
   let model =
     Obs.span "encode" (fun () ->
@@ -71,7 +74,7 @@ let run_store ?(options = default_options) store rules =
     Prelude.Timing.time (fun () ->
         Obs.span "solve" (fun () ->
             Admm.solve ~rho:options.rho ~max_iters:options.max_iters
-              ~tol:options.tol ~init model))
+              ~tol:options.tol ~init ~pool:options.pool model))
   in
   let assignment, rounding_stats =
     Obs.span "round" (fun () ->

@@ -11,6 +11,9 @@ type options = {
   max_iters : int;
   tol : float;
   threshold : float;        (** rounding threshold *)
+  pool : Prelude.Pool.t;
+      (** runs grounding joins and ADMM factor sweeps in parallel; the
+          solution is bitwise identical at every job count *)
 }
 
 val default_options : options

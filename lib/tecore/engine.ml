@@ -27,7 +27,7 @@ type result = {
 
 exception Rejected of Translator.report
 
-let resolve ?(engine = Auto) ?threshold graph rules =
+let resolve ?(engine = Auto) ?jobs ?threshold graph rules =
   Obs.span "resolve" @@ fun () ->
   let report = Obs.span "translate" (fun () -> Translator.analyse graph rules) in
   if not report.Translator.ok then raise (Rejected report);
@@ -38,6 +38,20 @@ let resolve ?(engine = Auto) ?threshold graph rules =
         | Translator.Mln_engine -> Mln Mln.Map_inference.default_options
         | Translator.Psl_engine -> Psl Psl.Npsl.default_options)
     | e -> e
+  in
+  (* [jobs] defaults to the environment ([TECORE_JOBS], else 1). A pool
+     is created — and injected into the engine options — only when more
+     than one job is requested, so explicitly configured option pools
+     survive the default. *)
+  let jobs =
+    match jobs with Some j -> j | None -> Prelude.Pool.default_jobs ()
+  in
+  let pool = if jobs = 1 then None else Some (Prelude.Pool.create ~jobs) in
+  let engine =
+    match (engine, pool) with
+    | Mln options, Some pool -> Mln { options with Mln.Map_inference.pool }
+    | Psl options, Some pool -> Psl { options with Psl.Npsl.pool }
+    | e, _ -> e
   in
   let run () =
     match engine with
@@ -80,6 +94,16 @@ let resolve ?(engine = Auto) ?threshold graph rules =
         total_ms ) =
     Prelude.Timing.time run
   in
+  (match pool with
+  | None -> ()
+  | Some pool ->
+      let s = Prelude.Pool.stats pool in
+      Obs.count ~n:s.Prelude.Pool.calls "pool.calls";
+      Obs.count ~n:s.Prelude.Pool.tasks "pool.tasks";
+      Obs.add "pool.busy_ms" s.Prelude.Pool.busy_ms;
+      Obs.add "pool.wall_ms" s.Prelude.Pool.wall_ms;
+      if s.Prelude.Pool.wall_ms > 0.0 then
+        Obs.gauge "pool.speedup" (s.Prelude.Pool.busy_ms /. s.Prelude.Pool.wall_ms));
   let resolution =
     match threshold with
     | None -> resolution

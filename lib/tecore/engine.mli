@@ -41,11 +41,20 @@ exception Rejected of Translator.report
 
 val resolve :
   ?engine:engine ->
+  ?jobs:int ->
   ?threshold:float ->
   Kg.Graph.t ->
   Logic.Rule.t list ->
   result
 (** [threshold] filters derived facts by confidence after resolution
-    (defaults to keeping all). Default engine is [Auto]. *)
+    (defaults to keeping all). Default engine is [Auto].
+
+    [jobs] sets the worker-domain count for grounding joins and the
+    solver portfolios (0 = all cores, see {!Prelude.Pool.create});
+    defaults to {!Prelude.Pool.default_jobs} — the [TECORE_JOBS]
+    environment variable, else 1. With [jobs = 1] everything runs on the
+    calling domain and results are identical to previous releases; at
+    higher job counts the reported objective is unchanged (see
+    {!Prelude.Pool} for the determinism contract). *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -81,11 +81,11 @@ let analyse t =
   | None -> Error "no knowledge graph selected"
   | Some g -> Ok (Translator.analyse g t.rule_set)
 
-let run ?engine ?threshold t =
+let run ?engine ?jobs ?threshold t =
   match t.kg with
   | None -> Error "no knowledge graph selected"
   | Some g -> (
-      match Engine.resolve ?engine ?threshold g t.rule_set with
+      match Engine.resolve ?engine ?jobs ?threshold g t.rule_set with
       | result ->
           t.result <- Some result;
           Ok result

@@ -41,7 +41,12 @@ val analyse : t -> (Translator.report, string) result
 
 (** {1 Running and browsing results} *)
 
-val run : ?engine:Engine.engine -> ?threshold:float -> t -> (Engine.result, string) result
+val run :
+  ?engine:Engine.engine ->
+  ?jobs:int ->
+  ?threshold:float ->
+  t ->
+  (Engine.result, string) result
 (** Runs resolution and stores the result in the session. *)
 
 val last_result : t -> Engine.result option

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: build, run the full test suite, then smoke-run the
-# benchmark harness and check that it produced valid machine-readable
-# observability output. Fails on the first broken step.
+# CI entry point: build, run the full test suite (once sequential, once
+# with TECORE_JOBS=4 to exercise the multicore paths), then smoke-run
+# the benchmark harness and check that it produced valid machine-readable
+# observability and parallel-speedup output. Fails on the first broken
+# step.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -9,11 +11,14 @@ cd "$(dirname "$0")/.."
 echo "== dune build =="
 dune build
 
-echo "== dune runtest =="
+echo "== dune runtest (jobs=1 default) =="
 dune runtest
 
-echo "== bench smoke (e1 + obs) =="
-rm -f BENCH_obs.json
+echo "== dune runtest (TECORE_JOBS=4) =="
+TECORE_JOBS=4 dune runtest --force
+
+echo "== bench smoke (e1 + obs + par) =="
+rm -f BENCH_obs.json BENCH_parallel.json
 BENCH_FAST=1 dune exec bench/main.exe -- --smoke
 
 echo "== validate BENCH_obs.json =="
@@ -22,8 +27,16 @@ case "$(head -c 1 BENCH_obs.json)" in
   '{') ;;
   *) echo "BENCH_obs.json does not start with '{'" >&2; exit 1 ;;
 esac
-# The bench already re-parses the file with Obs.Json and fails on
-# malformed output or missing ground/encode/solve stages; the checks
-# above only guard against the file not being written at all.
+
+echo "== validate BENCH_parallel.json =="
+test -s BENCH_parallel.json || { echo "BENCH_parallel.json missing or empty" >&2; exit 1; }
+case "$(head -c 1 BENCH_parallel.json)" in
+  '{') ;;
+  *) echo "BENCH_parallel.json does not start with '{'" >&2; exit 1 ;;
+esac
+# The bench already re-parses both files with Obs.Json and fails on
+# malformed output, missing ground/encode/solve stages, or objectives
+# that differ across job counts; the checks above only guard against
+# the files not being written at all.
 
 echo "CI OK"
