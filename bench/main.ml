@@ -1033,13 +1033,125 @@ let par_bench () =
     par_json_path (List.length runs) reps jobs_hi
 
 (* ------------------------------------------------------------------ *)
+(* DEADLINE: the anytime contract — best-so-far cost vs time budget on *)
+(* a pre-ground network, exported as BENCH_deadline.json (validated by *)
+(* re-parsing).                                                        *)
+
+let deadline_json_path = "BENCH_deadline.json"
+
+let deadline_bench () =
+  section "DEADLINE"
+    "anytime inference: best-so-far cost vs budget -> BENCH_deadline.json";
+  let players = if !fast_mode then 150 else 400 in
+  let d = Datagen.Footballdb.generate ~seed:13 ~players ~noise_ratio:0.5 () in
+  let store = Grounder.Atom_store.of_graph d.Datagen.Footballdb.graph in
+  let ground = Grounder.Ground.run store (Datagen.Footballdb.constraints ()) in
+  let network = Mln.Network.build store ground.Grounder.Ground.instances in
+  let init = Mln.Network.expanded_assignment network in
+  let budgets =
+    if !fast_mode then [ 2.; 10.; 50. ] else [ 2.; 10.; 50.; 250. ]
+  in
+  let point label deadline extra =
+    let (_, stats), wall_ms =
+      Prelude.Timing.time (fun () ->
+          Mln.Maxwalksat.solve ~seed:17 ~init ?deadline network)
+    in
+    let status =
+      Prelude.Deadline.status_name stats.Mln.Maxwalksat.status
+    in
+    row "%-12s status %-10s hard %5d soft %10.2f flips %9d (%.1f ms)\n"
+      label status stats.Mln.Maxwalksat.hard_violated
+      stats.Mln.Maxwalksat.soft_cost stats.Mln.Maxwalksat.flips wall_ms;
+    Obs.Json.Obj
+      (extra
+      @ [
+          ("status", Obs.Json.Str status);
+          ( "hard_violated",
+            Obs.Json.Num (float_of_int stats.Mln.Maxwalksat.hard_violated) );
+          ("soft_cost", Obs.Json.Num stats.Mln.Maxwalksat.soft_cost);
+          ("flips", Obs.Json.Num (float_of_int stats.Mln.Maxwalksat.flips));
+          ("wall_ms", Obs.Json.Num wall_ms);
+        ])
+  in
+  let budget_points =
+    List.map
+      (fun budget ->
+        point
+          (Printf.sprintf "%gms" budget)
+          (Some (Prelude.Deadline.after ~ms:budget))
+          [ ("budget_ms", Obs.Json.Num budget) ])
+      budgets
+  in
+  let unbounded = point "unbounded" None [ ("budget_ms", Obs.Json.Null) ] in
+  let runs = budget_points @ [ unbounded ] in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "tecore-bench-deadline/1");
+        ("fast", Obs.Json.Bool !fast_mode);
+        ("dataset", Obs.Json.Str (Printf.sprintf "footballdb-%d" players));
+        ("atoms", Obs.Json.Num (float_of_int network.Mln.Network.num_atoms));
+        ( "clauses",
+          Obs.Json.Num
+            (float_of_int (Array.length network.Mln.Network.clauses)) );
+        ("runs", Obs.Json.Arr runs);
+      ]
+  in
+  let oc = open_out deadline_json_path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  (* Self-check: round-trip through our own parser, every point tagged
+     with a known status and finite non-negative costs, and the
+     unbounded run completed. Deliberately NOT asserted: monotonicity
+     of cost in the budget — wall-clock budgets make that flaky. *)
+  let ic = open_in deadline_json_path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Obs.Json.parse text with
+  | Error e ->
+      failwith (Printf.sprintf "%s: invalid JSON: %s" deadline_json_path e)
+  | Ok parsed -> (
+      match Obs.Json.member "runs" parsed with
+      | Some (Obs.Json.Arr (_ :: _ as points)) ->
+          let finite_num field p =
+            match Obs.Json.member field p with
+            | Some (Obs.Json.Num v) when Float.is_finite v && v >= 0.0 -> v
+            | _ ->
+                failwith
+                  (Printf.sprintf "%s: bad %s" deadline_json_path field)
+          in
+          List.iter
+            (fun p ->
+              ignore (finite_num "hard_violated" p);
+              ignore (finite_num "soft_cost" p);
+              ignore (finite_num "wall_ms" p);
+              match Obs.Json.member "status" p with
+              | Some (Obs.Json.Str ("completed" | "timed_out" | "degraded"))
+                ->
+                  ()
+              | _ -> failwith (deadline_json_path ^ ": bad status"))
+            points;
+          (match List.rev points with
+          | last :: _ -> (
+              match Obs.Json.member "status" last with
+              | Some (Obs.Json.Str "completed") -> ()
+              | _ ->
+                  failwith
+                    (deadline_json_path ^ ": unbounded run did not complete"))
+          | [] -> assert false)
+      | _ -> failwith (deadline_json_path ^ ": no runs")));
+  row "wrote %s (%d budgets + unbounded) -- JSON validated\n"
+    deadline_json_path (List.length budgets)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4);
     ("a5", a5); ("a6", a6); ("a7", a7); ("micro", micro);
-    ("obs", obs_bench); ("par", par_bench);
+    ("obs", obs_bench); ("par", par_bench); ("deadline", deadline_bench);
   ]
 
 let () =
@@ -1063,7 +1175,9 @@ let () =
   let requested =
     match names with
     | _ :: _ -> names
-    | [] -> if smoke then [ "e1"; "obs"; "par" ] else List.map fst experiments
+    | [] ->
+        if smoke then [ "e1"; "obs"; "par"; "deadline" ]
+        else List.map fst experiments
   in
   List.iter
     (fun name ->

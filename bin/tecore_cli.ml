@@ -26,11 +26,13 @@ let engine_conv =
 
 let data_arg =
   let doc = "UTKG file in the temporal-quads format." in
-  Arg.(required & opt (some file) None & info [ "d"; "data" ] ~docv:"FILE" ~doc)
+  Arg.(
+    required & opt (some string) None & info [ "d"; "data" ] ~docv:"FILE" ~doc)
 
 let rules_arg =
   let doc = "Rules/constraints file in the rule language." in
-  Arg.(value & opt (some file) None & info [ "r"; "rules" ] ~docv:"FILE" ~doc)
+  Arg.(
+    value & opt (some string) None & info [ "r"; "rules" ] ~docv:"FILE" ~doc)
 
 let engine_arg =
   let doc = "Inference engine: mln, mln-exact, psl or auto." in
@@ -48,28 +50,60 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+(* Exit-code contract (documented in [--help] via [Cmd.Exit.info]):
+   0 success, 1 generic failure, 2 translator rejection, 3 deadline
+   expired under [--on-timeout fail], 4 input/output error. *)
+exception Cli_error of int * string
+
+let exit_rejected = 2
+let exit_timeout = 3
+let exit_io = 4
+
 let load_session ?rules_file data_file =
   let session = Tecore.Session.create () in
-  (match Tecore.Session.load_file session data_file with
+  (match Tecore.Session.load session data_file with
   | Ok () -> ()
-  | Error e -> failwith e);
+  | Error (Tecore.Session.Io_error msg) -> raise (Cli_error (exit_io, msg))
+  | Error e -> failwith (Tecore.Session.error_message e));
   (match rules_file with
   | None -> ()
   | Some path ->
-      let ic = open_in path in
-      let src = really_input_string ic (in_channel_length ic) in
-      close_in ic;
+      let src =
+        try
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with Sys_error msg -> raise (Cli_error (exit_io, msg))
+      in
       (match Tecore.Session.add_rules session src with
       | Ok _ -> ()
-      | Error e -> failwith e));
+      | Error e -> failwith (Printf.sprintf "%s: %s" path e)));
   session
 
-let handle f = try f (); 0 with Failure msg -> Printf.eprintf "error: %s\n" msg; 1
+let handle f =
+  try
+    f ();
+    0
+  with
+  | Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Cli_error (code, msg) ->
+      Printf.eprintf "error: %s\n" msg;
+      code
+
+(* The resolve pipeline's wall-clock budget: [--timeout] in seconds,
+   falling back to the TECORE_TIMEOUT_MS environment variable. *)
+let deadline_of ~timeout =
+  match timeout with
+  | Some secs -> Prelude.Deadline.after ~ms:(secs *. 1000.)
+  | None -> Prelude.Deadline.of_timeout_ms (Prelude.Deadline.env_timeout_ms ())
 
 (* ------------------------------------------------------------------ *)
 
-let resolve data rules engine jobs threshold output verbose explain json
-    stats trace =
+let resolve data rules engine jobs threshold timeout on_timeout output
+    verbose explain json stats trace =
   handle (fun () ->
       let observing = stats || trace in
       if observing then begin
@@ -84,14 +118,41 @@ let resolve data rules engine jobs threshold output verbose explain json
                  (String.make (2 * depth) ' ')
                  name ms));
       let session = load_session ?rules_file:rules data in
-      match Tecore.Session.run ~engine ?jobs ?threshold session with
-      | Error e -> failwith e
+      (* Start the clock once the inputs are in memory: the budget is
+         for the resolve pipeline (grounding + solving), not file IO. *)
+      let deadline = deadline_of ~timeout in
+      match
+        Tecore.Session.resolve ~engine ?jobs ?threshold ~deadline ~on_timeout
+          session
+      with
+      | Error e ->
+          let code =
+            match e with
+            | Tecore.Session.Rejected _ -> exit_rejected
+            | Tecore.Session.Ground_timeout _ -> exit_timeout
+            | Tecore.Session.Io_error _ -> exit_io
+            | Tecore.Session.Parse_error _ | Tecore.Session.No_graph -> 1
+          in
+          raise (Cli_error (code, Tecore.Session.error_message e))
+      | Ok result
+        when on_timeout = `Fail
+             && result.Tecore.Engine.stats.Tecore.Engine.status
+                <> Prelude.Deadline.Completed ->
+          raise
+            (Cli_error
+               ( exit_timeout,
+                 Printf.sprintf
+                   "deadline expired before inference completed (status: \
+                    %s); re-run with --on-timeout best-effort to accept \
+                    the anytime result"
+                   (Prelude.Deadline.status_name
+                      result.Tecore.Engine.stats.Tecore.Engine.status) ))
       | Ok result when json ->
           let obs = if observing then Some (Obs.Report.capture ()) else None in
           print_endline
             (Tecore.Json_out.of_result
                ~namespace:(Tecore.Session.namespace session)
-               ?obs result)
+               ~deadline ?obs result)
       | Ok result ->
           print_endline (Tecore.Session.statistics session);
           (if explain then
@@ -133,6 +194,52 @@ let resolve data rules engine jobs threshold output verbose explain json
             Format.printf "%a@." Obs.Report.pp (Obs.Report.capture ())
           end)
 
+let timeout_arg =
+  let doc =
+    "Wall-clock budget in seconds for the resolve pipeline (grounding \
+     and solving, fractions allowed). When it expires the engine \
+     returns its best feasible assignment so far and tags the run \
+     $(b,timed_out) (or $(b,degraded)). Defaults to \
+     $(b,TECORE_TIMEOUT_MS) (milliseconds) when set, else no limit."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+
+let on_timeout_arg =
+  let doc =
+    "Policy when the budget expires: $(b,best-effort) (default) keeps \
+     grounding to completion, gives the solver the remaining budget \
+     and reports the anytime result with its completion status; \
+     $(b,fail) enforces the budget everywhere (including grounding) \
+     and aborts with exit status 3 when it runs out."
+  in
+  Arg.(
+    value
+    & opt
+        (Arg.enum [ ("best-effort", `Best_effort); ("fail", `Fail) ])
+        `Best_effort
+    & info [ "on-timeout" ] ~docv:"POLICY" ~doc)
+
+let io_exits =
+  Cmd.Exit.info 1 ~doc:"on failure (malformed input, unknown names, \
+                        runtime errors)."
+  :: Cmd.Exit.info exit_io
+       ~doc:"on input/output errors (unreadable data or rules file)."
+  :: Cmd.Exit.defaults
+
+let resolve_exits =
+  Cmd.Exit.info 1 ~doc:"on failure (malformed input, unknown names, \
+                        runtime errors)."
+  :: Cmd.Exit.info exit_rejected
+       ~doc:"when the translator rejects the program (error-level notes \
+             in the verification report)."
+  :: Cmd.Exit.info exit_timeout
+       ~doc:"when the time budget expires under $(b,--on-timeout) \
+             $(b,fail) (during grounding or solving)."
+  :: Cmd.Exit.info exit_io
+       ~doc:"on input/output errors (unreadable data or rules file)."
+  :: Cmd.Exit.defaults
+
 let resolve_cmd =
   let output =
     Arg.(value & opt (some string) None
@@ -164,11 +271,12 @@ let resolve_cmd =
              ~doc:"Stream span close events to stderr as they happen.")
   in
   Cmd.v
-    (Cmd.info "resolve"
+    (Cmd.info "resolve" ~exits:resolve_exits
        ~doc:"Compute the most probable conflict-free temporal KG")
     Term.(
       const resolve $ data_arg $ rules_arg $ engine_arg $ jobs_arg
-      $ threshold_arg $ output $ verbose $ explain $ json $ stats $ trace)
+      $ threshold_arg $ timeout_arg $ on_timeout_arg $ output $ verbose
+      $ explain $ json $ stats $ trace)
 
 (* ------------------------------------------------------------------ *)
 
@@ -181,7 +289,7 @@ let analyse data rules =
 
 let analyse_cmd =
   Cmd.v
-    (Cmd.info "analyse"
+    (Cmd.info "analyse" ~exits:io_exits
        ~doc:"Run the translator's verification pass without solving")
     Term.(const analyse $ data_arg $ rules_arg)
 
@@ -198,7 +306,7 @@ let complete_cmd =
          & info [] ~docv:"PREFIX" ~doc:"Predicate prefix to complete.")
   in
   Cmd.v
-    (Cmd.info "complete"
+    (Cmd.info "complete" ~exits:io_exits
        ~doc:"Predicate auto-completion (the constraint editor's helper)")
     Term.(const complete $ data_arg $ prefix)
 
@@ -288,7 +396,8 @@ let query_cmd =
              ~doc:"Temporal conjunctive query, e.g. \"coach(x,y)@t ^ coach(x,z)@t2 ^ y != z ^ intersects(t,t2)\".")
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Evaluate a temporal conjunctive query on a UTKG")
+    (Cmd.info "query" ~exits:io_exits
+       ~doc:"Evaluate a temporal conjunctive query on a UTKG")
     Term.(const query $ data_arg $ text)
 
 (* ------------------------------------------------------------------ *)
@@ -319,7 +428,7 @@ let suggest_cmd =
          & info [ "min-support" ] ~doc:"Minimum fact pairs before suggesting.")
   in
   Cmd.v
-    (Cmd.info "suggest"
+    (Cmd.info "suggest" ~exits:io_exits
        ~doc:"Mine candidate temporal constraints from the selected UTKG")
     Term.(const suggest $ data_arg $ min_ratio $ min_support)
 
@@ -353,7 +462,7 @@ let export_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
   in
   Cmd.v
-    (Cmd.info "export"
+    (Cmd.info "export" ~exits:io_exits
        ~doc:"Render the program in a solver's native syntax (translator output)")
     Term.(const export $ data_arg $ rules_arg $ target $ output)
 
@@ -381,7 +490,7 @@ let coalesce_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
   in
   Cmd.v
-    (Cmd.info "coalesce"
+    (Cmd.info "coalesce" ~exits:io_exits
        ~doc:"Merge same-statement facts with adjacent or overlapping intervals")
     Term.(const coalesce $ data_arg $ output)
 
@@ -448,7 +557,7 @@ let learn_cmd =
     Arg.(value & opt int 200 & info [ "iterations" ] ~doc:"Ascent iterations.")
   in
   Cmd.v
-    (Cmd.info "learn"
+    (Cmd.info "learn" ~exits:io_exits
        ~doc:"Learn soft-rule weights from a UTKG by pseudo-likelihood")
     Term.(const learn $ data_arg $ rules $ iterations)
 

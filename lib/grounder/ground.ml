@@ -29,13 +29,19 @@ type result = {
   rounds : int;
 }
 
+exception Timed_out of { atoms : int; rounds : int }
+
 let head_atom (rule : Logic.Rule.t) =
   match rule.head with Logic.Rule.Infer a -> Some a | _ -> None
 
 (* Saturate the store under inference rules. Derived atoms are interned as
    Hidden, which inserts them into the extension tables, so subsequent
-   rounds see them; the loop stops when a round adds no atom. *)
-let closure ?(max_rounds = 50) store rules =
+   rounds see them; the loop stops when a round adds no atom. The
+   deadline is polled between rounds — a completed round is the safe
+   point: stopping mid-round would leave the extension tables ahead of
+   [derived]. *)
+let closure ?(max_rounds = 50) ?(deadline = Prelude.Deadline.none) store rules
+    =
   let inference = List.filter Logic.Rule.is_inference rules in
   let derived = ref [] in
   let rec loop round =
@@ -43,6 +49,10 @@ let closure ?(max_rounds = 50) store rules =
       failwith
         (Printf.sprintf "Grounder.closure: no fixpoint after %d rounds"
            max_rounds);
+    Prelude.Deadline.Faults.delay "slow_ground";
+    if Prelude.Deadline.expired deadline then
+      raise
+        (Timed_out { atoms = Atom_store.size store; rounds = round - 1 });
     let before = Atom_store.size store in
     List.iter
       (fun rule ->
@@ -92,10 +102,13 @@ let instances_of_bindings store (rule : Logic.Rule.t) bindings =
           Some { Instance.rule; body_atoms; head = Instance.Violated })
     bindings
 
-let run ?max_rounds ?(pool = Prelude.Pool.sequential) store rules =
+let run ?max_rounds ?(deadline = Prelude.Deadline.none)
+    ?(pool = Prelude.Pool.sequential) store rules =
   let derived, rounds =
-    Obs.span "closure" (fun () -> closure ?max_rounds store rules)
+    Obs.span "closure" (fun () -> closure ?max_rounds ~deadline store rules)
   in
+  if Prelude.Deadline.expired deadline then
+    raise (Timed_out { atoms = Atom_store.size store; rounds });
   let instances =
     (* The store is saturated, so the per-rule joins are read-only and
        run on the pool; interning the results stays sequential in rule

@@ -31,8 +31,16 @@ type result = {
   rounds : int;                   (** closure iterations until fixpoint *)
 }
 
+exception Timed_out of { atoms : int; rounds : int }
+(** Raised when [deadline] expires during grounding. Unlike the anytime
+    solvers there is no sound partial answer here — a network built from
+    a half-saturated store would silently miss constraints — so the run
+    is rejected, carrying how far it got (atoms interned, closure rounds
+    completed) for the structured report. *)
+
 val run :
   ?max_rounds:int ->
+  ?deadline:Prelude.Deadline.t ->
   ?pool:Prelude.Pool.t ->
   Atom_store.t ->
   Logic.Rule.t list ->
@@ -43,5 +51,12 @@ val run :
     produced instances and atom ids are identical at every job count.
     Default: {!Prelude.Pool.sequential}.
 
+    [deadline] (default {!Prelude.Deadline.none}) is polled between
+    closure rounds and before the instance joins; expiry raises
+    {!Timed_out}. Callers wanting best-effort behaviour simply pass an
+    infinite deadline here and budget the solver instead — grounding
+    must complete for any sound answer.
+
     @raise Failure when the closure does not reach a fixpoint within
-    [max_rounds] (default 50) iterations. *)
+    [max_rounds] (default 50) iterations.
+    @raise Timed_out when [deadline] expires. *)

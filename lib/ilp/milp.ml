@@ -7,7 +7,8 @@ type result = {
 
 let is_integral ?(eps = 1e-6) v = Float.abs (v -. Float.round v) <= eps
 
-let solve ?(eps = 1e-6) ?(max_nodes = 100_000) ~binary (lp : Lp.t) =
+let solve ?(eps = 1e-6) ?(max_nodes = 100_000)
+    ?(deadline = Prelude.Deadline.none) ~binary (lp : Lp.t) =
   (* Ensure x <= 1 for every binary variable. *)
   let bound_rows =
     List.map (fun v -> Lp.constr [ (v, 1.0) ] Lp.Le 1.0) binary
@@ -20,8 +21,11 @@ let solve ?(eps = 1e-6) ?(max_nodes = 100_000) ~binary (lp : Lp.t) =
     match !incumbent with None -> true | Some (_, v) -> value > v +. eps
   in
   (* [fixed] is a list of (variable, 0/1) decisions on the path. *)
+  (* Polled at every node: a node runs a full simplex solve, so the
+     clock read is negligible and expiry is noticed within one solve. *)
   let rec explore fixed =
-    if !nodes >= max_nodes then exhausted := true
+    if !nodes >= max_nodes || Prelude.Deadline.expired deadline then
+      exhausted := true
     else begin
       incr nodes;
       let extra =

@@ -16,10 +16,17 @@ type result = {
 val solve :
   ?eps:float ->
   ?max_nodes:int ->
+  ?deadline:Prelude.Deadline.t ->
   binary:int list ->
   Lp.t ->
   result option
 (** [solve ~binary lp] maximises [lp] with the listed variables restricted
     to {0, 1} (their [x <= 1] rows must already be part of [lp] or are
-    added here). Returns [None] when infeasible. Default node budget is
-    100_000. *)
+    added here). Returns [None] when infeasible — or, under a finite
+    [deadline], when the budget expired before any integral incumbent
+    was found. Default node budget is 100_000.
+
+    [deadline] (default {!Prelude.Deadline.none}) is polled at every
+    branch & bound node; on expiry the search stops and the best
+    integral incumbent so far is returned with [optimal = false]
+    (exactly like an exhausted node budget). *)

@@ -1,14 +1,17 @@
-type error = { line : int; message : string }
+type error = { line : int; column : int option; message : string }
 
-let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+let pp_error ppf e =
+  match e.column with
+  | Some c -> Format.fprintf ppf "line %d, column %d: %s" e.line c e.message
+  | None -> Format.fprintf ppf "line %d: %s" e.line e.message
 
 (* Split a fact line into tokens: quoted strings, <iri>, [interval] and
-   bare words. *)
+   bare words. Lexical errors carry the 1-based column they start at. *)
 let tokenize line =
   let n = String.length line in
   let tokens = ref [] in
   let i = ref 0 in
-  let error msg = Error msg in
+  let error ~column msg = Error (msg, column) in
   let rec scan () =
     while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do
       incr i
@@ -34,26 +37,21 @@ let tokenize line =
           in
           match find_close () with
           | None ->
-              error
-                (Printf.sprintf "unterminated string literal (column %d)"
-                   (start + 1))
+              error ~column:(start + 1) "unterminated string literal"
           | Some close ->
               i := close + 1;
               tokens := String.sub line start (close - start + 1) :: !tokens;
               scan ())
       | '<' -> (
           match String.index_from_opt line !i '>' with
-          | None ->
-              error (Printf.sprintf "unterminated <iri> (column %d)" (!i + 1))
+          | None -> error ~column:(!i + 1) "unterminated <iri>"
           | Some close ->
               tokens := String.sub line !i (close - !i + 1) :: !tokens;
               i := close + 1;
               scan ())
       | '[' -> (
           match String.index_from_opt line !i ']' with
-          | None ->
-              error
-                (Printf.sprintf "unterminated [interval] (column %d)" (!i + 1))
+          | None -> error ~column:(!i + 1) "unterminated [interval]"
           | Some close ->
               tokens := String.sub line !i (close - !i + 1) :: !tokens;
               i := close + 1;
@@ -84,9 +82,11 @@ let parse_term ns token =
 let strip_dot tokens =
   match List.rev tokens with "." :: rest -> List.rev rest | _ -> tokens
 
-let parse_quad ns line =
+(* Like {!parse_quad} but keeps the lexer column structured, for
+   {!parse_string} to surface as [error.column]. *)
+let parse_quad_loc ns line =
   match tokenize line with
-  | Error msg -> Error msg
+  | Error (msg, column) -> Error (msg, Some column)
   | Ok tokens -> (
       match strip_dot tokens with
       | [ s; p; o; time ] | [ s; p; o; time; _ ] as fields -> (
@@ -96,20 +96,28 @@ let parse_quad ns line =
             | _ -> Some 1.0
           in
           match (Interval.of_string time, confidence) with
-          | Error e, _ -> Error e
-          | _, None -> Error "confidence is not a number"
+          | Error e, _ -> Error (e, None)
+          | _, None -> Error ("confidence is not a number", None)
           | Ok interval, Some confidence -> (
               try
                 Ok
                   (Quad.make ~confidence ~subject:(parse_term ns s)
                      ~predicate:(parse_term ns p) ~object_:(parse_term ns o)
                      interval)
-              with Quad.Invalid msg -> Error msg))
-      | [] -> Error "empty fact line"
+              with Quad.Invalid msg -> Error (msg, None)))
+      | [] -> Error ("empty fact line", None)
       | tokens ->
           Error
-            (Printf.sprintf "expected 4 or 5 fields, got %d"
-               (List.length tokens)))
+            ( Printf.sprintf "expected 4 or 5 fields, got %d"
+                (List.length tokens),
+              None ))
+
+let parse_quad ns line =
+  match parse_quad_loc ns line with
+  | Ok q -> Ok q
+  | Error (msg, None) -> Error msg
+  | Error (msg, Some column) ->
+      Error (Printf.sprintf "%s (column %d)" msg column)
 
 let is_blank line =
   String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line
@@ -147,13 +155,14 @@ let parse_string ?namespace text =
           | Some (prefix, iri) ->
               Namespace.add ns ~prefix ~iri;
               loop (lineno + 1) rest
-          | None -> Error { line = lineno; message = "malformed @prefix" }
+          | None ->
+              Error { line = lineno; column = None; message = "malformed @prefix" }
         else
-          match parse_quad ns trimmed with
+          match parse_quad_loc ns trimmed with
           | Ok q ->
               ignore (Graph.add graph q);
               loop (lineno + 1) rest
-          | Error message -> Error { line = lineno; message }
+          | Error (message, column) -> Error { line = lineno; column; message }
   in
   loop 1 lines
 

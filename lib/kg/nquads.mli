@@ -14,9 +14,18 @@
     double-quoted strings, or numeric literals. Missing confidence means
     1.0. Lines starting with [#] and blank lines are ignored. *)
 
-type error = { line : int; message : string }
+type error = {
+  line : int;               (** 1-based *)
+  column : int option;
+      (** 1-based, relative to the trimmed line; [Some] for lexical
+          errors (unterminated string/iri/interval), [None] for
+          structural ones (field count, bad confidence) *)
+  message : string;
+}
 
 val pp_error : Format.formatter -> error -> unit
+(** ["line L, column C: msg"] when the column is known, else
+    ["line L: msg"]. *)
 
 val parse_string : ?namespace:Namespace.t -> string -> (Graph.t, error) result
 (** Parse a whole document. The prefix table collects [@prefix] directives
@@ -25,7 +34,9 @@ val parse_string : ?namespace:Namespace.t -> string -> (Graph.t, error) result
 val parse_file : ?namespace:Namespace.t -> string -> (Graph.t, error) result
 
 val parse_quad : Namespace.t -> string -> (Quad.t, string) result
-(** Parse a single fact line (no directives). *)
+(** Parse a single fact line (no directives). Lexical errors embed the
+    column in the message text (["... (column C)"]); {!parse_string}
+    callers get it structured via [error.column] instead. *)
 
 val print : ?namespace:Namespace.t -> Format.formatter -> Graph.t -> unit
 (** Serialise; IRIs are shrunk through the prefix table and the table's

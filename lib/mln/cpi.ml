@@ -1,13 +1,20 @@
+module Deadline = Prelude.Deadline
+
 type stats = {
   iterations : int;
   active_clauses : int;
   total_clauses : int;
+  status : Deadline.status;
 }
 
-let default_solver network ~init =
-  fst (Maxwalksat.solve ~init network)
+let default_solver deadline network ~init =
+  let assignment, stats = Maxwalksat.solve ~deadline ~init network in
+  (assignment, stats.Maxwalksat.status)
 
-let solve ?(solver = default_solver) ~init (network : Network.t) =
+let solve ?solver ?(deadline = Deadline.none) ~init (network : Network.t) =
+  let solver =
+    match solver with Some s -> s | None -> default_solver deadline
+  in
   let total = Array.length network.clauses in
   let active = Array.make total false in
   (* Seed with the unit clauses: evidence and priors. *)
@@ -22,7 +29,12 @@ let solve ?(solver = default_solver) ~init (network : Network.t) =
     done;
     { network with Network.clauses = Array.of_list !clauses }
   in
-  let rec iterate assignment iteration =
+  (* The inner solver is anytime, so each round returns a status; the
+     loop's own status is the worst seen, bumped to at least [Timed_out]
+     when the deadline cuts the separation loop short — the returned
+     assignment then proves only the active subset, not the full
+     network. *)
+  let rec iterate assignment status iteration =
     (* Separation: activate every clause the solution violates. *)
     let added = ref 0 in
     Array.iteri
@@ -33,23 +45,26 @@ let solve ?(solver = default_solver) ~init (network : Network.t) =
           incr added
         end)
       network.clauses;
-    if !added = 0 then (assignment, iteration)
+    if !added = 0 then (assignment, status, iteration)
+    else if Deadline.expired deadline then
+      (assignment, Deadline.worst status Deadline.Timed_out, iteration)
     else begin
       let sub = build_active () in
       (* Restart every inner solve from the caller's init: re-seeding
          from the previous round's solution lets an early,
          under-constrained round (priors only) collapse derived atoms
          and strand later rounds in a poor basin. *)
-      let assignment = solver sub ~init in
-      iterate assignment (iteration + 1)
+      let assignment, round_status = solver sub ~init in
+      iterate assignment (Deadline.worst status round_status) (iteration + 1)
     end
   in
-  let first = solver (build_active ()) ~init in
-  let assignment, iterations = iterate first 1 in
+  let first, first_status = solver (build_active ()) ~init in
+  let assignment, status, iterations = iterate first first_status 1 in
   let active_clauses =
     Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 active
   in
   Obs.count ~n:iterations "cpi.iterations";
   Obs.count ~n:active_clauses "cpi.active_clauses";
   Obs.count ~n:total "cpi.total_clauses";
-  (assignment, { iterations; active_clauses; total_clauses = total })
+  ( assignment,
+    { iterations; active_clauses; total_clauses = total; status } )

@@ -11,11 +11,22 @@ type stats = {
   iterations : int;
   active_clauses : int;     (** clauses in the final active set *)
   total_clauses : int;
+  status : Prelude.Deadline.status;
+      (** worst status over the inner solves; at least [Timed_out] when
+          the deadline cut the separation loop short (the returned
+          assignment then proves only the active subset, not the full
+          network) *)
 }
 
 val solve :
-  ?solver:(Network.t -> init:bool array -> bool array) ->
+  ?solver:(Network.t -> init:bool array -> bool array * Prelude.Deadline.status) ->
+  ?deadline:Prelude.Deadline.t ->
   init:bool array ->
   Network.t ->
   bool array * stats
-(** The default [solver] is MaxWalkSAT seeded from [init]. *)
+(** The default [solver] is MaxWalkSAT seeded from [init] and budgeted
+    by [deadline] (default {!Prelude.Deadline.none}); a custom solver
+    reports its own anytime status per round ([Completed] if it has no
+    notion of deadlines). The separation loop additionally polls
+    [deadline] between rounds and stops early on expiry, returning the
+    latest assignment. *)

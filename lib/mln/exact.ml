@@ -9,7 +9,12 @@ type undo = {
   mutable trail : int list; (* vars assigned since the choice point *)
 }
 
-let solve ?(max_nodes = 2_000_000) (network : Network.t) =
+(* Deadline polls are strided: a node expansion is tens of nanoseconds,
+   a clock read is not. 1024 nodes stay well under a millisecond. *)
+let deadline_stride = 1024
+
+let solve ?(max_nodes = 2_000_000) ?(deadline = Prelude.Deadline.none)
+    (network : Network.t) =
   let n = network.num_atoms in
   let clauses = network.clauses in
   let num_clauses = Array.length clauses in
@@ -135,7 +140,11 @@ let solve ?(max_nodes = 2_000_000) (network : Network.t) =
     end
   in
   let rec search depth =
-    if !nodes >= max_nodes then exhausted := true
+    if
+      !nodes >= max_nodes
+      || (!nodes land (deadline_stride - 1) = 0
+         && Prelude.Deadline.expired deadline)
+    then exhausted := true
     else begin
       incr nodes;
       if !violated_soft >= !incumbent_cost -. 1e-12 then () (* prune *)

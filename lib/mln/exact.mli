@@ -13,6 +13,14 @@ type result = {
   optimal : bool;          (** false when the node budget was exhausted *)
 }
 
-val solve : ?max_nodes:int -> Network.t -> result option
-(** [None] when the hard clauses are unsatisfiable. Default node budget
-    is 2_000_000. *)
+val solve :
+  ?max_nodes:int -> ?deadline:Prelude.Deadline.t -> Network.t -> result option
+(** [None] when the hard clauses are unsatisfiable — or, under a finite
+    [deadline], when the budget expired before any solution was found
+    (callers distinguish the two by checking the deadline). Default
+    node budget is 2_000_000.
+
+    [deadline] (default {!Prelude.Deadline.none}) is polled every 1024
+    node expansions; on expiry the search stops, returning the best
+    incumbent found so far with [optimal = false] (exactly like an
+    exhausted node budget). *)

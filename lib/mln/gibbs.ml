@@ -1,18 +1,22 @@
 module Prng = Prelude.Prng
 module Pool = Prelude.Pool
+module Deadline = Prelude.Deadline
 
 type result = {
   marginals : float array;
   samples : int;
+  recorded : int;
   burn_in : int;
   chains : int;
+  status : Deadline.status;
 }
 
 let sigmoid x = 1.0 /. (1.0 +. exp (-.x))
 
 let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
     ?(hard_weight = 2.0 *. Kg.Quad.max_weight) ?init ?(chains = 1)
-    ?(pool = Pool.sequential) (network : Network.t) =
+    ?(pool = Pool.sequential) ?(deadline = Deadline.none) (network : Network.t)
+    =
   if chains < 1 then invalid_arg "Gibbs.run: chains must be >= 1";
   let n = network.num_atoms in
   let base =
@@ -54,7 +58,13 @@ let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
      the caller's seed (identical to the single-chain behaviour);
      further chains derive theirs, so the chain set — and the merged
      marginals — do not depend on the job count. *)
+  (* A chain is an anytime estimator: it records as many sample sweeps
+     as the deadline allows and reports how many it kept, so the merged
+     marginals always divide by the number of sweeps actually counted —
+     never by the nominal [samples]. Polling happens between sweeps (a
+     sweep touches every atom; mid-sweep states are not sample points). *)
   let run_chain k =
+    if k > 0 then Deadline.Faults.inject "worker_crash" ~index:k;
     let chain_seed = if k = 0 then seed else Prng.subseed seed k in
     let rng = Prng.create chain_seed in
     let state = Array.copy base in
@@ -63,33 +73,67 @@ let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
         state.(v) <- Prng.bernoulli rng (sigmoid (delta state v))
       done
     in
+    let sweeps = ref 0 in
+    let halted = ref false in
+    let budgeted_sweep () =
+      if !halted || Deadline.expired deadline then halted := true
+      else begin
+        sweep ();
+        incr sweeps
+      end
+    in
     for _ = 1 to burn_in do
-      sweep ()
+      budgeted_sweep ()
     done;
     let counts = Array.make n 0 in
+    let recorded = ref 0 in
     for _ = 1 to samples do
-      sweep ();
-      for v = 0 to n - 1 do
-        if state.(v) then counts.(v) <- counts.(v) + 1
-      done
+      budgeted_sweep ();
+      if not !halted then begin
+        incr recorded;
+        for v = 0 to n - 1 do
+          if state.(v) then counts.(v) <- counts.(v) + 1
+        done
+      end
     done;
-    counts
+    (counts, !recorded, !sweeps)
   in
-  let all_counts = Pool.map pool run_chain (List.init chains Fun.id) in
+  let results =
+    Pool.map_results ~deadline pool run_chain (List.init chains Fun.id)
+  in
+  let completed = List.filter_map Result.to_option results in
+  let crashed =
+    List.exists
+      (function Error Deadline.Expired | Ok _ -> false | Error _ -> true)
+      results
+  in
   let totals = Array.make n 0 in
   List.iter
-    (fun counts ->
+    (fun (counts, _, _) ->
       for v = 0 to n - 1 do
         totals.(v) <- totals.(v) + counts.(v)
       done)
-    all_counts;
-  Obs.count ~n:(chains * (burn_in + samples)) "gibbs.sweeps";
-  Obs.count ~n:(chains * samples) "gibbs.samples";
+    completed;
+  let recorded =
+    List.fold_left (fun acc (_, r, _) -> acc + r) 0 completed
+  in
+  let sweeps = List.fold_left (fun acc (_, _, s) -> acc + s) 0 completed in
+  Obs.count ~n:sweeps "gibbs.sweeps";
+  Obs.count ~n:recorded "gibbs.samples";
   Obs.count ~n:chains "gibbs.chains";
-  let denom = float_of_int (chains * samples) in
-  {
-    marginals = Array.map (fun c -> float_of_int c /. denom) totals;
-    samples;
-    burn_in;
-    chains;
-  }
+  let status =
+    if crashed || recorded = 0 then Deadline.Degraded
+    else if Deadline.expired deadline || recorded < chains * samples then
+      Deadline.Timed_out
+    else Deadline.Completed
+  in
+  let marginals =
+    if recorded = 0 then
+      (* Nothing was sampled (already-expired deadline, or every chain
+         crashed): degenerate to the point mass of the start state. *)
+      Array.map (fun b -> if b then 1.0 else 0.0) base
+    else
+      let denom = float_of_int recorded in
+      Array.map (fun c -> float_of_int c /. denom) totals
+  in
+  { marginals; samples; recorded; burn_in; chains; status }

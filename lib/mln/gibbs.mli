@@ -15,9 +15,16 @@
 
 type result = {
   marginals : float array;  (** P(atom = true), one entry per atom id *)
-  samples : int;            (** per chain *)
+  samples : int;            (** requested per chain *)
+  recorded : int;           (** sample sweeps actually counted, summed
+                                over chains — the marginal denominator *)
   burn_in : int;            (** per chain *)
   chains : int;
+  status : Prelude.Deadline.status;
+      (** [Completed] when every chain recorded all requested samples;
+          [Timed_out] when the deadline cut sampling short but at least
+          one sample was recorded; [Degraded] when a chain crashed or
+          nothing was recorded at all *)
 }
 
 val run :
@@ -28,6 +35,7 @@ val run :
   ?init:bool array ->
   ?chains:int ->
   ?pool:Prelude.Pool.t ->
+  ?deadline:Prelude.Deadline.t ->
   Network.t ->
   result
 (** Defaults: [burn_in = 1_000] sweeps, [samples = 5_000] sweeps,
@@ -40,4 +48,11 @@ val run :
     its stream with {!Prelude.Prng.subseed}. [pool] (default
     {!Prelude.Pool.sequential}) runs chains on worker domains; the chain
     set is fixed by [chains] and [seed] alone, so the merged marginals
-    are identical at every job count. *)
+    are identical at every job count.
+
+    Anytime contract: [deadline] (default {!Prelude.Deadline.none}) is
+    polled between sweeps; on expiry each chain stops and the marginals
+    are averaged over the sweeps actually recorded ([recorded]). When
+    nothing was recorded the result degenerates to the point mass of
+    the start state with [status = Degraded]. A crashed chain loses
+    only its own samples. *)

@@ -59,8 +59,8 @@ let encode (network : Network.t) =
 let decode enc x =
   Array.init enc.num_atom_vars (fun i -> x.(i) > 0.5)
 
-let solve ?max_nodes network =
+let solve ?max_nodes ?deadline network =
   let enc = encode network in
-  match Ilp.Milp.solve ?max_nodes ~binary:enc.binary enc.lp with
+  match Ilp.Milp.solve ?max_nodes ?deadline ~binary:enc.binary enc.lp with
   | None -> None
   | Some { x; optimal; _ } -> Some (decode enc x, optimal)

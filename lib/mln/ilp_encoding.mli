@@ -18,7 +18,12 @@ val encode : Network.t -> encoding
 val decode : encoding -> float array -> bool array
 (** Read the atom assignment off an ILP solution. *)
 
-val solve : ?max_nodes:int -> Network.t -> (bool array * bool) option
+val solve :
+  ?max_nodes:int ->
+  ?deadline:Prelude.Deadline.t ->
+  Network.t ->
+  (bool array * bool) option
 (** End-to-end: encode, run {!Ilp.Milp.solve}, decode. Returns the
     assignment and whether it is provably optimal; [None] when the hard
-    clauses are unsatisfiable. *)
+    clauses are unsatisfiable (or, under a finite [deadline], when it
+    expired before any incumbent was found — see {!Ilp.Milp.solve}). *)

@@ -1,4 +1,5 @@
 module Store = Grounder.Atom_store
+module Deadline = Prelude.Deadline
 
 type solver =
   | Walk
@@ -14,6 +15,8 @@ type options = {
   restarts : int;
   portfolio : int list;
   pool : Prelude.Pool.t;
+  deadline : Deadline.t;
+  ground_deadline : Deadline.t;
 }
 
 let default_options =
@@ -26,6 +29,8 @@ let default_options =
     restarts = 3;
     portfolio = [];
     pool = Prelude.Pool.sequential;
+    deadline = Deadline.none;
+    ground_deadline = Deadline.none;
   }
 
 type stats = {
@@ -40,6 +45,7 @@ type stats = {
   cpi : Cpi.stats option;
   hard_violations : int;
   objective : float;
+  status : Deadline.status;
 }
 
 type outcome = {
@@ -50,28 +56,63 @@ type outcome = {
   stats : stats;
 }
 
+(* Degradation ladder for the exact backends under a finite deadline:
+   the exact search gets half the remaining budget; if it does not
+   prove optimality in that slice, MaxWalkSAT takes over with whatever
+   budget is left, seeded from the exact incumbent when one exists.
+   The answer is then best-effort rather than provably optimal, so the
+   status degrades. With an infinite deadline the ladder is inert and
+   the behaviour (including exhausted-node-budget results) is exactly
+   the pre-deadline one. *)
+let walk_fallback options network ~init =
+  let assignment, _ =
+    Maxwalksat.solve ~seed:options.seed ~max_flips:options.max_flips
+      ~restarts:options.restarts ~portfolio:options.portfolio
+      ~pool:options.pool ~deadline:options.deadline ~init network
+  in
+  (assignment, Deadline.Degraded)
+
+let exact_ladder options network ~init outcome =
+  match outcome with
+  | Some (assignment, true) -> (assignment, Deadline.Completed)
+  | Some (assignment, false) when not (Deadline.is_finite options.deadline) ->
+      (assignment, Deadline.Completed)
+  | None when not (Deadline.is_finite options.deadline) ->
+      (init, Deadline.Completed) (* hard unsat: report via stats *)
+  | Some (incumbent, false) -> walk_fallback options network ~init:incumbent
+  | None -> walk_fallback options network ~init
+
 let base_solver options network ~init =
   match options.solver with
   | Walk ->
-      fst
-        (Maxwalksat.solve ~seed:options.seed ~max_flips:options.max_flips
-           ~restarts:options.restarts ~portfolio:options.portfolio
-           ~pool:options.pool ~init network)
-  | Exact_bb -> (
-      match Exact.solve network with
-      | Some { assignment; _ } -> assignment
-      | None -> init (* hard clauses unsatisfiable: report via stats *))
-  | Ilp_exact -> (
-      match Ilp_encoding.solve network with
-      | Some (assignment, _) -> assignment
-      | None -> init)
+      let assignment, stats =
+        Maxwalksat.solve ~seed:options.seed ~max_flips:options.max_flips
+          ~restarts:options.restarts ~portfolio:options.portfolio
+          ~pool:options.pool ~deadline:options.deadline ~init network
+      in
+      (assignment, stats.Maxwalksat.status)
+  | Exact_bb ->
+      let deadline = Deadline.slice options.deadline ~frac:0.5 in
+      exact_ladder options network ~init
+        (match Exact.solve ~deadline network with
+        | Some { assignment; optimal; _ } -> Some (assignment, optimal)
+        | None -> None)
+  | Ilp_exact ->
+      let deadline = Deadline.slice options.deadline ~frac:0.5 in
+      exact_ladder options network ~init (Ilp_encoding.solve ~deadline network)
 
 let run_store ?(options = default_options) store rules =
   let (ground_result : Grounder.Ground.result), ground_ms =
     Prelude.Timing.time (fun () ->
         Obs.span "ground" (fun () ->
-            Grounder.Ground.run ~pool:options.pool store rules))
+            Grounder.Ground.run ~deadline:options.ground_deadline
+              ~pool:options.pool store rules))
   in
+  (* Per-stage budget telemetry, only under a finite deadline so
+     unbudgeted runs keep byte-identical reports. *)
+  if Deadline.is_finite options.deadline then
+    Obs.gauge "deadline.ground_slack_ms"
+      (Deadline.remaining_ms options.deadline);
   let network =
     Obs.span "encode" (fun () ->
         let network =
@@ -88,14 +129,20 @@ let run_store ?(options = default_options) store rules =
   let solve () =
     if options.use_cpi then
       let assignment, cpi_stats =
-        Cpi.solve ~solver:(base_solver options) ~init network
+        Cpi.solve ~solver:(base_solver options) ~deadline:options.deadline
+          ~init network
       in
-      (assignment, Some cpi_stats)
-    else (base_solver options network ~init, None)
+      (assignment, Some cpi_stats, cpi_stats.Cpi.status)
+    else
+      let assignment, status = base_solver options network ~init in
+      (assignment, None, status)
   in
-  let (assignment, cpi), solve_ms =
+  let (assignment, cpi, status), solve_ms =
     Prelude.Timing.time (fun () -> Obs.span "solve" solve)
   in
+  if Deadline.is_finite options.deadline then
+    Obs.gauge "deadline.solve_slack_ms"
+      (Deadline.remaining_ms options.deadline);
   let evidence_atoms = ref 0 in
   Store.iter
     (fun _ _ origin ->
@@ -107,6 +154,23 @@ let run_store ?(options = default_options) store rules =
     Array.fold_left
       (fun acc (c : Network.clause) -> if c.weight = None then acc + 1 else acc)
       0 network.Network.clauses
+  in
+  (* A cut-short run may leave hard clauses violated — CPI's active
+     subnetwork can even hide violations the expired budget never got
+     to activate. Restore soundness with the deterministic (and
+     budget-free) greedy repair; only when that too fails is the run
+     [Degraded]. A [Completed] run with violations is the genuinely
+     unsatisfiable case and keeps its tag, exactly as without a
+     deadline. *)
+  let hard_violations, status =
+    let violations = Network.hard_violations network assignment in
+    if status = Deadline.Completed || violations = 0 then (violations, status)
+    else
+      let remaining = Network.repair_hard network assignment in
+      if Deadline.is_finite options.deadline then
+        Obs.count ~n:(violations - remaining) "deadline.hard_repairs";
+      if remaining > 0 then (remaining, Deadline.Degraded)
+      else (0, status)
   in
   {
     assignment;
@@ -124,8 +188,9 @@ let run_store ?(options = default_options) store rules =
         ground_ms;
         solve_ms;
         cpi;
-        hard_violations = Network.hard_violations network assignment;
+        hard_violations;
         objective = Network.score network assignment;
+        status;
       };
   }
 

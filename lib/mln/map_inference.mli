@@ -23,11 +23,22 @@ type options = {
   pool : Prelude.Pool.t;
       (** runs grounding joins and MaxWalkSAT descents in parallel;
           results are objective-identical at every job count *)
+  deadline : Prelude.Deadline.t;
+      (** solve budget. [Walk] polls it inside the descents; the exact
+          backends run a degradation ladder: exact search on half the
+          remaining budget, then — if optimality was not proved in the
+          slice — MaxWalkSAT on the rest, seeded from the exact
+          incumbent, with [status = Degraded] *)
+  ground_deadline : Prelude.Deadline.t;
+      (** grounding budget, polled between closure rounds; expiry
+          raises {!Grounder.Ground.Timed_out} (there is no sound
+          partial grounding). Kept separate from [deadline] so
+          best-effort callers can budget only the solver *)
 }
 
 val default_options : options
 (** [Walk] with CPI on, default network config, seed 7, no extra
-    portfolio seeds, {!Prelude.Pool.sequential}. *)
+    portfolio seeds, {!Prelude.Pool.sequential}, infinite deadlines. *)
 
 type stats = {
   atoms : int;
@@ -41,6 +52,13 @@ type stats = {
   cpi : Cpi.stats option;
   hard_violations : int;        (** 0 unless the hard part is unsatisfiable *)
   objective : float;            (** satisfied soft weight of the MAP state *)
+  status : Prelude.Deadline.status;
+      (** anytime outcome of the solve stage: [Completed] with an
+          infinite deadline (always), [Timed_out] when the budget cut
+          search short but the answer is hard-constraint-sound,
+          [Degraded] when the exact→walk ladder fired, a worker
+          crashed, or hard constraints are violated in a timed-out
+          answer *)
 }
 
 type outcome = {

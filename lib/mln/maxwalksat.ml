@@ -1,11 +1,13 @@
 module Prng = Prelude.Prng
 module Pool = Prelude.Pool
+module Deadline = Prelude.Deadline
 
 type stats = {
   flips : int;
   restarts_used : int;
   hard_violated : int;
   soft_cost : float;
+  status : Deadline.status;
 }
 
 (* One dense set of clause indices with O(1) insert/remove. *)
@@ -219,7 +221,12 @@ let rec note_perfect stop k =
   let cur = Atomic.get stop in
   if k < cur && not (Atomic.compare_and_set stop cur k) then note_perfect stop k
 
-let descend st rng ~max_flips ~stall ~noise ~stop ~k start =
+(* Poll the deadline every 256 flips: a flip is cheap, a clock read is
+   not, and a safe point is any flip boundary — [best] always holds a
+   complete assignment. *)
+let poll_mask = 0xff
+
+let descend st rng ~max_flips ~stall ~noise ~deadline ~stop ~k start =
   reset_state st start;
   let current_cost st = (st.unsat_hard.len, st.soft_cost) in
   let best = ref (Array.copy st.assignment) in
@@ -235,11 +242,16 @@ let descend st rng ~max_flips ~stall ~noise ~stop ~k start =
   in
   let since_improvement = ref 0 in
   let flips = ref 0 in
+  let halted = ref false in
   while
-    !flips < max_flips
+    (not !halted)
+    && !flips < max_flips
     && st.unsat_hard.len + st.unsat_soft.len > 0
     && !since_improvement < stall
   do
+    if !flips land poll_mask = 0 && Deadline.expired deadline then
+      halted := true
+    else begin
     incr flips;
     (* Repair hard violations with priority: a solution violating a
        hard constraint is worthless whatever its soft cost. *)
@@ -270,16 +282,17 @@ let descend st rng ~max_flips ~stall ~noise ~stop ~k start =
         !best_var
       end
     in
-    flip st v;
-    if update_best () then since_improvement := 0 else incr since_improvement
+      flip st v;
+      if update_best () then since_improvement := 0 else incr since_improvement
+    end
   done;
   let cost = evaluate st.network !best in
   if perfect cost then note_perfect stop k;
   { a_cost = cost; a_assignment = !best; a_flips = !flips }
 
 let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
-    ?(stall = 20_000) ?init ?(portfolio = []) ?(pool = Pool.sequential) network
-    =
+    ?(stall = 20_000) ?init ?(portfolio = []) ?(pool = Pool.sequential)
+    ?(deadline = Deadline.none) network =
   let base =
     match init with
     | Some a -> Array.copy a
@@ -318,37 +331,48 @@ let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
       start
     end
   in
-  let attempts =
+  (* Every task — sequential or pooled — is crash-contained: a raised
+     exception (in particular an injected "worker_crash" fault) loses
+     that one attempt and nothing else. Expired deadlines skip tasks
+     that have not started; running descents stop at their next poll. *)
+  let run_task st k =
+    if Atomic.get stop < k then skipped_attempt
+    else begin
+      if k > 0 then Deadline.Faults.inject "worker_crash" ~index:k;
+      let rng = Prng.create seeds.(k) in
+      let start = start_of_task rng k in
+      descend st rng ~max_flips ~stall ~noise ~deadline ~stop ~k start
+    end
+  in
+  let results =
     if Pool.jobs pool = 1 then begin
       (* Sequential path: one state reused across restarts (reset in
          place), early exit once an optimum has been found. *)
       let st = make_state network occurrences in
-      let out = ref [] in
-      Array.iteri
-        (fun k task_seed ->
-          if not (Atomic.get stop < k) then begin
-            let rng = Prng.create task_seed in
-            let start = start_of_task rng k in
-            out := descend st rng ~max_flips ~stall ~noise ~stop ~k start :: !out
-          end)
-        seeds;
-      List.rev !out
+      List.filter_map
+        (fun k ->
+          if Deadline.expired deadline then Some (Error Deadline.Expired)
+          else if Atomic.get stop < k then None
+          else
+            match run_task st k with
+            | a -> Some (Ok a)
+            | exception e -> Some (Error e))
+        (List.init (Array.length seeds) Fun.id)
     end
     else
       (* Parallel portfolio: every task gets its own state over the
          shared occurrence lists; once some domain reaches cost (0, 0)
          descents with a larger index stop being started (running ones
          complete). *)
-      Pool.map pool
-        (fun k ->
-          if Atomic.get stop < k then skipped_attempt
-          else begin
-            let rng = Prng.create seeds.(k) in
-            let start = start_of_task rng k in
-            let st = make_state network occurrences in
-            descend st rng ~max_flips ~stall ~noise ~stop ~k start
-          end)
+      Pool.map_results ~deadline pool
+        (fun k -> run_task (make_state network occurrences) k)
         (List.init (Array.length seeds) Fun.id)
+  in
+  let attempts = List.filter_map Result.to_option results in
+  let crashed =
+    List.exists
+      (function Error Deadline.Expired | Ok _ -> false | Error _ -> true)
+      results
   in
   (* Deterministic pick: lexicographic (hard, soft), earliest task wins
      ties. The (0, 0) short-circuit can only drop attempts that would
@@ -365,9 +389,9 @@ let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
     match best with
     | Some a -> a
     | None ->
-        (* Unreachable in practice — task 0 can never be skipped (no
-           index is below 0) — but kept total: score the base
-           assignment directly. *)
+        (* All tasks skipped (already-expired deadline) or crashed:
+           score the base assignment directly — the one answer that is
+           always available immediately. *)
         {
           a_cost = evaluate network base;
           a_assignment = Array.copy base;
@@ -379,10 +403,16 @@ let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
     max 0 (List.length (List.filter (fun a -> a.a_flips > 0) attempts) - 1)
   in
   let hard_violated, soft_cost = best.a_cost in
+  let status =
+    if crashed then Deadline.Degraded
+    else if Deadline.expired deadline then
+      if hard_violated > 0 then Deadline.Degraded else Deadline.Timed_out
+    else Deadline.Completed
+  in
   Obs.count ~n:total_flips "walksat.flips";
   Obs.count ~n:restarts_used "walksat.restarts";
   Obs.count ~n:(List.length attempts) "walksat.portfolio_tasks";
   Obs.record "walksat.flips_per_solve" (float_of_int total_flips);
   Obs.gauge "walksat.soft_cost" soft_cost;
   ( best.a_assignment,
-    { flips = total_flips; restarts_used; hard_violated; soft_cost } )
+    { flips = total_flips; restarts_used; hard_violated; soft_cost; status } )

@@ -19,6 +19,12 @@ type stats = {
   restarts_used : int;      (** descents beyond the first that did work *)
   hard_violated : int;      (** in the returned assignment *)
   soft_cost : float;        (** violated soft weight in the result *)
+  status : Prelude.Deadline.status;
+      (** anytime outcome: [Completed] when every descent ran to its
+          natural end, [Timed_out] when the deadline cut search short
+          but the answer satisfies every hard clause, [Degraded] when a
+          descent crashed or the timed-out answer still violates hard
+          clauses *)
 }
 
 val solve :
@@ -30,6 +36,7 @@ val solve :
   ?init:bool array ->
   ?portfolio:int list ->
   ?pool:Prelude.Pool.t ->
+  ?deadline:Prelude.Deadline.t ->
   Network.t ->
   bool array * stats
 (** [solve network] returns the best assignment found. Defaults:
@@ -42,4 +49,13 @@ val solve :
     {!Prelude.Pool.sequential}) runs the descents as parallel tasks; a
     descent reaching cost [(0, 0)] prevents further descents from
     starting (running ones complete), which never changes the winning
-    assignment. *)
+    assignment.
+
+    Anytime contract: [deadline] (default {!Prelude.Deadline.none}) is
+    polled every 256 flips; on expiry each running descent stops at its
+    next poll and unstarted descents are skipped, but the best
+    assignment seen so far is always returned — an already-expired
+    deadline yields the scored [init] assignment immediately. A descent
+    that raises (e.g. an injected ["worker_crash"] fault) loses only
+    its own attempt. With an infinite deadline and no faults the result
+    is identical to a build without this mechanism. *)

@@ -1,11 +1,14 @@
 module Prng = Prelude.Prng
 module Pool = Prelude.Pool
+module Deadline = Prelude.Deadline
 
 type result = {
   marginals : float array;
   samples : int;
+  recorded : int;
   rejected : int;
   chains : int;
+  status : Deadline.status;
 }
 
 (* Draw a (near-)uniform satisfying assignment of the clause subset [m]
@@ -70,7 +73,7 @@ let harden (c : Network.clause) = { c with Network.weight = None }
 
 let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
     ?(sample_flips = 10_000) ?init ?(chains = 1) ?(pool = Pool.sequential)
-    (network : Network.t) =
+    ?(deadline = Deadline.none) (network : Network.t) =
   if chains < 1 then invalid_arg "Mcsat.run: chains must be >= 1";
   let n = network.num_atoms in
   let hard, soft =
@@ -100,11 +103,14 @@ let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
      the merged marginals depend only on [chains] and [seed], never on
      how the chains are scheduled. *)
   let run_chain k =
+    if k > 0 then Deadline.Faults.inject "worker_crash" ~index:k;
     let chain_seed = if k = 0 then seed else Prng.subseed seed k in
     let rng = Prng.create chain_seed in
     let state = ref (Array.copy initial) in
     let counts = Array.make n 0 in
     let rejected = ref 0 in
+    let recorded = ref 0 in
+    let halted = ref false in
     let step record =
       (* Slice selection: hard clauses always; satisfied soft clauses with
          probability 1 - exp(-w). *)
@@ -123,37 +129,67 @@ let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
       (match sample_sat rng network m sample_flips !state with
       | Some next -> state := next
       | None -> incr rejected);
-      if record then
+      if record then begin
+        incr recorded;
         Array.iteri
           (fun v value -> if value then counts.(v) <- counts.(v) + 1)
           !state
+      end
+    in
+    (* A slice-sampling step is the polling granularity: a step runs a
+       bounded inner WalkSAT solve, so expiry is noticed within one
+       [sample_flips] budget. Interrupted chains report the samples they
+       actually recorded. *)
+    let budgeted_step record =
+      if !halted || Deadline.expired deadline then halted := true
+      else step record
     in
     for _ = 1 to burn_in do
-      step false
+      budgeted_step false
     done;
     for _ = 1 to samples do
-      step true
+      budgeted_step true
     done;
-    (counts, !rejected)
+    (counts, !rejected, !recorded)
   in
-  let per_chain = Pool.map pool run_chain (List.init chains Fun.id) in
+  let results =
+    Pool.map_results ~deadline pool run_chain (List.init chains Fun.id)
+  in
+  let per_chain = List.filter_map Result.to_option results in
+  let crashed =
+    List.exists
+      (function Error Deadline.Expired | Ok _ -> false | Error _ -> true)
+      results
+  in
   let totals = Array.make n 0 in
   let rejected =
     List.fold_left
-      (fun acc (counts, rej) ->
+      (fun acc (counts, rej, _) ->
         for v = 0 to n - 1 do
           totals.(v) <- totals.(v) + counts.(v)
         done;
         acc + rej)
       0 per_chain
   in
-  Obs.count ~n:(chains * samples) "mcsat.samples";
+  let recorded =
+    List.fold_left (fun acc (_, _, r) -> acc + r) 0 per_chain
+  in
+  Obs.count ~n:recorded "mcsat.samples";
   Obs.count ~n:rejected "mcsat.rejected";
   Obs.count ~n:chains "mcsat.chains";
-  let denom = float_of_int (chains * samples) in
-  {
-    marginals = Array.map (fun c -> float_of_int c /. denom) totals;
-    samples;
-    rejected;
-    chains;
-  }
+  let status =
+    if crashed || recorded = 0 then Deadline.Degraded
+    else if Deadline.expired deadline || recorded < chains * samples then
+      Deadline.Timed_out
+    else Deadline.Completed
+  in
+  let marginals =
+    if recorded = 0 then
+      (* Nothing sampled: the hard-consistent initial state is the best
+         available answer — report its point mass. *)
+      Array.map (fun b -> if b then 1.0 else 0.0) initial
+    else
+      let denom = float_of_int recorded in
+      Array.map (fun c -> float_of_int c /. denom) totals
+  in
+  { marginals; samples; recorded; rejected; chains; status }

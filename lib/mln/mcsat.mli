@@ -12,12 +12,19 @@
 
 type result = {
   marginals : float array;
-  samples : int;  (** per chain *)
+  samples : int;  (** requested per chain *)
+  recorded : int;
+      (** samples actually recorded, summed over chains — the marginal
+          denominator *)
   rejected : int;
       (** slice-sampling steps where no satisfying assignment was found
           within the flip budget (the previous state is kept), summed
           over chains *)
   chains : int;
+  status : Prelude.Deadline.status;
+      (** [Completed] when every chain recorded all requested samples;
+          [Timed_out] when the deadline cut sampling short; [Degraded]
+          when a chain crashed or nothing was recorded *)
 }
 
 val run :
@@ -28,6 +35,7 @@ val run :
   ?init:bool array ->
   ?chains:int ->
   ?pool:Prelude.Pool.t ->
+  ?deadline:Prelude.Deadline.t ->
   Network.t ->
   result
 (** Defaults: [burn_in = 100], [samples = 1_000], [sample_flips = 10_000]
@@ -40,4 +48,12 @@ val run :
     [chains = 1] reproduces the single-chain sampler exactly), chain
     [k] derives its stream with {!Prelude.Prng.subseed}. [pool]
     (default {!Prelude.Pool.sequential}) runs chains on worker domains;
-    the merged marginals are identical at every job count. *)
+    the merged marginals are identical at every job count.
+
+    Anytime contract: [deadline] (default {!Prelude.Deadline.none}) is
+    polled between slice-sampling steps; on expiry chains stop and the
+    marginals average over the samples actually recorded. The initial
+    hard-clause solve always runs to completion (a sample that violates
+    hard clauses would be unsound). When nothing was recorded the
+    result is the point mass of that initial state with
+    [status = Degraded]. A crashed chain loses only its own samples. *)

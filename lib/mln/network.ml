@@ -112,6 +112,59 @@ let hard_violations t x =
       if c.weight = None && not (clause_satisfied c x) then acc + 1 else acc)
     0 t.clauses
 
+(* Greedy descent on the hard-violation count alone. Used by the
+   anytime path to restore hard-soundness after a budget expiry cut the
+   real search short: each applied flip strictly decreases the number
+   of violated hard clauses, so the loop terminates after at most the
+   initial violation count and never needs a time budget of its own. *)
+let repair_hard t x =
+  let occ = Array.make t.num_atoms [] in
+  let rev_hard = ref [] in
+  Array.iteri
+    (fun c (clause : clause) ->
+      if clause.weight = None then begin
+        rev_hard := c :: !rev_hard;
+        Array.iter
+          (fun l -> occ.(l.atom) <- c :: occ.(l.atom))
+          clause.literals
+      end)
+    t.clauses;
+  let violated c = not (clause_satisfied t.clauses.(c) x) in
+  let count_violated cs = List.length (List.filter violated cs) in
+  let delta a =
+    let before = count_violated occ.(a) in
+    x.(a) <- not x.(a);
+    let after = count_violated occ.(a) in
+    x.(a) <- not x.(a);
+    after - before
+  in
+  let hard = List.rev !rev_hard in
+  let total = ref (count_violated hard) in
+  let progress = ref true in
+  while !total > 0 && !progress do
+    progress := false;
+    (* The first still-violated hard clause, lowest index first, keeps
+       the repair deterministic. *)
+    match List.find_opt violated hard with
+    | None -> total := 0
+    | Some c ->
+        let best = ref None in
+        Array.iter
+          (fun (l : literal) ->
+            let d = delta l.atom in
+            match !best with
+            | Some (_, bd) when bd <= d -> ()
+            | _ -> best := Some (l.atom, d))
+          t.clauses.(c).literals;
+        (match !best with
+        | Some (a, d) when d < 0 ->
+            x.(a) <- not x.(a);
+            total := !total + d;
+            progress := true
+        | _ -> ())
+  done;
+  !total
+
 let score t x =
   Array.fold_left
     (fun acc c ->

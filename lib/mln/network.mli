@@ -55,6 +55,17 @@ val clause_satisfied : clause -> bool array -> bool
 
 val hard_violations : t -> bool array -> int
 
+val repair_hard : t -> bool array -> int
+(** [repair_hard t x] greedily flips atoms of [x] (in place) to reduce
+    the number of violated hard clauses, applying only strictly
+    improving flips (lowest violated clause first, best literal by
+    violation delta, ties to the earlier literal — fully
+    deterministic). Returns the remaining violation count: [0] means
+    [x] is now hard-sound. Terminates after at most the initial count
+    of violations, so the anytime path can run it {e after} a budget
+    expiry to make the best-so-far assignment sound without a budget of
+    its own. *)
+
 val score : t -> bool array -> float
 (** Total weight of satisfied soft clauses. Only meaningful to compare
     assignments with equal {!hard_violations}. *)

@@ -263,6 +263,21 @@ let map_array t f xs =
 
 let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
 
+(* Containment and deadline-awareness live in the task wrapper, not in
+   the crew: a task that raises stores its own [Error] and returns
+   normally, so one crashed task can neither abort the batch nor wedge
+   the crew, and a task dealt after expiry skips itself without running.
+   The crew's abort-on-failure path stays reserved for the plain
+   combinators above. *)
+let map_results ?(deadline = Deadline.none) t f xs =
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  let out = Array.make n (Error Deadline.Expired) in
+  run_tasks t n (fun i ->
+      if not (Deadline.expired deadline) then
+        out.(i) <- (try Ok (f xs.(i)) with e -> Error e));
+  Array.to_list out
+
 let run_all t thunks =
   let thunks = Array.of_list thunks in
   run_tasks t (Array.length thunks) (fun i -> thunks.(i) ())

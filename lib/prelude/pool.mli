@@ -62,6 +62,18 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
+val map_results :
+  ?deadline:Deadline.t -> t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [map_results pool f xs] is {!map} with per-task crash containment
+    and deadline-aware dealing: a task that raises yields its own
+    [Error] at its input position instead of aborting the batch (the
+    crew and the remaining tasks are unaffected), and a task dealt
+    after [deadline] expired is skipped and reported as
+    [Error Deadline.Expired]. Tasks that ran before the expiry keep
+    their results — the anytime solvers use exactly this to hold on to
+    the best-so-far attempt when a worker crashes or the budget runs
+    out. Ordering and determinism match {!map}. *)
+
 val run_all : t -> (unit -> unit) list -> unit
 (** Run every thunk, in input order when [jobs = 1]. *)
 

@@ -4,6 +4,7 @@ type stats = {
   dual_residual : float;
   converged : bool;
   objective : float;
+  status : Prelude.Deadline.status;
 }
 
 type kind =
@@ -94,7 +95,8 @@ let clip01 x = Float.min 1.0 (Float.max 0.0 x)
 let block = 256
 
 let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
-    ?(pool = Prelude.Pool.sequential) (model : Hlmrf.t) =
+    ?(pool = Prelude.Pool.sequential) ?(deadline = Prelude.Deadline.none)
+    (model : Hlmrf.t) =
   let n = model.num_vars in
   let factors =
     Array.append
@@ -124,7 +126,13 @@ let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
   let primal = ref infinity in
   let dual = ref infinity in
   let converged = ref false in
-  while (not !converged) && !iterations < max_iters do
+  let halted = ref false in
+  (* Deadline polled between iterations: the consensus vector [z] is a
+     feasible-by-construction (box-clipped) iterate after every sweep,
+     so any iteration boundary is a safe stopping point. *)
+  while (not !converged) && (not !halted) && !iterations < max_iters do
+    if Prelude.Deadline.expired deadline then halted := true
+    else begin
     incr iterations;
     (* Local proximal steps. Factors are independent given the consensus
        [z] (each writes only its own [y]), so the sweep fans out over
@@ -175,6 +183,7 @@ let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
     dual := rho *. sqrt !du;
     let scale = sqrt (float_of_int (max 1 n)) in
     if !primal <= tol *. scale && !dual <= tol *. scale then converged := true
+    end
   done;
   Obs.count ~n:!iterations "admm.iterations";
   Obs.gauge "admm.primal_residual" !primal;
@@ -187,4 +196,7 @@ let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
       dual_residual = !dual;
       converged = !converged;
       objective = Hlmrf.objective model z;
+      status =
+        (if !halted then Prelude.Deadline.Timed_out
+         else Prelude.Deadline.Completed);
     } )

@@ -15,6 +15,10 @@ type stats = {
   dual_residual : float;
   converged : bool;
   objective : float;
+  status : Prelude.Deadline.status;
+      (** [Timed_out] when the deadline stopped the iteration before
+          convergence or [max_iters]; the returned iterate is always
+          box-feasible, just less converged *)
 }
 
 val solve :
@@ -23,6 +27,7 @@ val solve :
   ?tol:float ->
   ?init:float array ->
   ?pool:Prelude.Pool.t ->
+  ?deadline:Prelude.Deadline.t ->
   Hlmrf.t ->
   float array * stats
 (** Defaults: [rho = 1.0], [max_iters = 2_000], [tol = 1e-4]. [init]
@@ -34,4 +39,8 @@ val solve :
     blocks; the consensus averaging stays sequential. Partial residual
     sums are accumulated per block and reduced in block order, so the
     iterates — and the returned solution — are bitwise identical at
-    every job count. *)
+    every job count.
+
+    [deadline] (default {!Prelude.Deadline.none}) is polled between
+    iterations; on expiry the current consensus iterate is returned
+    with [status = Timed_out]. *)

@@ -7,6 +7,8 @@ type options = {
   tol : float;
   threshold : float;
   pool : Prelude.Pool.t;
+  deadline : Prelude.Deadline.t;
+  ground_deadline : Prelude.Deadline.t;
 }
 
 let default_options =
@@ -17,6 +19,8 @@ let default_options =
     tol = 1e-4;
     threshold = 0.5;
     pool = Prelude.Pool.sequential;
+    deadline = Prelude.Deadline.none;
+    ground_deadline = Prelude.Deadline.none;
   }
 
 type stats = {
@@ -30,6 +34,7 @@ type stats = {
   solve_ms : float;
   admm : Admm.stats;
   rounding : Rounding.stats;
+  status : Prelude.Deadline.status;
 }
 
 type outcome = {
@@ -45,8 +50,14 @@ let run_store ?(options = default_options) store rules =
   let (ground_result : Grounder.Ground.result), ground_ms =
     Prelude.Timing.time (fun () ->
         Obs.span "ground" (fun () ->
-            Grounder.Ground.run ~pool:options.pool store rules))
+            Grounder.Ground.run ~deadline:options.ground_deadline
+              ~pool:options.pool store rules))
   in
+  (* Per-stage budget telemetry, only under a finite deadline so
+     unbudgeted runs keep byte-identical reports. *)
+  if Prelude.Deadline.is_finite options.deadline then
+    Obs.gauge "deadline.ground_slack_ms"
+      (Prelude.Deadline.remaining_ms options.deadline);
   let model =
     Obs.span "encode" (fun () ->
         let model =
@@ -74,8 +85,12 @@ let run_store ?(options = default_options) store rules =
     Prelude.Timing.time (fun () ->
         Obs.span "solve" (fun () ->
             Admm.solve ~rho:options.rho ~max_iters:options.max_iters
-              ~tol:options.tol ~init ~pool:options.pool model))
+              ~tol:options.tol ~init ~pool:options.pool
+              ~deadline:options.deadline model))
   in
+  if Prelude.Deadline.is_finite options.deadline then
+    Obs.gauge "deadline.solve_slack_ms"
+      (Prelude.Deadline.remaining_ms options.deadline);
   let assignment, rounding_stats =
     Obs.span "round" (fun () ->
         Rounding.round ~threshold:options.threshold model truth)
@@ -105,6 +120,7 @@ let run_store ?(options = default_options) store rules =
         solve_ms;
         admm = admm_stats;
         rounding = rounding_stats;
+        status = admm_stats.Admm.status;
       };
   }
 

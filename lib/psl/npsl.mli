@@ -14,6 +14,13 @@ type options = {
   pool : Prelude.Pool.t;
       (** runs grounding joins and ADMM factor sweeps in parallel; the
           solution is bitwise identical at every job count *)
+  deadline : Prelude.Deadline.t;
+      (** solve budget, polled between ADMM iterations; on expiry the
+          current (box-feasible) iterate is rounded and returned with
+          [status = Timed_out] *)
+  ground_deadline : Prelude.Deadline.t;
+      (** grounding budget; expiry raises {!Grounder.Ground.Timed_out}
+          (there is no sound partial grounding) *)
 }
 
 val default_options : options
@@ -29,6 +36,8 @@ type stats = {
   solve_ms : float;
   admm : Admm.stats;
   rounding : Rounding.stats;
+  status : Prelude.Deadline.status;
+      (** anytime outcome of the solve stage (from {!Admm.solve}) *)
 }
 
 type outcome = {

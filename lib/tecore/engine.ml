@@ -1,3 +1,5 @@
+module Deadline = Prelude.Deadline
+
 type engine =
   | Mln of Mln.Map_inference.options
   | Psl of Psl.Npsl.options
@@ -10,6 +12,7 @@ type run_stats = {
   solve_ms : float;
   total_ms : float;
   hard_violations : int;
+  status : Deadline.status;
 }
 
 type raw = {
@@ -27,10 +30,43 @@ type result = {
 
 exception Rejected of Translator.report
 
-let resolve ?(engine = Auto) ?jobs ?threshold graph rules =
+exception Ground_timed_out of Translator.report
+
+(* Append the structured partial-grounding note to the translator report
+   carried by {!Ground_timed_out}: how far the closure got, and why the
+   partial state cannot be used. *)
+let ground_timeout_report (report : Translator.report) ~atoms ~rounds =
+  let note =
+    {
+      Translator.severity = Translator.Error;
+      rule = None;
+      message =
+        Printf.sprintf
+          "grounding timed out after %d closure round%s (%d atoms \
+           interned); a partially saturated store would silently drop \
+           constraints, so no best-effort answer exists for this stage \
+           — raise --timeout or use --on-timeout best-effort to budget \
+           only the solver"
+          rounds
+          (if rounds = 1 then "" else "s")
+          atoms;
+    }
+  in
+  { report with Translator.notes = report.Translator.notes @ [ note ]; ok = false }
+
+let resolve ?(engine = Auto) ?jobs ?threshold ?(deadline = Deadline.none)
+    ?(on_timeout = `Best_effort) graph rules =
   Obs.span "resolve" @@ fun () ->
   let report = Obs.span "translate" (fun () -> Translator.analyse graph rules) in
   if not report.Translator.ok then raise (Rejected report);
+  (* Under [`Fail] grounding polls the real deadline and the whole run is
+     rejected on expiry (raising {!Ground_timed_out}); under
+     [`Best_effort] grounding must complete — a partial grounding has no
+     sound interpretation — and the budget disciplines only the solver,
+     which can be cut anywhere and still return its best incumbent. *)
+  let ground_deadline =
+    match on_timeout with `Fail -> deadline | `Best_effort -> Deadline.none
+  in
   let engine =
     match engine with
     | Auto -> (
@@ -38,6 +74,15 @@ let resolve ?(engine = Auto) ?jobs ?threshold graph rules =
         | Translator.Mln_engine -> Mln Mln.Map_inference.default_options
         | Translator.Psl_engine -> Psl Psl.Npsl.default_options)
     | e -> e
+  in
+  let engine =
+    if not (Deadline.is_finite deadline) then engine
+    else
+      match engine with
+      | Mln options ->
+          Mln { options with Mln.Map_inference.deadline; ground_deadline }
+      | Psl options -> Psl { options with Psl.Npsl.deadline; ground_deadline }
+      | Auto -> assert false
   in
   (* [jobs] defaults to the environment ([TECORE_JOBS], else 1). A pool
      is created — and injected into the engine options — only when more
@@ -71,7 +116,8 @@ let resolve ?(engine = Auto) ?jobs ?threshold graph rules =
           out.Mln.Map_inference.stats.Mln.Map_inference.atoms,
           out.Mln.Map_inference.stats.Mln.Map_inference.ground_ms,
           out.Mln.Map_inference.stats.Mln.Map_inference.solve_ms,
-          out.Mln.Map_inference.stats.Mln.Map_inference.hard_violations )
+          out.Mln.Map_inference.stats.Mln.Map_inference.hard_violations,
+          out.Mln.Map_inference.stats.Mln.Map_inference.status )
     | Psl options ->
         let out = Psl.Npsl.run ~options graph rules in
         ( Obs.span "interpret" (fun () ->
@@ -87,23 +133,46 @@ let resolve ?(engine = Auto) ?jobs ?threshold graph rules =
           out.Psl.Npsl.stats.Psl.Npsl.atoms,
           out.Psl.Npsl.stats.Psl.Npsl.ground_ms,
           out.Psl.Npsl.stats.Psl.Npsl.solve_ms,
-          out.Psl.Npsl.stats.Psl.Npsl.rounding.Psl.Rounding.unrepaired )
+          out.Psl.Npsl.stats.Psl.Npsl.rounding.Psl.Rounding.unrepaired,
+          out.Psl.Npsl.stats.Psl.Npsl.status )
+  in
+  (* Pool scheduling counters must be captured on every exit — a
+     rejected grounding or a crashed solver used the pool too, and the
+     Obs report of a failed run is exactly where those numbers matter. *)
+  let emit_pool_stats () =
+    match pool with
+    | None -> ()
+    | Some pool ->
+        let s = Prelude.Pool.stats pool in
+        Obs.count ~n:s.Prelude.Pool.calls "pool.calls";
+        Obs.count ~n:s.Prelude.Pool.tasks "pool.tasks";
+        Obs.add "pool.busy_ms" s.Prelude.Pool.busy_ms;
+        Obs.add "pool.wall_ms" s.Prelude.Pool.wall_ms;
+        if s.Prelude.Pool.wall_ms > 0.0 then
+          Obs.gauge "pool.speedup"
+            (s.Prelude.Pool.busy_ms /. s.Prelude.Pool.wall_ms)
   in
   let ( (resolution, raw, engine_used, atoms, ground_ms, solve_ms,
-         hard_violations),
+         hard_violations, status),
         total_ms ) =
-    Prelude.Timing.time run
+    Fun.protect ~finally:emit_pool_stats (fun () ->
+        try Prelude.Timing.time run
+        with Grounder.Ground.Timed_out { atoms; rounds } ->
+          if Deadline.is_finite deadline then begin
+            Obs.count "deadline.expired";
+            Obs.gauge "deadline.budget_ms" (Deadline.budget_ms deadline)
+          end;
+          raise (Ground_timed_out (ground_timeout_report report ~atoms ~rounds)))
   in
-  (match pool with
-  | None -> ()
-  | Some pool ->
-      let s = Prelude.Pool.stats pool in
-      Obs.count ~n:s.Prelude.Pool.calls "pool.calls";
-      Obs.count ~n:s.Prelude.Pool.tasks "pool.tasks";
-      Obs.add "pool.busy_ms" s.Prelude.Pool.busy_ms;
-      Obs.add "pool.wall_ms" s.Prelude.Pool.wall_ms;
-      if s.Prelude.Pool.wall_ms > 0.0 then
-        Obs.gauge "pool.speedup" (s.Prelude.Pool.busy_ms /. s.Prelude.Pool.wall_ms));
+  (* Deadline telemetry is emitted only for finite budgets so that runs
+     without [--timeout] produce byte-identical reports to earlier
+     releases. *)
+  if Deadline.is_finite deadline then begin
+    Obs.count ~n:(if status = Deadline.Completed then 0 else 1)
+      "deadline.expired";
+    Obs.gauge "deadline.budget_ms" (Deadline.budget_ms deadline);
+    Obs.gauge "deadline.slack_ms" (Deadline.remaining_ms deadline)
+  end;
   let resolution =
     match threshold with
     | None -> resolution
@@ -113,7 +182,15 @@ let resolve ?(engine = Auto) ?jobs ?threshold graph rules =
     resolution;
     report;
     stats =
-      { engine_used; atoms; ground_ms; solve_ms; total_ms; hard_violations };
+      {
+        engine_used;
+        atoms;
+        ground_ms;
+        solve_ms;
+        total_ms;
+        hard_violations;
+        status;
+      };
     raw;
   }
 
@@ -123,4 +200,10 @@ let pp_result ppf r =
     | Translator.Mln_engine -> "MLN (nRockIt path)"
     | Translator.Psl_engine -> "nPSL")
     Conflict.pp_summary r.resolution r.stats.total_ms r.stats.ground_ms
-    r.stats.solve_ms
+    r.stats.solve_ms;
+  (* Printed only for budget-limited runs: with no deadline the status
+     is always [Completed] and the output stays identical to earlier
+     releases. *)
+  if r.stats.status <> Deadline.Completed then
+    Format.fprintf ppf "@.status: %a (best-effort result)" Deadline.pp_status
+      r.stats.status

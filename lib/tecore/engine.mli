@@ -19,6 +19,12 @@ type run_stats = {
   hard_violations : int;
       (** >0 means the hard constraints are unsatisfiable even after
           removals (e.g. two conflicting confidence-1.0 facts) *)
+  status : Prelude.Deadline.status;
+      (** anytime outcome of the solve stage: always [Completed] when no
+          deadline was set; [Timed_out] when the budget expired but the
+          returned resolution is hard-constraint-sound; [Degraded] when
+          a worker crashed, the exact→MaxWalkSAT ladder fired, or the
+          timed-out answer violates hard constraints *)
 }
 
 type raw = {
@@ -39,10 +45,19 @@ type result = {
 exception Rejected of Translator.report
 (** Raised when the translator finds an [Error]-level problem. *)
 
+exception Ground_timed_out of Translator.report
+(** Raised when the deadline expires during grounding under
+    [`Fail]: grounding has no sound partial answer (a half-saturated
+    store silently drops constraints), so the run is rejected with a
+    structured report — the original translator report plus an
+    [Error]-level note recording how far the closure got. *)
+
 val resolve :
   ?engine:engine ->
   ?jobs:int ->
   ?threshold:float ->
+  ?deadline:Prelude.Deadline.t ->
+  ?on_timeout:[ `Fail | `Best_effort ] ->
   Kg.Graph.t ->
   Logic.Rule.t list ->
   result
@@ -55,6 +70,25 @@ val resolve :
     environment variable, else 1. With [jobs = 1] everything runs on the
     calling domain and results are identical to previous releases; at
     higher job counts the reported objective is unchanged (see
-    {!Prelude.Pool} for the determinism contract). *)
+    {!Prelude.Pool} for the determinism contract).
+
+    [deadline] (default {!Prelude.Deadline.none}) bounds the run.
+    [on_timeout] (default [`Best_effort]) picks the policy:
+
+    - [`Best_effort]: grounding always completes (no sound partial
+      grounding exists) and the remaining budget disciplines the
+      solver, which returns its best incumbent on expiry. The result's
+      [stats.status] reports [Timed_out] or [Degraded]; the exact
+      backends degrade to MaxWalkSAT when their budget slice expires
+      before optimality is proved. Even an already-expired deadline
+      yields a sound (or explicitly [Degraded]) resolution.
+    - [`Fail]: grounding polls the deadline too; expiry during
+      grounding raises {!Ground_timed_out}. Callers treat any
+      non-[Completed] status as failure.
+
+    Without a finite [deadline] the observable behaviour — result,
+    formatted output, and Obs report — is identical to previous
+    releases; with one, the report gains [deadline.expired],
+    [deadline.budget_ms] and [deadline.slack_ms]. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -78,8 +78,31 @@ let of_resolution ?namespace (r : Conflict.resolution) =
           (List.map (of_quad ?namespace) (Kg.Graph.to_list r.consistent)) );
     ]
 
-let of_result ?namespace ?obs (result : Engine.result) =
+let of_result ?namespace ?deadline ?obs (result : Engine.result) =
   let stats = result.stats in
+  (* The "deadline" object is emitted only for budget-limited runs so
+     unbudgeted invocations produce byte-identical payloads to earlier
+     releases. *)
+  let deadline_fields =
+    match deadline with
+    | Some d when Prelude.Deadline.is_finite d ->
+        [
+          ( "deadline",
+            obj
+              [
+                ( "status",
+                  str (Prelude.Deadline.status_name stats.Engine.status) );
+                ( "expired",
+                  if stats.Engine.status = Prelude.Deadline.Completed then
+                    "false"
+                  else "true" );
+                ("budget_ms", float_value (Prelude.Deadline.budget_ms d));
+                ( "slack_ms",
+                  float_value (Prelude.Deadline.remaining_ms d) );
+              ] );
+        ]
+    | Some _ | None -> []
+  in
   obj
     ([
        ( "engine",
@@ -98,6 +121,7 @@ let of_result ?namespace ?obs (result : Engine.result) =
            ] );
        ("resolution", of_resolution ?namespace result.resolution);
      ]
+    @ deadline_fields
     @
     match obs with
     | None -> []

@@ -14,10 +14,18 @@ val of_resolution : ?namespace:Kg.Namespace.t -> Conflict.resolution -> string
     array). *)
 
 val of_result :
-  ?namespace:Kg.Namespace.t -> ?obs:Obs.Report.t -> Engine.result -> string
+  ?namespace:Kg.Namespace.t ->
+  ?deadline:Prelude.Deadline.t ->
+  ?obs:Obs.Report.t ->
+  Engine.result ->
+  string
 (** The full payload: engine, statistics and the resolution. When [obs]
     is given, the captured observability report is embedded under an
-    ["obs"] key (see {!Obs.Report.to_json}). *)
+    ["obs"] key (see {!Obs.Report.to_json}). When [deadline] is given
+    and finite, a ["deadline"] object reports the completion [status]
+    (["completed"|"timed_out"|"degraded"]), whether the budget
+    [expired], and the [budget_ms]/[slack_ms] pair; without one the
+    payload is byte-identical to earlier releases. *)
 
 val escape : string -> string
 (** JSON string escaping (quotes, backslashes, control characters). *)

@@ -5,6 +5,19 @@ type t = {
   mutable result : Engine.result option;
 }
 
+type error =
+  | Io_error of string
+  | Parse_error of string
+  | Rejected of Translator.report
+  | Ground_timeout of Translator.report
+  | No_graph
+
+let error_message = function
+  | Io_error msg | Parse_error msg -> msg
+  | Rejected report | Ground_timeout report ->
+      Format.asprintf "%a" Translator.pp_report report
+  | No_graph -> "no knowledge graph selected"
+
 let create () =
   { ns = Kg.Namespace.create (); kg = None; rule_set = []; result = None }
 
@@ -14,13 +27,36 @@ let load_graph t g =
   t.kg <- Some g;
   t.result <- None
 
-let load_file t path =
+let contains ~needle haystack =
+  let nn = String.length needle and nh = String.length haystack in
+  nn = 0
+  ||
+  let rec at i =
+    i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1))
+  in
+  at 0
+
+let load t path =
   match Obs.span "parse" (fun () -> Kg.Nquads.parse_file ~namespace:t.ns path) with
   | Ok g ->
       load_graph t g;
       Ok ()
-  | Error e -> Error (Format.asprintf "%a" Kg.Nquads.pp_error e)
-  | exception Sys_error msg -> Error msg
+  | Error e ->
+      (* Compiler-style location: path:line[:column]: message. *)
+      let loc =
+        match e.Kg.Nquads.column with
+        | Some c -> Printf.sprintf "%s:%d:%d" path e.Kg.Nquads.line c
+        | None -> Printf.sprintf "%s:%d" path e.Kg.Nquads.line
+      in
+      Error (Parse_error (Printf.sprintf "%s: %s" loc e.Kg.Nquads.message))
+  | exception Sys_error msg ->
+      (* Most [Sys_error] messages already lead with the path; qualify
+         the ones (e.g. from exotic failure modes) that do not, so the
+         user always learns which file failed. *)
+      let msg = if contains ~needle:path msg then msg else path ^ ": " ^ msg in
+      Error (Io_error msg)
+
+let load_file t path = Result.map_error error_message (load t path)
 
 let load_string t text =
   match Obs.span "parse" (fun () -> Kg.Nquads.parse_string ~namespace:t.ns text) with
@@ -81,16 +117,23 @@ let analyse t =
   | None -> Error "no knowledge graph selected"
   | Some g -> Ok (Translator.analyse g t.rule_set)
 
-let run ?engine ?jobs ?threshold t =
+let resolve ?engine ?jobs ?threshold ?deadline ?on_timeout t =
   match t.kg with
-  | None -> Error "no knowledge graph selected"
+  | None -> Error No_graph
   | Some g -> (
-      match Engine.resolve ?engine ?jobs ?threshold g t.rule_set with
+      match
+        Engine.resolve ?engine ?jobs ?threshold ?deadline ?on_timeout g
+          t.rule_set
+      with
       | result ->
           t.result <- Some result;
           Ok result
-      | exception Engine.Rejected report ->
-          Error (Format.asprintf "%a" Translator.pp_report report))
+      | exception Engine.Rejected report -> Error (Rejected report)
+      | exception Engine.Ground_timed_out report ->
+          Error (Ground_timeout report))
+
+let run ?engine ?jobs ?threshold t =
+  Result.map_error error_message (resolve ?engine ?jobs ?threshold t)
 
 let last_result t = t.result
 

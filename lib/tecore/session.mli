@@ -8,6 +8,22 @@
 
 type t
 
+type error =
+  | Io_error of string
+      (** file could not be read; the message always names the path *)
+  | Parse_error of string
+      (** malformed input; the message locates the failure as
+          [path:line:column] (column when the lexer knows it) *)
+  | Rejected of Translator.report
+      (** the translator found an [Error]-level problem *)
+  | Ground_timeout of Translator.report
+      (** the deadline expired during grounding under [`Fail] — the
+          report carries the structured partial-grounding note *)
+  | No_graph  (** no knowledge graph selected *)
+
+val error_message : error -> string
+(** Render an error the way the string-result functions below do. *)
+
 val create : unit -> t
 
 val namespace : t -> Kg.Namespace.t
@@ -15,7 +31,15 @@ val namespace : t -> Kg.Namespace.t
 (** {1 Data selection} *)
 
 val load_graph : t -> Kg.Graph.t -> unit
+
+val load : t -> string -> (unit, error) result
+(** Load a UTKG file with typed errors: [Io_error] always names the
+    offending path, [Parse_error] locates the failure as
+    [path:line:column]. *)
+
 val load_file : t -> string -> (unit, string) result
+(** [load] with the error rendered through {!error_message}. *)
+
 val load_string : t -> string -> (unit, string) result
 val graph : t -> Kg.Graph.t option
 
@@ -41,13 +65,26 @@ val analyse : t -> (Translator.report, string) result
 
 (** {1 Running and browsing results} *)
 
+val resolve :
+  ?engine:Engine.engine ->
+  ?jobs:int ->
+  ?threshold:float ->
+  ?deadline:Prelude.Deadline.t ->
+  ?on_timeout:[ `Fail | `Best_effort ] ->
+  t ->
+  (Engine.result, error) result
+(** Runs resolution with typed errors and stores the result in the
+    session; [deadline]/[on_timeout] as in {!Engine.resolve}. A
+    translator rejection maps to [Rejected], a grounding timeout under
+    [`Fail] to [Ground_timeout]. *)
+
 val run :
   ?engine:Engine.engine ->
   ?jobs:int ->
   ?threshold:float ->
   t ->
   (Engine.result, string) result
-(** Runs resolution and stores the result in the session. *)
+(** {!resolve} with the error rendered through {!error_message}. *)
 
 val last_result : t -> Engine.result option
 

@@ -29,6 +29,17 @@ let analyse graph rules =
         | _ -> None)
       rules
   in
+  (* Rule names key weight learning, removal and explanations — a
+     duplicate silently corrupts all three, so it is a hard error. *)
+  let seen_names = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Logic.Rule.t) ->
+      if Hashtbl.mem seen_names r.Logic.Rule.name then
+        note Error (Some r.Logic.Rule.name)
+          "duplicate rule name: weights, removals and explanations are \
+           keyed by name"
+      else Hashtbl.add seen_names r.Logic.Rule.name ())
+    rules;
   List.iter
     (fun (r : Logic.Rule.t) ->
       (match Logic.Rule.check_safety r with

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: build, run the full test suite (once sequential, once
-# with TECORE_JOBS=4 to exercise the multicore paths), then smoke-run
-# the benchmark harness and check that it produced valid machine-readable
-# observability and parallel-speedup output. Fails on the first broken
-# step.
+# with TECORE_JOBS=4 to exercise the multicore paths, once with
+# TECORE_FAULTS injecting worker crashes and slow grounding to exercise
+# the robustness paths), audit the CLI exit-code contract, then
+# smoke-run the benchmark harness and check that it produced valid
+# machine-readable observability, parallel-speedup and anytime-curve
+# output. Fails on the first broken step.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,8 +19,51 @@ dune runtest
 echo "== dune runtest (TECORE_JOBS=4) =="
 TECORE_JOBS=4 dune runtest --force
 
-echo "== bench smoke (e1 + obs + par) =="
-rm -f BENCH_obs.json BENCH_parallel.json
+echo "== dune runtest (TECORE_FAULTS=worker_crash,slow_ground) =="
+# Deterministic fault injection: task 1 of every solver portfolio
+# crashes and every grounding closure round sleeps 1 ms. The suite must
+# still pass — crash containment keeps results sound at every job count.
+TECORE_FAULTS=worker_crash,slow_ground dune runtest --force
+
+echo "== CLI exit codes =="
+CLI=_build/default/bin/tecore_cli.exe
+expect_exit() { # expect_exit CODE DESCRIPTION CMD...
+  local want="$1" what="$2"; shift 2
+  local got=0
+  "$@" >/dev/null 2>&1 || got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "exit-code audit: $what: expected $want, got $got" >&2
+    exit 1
+  fi
+}
+expect_exit 0 "clean resolve" \
+  "$CLI" resolve -d data/ranieri.tq -r data/ranieri.rules
+expect_exit 4 "missing data file" \
+  "$CLI" resolve -d no-such-file.tq
+expect_exit 4 "missing rules file" \
+  "$CLI" resolve -d data/ranieri.tq -r no-such-rules
+BAD_RULES=$(mktemp)
+printf 'rule broken 1.0: p(x)@t => .\n' > "$BAD_RULES"
+expect_exit 1 "malformed rules" \
+  "$CLI" resolve -d data/ranieri.tq -r "$BAD_RULES"
+# Duplicate rule names => Error-level translator note => Rejected.
+printf 'rule dup 1.0: ex:coach(x, y)@t => ex:worksFor(x, y)@t .\nrule dup 2.0: ex:playsFor(x, y)@t => ex:worksFor(x, y)@t .\n' > "$BAD_RULES"
+expect_exit 2 "translator-rejected program" \
+  "$CLI" resolve -d data/ranieri.tq -r "$BAD_RULES"
+rm -f "$BAD_RULES"
+expect_exit 3 "deadline expiry under --on-timeout fail" \
+  "$CLI" resolve -d data/football.tq -r data/football.rules \
+  --timeout 0.001 --on-timeout fail
+expect_exit 0 "deadline expiry under best-effort" \
+  "$CLI" resolve -d data/football.tq -r data/football.rules \
+  --timeout 0.01 --on-timeout best-effort
+"$CLI" resolve -d data/football.tq -r data/football.rules \
+  --timeout 0.01 --on-timeout best-effort --json \
+  | grep -q '"deadline":{"status":"\(timed_out\|degraded\)"' \
+  || { echo "best-effort JSON lacks a non-completed deadline status" >&2; exit 1; }
+
+echo "== bench smoke (e1 + obs + par + deadline) =="
+rm -f BENCH_obs.json BENCH_parallel.json BENCH_deadline.json
 BENCH_FAST=1 dune exec bench/main.exe -- --smoke
 
 echo "== validate BENCH_obs.json =="
@@ -34,9 +79,17 @@ case "$(head -c 1 BENCH_parallel.json)" in
   '{') ;;
   *) echo "BENCH_parallel.json does not start with '{'" >&2; exit 1 ;;
 esac
-# The bench already re-parses both files with Obs.Json and fails on
-# malformed output, missing ground/encode/solve stages, or objectives
-# that differ across job counts; the checks above only guard against
-# the files not being written at all.
+
+echo "== validate BENCH_deadline.json =="
+test -s BENCH_deadline.json || { echo "BENCH_deadline.json missing or empty" >&2; exit 1; }
+case "$(head -c 1 BENCH_deadline.json)" in
+  '{') ;;
+  *) echo "BENCH_deadline.json does not start with '{'" >&2; exit 1 ;;
+esac
+# The bench already re-parses all three files with Obs.Json and fails
+# on malformed output, missing ground/encode/solve stages, objectives
+# that differ across job counts, or anytime points with unknown status
+# tags; the checks above only guard against the files not being
+# written at all.
 
 echo "CI OK"

@@ -134,8 +134,10 @@ let test_exact_unsat_hard () =
 let test_cpi_agrees_with_direct () =
   let store, network = build_cr () in
   let init = Network.initial_assignment network store in
-  let solver net ~init = fst (Mln.Maxwalksat.solve ~seed:5 ~init net) in
-  let direct = solver network ~init in
+  let solver net ~init =
+    (fst (Mln.Maxwalksat.solve ~seed:5 ~init net), Prelude.Deadline.Completed)
+  in
+  let direct = fst (solver network ~init) in
   let cpi, stats = Mln.Cpi.solve ~solver ~init network in
   Alcotest.(check int) "same hard"
     (Network.hard_violations network direct)

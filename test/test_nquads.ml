@@ -111,10 +111,23 @@ let test_malformed_regressions () =
 
 let test_error_columns () =
   let e = parse_err "a p \"late unterminated [1,2] ." in
+  Alcotest.(check (option int)) "structured column" (Some 5) e.N.column;
   Alcotest.(check bool)
-    (Printf.sprintf "column reported in %S" e.N.message)
+    (Printf.sprintf "pp_error renders the column of %S" e.N.message)
     true
-    (contains ~needle:"column 5" e.N.message)
+    (contains ~needle:"column 5" (Format.asprintf "%a" N.pp_error e));
+  (* Structural errors carry no column. *)
+  let e = parse_err "a p b\n" in
+  Alcotest.(check (option int)) "no column" None e.N.column;
+  (* The single-line entry point keeps embedding the column in its
+     string error for backwards compatibility. *)
+  (match N.parse_quad (Kg.Namespace.create ()) "a p \"oops [1,2] ." with
+  | Ok _ -> Alcotest.fail "accepted unterminated string"
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parse_quad embeds column in %S" msg)
+        true
+        (contains ~needle:"(column 5)" msg))
 
 let test_errors () =
   let e = parse_err "a p b\n" in

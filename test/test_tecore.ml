@@ -38,6 +38,22 @@ let test_translator_warnings () =
        (fun n -> n.Tecore.Translator.severity = Tecore.Translator.Warning)
        report.Tecore.Translator.notes)
 
+let test_translator_duplicate_names () =
+  let rules =
+    parse_rules
+      {|rule dup 1.0: coach(x, y)@t => worksFor(x, y)@t .
+rule dup 2.0: playsFor(x, y)@t => worksFor(x, y)@t .|}
+  in
+  let report = Tecore.Translator.analyse (cr_graph ()) rules in
+  Alcotest.(check bool) "duplicate names rejected" false
+    report.Tecore.Translator.ok;
+  Alcotest.(check bool) "error note names the rule" true
+    (List.exists
+       (fun (n : Tecore.Translator.note) ->
+         n.Tecore.Translator.severity = Tecore.Translator.Error
+         && n.Tecore.Translator.rule = Some "dup")
+       report.Tecore.Translator.notes)
+
 let test_translator_recommends_psl_at_scale () =
   let graph = Kg.Graph.create () in
   for i = 0 to Tecore.Translator.mln_size_limit do
@@ -253,6 +269,8 @@ let () =
         [
           Alcotest.test_case "ok" `Quick test_translator_ok;
           Alcotest.test_case "warnings" `Quick test_translator_warnings;
+          Alcotest.test_case "duplicate names" `Quick
+            test_translator_duplicate_names;
           Alcotest.test_case "psl at scale" `Quick
             test_translator_recommends_psl_at_scale;
           Alcotest.test_case "head predicates" `Quick
