@@ -627,9 +627,14 @@ let micro () =
 (* machine-readable BENCH_obs.json (validated by re-parsing it).       *)
 
 let obs_json_path = "BENCH_obs.json"
+let obs_check = ref false
 
-let obs_bench () =
-  section "OBS" "observability: per-stage medians -> BENCH_obs.json";
+(* Measure the obs experiment's runs in memory: for every
+   dataset x engine, [reps] observed end-to-end resolves, reduced to
+   per-stage duration medians. Shared by the write mode (serialises to
+   BENCH_obs.json) and the --check mode (compares against the committed
+   file). *)
+let obs_measure () =
   let reps = if !fast_mode then 3 else 5 in
   let datasets =
     let fb players =
@@ -666,7 +671,7 @@ let obs_bench () =
     Array.sort compare a;
     a.(Array.length a / 2)
   in
-  let runs =
+  ( reps,
     List.concat_map
       (fun (dataset, graph, rules) ->
         List.map
@@ -692,36 +697,144 @@ let obs_bench () =
                       reports
                   in
                   if samples = [] then None
-                  else
-                    Some
-                      ( stage,
-                        Obs.Json.Obj
-                          [
-                            ("median_ms", Obs.Json.Num (median samples));
-                            ( "runs_ms",
-                              Obs.Json.Arr
-                                (List.map (fun s -> Obs.Json.Num s) samples) );
-                          ] ))
+                  else Some (stage, median samples, samples))
                 stage_paths
             in
             List.iter
-              (fun (stage, v) ->
-                match Obs.Json.member "median_ms" v with
-                | Some (Obs.Json.Num ms) ->
-                    row "%-16s %-5s %-10s median %10.2f ms\n" dataset
-                      engine_id stage ms
-                | _ -> ())
+              (fun (stage, ms, _) ->
+                row "%-16s %-5s %-10s median %10.2f ms\n" dataset engine_id
+                  stage ms)
               stages;
-            Obs.Json.Obj
-              [
-                ("dataset", Obs.Json.Str dataset);
-                ("engine", Obs.Json.Str engine_id);
-                ("facts", Obs.Json.Num (float_of_int (Kg.Graph.size graph)));
-                ("reps", Obs.Json.Num (float_of_int reps));
-                ("stages", Obs.Json.Obj stages);
-              ])
+            (dataset, engine_id, Kg.Graph.size graph, stages))
           engines)
-      datasets
+      datasets )
+
+(* Compare freshly measured medians against the committed
+   BENCH_obs.json. The tolerance is a generous multiplicative factor
+   (machines and CI load differ far more than a regression does) with a
+   small absolute floor so sub-millisecond stages never trip it; both
+   are overridable via BENCH_OBS_TOL_FACTOR / BENCH_OBS_TOL_FLOOR_MS. *)
+let obs_check_run () =
+  section "OBS" "observability: measured medians vs committed BENCH_obs.json";
+  let env_float name default =
+    match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+    | Some v when v > 0.0 -> v
+    | _ -> default
+  in
+  let factor = env_float "BENCH_OBS_TOL_FACTOR" 25.0 in
+  let floor_ms = env_float "BENCH_OBS_TOL_FLOOR_MS" 5.0 in
+  let reference =
+    let text =
+      try
+        let ic = open_in obs_json_path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        failwith
+          (Printf.sprintf
+             "obs --check: cannot read %s (%s); run `bench obs` to \
+              regenerate it"
+             obs_json_path msg)
+    in
+    match Obs.Json.parse text with
+    | Error e -> failwith (Printf.sprintf "obs --check: %s: %s" obs_json_path e)
+    | Ok parsed -> (
+        match Obs.Json.member "runs" parsed with
+        | Some (Obs.Json.Arr runs) -> runs
+        | _ -> failwith (obs_json_path ^ ": no runs"))
+  in
+  let ref_median run_json stage =
+    match Obs.Json.member "stages" run_json with
+    | Some (Obs.Json.Obj stages) -> (
+        match
+          Option.bind (List.assoc_opt stage stages) (Obs.Json.member "median_ms")
+        with
+        | Some (Obs.Json.Num ms) -> Some ms
+        | _ -> None)
+    | _ -> None
+  in
+  let find_ref dataset engine =
+    List.find_opt
+      (fun r ->
+        Obs.Json.member "dataset" r = Some (Obs.Json.Str dataset)
+        && Obs.Json.member "engine" r = Some (Obs.Json.Str engine))
+      reference
+  in
+  let _, measured = obs_measure () in
+  let overlaps = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun (dataset, engine_id, _, stages) ->
+      match find_ref dataset engine_id with
+      | None ->
+          row "%-16s %-5s not in %s -- skipped\n" dataset engine_id
+            obs_json_path
+      | Some ref_run ->
+          incr overlaps;
+          List.iter
+            (fun (stage, ours, _) ->
+              match ref_median ref_run stage with
+              | None -> ()
+              | Some reference ->
+                  let lo = Float.min ours reference
+                  and hi = Float.max ours reference in
+                  let ok = hi <= floor_ms || hi <= lo *. factor in
+                  row "%-16s %-5s %-10s ours %10.2f ms ref %10.2f ms %s\n"
+                    dataset engine_id stage ours reference
+                    (if ok then "ok" else "FAIL");
+                  if not ok then
+                    failures :=
+                      Printf.sprintf "%s/%s/%s: %.2f ms vs %.2f ms" dataset
+                        engine_id stage ours reference
+                      :: !failures)
+            stages)
+    measured;
+  if !overlaps = 0 then
+    failwith
+      (Printf.sprintf
+         "obs --check: no measured run matches %s (regenerate it with the \
+          same BENCH_FAST setting)"
+         obs_json_path);
+  match !failures with
+  | [] ->
+      row "obs --check: %d run(s) within %.0fx of %s\n" !overlaps factor
+        obs_json_path
+  | fs ->
+      failwith
+        (Printf.sprintf "obs --check: %d stage(s) out of tolerance:\n  %s"
+           (List.length fs)
+           (String.concat "\n  " (List.rev fs)))
+
+let obs_bench () =
+  if !obs_check then obs_check_run ()
+  else begin
+  section "OBS" "observability: per-stage medians -> BENCH_obs.json";
+  let reps, measured = obs_measure () in
+  let runs =
+    List.map
+      (fun (dataset, engine_id, facts, stages) ->
+        Obs.Json.Obj
+          [
+            ("dataset", Obs.Json.Str dataset);
+            ("engine", Obs.Json.Str engine_id);
+            ("facts", Obs.Json.Num (float_of_int facts));
+            ("reps", Obs.Json.Num (float_of_int reps));
+            ( "stages",
+              Obs.Json.Obj
+                (List.map
+                   (fun (stage, median_ms, samples) ->
+                     ( stage,
+                       Obs.Json.Obj
+                         [
+                           ("median_ms", Obs.Json.Num median_ms);
+                           ( "runs_ms",
+                             Obs.Json.Arr
+                               (List.map (fun s -> Obs.Json.Num s) samples) );
+                         ] ))
+                   stages) );
+          ])
+      measured
   in
   let doc =
     Obs.Json.Obj
@@ -761,6 +874,7 @@ let obs_bench () =
       | _ -> failwith (obs_json_path ^ ": no runs")));
   row "wrote %s (%d runs, %d reps each) -- JSON validated\n" obs_json_path
     (List.length runs) reps
+  end
 
 (* ------------------------------------------------------------------ *)
 (* PAR: the multicore execution layer — per-stage medians at --jobs 1  *)
@@ -1160,6 +1274,9 @@ let () =
     | [] -> List.rev names
     | "--smoke" :: rest ->
         fast_mode := true;
+        parse names rest
+    | "--check" :: rest ->
+        obs_check := true;
         parse names rest
     | "--jobs" :: n :: rest ->
         (match Prelude.Pool.parse_jobs (Some n) with

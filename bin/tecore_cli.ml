@@ -102,10 +102,25 @@ let deadline_of ~timeout =
 
 (* ------------------------------------------------------------------ *)
 
+(* Write [text] to [path], surfacing filesystem problems on the IO exit
+   code like every other output path of the CLI. *)
+let write_file path text =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text)
+  with Sys_error msg -> raise (Cli_error (exit_io, msg))
+
 let resolve data rules engine jobs threshold timeout on_timeout output
-    verbose explain json stats trace =
+    verbose explain json stats trace log_level trace_out metrics_out =
   handle (fun () ->
-      let observing = stats || trace in
+      (* Any telemetry consumer flips observability on; a plain run keeps
+         it off so the output stays byte-identical to earlier releases. *)
+      let observing =
+        stats || trace || log_level <> None || trace_out <> None
+        || metrics_out <> None
+      in
       if observing then begin
         Obs.reset ();
         Obs.set_enabled true
@@ -117,10 +132,40 @@ let resolve data rules engine jobs threshold timeout on_timeout output
                Printf.eprintf "[trace] %s%s %.3f ms\n%!"
                  (String.make (2 * depth) ' ')
                  name ms));
+      (match log_level with
+      | None -> ()
+      | Some level ->
+          let min_severity = Obs.Events.severity level in
+          Obs.set_event_hook
+            (Some
+               (fun (e : Obs.Events.event) ->
+                 if Obs.Events.severity e.Obs.Events.level >= min_severity
+                 then
+                   Printf.eprintf "[%s] %8.1f ms %s%s\n%!"
+                     (Obs.Events.level_name e.Obs.Events.level)
+                     e.Obs.Events.t_ms e.Obs.Events.name
+                     (String.concat ""
+                        (List.map
+                           (fun (k, v) ->
+                             Printf.sprintf " %s=%s" k
+                               (Obs.Events.value_to_string v))
+                           e.Obs.Events.fields)))));
       let session = load_session ?rules_file:rules data in
       (* Start the clock once the inputs are in memory: the budget is
          for the resolve pipeline (grounding + solving), not file IO. *)
       let deadline = deadline_of ~timeout in
+      (* Telemetry exports share one captured report with --stats/--json
+         so every consumer sees the same numbers. *)
+      let export_telemetry obs =
+        (match (trace_out, obs) with
+        | Some path, Some r ->
+            write_file path
+              (Obs.Json.to_string (Obs.Export.chrome_trace r) ^ "\n")
+        | _ -> ());
+        match (metrics_out, obs) with
+        | Some path, Some r -> write_file path (Obs.Export.open_metrics r)
+        | _ -> ()
+      in
       match
         Tecore.Session.resolve ~engine ?jobs ?threshold ~deadline ~on_timeout
           session
@@ -149,6 +194,7 @@ let resolve data rules engine jobs threshold timeout on_timeout output
                       result.Tecore.Engine.stats.Tecore.Engine.status) ))
       | Ok result when json ->
           let obs = if observing then Some (Obs.Report.capture ()) else None in
+          export_telemetry obs;
           print_endline
             (Tecore.Json_out.of_result
                ~namespace:(Tecore.Session.namespace session)
@@ -189,10 +235,13 @@ let resolve data rules engine jobs threshold timeout on_timeout output
                 path
                 result.Tecore.Engine.resolution.Tecore.Conflict.consistent;
               Printf.printf "consistent KG written to %s\n" path);
-          if stats then begin
-            print_endline "-- observability --";
-            Format.printf "%a@." Obs.Report.pp (Obs.Report.capture ())
-          end)
+          let obs = if observing then Some (Obs.Report.capture ()) else None in
+          export_telemetry obs;
+          (match obs with
+          | Some r when stats ->
+              print_endline "-- observability --";
+              Format.printf "%a@." Obs.Report.pp r
+          | _ -> ()))
 
 let timeout_arg =
   let doc =
@@ -270,13 +319,51 @@ let resolve_cmd =
          & info [ "trace" ]
              ~doc:"Stream span close events to stderr as they happen.")
   in
+  let log_level =
+    Arg.(
+      value
+      & opt
+          (some
+             (Arg.enum
+                [
+                  ("debug", Obs.Events.Debug);
+                  ("info", Obs.Events.Info);
+                  ("warn", Obs.Events.Warn);
+                  ("error", Obs.Events.Error);
+                ]))
+          None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Stream structured pipeline events at or above LEVEL \
+                (debug, info, warn, error) to stderr as they happen; the \
+                full event log also lands in $(b,--json) and the \
+                $(b,--stats) report.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event JSON timeline of the resolve \
+                pipeline (per-stage spans, one lane per worker domain) to \
+                FILE; load it in chrome://tracing or Perfetto.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write all counters, gauges, histogram quantiles and \
+                convergence series in OpenMetrics (Prometheus) text \
+                exposition format to FILE.")
+  in
   Cmd.v
     (Cmd.info "resolve" ~exits:resolve_exits
        ~doc:"Compute the most probable conflict-free temporal KG")
     Term.(
       const resolve $ data_arg $ rules_arg $ engine_arg $ jobs_arg
       $ threshold_arg $ timeout_arg $ on_timeout_arg $ output $ verbose
-      $ explain $ json $ stats $ trace)
+      $ explain $ json $ stats $ trace $ log_level $ trace_out
+      $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 

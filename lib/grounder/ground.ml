@@ -49,6 +49,12 @@ let closure ?(max_rounds = 50) ?(deadline = Prelude.Deadline.none) store rules
       failwith
         (Printf.sprintf "Grounder.closure: no fixpoint after %d rounds"
            max_rounds);
+    if Prelude.Deadline.Faults.active "slow_ground" then
+      Obs.event ~level:Obs.Events.Warn "fault.slow_ground"
+        [
+          ("round", Obs.Events.Int round);
+          ("delay_ms", Obs.Events.Int (Prelude.Deadline.Faults.arg "slow_ground"));
+        ];
     Prelude.Deadline.Faults.delay "slow_ground";
     if Prelude.Deadline.expired deadline then
       raise
@@ -72,7 +78,10 @@ let closure ?(max_rounds = 50) ?(deadline = Prelude.Deadline.none) store rules
                         :: !derived)
               bindings)
       inference;
-    if Atom_store.size store > before then loop (round + 1) else round
+    let added = Atom_store.size store - before in
+    Obs.event ~level:Obs.Events.Debug "ground.round"
+      [ ("round", Obs.Events.Int round); ("new_atoms", Obs.Events.Int added) ];
+    if added > 0 then loop (round + 1) else round
   in
   let rounds = loop 1 in
   (List.rev !derived, rounds)

@@ -17,6 +17,20 @@ let solve ?(eps = 1e-6) ?(max_nodes = 100_000)
   let incumbent = ref None in
   let nodes = ref 0 in
   let exhausted = ref false in
+  let observing = Obs.enabled () in
+  (* Incumbent trail: (absolute ms, negated objective) at every
+     improvement — branch-and-bound maximises, so the negation is a
+     cost that only decreases. *)
+  let trail = ref [] in
+  let note value =
+    if observing then begin
+      trail := (Prelude.Timing.now_ms (), -.value) :: !trail;
+      Obs.event ~level:Obs.Events.Debug "milp.incumbent"
+        [
+          ("value", Obs.Events.Float value); ("node", Obs.Events.Int !nodes);
+        ]
+    end
+  in
   let better value =
     match !incumbent with None -> true | Some (_, v) -> value > v +. eps
   in
@@ -44,7 +58,9 @@ let solve ?(eps = 1e-6) ?(max_nodes = 100_000)
               List.filter (fun v -> not (is_integral ~eps x.(v))) binary
             in
             match fractional with
-            | [] -> incumbent := Some (Array.copy x, value)
+            | [] ->
+                incumbent := Some (Array.copy x, value);
+                note value
             | _ ->
                 (* Branch on the most fractional binary variable. *)
                 let v =
@@ -64,6 +80,29 @@ let solve ?(eps = 1e-6) ?(max_nodes = 100_000)
   explore [];
   Obs.count ~n:!nodes "milp.nodes";
   Obs.record "milp.nodes_per_solve" (float_of_int !nodes);
+  if observing then begin
+    let samples =
+      match List.rev !trail with
+      | [] ->
+          (* No incumbent found (infeasible, or the budget expired
+             before the first integral solution). *)
+          [ (Prelude.Timing.now_ms (), 0.0) ]
+      | samples -> samples
+    in
+    ignore
+      (List.fold_left
+         (fun running (t, v) ->
+           let running = Float.min running v in
+           Obs.sample "milp.convergence" ~t_ms:t ~v:running;
+           running)
+         infinity samples);
+    Obs.event ~level:Obs.Events.Debug "milp.search"
+      [
+        ("nodes", Obs.Events.Int !nodes);
+        ("optimal", Obs.Events.Bool (not !exhausted));
+        ("incumbent", Obs.Events.Bool (!incumbent <> None));
+      ]
+  end;
   match !incumbent with
   | None -> None
   | Some (x, value) ->

@@ -45,9 +45,17 @@ let solve ?solver ?(deadline = Deadline.none) ~init (network : Network.t) =
           incr added
         end)
       network.clauses;
+    Obs.event ~level:Obs.Events.Debug "cpi.round"
+      [
+        ("iteration", Obs.Events.Int iteration);
+        ("activated", Obs.Events.Int !added);
+      ];
     if !added = 0 then (assignment, status, iteration)
-    else if Deadline.expired deadline then
+    else if Deadline.expired deadline then begin
+      Obs.event ~level:Obs.Events.Warn "cpi.expired"
+        [ ("iteration", Obs.Events.Int iteration) ];
       (assignment, Deadline.worst status Deadline.Timed_out, iteration)
+    end
     else begin
       let sub = build_active () in
       (* Restart every inner solve from the caller's init: re-seeding

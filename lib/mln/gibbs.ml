@@ -63,6 +63,7 @@ let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
      marginals always divide by the number of sweeps actually counted —
      never by the nominal [samples]. Polling happens between sweeps (a
      sweep touches every atom; mid-sweep states are not sample points). *)
+  let observing = Obs.enabled () in
   let run_chain k =
     if k > 0 then Deadline.Faults.inject "worker_crash" ~index:k;
     let chain_seed = if k = 0 then seed else Prng.subseed seed k in
@@ -87,16 +88,32 @@ let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
     done;
     let counts = Array.make n 0 in
     let recorded = ref 0 in
+    (* Progress trail for the convergence timeline: (absolute ms,
+       sweeps recorded since the previous entry), sampled every 16
+       recorded sweeps plus once at the end. Collected newest first,
+       merged across chains by the coordinator. *)
+    let trail = ref [] in
+    let last_noted = ref 0 in
+    let note () =
+      if observing && !recorded > !last_noted then begin
+        trail :=
+          (Prelude.Timing.now_ms (), float_of_int (!recorded - !last_noted))
+          :: !trail;
+        last_noted := !recorded
+      end
+    in
     for _ = 1 to samples do
       budgeted_sweep ();
       if not !halted then begin
         incr recorded;
         for v = 0 to n - 1 do
           if state.(v) then counts.(v) <- counts.(v) + 1
-        done
+        done;
+        if !recorded land 15 = 0 then note ()
       end
     done;
-    (counts, !recorded, !sweeps)
+    note ();
+    (counts, !recorded, !sweeps, List.rev !trail)
   in
   let results =
     Pool.map_results ~deadline pool run_chain (List.init chains Fun.id)
@@ -109,18 +126,59 @@ let run ?(seed = 7) ?(burn_in = 1_000) ?(samples = 5_000)
   in
   let totals = Array.make n 0 in
   List.iter
-    (fun (counts, _, _) ->
+    (fun (counts, _, _, _) ->
       for v = 0 to n - 1 do
         totals.(v) <- totals.(v) + counts.(v)
       done)
     completed;
   let recorded =
-    List.fold_left (fun acc (_, r, _) -> acc + r) 0 completed
+    List.fold_left (fun acc (_, r, _, _) -> acc + r) 0 completed
   in
-  let sweeps = List.fold_left (fun acc (_, _, s) -> acc + s) 0 completed in
+  let sweeps =
+    List.fold_left (fun acc (_, _, s, _) -> acc + s) 0 completed
+  in
   Obs.count ~n:sweeps "gibbs.sweeps";
   Obs.count ~n:recorded "gibbs.samples";
   Obs.count ~n:chains "gibbs.chains";
+  if observing then begin
+    (* Cumulative recorded sweeps over time, merged across chains. *)
+    let deltas =
+      List.concat_map (fun (_, _, _, trail) -> trail) completed
+      |> List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+    in
+    let deltas =
+      match deltas with
+      | [] -> [ (Prelude.Timing.now_ms (), float_of_int recorded) ]
+      | _ -> deltas
+    in
+    ignore
+      (List.fold_left
+         (fun acc (t, d) ->
+           let acc = acc +. d in
+           Obs.sample "gibbs.convergence" ~t_ms:t ~v:acc;
+           acc)
+         0.0 deltas);
+    List.iteri
+      (fun k r ->
+        match r with
+        | Ok (_, chain_recorded, chain_sweeps, _) ->
+            Obs.event ~level:Obs.Events.Debug "gibbs.chain"
+              [
+                ("chain", Obs.Events.Int k);
+                ("sweeps", Obs.Events.Int chain_sweeps);
+                ("recorded", Obs.Events.Int chain_recorded);
+              ]
+        | Error Deadline.Expired ->
+            Obs.event ~level:Obs.Events.Warn "gibbs.chain_expired"
+              [ ("chain", Obs.Events.Int k) ]
+        | Error e ->
+            Obs.event ~level:Obs.Events.Warn "gibbs.chain_crashed"
+              [
+                ("chain", Obs.Events.Int k);
+                ("error", Obs.Events.Str (Printexc.to_string e));
+              ])
+      results
+  end;
   let status =
     if crashed || recorded = 0 then Deadline.Degraded
     else if Deadline.expired deadline || recorded < chains * samples then

@@ -65,6 +65,12 @@ type outcome = {
    the behaviour (including exhausted-node-budget results) is exactly
    the pre-deadline one. *)
 let walk_fallback options network ~init =
+  Obs.event "solver.degraded"
+    [
+      ("from", Obs.Events.Str "exact");
+      ("to", Obs.Events.Str "walksat");
+      ("remaining_ms", Obs.Events.Float (Deadline.remaining_ms options.deadline));
+    ];
   let assignment, _ =
     Maxwalksat.solve ~seed:options.seed ~max_flips:options.max_flips
       ~restarts:options.restarts ~portfolio:options.portfolio
@@ -167,6 +173,11 @@ let run_store ?(options = default_options) store rules =
     if status = Deadline.Completed || violations = 0 then (violations, status)
     else
       let remaining = Network.repair_hard network assignment in
+      Obs.event ~level:Obs.Events.Warn "solver.hard_repair"
+        [
+          ("violations", Obs.Events.Int violations);
+          ("remaining", Obs.Events.Int remaining);
+        ];
       if Deadline.is_finite options.deadline then
         Obs.count ~n:(violations - remaining) "deadline.hard_repairs";
       if remaining > 0 then (remaining, Deadline.Degraded)

@@ -212,9 +212,17 @@ type attempt = {
   a_cost : int * float;
   a_assignment : bool array;
   a_flips : int;
+  a_trail : (float * float) list;
+      (* (absolute ms, scalarised best cost) at each improvement,
+         newest first; [] unless observability is enabled *)
 }
 
-let skipped_attempt = { a_cost = (max_int, infinity); a_assignment = [||]; a_flips = 0 }
+let skipped_attempt =
+  { a_cost = (max_int, infinity); a_assignment = [||]; a_flips = 0; a_trail = [] }
+
+(* Hard violations dominate soft cost lexicographically; one scalar for
+   the convergence timeline. Soft weights are nowhere near 1e9. *)
+let scalar_cost (h, s) = (float_of_int h *. 1e9) +. s
 
 (* Lower [stop] to [k] if no smaller index is recorded yet. *)
 let rec note_perfect stop k =
@@ -226,16 +234,24 @@ let rec note_perfect stop k =
    complete assignment. *)
 let poll_mask = 0xff
 
-let descend st rng ~max_flips ~stall ~noise ~deadline ~stop ~k start =
+let descend st rng ~max_flips ~stall ~noise ~deadline ~stop ~k ~observing
+    start =
   reset_state st start;
   let current_cost st = (st.unsat_hard.len, st.soft_cost) in
   let best = ref (Array.copy st.assignment) in
   let best_cost = ref (current_cost st) in
+  let trail = ref [] in
+  let note cost =
+    if observing then
+      trail := (Prelude.Timing.now_ms (), scalar_cost cost) :: !trail
+  in
+  note !best_cost;
   let update_best () =
     let cost = current_cost st in
     if better cost !best_cost then begin
       best_cost := cost;
       Array.blit st.assignment 0 !best 0 (Array.length st.assignment);
+      note cost;
       true
     end
     else false
@@ -288,7 +304,8 @@ let descend st rng ~max_flips ~stall ~noise ~deadline ~stop ~k start =
   done;
   let cost = evaluate st.network !best in
   if perfect cost then note_perfect stop k;
-  { a_cost = cost; a_assignment = !best; a_flips = !flips }
+  note cost;
+  { a_cost = cost; a_assignment = !best; a_flips = !flips; a_trail = !trail }
 
 let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
     ?(stall = 20_000) ?init ?(portfolio = []) ?(pool = Pool.sequential)
@@ -308,6 +325,7 @@ let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
       (List.init (max 1 restarts) (fun i -> Prng.subseed seed i) @ portfolio)
   in
   let occurrences = build_occurrences network in
+  let observing = Obs.enabled () in
   let stop = Atomic.make max_int in
   let start_of_task rng k =
     if k = 0 then Array.copy base
@@ -341,7 +359,8 @@ let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
       if k > 0 then Deadline.Faults.inject "worker_crash" ~index:k;
       let rng = Prng.create seeds.(k) in
       let start = start_of_task rng k in
-      descend st rng ~max_flips ~stall ~noise ~deadline ~stop ~k start
+      descend st rng ~max_flips ~stall ~noise ~deadline ~stop ~k ~observing
+        start
     end
   in
   let results =
@@ -396,6 +415,7 @@ let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
           a_cost = evaluate network base;
           a_assignment = Array.copy base;
           a_flips = 0;
+          a_trail = [];
         }
   in
   let total_flips = List.fold_left (fun acc a -> acc + a.a_flips) 0 attempts in
@@ -414,5 +434,49 @@ let solve ?(seed = 7) ?(max_flips = 100_000) ?(restarts = 3) ?(noise = 0.2)
   Obs.count ~n:(List.length attempts) "walksat.portfolio_tasks";
   Obs.record "walksat.flips_per_solve" (float_of_int total_flips);
   Obs.gauge "walksat.soft_cost" soft_cost;
+  if observing then begin
+    (* Convergence timeline: improvement samples from every attempt,
+       time-ordered, lowered to a running minimum so the curve is the
+       portfolio-wide best-so-far (non-increasing by construction). *)
+    let samples =
+      List.concat_map (fun a -> List.rev a.a_trail) attempts
+      |> List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+    in
+    let samples =
+      match samples with
+      | [] -> [ (Prelude.Timing.now_ms (), scalar_cost best.a_cost) ]
+      | _ -> samples
+    in
+    ignore
+      (List.fold_left
+         (fun running (t, c) ->
+           let running = Float.min running c in
+           Obs.sample "walksat.convergence" ~t_ms:t ~v:running;
+           running)
+         infinity samples);
+    List.iteri
+      (fun k r ->
+        match r with
+        | Ok a when a.a_flips > 0 ->
+            let h, s = a.a_cost in
+            Obs.event ~level:Obs.Events.Debug "walksat.restart"
+              [
+                ("task", Obs.Events.Int k);
+                ("flips", Obs.Events.Int a.a_flips);
+                ("hard", Obs.Events.Int h);
+                ("soft", Obs.Events.Float s);
+              ]
+        | Ok _ -> ()
+        | Error Deadline.Expired ->
+            Obs.event ~level:Obs.Events.Warn "walksat.task_expired"
+              [ ("task", Obs.Events.Int k) ]
+        | Error e ->
+            Obs.event ~level:Obs.Events.Warn "walksat.task_crashed"
+              [
+                ("task", Obs.Events.Int k);
+                ("error", Obs.Events.Str (Printexc.to_string e));
+              ])
+      results
+  end;
   ( best.a_assignment,
     { flips = total_flips; restarts_used; hard_violated; soft_cost; status } )

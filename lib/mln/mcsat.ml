@@ -102,6 +102,7 @@ let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
      to the single-chain sampler); chain [k] derives its own stream, so
      the merged marginals depend only on [chains] and [seed], never on
      how the chains are scheduled. *)
+  let observing = Obs.enabled () in
   let run_chain k =
     if k > 0 then Deadline.Faults.inject "worker_crash" ~index:k;
     let chain_seed = if k = 0 then seed else Prng.subseed seed k in
@@ -111,6 +112,19 @@ let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
     let rejected = ref 0 in
     let recorded = ref 0 in
     let halted = ref false in
+    (* Progress trail for the convergence timeline: (absolute ms,
+       samples recorded since the previous entry), noted every 8
+       recorded slice-sampling steps plus once at the end. *)
+    let trail = ref [] in
+    let last_noted = ref 0 in
+    let note () =
+      if observing && !recorded > !last_noted then begin
+        trail :=
+          (Prelude.Timing.now_ms (), float_of_int (!recorded - !last_noted))
+          :: !trail;
+        last_noted := !recorded
+      end
+    in
     let step record =
       (* Slice selection: hard clauses always; satisfied soft clauses with
          probability 1 - exp(-w). *)
@@ -133,7 +147,8 @@ let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
         incr recorded;
         Array.iteri
           (fun v value -> if value then counts.(v) <- counts.(v) + 1)
-          !state
+          !state;
+        if !recorded land 7 = 0 then note ()
       end
     in
     (* A slice-sampling step is the polling granularity: a step runs a
@@ -150,7 +165,8 @@ let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
     for _ = 1 to samples do
       budgeted_step true
     done;
-    (counts, !rejected, !recorded)
+    note ();
+    (counts, !rejected, !recorded, List.rev !trail)
   in
   let results =
     Pool.map_results ~deadline pool run_chain (List.init chains Fun.id)
@@ -164,7 +180,7 @@ let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
   let totals = Array.make n 0 in
   let rejected =
     List.fold_left
-      (fun acc (counts, rej, _) ->
+      (fun acc (counts, rej, _, _) ->
         for v = 0 to n - 1 do
           totals.(v) <- totals.(v) + counts.(v)
         done;
@@ -172,11 +188,50 @@ let run ?(seed = 7) ?(burn_in = 100) ?(samples = 1_000)
       0 per_chain
   in
   let recorded =
-    List.fold_left (fun acc (_, _, r) -> acc + r) 0 per_chain
+    List.fold_left (fun acc (_, _, r, _) -> acc + r) 0 per_chain
   in
   Obs.count ~n:recorded "mcsat.samples";
   Obs.count ~n:rejected "mcsat.rejected";
   Obs.count ~n:chains "mcsat.chains";
+  if observing then begin
+    (* Cumulative recorded samples over time, merged across chains. *)
+    let deltas =
+      List.concat_map (fun (_, _, _, trail) -> trail) per_chain
+      |> List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+    in
+    let deltas =
+      match deltas with
+      | [] -> [ (Prelude.Timing.now_ms (), float_of_int recorded) ]
+      | _ -> deltas
+    in
+    ignore
+      (List.fold_left
+         (fun acc (t, d) ->
+           let acc = acc +. d in
+           Obs.sample "mcsat.convergence" ~t_ms:t ~v:acc;
+           acc)
+         0.0 deltas);
+    List.iteri
+      (fun k r ->
+        match r with
+        | Ok (_, chain_rejected, chain_recorded, _) ->
+            Obs.event ~level:Obs.Events.Debug "mcsat.chain"
+              [
+                ("chain", Obs.Events.Int k);
+                ("recorded", Obs.Events.Int chain_recorded);
+                ("rejected", Obs.Events.Int chain_rejected);
+              ]
+        | Error Deadline.Expired ->
+            Obs.event ~level:Obs.Events.Warn "mcsat.chain_expired"
+              [ ("chain", Obs.Events.Int k) ]
+        | Error e ->
+            Obs.event ~level:Obs.Events.Warn "mcsat.chain_crashed"
+              [
+                ("chain", Obs.Events.Int k);
+                ("error", Obs.Events.Str (Printexc.to_string e));
+              ])
+      results
+  end;
   let status =
     if crashed || recorded = 0 then Deadline.Degraded
     else if Deadline.expired deadline || recorded < chains * samples then

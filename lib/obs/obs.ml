@@ -1,7 +1,10 @@
-(* Span-based tracing and metrics. One implicit stack of open frames;
-   closing a frame folds it into its parent as a completed node. All
-   entry points are single-flag no-ops while disabled, so the pipeline
-   keeps its instrumentation in release builds. *)
+(* Span-based tracing and metrics. One implicit stack of open frames
+   per domain; closing a frame folds it into its parent as a completed
+   node. The domain that last called [reset] owns the main stack; every
+   other domain that opens a span gets a lazily-created "workers/<i>"
+   lane, merged into the report as a top-level subtree. All entry
+   points are single-flag no-ops while disabled, so the pipeline keeps
+   its instrumentation in release builds. *)
 
 module Histogram = struct
   type t = { mutable data : float array; mutable len : int }
@@ -61,6 +64,120 @@ module Histogram = struct
   let to_list h = Array.to_list (Array.sub h.data 0 h.len)
 end
 
+module Series = struct
+  (* Bounded (x, y) timeline. Downsampling is by decimation, not random
+     reservoir: when the buffer fills, every other kept point is
+     dropped and the keep-stride doubles, so the retained points are
+     always a subsequence of the input — monotone inputs stay monotone.
+     The most recent sample is tracked separately so the curve always
+     ends at the final value. Memory is O(cap) regardless of length. *)
+  type t = {
+    cap : int;
+    mutable xs : float array;
+    mutable ys : float array;
+    mutable len : int;
+    mutable stride : int; (* keep every stride-th offered sample *)
+    mutable pending : int; (* offers since the last kept sample *)
+    mutable total : int; (* samples offered overall *)
+    mutable last : (float * float) option;
+  }
+
+  let default_cap = 512
+
+  let create ?(cap = default_cap) () =
+    let cap = max 8 cap in
+    {
+      cap;
+      xs = Array.make cap 0.0;
+      ys = Array.make cap 0.0;
+      len = 0;
+      stride = 1;
+      pending = 0;
+      total = 0;
+      last = None;
+    }
+
+  let add s ~x ~y =
+    s.total <- s.total + 1;
+    s.last <- Some (x, y);
+    s.pending <- s.pending + 1;
+    if s.pending >= s.stride then begin
+      s.pending <- 0;
+      if s.len = s.cap then begin
+        let j = ref 0 in
+        let i = ref 0 in
+        while !i < s.len do
+          s.xs.(!j) <- s.xs.(!i);
+          s.ys.(!j) <- s.ys.(!i);
+          incr j;
+          i := !i + 2
+        done;
+        s.len <- !j;
+        s.stride <- s.stride * 2
+      end;
+      s.xs.(s.len) <- x;
+      s.ys.(s.len) <- y;
+      s.len <- s.len + 1
+    end
+
+  let count s = s.total
+
+  let points s =
+    let kept = List.init s.len (fun i -> (s.xs.(i), s.ys.(i))) in
+    match s.last with
+    | Some (x, y)
+      when s.len = 0 || s.xs.(s.len - 1) <> x || s.ys.(s.len - 1) <> y ->
+        kept @ [ (x, y) ]
+    | _ -> kept
+
+  let length s = List.length (points s)
+
+  let merge a b =
+    let pts =
+      List.stable_sort
+        (fun (x1, _) (x2, _) -> Float.compare x1 x2)
+        (points a @ points b)
+    in
+    let s = create ~cap:(max a.cap b.cap) () in
+    List.iter (fun (x, y) -> add s ~x ~y) pts;
+    s.total <- a.total + b.total;
+    s
+end
+
+module Events = struct
+  type level = Debug | Info | Warn | Error
+
+  type value = Int of int | Float of float | Str of string | Bool of bool
+
+  type event = {
+    t_ms : float; (* milliseconds since the last reset *)
+    level : level;
+    name : string;
+    fields : (string * value) list;
+  }
+
+  let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+  let level_name = function
+    | Debug -> "debug"
+    | Info -> "info"
+    | Warn -> "warn"
+    | Error -> "error"
+
+  let level_of_string = function
+    | "debug" -> Some Debug
+    | "info" -> Some Info
+    | "warn" | "warning" -> Some Warn
+    | "error" -> Some Error
+    | _ -> None
+
+  let value_to_string = function
+    | Int i -> string_of_int i
+    | Float f -> Printf.sprintf "%g" f
+    | Str s -> s
+    | Bool b -> string_of_bool b
+end
+
 module Json = struct
   type t =
     | Null
@@ -90,7 +207,19 @@ module Json = struct
     if not (Float.is_finite f) then "null"
     else if Float.is_integer f && Float.abs f < 1e15 then
       Printf.sprintf "%.0f" f
-    else Printf.sprintf "%.12g" f
+    else begin
+      (* Shortest of %.12g/%.15g/%.16g/%.17g that parses back to the
+         same float: keeps the previous %.12g output for almost every
+         value while making print/parse an exact round trip. *)
+      let s = Printf.sprintf "%.12g" f in
+      if float_of_string s = f then s
+      else
+        let s = Printf.sprintf "%.15g" f in
+        if float_of_string s = f then s
+        else
+          let s = Printf.sprintf "%.16g" f in
+          if float_of_string s = f then s else Printf.sprintf "%.17g" f
+    end
 
   let rec add_value buf = function
     | Null -> Buffer.add_string buf "null"
@@ -211,7 +340,12 @@ module Json = struct
         advance ()
       done;
       match float_of_string_opt (String.sub text start (!pos - start)) with
-      | Some f -> Num f
+      | Some f when Float.is_finite f -> Num f
+      | Some _ ->
+          (* e.g. "1e999": syntactically a JSON number but not a finite
+             float. Report at the number's first byte. *)
+          pos := start;
+          fail "non-finite number"
       | None -> fail "malformed number"
     in
     let rec parse_value () =
@@ -294,6 +428,7 @@ type metrics = {
   m_counters : (string, float ref) Hashtbl.t;
   m_gauges : (string, float ref) Hashtbl.t;
   m_hists : (string, Histogram.t) Hashtbl.t;
+  m_series : (string, Series.t) Hashtbl.t;
 }
 
 let fresh_metrics () =
@@ -301,6 +436,7 @@ let fresh_metrics () =
     m_counters = Hashtbl.create 8;
     m_gauges = Hashtbl.create 4;
     m_hists = Hashtbl.create 4;
+    m_series = Hashtbl.create 4;
   }
 
 type node = {
@@ -310,7 +446,10 @@ type node = {
   counters : (string * float) list;
   gauges : (string * float) list;
   hists : (string * Histogram.t) list;
+  series : (string * Series.t) list;
   children : node list;
+  slices : (float * float) list;
+      (* per call: (start offset from the last reset, duration), ms *)
 }
 
 type frame = {
@@ -332,13 +471,38 @@ let is_enabled = ref false
 
 let trace_hook : (depth:int -> string -> float -> unit) option ref = ref None
 
-(* The bottom of the stack is the permanent root frame. *)
+(* The bottom of the stack is the permanent root frame, owned by the
+   domain that last called [reset]. *)
 let stack = ref [ fresh_frame "root" ]
+let main_domain = ref (Domain.self () :> int)
 
-(* Solver tasks running on a Prelude.Pool emit counters from worker
-   domains while the coordinator blocks in the join, so every mutation
-   of the stack and of the per-frame registries is serialised here. The
-   disabled path stays a single unsynchronised flag test. *)
+(* Spans opened by any other domain (crew workers, mostly, via the
+   Pool task hook) collect into per-domain lanes instead, reported as
+   "workers/<i>" top-level subtrees. Lane indices are assigned in
+   first-span order, so which worker gets which index is
+   scheduling-dependent — reports are equivalent only modulo that. *)
+type worker = {
+  w_index : int;
+  w_root : frame;
+  mutable w_stack : frame list; (* open frames, innermost first *)
+}
+
+let workers : (int, worker) Hashtbl.t = Hashtbl.create 8
+let next_worker = ref 0
+
+(* Structured event log: a bounded ring so unbounded Debug chatter
+   cannot grow the process; overflow drops the oldest events. *)
+let default_event_capacity = 4096
+let event_ring = ref (Array.make default_event_capacity (None : Events.event option))
+let event_head = ref 0 (* next write position *)
+let event_stored = ref 0
+let event_dropped = ref 0
+let event_hook : (Events.event -> unit) option ref = ref None
+
+(* Solver tasks running on a Prelude.Pool emit from worker domains
+   while the coordinator blocks in the join, so every mutation of the
+   stacks, the event ring and the per-frame registries is serialised
+   here. The disabled path stays a single unsynchronised flag test. *)
 let lock = Mutex.create ()
 
 let locked f =
@@ -348,10 +512,39 @@ let locked f =
 let enabled () = !is_enabled
 let set_enabled b = locked (fun () -> is_enabled := b)
 let set_trace h = locked (fun () -> trace_hook := h)
-let reset () = locked (fun () -> stack := [ fresh_frame "root" ])
+let set_event_hook h = locked (fun () -> event_hook := h)
 
+let reset () =
+  locked (fun () ->
+      stack := [ fresh_frame "root" ];
+      main_domain := (Domain.self () :> int);
+      Hashtbl.reset workers;
+      next_worker := 0;
+      Array.fill !event_ring 0 (Array.length !event_ring) None;
+      event_head := 0;
+      event_stored := 0;
+      event_dropped := 0)
+
+(* Call with the lock held. *)
+let root_frame () =
+  let rec last = function
+    | [ fr ] -> fr
+    | _ :: rest -> last rest
+    | [] -> assert false
+  in
+  last !stack
+
+(* Innermost frame for the calling domain; with the lock held. A domain
+   that is neither the owner of the main stack nor inside one of its
+   own spans attaches to the coordinator's innermost span, preserving
+   the pre-lane behaviour for bare metric emissions from workers. *)
 let current () =
-  match !stack with frame :: _ -> frame | [] -> assert false
+  let did = (Domain.self () :> int) in
+  if did = !main_domain then List.hd !stack
+  else
+    match Hashtbl.find_opt workers did with
+    | Some { w_stack = fr :: _; _ } -> fr
+    | _ -> List.hd !stack
 
 let sorted_assoc tbl extract =
   Hashtbl.fold (fun k v acc -> (k, extract v) :: acc) tbl []
@@ -360,8 +553,9 @@ let sorted_assoc tbl extract =
 let metrics_counters m = sorted_assoc m.m_counters (fun r -> !r)
 let metrics_gauges m = sorted_assoc m.m_gauges (fun r -> !r)
 let metrics_hists m = sorted_assoc m.m_hists (fun h -> h)
+let metrics_series m = sorted_assoc m.m_series (fun s -> s)
 
-let node_of_frame fr elapsed =
+let node_of_frame ~epoch fr elapsed =
   {
     name = fr.fname;
     calls = 1;
@@ -369,29 +563,70 @@ let node_of_frame fr elapsed =
     counters = metrics_counters fr.fmetrics;
     gauges = metrics_gauges fr.fmetrics;
     hists = metrics_hists fr.fmetrics;
+    series = metrics_series fr.fmetrics;
     children = List.rev fr.fchildren;
+    slices = [ (fr.start_ms -. epoch, elapsed) ];
   }
 
 let span name f =
   if not !is_enabled then f ()
   else begin
     let fr = fresh_frame name in
-    locked (fun () -> stack := fr :: !stack);
+    let did = (Domain.self () :> int) in
+    locked (fun () ->
+        if did = !main_domain then stack := fr :: !stack
+        else begin
+          let w =
+            match Hashtbl.find_opt workers did with
+            | Some w -> w
+            | None ->
+                let w =
+                  {
+                    w_index = !next_worker;
+                    w_root =
+                      fresh_frame (Printf.sprintf "workers/%d" !next_worker);
+                    w_stack = [];
+                  }
+                in
+                incr next_worker;
+                Hashtbl.add workers did w;
+                w
+          in
+          w.w_stack <- fr :: w.w_stack
+        end);
     let close () =
       let elapsed = Prelude.Timing.now_ms () -. fr.start_ms in
       locked (fun () ->
-          match !stack with
-          | top :: parent :: rest when top == fr ->
-              stack := parent :: rest;
-              parent.fchildren <- node_of_frame fr elapsed :: parent.fchildren;
-              (match !trace_hook with
-              | Some hook when !is_enabled ->
-                  hook ~depth:(List.length rest) name elapsed
-              | _ -> ())
-          | _ ->
-              (* A reset happened under us (or collection was toggled while
-                 the span was open): the frame is an orphan; drop it. *)
-              ())
+          let finish parent depth =
+            parent.fchildren <-
+              node_of_frame ~epoch:(root_frame ()).start_ms fr elapsed
+              :: parent.fchildren;
+            match !trace_hook with
+            | Some hook when !is_enabled -> hook ~depth name elapsed
+            | _ -> ()
+          in
+          if did = !main_domain then
+            match !stack with
+            | top :: parent :: rest when top == fr ->
+                stack := parent :: rest;
+                finish parent (List.length rest)
+            | _ ->
+                (* A reset happened under us (or collection was toggled
+                   while the span was open): the frame is an orphan;
+                   drop it. *)
+                ()
+          else
+            match Hashtbl.find_opt workers did with
+            | Some w -> (
+                match w.w_stack with
+                | top :: rest when top == fr ->
+                    w.w_stack <- rest;
+                    let parent =
+                      match rest with p :: _ -> p | [] -> w.w_root
+                    in
+                    finish parent (List.length rest)
+                | _ -> ())
+            | None -> ())
     in
     Fun.protect ~finally:close f
   end
@@ -425,6 +660,58 @@ let record name v =
             Histogram.add h v;
             Hashtbl.add m.m_hists name h)
 
+let sample name ~t_ms ~v =
+  if !is_enabled then
+    locked (fun () ->
+        let m = (current ()).fmetrics in
+        let x = t_ms -. (root_frame ()).start_ms in
+        match Hashtbl.find_opt m.m_series name with
+        | Some s -> Series.add s ~x ~y:v
+        | None ->
+            let s = Series.create () in
+            Series.add s ~x ~y:v;
+            Hashtbl.add m.m_series name s)
+
+(* Events in ring order, oldest first; with the lock held. *)
+let events_locked () =
+  let ring = !event_ring in
+  let cap = Array.length ring in
+  let start = ((!event_head - !event_stored) mod cap + cap) mod cap in
+  List.init !event_stored (fun i ->
+      match ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let event ?(level = Events.Info) name fields =
+  if !is_enabled then
+    locked (fun () ->
+        let t_ms = Prelude.Timing.now_ms () -. (root_frame ()).start_ms in
+        let e = { Events.t_ms; level; name; fields } in
+        let ring = !event_ring in
+        let cap = Array.length ring in
+        if !event_stored = cap then incr event_dropped
+        else incr event_stored;
+        ring.(!event_head) <- Some e;
+        event_head := (!event_head + 1) mod cap;
+        match !event_hook with Some h -> h e | None -> ())
+
+let set_event_capacity cap =
+  let cap = max 1 cap in
+  locked (fun () ->
+      let old = events_locked () in
+      let n = List.length old in
+      let discard = max 0 (n - cap) in
+      let kept = List.filteri (fun i _ -> i >= discard) old in
+      let ring = Array.make cap None in
+      List.iteri (fun i e -> ring.(i) <- Some e) kept;
+      event_ring := ring;
+      event_stored := List.length kept;
+      event_head := !event_stored mod cap;
+      event_dropped := !event_dropped + discard)
+
+let event_capacity () = locked (fun () -> Array.length !event_ring)
+let events_dropped () = locked (fun () -> !event_dropped)
+
 (* ------------------------------------------------------------------ *)
 (* Reports.                                                            *)
 
@@ -436,7 +723,9 @@ module Report = struct
     counters : (string * float) list;
     gauges : (string * float) list;
     hists : (string * Histogram.t) list;
+    series : (string * Series.t) list;
     children : node list;
+    slices : (float * float) list;
   }
 
   type t = {
@@ -444,7 +733,10 @@ module Report = struct
     counters : (string * float) list;
     gauges : (string * float) list;
     hists : (string * Histogram.t) list;
+    series : (string * Series.t) list;
     spans : node list;
+    events : Events.event list;
+    events_dropped : int;
   }
 
   (* Union of sorted assoc lists. *)
@@ -468,7 +760,9 @@ module Report = struct
       counters = merge_assoc ( +. ) a.counters b.counters;
       gauges = merge_assoc (fun _ later -> later) a.gauges b.gauges;
       hists = merge_assoc Histogram.merge a.hists b.hists;
+      series = merge_assoc Series.merge a.series b.series;
       children = a.children @ b.children;
+      slices = a.slices @ b.slices;
     }
 
   (* Merge same-named siblings, preserving first-appearance order. *)
@@ -491,13 +785,24 @@ module Report = struct
 
   let capture () =
     locked @@ fun () ->
-    let root = List.nth !stack (List.length !stack - 1) in
+    let now = Prelude.Timing.now_ms () in
+    let root = root_frame () in
+    let epoch = root.start_ms in
+    let worker_nodes =
+      Hashtbl.fold (fun _ w acc -> w :: acc) workers []
+      |> List.sort (fun a b -> compare a.w_index b.w_index)
+      |> List.map (fun w ->
+             node_of_frame ~epoch w.w_root (now -. w.w_root.start_ms))
+    in
     {
-      wall_ms = Prelude.Timing.now_ms () -. root.start_ms;
+      wall_ms = now -. epoch;
       counters = metrics_counters root.fmetrics;
       gauges = metrics_gauges root.fmetrics;
       hists = metrics_hists root.fmetrics;
-      spans = merge_siblings (List.rev root.fchildren);
+      series = metrics_series root.fmetrics;
+      spans = merge_siblings (List.rev root.fchildren @ worker_nodes);
+      events = events_locked ();
+      events_dropped = !event_dropped;
     }
 
   let self_ms nd =
@@ -522,7 +827,7 @@ module Report = struct
       Format.fprintf ppf "%.0f" v
     else Format.fprintf ppf "%g" v
 
-  let pp_metrics ~indent ppf (counters, gauges, hists) =
+  let pp_metrics ~indent ppf (counters, gauges, hists, series) =
     let pad = String.make indent ' ' in
     List.iter
       (fun (k, v) -> Format.fprintf ppf "%s. %s = %a@," pad k pp_value v)
@@ -532,11 +837,23 @@ module Report = struct
       gauges;
     List.iter
       (fun (k, h) ->
-        Format.fprintf ppf "%s. %s : n=%d mean=%a p50=%a p90=%a max=%a@," pad k
-          (Histogram.count h) pp_value (Histogram.mean h) pp_value
-          (Histogram.quantile h 0.5) pp_value (Histogram.quantile h 0.9)
+        Format.fprintf ppf "%s. %s : n=%d mean=%a p50=%a p95=%a max=%a@," pad
+          k (Histogram.count h) pp_value (Histogram.mean h) pp_value
+          (Histogram.quantile h 0.5) pp_value (Histogram.quantile h 0.95)
           pp_value (Histogram.maximum h))
-      hists
+      hists;
+    List.iter
+      (fun (k, s) ->
+        match Series.points s with
+        | [] -> ()
+        | pts ->
+            let x0, y0 = List.hd pts in
+            let xn, yn = List.nth pts (List.length pts - 1) in
+            Format.fprintf ppf
+              "%s. %s -> %d pts (of %d) over [%.1f..%.1f] ms, %a -> %a@," pad
+              k (List.length pts) (Series.count s) x0 xn pp_value y0 pp_value
+              yn)
+      series
 
   let rec pp_node ~depth ppf nd =
     let indent = 2 * depth in
@@ -551,19 +868,31 @@ module Report = struct
     if nd.children <> [] then
       Format.fprintf ppf "  (self %.3f ms)" (self_ms nd);
     Format.fprintf ppf "@,";
-    pp_metrics ~indent:(indent + 2) ppf (nd.counters, nd.gauges, nd.hists);
+    pp_metrics ~indent:(indent + 2) ppf
+      (nd.counters, nd.gauges, nd.hists, nd.series);
     List.iter (pp_node ~depth:(depth + 1) ppf) nd.children
 
   let pp ppf t =
     Format.fprintf ppf "@[<v>-- observability report (wall %.3f ms) --@,"
       t.wall_ms;
     List.iter (pp_node ~depth:0 ppf) t.spans;
-    pp_metrics ~indent:0 ppf (t.counters, t.gauges, t.hists);
+    pp_metrics ~indent:0 ppf (t.counters, t.gauges, t.hists, t.series);
+    (if t.events <> [] || t.events_dropped > 0 then
+       let per lv =
+         List.length (List.filter (fun e -> e.Events.level = lv) t.events)
+       in
+       Format.fprintf ppf
+         "events: %d (debug %d, info %d, warn %d, error %d)%s@,"
+         (List.length t.events) (per Events.Debug) (per Events.Info)
+         (per Events.Warn) (per Events.Error)
+         (if t.events_dropped > 0 then
+            Printf.sprintf "  [%d dropped]" t.events_dropped
+          else ""));
     Format.fprintf ppf "@]"
 
   (* -------------------------------------------------------------- *)
 
-  let json_metrics (counters, gauges, hists) =
+  let json_metrics (counters, gauges, hists, series) =
     let assoc kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) kvs) in
     let hist h =
       Json.Obj
@@ -575,16 +904,51 @@ module Report = struct
           ("max", Json.Num (Histogram.maximum h));
           ("p50", Json.Num (Histogram.quantile h 0.5));
           ("p90", Json.Num (Histogram.quantile h 0.9));
+          ("p95", Json.Num (Histogram.quantile h 0.95));
           ("p99", Json.Num (Histogram.quantile h 0.99));
+        ]
+    in
+    let series_obj s =
+      Json.Obj
+        [
+          ("count", Json.Num (float_of_int (Series.count s)));
+          ( "points",
+            Json.Arr
+              (List.map
+                 (fun (x, y) -> Json.Arr [ Json.Num x; Json.Num y ])
+                 (Series.points s)) );
         ]
     in
     (match counters with [] -> [] | kvs -> [ ("counters", assoc kvs) ])
     @ (match gauges with [] -> [] | kvs -> [ ("gauges", assoc kvs) ])
+    @ (match hists with
+      | [] -> []
+      | kvs ->
+          [ ("histograms", Json.Obj (List.map (fun (k, h) -> (k, hist h)) kvs)) ])
     @
-    match hists with
+    match series with
     | [] -> []
     | kvs ->
-        [ ("histograms", Json.Obj (List.map (fun (k, h) -> (k, hist h)) kvs)) ]
+        [ ("series", Json.Obj (List.map (fun (k, s) -> (k, series_obj s)) kvs)) ]
+
+  let json_field = function
+    | Events.Int i -> Json.Num (float_of_int i)
+    | Events.Float f -> Json.Num f
+    | Events.Str s -> Json.Str s
+    | Events.Bool b -> Json.Bool b
+
+  let json_event (e : Events.event) =
+    Json.Obj
+      ([
+         ("t_ms", Json.Num e.t_ms);
+         ("level", Json.Str (Events.level_name e.level));
+         ("name", Json.Str e.name);
+       ]
+      @
+      match e.fields with
+      | [] -> []
+      | fs ->
+          [ ("fields", Json.Obj (List.map (fun (k, v) -> (k, json_field v)) fs)) ])
 
   let rec json_node nd =
     Json.Obj
@@ -594,7 +958,7 @@ module Report = struct
          ("total_ms", Json.Num nd.total_ms);
          ("self_ms", Json.Num (self_ms nd));
        ]
-      @ json_metrics (nd.counters, nd.gauges, nd.hists)
+      @ json_metrics (nd.counters, nd.gauges, nd.hists, nd.series)
       @
       match nd.children with
       | [] -> []
@@ -603,8 +967,357 @@ module Report = struct
   let to_json t =
     Json.Obj
       ([ ("wall_ms", Json.Num t.wall_ms) ]
-      @ json_metrics (t.counters, t.gauges, t.hists)
-      @ [ ("spans", Json.Arr (List.map json_node t.spans)) ])
+      @ json_metrics (t.counters, t.gauges, t.hists, t.series)
+      @ [ ("spans", Json.Arr (List.map json_node t.spans)) ]
+      @ (match t.events with
+        | [] -> []
+        | evs -> [ ("events", Json.Arr (List.map json_event evs)) ])
+      @
+      if t.events_dropped > 0 then
+        [ ("events_dropped", Json.Num (float_of_int t.events_dropped)) ]
+      else [])
 
   let to_string t = Json.to_string (to_json t)
 end
+
+(* ------------------------------------------------------------------ *)
+(* Exports.                                                            *)
+
+module Export = struct
+  (* "workers/<i>" top-level spans map to trace lane (tid) i + 1; the
+     coordinator's spans go to lane 0. *)
+  let worker_lane name =
+    let prefix = "workers/" in
+    let pl = String.length prefix in
+    if String.length name > pl && String.sub name 0 pl = prefix then
+      int_of_string_opt (String.sub name pl (String.length name - pl))
+    else None
+
+  let chrome_trace (r : Report.t) =
+    let out = ref [] in
+    let emit ~tid ~cat (nd : Report.node) =
+      List.iter
+        (fun (start, dur) ->
+          out :=
+            Json.Obj
+              [
+                ("name", Json.Str nd.name);
+                ("cat", Json.Str cat);
+                ("ph", Json.Str "X");
+                ("ts", Json.Num (Float.max 0.0 start *. 1000.0));
+                ("dur", Json.Num (Float.max 0.0 dur *. 1000.0));
+                ("pid", Json.Num 1.0);
+                ("tid", Json.Num (float_of_int tid));
+              ]
+            :: !out)
+        nd.slices
+    in
+    let rec walk ~tid ~path nd =
+      emit ~tid ~cat:(if path = "" then "tecore" else path) nd;
+      let path = if path = "" then nd.name else path ^ "/" ^ nd.name in
+      List.iter (walk ~tid ~path) nd.children
+    in
+    List.iter
+      (fun nd ->
+        let tid =
+          match worker_lane nd.Report.name with Some k -> k + 1 | None -> 0
+        in
+        walk ~tid ~path:"" nd)
+      r.Report.spans;
+    Json.Obj
+      [
+        ("traceEvents", Json.Arr (List.rev !out));
+        ("displayTimeUnit", Json.Str "ms");
+      ]
+
+  let validate_trace ?(min_lanes = 1) json =
+    match Json.member "traceEvents" json with
+    | Some (Json.Arr []) -> Error "trace: empty traceEvents"
+    | Some (Json.Arr events) ->
+        let lanes = Hashtbl.create 8 in
+        let str k ev =
+          match Json.member k ev with Some (Json.Str s) -> Some s | _ -> None
+        in
+        let num k ev =
+          match Json.member k ev with Some (Json.Num f) -> Some f | _ -> None
+        in
+        let rec check i = function
+          | [] ->
+              if Hashtbl.length lanes < min_lanes then
+                Error
+                  (Printf.sprintf "trace: %d lane(s), expected >= %d"
+                     (Hashtbl.length lanes) min_lanes)
+              else Ok ()
+          | ev :: rest -> (
+              match
+                ( str "ph" ev,
+                  str "name" ev,
+                  num "ts" ev,
+                  num "dur" ev,
+                  num "pid" ev,
+                  num "tid" ev )
+              with
+              | Some "X", Some _, Some ts, Some dur, Some _, Some tid ->
+                  if ts < 0.0 || dur < 0.0 then
+                    Error (Printf.sprintf "trace: event %d: negative ts/dur" i)
+                  else begin
+                    Hashtbl.replace lanes tid ();
+                    check (i + 1) rest
+                  end
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "trace: event %d: missing or ill-typed \
+                        ph/name/ts/dur/pid/tid"
+                       i))
+        in
+        check 0 events
+    | _ -> Error "trace: missing traceEvents array"
+
+  (* ---------------------------------------------------------------- *)
+
+  let metric_value f =
+    if Float.is_nan f then "NaN"
+    else if f = Float.infinity then "+Inf"
+    else if f = Float.neg_infinity then "-Inf"
+    else Json.number f
+
+  let label_value s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let labels kvs =
+    match kvs with
+    | [] -> ""
+    | kvs ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (label_value v))
+               kvs)
+        ^ "}"
+
+  let path_label path = if path = "" then [] else [ ("path", path) ]
+
+  let open_metrics (r : Report.t) =
+    (* Collect rows per family first so each # TYPE line precedes all
+       of its samples, as the OpenMetrics grammar requires. Span paths
+       are unique after sibling merging, so label sets never repeat. *)
+    let span_rows = ref [] in
+    let counter_rows = ref [] in
+    let gauge_rows = ref [] in
+    let hist_rows = ref [] in
+    let series_rows = ref [] in
+    let add_metrics ~path (nd_counters, nd_gauges, nd_hists, nd_series) =
+      List.iter
+        (fun (k, v) -> counter_rows := (path, k, v) :: !counter_rows)
+        nd_counters;
+      List.iter
+        (fun (k, v) -> gauge_rows := (path, k, v) :: !gauge_rows)
+        nd_gauges;
+      List.iter (fun (k, h) -> hist_rows := (path, k, h) :: !hist_rows) nd_hists;
+      List.iter
+        (fun (k, s) -> series_rows := (path, k, s) :: !series_rows)
+        nd_series
+    in
+    let rec walk path (nd : Report.node) =
+      let path = if path = "" then nd.name else path ^ "/" ^ nd.name in
+      span_rows := (path, nd.total_ms, nd.calls) :: !span_rows;
+      add_metrics ~path (nd.counters, nd.gauges, nd.hists, nd.series);
+      List.iter (walk path) nd.children
+    in
+    add_metrics ~path:"" (r.counters, r.gauges, r.hists, r.series);
+    List.iter (walk "") r.spans;
+    let buf = Buffer.create 1024 in
+    let line fmt =
+      Printf.ksprintf
+        (fun s ->
+          Buffer.add_string buf s;
+          Buffer.add_char buf '\n')
+        fmt
+    in
+    line "# TYPE tecore_wall_ms gauge";
+    line "tecore_wall_ms %s" (metric_value r.wall_ms);
+    (match List.rev !span_rows with
+    | [] -> ()
+    | rows ->
+        line "# TYPE tecore_span_ms counter";
+        List.iter
+          (fun (path, ms, _) ->
+            line "tecore_span_ms_total%s %s"
+              (labels (path_label path))
+              (metric_value ms))
+          rows;
+        line "# TYPE tecore_span_calls counter";
+        List.iter
+          (fun (path, _, calls) ->
+            line "tecore_span_calls_total%s %d" (labels (path_label path)) calls)
+          rows);
+    (match List.rev !counter_rows with
+    | [] -> ()
+    | rows ->
+        line "# TYPE tecore_counter counter";
+        List.iter
+          (fun (path, k, v) ->
+            line "tecore_counter_total%s %s"
+              (labels (path_label path @ [ ("name", k) ]))
+              (metric_value v))
+          rows);
+    (match List.rev !gauge_rows with
+    | [] -> ()
+    | rows ->
+        line "# TYPE tecore_gauge gauge";
+        List.iter
+          (fun (path, k, v) ->
+            line "tecore_gauge%s %s"
+              (labels (path_label path @ [ ("name", k) ]))
+              (metric_value v))
+          rows);
+    (match List.rev !hist_rows with
+    | [] -> ()
+    | rows ->
+        line "# TYPE tecore_histogram summary";
+        List.iter
+          (fun (path, k, h) ->
+            let base = path_label path @ [ ("name", k) ] in
+            List.iter
+              (fun q ->
+                line "tecore_histogram%s %s"
+                  (labels (base @ [ ("quantile", Json.number q) ]))
+                  (metric_value (Histogram.quantile h q)))
+              [ 0.5; 0.9; 0.95; 0.99 ];
+            line "tecore_histogram_sum%s %s" (labels base)
+              (metric_value (Histogram.total h));
+            line "tecore_histogram_count%s %d" (labels base)
+              (Histogram.count h))
+          rows);
+    (match List.rev !series_rows with
+    | [] -> ()
+    | rows ->
+        line "# TYPE tecore_series_points gauge";
+        List.iter
+          (fun (path, k, s) ->
+            line "tecore_series_points%s %d"
+              (labels (path_label path @ [ ("name", k) ]))
+              (Series.count s))
+          rows;
+        line "# TYPE tecore_series_last gauge";
+        List.iter
+          (fun (path, k, s) ->
+            match List.rev (Series.points s) with
+            | (_, y) :: _ ->
+                line "tecore_series_last%s %s"
+                  (labels (path_label path @ [ ("name", k) ]))
+                  (metric_value y)
+            | [] -> ())
+          rows);
+    (if r.events <> [] || r.events_dropped > 0 then begin
+       line "# TYPE tecore_events counter";
+       List.iter
+         (fun lv ->
+           let n =
+             List.length (List.filter (fun e -> e.Events.level = lv) r.events)
+           in
+           line "tecore_events_total%s %d"
+             (labels [ ("level", Events.level_name lv) ])
+             n)
+         [ Events.Debug; Events.Info; Events.Warn; Events.Error ];
+       line "# TYPE tecore_events_dropped counter";
+       line "tecore_events_dropped_total %d" r.events_dropped
+     end);
+    line "# EOF";
+    Buffer.contents buf
+
+  let validate_metrics text =
+    let lines = String.split_on_char '\n' text in
+    let rec strip_last = function
+      | [ "" ] -> []
+      | x :: rest -> x :: strip_last rest
+      | [] -> []
+    in
+    let lines = strip_last lines in
+    let is_name_char c =
+      (c >= 'a' && c <= 'z')
+      || (c >= 'A' && c <= 'Z')
+      || (c >= '0' && c <= '9')
+      || c = '_' || c = ':'
+    in
+    let metric_ok l =
+      let n = String.length l in
+      let i = ref 0 in
+      while !i < n && is_name_char l.[!i] do
+        incr i
+      done;
+      if !i = 0 then false
+      else begin
+        let ok = ref true in
+        (if !i < n && l.[!i] = '{' then begin
+           incr i;
+           let in_str = ref false and esc = ref false and closed = ref false in
+           while !i < n && not !closed do
+             let c = l.[!i] in
+             (if !esc then esc := false
+              else if !in_str then
+                if c = '\\' then esc := true
+                else if c = '"' then in_str := false
+                else ()
+              else if c = '"' then in_str := true
+              else if c = '}' then closed := true);
+             incr i
+           done;
+           if not !closed then ok := false
+         end);
+        !ok && !i < n
+        && l.[!i] = ' '
+        &&
+        let v = String.sub l (!i + 1) (n - !i - 1) in
+        match v with
+        | "+Inf" | "-Inf" | "NaN" -> true
+        | _ -> float_of_string_opt v <> None
+      end
+    in
+    let known_types =
+      [ "counter"; "gauge"; "summary"; "histogram"; "info"; "stateset";
+        "unknown" ]
+    in
+    let rec go lineno saw_eof = function
+      | [] -> if saw_eof then Ok () else Error "metrics: missing # EOF"
+      | l :: rest ->
+          if saw_eof then
+            Error (Printf.sprintf "metrics: line %d: content after # EOF" lineno)
+          else if l = "# EOF" then go (lineno + 1) true rest
+          else if l = "" then
+            Error (Printf.sprintf "metrics: line %d: blank line" lineno)
+          else if l.[0] = '#' then (
+            match String.split_on_char ' ' l with
+            | [ "#"; "TYPE"; name; typ ]
+              when name <> "" && List.mem typ known_types ->
+                go (lineno + 1) false rest
+            | "#" :: "HELP" :: name :: _ when name <> "" ->
+                go (lineno + 1) false rest
+            | [ "#"; "UNIT"; name; _ ] when name <> "" ->
+                go (lineno + 1) false rest
+            | _ ->
+                Error
+                  (Printf.sprintf "metrics: line %d: malformed metadata line"
+                     lineno))
+          else if metric_ok l then go (lineno + 1) false rest
+          else
+            Error (Printf.sprintf "metrics: line %d: malformed metric line" lineno)
+    in
+    go 1 false lines
+end
+
+(* Profile crew tasks as per-domain spans: the hook runs on whichever
+   domain executes the task, so tasks picked up by a worker land in its
+   "workers/<i>" lane while tasks the coordinator deals to itself nest
+   under its open span. Disabled observability tail-calls the task. *)
+let () = Prelude.Pool.set_task_hook (Some (fun f -> span "task" f))

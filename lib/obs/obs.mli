@@ -1,19 +1,19 @@
 (** Zero-dependency observability for the TeCoRe pipeline.
 
-    The library keeps one implicit thread of hierarchical spans. Code
-    under measurement wraps stages in {!span} and drops {!count},
-    {!gauge} and {!record} calls wherever interesting quantities are
-    produced; all of them attach to the innermost open span. When
-    observation is disabled (the default) every entry point reduces to a
-    single flag test, so instrumentation can stay in hot paths
-    permanently.
+    The library keeps one implicit stack of hierarchical spans per
+    domain. Code under measurement wraps stages in {!span} and drops
+    {!count}, {!gauge}, {!record}, {!sample} and {!event} calls wherever
+    interesting quantities are produced; metrics attach to the innermost
+    open span of the calling domain. When observation is disabled (the
+    default) every entry point reduces to a single flag test, so
+    instrumentation can stay in hot paths permanently.
 
-    Metric entry points ({!count}, {!add}, {!gauge}, {!record}) are safe
-    to call from worker domains of a {!Prelude.Pool} while the
-    coordinating domain blocks in the join: registry mutation is
-    serialised by an internal mutex and the emissions attach to the span
-    the coordinator has open. Only the coordinating domain should open
-    {!span}s.
+    The domain that last called {!reset} owns the main span stack; any
+    other domain that opens a span (in practice: {!Prelude.Pool} crew
+    workers, via the per-task hook this library installs at load time)
+    collects into its own lane, reported as a top-level ["workers/<i>"]
+    subtree. All entry points are serialised by an internal mutex and
+    safe to call from any domain.
 
     Typical use:
 
@@ -32,15 +32,19 @@ val set_enabled : bool -> unit
     collected data; call {!reset} for a clean slate. *)
 
 val reset : unit -> unit
-(** Drop all collected spans and metrics and restart the wall clock.
-    Any spans currently open are abandoned (their exit is ignored). *)
+(** Drop all collected spans, metrics, worker lanes and events, restart
+    the wall clock, and make the calling domain the owner of the main
+    span stack. Any spans currently open are abandoned (their exit is
+    ignored). *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()] inside a span called [name]. Spans nest:
     spans opened while [f] runs become children of this one. The span is
     closed even when [f] raises. Repeated spans with the same name under
     the same parent are merged at {!Report.capture} time (their call
-    counts and durations accumulate). Disabled: tail-calls [f]. *)
+    counts and durations accumulate). On a domain other than the main
+    stack's owner the span lands in that domain's ["workers/<i>"] lane.
+    Disabled: tail-calls [f]. *)
 
 val count : ?n:int -> string -> unit
 (** [count name] bumps the counter [name] of the innermost open span by
@@ -62,6 +66,53 @@ val set_trace : (depth:int -> string -> float -> unit) option -> unit
     (0 = top level), name and elapsed milliseconds — children report
     before their parents. [None] uninstalls. The hook only fires while
     collection is enabled. *)
+
+(** Timestamped, leveled, key-value events — the structured log. *)
+module Events : sig
+  type level = Debug | Info | Warn | Error
+
+  type value = Int of int | Float of float | Str of string | Bool of bool
+
+  type event = {
+    t_ms : float;  (** milliseconds since the last {!reset} *)
+    level : level;
+    name : string;
+    fields : (string * value) list;
+  }
+
+  val severity : level -> int
+  (** [Debug] = 0 up to [Error] = 3, for threshold filtering. *)
+
+  val level_name : level -> string
+  (** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+  val level_of_string : string -> level option
+  (** Inverse of {!level_name} (also accepts ["warning"]). *)
+
+  val value_to_string : value -> string
+end
+
+val event : ?level:Events.level -> string -> (string * Events.value) list -> unit
+(** [event ~level name fields] appends an event to the bounded ring
+    buffer (default level [Info]). When the ring is full the oldest
+    event is dropped and the drop counter bumped, so the newest
+    [capacity] events are always retained. Disabled: no-op. *)
+
+val set_event_hook : (Events.event -> unit) option -> unit
+(** Install a hook invoked synchronously on every {!event} emission (the
+    CLI's [--log-level] streams to stderr through this). The hook runs
+    under the internal mutex: it must not call back into [Obs]. [None]
+    uninstalls. *)
+
+val set_event_capacity : int -> unit
+(** Resize the event ring (clamped to >= 1), keeping the newest events;
+    discarded events count as dropped. The capacity survives {!reset}.
+    Default 4096. *)
+
+val event_capacity : unit -> int
+
+val events_dropped : unit -> int
+(** Events lost to ring overflow since the last {!reset}. *)
 
 (** Growable sample reservoir with quantile queries, used for
     solver-iteration metrics (flips per solve, nodes per MILP call, ...). *)
@@ -91,6 +142,41 @@ module Histogram : sig
   (** Samples in insertion order. *)
 end
 
+(** Bounded [(x, y)] timeline for convergence curves. Downsampling is by
+    decimation (drop every other kept point and double the stride when
+    the buffer fills), so the retained points are a subsequence of the
+    input — monotone inputs stay monotone — and memory is O(cap) however
+    many samples are offered. The most recent sample is always
+    retained. *)
+module Series : sig
+  type t
+
+  val create : ?cap:int -> unit -> t
+  (** [cap] is the retention bound (default 512, clamped to >= 8). *)
+
+  val add : t -> x:float -> y:float -> unit
+
+  val count : t -> int
+  (** Samples offered, including downsampled-away ones. *)
+
+  val length : t -> int
+  (** Points currently retained. *)
+
+  val points : t -> (float * float) list
+  (** Retained points in insertion order, ending at the most recent
+      sample. *)
+
+  val merge : t -> t -> t
+  (** Points of both series, re-sorted by [x] (stable), re-bounded. *)
+end
+
+val sample : string -> t_ms:float -> v:float -> unit
+(** [sample name ~t_ms ~v] appends a point to series [name] of the
+    innermost open span. [t_ms] is an absolute {!Prelude.Timing.now_ms}
+    timestamp; it is stored relative to the last {!reset}, so points
+    from repeated solver invocations stay globally ordered. Disabled:
+    no-op. *)
+
 (** A minimal JSON tree: enough to emit reports, parse them back (for
     round-trip tests and benchmark validation), and build ad-hoc
     documents without external dependencies. *)
@@ -103,12 +189,19 @@ module Json : sig
     | Arr of t list
     | Obj of (string * t) list
 
+  val number : float -> string
+  (** A finite float rendered so that [float_of_string] returns it
+      exactly (shortest of %.12g/%.15g/%.16g/%.17g); non-finite floats
+      render as ["null"]. *)
+
   val to_string : t -> string
-  (** Compact rendering. Non-finite numbers render as [null]. *)
+  (** Compact rendering. Numbers round-trip exactly (see {!number});
+      non-finite numbers render as [null]. *)
 
   val parse : string -> (t, string) result
-  (** Strict parser for the subset above (no trailing garbage). Errors
-      mention the byte offset. *)
+  (** Strict parser for the subset above (no trailing garbage). Numbers
+      that do not denote a finite float (e.g. ["1e999"]) are rejected.
+      Errors mention the byte offset. *)
 
   val member : string -> t -> t option
   (** Field lookup in an [Obj]; [None] otherwise. *)
@@ -123,7 +216,11 @@ module Report : sig
     counters : (string * float) list;  (** sorted by name *)
     gauges : (string * float) list;
     hists : (string * Histogram.t) list;
+    series : (string * Series.t) list;
     children : node list;
+    slices : (float * float) list;
+        (** per call: (start offset from the last {!reset}, duration)
+            in ms — the raw intervals behind {!Export.chrome_trace} *)
   }
 
   type t = {
@@ -131,12 +228,18 @@ module Report : sig
     counters : (string * float) list;  (** recorded outside any span *)
     gauges : (string * float) list;
     hists : (string * Histogram.t) list;
+    series : (string * Series.t) list;
     spans : node list;
+        (** completed top-level spans, then one ["workers/<i>"] node per
+            domain that opened spans of its own *)
+    events : Events.event list;  (** oldest first *)
+    events_dropped : int;
   }
 
   val capture : unit -> t
   (** Snapshot of all {e completed} top-level spans (still-open spans
-      are not included) plus root-level metrics. Does not reset. *)
+      are not included) plus root-level metrics, worker lanes and the
+      event log. Does not reset. *)
 
   val self_ms : node -> float
   (** [total_ms] minus the children's [total_ms]. *)
@@ -146,10 +249,44 @@ module Report : sig
       [find t ["resolve"; "ground"]]. *)
 
   val pp : Format.formatter -> t -> unit
-  (** Human-readable stage tree with timings and metrics. *)
+  (** Human-readable stage tree with timings, metrics (histograms with
+      p50/p95/max), series summaries and an event-count footer. *)
 
   val to_json : t -> Json.t
+  (** Events and series appear only when non-empty, so reports from
+      runs that emit neither are unchanged from earlier releases. *)
 
   val to_string : t -> string
   (** [to_json] rendered compactly. *)
+end
+
+(** Machine-consumable renderings of a captured {!Report.t}. *)
+module Export : sig
+  val chrome_trace : Report.t -> Json.t
+  (** Chrome [trace_event] document (an object with a [traceEvents]
+      array of complete ["X"] events carrying [name/cat/ph/ts/dur/pid/
+      tid], timestamps in microseconds). Load it in [chrome://tracing]
+      or Perfetto. The coordinator's spans appear on [tid] 0 and each
+      ["workers/<i>"] lane on [tid] [i + 1], so parallel sections show
+      true per-worker utilisation. *)
+
+  val validate_trace : ?min_lanes:int -> Json.t -> (unit, string) result
+  (** Structural check used by CI: non-empty [traceEvents], every event
+      a complete ["X"] event with non-negative [ts]/[dur], and at least
+      [min_lanes] (default 1) distinct [tid] lanes. *)
+
+  val open_metrics : Report.t -> string
+  (** OpenMetrics/Prometheus text exposition of the whole report:
+      span times and call counts ([tecore_span_ms_total],
+      [tecore_span_calls_total]) labelled with their span path,
+      counters/gauges, histograms as summaries with [quantile] labels
+      plus [_sum]/[_count], series sizes and last values, event counts
+      per level, terminated by [# EOF]. Suitable for the node_exporter
+      textfile collector. *)
+
+  val validate_metrics : string -> (unit, string) result
+  (** Small OpenMetrics grammar check used by CI: every line is a
+      well-formed metadata line ([# TYPE]/[# HELP]/[# UNIT]) or sample
+      line (name, optional labels, float value), and the exposition ends
+      with [# EOF]. *)
 end

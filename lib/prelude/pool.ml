@@ -118,6 +118,17 @@ let max_workers = 126
    {!Nested_use}; any other pool falls back to a sequential loop). *)
 let in_task = Domain.DLS.new_key (fun () -> false)
 
+(* Wrapper applied around every crew task. The observability layer
+   installs one at load time to open a per-task span on the executing
+   domain; identity by default. The sequential paths in [run_tasks]
+   bypass the crew and therefore the hook, so [jobs = 1] runs never pay
+   for (or show) it. *)
+let task_hook : ((unit -> unit) -> unit) ref = ref (fun f -> f ())
+
+let set_task_hook = function
+  | Some h -> task_hook := h
+  | None -> task_hook := fun f -> f ()
+
 (* Deal and execute tasks of the current batch until no index is
    available (all dealt, bound reached, or a task failed). Called and
    returns with [crew.m] held. *)
@@ -136,7 +147,7 @@ let rec deal () =
           ~finally:(fun () -> Domain.DLS.set in_task false)
           (fun () ->
             try
-              b.f i;
+              !task_hook (fun () -> b.f i);
               None
             with e -> Some (e, Printexc.get_raw_backtrace ()))
       in

@@ -96,3 +96,13 @@ val stats : t -> stats
 (** Cumulative scheduling statistics since [create]; callers surface
     them through [Obs]. ([busy_ms /. wall_ms] approximates achieved
     parallelism.) *)
+
+val set_task_hook : ((unit -> unit) -> unit) option -> unit
+(** Install a wrapper invoked around every crew task, on the domain that
+    executes it. The wrapper must call its argument exactly once;
+    exceptions it lets escape are treated as task failures. Only the
+    parallel paths go through it — [jobs = 1] pools and the in-task
+    sequential fallback bypass the crew, so sequential runs stay exactly
+    as before. The observability layer installs a hook at load time to
+    open a per-task span for worker profiling; [None] restores the
+    identity wrapper. *)

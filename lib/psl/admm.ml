@@ -127,6 +127,11 @@ let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
   let dual = ref infinity in
   let converged = ref false in
   let halted = ref false in
+  let observing = Obs.enabled () in
+  (* Convergence trail: (absolute ms, objective at the current iterate),
+     every 8 iterations — the objective pass costs about one factor
+     sweep, so it stays off the path unless observability is on. *)
+  let trail = ref [] in
   (* Deadline polled between iterations: the consensus vector [z] is a
      feasible-by-construction (box-clipped) iterate after every sweep,
      so any iteration boundary is a safe stopping point. *)
@@ -182,20 +187,44 @@ let solve ?(rho = 1.0) ?(max_iters = 2_000) ?(tol = 1e-4) ?init
     primal := sqrt !pr;
     dual := rho *. sqrt !du;
     let scale = sqrt (float_of_int (max 1 n)) in
-    if !primal <= tol *. scale && !dual <= tol *. scale then converged := true
+    if !primal <= tol *. scale && !dual <= tol *. scale then converged := true;
+    if observing && !iterations land 7 = 0 then
+      trail := (Prelude.Timing.now_ms (), Hlmrf.objective model z) :: !trail
     end
   done;
+  let objective = Hlmrf.objective model z in
   Obs.count ~n:!iterations "admm.iterations";
   Obs.gauge "admm.primal_residual" !primal;
   Obs.gauge "admm.dual_residual" !dual;
   Obs.record "admm.iters_per_solve" (float_of_int !iterations);
+  if observing then begin
+    (* Objective over time, lowered to a running minimum: ADMM iterates
+       are not monotone, the best-so-far curve is. *)
+    let samples =
+      List.rev ((Prelude.Timing.now_ms (), objective) :: !trail)
+    in
+    ignore
+      (List.fold_left
+         (fun running (t, v) ->
+           let running = Float.min running v in
+           Obs.sample "admm.convergence" ~t_ms:t ~v:running;
+           running)
+         infinity samples);
+    Obs.event ~level:Obs.Events.Debug "admm.solve"
+      [
+        ("iterations", Obs.Events.Int !iterations);
+        ("converged", Obs.Events.Bool !converged);
+        ("primal_residual", Obs.Events.Float !primal);
+        ("dual_residual", Obs.Events.Float !dual);
+      ]
+  end;
   ( z,
     {
       iterations = !iterations;
       primal_residual = !primal;
       dual_residual = !dual;
       converged = !converged;
-      objective = Hlmrf.objective model z;
+      objective;
       status =
         (if !halted then Prelude.Deadline.Timed_out
          else Prelude.Deadline.Completed);

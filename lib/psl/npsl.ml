@@ -95,6 +95,17 @@ let run_store ?(options = default_options) store rules =
     Obs.span "round" (fun () ->
         Rounding.round ~threshold:options.threshold model truth)
   in
+  if rounding_stats.Rounding.flipped > 0 || rounding_stats.Rounding.unrepaired > 0
+  then
+    Obs.event
+      ~level:
+        (if rounding_stats.Rounding.unrepaired > 0 then Obs.Events.Warn
+         else Obs.Events.Info)
+      "npsl.rounding_repair"
+      [
+        ("flipped", Obs.Events.Int rounding_stats.Rounding.flipped);
+        ("unrepaired", Obs.Events.Int rounding_stats.Rounding.unrepaired);
+      ];
   let evidence_atoms = ref 0 in
   Store.iter
     (fun _ _ origin ->

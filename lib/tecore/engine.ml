@@ -98,6 +98,16 @@ let resolve ?(engine = Auto) ?jobs ?threshold ?(deadline = Deadline.none)
     | Psl options, Some pool -> Psl { options with Psl.Npsl.pool }
     | e, _ -> e
   in
+  Obs.event "engine.selected"
+    [
+      ( "engine",
+        Obs.Events.Str
+          (match engine with
+          | Mln _ -> "mln"
+          | Psl _ -> "psl"
+          | Auto -> "auto") );
+      ("jobs", Obs.Events.Int jobs);
+    ];
   let run () =
     match engine with
     | Auto -> assert false
@@ -158,6 +168,11 @@ let resolve ?(engine = Auto) ?jobs ?threshold ?(deadline = Deadline.none)
     Fun.protect ~finally:emit_pool_stats (fun () ->
         try Prelude.Timing.time run
         with Grounder.Ground.Timed_out { atoms; rounds } ->
+          Obs.event ~level:Obs.Events.Error "ground.timed_out"
+            [
+              ("atoms", Obs.Events.Int atoms);
+              ("rounds", Obs.Events.Int rounds);
+            ];
           if Deadline.is_finite deadline then begin
             Obs.count "deadline.expired";
             Obs.gauge "deadline.budget_ms" (Deadline.budget_ms deadline)
@@ -168,6 +183,12 @@ let resolve ?(engine = Auto) ?jobs ?threshold ?(deadline = Deadline.none)
      without [--timeout] produce byte-identical reports to earlier
      releases. *)
   if Deadline.is_finite deadline then begin
+    if status <> Deadline.Completed then
+      Obs.event ~level:Obs.Events.Warn "deadline.expired"
+        [
+          ("budget_ms", Obs.Events.Float (Deadline.budget_ms deadline));
+          ("status", Obs.Events.Str (Format.asprintf "%a" Deadline.pp_status status));
+        ];
     Obs.count ~n:(if status = Deadline.Completed then 0 else 1)
       "deadline.expired";
     Obs.gauge "deadline.budget_ms" (Deadline.budget_ms deadline);

@@ -62,6 +62,48 @@ expect_exit 0 "deadline expiry under best-effort" \
   | grep -q '"deadline":{"status":"\(timed_out\|degraded\)"' \
   || { echo "best-effort JSON lacks a non-completed deadline status" >&2; exit 1; }
 
+echo "== telemetry smoke (trace + metrics + event log) =="
+TRACE_OUT=$(mktemp) METRICS_OUT=$(mktemp) LOG_OUT=$(mktemp)
+"$CLI" resolve -d data/football.tq -r data/football.rules \
+  --jobs 4 --stats --log-level debug \
+  --trace-out "$TRACE_OUT" --metrics-out "$METRICS_OUT" \
+  >/dev/null 2>"$LOG_OUT"
+# The Chrome trace must parse as JSON, contain only complete "X" events
+# with ph/ts/dur/pid/tid, and show at least one worker lane besides the
+# coordinator at --jobs 4.
+_build/default/tools/telemetry_check.exe trace "$TRACE_OUT" --min-lanes 2
+# The metrics file must pass the OpenMetrics grammar check.
+_build/default/tools/telemetry_check.exe metrics "$METRICS_OUT"
+# --log-level debug must have streamed pipeline events to stderr.
+grep -q '^\[debug\]' "$LOG_OUT" \
+  || { echo "--log-level debug produced no debug events on stderr" >&2; exit 1; }
+grep -q 'engine.selected' "$LOG_OUT" \
+  || { echo "event stream lacks engine.selected" >&2; exit 1; }
+rm -f "$TRACE_OUT" "$METRICS_OUT" "$LOG_OUT"
+
+echo "== disabled observability leaves output unchanged =="
+# Without --stats/--trace*/--log-level/--*-out the telemetry layer must
+# stay off: the JSON output carries no obs report, event log or series.
+"$CLI" resolve -d data/ranieri.tq -r data/ranieri.rules --json \
+  | grep -q '"obs"\|"events"\|"series"' \
+  && { echo "plain --json output grew observability fields" >&2; exit 1; }
+# And two plain runs are identical once the (pre-existing) wall-clock
+# timing values are normalised — no telemetry keys, event text or
+# series bleed into the default output.
+PLAIN_A=$(mktemp) PLAIN_B=$(mktemp)
+normalize() { sed -E 's/[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?/N/g' "$1"; }
+"$CLI" resolve -d data/ranieri.tq -r data/ranieri.rules --json > "$PLAIN_A"
+"$CLI" resolve -d data/ranieri.tq -r data/ranieri.rules --json > "$PLAIN_B"
+diff <(normalize "$PLAIN_A") <(normalize "$PLAIN_B") >/dev/null \
+  || { echo "plain --json output differs beyond timing values across runs" >&2; exit 1; }
+rm -f "$PLAIN_A" "$PLAIN_B"
+
+echo "== bench obs --check (committed BENCH_obs.json) =="
+# Against the committed baseline, before the smoke step regenerates the
+# file; the tolerance is generous (timing noise, different machines) --
+# this gates schema drift and order-of-magnitude regressions only.
+BENCH_FAST=1 dune exec bench/main.exe -- obs --check
+
 echo "== bench smoke (e1 + obs + par + deadline) =="
 rm -f BENCH_obs.json BENCH_parallel.json BENCH_deadline.json
 BENCH_FAST=1 dune exec bench/main.exe -- --smoke
@@ -91,5 +133,9 @@ esac
 # that differ across job counts, or anytime points with unknown status
 # tags; the checks above only guard against the files not being
 # written at all.
+
+# BENCH_obs.json is committed (the --check baseline); restore it so CI
+# leaves the working tree clean. The other two BENCH files are ignored.
+git checkout -- BENCH_obs.json 2>/dev/null || true
 
 echo "CI OK"

@@ -68,13 +68,17 @@ let test_disabled_noop () =
   Obs.reset ();
   Obs.set_enabled false;
   Obs.span "ghost" (fun () -> Obs.count "ghost.count");
+  Obs.event "ghost.event" [ ("k", Obs.Events.Int 1) ];
+  Obs.sample "ghost.series" ~t_ms:1.0 ~v:2.0;
   Obs.set_enabled true;
   let r = Obs.Report.capture () in
   Obs.set_enabled false;
   Alcotest.(check int) "no spans recorded" 0 (List.length r.Obs.Report.spans);
   Alcotest.(check int)
     "no counters recorded" 0
-    (List.length r.Obs.Report.counters)
+    (List.length r.Obs.Report.counters);
+  Alcotest.(check int) "no events recorded" 0 (List.length r.Obs.Report.events);
+  Alcotest.(check int) "no series recorded" 0 (List.length r.Obs.Report.series)
 
 let test_root_metrics () =
   with_obs (fun () ->
@@ -195,6 +199,485 @@ let test_json_escapes () =
   | Error e -> Alcotest.fail e
 
 (* ------------------------------------------------------------------ *)
+(* Find across merged spans and the self_ms invariant.                *)
+
+let test_find_merged () =
+  with_obs (fun () ->
+      Obs.span "stage" (fun () ->
+          Obs.span "child" (fun () -> Obs.count "c"));
+      Obs.span "stage" (fun () ->
+          Obs.span "child" (fun () -> Obs.count "c"));
+      let r = Obs.Report.capture () in
+      match Obs.Report.find r [ "stage"; "child" ] with
+      | None -> Alcotest.fail "find stage/child across merged parents"
+      | Some n ->
+          Alcotest.(check int) "merged calls" 2 n.Obs.Report.calls;
+          Alcotest.(check (float 1e-9))
+            "merged counter" 2.0
+            (List.assoc "c" n.Obs.Report.counters))
+
+let prop_self_ms_nonneg =
+  QCheck.Test.make ~name:"self_ms >= 0 on random span trees" ~count:50
+    QCheck.(small_list (int_bound 3))
+    (fun script ->
+      let r =
+        with_obs (fun () ->
+            (* Interpret the script as a nesting recipe: 0 closes a
+               leaf immediately, anything else opens a span around the
+               rest of the script. *)
+            let rec go = function
+              | [] -> ()
+              | 0 :: rest ->
+                  Obs.span "leaf" (fun () -> ());
+                  go rest
+              | d :: rest ->
+                  Obs.span (Printf.sprintf "n%d" d) (fun () -> go rest)
+            in
+            go script;
+            Obs.Report.capture ())
+      in
+      let rec ok (n : Obs.Report.node) =
+        Obs.Report.self_ms n >= -1e-6 && List.for_all ok n.Obs.Report.children
+      in
+      List.for_all ok r.Obs.Report.spans)
+
+(* ------------------------------------------------------------------ *)
+(* Events: levels, ring-buffer overflow, capacity.                    *)
+
+let test_events_basic () =
+  with_obs (fun () ->
+      Obs.event "plain" [];
+      Obs.event ~level:Obs.Events.Warn "warned"
+        [ ("n", Obs.Events.Int 3); ("who", Obs.Events.Str "me") ];
+      let r = Obs.Report.capture () in
+      Alcotest.(check int) "two events" 2 (List.length r.Obs.Report.events);
+      let e1 = List.nth r.Obs.Report.events 1 in
+      Alcotest.(check string) "name" "warned" e1.Obs.Events.name;
+      Alcotest.(check bool)
+        "level" true
+        (e1.Obs.Events.level = Obs.Events.Warn);
+      Alcotest.(check int) "fields" 2 (List.length e1.Obs.Events.fields);
+      Alcotest.(check bool)
+        "timestamps oldest-first" true
+        ((List.hd r.Obs.Report.events).Obs.Events.t_ms <= e1.Obs.Events.t_ms);
+      Alcotest.(check int) "nothing dropped" 0 r.Obs.Report.events_dropped)
+
+let test_events_ring_overflow () =
+  let orig = Obs.event_capacity () in
+  Fun.protect
+    ~finally:(fun () -> Obs.set_event_capacity orig)
+    (fun () ->
+      with_obs (fun () ->
+          Obs.set_event_capacity 8;
+          for i = 0 to 19 do
+            Obs.event (Printf.sprintf "e%d" i) []
+          done;
+          let r = Obs.Report.capture () in
+          Alcotest.(check int)
+            "newest 8 kept" 8
+            (List.length r.Obs.Report.events);
+          Alcotest.(check (list string))
+            "oldest dropped, order preserved"
+            (List.init 8 (fun i -> Printf.sprintf "e%d" (12 + i)))
+            (List.map
+               (fun (e : Obs.Events.event) -> e.Obs.Events.name)
+               r.Obs.Report.events);
+          Alcotest.(check int) "drop counter" 12 r.Obs.Report.events_dropped))
+
+let test_event_hook () =
+  with_obs (fun () ->
+      let seen = ref [] in
+      Obs.set_event_hook
+        (Some (fun e -> seen := e.Obs.Events.name :: !seen));
+      Fun.protect
+        ~finally:(fun () -> Obs.set_event_hook None)
+        (fun () ->
+          Obs.event "a" [];
+          Obs.event "b" []);
+      Alcotest.(check (list string)) "hook saw both" [ "a"; "b" ]
+        (List.rev !seen))
+
+(* ------------------------------------------------------------------ *)
+(* Series: bounded memory, downsampling keeps a monotone subsequence. *)
+
+let test_series_downsample () =
+  let s = Obs.Series.create ~cap:8 () in
+  for i = 0 to 999 do
+    Obs.Series.add s ~x:(float_of_int i) ~y:(float_of_int (1000 - i))
+  done;
+  Alcotest.(check int) "count = points offered" 1000 (Obs.Series.count s);
+  let pts = Obs.Series.points s in
+  Alcotest.(check bool)
+    "kept points bounded" true
+    (List.length pts <= 9 (* cap + the tracked last point *));
+  Alcotest.(check bool) "non-empty" true (pts <> []);
+  (* Downsampling drops points but never reorders: x stays strictly
+     increasing, and the y of this monotone input stays decreasing. *)
+  let rec monotone = function
+    | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+        x1 < x2 && y1 > y2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "subsequence keeps monotonicity" true (monotone pts);
+  (* The most recent sample always survives. *)
+  Alcotest.(check (float 1e-9)) "last x kept" 999.0 (fst (List.hd (List.rev pts)));
+  Alcotest.(check (float 1e-9)) "last y kept" 1.0 (snd (List.hd (List.rev pts)))
+
+let test_series_merge () =
+  let a = Obs.Series.create ~cap:16 () and b = Obs.Series.create ~cap:16 () in
+  List.iter (fun x -> Obs.Series.add a ~x ~y:(x *. 10.0)) [ 1.0; 3.0; 5.0 ];
+  List.iter (fun x -> Obs.Series.add b ~x ~y:(x *. 10.0)) [ 2.0; 4.0 ];
+  let m = Obs.Series.merge a b in
+  Alcotest.(check int) "merged count" 5 (Obs.Series.count m);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "merged sorted by x"
+    [ (1.0, 10.0); (2.0, 20.0); (3.0, 30.0); (4.0, 40.0); (5.0, 50.0) ]
+    (Obs.Series.points m)
+
+let test_sample_in_report () =
+  with_obs (fun () ->
+      Obs.span "solve" (fun () ->
+          Obs.sample "cost" ~t_ms:(Prelude.Timing.now_ms ()) ~v:5.0;
+          Obs.sample "cost" ~t_ms:(Prelude.Timing.now_ms ()) ~v:3.0);
+      let r = Obs.Report.capture () in
+      match Obs.Report.find r [ "solve" ] with
+      | None -> Alcotest.fail "solve span"
+      | Some n -> (
+          match List.assoc_opt "cost" n.Obs.Report.series with
+          | None -> Alcotest.fail "cost series missing"
+          | Some s ->
+              Alcotest.(check int) "two samples" 2 (Obs.Series.count s);
+              List.iter
+                (fun (x, _) ->
+                  Alcotest.(check bool)
+                    "timestamps are reset-relative and non-negative" true
+                    (x >= 0.0))
+                (Obs.Series.points s)))
+
+(* ------------------------------------------------------------------ *)
+(* JSON hardening: shortest-round-trip floats, non-finite rejection,  *)
+(* and a generative round-trip property.                              *)
+
+let test_json_float_roundtrip () =
+  List.iter
+    (fun f ->
+      let text = Obs.Json.to_string (Obs.Json.Num f) in
+      match Obs.Json.parse text with
+      | Ok (Obs.Json.Num back) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%h survives as %s" f text)
+            true (back = f)
+      | Ok _ -> Alcotest.failf "%s parsed to a non-number" text
+      | Error e -> Alcotest.failf "%s: %s" text e)
+    [
+      1e-7; 6.02e23; 0.1 +. 0.2; 1.7976931348623157e308; 5e-324; -0.375;
+      3.141592653589793; 1e22; 123456789.123456789;
+    ]
+
+let test_json_nonfinite_rejected () =
+  List.iter
+    (fun input ->
+      match Obs.Json.parse input with
+      | Ok _ -> Alcotest.failf "accepted non-finite number %S" input
+      | Error e ->
+          let mentions_offset =
+            let needle = "offset" in
+            let n = String.length needle and m = String.length e in
+            let rec at i =
+              i + n <= m && (String.sub e i n = needle || at (i + 1))
+            in
+            at 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "error for %S carries an offset" input)
+            true mentions_offset)
+    [ "1e999"; "-1e999"; "[1, 1e999]"; "{\"v\": -1e999}" ]
+
+let json_gen =
+  let open QCheck.Gen in
+  let finite =
+    map (fun f -> if Float.is_finite f then f else 0.0) float
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (1 -- 5) in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun f -> Obs.Json.Num f) finite;
+        map (fun i -> Obs.Json.Num (float_of_int i)) small_signed_int;
+        map (fun s -> Obs.Json.Str s) (string_size ~gen:printable (0 -- 10));
+      ]
+  in
+  let rec value n =
+    if n <= 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          ( 1,
+            map (fun xs -> Obs.Json.Arr xs)
+              (list_size (0 -- 4) (value (n / 2))) );
+          ( 1,
+            map (fun kvs -> Obs.Json.Obj kvs)
+              (list_size (0 -- 4) (pair key (value (n / 2)))) );
+        ]
+  in
+  value 8
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"parse . to_string = id" ~count:200
+    (QCheck.make json_gen)
+    (fun v ->
+      match Obs.Json.parse (Obs.Json.to_string v) with
+      | Ok back -> back = v
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Solver convergence series: every solver leaves a non-empty series  *)
+(* with non-decreasing timestamps; MAP solvers' best cost never rises. *)
+
+let rec node_series (n : Obs.Report.node) =
+  n.Obs.Report.series
+  @ List.concat_map node_series n.Obs.Report.children
+
+let all_series (r : Obs.Report.t) =
+  r.Obs.Report.series @ List.concat_map node_series r.Obs.Report.spans
+
+let convergence_points r name =
+  match
+    List.filter_map
+      (fun (n, s) -> if n = name then Some s else None)
+      (all_series r)
+  with
+  | [] -> Alcotest.failf "series %s missing from report" name
+  | first :: rest ->
+      Obs.Series.points (List.fold_left Obs.Series.merge first rest)
+
+let check_timeline ?(map_cost = false) name pts =
+  Alcotest.(check bool) (name ^ " non-empty") true (pts <> []);
+  let rec go = function
+    | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s time monotone (%.3f <= %.3f)" name x1 x2)
+          true (x1 <= x2);
+        if map_cost then
+          Alcotest.(check bool)
+            (Printf.sprintf "%s cost non-increasing (%.3f >= %.3f)" name y1 y2)
+            true (y1 >= y2);
+        go rest
+    | _ -> ()
+  in
+  go pts
+
+(* Three atoms; soft unit clauses pulling 0 and 1 up, a soft mutual
+   exclusion, and a hard unit on atom 2 so the samplers have a hard
+   part to respect. *)
+let tiny_network () =
+  let clause lits weight =
+    {
+      Mln.Network.literals =
+        Array.of_list
+          (List.map
+             (fun (atom, positive) -> { Mln.Network.atom; positive })
+             lits);
+      weight;
+      source = "tiny";
+    }
+  in
+  {
+    Mln.Network.num_atoms = 3;
+    clauses =
+      [|
+        clause [ (0, true) ] (Some 1.0);
+        clause [ (1, true) ] (Some 0.6);
+        clause [ (0, false); (1, false) ] (Some 0.8);
+        clause [ (2, true) ] None;
+      |];
+  }
+
+let test_walksat_convergence () =
+  with_obs (fun () ->
+      let network = tiny_network () in
+      ignore
+        (Mln.Maxwalksat.solve ~seed:3 ~init:(Array.make 3 false) network);
+      let r = Obs.Report.capture () in
+      check_timeline ~map_cost:true "walksat.convergence"
+        (convergence_points r "walksat.convergence"))
+
+let test_milp_convergence () =
+  with_obs (fun () ->
+      let network = tiny_network () in
+      (match
+         Mln.Ilp_encoding.solve ~deadline:Prelude.Deadline.none network
+       with
+      | Some _ -> ()
+      | None -> Alcotest.fail "tiny network should be feasible");
+      let r = Obs.Report.capture () in
+      check_timeline ~map_cost:true "milp.convergence"
+        (convergence_points r "milp.convergence"))
+
+let test_gibbs_convergence () =
+  with_obs (fun () ->
+      ignore
+        (Mln.Gibbs.run ~seed:3 ~burn_in:10 ~samples:80 (tiny_network ()));
+      let r = Obs.Report.capture () in
+      let pts = convergence_points r "gibbs.convergence" in
+      check_timeline "gibbs.convergence" pts;
+      (* Cumulative recorded sweeps only grow. *)
+      let rec nondecreasing = function
+        | (_, y1) :: ((_, y2) :: _ as rest) ->
+            y1 <= y2 && nondecreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "cumulative samples" true (nondecreasing pts))
+
+let test_mcsat_convergence () =
+  with_obs (fun () ->
+      ignore
+        (Mln.Mcsat.run ~seed:3 ~burn_in:4 ~samples:24 ~sample_flips:500
+           (tiny_network ()));
+      let r = Obs.Report.capture () in
+      check_timeline "mcsat.convergence"
+        (convergence_points r "mcsat.convergence"))
+
+let test_admm_convergence () =
+  with_obs (fun () ->
+      (* minimize max(0, 1 - x): ADMM walks x toward 1. *)
+      let model =
+        {
+          Psl.Hlmrf.num_vars = 1;
+          potentials =
+            [|
+              {
+                Psl.Hlmrf.weight = 1.0;
+                expr = { coeffs = [ (0, -1.0) ]; const = 1.0 };
+              };
+            |];
+          constraints = [||];
+        }
+      in
+      ignore (Psl.Admm.solve ~max_iters:200 model);
+      let r = Obs.Report.capture () in
+      check_timeline ~map_cost:true "admm.convergence"
+        (convergence_points r "admm.convergence"))
+
+(* ------------------------------------------------------------------ *)
+(* Worker profiling: parallel runs account the same work, worker      *)
+(* lanes only exist when the crew actually ran tasks.                 *)
+
+let counter_total r name =
+  let rec node_sum (n : Obs.Report.node) =
+    Option.value (List.assoc_opt name n.Obs.Report.counters) ~default:0.0
+    +. List.fold_left (fun acc c -> acc +. node_sum c) 0.0 n.Obs.Report.children
+  in
+  Option.value (List.assoc_opt name r.Obs.Report.counters) ~default:0.0
+  +. List.fold_left (fun acc n -> acc +. node_sum n) 0.0 r.Obs.Report.spans
+
+let span_calls r name =
+  let rec node_sum (n : Obs.Report.node) =
+    (if n.Obs.Report.name = name then n.Obs.Report.calls else 0)
+    + List.fold_left (fun acc c -> acc + node_sum c) 0 n.Obs.Report.children
+  in
+  List.fold_left (fun acc n -> acc + node_sum n) 0 r.Obs.Report.spans
+
+let test_jobs_report_equivalence () =
+  let run jobs =
+    with_obs (fun () ->
+        let pool = Prelude.Pool.create ~jobs in
+        Obs.span "work" (fun () ->
+            ignore
+              (Prelude.Pool.map pool
+                 (fun i ->
+                   Obs.count "item";
+                   i * i)
+                 (List.init 12 Fun.id)));
+        Obs.Report.capture ())
+  in
+  let r1 = run 1 and r4 = run 4 in
+  (* The same work is accounted at every job count, wherever the tasks
+     ran (coordinator span at jobs=1, task spans in worker lanes at
+     jobs=4). *)
+  Alcotest.(check (float 1e-9)) "items at jobs=1" 12.0 (counter_total r1 "item");
+  Alcotest.(check (float 1e-9)) "items at jobs=4" 12.0 (counter_total r4 "item");
+  (* Sequential pools bypass the crew: no task spans, no worker lanes. *)
+  Alcotest.(check int) "no task spans at jobs=1" 0 (span_calls r1 "task");
+  Alcotest.(check bool)
+    "no worker lanes at jobs=1" true
+    (List.for_all
+       (fun (n : Obs.Report.node) ->
+         not
+           (String.length n.Obs.Report.name >= 8
+           && String.sub n.Obs.Report.name 0 8 = "workers/"))
+       r1.Obs.Report.spans);
+  (* The crew path wraps every dealt task in a span (the coordinator
+     deals too, so lanes are scheduling-dependent — only the total is
+     stable). *)
+  Alcotest.(check int) "12 task spans at jobs=4" 12 (span_calls r4 "task")
+
+(* ------------------------------------------------------------------ *)
+(* Exports: the trace and metrics renderings of a captured report pass *)
+(* their own validators.                                              *)
+
+let test_export_validates () =
+  with_obs (fun () ->
+      Obs.span "resolve" (fun () ->
+          Obs.span "ground" (fun () -> Obs.count ~n:7 "atoms");
+          Obs.span "solve" (fun () ->
+              Obs.record "flips" 5.0;
+              Obs.gauge "cost" 1.5;
+              Obs.sample "cost" ~t_ms:(Prelude.Timing.now_ms ()) ~v:1.5));
+      Obs.event ~level:Obs.Events.Warn "something" [ ("n", Obs.Events.Int 1) ];
+      let r = Obs.Report.capture () in
+      (match Obs.Export.validate_trace (Obs.Export.chrome_trace r) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("chrome trace invalid: " ^ e));
+      (match Obs.Export.validate_metrics (Obs.Export.open_metrics r) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("open metrics invalid: " ^ e));
+      (* The JSON report with events and series still round-trips. *)
+      let text = Obs.Report.to_string r in
+      match Obs.Json.parse text with
+      | Error e -> Alcotest.fail ("report JSON: " ^ e)
+      | Ok json ->
+          Alcotest.(check string)
+            "print . parse = id" text
+            (Obs.Json.to_string json))
+
+let test_trace_validator_rejects () =
+  List.iter
+    (fun (what, json) ->
+      match Obs.Export.validate_trace json with
+      | Ok () -> Alcotest.failf "validator accepted %s" what
+      | Error _ -> ())
+    [
+      ("a non-object", Obs.Json.Num 1.0);
+      ("missing traceEvents", Obs.Json.Obj []);
+      ("empty traceEvents", Obs.Json.Obj [ ("traceEvents", Obs.Json.Arr []) ]);
+      ( "an incomplete event",
+        Obs.Json.Obj
+          [
+            ( "traceEvents",
+              Obs.Json.Arr
+                [ Obs.Json.Obj [ ("name", Obs.Json.Str "x") ] ] );
+          ] );
+    ]
+
+let test_metrics_validator_rejects () =
+  List.iter
+    (fun (what, text) ->
+      match Obs.Export.validate_metrics text with
+      | Ok () -> Alcotest.failf "validator accepted %s" what
+      | Error _ -> ())
+    [
+      ("an empty exposition", "");
+      ("a missing EOF", "# TYPE a gauge\na 1\n");
+      ("an unknown type", "# TYPE a banana\na 1\n# EOF\n");
+      ("a bare word sample", "# TYPE a gauge\na one\n# EOF\n");
+      ("unbalanced labels", "# TYPE a gauge\na{x=\"1\" 2\n# EOF\n");
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -208,6 +691,46 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
           Alcotest.test_case "root metrics" `Quick test_root_metrics;
           Alcotest.test_case "trace hook" `Quick test_trace_hook;
+          Alcotest.test_case "find across merged spans" `Quick
+            test_find_merged;
+          QCheck_alcotest.to_alcotest prop_self_ms_nonneg;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "levels and fields" `Quick test_events_basic;
+          Alcotest.test_case "ring overflow keeps newest" `Quick
+            test_events_ring_overflow;
+          Alcotest.test_case "event hook streams" `Quick test_event_hook;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "downsampling stays monotone" `Quick
+            test_series_downsample;
+          Alcotest.test_case "merge" `Quick test_series_merge;
+          Alcotest.test_case "sample lands in the span" `Quick
+            test_sample_in_report;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "maxwalksat" `Quick test_walksat_convergence;
+          Alcotest.test_case "milp" `Quick test_milp_convergence;
+          Alcotest.test_case "gibbs" `Quick test_gibbs_convergence;
+          Alcotest.test_case "mcsat" `Quick test_mcsat_convergence;
+          Alcotest.test_case "admm" `Quick test_admm_convergence;
+        ] );
+      ( "workers",
+        [
+          Alcotest.test_case "jobs=1 and jobs=4 account the same work"
+            `Quick test_jobs_report_equivalence;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "trace and metrics validate" `Quick
+            test_export_validates;
+          Alcotest.test_case "trace validator rejects" `Quick
+            test_trace_validator_rejects;
+          Alcotest.test_case "metrics validator rejects" `Quick
+            test_metrics_validator_rejects;
         ] );
       ( "histogram",
         [
@@ -220,5 +743,10 @@ let () =
             test_json_roundtrip_report;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "string escapes" `Quick test_json_escapes;
+          Alcotest.test_case "float round-trip" `Quick
+            test_json_float_roundtrip;
+          Alcotest.test_case "non-finite rejected" `Quick
+            test_json_nonfinite_rejected;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
     ]

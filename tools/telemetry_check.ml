@@ -1,0 +1,59 @@
+(* Validate telemetry export files produced by `tecore resolve`:
+
+     telemetry_check trace FILE [--min-lanes N]
+       FILE must parse as JSON and pass the Chrome trace_event checks
+       (complete "X" events with name/cat/ph/ts/dur/pid/tid, at least N
+       distinct lanes).
+
+     telemetry_check metrics FILE
+       FILE must pass the OpenMetrics text-exposition grammar check.
+
+   Exit status 0 when valid, 1 with a diagnostic on stderr otherwise.
+   Used by scripts/ci.sh to gate the telemetry smoke run. *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg ->
+    Printf.eprintf "telemetry_check: %s\n" msg;
+    exit 1
+
+let fail fmt = Printf.ksprintf (fun msg ->
+    Printf.eprintf "telemetry_check: %s\n" msg;
+    exit 1)
+  fmt
+
+let usage () =
+  prerr_endline
+    "usage: telemetry_check trace FILE [--min-lanes N]\n\
+    \       telemetry_check metrics FILE";
+  exit 1
+
+let check_trace path min_lanes =
+  let text = read_file path in
+  let json =
+    match Obs.Json.parse text with
+    | Ok json -> json
+    | Error msg -> fail "%s: %s" path msg
+  in
+  match Obs.Export.validate_trace ~min_lanes json with
+  | Ok () -> Printf.printf "%s: valid Chrome trace\n" path
+  | Error msg -> fail "%s: %s" path msg
+
+let check_metrics path =
+  match Obs.Export.validate_metrics (read_file path) with
+  | Ok () -> Printf.printf "%s: valid OpenMetrics exposition\n" path
+  | Error msg -> fail "%s: %s" path msg
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "trace"; path ] -> check_trace path 1
+  | [ _; "trace"; path; "--min-lanes"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> check_trace path n
+      | _ -> fail "--min-lanes expects a positive integer, got %S" n)
+  | [ _; "metrics"; path ] -> check_metrics path
+  | _ -> usage ()
