@@ -1259,6 +1259,297 @@ let deadline_bench () =
     deadline_json_path (List.length budgets)
 
 (* ------------------------------------------------------------------ *)
+(* INCR: incremental re-resolve latency vs from-scratch, per delta     *)
+(* size, exported as BENCH_incremental.json (validated by re-parsing). *)
+
+let incr_json_path = "BENCH_incremental.json"
+
+(* One measured cell: [engine] re-resolving after [delta_size]
+   single-fact edits (each a retract of one playsFor stint plus an
+   assert of a replacement at another team), incremental vs
+   from-scratch, medians over repeated edit/resolve rounds. The
+   incremental result is asserted equal to the fresh one on every round,
+   so the bench doubles as an end-to-end differential check at sizes the
+   unit tests do not reach. *)
+let incr_measure () =
+  let reps = if !fast_mode then 3 else 5 in
+  let players = if !fast_mode then 120 else 400 in
+  let rules = Datagen.Footballdb.constraints () in
+  let engines = [ ("mln", mln_engine); ("psl", psl_engine) ] in
+  let deltas = [ 1; 10; 100 ] in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let signature (r : Tecore.Engine.result) =
+    let res = r.Tecore.Engine.resolution in
+    ( List.map fst res.Tecore.Conflict.removed,
+      res.Tecore.Conflict.kept,
+      List.length res.Tecore.Conflict.derived,
+      r.Tecore.Engine.stats.Tecore.Engine.objective )
+  in
+  ( reps,
+    players,
+    List.concat_map
+      (fun (engine_id, engine) ->
+        List.map
+          (fun delta_size ->
+            let d =
+              Datagen.Footballdb.generate ~seed:17 ~players ~noise_ratio:0.5
+                ()
+            in
+            let g = d.Datagen.Footballdb.graph in
+            let st = Tecore.Engine.create_state () in
+            (* Prime the state: first resolve records the grounding
+               snapshot and fills the component solution caches. *)
+            ignore
+              (Tecore.Engine.resolve ~engine ~state:st ~mode:`Incremental g
+                 rules);
+            let round = ref 0 in
+            let apply_edits () =
+              incr round;
+              let plays =
+                Kg.Graph.by_predicate g (Kg.Term.iri "playsFor")
+              in
+              let plays = Array.of_list plays in
+              let n = Array.length plays in
+              let facts = ref [] in
+              for i = 0 to delta_size - 1 do
+                let idx = ((!round * 37) + (i * 61)) mod n in
+                let id, q = plays.(idx) in
+                if Kg.Graph.mem_id g id then begin
+                  let _, donor = plays.((idx + 97) mod n) in
+                  Kg.Graph.remove g id;
+                  let q' =
+                    { q with Kg.Quad.object_ = donor.Kg.Quad.object_ }
+                  in
+                  ignore (Kg.Graph.add g q');
+                  facts :=
+                    Logic.Atom.Ground.of_quad q'
+                    :: Logic.Atom.Ground.of_quad q
+                    :: !facts
+                end
+              done;
+              { Tecore.Engine.facts = !facts; rules_changed = false }
+            in
+            let fresh_samples = ref [] in
+            let incr_samples = ref [] in
+            for _ = 1 to reps do
+              let delta = apply_edits () in
+              let r_fresh, fresh_ms =
+                Prelude.Timing.time (fun () ->
+                    Tecore.Engine.resolve ~engine g rules)
+              in
+              let r_incr, incr_ms =
+                Prelude.Timing.time (fun () ->
+                    Tecore.Engine.resolve ~engine ~state:st
+                      ~mode:`Incremental ~delta g rules)
+              in
+              if signature r_fresh <> signature r_incr then
+                failwith
+                  (Printf.sprintf
+                     "incr: incremental diverged from fresh (%s, delta=%d)"
+                     engine_id delta_size);
+              fresh_samples := fresh_ms :: !fresh_samples;
+              incr_samples := incr_ms :: !incr_samples
+            done;
+            let cache = Tecore.Engine.cache_stats st in
+            let fresh_ms = median !fresh_samples in
+            let incr_ms = median !incr_samples in
+            row
+              "incr %-4s delta=%-4d fresh %9.2f ms  incremental %9.2f ms  \
+               speedup %5.2fx\n"
+              engine_id delta_size fresh_ms incr_ms
+              (fresh_ms /. incr_ms);
+            (engine_id, delta_size, fresh_ms, incr_ms, cache))
+          deltas)
+      engines )
+
+let incr_check_run () =
+  section "INCR"
+    "incremental: measured latencies vs committed BENCH_incremental.json";
+  let env_float name default =
+    match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+    | Some v when v > 0.0 -> v
+    | Some _ | None -> default
+  in
+  let factor = env_float "BENCH_INCR_TOL_FACTOR" 25.0 in
+  let floor_ms = env_float "BENCH_INCR_TOL_FLOOR_MS" 5.0 in
+  let committed =
+    let ic =
+      try open_in incr_json_path
+      with Sys_error msg ->
+        failwith
+          (Printf.sprintf
+             "incr --check: cannot read %s (%s); run `bench incr` to \
+              regenerate it"
+             incr_json_path msg)
+    in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Obs.Json.parse text with
+    | Error e -> failwith (Printf.sprintf "incr --check: %s: %s" incr_json_path e)
+    | Ok doc -> doc
+  in
+  let committed_runs =
+    match Obs.Json.member "runs" committed with
+    | Some (Obs.Json.Arr runs) -> runs
+    | _ -> failwith (incr_json_path ^ ": no runs")
+  in
+  let lookup engine_id delta =
+    List.find_opt
+      (fun r ->
+        Obs.Json.member "engine" r = Some (Obs.Json.Str engine_id)
+        && Obs.Json.member "delta" r
+           = Some (Obs.Json.Num (float_of_int delta)))
+      committed_runs
+  in
+  let num field r =
+    match Obs.Json.member field r with
+    | Some (Obs.Json.Num v) when Float.is_finite v -> v
+    | _ -> failwith (Printf.sprintf "%s: bad %s" incr_json_path field)
+  in
+  (* The committed headline: a 1-fact edit re-resolves faster than from
+     scratch, on the machine that produced the file. *)
+  List.iter
+    (fun engine_id ->
+      match lookup engine_id 1 with
+      | None ->
+          failwith
+            (Printf.sprintf "%s: no delta=1 run for %s" incr_json_path
+               engine_id)
+      | Some r ->
+          if num "speedup" r <= 1.0 then
+            failwith
+              (Printf.sprintf
+                 "%s: committed delta=1 speedup for %s is not > 1"
+                 incr_json_path engine_id))
+    [ "mln"; "psl" ];
+  let _, _, measured = incr_measure () in
+  let failures = ref [] in
+  List.iter
+    (fun (engine_id, delta, fresh_ms, incr_ms, _cache) ->
+      match lookup engine_id delta with
+      | None ->
+          failures :=
+            Printf.sprintf "%s delta=%d: missing from %s" engine_id delta
+              incr_json_path
+            :: !failures
+      | Some r ->
+          let within ref_ms ms =
+            ms <= (ref_ms *. factor) +. floor_ms
+            && ref_ms <= (ms *. factor) +. floor_ms
+          in
+          if not (within (num "fresh_ms" r) fresh_ms) then
+            failures :=
+              Printf.sprintf "%s delta=%d: fresh %.2f ms vs committed %.2f ms"
+                engine_id delta fresh_ms (num "fresh_ms" r)
+              :: !failures;
+          if not (within (num "incremental_ms" r) incr_ms) then
+            failures :=
+              Printf.sprintf
+                "%s delta=%d: incremental %.2f ms vs committed %.2f ms"
+                engine_id delta incr_ms
+                (num "incremental_ms" r)
+              :: !failures)
+    measured;
+  match !failures with
+  | [] ->
+      row "incr --check: all cells within %.0fx of %s\n" factor incr_json_path
+  | fs ->
+      failwith
+        (Printf.sprintf "incr --check: %d cell(s) out of tolerance:\n  %s"
+           (List.length fs)
+           (String.concat "\n  " (List.rev fs)))
+
+let incr_bench () =
+  if !obs_check then incr_check_run ()
+  else begin
+    section "INCR"
+      "incremental sessions: delta re-resolve -> BENCH_incremental.json";
+    let reps, players, measured = incr_measure () in
+    (* The headline claim of the incremental engine, enforced at write
+       time: re-resolving after a single-fact edit beats a from-scratch
+       resolve on wall-clock median. *)
+    List.iter
+      (fun (engine_id, delta, fresh_ms, incr_ms, _) ->
+        if delta = 1 && incr_ms >= fresh_ms then
+          failwith
+            (Printf.sprintf
+               "incr: delta=1 incremental (%.2f ms) did not beat fresh \
+                (%.2f ms) for %s"
+               incr_ms fresh_ms engine_id))
+      measured;
+    let runs =
+      List.map
+        (fun (engine_id, delta, fresh_ms, incr_ms, cache) ->
+          Obs.Json.Obj
+            [
+              ("engine", Obs.Json.Str engine_id);
+              ("delta", Obs.Json.Num (float_of_int delta));
+              ("fresh_ms", Obs.Json.Num fresh_ms);
+              ("incremental_ms", Obs.Json.Num incr_ms);
+              ("speedup", Obs.Json.Num (fresh_ms /. incr_ms));
+              ( "cache",
+                Obs.Json.Obj
+                  [
+                    ( "entries",
+                      Obs.Json.Num
+                        (float_of_int cache.Tecore.Engine.solve_entries) );
+                    ( "hits",
+                      Obs.Json.Num
+                        (float_of_int cache.Tecore.Engine.solve_hits) );
+                    ( "misses",
+                      Obs.Json.Num
+                        (float_of_int cache.Tecore.Engine.solve_misses) );
+                  ] );
+            ])
+        measured
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("schema", Obs.Json.Str "tecore-bench-incremental/1");
+          ("fast", Obs.Json.Bool !fast_mode);
+          ("players", Obs.Json.Num (float_of_int players));
+          ("reps", Obs.Json.Num (float_of_int reps));
+          ("runs", Obs.Json.Arr runs);
+        ]
+    in
+    let oc = open_out incr_json_path in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    (* Self-check: round-trip through our own parser, and make sure the
+       numbers downstream tooling keys on are present and finite. *)
+    let ic = open_in incr_json_path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Obs.Json.parse text with
+    | Error e ->
+        failwith (Printf.sprintf "%s: invalid JSON: %s" incr_json_path e)
+    | Ok parsed -> (
+        match Obs.Json.member "runs" parsed with
+        | Some (Obs.Json.Arr (_ :: _ as rs)) ->
+            List.iter
+              (fun r ->
+                List.iter
+                  (fun field ->
+                    match Obs.Json.member field r with
+                    | Some (Obs.Json.Num v) when Float.is_finite v -> ()
+                    | _ ->
+                        failwith
+                          (Printf.sprintf "%s: run misses %s" incr_json_path
+                             field))
+                  [ "delta"; "fresh_ms"; "incremental_ms"; "speedup" ])
+              rs
+        | _ -> failwith (incr_json_path ^ ": no runs")));
+    row "wrote %s (%d cells, %d reps each) -- JSON validated\n"
+      incr_json_path (List.length measured) reps
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1266,6 +1557,7 @@ let experiments =
     ("e7", e7); ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4);
     ("a5", a5); ("a6", a6); ("a7", a7); ("micro", micro);
     ("obs", obs_bench); ("par", par_bench); ("deadline", deadline_bench);
+    ("incr", incr_bench);
   ]
 
 let () =

@@ -176,7 +176,8 @@ let resolve data rules engine jobs threshold timeout on_timeout output
             | Tecore.Session.Rejected _ -> exit_rejected
             | Tecore.Session.Ground_timeout _ -> exit_timeout
             | Tecore.Session.Io_error _ -> exit_io
-            | Tecore.Session.Parse_error _ | Tecore.Session.No_graph -> 1
+            | Tecore.Session.Parse_error _ | Tecore.Session.No_graph
+            | Tecore.Session.Absent_fact _ -> 1
           in
           raise (Cli_error (code, Tecore.Session.error_message e))
       | Ok result
@@ -698,12 +699,61 @@ let demo_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let session_run script_file engine jobs =
+  handle (fun () ->
+      let text =
+        try
+          let ic = open_in script_file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with Sys_error msg -> raise (Cli_error (exit_io, msg))
+      in
+      match Tecore.Script.parse_string ~path:script_file text with
+      | Error e -> failwith (Format.asprintf "%a" Tecore.Script.pp_error e)
+      | Ok script -> (
+          let session = Tecore.Session.create () in
+          match
+            Tecore.Script.run ~engine ?jobs ~session Format.std_formatter
+              script
+          with
+          | Ok () -> ()
+          | Error e ->
+              failwith (Format.asprintf "%a" Tecore.Script.pp_error e)))
+
+let session_cmd =
+  let script_arg =
+    let doc = "Edit script: load/assert/retract/rule/unrule/resolve/diff." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "s"; "script" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "session" ~exits:io_exits
+       ~doc:"Run an edit script against one incremental session"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Drives one resolution session through a line-oriented edit \
+              script: load a UTKG, assert and retract facts, add and \
+              remove rules, resolve (incrementally by default) and diff \
+              the input against the resolution. The transcript is \
+              deterministic — no timings — and each resolve line reports \
+              how the incremental caches were used \
+              (hit/replay/miss/invalidate/fallback/fresh).";
+         ])
+    Term.(const session_run $ script_arg $ engine_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let main =
   Cmd.group
     (Cmd.info "tecore" ~version:"1.0.0"
        ~doc:"Temporal conflict resolution in uncertain knowledge graphs")
     [ resolve_cmd; analyse_cmd; complete_cmd; generate_cmd; query_cmd;
       suggest_cmd; export_cmd; coalesce_cmd; learn_cmd; diff_cmd;
-      demo_cmd ]
+      session_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

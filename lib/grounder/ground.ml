@@ -40,9 +40,10 @@ let head_atom (rule : Logic.Rule.t) =
    deadline is polled between rounds — a completed round is the safe
    point: stopping mid-round would leave the extension tables ahead of
    [derived]. *)
-let closure ?(max_rounds = 50) ?(deadline = Prelude.Deadline.none) store rules
-    =
+let closure ?(max_rounds = 50) ?(deadline = Prelude.Deadline.none) ?log store
+    rules =
   let inference = List.filter Logic.Rule.is_inference rules in
+  let n_inference = List.length inference in
   let derived = ref [] in
   let rec loop round =
     if round > max_rounds then
@@ -60,24 +61,38 @@ let closure ?(max_rounds = 50) ?(deadline = Prelude.Deadline.none) store rules
       raise
         (Timed_out { atoms = Atom_store.size store; rounds = round - 1 });
     let before = Atom_store.size store in
-    List.iter
-      (fun rule ->
+    let round_candidates = Array.make n_inference [] in
+    List.iteri
+      (fun ri rule ->
         match head_atom rule with
         | None -> ()
         | Some head ->
             let bindings = Body.all store rule in
             Obs.count ~n:(List.length bindings) "ground.join_rows";
+            (* All instantiable head atoms of this round, in binding
+               order — not just the newly interned ones. The replay in
+               {!reground} re-decides interning dynamically, which is
+               what keeps it exact when a retraction makes an atom
+               internable that was already present last time. *)
+            let candidates =
+              List.filter_map
+                (fun { Body.subst; _ } ->
+                  Logic.Atom.instantiate subst head
+                  (* [None]: e.g. empty interval intersection *))
+                bindings
+            in
+            round_candidates.(ri) <- candidates;
             List.iter
-              (fun { Body.subst; _ } ->
-                match Logic.Atom.instantiate subst head with
-                | None -> () (* e.g. empty interval intersection *)
-                | Some ground ->
-                    if Atom_store.find store ground = None then
-                      derived :=
-                        Atom_store.intern store Atom_store.Hidden ground
-                        :: !derived)
-              bindings)
+              (fun ground ->
+                if Atom_store.find store ground = None then
+                  derived :=
+                    Atom_store.intern store Atom_store.Hidden ground
+                    :: !derived)
+              candidates)
       inference;
+    (match log with
+    | None -> ()
+    | Some log -> log := round_candidates :: !log);
     let added = Atom_store.size store - before in
     Obs.event ~level:Obs.Events.Debug "ground.round"
       [ ("round", Obs.Events.Int round); ("new_atoms", Obs.Events.Int added) ];
@@ -111,6 +126,12 @@ let instances_of_bindings store (rule : Logic.Rule.t) bindings =
           Some { Instance.rule; body_atoms; head = Instance.Violated })
     bindings
 
+let emit_result_counters store (result : result) =
+  Obs.count ~n:(List.length result.instances) "ground.instances";
+  Obs.count ~n:(List.length result.derived) "ground.derived_atoms";
+  Obs.count ~n:result.rounds "ground.rounds";
+  Obs.count ~n:(Atom_store.size store) "ground.atoms"
+
 let run ?max_rounds ?(deadline = Prelude.Deadline.none)
     ?(pool = Prelude.Pool.sequential) store rules =
   let derived, rounds =
@@ -132,8 +153,187 @@ let run ?max_rounds ?(deadline = Prelude.Deadline.none)
         in
         List.concat (List.map2 (instances_of_bindings store) rules all_bindings))
   in
-  Obs.count ~n:(List.length instances) "ground.instances";
-  Obs.count ~n:(List.length derived) "ground.derived_atoms";
-  Obs.count ~n:rounds "ground.rounds";
-  Obs.count ~n:(Atom_store.size store) "ground.atoms";
-  { instances; derived; rounds }
+  let result = { instances; derived; rounds } in
+  emit_result_counters store result;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Delta grounding: record enough of a run to replay it exactly.       *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_store : Atom_store.t;
+  snap_rules : Logic.Rule.t list;
+  rounds_log : Logic.Atom.Ground.t list array array;
+      (** [rounds_log.(r).(i)]: candidate head atoms produced in closure
+          round [r+1] by the [i]-th inference rule, in binding order *)
+  per_rule : Instance.t list list;
+      (** final rule instances, one list per rule in rule order *)
+}
+
+let run_record ?max_rounds ?(deadline = Prelude.Deadline.none)
+    ?(pool = Prelude.Pool.sequential) store rules =
+  let log = ref [] in
+  let derived, rounds =
+    Obs.span "closure" (fun () ->
+        closure ?max_rounds ~deadline ~log store rules)
+  in
+  if Prelude.Deadline.expired deadline then
+    raise (Timed_out { atoms = Atom_store.size store; rounds });
+  let per_rule =
+    Obs.span "instances" (fun () ->
+        let all_bindings =
+          Prelude.Pool.map pool (fun rule -> Body.all store rule) rules
+        in
+        List.map2 (instances_of_bindings store) rules all_bindings)
+  in
+  let result = { instances = List.concat per_rule; derived; rounds } in
+  emit_result_counters store result;
+  ( result,
+    {
+      snap_store = store;
+      snap_rules = rules;
+      rounds_log = Array.of_list (List.rev !log);
+      per_rule;
+    } )
+
+let affected_rules ~delta rules =
+  (* Transitive closure over predicates: a rule is affected when its
+     body mentions an affected predicate; the head predicate of an
+     affected inference rule becomes affected in turn (its extension
+     may change, re-exciting rules that join over it). Everything else
+     sees byte-identical per-round extensions and can be replayed. *)
+  let affected_preds = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace affected_preds p ()) delta;
+  let body_preds (r : Logic.Rule.t) =
+    List.map (fun (a : Logic.Atom.t) -> a.Logic.Atom.predicate) r.Logic.Rule.body
+  in
+  let rule_touched r =
+    List.exists (Hashtbl.mem affected_preds) (body_preds r)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Logic.Rule.t) ->
+        match r.Logic.Rule.head with
+        | Logic.Rule.Infer head when rule_touched r ->
+            let p = head.Logic.Atom.predicate in
+            if not (Hashtbl.mem affected_preds p) then begin
+              Hashtbl.replace affected_preds p ();
+              changed := true
+            end
+        | _ -> ())
+      rules
+  done;
+  rule_touched
+
+exception Replay_miss
+
+let reground ~snapshot ~affected ?(max_rounds = 50) store rules =
+  let same_rules =
+    List.length rules = List.length snapshot.snap_rules
+    && List.for_all2
+         (fun (a : Logic.Rule.t) (b : Logic.Rule.t) ->
+           a.Logic.Rule.name = b.Logic.Rule.name)
+         rules snapshot.snap_rules
+  in
+  if not same_rules then None
+  else begin
+    let inference = List.filter Logic.Rule.is_inference rules in
+    let n_inference = List.length inference in
+    let recorded_rounds = Array.length snapshot.rounds_log in
+    let derived = ref [] in
+    let new_log = ref [] in
+    let live_candidates rule =
+      match head_atom rule with
+      | None -> []
+      | Some head ->
+          List.filter_map
+            (fun { Body.subst; _ } -> Logic.Atom.instantiate subst head)
+            (Body.all store rule)
+    in
+    (* Replay the closure: affected rules re-join live against the new
+       store; unaffected rules replay their recorded candidate streams
+       (ground-atom values, store-independent). Rounds past the recorded
+       horizon reuse the last recorded round — an unaffected rule's
+       extension is frozen there, so a fresh run would recompute exactly
+       that stream. The intern-if-absent decision is taken dynamically
+       either way, which is what makes the replayed store byte-identical
+       to a fresh grounding. *)
+    let rec loop round =
+      if round > max_rounds then
+        failwith
+          (Printf.sprintf "Grounder.closure: no fixpoint after %d rounds"
+             max_rounds);
+      let before = Atom_store.size store in
+      let round_candidates = Array.make n_inference [] in
+      List.iteri
+        (fun ri rule ->
+          let candidates =
+            if affected rule then live_candidates rule
+            else if recorded_rounds = 0 then []
+            else
+              snapshot.rounds_log.(min (round - 1) (recorded_rounds - 1)).(ri)
+          in
+          round_candidates.(ri) <- candidates;
+          List.iter
+            (fun ground ->
+              if Atom_store.find store ground = None then
+                derived :=
+                  Atom_store.intern store Atom_store.Hidden ground :: !derived)
+            candidates)
+        inference;
+      new_log := round_candidates :: !new_log;
+      if Atom_store.size store - before > 0 then loop (round + 1) else round
+    in
+    let rounds = Obs.span "closure" (fun () -> loop 1) in
+    (* Instance phase: old→new id remap for replayed rules. Any old atom
+       still referenced by an unaffected rule must exist in the new
+       store (its supporting predicates are untouched); a miss means the
+       affected-set computation was wrong, so refuse and let the caller
+       fall back to a fresh grounding. *)
+    let old_size = Atom_store.size snapshot.snap_store in
+    let old_to_new = Array.make old_size (-1) in
+    for id = 0 to old_size - 1 do
+      match Atom_store.find store (Atom_store.atom snapshot.snap_store id) with
+      | Some nid -> old_to_new.(id) <- nid
+      | None -> ()
+    done;
+    let remap id =
+      let nid = if id < old_size then old_to_new.(id) else -1 in
+      if nid < 0 then raise Replay_miss;
+      nid
+    in
+    let remap_instance (inst : Instance.t) =
+      {
+        inst with
+        Instance.body_atoms = List.map remap inst.Instance.body_atoms;
+        head =
+          (match inst.Instance.head with
+          | Instance.Derives id -> Instance.Derives (remap id)
+          | h -> h);
+      }
+    in
+    match
+      Obs.span "instances" (fun () ->
+          List.map2
+            (fun rule old_instances ->
+              if affected rule then
+                instances_of_bindings store rule (Body.all store rule)
+              else List.map remap_instance old_instances)
+            rules snapshot.per_rule)
+    with
+    | per_rule ->
+        let result = { instances = List.concat per_rule; derived = List.rev !derived; rounds } in
+        emit_result_counters store result;
+        Some
+          ( result,
+            {
+              snap_store = store;
+              snap_rules = rules;
+              rounds_log = Array.of_list (List.rev !new_log);
+              per_rule;
+            } )
+    | exception Replay_miss -> None
+  end

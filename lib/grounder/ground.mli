@@ -60,3 +60,54 @@ val run :
     @raise Failure when the closure does not reach a fixpoint within
     [max_rounds] (default 50) iterations.
     @raise Timed_out when [deadline] expires. *)
+
+(** {1 Delta grounding}
+
+    The incremental engine re-grounds an edited graph by {e exact
+    replay}: the atom store is always rebuilt fresh (cheap, and the only
+    way to keep atom ids byte-identical to a from-scratch run), but only
+    rules whose body predicates are transitively affected by the edit
+    re-run their joins — every other rule replays the candidate streams
+    and instances recorded from the previous run. The replayed
+    [(store, instances)] pair is byte-identical to what {!run} would
+    produce, which is what makes downstream solver caching sound. *)
+
+type snapshot
+(** What {!run_record} remembers of a grounding: per-round candidate
+    head atoms per inference rule (as ground-atom values, so they are
+    store-independent) and the final per-rule instance lists. *)
+
+val run_record :
+  ?max_rounds:int ->
+  ?deadline:Prelude.Deadline.t ->
+  ?pool:Prelude.Pool.t ->
+  Atom_store.t ->
+  Logic.Rule.t list ->
+  result * snapshot
+(** Exactly {!run}, additionally returning the replay snapshot. *)
+
+val affected_rules :
+  delta:string list -> Logic.Rule.t list -> Logic.Rule.t -> bool
+(** [affected_rules ~delta rules] closes the set of predicates touched
+    by an edit ([delta], grounder predicate names) under rule heads: a
+    rule is affected when its body mentions an affected predicate, and
+    an affected inference rule's head predicate becomes affected in
+    turn. Unaffected rules see byte-identical per-round extensions and
+    are safe to replay. *)
+
+val reground :
+  snapshot:snapshot ->
+  affected:(Logic.Rule.t -> bool) ->
+  ?max_rounds:int ->
+  Atom_store.t ->
+  Logic.Rule.t list ->
+  (result * snapshot) option
+(** Replay the recorded grounding against a freshly rebuilt [store]
+    (evidence already interned), re-joining only [affected] rules.
+    Returns the result — byte-identical to {!run} on the same store —
+    plus the snapshot for the next edit, or [None] when the replay
+    cannot be proven exact (rule list changed, or a replayed instance
+    references an atom the new store lacks); callers then fall back to
+    a fresh grounding.
+
+    @raise Failure when the replayed closure exceeds [max_rounds]. *)

@@ -1,0 +1,63 @@
+(** Connected-component decomposition of a ground Markov network.
+
+    The clause graph of a TeCoRe grounding is highly disconnected: the
+    constraints couple the facts of one entity (one player's stints and
+    birth dates) and nothing else, so the network of an N-player UTKG
+    splits into ~N independent weighted-MaxSAT problems. Solving each
+    component on its own is both faster (local search never wastes flips
+    crossing component boundaries) and the substrate of the incremental
+    engine: a component's MAP state is a pure function of its canonical
+    structural form, so solutions can be memoised across resolves and a
+    one-fact edit only re-solves the one component it touches.
+
+    Purity contract: [solve_component] must be a deterministic function
+    of the sub-network and [init] alone (fixed seeds, budgets derived
+    from the sub-network's size — never from global context such as the
+    component count). Under that contract a cached solution is
+    byte-identical to re-solving, which is what the differential oracle
+    in [test/test_incremental.ml] checks end to end. *)
+
+type component = {
+  atoms : int array;    (** global atom ids, ascending *)
+  network : Network.t;  (** literals remapped to local indices *)
+}
+
+type solved = {
+  values : bool array;  (** local assignment, indexed like [atoms] *)
+  status : Prelude.Deadline.status;
+  cpi : Cpi.stats option;
+}
+
+type cache
+(** Memoised component solutions keyed by canonical structural form
+    (clauses, weights, sources, local init). Lookups compare keys
+    structurally, so a hit is possible only for a byte-identical
+    sub-problem; only [Completed] solves are stored. *)
+
+type cache_stats = { entries : int; hits : int; misses : int }
+
+val create_cache : unit -> cache
+val clear_cache : cache -> unit
+val cache_stats : cache -> cache_stats
+(** Cumulative hit/miss counts since creation (or the last clear). *)
+
+type stats = { components : int; cache_hits : int; cache_misses : int }
+
+val split : Network.t -> component list
+(** Partition by connected components of the clause graph, in ascending
+    order of each component's smallest atom; clauses keep their relative
+    order. Singleton atoms form their own components. A (degenerate)
+    zero-literal clause collapses the split into one whole-network
+    component rather than dropping the clause. *)
+
+val solve :
+  ?cache:cache ->
+  solve_component:(Network.t -> init:bool array -> solved) ->
+  init:bool array ->
+  Network.t ->
+  bool array * Prelude.Deadline.status * Cpi.stats option * stats
+(** Solve every component (sequentially, in canonical order) and merge:
+    assignments are scattered back to global ids, the status is the
+    worst over components, CPI stats are summed. Emits
+    [solve.components], [solve.cache_hits] and [solve.cache_misses]
+    counters. *)

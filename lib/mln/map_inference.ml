@@ -17,6 +17,8 @@ type options = {
   pool : Prelude.Pool.t;
   deadline : Deadline.t;
   ground_deadline : Deadline.t;
+  decompose : bool;
+  solve_cache : Decompose.cache option;
 }
 
 let default_options =
@@ -31,6 +33,8 @@ let default_options =
     pool = Prelude.Pool.sequential;
     deadline = Deadline.none;
     ground_deadline = Deadline.none;
+    decompose = true;
+    solve_cache = None;
   }
 
 type stats = {
@@ -88,12 +92,12 @@ let exact_ladder options network ~init outcome =
   | Some (incumbent, false) -> walk_fallback options network ~init:incumbent
   | None -> walk_fallback options network ~init
 
-let base_solver options network ~init =
+let base_solver ?stall options network ~init =
   match options.solver with
   | Walk ->
       let assignment, stats =
         Maxwalksat.solve ~seed:options.seed ~max_flips:options.max_flips
-          ~restarts:options.restarts ~portfolio:options.portfolio
+          ~restarts:options.restarts ?stall ~portfolio:options.portfolio
           ~pool:options.pool ~deadline:options.deadline ~init network
       in
       (assignment, stats.Maxwalksat.status)
@@ -107,18 +111,40 @@ let base_solver options network ~init =
       let deadline = Deadline.slice options.deadline ~frac:0.5 in
       exact_ladder options network ~init (Ilp_encoding.solve ~deadline network)
 
-let run_store ?(options = default_options) store rules =
-  let (ground_result : Grounder.Ground.result), ground_ms =
-    Prelude.Timing.time (fun () ->
-        Obs.span "ground" (fun () ->
-            Grounder.Ground.run ~deadline:options.ground_deadline
-              ~pool:options.pool store rules))
+(* Per-component solver for the decomposed path. The walk budgets are
+   scaled to the component's size — a component only ever needs flips
+   proportional to its own atoms, and without scaling the per-descent
+   stall budget alone would make an N-component network N times more
+   expensive than the global solve. Everything here is a deterministic
+   function of the sub-network and the (fixed) options, never of the
+   surrounding network — the purity contract of {!Decompose.solve}. *)
+let component_solver options sub ~init =
+  let a = max 1 sub.Network.num_atoms in
+  let scaled =
+    {
+      options with
+      max_flips = min options.max_flips (max 1_000 (100 * a));
+    }
   in
-  (* Per-stage budget telemetry, only under a finite deadline so
-     unbudgeted runs keep byte-identical reports. *)
-  if Deadline.is_finite options.deadline then
-    Obs.gauge "deadline.ground_slack_ms"
-      (Deadline.remaining_ms options.deadline);
+  let stall = min 20_000 (max 250 (25 * a)) in
+  if options.use_cpi then
+    let assignment, cpi_stats =
+      Cpi.solve
+        ~solver:(fun net ~init ->
+          base_solver ~stall scaled net ~init)
+        ~init sub
+    in
+    {
+      Decompose.values = assignment;
+      status = cpi_stats.Cpi.status;
+      cpi = Some cpi_stats;
+    }
+  else
+    let assignment, status = base_solver ~stall scaled sub ~init in
+    { Decompose.values = assignment; status; cpi = None }
+
+let run_ground ?(options = default_options) store
+    (ground_result : Grounder.Ground.result) ~ground_ms =
   let network =
     Obs.span "encode" (fun () ->
         let network =
@@ -132,8 +158,18 @@ let run_store ?(options = default_options) store rules =
         network)
   in
   let init = Network.expanded_assignment network in
+  (* Decompose only under an infinite deadline: splitting a finite
+     budget fairly across components would change the carefully tested
+     anytime behaviour, and the incremental cache is bypassed for
+     budgeted runs anyway. *)
   let solve () =
-    if options.use_cpi then
+    if options.decompose && not (Deadline.is_finite options.deadline) then
+      let assignment, status, cpi, _ =
+        Decompose.solve ?cache:options.solve_cache
+          ~solve_component:(component_solver options) ~init network
+      in
+      (assignment, cpi, status)
+    else if options.use_cpi then
       let assignment, cpi_stats =
         Cpi.solve ~solver:(base_solver options) ~deadline:options.deadline
           ~init network
@@ -204,6 +240,20 @@ let run_store ?(options = default_options) store rules =
         status;
       };
   }
+
+let run_store ?(options = default_options) store rules =
+  let (ground_result : Grounder.Ground.result), ground_ms =
+    Prelude.Timing.time (fun () ->
+        Obs.span "ground" (fun () ->
+            Grounder.Ground.run ~deadline:options.ground_deadline
+              ~pool:options.pool store rules))
+  in
+  (* Per-stage budget telemetry, only under a finite deadline so
+     unbudgeted runs keep byte-identical reports. *)
+  if Deadline.is_finite options.deadline then
+    Obs.gauge "deadline.ground_slack_ms"
+      (Deadline.remaining_ms options.deadline);
+  run_ground ~options store ground_result ~ground_ms
 
 let run ?options graph rules =
   run_store ?options (Store.of_graph graph) rules

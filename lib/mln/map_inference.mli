@@ -34,11 +34,22 @@ type options = {
           raises {!Grounder.Ground.Timed_out} (there is no sound
           partial grounding). Kept separate from [deadline] so
           best-effort callers can budget only the solver *)
+  decompose : bool;
+      (** solve the network per connected component (see {!Decompose}),
+          with per-component budgets scaled to component size. Only
+          active under an infinite [deadline]; budgeted runs keep the
+          global anytime solve path. Default [true] *)
+  solve_cache : Decompose.cache option;
+      (** memoises component solutions across runs (the incremental
+          engine's warm start). Only consulted on the decomposed path;
+          sound because component solves are pure in their canonical
+          form. Default [None] *)
 }
 
 val default_options : options
 (** [Walk] with CPI on, default network config, seed 7, no extra
-    portfolio seeds, {!Prelude.Pool.sequential}, infinite deadlines. *)
+    portfolio seeds, {!Prelude.Pool.sequential}, infinite deadlines,
+    component decomposition on, no solve cache. *)
 
 type stats = {
   atoms : int;
@@ -74,3 +85,14 @@ val run : ?options:options -> Kg.Graph.t -> Logic.Rule.t list -> outcome
 val run_store :
   ?options:options -> Grounder.Atom_store.t -> Logic.Rule.t list -> outcome
 (** Same, over a pre-built atom store (lets callers inject extra atoms). *)
+
+val run_ground :
+  ?options:options ->
+  Grounder.Atom_store.t ->
+  Grounder.Ground.result ->
+  ground_ms:float ->
+  outcome
+(** Encode-and-solve over a grounding computed elsewhere — the entry
+    point of the incremental engine, which produces the grounding by
+    delta replay instead of {!Grounder.Ground.run}. [ground_ms] is
+    reported in the stats verbatim. *)

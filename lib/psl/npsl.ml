@@ -9,6 +9,8 @@ type options = {
   pool : Prelude.Pool.t;
   deadline : Prelude.Deadline.t;
   ground_deadline : Prelude.Deadline.t;
+  decompose : bool;
+  solve_cache : Decompose.cache option;
 }
 
 let default_options =
@@ -21,6 +23,8 @@ let default_options =
     pool = Prelude.Pool.sequential;
     deadline = Prelude.Deadline.none;
     ground_deadline = Prelude.Deadline.none;
+    decompose = true;
+    solve_cache = None;
   }
 
 type stats = {
@@ -46,18 +50,8 @@ type outcome = {
   stats : stats;
 }
 
-let run_store ?(options = default_options) store rules =
-  let (ground_result : Grounder.Ground.result), ground_ms =
-    Prelude.Timing.time (fun () ->
-        Obs.span "ground" (fun () ->
-            Grounder.Ground.run ~deadline:options.ground_deadline
-              ~pool:options.pool store rules))
-  in
-  (* Per-stage budget telemetry, only under a finite deadline so
-     unbudgeted runs keep byte-identical reports. *)
-  if Prelude.Deadline.is_finite options.deadline then
-    Obs.gauge "deadline.ground_slack_ms"
-      (Prelude.Deadline.remaining_ms options.deadline);
+let run_ground ?(options = default_options) store
+    (ground_result : Grounder.Ground.result) ~ground_ms =
   let model =
     Obs.span "encode" (fun () ->
         let model =
@@ -81,12 +75,26 @@ let run_store ?(options = default_options) store rules =
       | Store.Evidence { confidence; _ } -> init.(id) <- confidence
       | Store.Hidden -> init.(id) <- 0.0)
     store;
+  (* Decompose only under an infinite deadline (mirroring the MLN path):
+     budgeted runs keep the global anytime ADMM, and the incremental
+     cache is bypassed for them anyway. *)
   let (truth, admm_stats), solve_ms =
     Prelude.Timing.time (fun () ->
         Obs.span "solve" (fun () ->
-            Admm.solve ~rho:options.rho ~max_iters:options.max_iters
-              ~tol:options.tol ~init ~pool:options.pool
-              ~deadline:options.deadline model))
+            if
+              options.decompose
+              && not (Prelude.Deadline.is_finite options.deadline)
+            then
+              let truth, stats, _ =
+                Decompose.solve ?cache:options.solve_cache ~pool:options.pool
+                  ~rho:options.rho ~max_iters:options.max_iters
+                  ~tol:options.tol ~init model
+              in
+              (truth, stats)
+            else
+              Admm.solve ~rho:options.rho ~max_iters:options.max_iters
+                ~tol:options.tol ~init ~pool:options.pool
+                ~deadline:options.deadline model))
   in
   if Prelude.Deadline.is_finite options.deadline then
     Obs.gauge "deadline.solve_slack_ms"
@@ -134,6 +142,20 @@ let run_store ?(options = default_options) store rules =
         status = admm_stats.Admm.status;
       };
   }
+
+let run_store ?(options = default_options) store rules =
+  let (ground_result : Grounder.Ground.result), ground_ms =
+    Prelude.Timing.time (fun () ->
+        Obs.span "ground" (fun () ->
+            Grounder.Ground.run ~deadline:options.ground_deadline
+              ~pool:options.pool store rules))
+  in
+  (* Per-stage budget telemetry, only under a finite deadline so
+     unbudgeted runs keep byte-identical reports. *)
+  if Prelude.Deadline.is_finite options.deadline then
+    Obs.gauge "deadline.ground_slack_ms"
+      (Prelude.Deadline.remaining_ms options.deadline);
+  run_ground ~options store ground_result ~ground_ms
 
 let run ?options graph rules =
   run_store ?options (Store.of_graph graph) rules

@@ -21,6 +21,13 @@ type options = {
   ground_deadline : Prelude.Deadline.t;
       (** grounding budget; expiry raises {!Grounder.Ground.Timed_out}
           (there is no sound partial grounding) *)
+  decompose : bool;
+      (** run ADMM per connected component of the factor graph (see
+          {!Decompose}); only active under an infinite [deadline].
+          Default [true] *)
+  solve_cache : Decompose.cache option;
+      (** memoises component solutions across runs (the incremental
+          engine's warm start). Default [None] *)
 }
 
 val default_options : options
@@ -53,3 +60,13 @@ val run : ?options:options -> Kg.Graph.t -> Logic.Rule.t list -> outcome
 
 val run_store :
   ?options:options -> Grounder.Atom_store.t -> Logic.Rule.t list -> outcome
+
+val run_ground :
+  ?options:options ->
+  Grounder.Atom_store.t ->
+  Grounder.Ground.result ->
+  ground_ms:float ->
+  outcome
+(** Encode-and-solve over a grounding computed elsewhere (the
+    incremental engine's delta-replay path); [ground_ms] is reported in
+    the stats verbatim. *)

@@ -12,6 +12,7 @@ type run_stats = {
   solve_ms : float;
   total_ms : float;
   hard_violations : int;
+  objective : float;
   status : Deadline.status;
 }
 
@@ -31,6 +32,118 @@ type result = {
 exception Rejected of Translator.report
 
 exception Ground_timed_out of Translator.report
+
+(* ------------------------------------------------------------------ *)
+(* Incremental state                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type delta = {
+  facts : Logic.Atom.Ground.t list;
+      (** ground atoms of the facts asserted or retracted since the
+          last resolve (θ of each edited quad) *)
+  rules_changed : bool;
+}
+
+let empty_delta = { facts = []; rules_changed = false }
+
+type cache_outcome =
+  | Hit          (** empty delta: previous result returned as-is *)
+  | Replay       (** delta grounding replayed, solver caches consulted *)
+  | Miss         (** no usable state yet: fresh resolve, state recorded *)
+  | Invalidate   (** rules or options changed: caches dropped, fresh *)
+  | Bypass       (** finite deadline: incremental machinery skipped *)
+  | Fallback     (** replay failed mid-flight: fresh resolve instead *)
+  | Fresh_run    (** caller asked for [`Fresh]; state still recorded *)
+
+let outcome_name = function
+  | Hit -> "hit"
+  | Replay -> "replay"
+  | Miss -> "miss"
+  | Invalidate -> "invalidate"
+  | Bypass -> "bypass"
+  | Fallback -> "fallback"
+  | Fresh_run -> "fresh"
+
+(* The option fields that influence the result (pools and deadlines are
+   excluded: job count never changes a result, and finite deadlines
+   bypass the state path entirely). A state only replays against the
+   exact configuration that produced it. *)
+type fingerprint =
+  | Fp_mln of
+      Mln.Map_inference.solver
+      * bool
+      * Mln.Network.config
+      * int
+      * int
+      * int
+      * int list
+      * float option
+  | Fp_psl of Psl.Hlmrf.config * float * int * float * float * float option
+
+type state = {
+  mutable snapshot : Grounder.Ground.snapshot option;
+  mutable fp : fingerprint option;
+  mutable last : result option;
+  mln_cache : Mln.Decompose.cache;
+  psl_cache : Psl.Decompose.cache;
+  mutable outcome : cache_outcome option;
+}
+
+let create_state () =
+  {
+    snapshot = None;
+    fp = None;
+    last = None;
+    mln_cache = Mln.Decompose.create_cache ();
+    psl_cache = Psl.Decompose.create_cache ();
+    outcome = None;
+  }
+
+let invalidate st =
+  st.snapshot <- None;
+  st.fp <- None;
+  st.last <- None;
+  Mln.Decompose.clear_cache st.mln_cache;
+  Psl.Decompose.clear_cache st.psl_cache
+
+let last_outcome st = st.outcome
+
+type cache_stats = {
+  solve_entries : int;
+  solve_hits : int;
+  solve_misses : int;
+}
+
+let cache_stats st =
+  let m = Mln.Decompose.cache_stats st.mln_cache in
+  let p = Psl.Decompose.cache_stats st.psl_cache in
+  {
+    solve_entries = m.Mln.Decompose.entries + p.Psl.Decompose.entries;
+    solve_hits = m.Mln.Decompose.hits + p.Psl.Decompose.hits;
+    solve_misses = m.Mln.Decompose.misses + p.Psl.Decompose.misses;
+  }
+
+let fingerprint_of engine threshold =
+  match engine with
+  | Mln (o : Mln.Map_inference.options) ->
+      Fp_mln
+        ( o.Mln.Map_inference.solver,
+          o.Mln.Map_inference.use_cpi,
+          o.Mln.Map_inference.network_config,
+          o.Mln.Map_inference.seed,
+          o.Mln.Map_inference.max_flips,
+          o.Mln.Map_inference.restarts,
+          o.Mln.Map_inference.portfolio,
+          threshold )
+  | Psl (o : Psl.Npsl.options) ->
+      Fp_psl
+        ( o.Psl.Npsl.config,
+          o.Psl.Npsl.rho,
+          o.Psl.Npsl.max_iters,
+          o.Psl.Npsl.tol,
+          o.Psl.Npsl.threshold,
+          threshold )
+  | Auto -> assert false
 
 (* Append the structured partial-grounding note to the translator report
    carried by {!Ground_timed_out}: how far the closure got, and why the
@@ -55,7 +168,7 @@ let ground_timeout_report (report : Translator.report) ~atoms ~rounds =
   { report with Translator.notes = report.Translator.notes @ [ note ]; ok = false }
 
 let resolve ?(engine = Auto) ?jobs ?threshold ?(deadline = Deadline.none)
-    ?(on_timeout = `Best_effort) graph rules =
+    ?(on_timeout = `Best_effort) ?(mode = `Fresh) ?state ?delta graph rules =
   Obs.span "resolve" @@ fun () ->
   let report = Obs.span "translate" (fun () -> Translator.analyse graph rules) in
   if not report.Translator.ok then raise (Rejected report);
@@ -108,44 +221,6 @@ let resolve ?(engine = Auto) ?jobs ?threshold ?(deadline = Deadline.none)
           | Auto -> "auto") );
       ("jobs", Obs.Events.Int jobs);
     ];
-  let run () =
-    match engine with
-    | Auto -> assert false
-    | Mln options ->
-        let out = Mln.Map_inference.run ~options graph rules in
-        ( Obs.span "interpret" (fun () ->
-              Conflict.interpret ~graph ~store:out.Mln.Map_inference.store
-                ~instances:out.Mln.Map_inference.instances
-                ~assignment:out.Mln.Map_inference.assignment ()),
-          {
-            store = out.Mln.Map_inference.store;
-            instances = out.Mln.Map_inference.instances;
-            assignment = out.Mln.Map_inference.assignment;
-          },
-          Translator.Mln_engine,
-          out.Mln.Map_inference.stats.Mln.Map_inference.atoms,
-          out.Mln.Map_inference.stats.Mln.Map_inference.ground_ms,
-          out.Mln.Map_inference.stats.Mln.Map_inference.solve_ms,
-          out.Mln.Map_inference.stats.Mln.Map_inference.hard_violations,
-          out.Mln.Map_inference.stats.Mln.Map_inference.status )
-    | Psl options ->
-        let out = Psl.Npsl.run ~options graph rules in
-        ( Obs.span "interpret" (fun () ->
-              Conflict.interpret ~graph ~store:out.Psl.Npsl.store
-                ~instances:out.Psl.Npsl.instances
-                ~assignment:out.Psl.Npsl.assignment ()),
-          {
-            store = out.Psl.Npsl.store;
-            instances = out.Psl.Npsl.instances;
-            assignment = out.Psl.Npsl.assignment;
-          },
-          Translator.Psl_engine,
-          out.Psl.Npsl.stats.Psl.Npsl.atoms,
-          out.Psl.Npsl.stats.Psl.Npsl.ground_ms,
-          out.Psl.Npsl.stats.Psl.Npsl.solve_ms,
-          out.Psl.Npsl.stats.Psl.Npsl.rounding.Psl.Rounding.unrepaired,
-          out.Psl.Npsl.stats.Psl.Npsl.status )
-  in
   (* Pool scheduling counters must be captured on every exit — a
      rejected grounding or a crashed solver used the pool too, and the
      Obs report of a failed run is exactly where those numbers matter. *)
@@ -162,58 +237,302 @@ let resolve ?(engine = Auto) ?jobs ?threshold ?(deadline = Deadline.none)
           Obs.gauge "pool.speedup"
             (s.Prelude.Pool.busy_ms /. s.Prelude.Pool.wall_ms)
   in
-  let ( (resolution, raw, engine_used, atoms, ground_ms, solve_ms,
-         hard_violations, status),
-        total_ms ) =
-    Fun.protect ~finally:emit_pool_stats (fun () ->
-        try Prelude.Timing.time run
-        with Grounder.Ground.Timed_out { atoms; rounds } ->
-          Obs.event ~level:Obs.Events.Error "ground.timed_out"
-            [
-              ("atoms", Obs.Events.Int atoms);
-              ("rounds", Obs.Events.Int rounds);
-            ];
-          if Deadline.is_finite deadline then begin
-            Obs.count "deadline.expired";
-            Obs.gauge "deadline.budget_ms" (Deadline.budget_ms deadline)
-          end;
-          raise (Ground_timed_out (ground_timeout_report report ~atoms ~rounds)))
+  let interpret store instances assignment =
+    Obs.span "interpret" (fun () ->
+        Conflict.interpret ~graph ~store ~instances ~assignment ())
   in
-  (* Deadline telemetry is emitted only for finite budgets so that runs
-     without [--timeout] produce byte-identical reports to earlier
-     releases. *)
-  if Deadline.is_finite deadline then begin
-    if status <> Deadline.Completed then
-      Obs.event ~level:Obs.Events.Warn "deadline.expired"
-        [
-          ("budget_ms", Obs.Events.Float (Deadline.budget_ms deadline));
-          ("status", Obs.Events.Str (Format.asprintf "%a" Deadline.pp_status status));
-        ];
-    Obs.count ~n:(if status = Deadline.Completed then 0 else 1)
-      "deadline.expired";
-    Obs.gauge "deadline.budget_ms" (Deadline.budget_ms deadline);
-    Obs.gauge "deadline.slack_ms" (Deadline.remaining_ms deadline)
-  end;
-  let resolution =
-    match threshold with
-    | None -> resolution
-    | Some t -> Conflict.apply_threshold t resolution
+  (* ---------------- stateful (incremental-capable) path ------------- *)
+  let run_state st =
+    Fun.protect ~finally:emit_pool_stats @@ fun () ->
+    let pool = Option.value pool ~default:Prelude.Pool.sequential in
+    let fp = fingerprint_of engine threshold in
+    let fp_ok = st.fp = Some fp in
+    let had_fp = st.fp <> None in
+    if not fp_ok then invalidate st;
+    st.fp <- Some fp;
+    let d = match delta with Some d -> d | None -> { facts = []; rules_changed = true } in
+    let fresh_ground () =
+      let (store, ground_result, snap), ground_ms =
+        Prelude.Timing.time (fun () ->
+            Obs.span "ground" (fun () ->
+                let store = Grounder.Atom_store.of_graph graph in
+                let ground_result, snap =
+                  Grounder.Ground.run_record ~pool store rules
+                in
+                (store, ground_result, snap)))
+      in
+      (store, ground_result, snap, ground_ms)
+    in
+    let incremental_ground snapshot =
+      (* The [incr_timeout] fault point simulates a failure in the middle
+         of the incremental machinery; the handler below must recover
+         with a correct fresh resolve, never a stale cache. *)
+      Prelude.Deadline.Faults.inject "incr_timeout"
+        ~index:(Prelude.Deadline.Faults.arg "incr_timeout");
+      let delta_preds =
+        List.sort_uniq String.compare
+          (List.map
+             (fun (a : Logic.Atom.Ground.t) -> a.Logic.Atom.Ground.predicate)
+             d.facts)
+      in
+      let affected = Grounder.Ground.affected_rules ~delta:delta_preds rules in
+      let rejoined = List.length (List.filter affected rules) in
+      Obs.count ~n:rejoined "incr.rejoined_rules";
+      Obs.count ~n:(List.length rules - rejoined) "incr.replayed_rules";
+      let out, ground_ms =
+        Prelude.Timing.time (fun () ->
+            Obs.span "ground" (fun () ->
+                let store = Grounder.Atom_store.of_graph graph in
+                match
+                  Grounder.Ground.reground ~snapshot ~affected store rules
+                with
+                | Some (ground_result, snap) ->
+                    Some (store, ground_result, snap)
+                | None -> None))
+      in
+      match out with
+      | Some (store, ground_result, snap) ->
+          Some (store, ground_result, snap, ground_ms)
+      | None -> None
+    in
+    let fall_back () =
+      Obs.count "incr.fallback_events";
+      st.snapshot <- None;
+      st.last <- None;
+      Mln.Decompose.clear_cache st.mln_cache;
+      Psl.Decompose.clear_cache st.psl_cache;
+      (fresh_ground (), Fallback)
+    in
+    let grounding, outcome =
+      match mode with
+      | `Fresh -> (`Ground (fresh_ground ()), Fresh_run)
+      | `Incremental ->
+          if (not fp_ok) || d.rules_changed || st.snapshot = None then begin
+            (* Rule edits invalidate everything: the snapshot replays a
+               specific rule list, and stale clauses from a removed rule
+               must never survive in any cache. *)
+            if d.rules_changed then invalidate st;
+            st.fp <- Some fp;
+            let oc =
+              if had_fp && ((not fp_ok) || d.rules_changed) then Invalidate
+              else Miss
+            in
+            (`Ground (fresh_ground ()), oc)
+          end
+          else if d.facts = [] && st.last <> None then (`Cached, Hit)
+          else begin
+            match incremental_ground (Option.get st.snapshot) with
+            | Some g -> (`Ground g, Replay)
+            | None ->
+                let g, oc = fall_back () in
+                (`Ground g, oc)
+            | exception e ->
+                Obs.event ~level:Obs.Events.Warn "incr.fault"
+                  [ ("exn", Obs.Events.Str (Printexc.to_string e)) ];
+                let g, oc = fall_back () in
+                (`Ground g, oc)
+          end
+    in
+    st.outcome <- Some outcome;
+    Obs.count ("incr." ^ outcome_name outcome);
+    Obs.event "incr.resolve"
+      [
+        ( "mode",
+          Obs.Events.Str
+            (match mode with `Fresh -> "fresh" | `Incremental -> "incremental")
+        );
+        ("outcome", Obs.Events.Str (outcome_name outcome));
+        ("delta_facts", Obs.Events.Int (List.length d.facts));
+      ];
+    match grounding with
+    | `Cached -> (
+        match st.last with Some r -> r | None -> assert false)
+    | `Ground (store, ground_result, snap, ground_ms) ->
+        let run () =
+          match engine with
+          | Auto -> assert false
+          | Mln options ->
+              let options =
+                {
+                  options with
+                  Mln.Map_inference.solve_cache = Some st.mln_cache;
+                }
+              in
+              let out =
+                Mln.Map_inference.run_ground ~options store ground_result
+                  ~ground_ms
+              in
+              ( interpret store out.Mln.Map_inference.instances
+                  out.Mln.Map_inference.assignment,
+                {
+                  store;
+                  instances = out.Mln.Map_inference.instances;
+                  assignment = out.Mln.Map_inference.assignment;
+                },
+                Translator.Mln_engine,
+                out.Mln.Map_inference.stats.Mln.Map_inference.atoms,
+                out.Mln.Map_inference.stats.Mln.Map_inference.solve_ms,
+                out.Mln.Map_inference.stats.Mln.Map_inference.hard_violations,
+                out.Mln.Map_inference.stats.Mln.Map_inference.objective,
+                out.Mln.Map_inference.stats.Mln.Map_inference.status )
+          | Psl options ->
+              let options =
+                { options with Psl.Npsl.solve_cache = Some st.psl_cache }
+              in
+              let out =
+                Psl.Npsl.run_ground ~options store ground_result ~ground_ms
+              in
+              ( interpret store out.Psl.Npsl.instances out.Psl.Npsl.assignment,
+                {
+                  store;
+                  instances = out.Psl.Npsl.instances;
+                  assignment = out.Psl.Npsl.assignment;
+                },
+                Translator.Psl_engine,
+                out.Psl.Npsl.stats.Psl.Npsl.atoms,
+                out.Psl.Npsl.stats.Psl.Npsl.solve_ms,
+                out.Psl.Npsl.stats.Psl.Npsl.rounding.Psl.Rounding.unrepaired,
+                out.Psl.Npsl.stats.Psl.Npsl.admm.Psl.Admm.objective,
+                out.Psl.Npsl.stats.Psl.Npsl.status )
+        in
+        let ( (resolution, raw, engine_used, atoms, solve_ms, hard_violations,
+               objective, status),
+              rest_ms ) =
+          Prelude.Timing.time run
+        in
+        let resolution =
+          match threshold with
+          | None -> resolution
+          | Some t -> Conflict.apply_threshold t resolution
+        in
+        let result =
+          {
+            resolution;
+            report;
+            stats =
+              {
+                engine_used;
+                atoms;
+                ground_ms;
+                solve_ms;
+                total_ms = ground_ms +. rest_ms;
+                hard_violations;
+                objective;
+                status;
+              };
+            raw;
+          }
+        in
+        st.snapshot <- Some snap;
+        st.last <- (if status = Deadline.Completed then Some result else None);
+        result
   in
-  {
-    resolution;
-    report;
-    stats =
-      {
-        engine_used;
-        atoms;
-        ground_ms;
-        solve_ms;
-        total_ms;
-        hard_violations;
-        status;
-      };
-    raw;
-  }
+  (* ---------------- stateless (legacy) path ------------------------- *)
+  let run_stateless () =
+    let run () =
+      match engine with
+      | Auto -> assert false
+      | Mln options ->
+          let out = Mln.Map_inference.run ~options graph rules in
+          ( interpret out.Mln.Map_inference.store
+              out.Mln.Map_inference.instances out.Mln.Map_inference.assignment,
+            {
+              store = out.Mln.Map_inference.store;
+              instances = out.Mln.Map_inference.instances;
+              assignment = out.Mln.Map_inference.assignment;
+            },
+            Translator.Mln_engine,
+            out.Mln.Map_inference.stats.Mln.Map_inference.atoms,
+            out.Mln.Map_inference.stats.Mln.Map_inference.ground_ms,
+            out.Mln.Map_inference.stats.Mln.Map_inference.solve_ms,
+            out.Mln.Map_inference.stats.Mln.Map_inference.hard_violations,
+            out.Mln.Map_inference.stats.Mln.Map_inference.objective,
+            out.Mln.Map_inference.stats.Mln.Map_inference.status )
+      | Psl options ->
+          let out = Psl.Npsl.run ~options graph rules in
+          ( interpret out.Psl.Npsl.store out.Psl.Npsl.instances
+              out.Psl.Npsl.assignment,
+            {
+              store = out.Psl.Npsl.store;
+              instances = out.Psl.Npsl.instances;
+              assignment = out.Psl.Npsl.assignment;
+            },
+            Translator.Psl_engine,
+            out.Psl.Npsl.stats.Psl.Npsl.atoms,
+            out.Psl.Npsl.stats.Psl.Npsl.ground_ms,
+            out.Psl.Npsl.stats.Psl.Npsl.solve_ms,
+            out.Psl.Npsl.stats.Psl.Npsl.rounding.Psl.Rounding.unrepaired,
+            out.Psl.Npsl.stats.Psl.Npsl.admm.Psl.Admm.objective,
+            out.Psl.Npsl.stats.Psl.Npsl.status )
+    in
+    let ( (resolution, raw, engine_used, atoms, ground_ms, solve_ms,
+           hard_violations, objective, status),
+          total_ms ) =
+      Fun.protect ~finally:emit_pool_stats (fun () ->
+          try Prelude.Timing.time run
+          with Grounder.Ground.Timed_out { atoms; rounds } ->
+            Obs.event ~level:Obs.Events.Error "ground.timed_out"
+              [
+                ("atoms", Obs.Events.Int atoms);
+                ("rounds", Obs.Events.Int rounds);
+              ];
+            if Deadline.is_finite deadline then begin
+              Obs.count "deadline.expired";
+              Obs.gauge "deadline.budget_ms" (Deadline.budget_ms deadline)
+            end;
+            raise
+              (Ground_timed_out (ground_timeout_report report ~atoms ~rounds)))
+    in
+    (* Deadline telemetry is emitted only for finite budgets so that runs
+       without [--timeout] produce byte-identical reports to earlier
+       releases. *)
+    if Deadline.is_finite deadline then begin
+      if status <> Deadline.Completed then
+        Obs.event ~level:Obs.Events.Warn "deadline.expired"
+          [
+            ("budget_ms", Obs.Events.Float (Deadline.budget_ms deadline));
+            ( "status",
+              Obs.Events.Str (Format.asprintf "%a" Deadline.pp_status status) );
+          ];
+      Obs.count ~n:(if status = Deadline.Completed then 0 else 1)
+        "deadline.expired";
+      Obs.gauge "deadline.budget_ms" (Deadline.budget_ms deadline);
+      Obs.gauge "deadline.slack_ms" (Deadline.remaining_ms deadline)
+    end;
+    let resolution =
+      match threshold with
+      | None -> resolution
+      | Some t -> Conflict.apply_threshold t resolution
+    in
+    {
+      resolution;
+      report;
+      stats =
+        {
+          engine_used;
+          atoms;
+          ground_ms;
+          solve_ms;
+          total_ms;
+          hard_violations;
+          objective;
+          status;
+        };
+      raw;
+    }
+  in
+  match state with
+  | Some st when not (Deadline.is_finite deadline) -> run_state st
+  | Some st ->
+      (* A finite deadline makes cached reuse unsound (a budgeted solve
+         is not a pure function of the problem), so the state machinery
+         steps aside entirely. *)
+      if mode = `Incremental then begin
+        st.outcome <- Some Bypass;
+        Obs.count "incr.bypass"
+      end;
+      run_stateless ()
+  | None -> run_stateless ()
 
 let pp_result ppf r =
   Format.fprintf ppf "@[<v>engine: %s@ %a@ runtime: %.1f ms (ground %.1f, solve %.1f)@]"

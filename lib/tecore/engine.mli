@@ -19,6 +19,10 @@ type run_stats = {
   hard_violations : int;
       (** >0 means the hard constraints are unsatisfiable even after
           removals (e.g. two conflicting confidence-1.0 facts) *)
+  objective : float;
+      (** MAP objective: satisfied soft weight (MLN) or hinge-loss energy
+          (PSL). The differential oracle compares it exactly between
+          incremental and fresh resolves *)
   status : Prelude.Deadline.status;
       (** anytime outcome of the solve stage: always [Completed] when no
           deadline was set; [Timed_out] when the budget expired but the
@@ -52,12 +56,83 @@ exception Ground_timed_out of Translator.report
     structured report — the original translator report plus an
     [Error]-level note recording how far the closure got. *)
 
+(** {1 Incremental resolution}
+
+    [resolve ~mode:`Incremental ~state ~delta] reuses work across
+    resolves of an edited graph. Three layers of caching, each proven
+    result-preserving (see [docs/INCREMENTAL.md] and the differential
+    oracle in [test/test_incremental.ml]):
+
+    - a {e result cache}: an empty delta returns the previous result;
+    - a {e grounding snapshot}: fact edits replay the previous grounding
+      exactly, re-joining only transitively affected rules
+      ({!Grounder.Ground.reground});
+    - {e component solution caches}: the solvers run per connected
+      component and memoise solutions by canonical structural form, so
+      untouched components are never re-solved.
+
+    The contract is strict identity: an incremental resolve returns the
+    same resolution, objective, raw store/instances/assignment, and
+    conflict report as a from-scratch [`Fresh] resolve of the same graph
+    and rules, for every engine and job count. *)
+
+type delta = {
+  facts : Logic.Atom.Ground.t list;
+      (** ground atoms of the facts asserted or retracted since the last
+          resolve *)
+  rules_changed : bool;
+      (** whether the rule list changed; [true] forces full invalidation *)
+}
+
+val empty_delta : delta
+(** No fact edits, no rule edits. *)
+
+type cache_outcome =
+  | Hit          (** empty delta: previous result returned as-is *)
+  | Replay       (** delta grounding replayed, solver caches consulted *)
+  | Miss         (** no usable state yet: fresh resolve, state recorded *)
+  | Invalidate   (** rules or options changed: caches dropped, fresh *)
+  | Bypass       (** finite deadline: incremental machinery skipped *)
+  | Fallback     (** replay failed mid-flight: fresh resolve instead *)
+  | Fresh_run    (** caller asked for [`Fresh]; state still recorded *)
+
+val outcome_name : cache_outcome -> string
+(** Lowercase tag used in [incr.*] counters and session transcripts. *)
+
+type state
+(** Mutable incremental state: the grounding snapshot, the last result,
+    the option fingerprint it was produced under, and the per-engine
+    component solution caches. Create one per logical session; a state
+    must not be shared across concurrently running resolves. *)
+
+val create_state : unit -> state
+
+val invalidate : state -> unit
+(** Drop everything: snapshot, cached result, fingerprint, and both
+    component solution caches. The next resolve is a [Miss]. *)
+
+val last_outcome : state -> cache_outcome option
+(** How the most recent resolve against this state used the caches;
+    [None] before the first stateful resolve. *)
+
+type cache_stats = {
+  solve_entries : int;
+  solve_hits : int;
+  solve_misses : int;
+}
+
+val cache_stats : state -> cache_stats
+(** Combined component-solution cache counters (MLN + PSL). *)
+
 val resolve :
   ?engine:engine ->
   ?jobs:int ->
   ?threshold:float ->
   ?deadline:Prelude.Deadline.t ->
   ?on_timeout:[ `Fail | `Best_effort ] ->
+  ?mode:[ `Fresh | `Incremental ] ->
+  ?state:state ->
+  ?delta:delta ->
   Kg.Graph.t ->
   Logic.Rule.t list ->
   result
@@ -89,6 +164,20 @@ val resolve :
     Without a finite [deadline] the observable behaviour — result,
     formatted output, and Obs report — is identical to previous
     releases; with one, the report gains [deadline.expired],
-    [deadline.budget_ms] and [deadline.slack_ms]. *)
+    [deadline.budget_ms] and [deadline.slack_ms].
+
+    [mode] (default [`Fresh]) and [state]/[delta] drive incremental
+    resolution. With [state] absent the call is exactly the stateless
+    pipeline. With [state] present and an infinite [deadline], the call
+    records its grounding snapshot and result into the state; under
+    [`Incremental] it additionally consults them, guided by [delta]
+    (absent [delta] is treated conservatively as "rules changed").
+    A finite [deadline] bypasses the state machinery entirely
+    ([Bypass]): a budgeted solve is not a pure function of the problem,
+    so nothing it produces may be cached. Any failure inside the
+    incremental machinery (including an injected [incr_timeout] fault)
+    invalidates the state and falls back to a correct fresh resolve —
+    never a stale cache. Emits [incr.<outcome>] counters and an
+    [incr.resolve] event per stateful call. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,239 @@
+type command =
+  | Load of string
+  | Assert_ of string
+  | Retract of string
+  | Rule of string
+  | Unrule of string
+  | Resolve of [ `Fresh | `Incremental ]
+  | Diff
+
+type located = { cmd : command; line : int; column : int }
+
+type t = { path : string; commands : located list }
+
+type error = { path : string; line : int; column : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "%s:%d:%d: %s" e.path e.line e.column e.message
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+(* First non-space index from [i], clamped to the line length. *)
+let skip_spaces line i =
+  let n = String.length line in
+  let rec go i = if i < n && is_space line.[i] then go (i + 1) else i in
+  go i
+
+let word_end line i =
+  let n = String.length line in
+  let rec go i = if i < n && not (is_space line.[i]) then go (i + 1) else i in
+  go i
+
+let rstrip line =
+  let n = String.length line in
+  let rec go n = if n > 0 && is_space line.[n - 1] then go (n - 1) else n in
+  String.sub line 0 (go n)
+
+(* Validate an assert/retract payload: it must be a single well-formed
+   fact. Parsed against a throwaway namespace — the real parse happens
+   at execution time against the session's namespace. [col0] is the
+   0-based offset of the payload within the script line, used to map
+   payload-relative error columns back to script coordinates. *)
+let check_fact ~path ~line ~col0 payload =
+  match Kg.Nquads.parse_string ~namespace:(Kg.Namespace.create ()) payload with
+  | Error e ->
+      let column = match e.Kg.Nquads.column with Some c -> col0 + c | None -> col0 + 1 in
+      Error { path; line; column; message = e.Kg.Nquads.message }
+  | Ok g -> (
+      match Kg.Graph.to_list g with
+      | [ _ ] -> Ok ()
+      | facts ->
+          Error
+            {
+              path;
+              line;
+              column = col0 + 1;
+              message =
+                Printf.sprintf "expected exactly one fact, got %d"
+                  (List.length facts);
+            })
+
+let check_rule ~path ~line ~col0 payload =
+  match
+    Rulelang.Parser.parse_string ~namespace:(Kg.Namespace.create ()) payload
+  with
+  | Error e ->
+      (* Rule payloads are single lines, so the parser's own line number
+         is always 1; the useful coordinate is the payload start. *)
+      Error { path; line; column = col0 + 1; message = e.Rulelang.Parser.message }
+  | Ok [] ->
+      Error
+        { path; line; column = col0 + 1; message = "expected a rule declaration" }
+  | Ok _ -> Ok ()
+
+let parse_line ~path ~line raw =
+  let raw = rstrip raw in
+  let ks = skip_spaces raw 0 in
+  if ks >= String.length raw || raw.[ks] = '#' then Ok None
+  else
+    let ke = word_end raw ks in
+    let keyword = String.sub raw ks (ke - ks) in
+    let ps = skip_spaces raw ke in
+    let payload = String.sub raw ps (String.length raw - ps) in
+    let col_kw = ks + 1 in
+    let col_arg = ps + 1 in
+    let err column message = Error { path; line; column; message } in
+    let require_arg what k =
+      if payload = "" then err col_arg (keyword ^ ": missing " ^ what)
+      else k payload
+    in
+    let cmd c = Ok (Some { cmd = c; line; column = col_kw }) in
+    match keyword with
+    | "load" -> require_arg "file path" (fun p -> cmd (Load p))
+    | "assert" ->
+        require_arg "fact" (fun p ->
+            match check_fact ~path ~line ~col0:ps p with
+            | Ok () -> cmd (Assert_ p)
+            | Error e -> Error e)
+    | "retract" ->
+        require_arg "fact" (fun p ->
+            match check_fact ~path ~line ~col0:ps p with
+            | Ok () -> cmd (Retract p)
+            | Error e -> Error e)
+    | "rule" | "constraint" ->
+        (* The payload is the whole line: the rule language's own
+           declarations already start with [rule]/[constraint]. *)
+        let decl = String.sub raw ks (String.length raw - ks) in
+        require_arg "rule declaration" (fun _ ->
+            match check_rule ~path ~line ~col0:ks decl with
+            | Ok () -> cmd (Rule decl)
+            | Error e -> Error e)
+    | "unrule" -> require_arg "rule name" (fun p -> cmd (Unrule p))
+    | "resolve" -> (
+        match payload with
+        | "" | "incremental" -> cmd (Resolve `Incremental)
+        | "fresh" -> cmd (Resolve `Fresh)
+        | other ->
+            err col_arg
+              (Printf.sprintf
+                 "resolve: expected \"fresh\" or \"incremental\", got %S" other))
+    | "diff" ->
+        if payload = "" then cmd Diff
+        else err col_arg "diff takes no argument"
+    | other -> err col_kw (Printf.sprintf "unknown command %S" other)
+
+let parse_string ~path text =
+  let lines = String.split_on_char '\n' text in
+  let rec go line acc = function
+    | [] -> Ok { path; commands = List.rev acc }
+    | raw :: rest -> (
+        match parse_line ~path ~line raw with
+        | Ok None -> go (line + 1) acc rest
+        | Ok (Some c) -> go (line + 1) (c :: acc) rest
+        | Error e -> Error e)
+  in
+  go 1 [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_fact ~session payload =
+  match
+    Kg.Nquads.parse_string ~namespace:(Session.namespace session) payload
+  with
+  | Ok g -> (
+      match Kg.Graph.to_list g with
+      | [ q ] -> q
+      | _ -> invalid_arg "script fact payload changed arity since parse")
+  | Error _ -> invalid_arg "script fact payload stopped parsing since parse"
+
+let engine_name = function
+  | Translator.Mln_engine -> "mln"
+  | Translator.Psl_engine -> "psl"
+
+let mode_name = function `Fresh -> "fresh" | `Incremental -> "incremental"
+
+let run ?engine ?jobs ~session fmt (t : t) =
+  let exception Halt of error in
+  let fail (c : located) message =
+    raise (Halt { path = t.path; line = c.line; column = c.column; message })
+  in
+  let out fmt_str = Format.fprintf fmt fmt_str in
+  let exec (c : located) =
+    match c.cmd with
+    | Load arg ->
+        let file =
+          if Filename.is_relative arg then
+            Filename.concat (Filename.dirname t.path) arg
+          else arg
+        in
+        (match Session.load session file with
+        | Ok () -> ()
+        | Error e -> fail c (Session.error_message e));
+        let facts =
+          match Session.graph session with
+          | Some g -> Kg.Graph.size g
+          | None -> 0
+        in
+        out "loaded %s (%d facts)@." arg facts
+    | Assert_ payload -> (
+        let q = parse_fact ~session payload in
+        match Session.assert_fact session q with
+        | Ok _ -> out "asserted %s@." (Kg.Quad.to_string q)
+        | Error e -> fail c (Session.error_message e))
+    | Retract payload -> (
+        let q = parse_fact ~session payload in
+        match Session.retract session q with
+        | Ok _ -> out "retracted %s@." (Kg.Quad.to_string q)
+        | Error e -> fail c (Session.error_message e))
+    | Rule payload -> (
+        match Session.add_rules session payload with
+        | Ok rules ->
+            List.iter
+              (fun (r : Logic.Rule.t) -> out "added rule %s@." r.Logic.Rule.name)
+              rules
+        | Error msg -> fail c msg)
+    | Unrule name ->
+        if Session.remove_rule session name then out "removed rule %s@." name
+        else fail c (Printf.sprintf "no rule named %S" name)
+    | Resolve mode -> (
+        match Session.resolve ?engine ?jobs ~mode session with
+        | Ok r ->
+            let outcome =
+              match Session.cache_outcome session with
+              | Some o -> Engine.outcome_name o
+              | None -> "none"
+            in
+            let res = r.Engine.resolution in
+            out
+              "resolved mode=%s cache=%s engine=%s kept=%d removed=%d \
+               derived=%d conflicting=%d objective=%.3f@."
+              (mode_name mode) outcome
+              (engine_name r.Engine.stats.Engine.engine_used)
+              res.Conflict.kept
+              (List.length res.Conflict.removed)
+              (List.length res.Conflict.derived)
+              (List.length res.Conflict.conflicting)
+              r.Engine.stats.Engine.objective
+        | Error (Session.Rejected report) ->
+            (* A rejection is a first-class transcript outcome, not a
+               script failure: the run continues (and exits 0) so that
+               "what does TeCoRe say to an ill-formed program" can be
+               golden-tested. *)
+            out "rejected:@.%a@." Translator.pp_report report
+        | Error e -> fail c (Session.error_message e))
+    | Diff -> (
+        match (Session.graph session, Session.last_result session) with
+        | Some g, Some r ->
+            out "%a@." Diff.pp
+              (Diff.diff g r.Engine.resolution.Conflict.consistent)
+        | _, None | None, _ -> out "diff: no resolution yet@.")
+  in
+  match List.iter exec t.commands with
+  | () -> Ok ()
+  | exception Halt e -> Error e

@@ -1,0 +1,63 @@
+(** Edit-script language for incremental sessions.
+
+    A script is a line-oriented program driving one {!Session}: load a
+    UTKG, edit facts and rules, resolve (incrementally or from scratch),
+    and diff the input against the resolution. The CLI's
+    [tecore session --script FILE] runs one and prints a deterministic
+    transcript (no timings), which the golden tests under [data/] compare
+    byte for byte.
+
+    Commands, one per line ([#] starts a comment, blank lines are
+    skipped):
+
+    {v
+    load FILE                  # load a UTKG (relative to the script)
+    assert FACT                # one fact in N-Quads syntax
+    retract FACT               # remove the oldest matching fact
+    rule NAME [W]: BODY => HEAD .        # add a rule (full declaration)
+    constraint NAME: BODY => COND .      # add a constraint
+    unrule NAME                # remove a rule by name
+    resolve [fresh|incremental]  # run resolution (default incremental)
+    diff                       # input graph vs last resolution
+    v}
+
+    Parsing is eager: fact and rule payloads are validated up front
+    against a throwaway namespace, so a malformed line 10 is reported
+    before line 1 runs. All errors — parse and execution — are typed and
+    located as [path:line:column]. *)
+
+type command =
+  | Load of string
+  | Assert_ of string
+  | Retract of string
+  | Rule of string
+  | Unrule of string
+  | Resolve of [ `Fresh | `Incremental ]
+  | Diff
+
+type located = { cmd : command; line : int; column : int }
+
+type t = { path : string; commands : located list }
+
+type error = { path : string; line : int; column : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+(** [path:line:column: message], the compiler convention. *)
+
+val parse_string : path:string -> string -> (t, error) result
+(** Total: every input returns [Ok] or a located [Error]; never raises.
+    [path] is used only for error locations and for resolving relative
+    [load] arguments at execution time. *)
+
+val run :
+  ?engine:Engine.engine ->
+  ?jobs:int ->
+  session:Session.t ->
+  Format.formatter ->
+  t ->
+  (unit, error) result
+(** Execute against [session], printing the transcript to the formatter.
+    A translator rejection prints the report and continues (a rejected
+    resolve is a transcript outcome, not a script failure); any other
+    execution error — absent retract target, unknown rule name, missing
+    graph, unreadable [load] file — halts with a located error. *)

@@ -3,6 +3,9 @@ type t = {
   mutable kg : Kg.Graph.t option;
   mutable rule_set : Logic.Rule.t list;
   mutable result : Engine.result option;
+  state : Engine.state;
+  mutable delta_facts : Logic.Atom.Ground.t list;
+  mutable rules_changed : bool;
 }
 
 type error =
@@ -11,21 +14,36 @@ type error =
   | Rejected of Translator.report
   | Ground_timeout of Translator.report
   | No_graph
+  | Absent_fact of string
 
 let error_message = function
   | Io_error msg | Parse_error msg -> msg
   | Rejected report | Ground_timeout report ->
       Format.asprintf "%a" Translator.pp_report report
   | No_graph -> "no knowledge graph selected"
+  | Absent_fact s -> Printf.sprintf "fact not in graph: %s" s
 
 let create () =
-  { ns = Kg.Namespace.create (); kg = None; rule_set = []; result = None }
+  {
+    ns = Kg.Namespace.create ();
+    kg = None;
+    rule_set = [];
+    result = None;
+    state = Engine.create_state ();
+    delta_facts = [];
+    rules_changed = false;
+  }
 
 let namespace t = t.ns
 
 let load_graph t g =
   t.kg <- Some g;
-  t.result <- None
+  t.result <- None;
+  (* A wholesale graph swap is not a delta; start the incremental state
+     from scratch. *)
+  Engine.invalidate t.state;
+  t.delta_facts <- [];
+  t.rules_changed <- false
 
 let contains ~needle haystack =
   let nn = String.length needle and nh = String.length haystack in
@@ -67,6 +85,39 @@ let load_string t text =
 
 let graph t = t.kg
 
+(* {1 Fact edits — the session's delta feed} *)
+
+let push_delta t (q : Kg.Quad.t) =
+  t.delta_facts <- Logic.Atom.Ground.of_quad q :: t.delta_facts
+
+let assert_fact t (q : Kg.Quad.t) =
+  match t.kg with
+  | None -> Error No_graph
+  | Some g ->
+      let id = Kg.Graph.add g q in
+      push_delta t q;
+      t.result <- None;
+      Ok id
+
+let retract t (q : Kg.Quad.t) =
+  match t.kg with
+  | None -> Error No_graph
+  | Some g -> (
+      let live =
+        List.filter
+          (fun (_, q') -> Kg.Quad.same_statement q q')
+          (Kg.Graph.by_predicate g q.Kg.Quad.predicate)
+      in
+      (* Duplicates are legal in a UTKG; retract the oldest matching
+         fact, deterministically. *)
+      match List.sort (fun (a, _) (b, _) -> compare a b) live with
+      | [] -> Error (Absent_fact (Kg.Quad.to_string q))
+      | (id, _) :: _ ->
+          Kg.Graph.remove g id;
+          push_delta t q;
+          t.result <- None;
+          Ok id)
+
 let add_rules t src =
   match
     Obs.span "parse-rules" (fun () ->
@@ -75,6 +126,7 @@ let add_rules t src =
   | Ok rules ->
       t.rule_set <- t.rule_set @ rules;
       t.result <- None;
+      t.rules_changed <- true;
       Ok rules
   | Error e -> Error (Format.asprintf "%a" Rulelang.Parser.pp_error e)
 
@@ -84,6 +136,9 @@ let remove_rule t name =
     List.filter (fun (r : Logic.Rule.t) -> r.name <> name) t.rule_set;
   if List.length t.rule_set < before then begin
     t.result <- None;
+    (* A removed rule's ground clauses must never be selectable again:
+       flag the rule delta so the next resolve drops every cache. *)
+    t.rules_changed <- true;
     true
   end
   else false
@@ -92,7 +147,8 @@ let rules t = t.rule_set
 
 let clear_rules t =
   t.rule_set <- [];
-  t.result <- None
+  t.result <- None;
+  t.rules_changed <- true
 
 let complete_predicate t prefix =
   match t.kg with
@@ -117,20 +173,32 @@ let analyse t =
   | None -> Error "no knowledge graph selected"
   | Some g -> Ok (Translator.analyse g t.rule_set)
 
-let resolve ?engine ?jobs ?threshold ?deadline ?on_timeout t =
+let resolve ?engine ?jobs ?threshold ?deadline ?on_timeout ?(mode = `Fresh) t =
   match t.kg with
   | None -> Error No_graph
   | Some g -> (
+      let delta =
+        {
+          Engine.facts = List.rev t.delta_facts;
+          rules_changed = t.rules_changed;
+        }
+      in
       match
-        Engine.resolve ?engine ?jobs ?threshold ?deadline ?on_timeout g
-          t.rule_set
+        Engine.resolve ?engine ?jobs ?threshold ?deadline ?on_timeout ~mode
+          ~state:t.state ~delta g t.rule_set
       with
       | result ->
           t.result <- Some result;
+          t.delta_facts <- [];
+          t.rules_changed <- false;
           Ok result
       | exception Engine.Rejected report -> Error (Rejected report)
       | exception Engine.Ground_timed_out report ->
           Error (Ground_timeout report))
+
+let cache_outcome t = Engine.last_outcome t.state
+
+let engine_state t = t.state
 
 let run ?engine ?jobs ?threshold t =
   Result.map_error error_message (resolve ?engine ?jobs ?threshold t)

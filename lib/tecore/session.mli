@@ -20,6 +20,8 @@ type error =
       (** the deadline expired during grounding under [`Fail] — the
           report carries the structured partial-grounding note *)
   | No_graph  (** no knowledge graph selected *)
+  | Absent_fact of string
+      (** {!retract} found no live fact with that statement *)
 
 val error_message : error -> string
 (** Render an error the way the string-result functions below do. *)
@@ -42,6 +44,22 @@ val load_file : t -> string -> (unit, string) result
 
 val load_string : t -> string -> (unit, string) result
 val graph : t -> Kg.Graph.t option
+
+(** {1 Fact edits}
+
+    Sessions track the fact/rule delta since the last resolve; the next
+    {!resolve} with [~mode:`Incremental] hands it to the engine, which
+    re-grounds only the affected rules and re-solves only the touched
+    components. *)
+
+val assert_fact : t -> Kg.Quad.t -> (Kg.Graph.id, error) result
+(** Insert a fact into the loaded graph and record it in the delta.
+    [No_graph] when nothing is loaded. *)
+
+val retract : t -> Kg.Quad.t -> (Kg.Graph.id, error) result
+(** Remove the oldest live fact with the same statement (same triple and
+    interval — duplicates are legal in a UTKG) and record it in the
+    delta. [Absent_fact] when no live fact matches. *)
 
 (** {1 Rules and constraints editor} *)
 
@@ -71,12 +89,28 @@ val resolve :
   ?threshold:float ->
   ?deadline:Prelude.Deadline.t ->
   ?on_timeout:[ `Fail | `Best_effort ] ->
+  ?mode:[ `Fresh | `Incremental ] ->
   t ->
   (Engine.result, error) result
 (** Runs resolution with typed errors and stores the result in the
     session; [deadline]/[on_timeout] as in {!Engine.resolve}. A
     translator rejection maps to [Rejected], a grounding timeout under
-    [`Fail] to [Ground_timeout]. *)
+    [`Fail] to [Ground_timeout].
+
+    [mode] (default [`Fresh]) selects incremental resolution: the
+    session passes its accumulated fact/rule delta and its
+    {!Engine.state} to the engine, which reuses the previous grounding
+    and component solutions where provably identical. On success the
+    delta is cleared; on error it is kept for the next attempt. Both
+    modes return identical results — [`Incremental] is purely a
+    performance mode (see [docs/INCREMENTAL.md]). *)
+
+val cache_outcome : t -> Engine.cache_outcome option
+(** How the last resolve used the incremental caches (see
+    {!Engine.cache_outcome}); [None] before the first resolve. *)
+
+val engine_state : t -> Engine.state
+(** The session's incremental state (for cache statistics). *)
 
 val run :
   ?engine:Engine.engine ->

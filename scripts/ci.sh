@@ -98,6 +98,40 @@ diff <(normalize "$PLAIN_A") <(normalize "$PLAIN_B") >/dev/null \
   || { echo "plain --json output differs beyond timing values across runs" >&2; exit 1; }
 rm -f "$PLAIN_A" "$PLAIN_B"
 
+echo "== session script golden transcripts =="
+# The golden suite under data/ already ran as part of dune runtest; this
+# re-runs it in isolation so a transcript drift fails with a focused
+# diff. The rules shield TECORE_FAULTS/TECORE_TIMEOUT_MS/TECORE_JOBS,
+# so the transcripts are stable under the fault sweep above.
+dune build @data/runtest
+
+echo "== incremental fallback under TECORE_FAULTS=incr_timeout =="
+# With the incremental-replay fault armed, every stateful resolve must
+# fall back to a fresh ground — cache=fallback in the transcript, never
+# a stale answer. The differential fault test (test_incremental.ml)
+# already proves fallback == fresh; here we check the CLI surfaces it.
+FAULT_OUT=$(mktemp)
+TECORE_FAULTS=incr_timeout "$CLI" session --script data/session_demo.script \
+  > "$FAULT_OUT"
+grep -q 'cache=fallback' "$FAULT_OUT" \
+  || { echo "incr_timeout fault did not surface cache=fallback" >&2; exit 1; }
+grep -q 'cache=replay' "$FAULT_OUT" \
+  && { echo "incr_timeout fault did not disable incremental replay" >&2; exit 1; }
+# Apart from the cache= outcome and timing-free objective values, the
+# faulted transcript must match the golden one: fallback changes the
+# path taken, not the resolution.
+diff <(sed 's/cache=[a-z]*/cache=X/' "$FAULT_OUT") \
+     <(sed 's/cache=[a-z]*/cache=X/' data/session_demo.golden) \
+  || { echo "fallback transcript diverged from golden resolution" >&2; exit 1; }
+rm -f "$FAULT_OUT"
+
+echo "== bench incr --check (committed BENCH_incremental.json) =="
+# Re-measures fresh vs incremental and compares against the committed
+# baseline (generous tolerance), and re-asserts the committed delta=1
+# speedup > 1: an incremental resolve that stopped beating a fresh one
+# is a regression even if both got faster.
+BENCH_FAST=1 dune exec bench/main.exe -- incr --check
+
 echo "== bench obs --check (committed BENCH_obs.json) =="
 # Against the committed baseline, before the smoke step regenerates the
 # file; the tolerance is generous (timing noise, different machines) --

@@ -183,6 +183,134 @@ let test_engine_survives_random_small_graphs () =
       ]
   done
 
+(* ---- edit-script parser (tecore session --script) ----------------- *)
+
+let script_ish =
+  [|
+    'l'; 'o'; 'a'; 'd'; 's'; 'e'; 'r'; 't'; 'c'; 'u'; 'n'; 'i'; 'v'; 'f';
+    'd'; ' '; '\t'; '\n'; '#'; '.'; '<'; '>'; '"'; '['; ']'; ','; '('; ')';
+    '1'; '9'; '0'; '@'; ':'; '^'; '='; '!'; '-';
+  |]
+
+let test_script_parser_total () =
+  let rng = Prng.create 107 in
+  for _ = 1 to 3_000 do
+    let src = random_string rng 120 script_ish in
+    match Tecore.Script.parse_string ~path:"<fuzz>" src with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "script parser raised %s on %S"
+             (Printexc.to_string e) src)
+  done
+
+let test_script_parser_printable_total () =
+  let rng = Prng.create 108 in
+  for _ = 1 to 2_000 do
+    let src = random_string rng 120 printable in
+    match Tecore.Script.parse_string ~path:"<fuzz>" src with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "script parser raised %s on %S"
+             (Printexc.to_string e) src)
+  done
+
+(* Mutate a valid script — truncate it mid-line, splice random bytes —
+   and require a located error or a clean parse, never an exception and
+   never a zero/negative location. *)
+let test_script_mutations_located () =
+  let valid =
+    "load data.tq\n\
+     rule f1 2.5: playsFor(x, y)@t => worksFor(x, y)@t .\n\
+     assert <p> <playsFor> <T> [2001,2003] 0.8 .\n\
+     retract <p> <playsFor> <T> [2001,2003] 0.8 .\n\
+     resolve incremental\n\
+     unrule f1\n\
+     resolve fresh\n\
+     diff\n"
+  in
+  let rng = Prng.create 109 in
+  for _ = 1 to 2_000 do
+    let cut = Prng.int rng (String.length valid + 1) in
+    let src =
+      String.sub valid 0 cut ^ random_string rng 20 printable
+    in
+    match Tecore.Script.parse_string ~path:"s.script" src with
+    | Ok _ -> ()
+    | Error e ->
+        if e.Tecore.Script.line < 1 || e.Tecore.Script.column < 1 then
+          Alcotest.fail
+            (Printf.sprintf "non-positive location %d:%d on %S"
+               e.Tecore.Script.line e.Tecore.Script.column src);
+        if e.Tecore.Script.path <> "s.script" then
+          Alcotest.fail "error lost the script path"
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "script parser raised %s on %S"
+             (Printexc.to_string e) src)
+  done
+
+(* Targeted rejects: each bad line must be refused at parse time with
+   the [path:line:column] convention, before anything executes. *)
+let test_script_typed_errors () =
+  let expect_error src frag =
+    match Tecore.Script.parse_string ~path:"bad.script" src with
+    | Ok _ -> Alcotest.failf "parsed %S" src
+    | Error e ->
+        let msg = Format.asprintf "%a" Tecore.Script.pp_error e in
+        let contains needle hay =
+          let nn = String.length needle and nh = String.length hay in
+          let rec at i =
+            i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+          in
+          at 0
+        in
+        if not (contains "bad.script:" msg) then
+          Alcotest.failf "no location in %S" msg;
+        if not (contains frag msg) then
+          Alcotest.failf "expected %S in %S" frag msg
+  in
+  expect_error "frobnicate x\n" "unknown command";
+  expect_error "load\n" "missing file path";
+  expect_error "assert\n" "missing fact";
+  expect_error "assert <a> <b>\n" "";
+  expect_error "retract not a quad\n" "";
+  expect_error "rule nonsense here\n" "";
+  expect_error "unrule\n" "missing rule name";
+  expect_error "resolve sideways\n" "expected \"fresh\" or \"incremental\"";
+  expect_error "diff everything\n" "diff takes no argument";
+  (* Error line numbers point at the offending line, not line 1. *)
+  match
+    Tecore.Script.parse_string ~path:"p.script" "diff\ndiff\nbogus cmd\n"
+  with
+  | Ok _ -> Alcotest.fail "parsed a bogus third line"
+  | Error e -> Alcotest.(check int) "line 3" 3 e.Tecore.Script.line
+
+(* Executing a script that retracts an absent fact must halt with a
+   located execution error (the parse is fine — the fact just is not in
+   the graph). *)
+let test_script_retract_absent () =
+  let src =
+    "assert <p> <playsFor> <T> [2001,2003] 0.8 .\n\
+     retract <p> <playsFor> <T> [1900,1901] 0.8 .\n"
+  in
+  let script =
+    match Tecore.Script.parse_string ~path:"r.script" src with
+    | Ok s -> s
+    | Error e ->
+        Alcotest.failf "parse: %s" (Format.asprintf "%a" Tecore.Script.pp_error e)
+  in
+  let session = Tecore.Session.create () in
+  Tecore.Session.load_graph session (Kg.Graph.create ());
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  match Tecore.Script.run ~session fmt script with
+  | Ok () -> Alcotest.fail "retract of an absent fact succeeded"
+  | Error e ->
+      Alcotest.(check int) "line 2" 2 e.Tecore.Script.line;
+      Alcotest.(check string) "path" "r.script" e.Tecore.Script.path
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -197,6 +325,19 @@ let () =
           Alcotest.test_case "sql parser" `Quick test_sql_parser_total;
           Alcotest.test_case "interval parser" `Quick
             test_interval_of_string_total;
+          Alcotest.test_case "script parser (script-ish)" `Quick
+            test_script_parser_total;
+          Alcotest.test_case "script parser (printable)" `Quick
+            test_script_parser_printable_total;
+        ] );
+      ( "edit scripts",
+        [
+          Alcotest.test_case "mutations stay located" `Quick
+            test_script_mutations_located;
+          Alcotest.test_case "typed parse errors" `Quick
+            test_script_typed_errors;
+          Alcotest.test_case "retract of absent fact" `Quick
+            test_script_retract_absent;
         ] );
       ( "structured",
         [
