@@ -1550,6 +1550,279 @@ let incr_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* serve: request latency and throughput through the wire protocol at  *)
+(* 1/8/64 concurrent sessions, warm vs cold, exported as               *)
+(* BENCH_serve.json (validated by re-parsing).                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_json_path = "BENCH_serve.json"
+
+(* One benchmark client: its own session, graph and edit stream over a
+   real loopback socket. *)
+let serve_client_request fd ic line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0;
+  let resp = input_line ic in
+  if String.length resp < 2 || String.sub resp 0 2 <> "ok" then
+    failwith (Printf.sprintf "bench serve: request %S failed: %s" line resp)
+
+let serve_measure () =
+  let reps = if !fast_mode then 4 else 12 in
+  let session_counts = if !fast_mode then [ 1; 8 ] else [ 1; 8; 64 ] in
+  let percentile p xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(int_of_float (p *. float_of_int (Array.length a - 1)))
+  in
+  let median = percentile 0.5 in
+  let cells =
+    List.map
+      (fun sessions ->
+        let config =
+          { Serve.default_config with Serve.queue_cap = 4 * sessions }
+        in
+        let server = Serve.start ~config (`Tcp 0) in
+        Fun.protect
+          ~finally:(fun () -> Serve.stop server)
+          (fun () ->
+            let cold = Array.make sessions 0.0 in
+            let warm = Array.make sessions [] in
+            let client i () =
+              let fd = Serve.connect server in
+              let ic = Unix.in_channel_of_descr fd in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () ->
+                  let req = serve_client_request fd ic in
+                  req (Printf.sprintf "hello bench-%d-%d" sessions i);
+                  req "open";
+                  req
+                    "constraint one_team: ex:playsFor(x, y)@t ^ \
+                     ex:playsFor(x, z)@t2 ^ y != z => disjoint(t, t2) .";
+                  (* A seed graph big enough that from-scratch grounding
+                     dominates the cold resolve: 60 facts over 12
+                     players, with overlapping spells inside each
+                     player's career feeding the constraint. *)
+                  for f = 1 to 60 do
+                    req
+                      (Printf.sprintf
+                         "assert ex:P%d ex:playsFor ex:T%d [%d,%d] 0.8 ."
+                         (f mod 12) (f mod 6) (1900 + (3 * (f / 12)))
+                         (1904 + (3 * (f / 12))))
+                  done;
+                  (* Cold: the first resolve grounds from scratch. *)
+                  let t0 = Unix.gettimeofday () in
+                  req "resolve";
+                  cold.(i) <- (Unix.gettimeofday () -. t0) *. 1000.;
+                  (* Warm: repeated 1-fact edits ride the caches. *)
+                  for r = 1 to reps do
+                    req
+                      (Printf.sprintf
+                         "assert ex:P99 ex:playsFor ex:T0 [%d,%d] 0.6 ."
+                         (2000 + (2 * r))
+                         (2001 + (2 * r)));
+                    let t0 = Unix.gettimeofday () in
+                    req "resolve";
+                    warm.(i) <-
+                      ((Unix.gettimeofday () -. t0) *. 1000.) :: warm.(i)
+                  done)
+            in
+            let wall0 = Unix.gettimeofday () in
+            let threads =
+              List.init sessions (fun i -> Thread.create (client i) ())
+            in
+            List.iter Thread.join threads;
+            let wall_s = Unix.gettimeofday () -. wall0 in
+            if Serve.shed_count server <> 0 then
+              failwith "bench serve: admission control shed under benchmark";
+            let warm_all = List.concat (Array.to_list warm) in
+            let resolves = sessions * (reps + 1) in
+            let requests = float_of_int (Serve.requests_total server) in
+            ( sessions,
+              median (Array.to_list cold),
+              median warm_all,
+              percentile 0.95 warm_all,
+              float_of_int resolves /. wall_s,
+              requests /. wall_s )))
+      session_counts
+  in
+  (reps, cells)
+
+let serve_check_run () =
+  section "SERVE"
+    "serve: measured latencies vs committed BENCH_serve.json";
+  let env_float name default =
+    match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+    | Some v when v > 0.0 -> v
+    | Some _ | None -> default
+  in
+  let factor = env_float "BENCH_SERVE_TOL_FACTOR" 25.0 in
+  let floor_ms = env_float "BENCH_SERVE_TOL_FLOOR_MS" 5.0 in
+  let committed =
+    let ic =
+      try open_in serve_json_path
+      with Sys_error msg ->
+        failwith
+          (Printf.sprintf
+             "serve --check: cannot read %s (%s); run `bench serve` to \
+              regenerate it"
+             serve_json_path msg)
+    in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Obs.Json.parse text with
+    | Error e ->
+        failwith (Printf.sprintf "serve --check: %s: %s" serve_json_path e)
+    | Ok doc -> doc
+  in
+  let committed_runs =
+    match Obs.Json.member "runs" committed with
+    | Some (Obs.Json.Arr runs) -> runs
+    | _ -> failwith (serve_json_path ^ ": no runs")
+  in
+  let num field r =
+    match Obs.Json.member field r with
+    | Some (Obs.Json.Num v) when Float.is_finite v -> v
+    | _ -> failwith (Printf.sprintf "%s: bad %s" serve_json_path field)
+  in
+  let lookup sessions =
+    List.find_opt
+      (fun r ->
+        Obs.Json.member "sessions" r
+        = Some (Obs.Json.Num (float_of_int sessions)))
+      committed_runs
+  in
+  (* The committed headline: warm-path service beats cold resolution on
+     the machine that produced the file. *)
+  (match lookup 1 with
+  | None -> failwith (serve_json_path ^ ": no sessions=1 run")
+  | Some r ->
+      if num "warm_ms" r >= num "cold_ms" r then
+        failwith
+          (Printf.sprintf "%s: committed warm_ms is not below cold_ms"
+             serve_json_path));
+  let _, cells = serve_measure () in
+  let failures = ref [] in
+  List.iter
+    (fun (sessions, cold_ms, warm_ms, warm_p95_ms, _, _) ->
+      match lookup sessions with
+      | None ->
+          failures :=
+            Printf.sprintf "sessions=%d: missing from %s" sessions
+              serve_json_path
+            :: !failures
+      | Some r ->
+          let within name ref_ms ms =
+            if
+              not
+                (ms <= (ref_ms *. factor) +. floor_ms
+                && ref_ms <= (ms *. factor) +. floor_ms)
+            then
+              failures :=
+                Printf.sprintf
+                  "sessions=%d: %s %.2f ms vs committed %.2f ms" sessions
+                  name ms ref_ms
+                :: !failures
+          in
+          within "cold" (num "cold_ms" r) cold_ms;
+          within "warm" (num "warm_ms" r) warm_ms;
+          within "warm p95" (num "warm_p95_ms" r) warm_p95_ms)
+    cells;
+  match !failures with
+  | [] ->
+      row "serve --check: all cells within %.0fx of %s\n" factor
+        serve_json_path
+  | fs ->
+      failwith
+        (Printf.sprintf "serve --check: %d cell(s) out of tolerance:\n  %s"
+           (List.length fs)
+           (String.concat "\n  " (List.rev fs)))
+
+let serve_bench () =
+  if !obs_check then serve_check_run ()
+  else begin
+    section "SERVE"
+      "serve: wire latency and throughput -> BENCH_serve.json";
+    let reps, cells = serve_measure () in
+    (* Write-time gate: at one session, warm resolves through the server
+       must beat the cold (from-scratch) resolve on median. *)
+    List.iter
+      (fun (sessions, cold_ms, warm_ms, _, _, _) ->
+        if sessions = 1 && warm_ms >= cold_ms then
+          failwith
+            (Printf.sprintf
+               "serve: warm resolve (%.2f ms) did not beat cold (%.2f ms) \
+                at 1 session"
+               warm_ms cold_ms))
+      cells;
+    let runs =
+      List.map
+        (fun (sessions, cold_ms, warm_ms, warm_p95_ms, resolve_rps, req_rps)
+           ->
+          row
+            "serve %2d sessions  cold %8.2f ms  warm %8.2f ms  p95 %8.2f \
+             ms  %7.1f resolve/s  %8.1f req/s\n"
+            sessions cold_ms warm_ms warm_p95_ms resolve_rps req_rps;
+          Obs.Json.Obj
+            [
+              ("sessions", Obs.Json.Num (float_of_int sessions));
+              ("cold_ms", Obs.Json.Num cold_ms);
+              ("warm_ms", Obs.Json.Num warm_ms);
+              ("warm_p95_ms", Obs.Json.Num warm_p95_ms);
+              ("resolves_per_s", Obs.Json.Num resolve_rps);
+              ("requests_per_s", Obs.Json.Num req_rps);
+            ])
+        cells
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("schema", Obs.Json.Str "tecore-bench-serve/1");
+          ("fast", Obs.Json.Bool !fast_mode);
+          ("reps", Obs.Json.Num (float_of_int reps));
+          ("runs", Obs.Json.Arr runs);
+        ]
+    in
+    let oc = open_out serve_json_path in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    (* Self-check: round-trip through our own parser, and make sure the
+       numbers downstream tooling keys on are present and finite. *)
+    let ic = open_in serve_json_path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Obs.Json.parse text with
+    | Error e ->
+        failwith (Printf.sprintf "%s: invalid JSON: %s" serve_json_path e)
+    | Ok parsed -> (
+        match Obs.Json.member "runs" parsed with
+        | Some (Obs.Json.Arr (_ :: _ as rs)) ->
+            List.iter
+              (fun r ->
+                List.iter
+                  (fun field ->
+                    match Obs.Json.member field r with
+                    | Some (Obs.Json.Num v) when Float.is_finite v -> ()
+                    | _ ->
+                        failwith
+                          (Printf.sprintf "%s: run misses %s" serve_json_path
+                             field))
+                  [
+                    "sessions"; "cold_ms"; "warm_ms"; "warm_p95_ms";
+                    "resolves_per_s"; "requests_per_s";
+                  ])
+              rs
+        | _ -> failwith (serve_json_path ^ ": no runs")));
+    row "wrote %s (%d cells, %d warm reps each) -- JSON validated\n"
+      serve_json_path (List.length cells) reps
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1557,7 +1830,7 @@ let experiments =
     ("e7", e7); ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4);
     ("a5", a5); ("a6", a6); ("a7", a7); ("micro", micro);
     ("obs", obs_bench); ("par", par_bench); ("deadline", deadline_bench);
-    ("incr", incr_bench);
+    ("incr", incr_bench); ("serve", serve_bench);
   ]
 
 let () =

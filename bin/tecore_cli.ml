@@ -748,12 +748,218 @@ let session_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let read_file path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg -> raise (Cli_error (exit_io, msg))
+
+let serve_listen socket port : Serve.listen =
+  match (socket, port) with
+  | Some path, _ -> `Unix path
+  | None, Some p -> `Tcp p
+  | None, None -> `Tcp 0
+
+let serve_config engine jobs queue timeout allow_shutdown =
+  {
+    Serve.default_config with
+    Serve.engine;
+    jobs;
+    queue_cap = queue;
+    request_timeout_ms = Option.map (fun s -> s *. 1000.) timeout;
+    allow_shutdown;
+  }
+
+let serve_run socket port engine jobs queue timeout script =
+  handle (fun () ->
+      match script with
+      | Some script_file ->
+          (* Scripted mode: in-process server, loopback driver, determin-
+             istic transcript (golden-tested in data/serve_*.golden). *)
+          let text = read_file script_file in
+          let config = serve_config engine jobs queue timeout false in
+          let server =
+            try Serve.start ~config (serve_listen socket port)
+            with Unix.Unix_error (e, _, _) ->
+              raise (Cli_error (exit_io, Unix.error_message e))
+          in
+          let result =
+            Serve.Driver.run ~server Format.std_formatter
+              ~path:script_file text
+          in
+          Format.pp_print_flush Format.std_formatter ();
+          Serve.stop server;
+          (match result with
+          | Ok () -> ()
+          | Error e -> failwith (Format.asprintf "%a" Tecore.Script.pp_error e))
+      | None ->
+          let config = serve_config engine jobs queue timeout true in
+          let server =
+            try Serve.start ~config (serve_listen socket port)
+            with Unix.Unix_error (e, _, _) ->
+              raise (Cli_error (exit_io, Unix.error_message e))
+          in
+          let stop_on_signal _ = Serve.request_stop server in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on_signal);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on_signal);
+          Printf.printf "tecore serve: listening on %s\n%!"
+            (Serve.address server);
+          Serve.wait server;
+          Printf.printf "tecore serve: stopped (%d requests, %d shed)\n%!"
+            (Serve.requests_total server)
+            (Serve.shed_count server))
+
+let serve_exits =
+  Cmd.Exit.info 1 ~doc:"on failure (malformed driver script)."
+  :: Cmd.Exit.info exit_io
+       ~doc:"when the listen address cannot be bound."
+  :: Cmd.Exit.defaults
+
+let socket_arg =
+  let doc = "Listen on (or connect to) a Unix-domain socket at PATH." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc =
+    "Listen on (or connect to) 127.0.0.1:PORT. 0 picks a free port. \
+     Ignored when $(b,--socket) is given."
+  in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: shed a resolve with a typed \
+             $(b,overloaded) response when more than N resolves are \
+             already pending (queued plus running). 0 sheds whenever \
+             the resolver is busy.")
+  in
+  let timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "request-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-request budget: requests whose budget expires while \
+             queued are shed with a typed $(b,timed_out) response; the \
+             remainder disciplines the solve itself. Note a finite \
+             budget bypasses the incremental caches.")
+  in
+  let script =
+    Arg.(
+      value & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Scripted mode: start an in-process server, run the driver \
+             script (connect/send/post/recv/await-busy/await-idle/close) \
+             against it over a real loopback socket, print the \
+             transcript and exit.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:serve_exits
+       ~doc:"Serve many incremental sessions over a line protocol"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Long-lived daemon multiplexing many incremental resolution \
+              sessions over a line-oriented wire protocol (the session \
+              edit-script language plus server verbs: hello, open, stat, \
+              result, metrics, ping, quit, shutdown). Responses are \
+              single-line $(b,ok)/$(b,err) JSON objects; a bounded run \
+              queue sheds excess resolves with typed $(b,overloaded) \
+              responses. See docs/SERVER.md for the protocol grammar.";
+           `P
+             "Exit status 0 on clean shutdown (SIGINT, SIGTERM or the \
+              $(b,shutdown) verb).";
+         ])
+    Term.(
+      const serve_run $ socket_arg $ port_arg $ engine_arg $ jobs_arg
+      $ queue $ timeout $ script)
+
+(* ------------------------------------------------------------------ *)
+
+let client_run socket port sends =
+  handle (fun () ->
+      let sockaddr =
+        match (socket, port) with
+        | Some path, _ -> Unix.ADDR_UNIX path
+        | None, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+        | None, None ->
+            failwith "tecore client needs --socket PATH or --port PORT"
+      in
+      let domain =
+        match sockaddr with
+        | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+        | _ -> Unix.PF_INET
+      in
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd sockaddr
+       with Unix.Unix_error (e, _, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise (Cli_error (exit_io, "connect: " ^ Unix.error_message e)));
+      let ic = Unix.in_channel_of_descr fd in
+      let worst = ref 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          List.iter
+            (fun req ->
+              let b = Bytes.of_string (req ^ "\n") in
+              ignore (Unix.write fd b 0 (Bytes.length b));
+              match input_line ic with
+              | resp ->
+                  print_endline resp;
+                  let contains affix =
+                    let n = String.length affix in
+                    let rec go i =
+                      i + n <= String.length resp
+                      && (String.sub resp i n = affix || go (i + 1))
+                    in
+                    go 0
+                  in
+                  let code =
+                    if String.length resp >= 3 && String.sub resp 0 3 = "err"
+                    then
+                      if contains "\"kind\":\"rejected\"" then exit_rejected
+                      else if contains "\"kind\":\"timed_out\"" then
+                        exit_timeout
+                      else 1
+                    else 0
+                  in
+                  worst := max !worst code
+              | exception End_of_file ->
+                  raise
+                    (Cli_error (exit_io, "connection closed by server")))
+            sends);
+      if !worst <> 0 then raise (Cli_error (!worst, "request failed")))
+
+let client_cmd =
+  let sends =
+    Arg.(
+      value & opt_all string []
+      & info [ "send" ] ~docv:"REQUEST"
+          ~doc:
+            "Request line to send (repeatable, sent in order); each \
+             response is printed to stdout.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~exits:resolve_exits
+       ~doc:"Send request lines to a running tecore serve")
+    Term.(const client_run $ socket_arg $ port_arg $ sends)
+
+(* ------------------------------------------------------------------ *)
+
 let main =
   Cmd.group
     (Cmd.info "tecore" ~version:"1.0.0"
        ~doc:"Temporal conflict resolution in uncertain knowledge graphs")
     [ resolve_cmd; analyse_cmd; complete_cmd; generate_cmd; query_cmd;
       suggest_cmd; export_cmd; coalesce_cmd; learn_cmd; diff_cmd;
-      session_cmd; demo_cmd ]
+      session_cmd; serve_cmd; client_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

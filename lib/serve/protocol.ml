@@ -1,0 +1,101 @@
+type request =
+  | Hello of string
+  | Open_
+  | Cmd of Tecore.Script.command
+  | Stat
+  | Result_
+  | Metrics
+  | Ping
+  | Quit
+  | Shutdown
+
+type error_kind =
+  | Parse
+  | Exec
+  | Rejected
+  | Overloaded
+  | Timed_out
+  | Shutting_down
+  | Internal
+
+type error = { kind : error_kind; line : int; column : int; message : string }
+
+let kind_name = function
+  | Parse -> "parse"
+  | Exec -> "exec"
+  | Rejected -> "rejected"
+  | Overloaded -> "overloaded"
+  | Timed_out -> "timed_out"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let is_space c = c = ' ' || c = '\t'
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let split_keyword s =
+  let n = String.length s in
+  let rec skip i = if i < n && is_space s.[i] then skip (i + 1) else i in
+  let ks = skip 0 in
+  let rec word i = if i < n && not (is_space s.[i]) then word (i + 1) else i in
+  let ke = word ks in
+  let ps = skip ke in
+  (String.sub s ks (ke - ks), String.sub s ps (n - ps), ks + 1, ps + 1)
+
+let rstrip s =
+  let n = String.length s in
+  let rec go n = if n > 0 && is_space s.[n - 1] then go (n - 1) else n in
+  String.sub s 0 (go n)
+
+let parse_request ~line raw =
+  let raw = strip_cr raw in
+  let keyword, payload, col_kw, col_arg = split_keyword raw in
+  let payload = rstrip payload in
+  let err kind column message = Error { kind; line; column; message } in
+  let no_arg verb r =
+    if payload = "" then Ok r
+    else err Parse col_arg (verb ^ " takes no argument")
+  in
+  match keyword with
+  | "hello" ->
+      if payload = "" then err Parse col_arg "hello: missing client id"
+      else Ok (Hello payload)
+  | "open" -> no_arg "open" Open_
+  | "stat" -> no_arg "stat" Stat
+  | "result" -> no_arg "result" Result_
+  | "metrics" -> no_arg "metrics" Metrics
+  | "ping" -> no_arg "ping" Ping
+  | "quit" -> no_arg "quit" Quit
+  | "shutdown" -> no_arg "shutdown" Shutdown
+  | "" -> err Parse col_kw "empty request"
+  | _ -> (
+      (* Everything else is the session edit-script language, with its
+         eager payload validation and column-accurate errors. *)
+      match Tecore.Script.parse_command ~path:"wire" ~line raw with
+      | Ok (Some c) -> Ok (Cmd c.Tecore.Script.cmd)
+      | Ok None -> err Parse col_kw "empty request"
+      | Error e ->
+          err Parse e.Tecore.Script.column e.Tecore.Script.message)
+
+(* ------------------------------------------------------------------ *)
+(* Response rendering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ok_line fields = "ok " ^ Obs.Json.to_string (Obs.Json.Obj fields)
+
+let err_line e =
+  "err "
+  ^ Obs.Json.to_string
+      (Obs.Json.Obj
+         [
+           ("kind", Obs.Json.Str (kind_name e.kind));
+           ("line", Obs.Json.Num (float_of_int e.line));
+           ("column", Obs.Json.Num (float_of_int e.column));
+           ("message", Obs.Json.Str e.message);
+         ])

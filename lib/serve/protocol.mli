@@ -1,0 +1,76 @@
+(** The wire protocol of [tecore serve].
+
+    Line-delimited framing: a request is one LF-terminated line of
+    bytes, a response is exactly one LF-terminated line back (responses
+    that are logically multi-line — a diff, a metrics exposition — are
+    carried as JSON-escaped strings). The request language embeds the
+    session edit-script language of {!Tecore.Script} — [load], [assert],
+    [retract], [rule]/[constraint], [unrule], [resolve], [diff] — plus
+    server verbs:
+
+    {v
+    hello CLIENT-ID        attach to (or create) the session CLIENT-ID
+    open                   start from an empty in-memory graph
+    stat                   session statistics (facts, rules, caches)
+    result                 full JSON payload of the last resolution
+    metrics                live OpenMetrics dump of the whole server
+    ping                   liveness probe
+    quit                   close this connection
+    shutdown               stop the server (when enabled)
+    v}
+
+    Responses are ["ok <json-object>"] or ["err <json-object>"]; the
+    error object always carries a [kind], the request's [line] (its
+    1-based sequence number on the connection) and [column], and a
+    [message]. Parsing is total: every byte sequence yields a typed
+    response, never an escaping exception (fuzzed in
+    [test/test_fuzz.ml]). *)
+
+type request =
+  | Hello of string
+  | Open_
+  | Cmd of Tecore.Script.command
+  | Stat
+  | Result_
+  | Metrics
+  | Ping
+  | Quit
+  | Shutdown
+
+type error_kind =
+  | Parse  (** the request line does not parse *)
+  | Exec  (** the request parsed but failed to execute *)
+  | Rejected  (** the translator rejected the program *)
+  | Overloaded  (** admission control shed the request (bounded queue) *)
+  | Timed_out  (** the request's budget expired before it ran *)
+  | Shutting_down  (** the server is stopping *)
+  | Internal  (** contained unexpected failure; the connection survives *)
+
+type error = { kind : error_kind; line : int; column : int; message : string }
+
+val kind_name : error_kind -> string
+(** Lowercase tag used in the wire error object and [serve.*] metrics:
+    ["parse"], ["exec"], ["rejected"], ["overloaded"], ["timed_out"],
+    ["shutting_down"], ["internal"]. *)
+
+val strip_cr : string -> string
+(** Drop one trailing [\r], so LF and CRLF clients look the same. *)
+
+val split_keyword : string -> string * string * int * int
+(** [split_keyword s] is [(keyword, rest, keyword_column, rest_column)]
+    with surrounding blanks skipped and 1-based columns — the shared
+    first tokenisation step of the wire parser and the scripted
+    driver. *)
+
+val parse_request : line:int -> string -> (request, error) result
+(** Total parser for one request line ([line] is the request's sequence
+    number on its connection, echoed into error locations). A trailing
+    [\r] is stripped, so both LF and CRLF clients work. Blank and
+    comment lines are an error on the wire (there is no transcript to
+    skip them in). *)
+
+val ok_line : (string * Obs.Json.t) list -> string
+(** ["ok <compact-json-object>"] — the fields in the given order. *)
+
+val err_line : error -> string
+(** ["err {\"kind\":...,\"line\":...,\"column\":...,\"message\":...}"]. *)

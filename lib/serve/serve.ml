@@ -1,0 +1,997 @@
+module Session = Tecore.Session
+module Engine = Tecore.Engine
+module Deadline = Prelude.Deadline
+
+type config = {
+  engine : Engine.engine;
+  jobs : int option;
+  queue_cap : int;
+  request_timeout_ms : float option;
+  max_line_bytes : int;
+  allow_shutdown : bool;
+}
+
+let default_config =
+  {
+    engine = Engine.Auto;
+    jobs = None;
+    queue_cap = 64;
+    request_timeout_ms = None;
+    max_line_bytes = 1 lsl 20;
+    allow_shutdown = false;
+  }
+
+type listen = [ `Tcp of int | `Unix of string ]
+
+(* ------------------------------------------------------------------ *)
+(* Bounded line reader                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A hand-rolled reader instead of [in_channel_of_descr]: we need a hard
+   cap on line length (an attacker must not make the server buffer an
+   unbounded frame) and we need [`Too_long] to consume the rest of the
+   oversized line so the connection stays usable afterwards. *)
+module Reader = struct
+  type t = {
+    fd : Unix.file_descr;
+    max : int;
+    mutable buf : Bytes.t;
+    mutable len : int;
+    chunk : Bytes.t;
+  }
+
+  let create ~max fd =
+    { fd; max; buf = Bytes.create 4096; len = 0; chunk = Bytes.create 4096 }
+
+  let refill t =
+    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 -> 0
+    | n ->
+        if t.len + n > Bytes.length t.buf then begin
+          let cap = max (2 * Bytes.length t.buf) (t.len + n) in
+          let grown = Bytes.create cap in
+          Bytes.blit t.buf 0 grown 0 t.len;
+          t.buf <- grown
+        end;
+        Bytes.blit t.chunk 0 t.buf t.len n;
+        t.len <- t.len + n;
+        n
+    | exception Unix.Unix_error _ -> 0
+    | exception _ -> 0
+
+  let take t upto =
+    let line = Bytes.sub_string t.buf 0 upto in
+    let rest = t.len - upto - 1 in
+    if rest > 0 then Bytes.blit t.buf (upto + 1) t.buf 0 rest;
+    t.len <- max rest 0;
+    line
+
+  (* Read one LF-terminated line. [`Line s] (without the LF), [`Too_long]
+     when the line exceeded [max] (the remainder has been discarded), or
+     [`Eof]. A final unterminated chunk is returned as a line. *)
+  let read_line t =
+    let rec discard_to_newline () =
+      match Bytes.index_opt (Bytes.sub t.buf 0 t.len) '\n' with
+      | Some i ->
+          ignore (take t i);
+          `Too_long
+      | None ->
+          t.len <- 0;
+          if refill t = 0 then `Too_long else discard_to_newline ()
+    in
+    let rec go scanned =
+      let limit = t.len in
+      let nl = ref (-1) in
+      (try
+         for i = scanned to limit - 1 do
+           if Bytes.get t.buf i = '\n' then begin
+             nl := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !nl >= 0 then `Line (take t !nl)
+      else if t.len > t.max then discard_to_newline ()
+      else if refill t = 0 then
+        if t.len > 0 then begin
+          let line = Bytes.sub_string t.buf 0 t.len in
+          t.len <- 0;
+          `Line line
+        end
+        else `Eof
+      else go limit
+    in
+    go 0
+end
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd b off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let send_line fd s = write_all fd (s ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { id : string; session : Session.t; lock : Mutex.t }
+
+type job = {
+  entry : entry;
+  mode : [ `Fresh | `Incremental ];
+  deadline : Deadline.t;
+  job_line : int;
+  mutable reply : (string, Protocol.error) result option;
+  jm : Mutex.t;
+  jcv : Condition.t;
+}
+
+(* Request outcomes, for the by-outcome counters. *)
+let outcomes =
+  [|
+    "ok"; "parse"; "exec"; "rejected"; "overloaded"; "timed_out";
+    "shutting_down"; "internal";
+  |]
+
+let outcome_index = function
+  | Ok _ -> 0
+  | Error (e : Protocol.error) -> (
+      match e.Protocol.kind with
+      | Protocol.Parse -> 1
+      | Protocol.Exec -> 2
+      | Protocol.Rejected -> 3
+      | Protocol.Overloaded -> 4
+      | Protocol.Timed_out -> 5
+      | Protocol.Shutting_down -> 6
+      | Protocol.Internal -> 7)
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  sockaddr : Unix.sockaddr;
+  addr_str : string;
+  tcp_port : int option;
+  sessions : (string, entry) Hashtbl.t;
+  registry_lock : Mutex.t;
+  queue : job Queue.t;
+  queue_lock : Mutex.t;
+  queue_cv : Condition.t;
+  mutable running : int;  (** resolver jobs executing right now (0 or 1) *)
+  mutable shed : int;
+  counters : int Atomic.t array;  (** indexed like [outcomes] *)
+  requests : int Atomic.t;
+  stop_requested : bool Atomic.t;
+  mutable stopped : bool;
+  conns_lock : Mutex.t;
+  mutable conns : Unix.file_descr list;
+  mutable conn_threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable resolver_thread : Thread.t option;
+}
+
+let sessions_open t =
+  Mutex.lock t.registry_lock;
+  let n = Hashtbl.length t.sessions in
+  Mutex.unlock t.registry_lock;
+  n
+
+let queue_depth t =
+  Mutex.lock t.queue_lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.queue_lock;
+  n
+
+let busy t =
+  Mutex.lock t.queue_lock;
+  let b = t.running > 0 in
+  Mutex.unlock t.queue_lock;
+  b
+
+let shed_count t = t.shed
+
+let requests_total t = Atomic.get t.requests
+
+let port t = t.tcp_port
+
+let address t = t.addr_str
+
+let count_outcome t result =
+  Atomic.incr t.counters.(outcome_index result)
+
+(* ------------------------------------------------------------------ *)
+(* Live metrics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_text t =
+  let obs = Obs.Export.open_metrics (Obs.Report.capture ()) in
+  let eof = "# EOF\n" in
+  let body =
+    if
+      String.length obs >= String.length eof
+      && String.sub obs (String.length obs - String.length eof)
+           (String.length eof)
+         = eof
+    then String.sub obs 0 (String.length obs - String.length eof)
+    else obs
+  in
+  let b = Buffer.create (String.length body + 512) in
+  Buffer.add_string b body;
+  Buffer.add_string b "# TYPE serve_sessions_open gauge\n";
+  Buffer.add_string b
+    (Printf.sprintf "serve_sessions_open %d\n" (sessions_open t));
+  Buffer.add_string b "# TYPE serve_queue_depth gauge\n";
+  Buffer.add_string b
+    (Printf.sprintf "serve_queue_depth %d\n" (queue_depth t));
+  Buffer.add_string b "# TYPE serve_requests_total counter\n";
+  Array.iteri
+    (fun i name ->
+      Buffer.add_string b
+        (Printf.sprintf "serve_requests_total{outcome=\"%s\"} %d\n" name
+           (Atomic.get t.counters.(i))))
+    outcomes;
+  Buffer.add_string b "# TYPE serve_shed_total counter\n";
+  Buffer.add_string b (Printf.sprintf "serve_shed_total %d\n" t.shed);
+  Buffer.add_string b eof;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let json_num n = Obs.Json.Num (float_of_int n)
+
+let exec_error ~line message =
+  { Protocol.kind = Protocol.Exec; line; column = 1; message }
+
+(* The queue-side half of a resolve: admission control, hand-off to the
+   resolver thread, and the wait for its reply. *)
+let submit_resolve t ~line entry mode =
+  let deadline = Deadline.of_timeout_ms t.config.request_timeout_ms in
+  let job =
+    {
+      entry;
+      mode;
+      deadline;
+      job_line = line;
+      reply = None;
+      jm = Mutex.create ();
+      jcv = Condition.create ();
+    }
+  in
+  Mutex.lock t.queue_lock;
+  let pending = Queue.length t.queue + t.running in
+  if t.stopped || Atomic.get t.stop_requested then begin
+    Mutex.unlock t.queue_lock;
+    Error
+      {
+        Protocol.kind = Protocol.Shutting_down;
+        line;
+        column = 1;
+        message = "server is shutting down";
+      }
+  end
+  else if pending > t.config.queue_cap then begin
+    t.shed <- t.shed + 1;
+    Mutex.unlock t.queue_lock;
+    Obs.event ~level:Obs.Events.Warn "serve.shed"
+      [ ("pending", Obs.Events.Int pending) ];
+    Error
+      {
+        Protocol.kind = Protocol.Overloaded;
+        line;
+        column = 1;
+        message =
+          Printf.sprintf
+            "overloaded: %d resolve(s) pending (queue bound %d); retry later"
+            pending t.config.queue_cap;
+      }
+  end
+  else begin
+    Queue.add job t.queue;
+    Obs.gauge "serve.queue_depth" (float_of_int (Queue.length t.queue));
+    Condition.signal t.queue_cv;
+    Mutex.unlock t.queue_lock;
+    Mutex.lock job.jm;
+    while job.reply = None do
+      Condition.wait job.jcv job.jm
+    done;
+    let reply = Option.get job.reply in
+    Mutex.unlock job.jm;
+    reply
+  end
+
+let resolve_summary session (r : Engine.result) mode =
+  let res = r.Engine.resolution in
+  let cache =
+    match Session.cache_outcome session with
+    | Some o -> Engine.outcome_name o
+    | None -> "none"
+  in
+  [
+    ( "mode",
+      Obs.Json.Str
+        (match mode with `Fresh -> "fresh" | `Incremental -> "incremental")
+    );
+    ("cache", Obs.Json.Str cache);
+    ("engine", Obs.Json.Str (Engine.choice_name r.Engine.stats.Engine.engine_used));
+    ("kept", json_num res.Tecore.Conflict.kept);
+    ("removed", json_num (List.length res.Tecore.Conflict.removed));
+    ("derived", json_num (List.length res.Tecore.Conflict.derived));
+    ("conflicting", json_num (List.length res.Tecore.Conflict.conflicting));
+    ("objective", Obs.Json.Num r.Engine.stats.Engine.objective);
+    ("hard_violations", json_num r.Engine.stats.Engine.hard_violations);
+    ( "status",
+      Obs.Json.Str (Deadline.status_name r.Engine.stats.Engine.status) );
+  ]
+
+(* Runs on the resolver thread, session lock held by the caller. *)
+let run_resolve config job =
+  let entry = job.entry in
+  let session = entry.session in
+  match
+    Session.resolve ~engine:config.engine ?jobs:config.jobs
+      ~deadline:job.deadline ~mode:job.mode session
+  with
+  | Ok r -> Ok (Protocol.ok_line (resolve_summary session r job.mode))
+  | Error (Session.Rejected report) ->
+      Error
+        {
+          Protocol.kind = Protocol.Rejected;
+          line = job.job_line;
+          column = 1;
+          message = Format.asprintf "%a" Tecore.Translator.pp_report report;
+        }
+  | Error e -> Error (exec_error ~line:job.job_line (Session.error_message e))
+
+let resolver_loop t =
+  let rec loop () =
+    Mutex.lock t.queue_lock;
+    while Queue.is_empty t.queue && not (Atomic.get t.stop_requested) do
+      Condition.wait t.queue_cv t.queue_lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* Stop requested and nothing left to drain. *)
+      Mutex.unlock t.queue_lock;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      Obs.gauge "serve.queue_depth" (float_of_int (Queue.length t.queue));
+      let draining = Atomic.get t.stop_requested in
+      t.running <- 1;
+      Mutex.unlock t.queue_lock;
+      let reply =
+        if draining then
+          Error
+            {
+              Protocol.kind = Protocol.Shutting_down;
+              line = job.job_line;
+              column = 1;
+              message = "server is shutting down";
+            }
+        else if Deadline.expired job.deadline then
+          Error
+            {
+              Protocol.kind = Protocol.Timed_out;
+              line = job.job_line;
+              column = 1;
+              message = "request budget expired while queued";
+            }
+        else begin
+          (* Deterministic slow-resolve injection for the overload tests:
+             TECORE_FAULTS=slow_resolve:MS stretches the busy window. *)
+          Deadline.Faults.delay "slow_resolve";
+          Mutex.lock job.entry.lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock job.entry.lock)
+            (fun () ->
+              try run_resolve t.config job
+              with e ->
+                Error
+                  {
+                    Protocol.kind = Protocol.Internal;
+                    line = job.job_line;
+                    column = 1;
+                    message = "resolve failed: " ^ Printexc.to_string e;
+                  })
+        end
+      in
+      Mutex.lock job.jm;
+      job.reply <- Some reply;
+      Condition.signal job.jcv;
+      Mutex.unlock job.jm;
+      Mutex.lock t.queue_lock;
+      t.running <- 0;
+      Mutex.unlock t.queue_lock;
+      loop ()
+    end
+  in
+  loop ()
+
+(* One request, parsed and executed. Returns the response line plus a
+   directive for the connection loop. *)
+let handle_request t conn_state ~line raw =
+  let result =
+    match Protocol.parse_request ~line raw with
+    | Error e -> Error e
+    | Ok req -> (
+        let with_entry k =
+          match !conn_state with
+          | Some entry -> k entry
+          | None ->
+              Error
+                (exec_error ~line
+                   "no session selected (send: hello <client-id>)")
+        in
+        let with_graph k =
+          with_entry (fun entry ->
+              Mutex.lock entry.lock;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock entry.lock)
+                (fun () ->
+                  match Session.graph entry.session with
+                  | Some g -> k entry g
+                  | None ->
+                      Error
+                        (exec_error ~line
+                           "no graph loaded (send: load FILE, or: open)")))
+        in
+        let locked k =
+          with_entry (fun entry ->
+              Mutex.lock entry.lock;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock entry.lock)
+                (fun () -> k entry))
+        in
+        match req with
+        | Protocol.Ping -> Ok (Protocol.ok_line [ ("pong", Obs.Json.Bool true) ])
+        | Protocol.Quit -> Ok (Protocol.ok_line [ ("bye", Obs.Json.Bool true) ])
+        | Protocol.Shutdown ->
+            if t.config.allow_shutdown then
+              Ok (Protocol.ok_line [ ("stopping", Obs.Json.Bool true) ])
+            else Error (exec_error ~line "shutdown is disabled on this server")
+        | Protocol.Metrics ->
+            Ok (Protocol.ok_line [ ("metrics", Obs.Json.Str (metrics_text t)) ])
+        | Protocol.Hello id ->
+            Mutex.lock t.registry_lock;
+            let entry, created =
+              match Hashtbl.find_opt t.sessions id with
+              | Some e -> (e, false)
+              | None ->
+                  let e =
+                    { id; session = Session.create (); lock = Mutex.create () }
+                  in
+                  Hashtbl.add t.sessions id e;
+                  (e, true)
+            in
+            let open_now = Hashtbl.length t.sessions in
+            Mutex.unlock t.registry_lock;
+            conn_state := Some entry;
+            if created then begin
+              Obs.gauge "serve.sessions_open" (float_of_int open_now);
+              Obs.event "serve.session_open"
+                [ ("client", Obs.Events.Str id) ]
+            end;
+            Ok
+              (Protocol.ok_line
+                 [
+                   ("session", Obs.Json.Str id);
+                   ("created", Obs.Json.Bool created);
+                 ])
+        | Protocol.Open_ ->
+            locked (fun entry ->
+                Session.load_graph entry.session (Kg.Graph.create ());
+                Ok
+                  (Protocol.ok_line
+                     [ ("opened", Obs.Json.Bool true); ("facts", json_num 0) ]))
+        | Protocol.Stat ->
+            locked (fun entry ->
+                let session = entry.session in
+                let facts =
+                  match Session.graph session with
+                  | Some g -> Kg.Graph.size g
+                  | None -> 0
+                in
+                let cache = Engine.cache_stats (Session.engine_state session) in
+                Ok
+                  (Protocol.ok_line
+                     [
+                       ("session", Obs.Json.Str entry.id);
+                       ("facts", json_num facts);
+                       ("rules", json_num (List.length (Session.rules session)));
+                       ("pending_edits", json_num (Session.pending_edits session));
+                       ( "rules_dirty",
+                         Obs.Json.Bool (Session.rules_dirty session) );
+                       ( "resolved",
+                         Obs.Json.Bool (Session.last_result session <> None) );
+                       ("cache_entries", json_num cache.Engine.solve_entries);
+                       ("cache_hits", json_num cache.Engine.solve_hits);
+                       ("cache_misses", json_num cache.Engine.solve_misses);
+                     ]))
+        | Protocol.Result_ ->
+            locked (fun entry ->
+                let session = entry.session in
+                match Session.last_result session with
+                | None -> Error (exec_error ~line "no resolution yet")
+                | Some r ->
+                    let resolution_json =
+                      let s =
+                        Tecore.Json_out.of_resolution
+                          ~namespace:(Session.namespace session)
+                          r.Engine.resolution
+                      in
+                      match Obs.Json.parse s with
+                      | Ok j -> j
+                      | Error _ -> Obs.Json.Str s
+                    in
+                    Ok
+                      (Protocol.ok_line
+                         [
+                           ( "engine",
+                             Obs.Json.Str
+                               (Engine.choice_name
+                                  r.Engine.stats.Engine.engine_used) );
+                           ( "objective",
+                             Obs.Json.Num r.Engine.stats.Engine.objective );
+                           ( "status",
+                             Obs.Json.Str
+                               (Deadline.status_name
+                                  r.Engine.stats.Engine.status) );
+                           ( "hard_violations",
+                             json_num r.Engine.stats.Engine.hard_violations );
+                           ("resolution", resolution_json);
+                         ]))
+        | Protocol.Cmd (Tecore.Script.Resolve mode) ->
+            with_entry (fun entry -> submit_resolve t ~line entry mode)
+        | Protocol.Cmd (Tecore.Script.Load path) ->
+            locked (fun entry ->
+                match Session.load entry.session path with
+                | Ok () ->
+                    let facts =
+                      match Session.graph entry.session with
+                      | Some g -> Kg.Graph.size g
+                      | None -> 0
+                    in
+                    Ok
+                      (Protocol.ok_line
+                         [
+                           ("loaded", Obs.Json.Str path);
+                           ("facts", json_num facts);
+                         ])
+                | Error e ->
+                    Error (exec_error ~line (Session.error_message e)))
+        | Protocol.Cmd (Tecore.Script.Assert_ payload) ->
+            with_graph (fun entry _g ->
+                match
+                  Kg.Nquads.parse_quad (Session.namespace entry.session) payload
+                with
+                | Error msg -> Error (exec_error ~line msg)
+                | Ok q -> (
+                    match Session.assert_fact entry.session q with
+                    | Ok _ ->
+                        Ok
+                          (Protocol.ok_line
+                             [ ("asserted", Obs.Json.Str (Kg.Quad.to_string q)) ])
+                    | Error e ->
+                        Error (exec_error ~line (Session.error_message e))))
+        | Protocol.Cmd (Tecore.Script.Retract payload) ->
+            with_graph (fun entry _g ->
+                match
+                  Kg.Nquads.parse_quad (Session.namespace entry.session) payload
+                with
+                | Error msg -> Error (exec_error ~line msg)
+                | Ok q -> (
+                    match Session.retract entry.session q with
+                    | Ok _ ->
+                        Ok
+                          (Protocol.ok_line
+                             [ ("retracted", Obs.Json.Str (Kg.Quad.to_string q)) ])
+                    | Error e ->
+                        Error (exec_error ~line (Session.error_message e))))
+        | Protocol.Cmd (Tecore.Script.Rule payload) ->
+            locked (fun entry ->
+                match Session.add_rules entry.session payload with
+                | Ok rules ->
+                    Ok
+                      (Protocol.ok_line
+                         [
+                           ( "added",
+                             Obs.Json.Arr
+                               (List.map
+                                  (fun (r : Logic.Rule.t) ->
+                                    Obs.Json.Str r.Logic.Rule.name)
+                                  rules) );
+                         ])
+                | Error msg -> Error (exec_error ~line msg))
+        | Protocol.Cmd (Tecore.Script.Unrule name) ->
+            locked (fun entry ->
+                if Session.remove_rule entry.session name then
+                  Ok (Protocol.ok_line [ ("removed", Obs.Json.Str name) ])
+                else
+                  Error
+                    (exec_error ~line (Printf.sprintf "no rule named %S" name)))
+        | Protocol.Cmd Tecore.Script.Diff ->
+            locked (fun entry ->
+                let session = entry.session in
+                let text =
+                  match (Session.graph session, Session.last_result session) with
+                  | Some g, Some r ->
+                      Format.asprintf "%a" Tecore.Diff.pp
+                        (Tecore.Diff.diff g
+                           r.Engine.resolution.Tecore.Conflict.consistent)
+                  | _ -> "no resolution yet"
+                in
+                Ok (Protocol.ok_line [ ("diff", Obs.Json.Str text) ])))
+  in
+  count_outcome t result;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Connection and accept loops                                         *)
+(* ------------------------------------------------------------------ *)
+
+let remove_conn t fd =
+  Mutex.lock t.conns_lock;
+  t.conns <- List.filter (fun c -> c != fd) t.conns;
+  Mutex.unlock t.conns_lock;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connection_loop t fd =
+  let reader = Reader.create ~max:t.config.max_line_bytes fd in
+  let conn_state = ref None in
+  let line = ref 0 in
+  let rec loop () =
+    match Reader.read_line reader with
+    | `Eof -> ()
+    | `Too_long ->
+        incr line;
+        Atomic.incr t.requests;
+        let e =
+          {
+            Protocol.kind = Protocol.Parse;
+            line = !line;
+            column = 1;
+            message =
+              Printf.sprintf "request exceeds %d bytes"
+                t.config.max_line_bytes;
+          }
+        in
+        count_outcome t (Error e);
+        send_line fd (Protocol.err_line e);
+        loop ()
+    | `Line raw -> (
+        incr line;
+        Atomic.incr t.requests;
+        Obs.count "serve.requests";
+        let result =
+          (* Nothing a request does may escape the loop: any unexpected
+             exception is contained as a typed internal error and the
+             connection keeps serving. *)
+          try handle_request t conn_state ~line:!line raw
+          with e ->
+            let err =
+              {
+                Protocol.kind = Protocol.Internal;
+                line = !line;
+                column = 1;
+                message = "internal error: " ^ Printexc.to_string e;
+              }
+            in
+            count_outcome t (Error err);
+            Error err
+        in
+        let response =
+          match result with Ok s -> s | Error e -> Protocol.err_line e
+        in
+        send_line fd response;
+        match Protocol.parse_request ~line:!line raw with
+        | Ok Protocol.Quit -> ()
+        | Ok Protocol.Shutdown when t.config.allow_shutdown ->
+            Atomic.set t.stop_requested true;
+            Mutex.lock t.queue_lock;
+            Condition.broadcast t.queue_cv;
+            Mutex.unlock t.queue_lock
+        | _ -> loop ())
+  in
+  (try loop () with _ -> ());
+  remove_conn t fd
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stop_requested then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              Mutex.lock t.conns_lock;
+              t.conns <- fd :: t.conns;
+              let th = Thread.create (fun () -> connection_loop t fd) () in
+              t.conn_threads <- th :: t.conn_threads;
+              Mutex.unlock t.conns_lock
+          | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start ?(config = default_config) (listen : listen) =
+  let domain, sockaddr =
+    match listen with
+    | `Tcp port ->
+        (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+    | `Unix path ->
+        (try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ());
+        (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd sockaddr;
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let sockaddr = Unix.getsockname fd in
+  let tcp_port, addr_str =
+    match sockaddr with
+    | Unix.ADDR_INET (_, p) -> (Some p, Printf.sprintf "127.0.0.1:%d" p)
+    | Unix.ADDR_UNIX path -> (None, path)
+  in
+  let t =
+    {
+      config;
+      listen_fd = fd;
+      sockaddr;
+      addr_str;
+      tcp_port;
+      sessions = Hashtbl.create 64;
+      registry_lock = Mutex.create ();
+      queue = Queue.create ();
+      queue_lock = Mutex.create ();
+      queue_cv = Condition.create ();
+      running = 0;
+      shed = 0;
+      counters = Array.map (fun _ -> Atomic.make 0) outcomes;
+      requests = Atomic.make 0;
+      stop_requested = Atomic.make false;
+      stopped = false;
+      conns_lock = Mutex.create ();
+      conns = [];
+      conn_threads = [];
+      accept_thread = None;
+      resolver_thread = None;
+    }
+  in
+  Obs.event "serve.listening" [ ("address", Obs.Events.Str addr_str) ];
+  t.resolver_thread <- Some (Thread.create (fun () -> resolver_loop t) ());
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let connect t =
+  let domain =
+    match t.sockaddr with
+    | Unix.ADDR_INET _ -> Unix.PF_INET
+    | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd t.sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let request_stop t = Atomic.set t.stop_requested true
+
+let stop t =
+  Atomic.set t.stop_requested true;
+  Mutex.lock t.queue_lock;
+  let already = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.queue_cv;
+  Mutex.unlock t.queue_lock;
+  if not already then begin
+    (* Wake blocked readers: a shutdown makes every connection thread's
+       next read return EOF. *)
+    Mutex.lock t.conns_lock;
+    let conns = t.conns in
+    Mutex.unlock t.conns_lock;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (match t.resolver_thread with Some th -> Thread.join th | None -> ());
+    (* The resolver has exited; answer whatever is still queued. *)
+    Mutex.lock t.queue_lock;
+    Queue.iter
+      (fun job ->
+        Mutex.lock job.jm;
+        job.reply <-
+          Some
+            (Error
+               {
+                 Protocol.kind = Protocol.Shutting_down;
+                 line = job.job_line;
+                 column = 1;
+                 message = "server is shutting down";
+               });
+        Condition.signal job.jcv;
+        Mutex.unlock job.jm)
+      t.queue;
+    Queue.clear t.queue;
+    Mutex.unlock t.queue_lock;
+    let rec drain () =
+      Mutex.lock t.conns_lock;
+      let ths = t.conn_threads in
+      t.conn_threads <- [];
+      Mutex.unlock t.conns_lock;
+      match ths with
+      | [] -> ()
+      | ths ->
+          List.iter Thread.join ths;
+          drain ()
+    in
+    drain ();
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match t.sockaddr with
+    | Unix.ADDR_UNIX path -> (
+        try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ())
+    | _ -> ()
+  end
+
+let wait t =
+  while not (Atomic.get t.stop_requested) do
+    Thread.delay 0.1
+  done;
+  stop t
+
+(* ------------------------------------------------------------------ *)
+(* Scripted loopback driver                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Driver = struct
+  type client = { fd : Unix.file_descr; reader : Reader.t }
+
+  type dcmd =
+    | Connect of string
+    | Send of string * string
+    | Post of string * string
+    | Recv of string
+    | Await_busy
+    | Await_idle
+    | Close of string
+
+  let parse_line ~path ~line raw =
+    let raw = Protocol.strip_cr raw in
+    let keyword, payload, col_kw, col_arg = Protocol.split_keyword raw in
+    let err column message =
+      Error { Tecore.Script.path; line; column; message }
+    in
+    let name_and_rest what k =
+      let name, rest, _, _ = Protocol.split_keyword payload in
+      if name = "" then err col_arg (what ^ ": missing client name")
+      else k name rest
+    in
+    if keyword = "" || keyword.[0] = '#' then Ok None
+    else
+      match keyword with
+      | "connect" ->
+          if payload = "" then err col_arg "connect: missing client name"
+          else Ok (Some (Connect payload))
+      | "send" ->
+          name_and_rest "send" (fun name rest ->
+              if rest = "" then err col_arg "send: missing request"
+              else Ok (Some (Send (name, rest))))
+      | "post" ->
+          name_and_rest "post" (fun name rest ->
+              if rest = "" then err col_arg "post: missing request"
+              else Ok (Some (Post (name, rest))))
+      | "recv" ->
+          name_and_rest "recv" (fun name rest ->
+              if rest = "" then Ok (Some (Recv name))
+              else err col_arg "recv takes only a client name")
+      | "close" ->
+          name_and_rest "close" (fun name rest ->
+              if rest = "" then Ok (Some (Close name))
+              else err col_arg "close takes only a client name")
+      | "await-busy" ->
+          if payload = "" then Ok (Some Await_busy)
+          else err col_arg "await-busy takes no argument"
+      | "await-idle" ->
+          if payload = "" then Ok (Some Await_idle)
+          else err col_arg "await-idle takes no argument"
+      | other -> err col_kw (Printf.sprintf "unknown driver command %S" other)
+
+  let run ~server fmt ~path text =
+    let exception Halt of Tecore.Script.error in
+    let clients : (string, client) Hashtbl.t = Hashtbl.create 8 in
+    let fail ~line column message =
+      raise (Halt { Tecore.Script.path; line; column; message })
+    in
+    let client ~line name =
+      match Hashtbl.find_opt clients name with
+      | Some c -> c
+      | None ->
+          fail ~line 1 (Printf.sprintf "no connected client named %S" name)
+    in
+    let out fmt_str = Format.fprintf fmt fmt_str in
+    let await ~line what cond =
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec go () =
+        if cond () then ()
+        else if Unix.gettimeofday () > deadline then
+          fail ~line 1 (what ^ ": timed out after 10 s")
+        else begin
+          Thread.delay 0.002;
+          go ()
+        end
+      in
+      go ()
+    in
+    let recv ~line name c =
+      match Reader.read_line c.reader with
+      | `Line resp -> out "%s< %s@." name resp
+      | `Too_long -> fail ~line 1 (name ^ ": oversized response")
+      | `Eof -> out "%s< (connection closed)@." name
+    in
+    let exec ~line cmd =
+      match cmd with
+      | Connect name ->
+          if Hashtbl.mem clients name then
+            fail ~line 1 (Printf.sprintf "client %S already connected" name);
+          let fd = connect server in
+          Hashtbl.replace clients name
+            { fd; reader = Reader.create ~max:(1 lsl 22) fd };
+          out "%s connected@." name
+      | Send (name, req) ->
+          let c = client ~line name in
+          out "%s> %s@." name req;
+          send_line c.fd req;
+          recv ~line name c
+      | Post (name, req) ->
+          let c = client ~line name in
+          out "%s> %s@." name req;
+          send_line c.fd req
+      | Recv name -> recv ~line name (client ~line name)
+      | Await_busy -> await ~line "await-busy" (fun () -> busy server)
+      | Await_idle ->
+          await ~line "await-idle" (fun () ->
+              (not (busy server)) && queue_depth server = 0)
+      | Close name ->
+          let c = client ~line name in
+          (try Unix.close c.fd with Unix.Unix_error _ -> ());
+          Hashtbl.remove clients name;
+          out "%s closed@." name
+    in
+    let lines = String.split_on_char '\n' text in
+    let result =
+      try
+        List.iteri
+          (fun i raw ->
+            let line = i + 1 in
+            match parse_line ~path ~line raw with
+            | Ok None -> ()
+            | Ok (Some cmd) -> exec ~line cmd
+            | Error e -> raise (Halt e))
+          lines;
+        Ok ()
+      with Halt e -> Error e
+    in
+    Hashtbl.iter
+      (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      clients;
+    result
+end

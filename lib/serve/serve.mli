@@ -1,0 +1,138 @@
+(** [tecore serve] — a long-lived daemon multiplexing many incremental
+    sessions over the line-oriented wire protocol of {!Protocol}.
+
+    Architecture (see [docs/SERVER.md]):
+
+    - a {e session registry} keyed by client id: each [hello CLIENT-ID]
+      attaches the connection to a {!Tecore.Session.t} with its own
+      incremental {!Tecore.Engine.state}, so a client's 1-fact edit
+      always takes the warm replay path;
+    - one {e connection thread} per accepted socket reads length-bounded
+      lines, parses them totally, executes cheap edits inline (under the
+      session's lock) and routes [resolve] through admission control;
+    - {e admission control}: a bounded run queue in front of a single
+      resolver thread that owns the shared solver {!Prelude.Pool}.
+      When the pending count exceeds the bound the request is shed
+      immediately with a typed [overloaded] response — the queue never
+      grows without bound. A per-request budget (when configured) sheds
+      requests whose budget expired while queued with a typed
+      [timed_out] response and disciplines the solve itself through the
+      existing {!Prelude.Deadline} machinery;
+    - {e live metrics}: [serve_*] gauges and counters merged into the
+      {!Obs} OpenMetrics exposition, served from the [metrics] verb
+      while the server runs (not at exit).
+
+    Nothing a client sends can kill the accept loop: unexpected
+    exceptions inside a request are contained as typed [internal]
+    errors and the connection stays usable. *)
+
+type config = {
+  engine : Tecore.Engine.engine;  (** engine for every resolve *)
+  jobs : int option;
+      (** worker domains for the shared pool ([None]: [TECORE_JOBS],
+          else 1 — the {!Tecore.Engine.resolve} default) *)
+  queue_cap : int;
+      (** admission bound: a resolve is shed when the number of pending
+          resolves (queued + running) exceeds this. [0] means "shed
+          whenever busy". *)
+  request_timeout_ms : float option;
+      (** per-request budget. It covers queue wait (expired-before-run
+          requests are shed with a typed [timed_out] error) and, for
+          the part that remains, the solve itself via
+          {!Prelude.Deadline} — note a finite deadline bypasses the
+          incremental caches, so warm-path service normally runs
+          without one. [None] (default): no budget. *)
+  max_line_bytes : int;
+      (** requests longer than this are refused with a typed parse
+          error (the rest of the oversized line is discarded; the
+          connection stays usable) *)
+  allow_shutdown : bool;
+      (** whether the [shutdown] verb is honoured (the CLI enables it;
+          library/test servers default to [false]) *)
+}
+
+val default_config : config
+(** [Auto] engine, env-default jobs, queue bound 64, no budget, 1 MiB
+    line cap, shutdown disabled. *)
+
+type listen = [ `Tcp of int | `Unix of string ]
+(** [`Tcp port] binds 127.0.0.1:[port] ([0] picks a free port);
+    [`Unix path] binds a Unix-domain socket at [path] (an existing
+    socket file there is replaced). *)
+
+type t
+
+val start : ?config:config -> listen -> t
+(** Bind, spawn the accept and resolver threads, and return. Raises
+    [Unix.Unix_error] when the address cannot be bound. *)
+
+val port : t -> int option
+(** The actual TCP port ([None] for Unix-domain servers). *)
+
+val address : t -> string
+(** Human-readable bound address ("127.0.0.1:PORT" or the socket
+    path). *)
+
+val connect : t -> Unix.file_descr
+(** A fresh loopback client socket connected to this server (used by
+    the scripted driver, tests and benchmarks). *)
+
+val sessions_open : t -> int
+
+val queue_depth : t -> int
+(** Resolves currently queued (not counting the running one). *)
+
+val busy : t -> bool
+(** Whether the resolver thread is executing a request right now. *)
+
+val shed_count : t -> int
+(** Requests shed by admission control since [start]. *)
+
+val requests_total : t -> int
+(** Requests parsed off all connections since [start]. *)
+
+val metrics_text : t -> string
+(** Live OpenMetrics exposition: the whole {!Obs} report (span times,
+    counters, solver histograms) plus [serve_sessions_open],
+    [serve_queue_depth], [serve_requests_total{outcome=...}] and
+    [serve_shed_total], terminated by [# EOF]. Passes
+    {!Obs.Export.validate_metrics}. *)
+
+val request_stop : t -> unit
+(** Ask the server to stop (signal-handler safe: only sets a flag; the
+    accept loop notices within its poll interval). *)
+
+val stop : t -> unit
+(** Stop and reclaim: close the listener and every connection, drain
+    the run queue (queued jobs are answered with a typed
+    [shutting_down] error), join all threads. Idempotent. *)
+
+val wait : t -> unit
+(** Block until {!request_stop} (or an honoured [shutdown] verb) fires,
+    then run {!stop}. The CLI's foreground mode. *)
+
+(** Scripted loopback client — drives a live server over a real socket
+    and prints a deterministic transcript, for the [data/serve_*.golden]
+    tests. Commands, one per line ([#] comments):
+
+    {v
+    connect NAME            open a client connection called NAME
+    send NAME REQUEST       send REQUEST, wait for and print the response
+    post NAME REQUEST       send REQUEST without waiting
+    recv NAME               read and print one pending response
+    await-busy              block until the resolver is executing
+    await-idle              block until the queue is empty and idle
+    close NAME              close NAME's socket
+    v} *)
+module Driver : sig
+  val run :
+    server:t ->
+    Format.formatter ->
+    path:string ->
+    string ->
+    (unit, Tecore.Script.error) result
+  (** Execute a driver script against [server], printing
+      ["NAME> request"] / ["NAME< response"] transcript lines. Errors
+      (unknown client names, malformed driver lines, await timeouts)
+      halt with a located error in the [path:line:column] convention. *)
+end

@@ -55,6 +55,10 @@ type cache_outcome =
   | Fallback     (** replay failed mid-flight: fresh resolve instead *)
   | Fresh_run    (** caller asked for [`Fresh]; state still recorded *)
 
+let choice_name = function
+  | Translator.Mln_engine -> "mln"
+  | Translator.Psl_engine -> "psl"
+
 let outcome_name = function
   | Hit -> "hit"
   | Replay -> "replay"

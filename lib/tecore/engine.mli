@@ -31,6 +31,10 @@ type run_stats = {
           timed-out answer violates hard constraints *)
 }
 
+val choice_name : Translator.engine_choice -> string
+(** ["mln"] or ["psl"] — the spelling used in transcripts, [--json]
+    output and the server's wire responses. *)
+
 type raw = {
   store : Grounder.Atom_store.t;
   instances : Grounder.Ground.Instance.t list;

@@ -126,6 +126,8 @@ let parse_line ~path ~line raw =
         else err col_arg "diff takes no argument"
     | other -> err col_kw (Printf.sprintf "unknown command %S" other)
 
+let parse_command ~path ~line raw = parse_line ~path ~line raw
+
 let parse_string ~path text =
   let lines = String.split_on_char '\n' text in
   let rec go line acc = function
@@ -152,9 +154,7 @@ let parse_fact ~session payload =
       | _ -> invalid_arg "script fact payload changed arity since parse")
   | Error _ -> invalid_arg "script fact payload stopped parsing since parse"
 
-let engine_name = function
-  | Translator.Mln_engine -> "mln"
-  | Translator.Psl_engine -> "psl"
+let engine_name = Engine.choice_name
 
 let mode_name = function `Fresh -> "fresh" | `Incremental -> "incremental"
 

@@ -49,6 +49,15 @@ val parse_string : path:string -> string -> (t, error) result
     [path] is used only for error locations and for resolving relative
     [load] arguments at execution time. *)
 
+val parse_command :
+  path:string -> line:int -> string -> (located option, error) result
+(** Parse one script line — the unit the server's wire protocol reuses as
+    its request language. Total like {!parse_string}: [Ok None] for a
+    blank or comment line, [Ok (Some c)] for a command, and a located
+    [Error] (at [path:line:column]) otherwise. Payload validation is as
+    eager as in {!parse_string}: a malformed fact or rule is refused
+    here, before anything executes. *)
+
 val run :
   ?engine:Engine.engine ->
   ?jobs:int ->

@@ -198,6 +198,10 @@ let resolve ?engine ?jobs ?threshold ?deadline ?on_timeout ?(mode = `Fresh) t =
 
 let cache_outcome t = Engine.last_outcome t.state
 
+let pending_edits t = List.length t.delta_facts
+
+let rules_dirty t = t.rules_changed
+
 let engine_state t = t.state
 
 let run ?engine ?jobs ?threshold t =

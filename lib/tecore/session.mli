@@ -112,6 +112,15 @@ val cache_outcome : t -> Engine.cache_outcome option
 val engine_state : t -> Engine.state
 (** The session's incremental state (for cache statistics). *)
 
+val pending_edits : t -> int
+(** Fact edits (asserts and retracts) recorded in the delta since the
+    last successful resolve — what the next [`Incremental] resolve will
+    replay. The server's [stat] verb surfaces this. *)
+
+val rules_dirty : t -> bool
+(** Whether the rule list changed since the last successful resolve
+    (forcing the next incremental resolve to invalidate its caches). *)
+
 val run :
   ?engine:Engine.engine ->
   ?jobs:int ->

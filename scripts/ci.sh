@@ -125,6 +125,39 @@ diff <(sed 's/cache=[a-z]*/cache=X/' "$FAULT_OUT") \
   || { echo "fallback transcript diverged from golden resolution" >&2; exit 1; }
 rm -f "$FAULT_OUT"
 
+echo "== serve smoke (start, request, shutdown; exit-code contract) =="
+# A real daemon on a Unix socket: start it, drive a session through the
+# wire protocol with the client, stop it with the shutdown verb, and
+# check the whole lifecycle exits 0. The serve_*.golden transcripts
+# (part of @data/runtest above) cover the protocol surface; this checks
+# the long-running daemon path and the documented exit codes.
+SERVE_SOCK=$(mktemp -u)
+"$CLI" serve --socket "$SERVE_SOCK" >/dev/null 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 50); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { echo "tecore serve did not bind $SERVE_SOCK" >&2; exit 1; }
+expect_exit 0 "serve round-trip" \
+  "$CLI" client --socket "$SERVE_SOCK" \
+  --send "hello ci" --send "load data/ranieri.tq" --send "resolve" \
+  --send "quit"
+expect_exit 1 "typed error on a malformed request" \
+  "$CLI" client --socket "$SERVE_SOCK" --send "bogus request"
+expect_exit 0 "shutdown verb" \
+  "$CLI" client --socket "$SERVE_SOCK" --send "shutdown"
+SERVE_EXIT=0; wait "$SERVE_PID" || SERVE_EXIT=$?
+[ "$SERVE_EXIT" -eq 0 ] \
+  || { echo "tecore serve exited $SERVE_EXIT after shutdown verb" >&2; exit 1; }
+expect_exit 4 "unbindable listen address" \
+  "$CLI" serve --socket /no-such-dir/tecore.sock
+expect_exit 4 "client against a dead server" \
+  "$CLI" client --socket "$SERVE_SOCK" --send "ping"
+
+echo "== bench serve --check (committed BENCH_serve.json) =="
+# Re-measures wire latency/throughput at 1..N concurrent sessions and
+# compares against the committed baseline (generous tolerance), plus
+# the committed warm-beats-cold headline at one session.
+BENCH_FAST=1 dune exec bench/main.exe -- serve --check
+
 echo "== bench incr --check (committed BENCH_incremental.json) =="
 # Re-measures fresh vs incremental and compares against the committed
 # baseline (generous tolerance), and re-asserts the committed delta=1

@@ -311,6 +311,131 @@ let test_script_retract_absent () =
       Alcotest.(check int) "line 2" 2 e.Tecore.Script.line;
       Alcotest.(check string) "path" "r.script" e.Tecore.Script.path
 
+(* ------------------------------------------------------------------ *)
+(* The wire layer is total                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Random byte mutations of valid protocol frames, against a live
+   server: every response must still be a tagged single-line JSON
+   object ([ok {...}] or [err {...}] with a [kind]), no exception may
+   escape the accept loop, and the connection must stay usable — probed
+   with a [ping] after the storm. Mutations substitute printable bytes
+   (never a newline), so frames stay frames; a mutation that lands on
+   [quit] just closes the connection, which the harness answers by
+   reconnecting. *)
+let wire_frames =
+  [|
+    "ping"; "hello fuzz"; "open"; "stat"; "result"; "metrics"; "diff";
+    "resolve"; "resolve fresh"; "shutdown";
+    "assert ex:A ex:playsFor ex:B [2001,2003] 0.8 .";
+    "retract ex:A ex:playsFor ex:B [2001,2003] 0.8 .";
+    "rule r1 1.5: ex:playsFor(x, y)@t => ex:worksFor(x, y)@t .";
+    "unrule r1";
+  |]
+
+let wire_send fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let test_wire_mutations_total () =
+  let server = Serve.start (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      let rng = Prng.create 401 in
+      let conn = ref None in
+      let fresh () =
+        let fd = Serve.connect server in
+        let c = (fd, Unix.in_channel_of_descr fd) in
+        conn := Some c;
+        c
+      in
+      let current () = match !conn with Some c -> c | None -> fresh () in
+      let reconnect () =
+        (match !conn with
+        | Some (_, ic) -> close_in_noerr ic
+        | None -> ());
+        conn := None
+      in
+      let check_response line =
+        let tagged tag =
+          let n = String.length tag in
+          if String.length line >= n && String.sub line 0 n = tag then
+            Some (String.sub line n (String.length line - n))
+          else None
+        in
+        match (tagged "ok ", tagged "err ") with
+        | Some body, _ | None, Some body -> (
+            match Obs.Json.parse body with
+            | Ok _ -> ()
+            | Error e ->
+                Alcotest.failf "response is not JSON: %S (%s)" line e)
+        | None, None -> Alcotest.failf "untagged response %S" line
+      in
+      for _ = 1 to 400 do
+        let frame = wire_frames.(Prng.int rng (Array.length wire_frames)) in
+        let mutated = Bytes.of_string frame in
+        for _ = 0 to Prng.int rng 3 do
+          if Bytes.length mutated > 0 then
+            Bytes.set mutated
+              (Prng.int rng (Bytes.length mutated))
+              (Prng.pick rng printable)
+        done;
+        let fd, ic = current () in
+        wire_send fd (Bytes.to_string mutated);
+        match input_line ic with
+        | resp -> check_response resp
+        | exception End_of_file -> reconnect ()
+      done;
+      (* The connection (or a fresh one) still serves typed responses. *)
+      let fd, ic = current () in
+      wire_send fd "ping";
+      (match input_line ic with
+      | resp -> Alcotest.(check string) "still alive" "ok {\"pong\":true}" resp
+      | exception End_of_file ->
+          let fd, ic = fresh () in
+          wire_send fd "ping";
+          Alcotest.(check string) "still alive" "ok {\"pong\":true}"
+            (input_line ic));
+      reconnect ())
+
+(* Oversized frames are refused with a typed parse error — and the
+   connection stays usable for the next, normal-sized request. *)
+let test_wire_oversized_line () =
+  let config = { Serve.default_config with Serve.max_line_bytes = 4096 } in
+  let server = Serve.start ~config (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      let fd = Serve.connect server in
+      let ic = Unix.in_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          wire_send fd ("assert " ^ String.make 20_000 'x');
+          (match input_line ic with
+          | resp ->
+              let contains affix =
+                let n = String.length affix in
+                let rec go i =
+                  i + n <= String.length resp
+                  && (String.sub resp i n = affix || go (i + 1))
+                in
+                go 0
+              in
+              Alcotest.(check bool)
+                "typed parse error" true
+                (contains "\"kind\":\"parse\"" && contains "exceeds")
+          | exception End_of_file ->
+              Alcotest.fail "connection dropped on oversized frame");
+          wire_send fd "ping";
+          Alcotest.(check string)
+            "usable after overflow" "ok {\"pong\":true}" (input_line ic)))
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -345,5 +470,12 @@ let () =
             test_valid_programs_roundtrip;
           Alcotest.test_case "engine survives random graphs" `Slow
             test_engine_survives_random_small_graphs;
+        ] );
+      ( "wire protocol",
+        [
+          Alcotest.test_case "mutated frames stay typed" `Quick
+            test_wire_mutations_total;
+          Alcotest.test_case "oversized frames refused, connection survives"
+            `Quick test_wire_oversized_line;
         ] );
     ]

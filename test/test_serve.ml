@@ -1,0 +1,395 @@
+(* Differential protocol oracle for [tecore serve].
+
+   The contract under test: a session driven over the wire — requests
+   through a live loopback server, edits and resolves multiplexed by the
+   daemon — is observationally identical to the same command sequence
+   applied directly to a {!Tecore.Session}. Random edit scripts are sent
+   through both paths; after every resolve the server's summary fields
+   (objective, cache outcome, status) and the full [result] resolution
+   payload must match the local oracle byte for byte, for every solver
+   backend. A second suite pins the warm path: repeated 1-fact edits
+   must keep hitting the incremental caches (replay/hit), never falling
+   back to a fresh run. *)
+
+module Engine = Tecore.Engine
+module Session = Tecore.Session
+module Prng = Prelude.Prng
+
+(* This suite owns the fault registry: differential identity is a
+   fault-free property (the CI sweep re-runs everything under
+   TECORE_FAULTS; an injected slowdown or crash would legitimately make
+   the two paths diverge). *)
+let () = Prelude.Deadline.Faults.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Loopback client                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type client = { fd : Unix.file_descr; ic : in_channel }
+
+let connect server =
+  let fd = Serve.connect server in
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let close client = close_in_noerr client.ic
+
+let send client line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write client.fd b off (n - off))
+  in
+  go 0
+
+let request client line =
+  send client line;
+  match input_line client.ic with
+  | resp -> resp
+  | exception End_of_file ->
+      Alcotest.failf "connection closed after %S" line
+
+(* Split a response line into its tag and parsed JSON body. *)
+let parse_response resp =
+  let body tag =
+    let n = String.length tag in
+    if String.length resp >= n && String.sub resp 0 n = tag then
+      Some (String.sub resp n (String.length resp - n))
+    else None
+  in
+  let json s =
+    match Obs.Json.parse s with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "unparseable response %S: %s" resp e
+  in
+  match (body "ok ", body "err ") with
+  | Some s, _ -> `Ok (json s)
+  | None, Some s -> `Err (json s)
+  | None, None -> Alcotest.failf "untagged response %S" resp
+
+let fields = function
+  | Obs.Json.Obj fs -> fs
+  | j -> Alcotest.failf "expected an object, got %s" (Obs.Json.to_string j)
+
+let str_field j name =
+  match List.assoc_opt name (fields j) with
+  | Some (Obs.Json.Str s) -> s
+  | _ -> Alcotest.failf "missing string field %S in %s" name
+           (Obs.Json.to_string j)
+
+let num_field j name =
+  match List.assoc_opt name (fields j) with
+  | Some (Obs.Json.Num n) -> n
+  | _ -> Alcotest.failf "missing number field %S in %s" name
+           (Obs.Json.to_string j)
+
+let expect_ok line resp =
+  match parse_response resp with
+  | `Ok j -> j
+  | `Err j ->
+      Alcotest.failf "request %S failed: %s" line (Obs.Json.to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* Random wire scripts                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Each generated fact is unique (the serial number feeds the interval),
+   so asserts never collide and retract bookkeeping stays exact. *)
+let gen_script ~seed ~ops =
+  let rng = Prng.create seed in
+  let serial = ref 0 in
+  let fact () =
+    incr serial;
+    let lo = 1900 + !serial in
+    Printf.sprintf "ex:P%d ex:playsFor ex:T%d [%d,%d] 0.%d ."
+      (Prng.int rng 4) (Prng.int rng 3) lo
+      (lo + 1 + Prng.int rng 4)
+      (5 + Prng.int rng 5)
+  in
+  let live = ref [] in
+  let rule_on = ref false in
+  let out = ref [] in
+  let push l = out := l :: !out in
+  push "open";
+  push
+    "constraint one_team: ex:playsFor(x, y)@t ^ ex:playsFor(x, z)@t2 ^ y != \
+     z => disjoint(t, t2) .";
+  for _ = 1 to 5 do
+    let f = fact () in
+    push ("assert " ^ f);
+    live := f :: !live
+  done;
+  push "resolve";
+  for _ = 1 to ops do
+    match Prng.int rng 6 with
+    | 0 | 1 ->
+        let f = fact () in
+        push ("assert " ^ f);
+        live := f :: !live
+    | 2 -> (
+        match !live with
+        | [] -> ()
+        | l ->
+            let f = List.nth l (Prng.int rng (List.length l)) in
+            push ("retract " ^ f);
+            live := List.filter (fun x -> x <> f) l)
+    | 3 ->
+        if !rule_on then begin
+          push "unrule t_worksfor";
+          rule_on := false
+        end
+        else begin
+          push
+            "rule t_worksfor 1.5: ex:playsFor(x, y)@t => ex:worksFor(x, y)@t .";
+          rule_on := true
+        end
+    | _ -> push "resolve"
+  done;
+  push "resolve";
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* The local oracle: the same line applied directly to a Session        *)
+(* ------------------------------------------------------------------ *)
+
+let mirror_exec session line =
+  if line = "open" then begin
+    Session.load_graph session (Kg.Graph.create ());
+    Ok ()
+  end
+  else
+    match Tecore.Script.parse_command ~path:"wire" ~line:1 line with
+    | Error e -> Error e.Tecore.Script.message
+    | Ok None -> Error "empty"
+    | Ok (Some located) -> (
+        let quad payload k =
+          match Kg.Nquads.parse_quad (Session.namespace session) payload with
+          | Error m -> Error m
+          | Ok q -> k q
+        in
+        match located.Tecore.Script.cmd with
+        | Tecore.Script.Assert_ p ->
+            quad p (fun q ->
+                Result.map ignore
+                  (Result.map_error Session.error_message
+                     (Session.assert_fact session q)))
+        | Tecore.Script.Retract p ->
+            quad p (fun q ->
+                Result.map ignore
+                  (Result.map_error Session.error_message
+                     (Session.retract session q)))
+        | Tecore.Script.Rule src ->
+            Result.map ignore (Session.add_rules session src)
+        | Tecore.Script.Unrule name ->
+            if Session.remove_rule session name then Ok ()
+            else Error "no such rule"
+        | Tecore.Script.Load _ | Tecore.Script.Resolve _ | Tecore.Script.Diff
+          ->
+            Alcotest.failf "mirror_exec does not handle %S" line)
+
+let resolution_payload session (r : Engine.result) =
+  let s =
+    Tecore.Json_out.of_resolution
+      ~namespace:(Session.namespace session)
+      r.Engine.resolution
+  in
+  match Obs.Json.parse s with
+  | Ok j -> Obs.Json.to_string j
+  | Error e -> Alcotest.failf "local resolution JSON does not parse: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Differential run                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_differential ~name ~engine ~seed ~ops () =
+  let config = { Serve.default_config with Serve.engine } in
+  let server = Serve.start ~config (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      let c = connect server in
+      ignore (expect_ok "hello" (request c ("hello diff-" ^ name)));
+      let session = Session.create () in
+      let resolves = ref 0 in
+      List.iter
+        (fun line ->
+          let resp = request c line in
+          match Tecore.Script.parse_command ~path:"wire" ~line:1 line with
+          | Ok (Some { Tecore.Script.cmd = Tecore.Script.Resolve mode; _ })
+            -> (
+              incr resolves;
+              let sj = expect_ok line resp in
+              match Session.resolve ~engine ~mode session with
+              | Error e ->
+                  Alcotest.failf "local resolve failed: %s"
+                    (Session.error_message e)
+              | Ok r ->
+                  let local_objective = r.Engine.stats.Engine.objective in
+                  if num_field sj "objective" <> local_objective then
+                    Alcotest.failf
+                      "objective diverged on %S: server %.17g, local %.17g"
+                      line
+                      (num_field sj "objective")
+                      local_objective;
+                  Alcotest.(check string)
+                    "status"
+                    (Prelude.Deadline.status_name r.Engine.stats.Engine.status)
+                    (str_field sj "status");
+                  Alcotest.(check string)
+                    "cache outcome"
+                    (Engine.outcome_name
+                       (Option.get (Session.cache_outcome session)))
+                    (str_field sj "cache");
+                  (* The full resolution payload, byte for byte. *)
+                  let rj = expect_ok "result" (request c "result") in
+                  let server_payload =
+                    match List.assoc_opt "resolution" (fields rj) with
+                    | Some j -> Obs.Json.to_string j
+                    | None -> Alcotest.fail "result carries no resolution"
+                  in
+                  Alcotest.(check string)
+                    "resolution payload" (resolution_payload session r)
+                    server_payload)
+          | _ -> (
+              let local = mirror_exec session line in
+              match (parse_response resp, local) with
+              | `Ok _, Ok () -> ()
+              | `Err _, Error _ -> ()
+              | `Ok _, Error m ->
+                  Alcotest.failf "server accepted %S but oracle failed: %s"
+                    line m
+              | `Err j, Ok () ->
+                  Alcotest.failf "server refused %S accepted by oracle: %s"
+                    line (Obs.Json.to_string j)))
+        (gen_script ~seed ~ops);
+      if !resolves < 2 then Alcotest.fail "script exercised < 2 resolves";
+      close c)
+
+(* The full backend matrix of test_incremental, over the wire. Instance
+   sizes stay tiny so the exact backends finish their search. *)
+let engines =
+  let mln = Mln.Map_inference.default_options in
+  [
+    ("mln-walk-cpi", Engine.Mln mln, 16);
+    ("mln-walk", Engine.Mln { mln with Mln.Map_inference.use_cpi = false }, 16);
+    ( "mln-ilp",
+      Engine.Mln
+        {
+          mln with
+          Mln.Map_inference.solver = Mln.Map_inference.Ilp_exact;
+          use_cpi = false;
+        },
+      8 );
+    ( "mln-bb",
+      Engine.Mln
+        {
+          mln with
+          Mln.Map_inference.solver = Mln.Map_inference.Exact_bb;
+          use_cpi = false;
+        },
+      8 );
+    ("psl", Engine.Psl Psl.Npsl.default_options, 16);
+  ]
+
+let differential_tests =
+  List.concat_map
+    (fun (name, engine, ops) ->
+      List.map
+        (fun seed ->
+          Alcotest.test_case
+            (Printf.sprintf "server = session (%s, seed %d)" name seed)
+            `Quick
+            (run_differential ~name ~engine ~seed ~ops))
+        [ 11; 42 ])
+    engines
+
+(* ------------------------------------------------------------------ *)
+(* Warm path                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Repeated 1-fact edits through the server must ride the incremental
+   caches: every post-edit resolve replays the cached grounding
+   (replay), every no-edit resolve is a pure hit, and nothing falls back
+   to a fresh run. *)
+let test_warm_path () =
+  let server = Serve.start (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      let c = connect server in
+      let ok line = expect_ok line (request c line) in
+      ignore (ok "hello warm");
+      ignore (ok "open");
+      ignore
+        (ok
+           "constraint one_team: ex:playsFor(x, y)@t ^ ex:playsFor(x, z)@t2 \
+            ^ y != z => disjoint(t, t2) .");
+      for i = 1 to 4 do
+        ignore
+          (ok
+             (Printf.sprintf "assert ex:P%d ex:playsFor ex:T0 [%d,%d] 0.8 ."
+                i (1990 + i) (1995 + i)))
+      done;
+      ignore (ok "resolve");
+      for i = 1 to 8 do
+        ignore
+          (ok
+             (Printf.sprintf "assert ex:P1 ex:playsFor ex:T1 [%d,%d] 0.6 ."
+                (2000 + i) (2001 + i)));
+        let sj = ok "resolve" in
+        Alcotest.(check string)
+          "1-fact edit replays the cached grounding" "replay"
+          (str_field sj "cache");
+        let hj = ok "resolve" in
+        Alcotest.(check string)
+          "unchanged resolve is a cache hit" "hit" (str_field hj "cache")
+      done;
+      close c)
+
+(* ------------------------------------------------------------------ *)
+(* Live metrics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_validate () =
+  let server = Serve.start (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      let c = connect server in
+      ignore (expect_ok "ping" (request c "ping"));
+      ignore (expect_ok "hello" (request c "hello metrics-probe"));
+      let j = expect_ok "metrics" (request c "metrics") in
+      let text = str_field j "metrics" in
+      (match Obs.Export.validate_metrics text with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid OpenMetrics exposition: %s" e);
+      let has_line prefix =
+        List.exists
+          (fun l ->
+            String.length l >= String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix)
+          (String.split_on_char '\n' text)
+      in
+      Alcotest.(check bool) "sessions gauge" true
+        (has_line "serve_sessions_open 1");
+      Alcotest.(check bool) "queue depth gauge" true
+        (has_line "serve_queue_depth 0");
+      Alcotest.(check bool) "requests counter" true
+        (has_line "serve_requests_total{outcome=\"ok\"}");
+      Alcotest.(check bool) "shed counter" true (has_line "serve_shed_total 0");
+      close c)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("differential oracle", differential_tests);
+      ( "warm path",
+        [ Alcotest.test_case "1-fact edits stay cached" `Quick test_warm_path ]
+      );
+      ( "metrics",
+        [
+          Alcotest.test_case "live exposition validates" `Quick
+            test_metrics_validate;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Concurrency and isolation for [tecore serve].
+
+   K clients drive K independent sessions through one live server at the
+   same time, each with its own deterministic edit script. The whole
+   exercise is then replayed sequentially (one client after another)
+   against a second server: per-session isolation and determinism mean
+   every client's transcript — every response byte, including resolve
+   summaries and error locations — must be identical in both runs,
+   regardless of how the concurrent run interleaved. A second case pins
+   the same property with 4 worker domains in the shared pool. *)
+
+module Prng = Prelude.Prng
+
+let () = Prelude.Deadline.Faults.clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Loopback client                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type client = { fd : Unix.file_descr; ic : in_channel }
+
+let connect server =
+  let fd = Serve.connect server in
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let close client = close_in_noerr client.ic
+
+let request client line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write client.fd b off (n - off))
+  in
+  go 0;
+  match input_line client.ic with
+  | resp -> resp
+  | exception End_of_file ->
+      Alcotest.failf "connection closed after %S" line
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic per-client scripts                                    *)
+(* ------------------------------------------------------------------ *)
+
+let gen_script ~seed ~ops =
+  let rng = Prng.create seed in
+  let serial = ref 0 in
+  let fact () =
+    incr serial;
+    let lo = 1900 + !serial in
+    Printf.sprintf "ex:P%d ex:playsFor ex:T%d [%d,%d] 0.%d ."
+      (Prng.int rng 4) (Prng.int rng 3) lo
+      (lo + 1 + Prng.int rng 4)
+      (5 + Prng.int rng 5)
+  in
+  let live = ref [] in
+  let out = ref [] in
+  let push l = out := l :: !out in
+  push "open";
+  push
+    "constraint one_team: ex:playsFor(x, y)@t ^ ex:playsFor(x, z)@t2 ^ y != \
+     z => disjoint(t, t2) .";
+  for _ = 1 to 4 do
+    let f = fact () in
+    push ("assert " ^ f);
+    live := f :: !live
+  done;
+  push "resolve";
+  for _ = 1 to ops do
+    match Prng.int rng 5 with
+    | 0 | 1 ->
+        let f = fact () in
+        push ("assert " ^ f);
+        live := f :: !live
+    | 2 -> (
+        match !live with
+        | [] -> ()
+        | l ->
+            let f = List.nth l (Prng.int rng (List.length l)) in
+            push ("retract " ^ f);
+            live := List.filter (fun x -> x <> f) l)
+    | _ -> push "resolve"
+  done;
+  push "resolve";
+  push "stat";
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* The exercise                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Run every script against a fresh server and return one transcript per
+   client: the request/response lines in order. [concurrent] runs one
+   thread per client over simultaneous connections; otherwise the same
+   scripts run one client after another. *)
+let run_exercise ~jobs ~concurrent scripts =
+  let config = { Serve.default_config with Serve.jobs } in
+  let server = Serve.start ~config (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      let run_one i script =
+        let c = connect server in
+        let transcript = ref [] in
+        let req line = transcript := request c line :: !transcript in
+        req (Printf.sprintf "hello client-%d" i);
+        List.iter req script;
+        close c;
+        List.rev !transcript
+      in
+      let results =
+        if concurrent then begin
+          let out = Array.make (List.length scripts) [] in
+          let threads =
+            List.mapi
+              (fun i script ->
+                Thread.create (fun () -> out.(i) <- run_one i script) ())
+              scripts
+          in
+          List.iter Thread.join threads;
+          Array.to_list out
+        end
+        else List.mapi run_one scripts
+      in
+      Alcotest.(check int)
+        "one session per client" (List.length scripts)
+        (Serve.sessions_open server);
+      Alcotest.(check int) "nothing shed" 0 (Serve.shed_count server);
+      results)
+
+let check_interleaving ~jobs () =
+  let scripts = List.init 5 (fun i -> gen_script ~seed:(100 + i) ~ops:8) in
+  let concurrent = run_exercise ~jobs ~concurrent:true scripts in
+  let sequential = run_exercise ~jobs ~concurrent:false scripts in
+  List.iteri
+    (fun i (got, want) ->
+      List.iteri
+        (fun j (g, w) ->
+          if g <> w then
+            Alcotest.failf
+              "client %d diverged at response %d under concurrency:\n\
+               concurrent: %s\nsequential: %s"
+              i j g w)
+        (List.combine got want))
+    (List.combine concurrent sequential)
+
+(* Interleaved edits on ONE shared session id still serialize: the final
+   stat (facts, rules) must equal what K sequential clients would leave
+   behind, whatever the interleaving — each connection's edits are
+   applied under the session lock, and counting is order-independent. *)
+let test_shared_session () =
+  let server = Serve.start (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      let k = 4 and per_client = 6 in
+      let setup = connect server in
+      ignore (request setup "hello shared");
+      ignore (request setup "open");
+      let threads =
+        List.init k (fun i ->
+            Thread.create
+              (fun () ->
+                let c = connect server in
+                ignore (request c "hello shared");
+                for j = 1 to per_client do
+                  let lo = 1900 + (100 * i) + j in
+                  ignore
+                    (request c
+                       (Printf.sprintf
+                          "assert ex:P%d ex:playsFor ex:T%d [%d,%d] 0.7 ." i i
+                          lo (lo + 1)))
+                done;
+                close c)
+              ())
+      in
+      List.iter Thread.join threads;
+      let stat = request setup "stat" in
+      let expected = Printf.sprintf "\"facts\":%d" (k * per_client) in
+      let contains affix =
+        let n = String.length affix in
+        let rec go i =
+          i + n <= String.length stat
+          && (String.sub stat i n = affix || go (i + 1))
+        in
+        go 0
+      in
+      if not (contains expected) then
+        Alcotest.failf "expected %s in final stat %s" expected stat;
+      Alcotest.(check int) "one shared session" 1
+        (Serve.sessions_open server);
+      close setup)
+
+let () =
+  Alcotest.run "serve-concurrent"
+    [
+      ( "isolation",
+        [
+          Alcotest.test_case "K interleaved clients = sequential replay"
+            `Quick
+            (check_interleaving ~jobs:None);
+          Alcotest.test_case "same under 4 worker domains" `Quick
+            (check_interleaving ~jobs:(Some 4));
+          Alcotest.test_case "interleaved edits on one shared session"
+            `Quick test_shared_session;
+        ] );
+    ]
