@@ -762,24 +762,25 @@ let serve_listen socket port : Serve.listen =
   | None, Some p -> `Tcp p
   | None, None -> `Tcp 0
 
-let serve_config engine jobs queue timeout allow_shutdown =
+let serve_config engine jobs queue timeout max_sessions allow_shutdown =
   {
     Serve.default_config with
     Serve.engine;
     jobs;
     queue_cap = queue;
     request_timeout_ms = Option.map (fun s -> s *. 1000.) timeout;
+    max_sessions;
     allow_shutdown;
   }
 
-let serve_run socket port engine jobs queue timeout script =
+let serve_run socket port engine jobs queue timeout max_sessions script =
   handle (fun () ->
       match script with
       | Some script_file ->
           (* Scripted mode: in-process server, loopback driver, determin-
              istic transcript (golden-tested in data/serve_*.golden). *)
           let text = read_file script_file in
-          let config = serve_config engine jobs queue timeout false in
+          let config = serve_config engine jobs queue timeout max_sessions false in
           let server =
             try Serve.start ~config (serve_listen socket port)
             with Unix.Unix_error (e, _, _) ->
@@ -795,7 +796,7 @@ let serve_run socket port engine jobs queue timeout script =
           | Ok () -> ()
           | Error e -> failwith (Format.asprintf "%a" Tecore.Script.pp_error e))
       | None ->
-          let config = serve_config engine jobs queue timeout true in
+          let config = serve_config engine jobs queue timeout max_sessions true in
           let server =
             try Serve.start ~config (serve_listen socket port)
             with Unix.Unix_error (e, _, _) ->
@@ -849,6 +850,17 @@ let serve_cmd =
              remainder disciplines the solve itself. Note a finite \
              budget bypasses the incremental caches.")
   in
+  let max_sessions =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Session-registry bound: when a $(b,hello) would create a \
+             session past N, the least-recently-used session is evicted \
+             and connections still attached to it get a typed \
+             $(b,evicted) error on their next use. Unbounded by \
+             default.")
+  in
   let script =
     Arg.(
       value & opt (some string) None
@@ -879,7 +891,7 @@ let serve_cmd =
          ])
     Term.(
       const serve_run $ socket_arg $ port_arg $ engine_arg $ jobs_arg
-      $ queue $ timeout $ script)
+      $ queue $ timeout $ max_sessions $ script)
 
 (* ------------------------------------------------------------------ *)
 

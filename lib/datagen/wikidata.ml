@@ -175,6 +175,21 @@ let generate ?(seed = 2) ?(total_facts = 63_000) ?(conflict_rate = 0.0) () =
   in
   { graph; planted = List.rev !planted; relation_counts }
 
+(* Named scale regimes for the million-fact benchmarks: generation
+   parameters are pinned here so the memory/speedup gates in [bench par]
+   always measure the same corpus the committed row-oriented baselines
+   were measured on (seed 2, 1 % planted conflicts). *)
+let regimes = [ ("1e5", 100_000); ("1e6", 1_000_000) ]
+
+let generate_regime ?(seed = 2) name =
+  match List.assoc_opt name regimes with
+  | Some total_facts -> generate ~seed ~total_facts ~conflict_rate:0.01 ()
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Wikidata.generate_regime: unknown regime %s (known: %s)"
+           name
+           (String.concat ", " (List.map fst regimes)))
+
 let parse_rules src =
   match Rulelang.Parser.parse_string src with
   | Ok rules -> rules

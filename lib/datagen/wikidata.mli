@@ -23,6 +23,17 @@ val generate :
 (** Defaults: [seed = 2], [total_facts = 63_000] (the paper's corpus at
     1:100), [conflict_rate = 0.0]. *)
 
+val regimes : (string * int) list
+(** Named scale regimes for the million-fact benchmarks:
+    [("1e5", 100_000); ("1e6", 1_000_000)]. *)
+
+val generate_regime : ?seed:int -> string -> dataset
+(** [generate_regime name] pins the generation parameters of a named
+    regime (default [seed = 2], 1 % planted conflicts) so benchmark
+    gates always measure the corpus their committed baselines were
+    measured on.
+    @raise Invalid_argument for an unknown regime name. *)
+
 val constraints : unit -> Logic.Rule.t list
 (** - [wd_one_club]: one club at a time (hard);
     - [wd_one_spouse]: one spouse at a time (hard);

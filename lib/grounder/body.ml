@@ -39,99 +39,122 @@ let subst_of_row table =
               | None -> None)
       (Some Logic.Subst.empty) typed
 
+(* Compile a batch of conditions against a column layout into a filter
+   over code rows. [conds] are [(cond, expected)] pairs: body conditions
+   expect [true] (keep rows where the condition holds — [None] drops,
+   matching eager evaluation); a pushed-down constraint-head condition
+   expects [false] (drop only the rows that provably satisfy it, so a
+   non-evaluable head still reaches the instance phase and raises there
+   exactly as the eager path does). Only the columns the conditions
+   actually mention are decoded. *)
+let compile_conditions cols conds =
+  let positions = List.mapi (fun i c -> (c, i)) cols in
+  let needed =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (cond, _) ->
+           List.map (fun v -> `V v) (Logic.Cond.vars cond)
+           @ List.map (fun v -> `T v) (Logic.Cond.tvars cond))
+         conds)
+  in
+  let slots =
+    List.map
+      (fun need ->
+        match need with
+        | `V v -> (need, List.assoc (var_col v) positions)
+        | `T v -> (need, List.assoc (tvar_col v) positions))
+      needed
+  in
+  fun (codes : Value.code array) ->
+    let subst =
+      List.fold_left
+        (fun subst (need, i) ->
+          match subst with
+          | None -> None
+          | Some s -> (
+              match need with
+              | `V v -> (
+                  match Value.decode_term codes.(i) with
+                  | Some term -> Logic.Subst.bind s v term
+                  | None -> None)
+              | `T v -> (
+                  match Value.decode_interval codes.(i) with
+                  | Some iv -> Logic.Subst.bind_time s v iv
+                  | None -> None)))
+        (Some Logic.Subst.empty) slots
+    in
+    match subst with
+    | None -> false
+    | Some s ->
+        List.for_all
+          (fun (cond, expected) ->
+            if expected then Logic.Cond.eval s cond = Some true
+            else Logic.Cond.eval s cond <> Some true)
+          conds
+
+(* A condition is ready once every variable it mentions has a column. *)
+let split_ready cols pending =
+  List.partition
+    (fun (cond, _) ->
+      List.for_all (fun v -> List.mem (var_col v) cols) (Logic.Cond.vars cond)
+      && List.for_all
+           (fun v -> List.mem (tvar_col v) cols)
+           (Logic.Cond.tvars cond))
+    pending
+
 (* Transform one body atom's extension table into a bindings fragment:
-   select constants and intra-atom repeated variables, then rename
-   argument columns to variable columns and keep one column per variable
-   plus the atom-id column. *)
+   one fused columnar pass selects constants and intra-atom repeated
+   variables, renames argument columns to variable columns and keeps
+   one column per variable plus the atom-id column. *)
 let atom_fragment store index (atom : Logic.Atom.t) =
-  let arity = List.length atom.args in
   let temporal = Option.is_some atom.time in
+  let arity = List.length atom.args in
   match Atom_store.table_for store atom.predicate ~arity ~temporal with
   | None -> None
   | Some table ->
-      (* Positions of each argument column, with the pattern term. *)
-      let arg_cols = List.mapi (fun j term -> (Printf.sprintf "a%d" j, term)) atom.args in
-      (* First column for each variable; later occurrences filter. *)
       let first_of_var = Hashtbl.create 8 in
-      let renames = ref [] in
       let keep = ref [] in
       let filters = ref [] in
-      List.iter
-        (fun (col, term) ->
+      let unmatchable = ref false in
+      List.iteri
+        (fun j term ->
           match term with
-          | Logic.Lterm.Const c ->
-              let want = Value.term c in
-              filters := (col, `Equals want) :: !filters
+          | Logic.Lterm.Const c -> (
+              match Value.code_opt (Value.term c) with
+              | Some code -> filters := `Eq (j, code) :: !filters
+              | None -> unmatchable := true)
           | Logic.Lterm.Var v -> (
               match Hashtbl.find_opt first_of_var v with
               | None ->
-                  Hashtbl.replace first_of_var v col;
-                  renames := (col, var_col v) :: !renames;
-                  keep := var_col v :: !keep
-              | Some first -> filters := (col, `Same_as first) :: !filters))
-        arg_cols;
+                  Hashtbl.replace first_of_var v j;
+                  keep := (j, var_col v) :: !keep
+              | Some first -> filters := `Same (j, first) :: !filters))
+        atom.args;
+      let tcol = arity in
       (match atom.time with
       | None -> ()
-      | Some (Logic.Lterm.Tvar v) ->
-          renames := ("t", tvar_col v) :: !renames;
-          keep := tvar_col v :: !keep
-      | Some (Logic.Lterm.Tconst i) ->
-          filters := ("t", `Equals (Value.interval i)) :: !filters
+      | Some (Logic.Lterm.Tvar v) -> keep := (tcol, tvar_col v) :: !keep
+      | Some (Logic.Lterm.Tconst i) -> (
+          match Value.code_opt (Value.interval i) with
+          | Some code -> filters := `Eq (tcol, code) :: !filters
+          | None -> unmatchable := true)
       | Some (Logic.Lterm.Tinter _ | Logic.Lterm.Thull _) ->
           invalid_arg
             (Printf.sprintf
                "body atom %s: computed intervals are not allowed in bodies"
                atom.predicate));
-      renames := ("atom", atom_col index) :: !renames;
-      keep := atom_col index :: !keep;
-      let filters = !filters in
-      let selected =
-        if filters = [] then table
-        else begin
-          let compiled =
-            List.map
-              (fun (col, test) ->
-                let i = Table.column_index table col in
-                match test with
-                | `Equals v -> fun (row : Table.row) -> Value.equal row.(i) v
-                | `Same_as other ->
-                    let j = Table.column_index table other in
-                    fun (row : Table.row) -> Value.equal row.(i) row.(j))
-              filters
-          in
-          Relalg.select (fun row -> List.for_all (fun p -> p row) compiled) table
-        end
-      in
-      let renamed = Relalg.rename !renames selected in
-      Some (Relalg.project (List.rev !keep) renamed)
-
-(* Conditions become selections once all their variables are bound. *)
-let apply_ready_conditions bound pending table =
-  let ready, still_pending =
-    List.partition
-      (fun cond ->
-        List.for_all (fun v -> List.mem (var_col v) bound) (Logic.Cond.vars cond)
-        && List.for_all
-             (fun v -> List.mem (tvar_col v) bound)
-             (Logic.Cond.tvars cond))
-      pending
-  in
-  if ready = [] then (table, still_pending)
-  else begin
-    let to_subst = subst_of_row table in
-    let filtered =
-      Relalg.select
-        (fun row ->
-          match to_subst row with
-          | None -> false
-          | Some s ->
-              List.for_all
-                (fun cond -> Logic.Cond.eval s cond = Some true)
-                ready)
-        table
-    in
-    (filtered, still_pending)
-  end
+      keep := (arity + 1, atom_col index) :: !keep;
+      if !unmatchable then
+        (* A constant that was never interned occurs in no table. *)
+        Some
+          (Table.create
+             ~name:(Table.name table ^ "'")
+             ~columns:(List.map snd (List.rev !keep)))
+      else
+        Some
+          (Relalg.filter_project table
+             ~name:(Table.name table ^ "'")
+             ~filters:(List.rev !filters) ~keep:(List.rev !keep))
 
 (* Join-order heuristic: fold the most selective fragments first.
    Greedy: start from the smallest extension, then repeatedly take the
@@ -139,7 +162,13 @@ let apply_ready_conditions bound pending table =
    bound (falling back to the overall smallest when the join graph is
    disconnected and a product is unavoidable). Original body position
    breaks ties, and [atom_col] keeps the original position, so the
-   produced bindings are order-insensitive. *)
+   produced bindings are order-insensitive.
+
+   The size of an atom's fragment is not estimated: post-interning, the
+   extension tables keep per-value occurrence counts, so an atom with a
+   constant argument reads its actual cardinality in O(1) —
+   [playsFor(x, Chelsea)@t] costs [count(a1 = Chelsea)] rows, not
+   [count(playsFor)]. *)
 let atom_cardinality store (atom : Logic.Atom.t) =
   match
     Atom_store.table_for store atom.predicate
@@ -147,7 +176,24 @@ let atom_cardinality store (atom : Logic.Atom.t) =
       ~temporal:(Option.is_some atom.time)
   with
   | None -> 0
-  | Some table -> Table.cardinal table
+  | Some table ->
+      let narrow acc col value =
+        match Value.code_opt value with
+        | None -> 0
+        | Some code -> min acc (Table.count_for table ~col ~code)
+      in
+      let card = ref (Table.cardinal table) in
+      List.iteri
+        (fun j term ->
+          match term with
+          | Logic.Lterm.Const c -> card := narrow !card j (Value.term c)
+          | Logic.Lterm.Var _ -> ())
+        atom.args;
+      (match atom.time with
+      | Some (Logic.Lterm.Tconst i) ->
+          card := narrow !card (List.length atom.args) (Value.interval i)
+      | _ -> ());
+      !card
 
 let atom_vars (atom : Logic.Atom.t) =
   let term_vars =
@@ -188,7 +234,19 @@ let join_order store (rule : Logic.Rule.t) =
   in
   pick [] [] items
 
-let all store (rule : Logic.Rule.t) =
+(* Evaluate the body as a left-deep join over the fragments, pushing
+   conditions down into the first join (or scan) where all their
+   variables are bound: the join's emit path evaluates them on the
+   assembled row and rejected rows are never stored. [violation] is the
+   head condition of a constraint rule with the polarity flipped — with
+   it, combinations that satisfy the constraint never materialise, and
+   every produced binding is a violation. *)
+let plan ?(pool = Prelude.Pool.sequential) ?violation store
+    (rule : Logic.Rule.t) =
+  let pending0 =
+    List.map (fun c -> (c, true)) rule.conditions
+    @ match violation with Some c -> [ (c, false) ] | None -> []
+  in
   let rec loop acc pending = function
     | [] -> (acc, pending)
     | (index, atom) :: rest -> (
@@ -198,9 +256,29 @@ let all store (rule : Logic.Rule.t) =
             match acc with
             | None -> (None, pending)
             | Some bindings ->
+                let is_start =
+                  Table.cardinal bindings = 0 && Table.columns bindings = []
+                in
+                let out_cols =
+                  if is_start then Table.columns fragment
+                  else
+                    let bcols = Table.columns bindings in
+                    bcols
+                    @ List.filter
+                        (fun c -> not (List.mem c bcols))
+                        (Table.columns fragment)
+                in
+                let ready, still_pending = split_ready out_cols pending in
+                let filter =
+                  match ready with
+                  | [] -> None
+                  | _ -> Some (compile_conditions out_cols ready)
+                in
                 let joined =
-                  if Table.cardinal bindings = 0 && Table.columns bindings = []
-                  then fragment
+                  if is_start then
+                    match filter with
+                    | None -> fragment
+                    | Some f -> Relalg.select_codes f fragment
                   else begin
                     let shared =
                       List.filter
@@ -209,33 +287,45 @@ let all store (rule : Logic.Rule.t) =
                           && List.mem c (Table.columns bindings))
                         (Table.columns fragment)
                     in
-                    if shared = [] then Relalg.product bindings fragment
+                    if shared = [] then Relalg.product ?filter bindings fragment
                     else
-                      Relalg.hash_join
+                      Relalg.hash_join ~pool ?filter
                         ~on:(List.map (fun c -> (c, c)) shared)
                         bindings fragment
                   end
                 in
-                let bound = Table.columns joined in
-                let joined, pending =
-                  apply_ready_conditions bound pending joined
-                in
-                if Table.cardinal joined = 0 then (None, pending)
-                else loop (Some joined) pending rest))
+                if Table.cardinal joined = 0 then (None, still_pending)
+                else loop (Some joined) still_pending rest))
   in
   let start = Table.create ~name:"empty" ~columns:[] in
-  let result, pending = loop (Some start) rule.conditions (join_order store rule) in
+  let result, pending =
+    loop (Some start)
+      pending0
+      (join_order store rule)
+  in
   match result with
-  | None -> []
+  | None -> None
   | Some bindings ->
       (match pending with
       | [] -> ()
-      | c :: _ ->
+      | (c, _) :: _ ->
           (* Rule.make validates safety, so this is unreachable for rules
              built through the public API. *)
           invalid_arg
             (Format.asprintf "rule %s: condition %a has unbound variables"
                rule.name Logic.Cond.pp c));
+      Some bindings
+
+(* Stream the bindings straight out of the joined table: the table is
+   fully materialised before the first [f] call, so a callback that
+   interns new atoms (and thereby grows the extension tables) cannot
+   perturb the iteration. At 10^6-fact scale this is what keeps the
+   per-binding [Subst] records transient instead of pinned in a
+   million-element list. *)
+let fold ?pool ?violation store (rule : Logic.Rule.t) ~init ~f =
+  match plan ?pool ?violation store rule with
+  | None -> init
+  | Some bindings ->
       let to_subst = subst_of_row bindings in
       let atom_positions =
         List.mapi (fun i _ -> Table.column_index bindings (atom_col i)) rule.body
@@ -253,6 +343,9 @@ let all store (rule : Logic.Rule.t) =
                     | None -> assert false)
                   atom_positions
               in
-              { subst; body_atoms } :: acc)
-        [] bindings
-      |> List.rev
+              f acc { subst; body_atoms })
+        init bindings
+
+let all ?pool ?violation store rule =
+  List.rev
+    (fold ?pool ?violation store rule ~init:[] ~f:(fun acc b -> b :: acc))

@@ -1,12 +1,15 @@
 (** Conjunctive-body evaluation over the atom store.
 
-    Grounds a rule's body by a left-to-right relational plan: each body
-    atom's extension table is filtered (constant arguments, repeated
-    variables, constant intervals), renamed to variable columns and
-    hash-joined with the bindings accumulated so far; numeric and Allen
-    conditions are applied as selections as soon as their variables are
-    bound. This is the RockIt grounding architecture with {!Reldb} in
-    place of SQL. *)
+    Grounds a rule's body by a selectivity-ordered relational plan: each
+    body atom's extension table becomes a bindings fragment in one fused
+    columnar pass (constant arguments, repeated variables and constant
+    intervals filter at the code level; argument columns are renamed to
+    variable columns), and the fragments are folded with partitioned
+    hash joins, smallest actual cardinality first. Numeric and Allen
+    conditions are compiled into the join's emit path at the first join
+    where their variables are bound, so rows they reject never
+    materialise. This is the RockIt grounding architecture with {!Reldb}
+    in place of SQL. *)
 
 type binding = {
   subst : Logic.Subst.t;
@@ -14,8 +17,38 @@ type binding = {
       (** ids of the ground atoms matched by the body, in body order *)
 }
 
-val all : Atom_store.t -> Logic.Rule.t -> binding list
+val all :
+  ?pool:Prelude.Pool.t ->
+  ?violation:Logic.Cond.t ->
+  Atom_store.t ->
+  Logic.Rule.t ->
+  binding list
 (** Every grounding of the rule's body whose conditions all hold.
+
+    [pool] parallelises the partitioned hash joins (default:
+    sequential; the result is bitwise identical at every job count).
+
+    [violation] — a constraint rule's head condition — is pushed into
+    the joins with flipped polarity: bindings that provably satisfy it
+    are dropped inside the join, so the returned bindings are exactly
+    the constraint's violations (plus any binding where the condition
+    is not evaluable, which the caller surfaces as an error).
 
     @raise Invalid_argument when a body atom carries a computed temporal
     term ([Tinter]/[Thull] are only meaningful in heads and conditions). *)
+
+val fold :
+  ?pool:Prelude.Pool.t ->
+  ?violation:Logic.Cond.t ->
+  Atom_store.t ->
+  Logic.Rule.t ->
+  init:'a ->
+  f:('a -> binding -> 'a) ->
+  'a
+(** Streaming variant of {!all}: folds [f] over the bindings in the
+    same order without materialising the list. The joined bindings
+    table is complete before the first [f] call, so [f] may intern new
+    atoms into the store (growing the extension tables) without
+    perturbing the iteration — this is how the closure and instance
+    phases keep million-row groundings from pinning a million [Subst]
+    records. [all] is [fold] collecting into a list. *)

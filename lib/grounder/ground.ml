@@ -40,8 +40,8 @@ let head_atom (rule : Logic.Rule.t) =
    deadline is polled between rounds — a completed round is the safe
    point: stopping mid-round would leave the extension tables ahead of
    [derived]. *)
-let closure ?(max_rounds = 50) ?(deadline = Prelude.Deadline.none) ?log store
-    rules =
+let closure ?(max_rounds = 50) ?(deadline = Prelude.Deadline.none)
+    ?(pool = Prelude.Pool.sequential) ?log store rules =
   let inference = List.filter Logic.Rule.is_inference rules in
   let n_inference = List.length inference in
   let derived = ref [] in
@@ -67,28 +67,30 @@ let closure ?(max_rounds = 50) ?(deadline = Prelude.Deadline.none) ?log store
         match head_atom rule with
         | None -> ()
         | Some head ->
-            let bindings = Body.all store rule in
-            Obs.count ~n:(List.length bindings) "ground.join_rows";
-            (* All instantiable head atoms of this round, in binding
-               order — not just the newly interned ones. The replay in
-               {!reground} re-decides interning dynamically, which is
-               what keeps it exact when a retraction makes an atom
-               internable that was already present last time. *)
-            let candidates =
-              List.filter_map
-                (fun { Body.subst; _ } ->
-                  Logic.Atom.instantiate subst head
-                  (* [None]: e.g. empty interval intersection *))
-                bindings
-            in
-            round_candidates.(ri) <- candidates;
-            List.iter
-              (fun ground ->
-                if Atom_store.find store ground = None then
-                  derived :=
-                    Atom_store.intern store Atom_store.Hidden ground
-                    :: !derived)
-              candidates)
+            (* Stream the bindings: each instantiable head atom (in
+               binding order — not just the newly interned ones) is
+               interned on the fly; the candidate list itself is only
+               accumulated when a recording caller asked for the log.
+               The replay in {!reground} re-decides interning
+               dynamically, which is what keeps it exact when a
+               retraction makes an atom internable that was already
+               present last time. *)
+            let rows = ref 0 in
+            let candidates_rev = ref [] in
+            Body.fold ~pool store rule ~init:()
+              ~f:(fun () { Body.subst; _ } ->
+                incr rows;
+                match Logic.Atom.instantiate subst head with
+                | None -> () (* e.g. empty interval intersection *)
+                | Some ground ->
+                    if log <> None then
+                      candidates_rev := ground :: !candidates_rev;
+                    if Atom_store.find store ground = None then
+                      derived :=
+                        Atom_store.intern store Atom_store.Hidden ground
+                        :: !derived);
+            Obs.count ~n:!rows "ground.join_rows";
+            round_candidates.(ri) <- List.rev !candidates_rev)
       inference;
     (match log with
     | None -> ()
@@ -101,57 +103,80 @@ let closure ?(max_rounds = 50) ?(deadline = Prelude.Deadline.none) ?log store
   let rounds = loop 1 in
   (List.rev !derived, rounds)
 
-let instances_of_bindings store (rule : Logic.Rule.t) bindings =
-  Obs.count ~n:(List.length bindings) "ground.join_rows";
-  List.filter_map
-    (fun { Body.subst; body_atoms } ->
-      match rule.head with
-      | Logic.Rule.Infer head -> (
-          match Logic.Atom.instantiate subst head with
-          | None -> None
-          | Some ground ->
-              let id = Atom_store.intern store Atom_store.Hidden ground in
-              Some { Instance.rule; body_atoms; head = Instance.Derives id })
-      | Logic.Rule.Require cond -> (
-          match Logic.Cond.eval subst cond with
-          | Some true -> Some { Instance.rule; body_atoms; head = Instance.Satisfied }
-          | Some false ->
-              Some { Instance.rule; body_atoms; head = Instance.Violated }
-          | None ->
-              invalid_arg
-                (Format.asprintf
-                   "rule %s: head condition %a not evaluable under %a"
-                   rule.name Logic.Cond.pp cond Logic.Subst.pp subst))
-      | Logic.Rule.Bottom ->
-          Some { Instance.rule; body_atoms; head = Instance.Violated })
-    bindings
+let instance_of_binding store (rule : Logic.Rule.t)
+    { Body.subst; body_atoms } =
+  match rule.head with
+  | Logic.Rule.Infer head -> (
+      match Logic.Atom.instantiate subst head with
+      | None -> None
+      | Some ground ->
+          let id = Atom_store.intern store Atom_store.Hidden ground in
+          Some { Instance.rule; body_atoms; head = Instance.Derives id })
+  | Logic.Rule.Require cond -> (
+      match Logic.Cond.eval subst cond with
+      | Some true -> Some { Instance.rule; body_atoms; head = Instance.Satisfied }
+      | Some false -> Some { Instance.rule; body_atoms; head = Instance.Violated }
+      | None ->
+          invalid_arg
+            (Format.asprintf "rule %s: head condition %a not evaluable under %a"
+               rule.name Logic.Cond.pp cond Logic.Subst.pp subst))
+  | Logic.Rule.Bottom ->
+      Some { Instance.rule; body_atoms; head = Instance.Violated }
 
 let emit_result_counters store (result : result) =
   Obs.count ~n:(List.length result.instances) "ground.instances";
   Obs.count ~n:(List.length result.derived) "ground.derived_atoms";
   Obs.count ~n:result.rounds "ground.rounds";
-  Obs.count ~n:(Atom_store.size store) "ground.atoms"
+  Obs.count ~n:(Atom_store.size store) "ground.atoms";
+  Obs.count ~n:(Kg.Symbol.terms_interned ()) "intern.terms";
+  Obs.count ~n:(Kg.Symbol.intervals_interned ()) "intern.intervals"
+
+(* One rule's instance-phase grounding, streamed. Under
+   [lazy_constraints], a constraint's head condition is pushed down into
+   the body joins with flipped polarity: combinations that satisfy the
+   constraint are vetoed inside the join and never materialise, so the
+   produced bindings are exactly the violations. The [Satisfied]
+   instances are therefore not produced in that mode — sound for the
+   engines (both network builders drop them) but visible in statistics,
+   hence opt-in. *)
+let instances_of_rule ~pool ~lazy_constraints store (rule : Logic.Rule.t) =
+  let violation =
+    match rule.head with
+    | Logic.Rule.Require cond when lazy_constraints -> Some cond
+    | _ -> None
+  in
+  let rows = ref 0 in
+  let instances_rev =
+    Body.fold ~pool ?violation store rule ~init:[] ~f:(fun acc binding ->
+        incr rows;
+        match instance_of_binding store rule binding with
+        | Some inst -> inst :: acc
+        | None -> acc)
+  in
+  Obs.count ~n:!rows "ground.join_rows";
+  List.rev instances_rev
 
 let run ?max_rounds ?(deadline = Prelude.Deadline.none)
-    ?(pool = Prelude.Pool.sequential) store rules =
+    ?(pool = Prelude.Pool.sequential) ?(lazy_constraints = false) store rules =
   let derived, rounds =
-    Obs.span "closure" (fun () -> closure ?max_rounds ~deadline store rules)
+    Obs.span "closure" (fun () ->
+        closure ?max_rounds ~deadline ~pool store rules)
   in
   if Prelude.Deadline.expired deadline then
     raise (Timed_out { atoms = Atom_store.size store; rounds });
   let instances =
-    (* The store is saturated, so the per-rule joins are read-only and
-       run on the pool; interning the results stays sequential in rule
-       order (every Infer head already exists at the fixpoint, so this
-       is lookup-only), which keeps atom-id assignment deterministic and
-       independent of the job count. The closure itself stays
-       sequential: its rounds interleave joins with interning, and that
-       interleaving defines the id order we must preserve. *)
+    (* Rules are grounded sequentially in rule order and the parallelism
+       lives inside each join (partitioned hash join on [pool]) — the
+       same pool must not be used at two nesting levels. Interning the
+       results stays sequential in rule order (every Infer head already
+       exists at the fixpoint, so this is lookup-only), which keeps
+       atom-id assignment deterministic and independent of the job
+       count. The closure's rounds interleave joins with interning, and
+       that interleaving defines the id order we must preserve. *)
     Obs.span "instances" (fun () ->
-        let all_bindings =
-          Prelude.Pool.map pool (fun rule -> Body.all store rule) rules
-        in
-        List.concat (List.map2 (instances_of_bindings store) rules all_bindings))
+        List.concat_map
+          (fun rule -> instances_of_rule ~pool ~lazy_constraints store rule)
+          rules)
   in
   let result = { instances; derived; rounds } in
   emit_result_counters store result;
@@ -172,20 +197,19 @@ type snapshot = {
 }
 
 let run_record ?max_rounds ?(deadline = Prelude.Deadline.none)
-    ?(pool = Prelude.Pool.sequential) store rules =
+    ?(pool = Prelude.Pool.sequential) ?(lazy_constraints = false) store rules =
   let log = ref [] in
   let derived, rounds =
     Obs.span "closure" (fun () ->
-        closure ?max_rounds ~deadline ~log store rules)
+        closure ?max_rounds ~deadline ~pool ~log store rules)
   in
   if Prelude.Deadline.expired deadline then
     raise (Timed_out { atoms = Atom_store.size store; rounds });
   let per_rule =
     Obs.span "instances" (fun () ->
-        let all_bindings =
-          Prelude.Pool.map pool (fun rule -> Body.all store rule) rules
-        in
-        List.map2 (instances_of_bindings store) rules all_bindings)
+        List.map
+          (fun rule -> instances_of_rule ~pool ~lazy_constraints store rule)
+          rules)
   in
   let result = { instances = List.concat per_rule; derived; rounds } in
   emit_result_counters store result;
@@ -230,7 +254,8 @@ let affected_rules ~delta rules =
 
 exception Replay_miss
 
-let reground ~snapshot ~affected ?(max_rounds = 50) store rules =
+let reground ~snapshot ~affected ?(max_rounds = 50)
+    ?(pool = Prelude.Pool.sequential) ?(lazy_constraints = false) store rules =
   let same_rules =
     List.length rules = List.length snapshot.snap_rules
     && List.for_all2
@@ -249,9 +274,12 @@ let reground ~snapshot ~affected ?(max_rounds = 50) store rules =
       match head_atom rule with
       | None -> []
       | Some head ->
-          List.filter_map
-            (fun { Body.subst; _ } -> Logic.Atom.instantiate subst head)
-            (Body.all store rule)
+          List.rev
+            (Body.fold ~pool store rule ~init:[]
+               ~f:(fun acc { Body.subst; _ } ->
+                 match Logic.Atom.instantiate subst head with
+                 | Some g -> g :: acc
+                 | None -> acc))
     in
     (* Replay the closure: affected rules re-join live against the new
        store; unaffected rules replay their recorded candidate streams
@@ -320,7 +348,7 @@ let reground ~snapshot ~affected ?(max_rounds = 50) store rules =
           List.map2
             (fun rule old_instances ->
               if affected rule then
-                instances_of_bindings store rule (Body.all store rule)
+                instances_of_rule ~pool ~lazy_constraints store rule
               else List.map remap_instance old_instances)
             rules snapshot.per_rule)
     with

@@ -42,14 +42,24 @@ val run :
   ?max_rounds:int ->
   ?deadline:Prelude.Deadline.t ->
   ?pool:Prelude.Pool.t ->
+  ?lazy_constraints:bool ->
   Atom_store.t ->
   Logic.Rule.t list ->
   result
-(** [pool] parallelises the per-rule grounding joins after the closure
-    (the closure itself is sequential — its rounds interleave joins with
-    atom interning); interning happens sequentially in rule order, so the
-    produced instances and atom ids are identical at every job count.
+(** [pool] parallelises the partitioned hash joins inside each rule's
+    grounding; rules themselves are processed sequentially in rule order
+    (the same pool cannot be nested), so the produced instances and atom
+    ids are identical at every job count.
     Default: {!Prelude.Pool.sequential}.
+
+    [lazy_constraints] (default [false]) pushes each constraint's head
+    condition down into its body joins with flipped polarity:
+    combinations that satisfy the constraint are vetoed inside the join
+    and never materialise, so only violations are produced. The
+    [Instance.Satisfied] instances disappear from the result in this
+    mode — both network builders discard them, so inference is
+    unchanged, but callers reading them for statistics must leave the
+    flag off.
 
     [deadline] (default {!Prelude.Deadline.none}) is polled between
     closure rounds and before the instance joins; expiry raises
@@ -81,6 +91,7 @@ val run_record :
   ?max_rounds:int ->
   ?deadline:Prelude.Deadline.t ->
   ?pool:Prelude.Pool.t ->
+  ?lazy_constraints:bool ->
   Atom_store.t ->
   Logic.Rule.t list ->
   result * snapshot
@@ -99,6 +110,8 @@ val reground :
   snapshot:snapshot ->
   affected:(Logic.Rule.t -> bool) ->
   ?max_rounds:int ->
+  ?pool:Prelude.Pool.t ->
+  ?lazy_constraints:bool ->
   Atom_store.t ->
   Logic.Rule.t list ->
   (result * snapshot) option
@@ -108,6 +121,8 @@ val reground :
     plus the snapshot for the next edit, or [None] when the replay
     cannot be proven exact (rule list changed, or a replayed instance
     references an atom the new store lacks); callers then fall back to
-    a fresh grounding.
+    a fresh grounding. Pass the same [lazy_constraints] value as the
+    recorded run: replayed rules reuse the recorded instance lists, so
+    mixing modes would mix semantics.
 
     @raise Failure when the replayed closure exceeds [max_rounds]. *)

@@ -16,14 +16,20 @@ end)
 
 type id = int
 
+(* The four lookup indexes are built lazily, on first use: the grounding
+   pipeline only ever streams a graph ([iter]), and at 10^6 facts the
+   subject/predicate tables, the (s, p) pair table and the per-predicate
+   interval trees together cost more resident memory than the quads
+   themselves. Sessions that actually edit pay the build once, on their
+   first point query; [add] keeps any already-built index up to date. *)
 type t = {
   quads : Quad.t Vec.t;
   alive : bool Vec.t;
   mutable live : int;
-  by_subject : id Vec.t Term_table.t;
-  by_predicate : id Vec.t Term_table.t;
-  by_sp : id Vec.t Pair_table.t;
-  mutable temporal : id Interval_tree.t Term_table.t;
+  mutable by_subject : id Vec.t Term_table.t option;
+  mutable by_predicate : id Vec.t Term_table.t option;
+  mutable by_sp : id Vec.t Pair_table.t option;
+  mutable temporal : id Interval_tree.t Term_table.t option;
 }
 
 let create () =
@@ -31,10 +37,10 @@ let create () =
     quads = Vec.create ();
     alive = Vec.create ();
     live = 0;
-    by_subject = Term_table.create 64;
-    by_predicate = Term_table.create 16;
-    by_sp = Pair_table.create 64;
-    temporal = Term_table.create 16;
+    by_subject = None;
+    by_predicate = None;
+    by_sp = None;
+    temporal = None;
   }
 
 let index_push table key id =
@@ -45,26 +51,71 @@ let index_push table key id =
       Vec.push vec id;
       Term_table.replace table key vec
 
+let sp_push table q id =
+  match Pair_table.find_opt table (q.Quad.subject, q.Quad.predicate) with
+  | Some vec -> Vec.push vec id
+  | None ->
+      let vec = Vec.create () in
+      Vec.push vec id;
+      Pair_table.replace table (q.Quad.subject, q.Quad.predicate) vec
+
+let temporal_push table q id =
+  let tree =
+    Option.value
+      (Term_table.find_opt table q.Quad.predicate)
+      ~default:Interval_tree.empty
+  in
+  Term_table.replace table q.Quad.predicate
+    (Interval_tree.add q.Quad.time id tree)
+
+(* Index builders cover dead quads too: [remove]/[restore] never touch
+   the indexes (liveness is checked at query time), so a lazily built
+   index must agree with one maintained incrementally since [create]. *)
+let subject_index t =
+  match t.by_subject with
+  | Some table -> table
+  | None ->
+      let table = Term_table.create 64 in
+      Vec.iteri (fun id q -> index_push table q.Quad.subject id) t.quads;
+      t.by_subject <- Some table;
+      table
+
+let predicate_index t =
+  match t.by_predicate with
+  | Some table -> table
+  | None ->
+      let table = Term_table.create 16 in
+      Vec.iteri (fun id q -> index_push table q.Quad.predicate id) t.quads;
+      t.by_predicate <- Some table;
+      table
+
+let sp_index t =
+  match t.by_sp with
+  | Some table -> table
+  | None ->
+      let table = Pair_table.create 64 in
+      Vec.iteri (fun id q -> sp_push table q id) t.quads;
+      t.by_sp <- Some table;
+      table
+
+let temporal_index t =
+  match t.temporal with
+  | Some table -> table
+  | None ->
+      let table = Term_table.create 16 in
+      Vec.iteri (fun id q -> temporal_push table q id) t.quads;
+      t.temporal <- Some table;
+      table
+
 let add t q =
   let id = Vec.length t.quads in
   Vec.push t.quads q;
   Vec.push t.alive true;
   t.live <- t.live + 1;
-  index_push t.by_subject q.Quad.subject id;
-  index_push t.by_predicate q.Quad.predicate id;
-  (match Pair_table.find_opt t.by_sp (q.Quad.subject, q.Quad.predicate) with
-  | Some vec -> Vec.push vec id
-  | None ->
-      let vec = Vec.create () in
-      Vec.push vec id;
-      Pair_table.replace t.by_sp (q.Quad.subject, q.Quad.predicate) vec);
-  let tree =
-    Option.value
-      (Term_table.find_opt t.temporal q.Quad.predicate)
-      ~default:Interval_tree.empty
-  in
-  Term_table.replace t.temporal q.Quad.predicate
-    (Interval_tree.add q.Quad.time id tree);
+  Option.iter (fun table -> index_push table q.Quad.subject id) t.by_subject;
+  Option.iter (fun table -> index_push table q.Quad.predicate id) t.by_predicate;
+  Option.iter (fun table -> sp_push table q id) t.by_sp;
+  Option.iter (fun table -> temporal_push table q id) t.temporal;
   id
 
 let check_id t id =
@@ -129,12 +180,12 @@ let live_of_index t table key =
              else acc)
            [] vec)
 
-let by_subject t s = live_of_index t t.by_subject s
+let by_subject t s = live_of_index t (subject_index t) s
 
-let by_predicate t p = live_of_index t t.by_predicate p
+let by_predicate t p = live_of_index t (predicate_index t) p
 
 let by_subject_predicate t s p =
-  match Pair_table.find_opt t.by_sp (s, p) with
+  match Pair_table.find_opt (sp_index t) (s, p) with
   | None -> []
   | Some vec ->
       List.rev
@@ -145,7 +196,7 @@ let by_subject_predicate t s p =
            [] vec)
 
 let overlapping t p window =
-  match Term_table.find_opt t.temporal p with
+  match Term_table.find_opt (temporal_index t) p with
   | None -> []
   | Some tree ->
       Interval_tree.overlapping window tree

@@ -1,0 +1,68 @@
+(* One process-wide intern table for terms and intervals. Ids are dense
+   (0, 1, 2, ...) in first-intern order, which makes them deterministic
+   for a deterministic workload: the parallel phases only ever read
+   codes interned before the batch was submitted, so the id assignment
+   is defined entirely by the sequential program order.
+
+   All dictionary accesses take a mutex — Hashtbl is not safe against a
+   concurrent resize from another domain. Decoding an id back to its
+   symbol is lock-free: the id handed to a reader happens-before the
+   read, so the slot it names is already published. The table is
+   append-only and global: symbols are never freed, which is the right
+   trade for a resolver whose vocabulary (entities, predicates, years)
+   is tiny relative to its fact count. *)
+
+module Term_table = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+module Interval_table = Hashtbl.Make (struct
+  type t = Interval.t
+
+  let equal = Interval.equal
+  let hash i = Hashtbl.hash (Interval.lo i, Interval.hi i)
+end)
+
+let lock = Mutex.create ()
+let term_ids : int Term_table.t = Term_table.create 4096
+let terms : Term.t Prelude.Vec.t = Prelude.Vec.create ()
+let interval_ids : int Interval_table.t = Interval_table.create 1024
+let intervals : Interval.t Prelude.Vec.t = Prelude.Vec.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let term_id t =
+  locked (fun () ->
+      match Term_table.find_opt term_ids t with
+      | Some id -> id
+      | None ->
+          let id = Prelude.Vec.length terms in
+          Prelude.Vec.push terms t;
+          Term_table.replace term_ids t id;
+          id)
+
+let find_term t = locked (fun () -> Term_table.find_opt term_ids t)
+
+let term id = Prelude.Vec.get terms id
+
+let interval_id i =
+  locked (fun () ->
+      match Interval_table.find_opt interval_ids i with
+      | Some id -> id
+      | None ->
+          let id = Prelude.Vec.length intervals in
+          Prelude.Vec.push intervals i;
+          Interval_table.replace interval_ids i id;
+          id)
+
+let find_interval i = locked (fun () -> Interval_table.find_opt interval_ids i)
+
+let interval id = Prelude.Vec.get intervals id
+
+let terms_interned () = Prelude.Vec.length terms
+let intervals_interned () = Prelude.Vec.length intervals

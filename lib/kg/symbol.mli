@@ -1,0 +1,32 @@
+(** Process-wide intern table: terms and intervals to dense ids.
+
+    The relational grounding backend stores interned ids — flat ints —
+    instead of boxed terms, so a million-row column is one unboxed
+    array. Ids are assigned densely in first-intern order; interning
+    the same symbol twice returns the same id, and [term (term_id t)]
+    is (structurally) [t].
+
+    Interning is thread-safe (a mutex serialises writers). Reading a
+    symbol back by id is lock-free and safe from worker domains as long
+    as the id was obtained before the parallel batch was submitted —
+    which the grounding pipeline guarantees: all interning happens in
+    the sequential closure/intern phases. *)
+
+val term_id : Term.t -> int
+(** Intern (or look up) a term; total, never fails. *)
+
+val term : int -> Term.t
+(** @raise Invalid_argument on an id never returned by {!term_id}. *)
+
+val find_term : Term.t -> int option
+(** Lookup without interning — [None] means the term has never been
+    seen, so e.g. a selection on it matches nothing. *)
+
+val interval_id : Interval.t -> int
+val interval : int -> Interval.t
+val find_interval : Interval.t -> int option
+
+val terms_interned : unit -> int
+(** Current table sizes, for the [intern.*] observability gauges. *)
+
+val intervals_interned : unit -> int

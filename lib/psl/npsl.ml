@@ -148,7 +148,7 @@ let run_store ?(options = default_options) store rules =
     Prelude.Timing.time (fun () ->
         Obs.span "ground" (fun () ->
             Grounder.Ground.run ~deadline:options.ground_deadline
-              ~pool:options.pool store rules))
+              ~pool:options.pool ~lazy_constraints:true store rules))
   in
   (* Per-stage budget telemetry, only under a finite deadline so
      unbudgeted runs keep byte-identical reports. *)

@@ -1,25 +1,47 @@
 module Vec = Prelude.Vec
+module Ivec = Prelude.Ivec
 
 type row = Value.t array
 
-module Key_table = Hashtbl.Make (struct
-  type t = Value.t list
+(* Rows live column-major as interned {!Value.code}s: one unboxed int
+   array per column. The GC never scans a column, a million-row table
+   is [width] flat allocations, and joins hash/compare plain ints. The
+   row-oriented [Value.t array] API is kept as a decode/encode veneer
+   for the SQL layer, the CLI and the tests. *)
 
-  let equal a b = List.length a = List.length b && List.for_all2 Value.equal a b
-  let hash k = Hashtbl.hash (List.map Value.hash k)
+module Code_key = Hashtbl.Make (struct
+  type t = int list
+
+  let rec equal a b =
+    match (a, b) with
+    | [], [] -> true
+    | x :: a, y :: b -> x = y && equal a b
+    | _, _ -> false
+
+  let hash (k : t) = Hashtbl.hash k
 end)
 
 type index = {
   on : int list; (* column positions *)
-  buckets : int Vec.t Key_table.t;
+  buckets : Ivec.t Code_key.t;
+}
+
+(* Per-column value counts ([code -> occurrences]), built lazily on
+   first use and rebuilt when the table has grown since: the grounder's
+   join-order heuristic reads them as O(1) selectivity estimates. *)
+type col_stats = {
+  built_at : int; (* nrows when built *)
+  counts : (int, int) Hashtbl.t;
 }
 
 type t = {
   table_name : string;
   cols : string array;
   positions : (string, int) Hashtbl.t;
-  rows : row Vec.t;
+  data : Ivec.t array;
+  mutable nrows : int;
   mutable indexes : index list;
+  stats : col_stats option array;
 }
 
 let create ~name ~columns =
@@ -30,75 +52,127 @@ let create ~name ~columns =
         invalid_arg (Printf.sprintf "Table %s: duplicate column %s" name c);
       Hashtbl.replace positions c i)
     columns;
+  let width = List.length columns in
   {
     table_name = name;
     cols = Array.of_list columns;
     positions;
-    rows = Vec.create ();
+    data = Array.init width (fun _ -> Ivec.create ());
+    nrows = 0;
     indexes = [];
+    stats = Array.make width None;
   }
+
+let reserve t rows = Array.iter (fun col -> Ivec.reserve col rows) t.data
 
 let name t = t.table_name
 let columns t = Array.to_list t.cols
 let width t = Array.length t.cols
-let cardinal t = Vec.length t.rows
+let cardinal t = t.nrows
 
 let column_index t c =
   match Hashtbl.find_opt t.positions c with
   | Some i -> i
   | None -> raise Not_found
 
-let key_of_row positions row = List.map (fun i -> row.(i)) positions
+let code_at t ~row ~col = Ivec.get t.data.(col) row
 
-let index_insert idx rowid row =
-  let key = key_of_row idx.on row in
-  match Key_table.find_opt idx.buckets key with
-  | Some vec -> Vec.push vec rowid
+let column_data t col = Ivec.raw t.data.(col)
+
+let key_codes_of_row t on rowid =
+  List.map (fun col -> Ivec.get t.data.(col) rowid) on
+
+let index_insert t idx rowid =
+  let key = key_codes_of_row t idx.on rowid in
+  match Code_key.find_opt idx.buckets key with
+  | Some vec -> Ivec.push vec rowid
   | None ->
-      let vec = Vec.create () in
-      Vec.push vec rowid;
-      Key_table.replace idx.buckets key vec
+      let vec = Ivec.create () in
+      Ivec.push vec rowid;
+      Code_key.replace idx.buckets key vec
 
-let insert t row =
-  if Array.length row <> width t then
+let insert_codes t codes =
+  if Array.length codes <> width t then
     invalid_arg
       (Printf.sprintf "Table %s: row width %d, expected %d" t.table_name
-         (Array.length row) (width t));
-  let rowid = Vec.length t.rows in
-  Vec.push t.rows row;
-  List.iter (fun idx -> index_insert idx rowid row) t.indexes
+         (Array.length codes) (width t));
+  let rowid = t.nrows in
+  Array.iteri (fun j code -> Ivec.push t.data.(j) code) codes;
+  t.nrows <- rowid + 1;
+  List.iter (fun idx -> index_insert t idx rowid) t.indexes
 
-let get t i = Vec.get t.rows i
+let insert t row = insert_codes t (Array.map Value.code row)
 
-let iter f t = Vec.iter f t.rows
+let get t i =
+  if i < 0 || i >= t.nrows then invalid_arg "Table.get: row out of bounds";
+  Array.init (width t) (fun j -> Value.decode (Ivec.get t.data.(j) i))
 
-let fold f acc t = Vec.fold f acc t.rows
+let iter f t =
+  for i = 0 to t.nrows - 1 do
+    f (Array.init (width t) (fun j -> Value.decode (Ivec.get t.data.(j) i)))
+  done
 
-let to_list t = Vec.to_list t.rows
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun row -> acc := f !acc row) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc row -> row :: acc) [] t)
+
+let count_for t ~col ~code =
+  let stats =
+    match t.stats.(col) with
+    | Some s when s.built_at = t.nrows -> s
+    | _ ->
+        let counts = Hashtbl.create 256 in
+        let data = Ivec.raw t.data.(col) in
+        for i = 0 to t.nrows - 1 do
+          let c = Array.unsafe_get data i in
+          Hashtbl.replace counts c
+            (1 + Option.value (Hashtbl.find_opt counts c) ~default:0)
+        done;
+        let s = { built_at = t.nrows; counts } in
+        t.stats.(col) <- Some s;
+        s
+  in
+  Option.value (Hashtbl.find_opt stats.counts code) ~default:0
 
 let create_index t cols =
   let on = List.map (column_index t) cols in
-  let idx = { on; buckets = Key_table.create 256 } in
-  Vec.iteri (fun rowid row -> index_insert idx rowid row) t.rows;
+  let idx = { on; buckets = Code_key.create 256 } in
+  for rowid = 0 to t.nrows - 1 do
+    index_insert t idx rowid
+  done;
   (* Replace an existing index on the same columns. *)
   t.indexes <- idx :: List.filter (fun i -> i.on <> on) t.indexes
 
 let lookup t cols key =
   let on = List.map (column_index t) cols in
-  match List.find_opt (fun idx -> idx.on = on) t.indexes with
-  | Some idx -> (
-      match Key_table.find_opt idx.buckets key with
-      | None -> []
-      | Some vec ->
-          List.rev (Vec.fold (fun acc rid -> Vec.get t.rows rid :: acc) [] vec))
-  | None ->
-      List.rev
-        (fold
-           (fun acc row ->
-             if List.for_all2 Value.equal (key_of_row on row) key then
-               row :: acc
-             else acc)
-           [] t)
+  match List.map Value.code_opt key with
+  | exception Invalid_argument _ -> []
+  | key_codes ->
+      if List.exists Option.is_none key_codes then
+        (* An un-interned symbol occurs in no table. *)
+        []
+      else
+        let key_codes = List.map Option.get key_codes in
+        let matching =
+          match List.find_opt (fun idx -> idx.on = on) t.indexes with
+          | Some idx -> (
+              match Code_key.find_opt idx.buckets key_codes with
+              | None -> []
+              | Some vec ->
+                  let acc = ref [] in
+                  Ivec.iter (fun rid -> acc := rid :: !acc) vec;
+                  List.rev !acc)
+          | None ->
+              let acc = ref [] in
+              for rid = t.nrows - 1 downto 0 do
+                if key_codes_of_row t on rid = key_codes then acc := rid :: !acc
+              done;
+              !acc
+        in
+        List.map (get t) matching
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s(%s) [%d rows]" t.table_name

@@ -1,4 +1,11 @@
-(** In-memory relational tables with named columns and hash indexes. *)
+(** In-memory relational tables, stored columnar as interned codes.
+
+    Rows live column-major: one unboxed [int] array of {!Value.code}s
+    per column, so a million-row table is [width] flat allocations the
+    GC never scans and joins hash plain ints. The row-oriented
+    [Value.t array] API below is a decode/encode veneer kept for the
+    SQL layer, the CLI and the tests; the hot grounding paths go
+    through the code-level API. *)
 
 type row = Value.t array
 
@@ -6,6 +13,12 @@ type t
 
 val create : name:string -> columns:string list -> t
 (** @raise Invalid_argument on duplicate column names. *)
+
+val reserve : t -> int -> unit
+(** Pre-size every column's backing array for at least [rows] rows —
+    callers that know the row count up front (e.g. a join concatenating
+    partition outputs) avoid the doubling-growth garbage of a
+    million-row append. *)
 
 val name : t -> string
 val columns : t -> string list
@@ -18,10 +31,28 @@ val column_index : t -> string -> int
 val insert : t -> row -> unit
 (** @raise Invalid_argument when the row width mismatches. *)
 
+val insert_codes : t -> Value.code array -> unit
+(** Insert a pre-encoded row without touching boxed values.
+    @raise Invalid_argument when the row width mismatches. *)
+
 val get : t -> int -> row
 val iter : (row -> unit) -> t -> unit
 val fold : ('acc -> row -> 'acc) -> 'acc -> t -> 'acc
 val to_list : t -> row list
+
+val code_at : t -> row:int -> col:int -> Value.code
+(** One cell, as its interned code. *)
+
+val column_data : t -> int -> int array
+(** The raw backing array of a column: entries [0 .. cardinal t - 1]
+    are live codes, anything past that is garbage. Invalidated by the
+    next insert. For tight scan/join loops. *)
+
+val count_for : t -> col:int -> code:Value.code -> int
+(** Occurrences of [code] in the column — the per-value cardinality the
+    join-order heuristic uses as a selectivity estimate. Amortised
+    O(1): a per-column count table is built on first use and rebuilt
+    when the table has grown since. *)
 
 val create_index : t -> string list -> unit
 (** Build (or rebuild) a hash index on the column list; kept up to date by
@@ -29,7 +60,8 @@ val create_index : t -> string list -> unit
 
 val lookup : t -> string list -> Value.t list -> row list
 (** [lookup t cols key] — rows whose [cols] equal [key]. Uses the index on
-    [cols] when one exists, otherwise scans. *)
+    [cols] when one exists, otherwise scans. A key mentioning a symbol
+    that was never interned matches nothing. *)
 
 val pp : Format.formatter -> t -> unit
 (** Small ASCII rendering for debugging and the CLI. *)

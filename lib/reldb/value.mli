@@ -19,6 +19,34 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
+(** {1 Interned codes}
+
+    The columnar table backend stores values as single ints: two tag
+    bits plus either the machine int itself or a {!Kg.Symbol} intern id.
+    The encoding is injective (for [Int n] with [|n| < 2^60]), so code
+    equality coincides with {!equal} and joins hash plain ints. *)
+
+type code = int
+
+val null_code : code
+(** [code Null]. *)
+
+val code : t -> code
+(** Encode, interning terms/intervals into the global {!Kg.Symbol}
+    table as needed. *)
+
+val code_opt : t -> code option
+(** Encode without interning: [None] when the term/interval has never
+    been interned — useful for lookups, where an unseen symbol simply
+    matches nothing. *)
+
+val decode : code -> t
+
+val decode_term : code -> Kg.Term.t option
+val decode_int : code -> int option
+val decode_interval : code -> Kg.Interval.t option
+(** Tag-checked decodes of a single code, avoiding the boxed {!t}. *)
+
 val as_term : t -> Kg.Term.t option
 val as_int : t -> int option
 val as_interval : t -> Kg.Interval.t option

@@ -15,6 +15,7 @@ type error_kind =
   | Rejected
   | Overloaded
   | Timed_out
+  | Evicted
   | Shutting_down
   | Internal
 
@@ -26,6 +27,7 @@ let kind_name = function
   | Rejected -> "rejected"
   | Overloaded -> "overloaded"
   | Timed_out -> "timed_out"
+  | Evicted -> "evicted"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 

@@ -43,6 +43,9 @@ type error_kind =
   | Rejected  (** the translator rejected the program *)
   | Overloaded  (** admission control shed the request (bounded queue) *)
   | Timed_out  (** the request's budget expired before it ran *)
+  | Evicted
+      (** the connection's session was LRU-evicted under
+          [--max-sessions]; re-attach with [hello] *)
   | Shutting_down  (** the server is stopping *)
   | Internal  (** contained unexpected failure; the connection survives *)
 
@@ -51,7 +54,7 @@ type error = { kind : error_kind; line : int; column : int; message : string }
 val kind_name : error_kind -> string
 (** Lowercase tag used in the wire error object and [serve.*] metrics:
     ["parse"], ["exec"], ["rejected"], ["overloaded"], ["timed_out"],
-    ["shutting_down"], ["internal"]. *)
+    ["evicted"], ["shutting_down"], ["internal"]. *)
 
 val strip_cr : string -> string
 (** Drop one trailing [\r], so LF and CRLF clients look the same. *)

@@ -9,6 +9,7 @@ type config = {
   request_timeout_ms : float option;
   max_line_bytes : int;
   allow_shutdown : bool;
+  max_sessions : int option;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     request_timeout_ms = None;
     max_line_bytes = 1 lsl 20;
     allow_shutdown = false;
+    max_sessions = None;
   }
 
 type listen = [ `Tcp of int | `Unix of string ]
@@ -120,7 +122,15 @@ let send_line fd s = write_all fd (s ^ "\n")
 (* Server state                                                        *)
 (* ------------------------------------------------------------------ *)
 
-type entry = { id : string; session : Session.t; lock : Mutex.t }
+type entry = {
+  id : string;
+  session : Session.t;
+  lock : Mutex.t;
+  mutable last_used : int;  (** registry clock tick, for LRU eviction *)
+  mutable evicted : bool;
+      (** set when LRU-evicted; connections still holding the entry get
+          a typed [evicted] error on their next use *)
+}
 
 type job = {
   entry : entry;
@@ -135,7 +145,7 @@ type job = {
 (* Request outcomes, for the by-outcome counters. *)
 let outcomes =
   [|
-    "ok"; "parse"; "exec"; "rejected"; "overloaded"; "timed_out";
+    "ok"; "parse"; "exec"; "rejected"; "overloaded"; "timed_out"; "evicted";
     "shutting_down"; "internal";
   |]
 
@@ -148,8 +158,9 @@ let outcome_index = function
       | Protocol.Rejected -> 3
       | Protocol.Overloaded -> 4
       | Protocol.Timed_out -> 5
-      | Protocol.Shutting_down -> 6
-      | Protocol.Internal -> 7)
+      | Protocol.Evicted -> 6
+      | Protocol.Shutting_down -> 7
+      | Protocol.Internal -> 8)
 
 type t = {
   config : config;
@@ -159,6 +170,8 @@ type t = {
   tcp_port : int option;
   sessions : (string, entry) Hashtbl.t;
   registry_lock : Mutex.t;
+  mutable registry_clock : int;  (** bumps on every session use (LRU) *)
+  evicted_total : int Atomic.t;
   queue : job Queue.t;
   queue_lock : Mutex.t;
   queue_cv : Condition.t;
@@ -195,7 +208,15 @@ let busy t =
 
 let shed_count t = t.shed
 
+let sessions_evicted t = Atomic.get t.evicted_total
+
 let requests_total t = Atomic.get t.requests
+
+let touch t entry =
+  Mutex.lock t.registry_lock;
+  t.registry_clock <- t.registry_clock + 1;
+  entry.last_used <- t.registry_clock;
+  Mutex.unlock t.registry_lock
 
 let port t = t.tcp_port
 
@@ -237,6 +258,10 @@ let metrics_text t =
     outcomes;
   Buffer.add_string b "# TYPE serve_shed_total counter\n";
   Buffer.add_string b (Printf.sprintf "serve_shed_total %d\n" t.shed);
+  Buffer.add_string b "# TYPE serve_sessions_evicted_total counter\n";
+  Buffer.add_string b
+    (Printf.sprintf "serve_sessions_evicted_total %d\n"
+       (Atomic.get t.evicted_total));
   Buffer.add_string b eof;
   Buffer.contents b
 
@@ -423,7 +448,21 @@ let handle_request t conn_state ~line raw =
     | Ok req -> (
         let with_entry k =
           match !conn_state with
-          | Some entry -> k entry
+          | Some entry when entry.evicted ->
+              Error
+                {
+                  Protocol.kind = Protocol.Evicted;
+                  line;
+                  column = 1;
+                  message =
+                    Printf.sprintf
+                      "session %S was evicted (server at --max-sessions \
+                       capacity); send: hello <client-id> to start over"
+                      entry.id;
+                }
+          | Some entry ->
+              touch t entry;
+              k entry
           | None ->
               Error
                 (exec_error ~line
@@ -460,12 +499,48 @@ let handle_request t conn_state ~line raw =
             Ok (Protocol.ok_line [ ("metrics", Obs.Json.Str (metrics_text t)) ])
         | Protocol.Hello id ->
             Mutex.lock t.registry_lock;
+            t.registry_clock <- t.registry_clock + 1;
+            let evicted_ids = ref [] in
             let entry, created =
               match Hashtbl.find_opt t.sessions id with
-              | Some e -> (e, false)
+              | Some e ->
+                  e.last_used <- t.registry_clock;
+                  (e, false)
               | None ->
+                  (* LRU eviction: creating one past [max_sessions] drops
+                     the least-recently-used session. The evicted entry
+                     is only unlinked here — connections still holding
+                     it are told with a typed [evicted] error on their
+                     next use, and a resolve already running on it is
+                     left to finish. *)
+                  (match t.config.max_sessions with
+                  | Some cap ->
+                      while Hashtbl.length t.sessions >= max cap 1 do
+                        let lru =
+                          Hashtbl.fold
+                            (fun _ e acc ->
+                              match acc with
+                              | Some best when best.last_used <= e.last_used ->
+                                  acc
+                              | _ -> Some e)
+                            t.sessions None
+                        in
+                        match lru with
+                        | None -> assert false (* loop guard: non-empty *)
+                        | Some e ->
+                            e.evicted <- true;
+                            Hashtbl.remove t.sessions e.id;
+                            evicted_ids := e.id :: !evicted_ids
+                      done
+                  | None -> ());
                   let e =
-                    { id; session = Session.create (); lock = Mutex.create () }
+                    {
+                      id;
+                      session = Session.create ();
+                      lock = Mutex.create ();
+                      last_used = t.registry_clock;
+                      evicted = false;
+                    }
                   in
                   Hashtbl.add t.sessions id e;
                   (e, true)
@@ -473,6 +548,13 @@ let handle_request t conn_state ~line raw =
             let open_now = Hashtbl.length t.sessions in
             Mutex.unlock t.registry_lock;
             conn_state := Some entry;
+            List.iter
+              (fun old_id ->
+                Atomic.incr t.evicted_total;
+                Obs.count "serve.sessions_evicted";
+                Obs.event "serve.session_evict"
+                  [ ("client", Obs.Events.Str old_id) ])
+              !evicted_ids;
             if created then begin
               Obs.gauge "serve.sessions_open" (float_of_int open_now);
               Obs.event "serve.session_open"
@@ -759,6 +841,8 @@ let start ?(config = default_config) (listen : listen) =
       tcp_port;
       sessions = Hashtbl.create 64;
       registry_lock = Mutex.create ();
+      registry_clock = 0;
+      evicted_total = Atomic.make 0;
       queue = Queue.create ();
       queue_lock = Mutex.create ();
       queue_cv = Condition.create ();

@@ -49,11 +49,18 @@ type config = {
   allow_shutdown : bool;
       (** whether the [shutdown] verb is honoured (the CLI enables it;
           library/test servers default to [false]) *)
+  max_sessions : int option;
+      (** session-registry bound: when a [hello] would create a session
+          past this cap, the least-recently-used session is evicted
+          (counted in [serve_sessions_evicted_total]). Connections still
+          attached to an evicted session get a typed [evicted] error on
+          their next use and must [hello] again. [None] (default): no
+          bound. *)
 }
 
 val default_config : config
 (** [Auto] engine, env-default jobs, queue bound 64, no budget, 1 MiB
-    line cap, shutdown disabled. *)
+    line cap, shutdown disabled, unbounded sessions. *)
 
 type listen = [ `Tcp of int | `Unix of string ]
 (** [`Tcp port] binds 127.0.0.1:[port] ([0] picks a free port);
@@ -88,15 +95,18 @@ val busy : t -> bool
 val shed_count : t -> int
 (** Requests shed by admission control since [start]. *)
 
+val sessions_evicted : t -> int
+(** Sessions LRU-evicted under [max_sessions] since [start]. *)
+
 val requests_total : t -> int
 (** Requests parsed off all connections since [start]. *)
 
 val metrics_text : t -> string
 (** Live OpenMetrics exposition: the whole {!Obs} report (span times,
     counters, solver histograms) plus [serve_sessions_open],
-    [serve_queue_depth], [serve_requests_total{outcome=...}] and
-    [serve_shed_total], terminated by [# EOF]. Passes
-    {!Obs.Export.validate_metrics}. *)
+    [serve_queue_depth], [serve_requests_total{outcome=...}],
+    [serve_shed_total] and [serve_sessions_evicted_total], terminated
+    by [# EOF]. Passes {!Obs.Export.validate_metrics}. *)
 
 val request_stop : t -> unit
 (** Ask the server to stop (signal-handler safe: only sets a flag; the

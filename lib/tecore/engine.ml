@@ -261,7 +261,8 @@ let resolve ?(engine = Auto) ?jobs ?threshold ?(deadline = Deadline.none)
             Obs.span "ground" (fun () ->
                 let store = Grounder.Atom_store.of_graph graph in
                 let ground_result, snap =
-                  Grounder.Ground.run_record ~pool store rules
+                  Grounder.Ground.run_record ~pool ~lazy_constraints:true store
+                    rules
                 in
                 (store, ground_result, snap)))
       in
@@ -288,7 +289,8 @@ let resolve ?(engine = Auto) ?jobs ?threshold ?(deadline = Deadline.none)
             Obs.span "ground" (fun () ->
                 let store = Grounder.Atom_store.of_graph graph in
                 match
-                  Grounder.Ground.reground ~snapshot ~affected store rules
+                  Grounder.Ground.reground ~snapshot ~affected
+                    ~lazy_constraints:true store rules
                 with
                 | Some (ground_result, snap) ->
                     Some (store, ground_result, snap)

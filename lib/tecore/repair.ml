@@ -16,7 +16,7 @@ type group = {
 
 let conflict_groups graph rules =
   let store = Store.of_graph graph in
-  let result = Grounder.Ground.run store rules in
+  let result = Grounder.Ground.run ~lazy_constraints:true store rules in
   let group_of_atom = Hashtbl.create 64 in
   let group atom_id =
     match Hashtbl.find_opt group_of_atom atom_id with

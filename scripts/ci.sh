@@ -171,6 +171,16 @@ echo "== bench obs --check (committed BENCH_obs.json) =="
 # this gates schema drift and order-of-magnitude regressions only.
 BENCH_FAST=1 dune exec bench/main.exe -- obs --check
 
+echo "== bench par --check (committed BENCH_parallel.json) =="
+# Gates on the committed numbers: the million-fact memory ratio must
+# stay >= 3x below the row-oriented baseline, and the grounding speedup
+# record must carry either a passing speedup or a logged skip reason.
+# Also re-measures the cheap 10^5 memory regime in a child process and
+# compares its peak against the committed one (memory is near
+# machine-independent, so the tolerance is tight), and re-runs the
+# speedup gate live when the hardware has >= 2 cores.
+BENCH_FAST=1 dune exec bench/main.exe -- par --check
+
 echo "== bench smoke (e1 + obs + par + deadline) =="
 rm -f BENCH_obs.json BENCH_parallel.json BENCH_deadline.json
 BENCH_FAST=1 dune exec bench/main.exe -- --smoke
@@ -201,8 +211,9 @@ esac
 # tags; the checks above only guard against the files not being
 # written at all.
 
-# BENCH_obs.json is committed (the --check baseline); restore it so CI
-# leaves the working tree clean. The other two BENCH files are ignored.
-git checkout -- BENCH_obs.json 2>/dev/null || true
+# BENCH_obs.json and BENCH_parallel.json are committed (the --check
+# baselines); restore them so CI leaves the working tree clean.
+# BENCH_deadline.json is ignored.
+git checkout -- BENCH_obs.json BENCH_parallel.json 2>/dev/null || true
 
 echo "CI OK"

@@ -271,6 +271,67 @@ let test_closure_terminates () =
   let result = Ground.run store rules in
   Alcotest.(check int) "nothing new" 0 (List.length result.Ground.derived)
 
+(* Properties over the intern layer: the process-wide symbol table and
+   the code-packed atom store must both be loss-free dictionaries —
+   decoding returns the value interned, re-interning is the identity on
+   ids, and distinct values get distinct ids. *)
+
+let arbitrary_term =
+  QCheck.(
+    oneof
+      [
+        map (fun i -> Kg.Term.iri (Printf.sprintf "e%d" i)) (int_range 0 500);
+        map Kg.Term.str (string_of_size (Gen.int_range 0 8));
+        map Kg.Term.int (int_range (-1000) 1000);
+        (* Eighths are exact in binary, so structural equality holds. *)
+        map (fun i -> Kg.Term.float (float_of_int i /. 8.))
+          (int_range (-800) 800);
+      ])
+
+let qcheck_symbol_roundtrip =
+  QCheck.Test.make ~name:"Symbol: term/interval intern round-trips" ~count:500
+    QCheck.(pair arbitrary_term (pair (int_range 0 3000) (int_range 0 50)))
+    (fun (t, (lo, len)) ->
+      let id = Kg.Symbol.term_id t in
+      let iv = Kg.Interval.make lo (lo + len) in
+      let iid = Kg.Symbol.interval_id iv in
+      Kg.Term.equal (Kg.Symbol.term id) t
+      && Kg.Symbol.term_id t = id
+      && Kg.Symbol.find_term t = Some id
+      && Kg.Interval.(
+           lo (Kg.Symbol.interval iid) = lo iv
+           && hi (Kg.Symbol.interval iid) = hi iv)
+      && Kg.Symbol.interval_id iv = iid
+      && Kg.Symbol.find_interval iv = Some iid)
+
+let arbitrary_ground_atom =
+  QCheck.(
+    map
+      (fun (p, args, time) ->
+        let time = Option.map (fun (lo, len) -> iv lo (lo + len)) time in
+        Atom.Ground.make ?time p args)
+      (triple
+         (oneofl [ "p"; "q"; "r" ])
+         (list_of_size (Gen.int_range 0 3) arbitrary_term)
+         (option (pair (int_range 0 100) (int_range 0 20)))))
+
+let qcheck_store_roundtrip =
+  QCheck.Test.make
+    ~name:"Atom_store: intern/decode round-trips, distinct atoms distinct ids"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 25) arbitrary_ground_atom)
+    (fun atoms ->
+      let store = Store.create () in
+      let ids = List.map (Store.intern store Store.Hidden) atoms in
+      let distinct = List.sort_uniq Atom.Ground.compare atoms in
+      Store.size store = List.length distinct
+      && List.for_all2
+           (fun atom id ->
+             Atom.Ground.equal (Store.atom store id) atom
+             && Store.find store atom = Some id
+             && Store.intern store Store.Hidden atom = id)
+           atoms ids)
+
 let () =
   Alcotest.run "grounder"
     [
@@ -280,6 +341,8 @@ let () =
           Alcotest.test_case "intern dedup" `Quick test_store_intern_dedup;
           Alcotest.test_case "evidence upgrade" `Quick test_store_evidence_upgrade;
           Alcotest.test_case "tables" `Quick test_store_tables;
+          QCheck_alcotest.to_alcotest qcheck_symbol_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_store_roundtrip;
         ] );
       ( "body",
         [

@@ -151,6 +151,64 @@ let test_database () =
   Alcotest.(check int) "fresh empty" 0 (Tbl.cardinal fresh);
   Alcotest.(check (list string)) "names" [ "new"; "people" ] (DB.names db)
 
+(* Differential: above the partition threshold the join runs the
+   partitioned code path — its output must equal the row-oriented
+   reference as a multiset, and must be bitwise identical between a
+   sequential run and a 4-worker pool (the determinism contract the
+   grounding pipeline relies on). *)
+let test_partitioned_join_matches_reference () =
+  let n = 12_000 in
+  (* 12k + 12k rows crosses the 16_384-row partition threshold. *)
+  let mk name salt =
+    let t = Tbl.create ~name ~columns:[ "k"; name ^ "v" ] in
+    let rows = ref [] in
+    let state = ref salt in
+    for i = 0 to n - 1 do
+      state := ((!state * 48271) + 11) land 0xFFFFFF;
+      let k = !state mod 997 in
+      Tbl.insert t (row [ V.int k; V.int i ]);
+      rows := (k, i) :: !rows
+    done;
+    (t, List.rev !rows)
+  in
+  let left, left_rows = mk "l" 1 in
+  let right, right_rows = mk "r" 2 in
+  let seq = RA.hash_join ~on:[ ("k", "k") ] left right in
+  let par =
+    RA.hash_join
+      ~pool:(Prelude.Pool.create ~jobs:4)
+      ~on:[ ("k", "k") ] left right
+  in
+  Alcotest.(check int) "same cardinality" (Tbl.cardinal seq) (Tbl.cardinal par);
+  Alcotest.(check bool) "jobs=4 bitwise equals jobs=1" true
+    (Tbl.to_list seq = Tbl.to_list par);
+  let by_key = Hashtbl.create 997 in
+  List.iter
+    (fun (k, rv) ->
+      Hashtbl.replace by_key k
+        (rv :: Option.value (Hashtbl.find_opt by_key k) ~default:[]))
+    right_rows;
+  let expected =
+    List.concat_map
+      (fun (k, lv) ->
+        List.rev_map
+          (fun rv -> (k, lv, rv))
+          (Option.value (Hashtbl.find_opt by_key k) ~default:[]))
+      left_rows
+    |> List.sort compare
+  in
+  let got =
+    Tbl.to_list seq
+    |> List.map (fun r ->
+           match (V.as_int r.(0), V.as_int r.(1), V.as_int r.(2)) with
+           | Some k, Some lv, Some rv -> (k, lv, rv)
+           | _ -> Alcotest.fail "non-int cell in join output")
+    |> List.sort compare
+  in
+  Alcotest.(check int) "reference cardinality" (List.length expected)
+    (List.length got);
+  Alcotest.(check bool) "matches row-oriented reference" true (expected = got)
+
 (* Property: hash join agrees with nested-loop join. *)
 let arbitrary_rows =
   QCheck.(
@@ -204,6 +262,8 @@ let () =
             test_select_project_rename;
           Alcotest.test_case "hash join" `Quick test_hash_join;
           Alcotest.test_case "join empty sides" `Quick test_join_empty_sides;
+          Alcotest.test_case "partitioned join = reference" `Quick
+            test_partitioned_join_matches_reference;
           Alcotest.test_case "product" `Quick test_product;
           Alcotest.test_case "union/distinct" `Quick test_union_distinct;
           Alcotest.test_case "sort_by" `Quick test_sort_by;
