@@ -2251,6 +2251,335 @@ let serve_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* durability: write-ahead journal overhead on the warm edit path at   *)
+(* each fsync policy vs a purely in-memory session, exported as        *)
+(* BENCH_durability.json (validated by re-parsing).                    *)
+(* ------------------------------------------------------------------ *)
+
+let durability_json_path = "BENCH_durability.json"
+
+let rec durability_rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun entry -> durability_rm_rf (Filename.concat path entry))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let durability_configs =
+  [
+    ("none", None);
+    ("fsync-never", Some Serve.Journal.Never);
+    ("fsync-always", Some Serve.Journal.Always);
+  ]
+
+let durability_measure () =
+  let edit_reps = if !fast_mode then 60 else 240 in
+  let resolve_reps = if !fast_mode then 3 else 8 in
+  let percentile p xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(int_of_float (p *. float_of_int (Array.length a - 1)))
+  in
+  let median = percentile 0.5 in
+  let cells =
+    List.map
+      (fun (name, policy) ->
+        let state_dir =
+          match policy with
+          | None -> None
+          | Some _ ->
+              Some
+                (Filename.concat
+                   (Filename.get_temp_dir_name ())
+                   (Printf.sprintf "tecore_bench_dur_%d_%s" (Unix.getpid ())
+                      name))
+        in
+        Option.iter durability_rm_rf state_dir;
+        let config =
+          {
+            Serve.default_config with
+            Serve.state_dir;
+            fsync =
+              (match policy with
+              | Some p -> p
+              | None -> Serve.default_config.Serve.fsync);
+          }
+        in
+        let server = Serve.start ~config (`Tcp 0) in
+        Fun.protect
+          ~finally:(fun () ->
+            Serve.stop server;
+            Option.iter durability_rm_rf state_dir)
+          (fun () ->
+            let fd = Serve.connect server in
+            let ic = Unix.in_channel_of_descr fd in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                let req = serve_client_request fd ic in
+                req (Printf.sprintf "hello bench-dur-%s" name);
+                req "open";
+                req
+                  "constraint one_team: ex:playsFor(x, y)@t ^ \
+                   ex:playsFor(x, z)@t2 ^ y != z => disjoint(t, t2) .";
+                for f = 1 to 60 do
+                  req
+                    (Printf.sprintf
+                       "assert ex:P%d ex:playsFor ex:T%d [%d,%d] 0.8 ."
+                       (f mod 12) (f mod 6) (1900 + (3 * (f / 12)))
+                       (1904 + (3 * (f / 12))))
+                done;
+                (* Warm the engine so the timed resolves below ride the
+                   incremental caches, as a long-lived session would. *)
+                req "resolve";
+                (* The edit path: the journal append (and fsync, per
+                   policy) sits between parsing an assert and acking
+                   it, so the ack round-trip is exactly what
+                   durability taxes. *)
+                let edits = ref [] in
+                for r = 1 to edit_reps do
+                  let line =
+                    Printf.sprintf
+                      "assert ex:P99 ex:playsFor ex:T0 [%d,%d] 0.6 ."
+                      (2000 + (2 * r))
+                      (2001 + (2 * r))
+                  in
+                  let t0 = Unix.gettimeofday () in
+                  req line;
+                  edits := ((Unix.gettimeofday () -. t0) *. 1000.) :: !edits
+                done;
+                let resolves = ref [] in
+                for r = 1 to resolve_reps do
+                  req
+                    (Printf.sprintf
+                       "assert ex:P98 ex:playsFor ex:T1 [%d,%d] 0.6 ."
+                       (3000 + (2 * r))
+                       (3001 + (2 * r)));
+                  let t0 = Unix.gettimeofday () in
+                  req "resolve";
+                  resolves :=
+                    ((Unix.gettimeofday () -. t0) *. 1000.) :: !resolves
+                done;
+                (name, median !edits, percentile 0.95 !edits,
+                 median !resolves))))
+      durability_configs
+  in
+  (edit_reps, cells)
+
+(* The headline durability claim, enforced at write time and re-checked
+   against the committed numbers: journaling without fsync stays within
+   a small factor of the in-memory edit ack — the append itself is one
+   buffered write, so the cost of crash safety lives in the fsync
+   policy, not the journal. *)
+let durability_edit_gate ~what lookup_edit =
+  let factor =
+    match
+      Option.bind
+        (Sys.getenv_opt "BENCH_DURABILITY_EDIT_FACTOR")
+        float_of_string_opt
+    with
+    | Some v when v > 0.0 -> v
+    | Some _ | None -> 3.0
+  in
+  let floor_ms =
+    match
+      Option.bind
+        (Sys.getenv_opt "BENCH_DURABILITY_EDIT_FLOOR_MS")
+        float_of_string_opt
+    with
+    | Some v when v >= 0.0 -> v
+    | Some _ | None -> 0.2
+  in
+  let none = lookup_edit "none" and never = lookup_edit "fsync-never" in
+  if never > (none *. factor) +. floor_ms then
+    failwith
+      (Printf.sprintf
+         "durability%s: fsync-never edit median %.3f ms exceeds %.1fx \
+          the in-memory median %.3f ms (+%.2f ms floor)"
+         what never factor none floor_ms)
+
+let durability_check_run () =
+  section "DURABILITY"
+    "durability: measured edit/resolve latencies vs committed \
+     BENCH_durability.json";
+  let env_float name default =
+    match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+    | Some v when v > 0.0 -> v
+    | Some _ | None -> default
+  in
+  let factor = env_float "BENCH_DURABILITY_TOL_FACTOR" 25.0 in
+  let floor_ms = env_float "BENCH_DURABILITY_TOL_FLOOR_MS" 5.0 in
+  let committed =
+    let ic =
+      try open_in durability_json_path
+      with Sys_error msg ->
+        failwith
+          (Printf.sprintf
+             "durability --check: cannot read %s (%s); run `bench \
+              durability` to regenerate it"
+             durability_json_path msg)
+    in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Obs.Json.parse text with
+    | Error e ->
+        failwith
+          (Printf.sprintf "durability --check: %s: %s" durability_json_path
+             e)
+    | Ok doc -> doc
+  in
+  let committed_runs =
+    match Obs.Json.member "runs" committed with
+    | Some (Obs.Json.Arr runs) -> runs
+    | _ -> failwith (durability_json_path ^ ": no runs")
+  in
+  let num field r =
+    match Obs.Json.member field r with
+    | Some (Obs.Json.Num v) when Float.is_finite v -> v
+    | _ -> failwith (Printf.sprintf "%s: bad %s" durability_json_path field)
+  in
+  let lookup name =
+    List.find_opt
+      (fun r -> Obs.Json.member "config" r = Some (Obs.Json.Str name))
+      committed_runs
+  in
+  let committed_edit name =
+    match lookup name with
+    | None ->
+        failwith
+          (Printf.sprintf "%s: no config=%s run" durability_json_path name)
+    | Some r -> num "edit_ms" r
+  in
+  (* The committed headline must hold on the machine that produced the
+     file. *)
+  durability_edit_gate ~what:" --check (committed)" committed_edit;
+  let _, cells = durability_measure () in
+  let failures = ref [] in
+  List.iter
+    (fun (name, edit_ms, edit_p95_ms, resolve_ms) ->
+      match lookup name with
+      | None ->
+          failures :=
+            Printf.sprintf "config=%s: missing from %s" name
+              durability_json_path
+            :: !failures
+      | Some r ->
+          let within what ref_ms ms =
+            if
+              not
+                (ms <= (ref_ms *. factor) +. floor_ms
+                && ref_ms <= (ms *. factor) +. floor_ms)
+            then
+              failures :=
+                Printf.sprintf "config=%s: %s %.3f ms vs committed %.3f ms"
+                  name what ms ref_ms
+                :: !failures
+          in
+          within "edit" (num "edit_ms" r) edit_ms;
+          within "edit p95" (num "edit_p95_ms" r) edit_p95_ms;
+          within "resolve" (num "resolve_ms" r) resolve_ms)
+    cells;
+  (* And the live measurement must reproduce the headline, so a journal
+     write-path regression fails even when every cell stays inside the
+     (generous) timing tolerance. *)
+  let live_edit name =
+    match
+      List.find_opt (fun (n, _, _, _) -> n = name) cells
+    with
+    | Some (_, edit_ms, _, _) -> edit_ms
+    | None -> failwith ("durability --check: no live cell for " ^ name)
+  in
+  durability_edit_gate ~what:" --check (live)" live_edit;
+  match !failures with
+  | [] ->
+      row "durability --check: all cells within %.0fx of %s\n" factor
+        durability_json_path
+  | fs ->
+      failwith
+        (Printf.sprintf
+           "durability --check: %d cell(s) out of tolerance:\n  %s"
+           (List.length fs)
+           (String.concat "\n  " (List.rev fs)))
+
+let durability_bench () =
+  if !obs_check then durability_check_run ()
+  else begin
+    section "DURABILITY"
+      "durability: journal overhead on the warm edit path -> \
+       BENCH_durability.json";
+    let edit_reps, cells = durability_measure () in
+    durability_edit_gate ~what:"" (fun name ->
+        match List.find_opt (fun (n, _, _, _) -> n = name) cells with
+        | Some (_, edit_ms, _, _) -> edit_ms
+        | None -> failwith ("durability: no cell for " ^ name));
+    let runs =
+      List.map
+        (fun (name, edit_ms, edit_p95_ms, resolve_ms) ->
+          row
+            "durability %-12s  edit %7.3f ms  p95 %7.3f ms  warm resolve \
+             %8.2f ms\n"
+            name edit_ms edit_p95_ms resolve_ms;
+          Obs.Json.Obj
+            [
+              ("config", Obs.Json.Str name);
+              ("edit_ms", Obs.Json.Num edit_ms);
+              ("edit_p95_ms", Obs.Json.Num edit_p95_ms);
+              ("resolve_ms", Obs.Json.Num resolve_ms);
+            ])
+        cells
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("schema", Obs.Json.Str "tecore-bench-durability/1");
+          ("fast", Obs.Json.Bool !fast_mode);
+          ("edit_reps", Obs.Json.Num (float_of_int edit_reps));
+          ("runs", Obs.Json.Arr runs);
+        ]
+    in
+    let oc = open_out durability_json_path in
+    output_string oc (Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    (* Self-check: round-trip through our own parser, and make sure the
+       numbers downstream tooling keys on are present and finite. *)
+    let ic = open_in durability_json_path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Obs.Json.parse text with
+    | Error e ->
+        failwith
+          (Printf.sprintf "%s: invalid JSON: %s" durability_json_path e)
+    | Ok parsed -> (
+        match Obs.Json.member "runs" parsed with
+        | Some (Obs.Json.Arr (_ :: _ as rs)) ->
+            List.iter
+              (fun r ->
+                (match Obs.Json.member "config" r with
+                | Some (Obs.Json.Str _) -> ()
+                | _ ->
+                    failwith
+                      (Printf.sprintf "%s: run misses config"
+                         durability_json_path));
+                List.iter
+                  (fun field ->
+                    match Obs.Json.member field r with
+                    | Some (Obs.Json.Num v) when Float.is_finite v -> ()
+                    | _ ->
+                        failwith
+                          (Printf.sprintf "%s: run misses %s"
+                             durability_json_path field))
+                  [ "edit_ms"; "edit_p95_ms"; "resolve_ms" ])
+              rs
+        | _ -> failwith (durability_json_path ^ ": no runs")));
+    row "wrote %s (%d cells, %d edit reps each) -- JSON validated\n"
+      durability_json_path (List.length cells) edit_reps
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2259,6 +2588,7 @@ let experiments =
     ("a5", a5); ("a6", a6); ("a7", a7); ("micro", micro);
     ("obs", obs_bench); ("par", par_bench); ("deadline", deadline_bench);
     ("incr", incr_bench); ("serve", serve_bench);
+    ("durability", durability_bench);
   ]
 
 let () =

@@ -762,7 +762,8 @@ let serve_listen socket port : Serve.listen =
   | None, Some p -> `Tcp p
   | None, None -> `Tcp 0
 
-let serve_config engine jobs queue timeout max_sessions allow_shutdown =
+let serve_config engine jobs queue timeout max_sessions state_dir fsync
+    compact_every idle_ttl allow_shutdown =
   {
     Serve.default_config with
     Serve.engine;
@@ -771,16 +772,24 @@ let serve_config engine jobs queue timeout max_sessions allow_shutdown =
     request_timeout_ms = Option.map (fun s -> s *. 1000.) timeout;
     max_sessions;
     allow_shutdown;
+    state_dir;
+    fsync;
+    compact_every;
+    idle_ttl_s = idle_ttl;
   }
 
-let serve_run socket port engine jobs queue timeout max_sessions script =
+let serve_run socket port engine jobs queue timeout max_sessions state_dir
+    fsync compact_every idle_ttl script =
   handle (fun () ->
+      let serve_config = serve_config engine jobs queue timeout max_sessions
+          state_dir fsync compact_every idle_ttl
+      in
       match script with
       | Some script_file ->
           (* Scripted mode: in-process server, loopback driver, determin-
              istic transcript (golden-tested in data/serve_*.golden). *)
           let text = read_file script_file in
-          let config = serve_config engine jobs queue timeout max_sessions false in
+          let config = serve_config false in
           let server =
             try Serve.start ~config (serve_listen socket port)
             with Unix.Unix_error (e, _, _) ->
@@ -796,7 +805,7 @@ let serve_run socket port engine jobs queue timeout max_sessions script =
           | Ok () -> ()
           | Error e -> failwith (Format.asprintf "%a" Tecore.Script.pp_error e))
       | None ->
-          let config = serve_config engine jobs queue timeout max_sessions true in
+          let config = serve_config true in
           let server =
             try Serve.start ~config (serve_listen socket port)
             with Unix.Unix_error (e, _, _) ->
@@ -871,6 +880,60 @@ let serve_cmd =
              against it over a real loopback socket, print the \
              transcript and exit.")
   in
+  let state_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durability root. Every session keeps a write-ahead journal \
+             under DIR/sessions/: accepted edits are journaled (and \
+             fsynced, per $(b,--fsync)) before they are acked, and on \
+             start the session registry is rebuilt by replaying every \
+             session directory — tolerating torn tails from a crash \
+             mid-write. See docs/SERVER.md.")
+  in
+  let fsync =
+    let fsync_conv =
+      let parse s =
+        match Serve.Journal.fsync_policy_of_string s with
+        | Ok p -> Ok p
+        | Error msg -> Error (`Msg msg)
+      in
+      let print ppf p =
+        Format.pp_print_string ppf (Serve.Journal.fsync_policy_name p)
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt fsync_conv Serve.Journal.Always
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "Journal fsync policy: $(b,always) (default; an acked edit \
+             survives SIGKILL), $(b,never) (leave flushing to the OS), \
+             or a positive integer N (fsync once per N records). \
+             Snapshots and manifests are always fsynced.")
+  in
+  let compact_every =
+    Arg.(
+      value & opt int 256
+      & info [ "compact-every" ] ~docv:"N"
+          ~doc:
+            "Compact a session's journal into a fresh snapshot once N \
+             records accumulate since the last snapshot. 0 disables \
+             size-triggered compaction ($(b,load) still forces one).")
+  in
+  let idle_ttl =
+    Arg.(
+      value & opt (some float) None
+      & info [ "idle-ttl" ] ~docv:"SECS"
+          ~doc:
+            "Expire sessions idle for more than SECS seconds. With \
+             $(b,--state-dir) an expired session is parked to disk and \
+             a later $(b,hello) recovers it transparently; without one \
+             it is discarded. Connections still attached get a typed \
+             $(b,expired) error on their next request.")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits:serve_exits
        ~doc:"Serve many incremental sessions over a line protocol"
@@ -891,11 +954,40 @@ let serve_cmd =
          ])
     Term.(
       const serve_run $ socket_arg $ port_arg $ engine_arg $ jobs_arg
-      $ queue $ timeout $ max_sessions $ script)
+      $ queue $ timeout $ max_sessions $ state_dir $ fsync $ compact_every
+      $ idle_ttl $ script)
 
 (* ------------------------------------------------------------------ *)
 
-let client_run socket port sends =
+(* Bounded exponential backoff with jitter for transient connect
+   failures (a daemon restarting, a listen backlog dropping the
+   handshake). Only ECONNREFUSED/ECONNRESET are retried — anything else
+   (bad path, permissions) fails fast. On exhaustion the exit-code
+   contract is unchanged: [exit_io], as if no retries were asked. *)
+let client_connect sockaddr domain ~retries ~backoff_ms =
+  if retries > 0 then Random.self_init ();
+  let rec attempt n =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        let transient =
+          match e with
+          | Unix.ECONNREFUSED | Unix.ECONNRESET -> true
+          | _ -> false
+        in
+        if transient && n < retries then begin
+          let base = backoff_ms *. (2. ** float_of_int n) in
+          let jitter = Random.float (Float.max 1. (base /. 2.)) in
+          Unix.sleepf (Float.min 5000. (base +. jitter) /. 1000.);
+          attempt (n + 1)
+        end
+        else raise (Cli_error (exit_io, "connect: " ^ Unix.error_message e))
+  in
+  attempt 0
+
+let client_run socket port retries backoff_ms sends =
   handle (fun () ->
       let sockaddr =
         match (socket, port) with
@@ -909,11 +1001,7 @@ let client_run socket port sends =
         | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
         | _ -> Unix.PF_INET
       in
-      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd sockaddr
-       with Unix.Unix_error (e, _, _) ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         raise (Cli_error (exit_io, "connect: " ^ Unix.error_message e)));
+      let fd = client_connect sockaddr domain ~retries ~backoff_ms in
       let ic = Unix.in_channel_of_descr fd in
       let worst = ref 0 in
       Fun.protect
@@ -959,10 +1047,29 @@ let client_cmd =
             "Request line to send (repeatable, sent in order); each \
              response is printed to stdout.")
   in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a refused or reset connect up to N times with \
+             bounded exponential backoff and jitter (for daemons \
+             mid-restart). Other connect failures are never retried, \
+             and on exhaustion the exit code is the same as without \
+             retries.")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 50.
+      & info [ "backoff" ] ~docv:"MS"
+          ~doc:
+            "Base backoff in milliseconds for $(b,--retries): attempt n \
+             sleeps MS*2^n plus jitter, capped at 5 s.")
+  in
   Cmd.v
     (Cmd.info "client" ~exits:resolve_exits
        ~doc:"Send request lines to a running tecore serve")
-    Term.(const client_run $ socket_arg $ port_arg $ sends)
+    Term.(const client_run $ socket_arg $ port_arg $ retries $ backoff $ sends)
 
 (* ------------------------------------------------------------------ *)
 

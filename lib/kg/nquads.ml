@@ -192,7 +192,8 @@ let print ?namespace ppf graph =
         (print_term ns) q.Quad.object_
         Interval.pp q.Quad.time;
       if q.Quad.confidence < 1.0 then
-        Format.fprintf ppf " %g" q.Quad.confidence;
+        Format.fprintf ppf " %s"
+          (Prelude.Floatlit.to_lexeme q.Quad.confidence);
       Format.fprintf ppf " .@.")
     graph
 

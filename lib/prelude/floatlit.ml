@@ -1,0 +1,41 @@
+let round_trips x s =
+  match float_of_string_opt s with
+  | Some y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | None -> false
+
+(* "1e-07" has a signed exponent; "1e7" and "1.5" do not. *)
+let has_signed_exponent s =
+  let n = String.length s in
+  let rec scan i =
+    i < n
+    && (((s.[i] = 'e' || s.[i] = 'E')
+        && i + 1 < n
+        && (s.[i + 1] = '+' || s.[i + 1] = '-'))
+       || scan (i + 1))
+  in
+  scan 0
+
+(* Expand to plain decimal: enough fractional digits for magnitudes
+   down to ~1e-310 plus 17 significant ones. *)
+let plain_decimal x =
+  let rec try_prec p =
+    if p > 500 then Printf.sprintf "%.17g" x
+    else
+      let s = Printf.sprintf "%.*f" p x in
+      if round_trips x s then s else try_prec (p + (p / 2) + 1)
+  in
+  try_prec 17
+
+let to_lexeme x =
+  if not (Float.is_finite x) then Printf.sprintf "%g" x
+  else
+    let shortest =
+      let rec pick = function
+        | [] -> Printf.sprintf "%.17g" x
+        | fmt :: rest ->
+            let s = Printf.sprintf fmt x in
+            if round_trips x s then s else pick rest
+      in
+      pick [ format_of_string "%.12g"; format_of_string "%.15g" ]
+    in
+    if has_signed_exponent shortest then plain_decimal x else shortest

@@ -1,0 +1,21 @@
+(** Round-trip float literals for the textual formats.
+
+    The rule language and the temporal-quads format both carry floats
+    (rule weights, fact confidences) whose canonical renderings must
+    reparse to the identical bit pattern: snapshot compaction rewrites a
+    session's journal from its in-memory state, and a weight that drifts
+    by one ulp across a compaction would silently change objectives
+    after recovery.
+
+    [%g] (6 significant digits) does not round-trip; [%.17g] does but
+    emits signed exponents ("1e-07") that the hand-rolled rule lexer
+    does not accept. {!to_lexeme} renders the shortest of
+    [%.12g]/[%.15g]/[%.17g] that round-trips and, when that form uses a
+    signed exponent, falls back to a plain decimal expansion that still
+    round-trips. *)
+
+val to_lexeme : float -> string
+(** A decimal literal [s] with [float_of_string s = x] (bitwise, for
+    finite [x]) containing no signed exponent. Non-finite floats render
+    through [%h]-free best effort ("inf"/"nan") — callers are expected
+    to keep those out of persisted state. *)

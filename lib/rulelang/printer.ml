@@ -1,7 +1,13 @@
 open Logic
 
-let pp_term ppf = function
+(* [shrink] compacts full IRIs back to the prefixed names the parser
+   accepts (predicates and IRI constants are stored expanded). The
+   default identity keeps display output unchanged; the session's
+   state dump passes [Kg.Namespace.shrink] so printed rules re-parse. *)
+
+let pp_term ~shrink ppf = function
   | Lterm.Var v -> Format.pp_print_string ppf v
+  | Lterm.Const (Kg.Term.Iri name) -> Format.pp_print_string ppf (shrink name)
   | Lterm.Const c -> Kg.Term.pp ppf c
 
 let rec pp_ttime ppf = function
@@ -10,24 +16,26 @@ let rec pp_ttime ppf = function
   | Lterm.Tinter (a, b) -> Format.fprintf ppf "(%a * %a)" pp_ttime a pp_ttime b
   | Lterm.Thull (a, b) -> Format.fprintf ppf "(%a + %a)" pp_ttime a pp_ttime b
 
-let pp_atom ppf (a : Atom.t) =
-  Format.fprintf ppf "%s(%a)" a.predicate
+let pp_atom ~shrink ppf (a : Atom.t) =
+  Format.fprintf ppf "%s(%a)" (shrink a.predicate)
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
-       pp_term)
+       (pp_term ~shrink))
     a.args;
   match a.time with
   | None -> ()
   | Some tt -> Format.fprintf ppf "@@%a" pp_ttime tt
 
-let rec pp_arith ppf = function
+let rec pp_arith ~shrink ppf = function
   | Cond.Num n -> Format.pp_print_int ppf n
   | Cond.Start_of tt -> Format.fprintf ppf "start(%a)" pp_ttime tt
   | Cond.End_of tt -> Format.fprintf ppf "end(%a)" pp_ttime tt
   | Cond.Length_of tt -> Format.fprintf ppf "length(%a)" pp_ttime tt
-  | Cond.Value_of t -> Format.fprintf ppf "value(%a)" pp_term t
-  | Cond.Add (a, b) -> Format.fprintf ppf "%a + %a" pp_arith a pp_arith b
-  | Cond.Sub (a, b) -> Format.fprintf ppf "%a - %a" pp_arith a pp_arith b
+  | Cond.Value_of t -> Format.fprintf ppf "value(%a)" (pp_term ~shrink) t
+  | Cond.Add (a, b) ->
+      Format.fprintf ppf "%a + %a" (pp_arith ~shrink) a (pp_arith ~shrink) b
+  | Cond.Sub (a, b) ->
+      Format.fprintf ppf "%a - %a" (pp_arith ~shrink) a (pp_arith ~shrink) b
 
 let cmp_name = function
   | Cond.Lt -> "<"
@@ -37,7 +45,7 @@ let cmp_name = function
   | Cond.Eq_cmp -> "="
   | Cond.Ne_cmp -> "!="
 
-let pp_cond ppf = function
+let pp_cond ~shrink ppf = function
   | Cond.Allen (set, a, b) ->
       let name =
         if Kg.Allen.Set.equal set Kg.Allen.Set.disjoint then "disjoint"
@@ -50,35 +58,44 @@ let pp_cond ppf = function
       in
       Format.fprintf ppf "%s(%a, %a)" name pp_ttime a pp_ttime b
   | Cond.Cmp (op, a, b) ->
-      Format.fprintf ppf "%a %s %a" pp_arith a (cmp_name op) pp_arith b
-  | Cond.Eq (a, b) -> Format.fprintf ppf "%a = %a" pp_term a pp_term b
-  | Cond.Neq (a, b) -> Format.fprintf ppf "%a != %a" pp_term a pp_term b
+      Format.fprintf ppf "%a %s %a" (pp_arith ~shrink) a (cmp_name op)
+        (pp_arith ~shrink) b
+  | Cond.Eq (a, b) ->
+      Format.fprintf ppf "%a = %a" (pp_term ~shrink) a (pp_term ~shrink) b
+  | Cond.Neq (a, b) ->
+      Format.fprintf ppf "%a != %a" (pp_term ~shrink) a (pp_term ~shrink) b
 
-let pp_rule ppf (r : Rule.t) =
+let pp_rule_shrunk ~shrink ppf (r : Rule.t) =
   let kind = if Rule.is_inference r then "rule" else "constraint" in
   Format.fprintf ppf "%s %s" kind r.name;
   (match r.weight with
-  | Some w -> Format.fprintf ppf " %g" w
+  | Some w -> Format.fprintf ppf " %s" (Prelude.Floatlit.to_lexeme w)
   | None -> if Rule.is_inference r then () else ());
   Format.fprintf ppf ": ";
   let pp_sep ppf () = Format.pp_print_string ppf " ^ " in
-  Format.pp_print_list ~pp_sep pp_atom ppf r.body;
+  Format.pp_print_list ~pp_sep (pp_atom ~shrink) ppf r.body;
   if r.conditions <> [] then begin
     pp_sep ppf ();
-    Format.pp_print_list ~pp_sep pp_cond ppf r.conditions
+    Format.pp_print_list ~pp_sep (pp_cond ~shrink) ppf r.conditions
   end;
   Format.fprintf ppf " => ";
   (match r.head with
-  | Rule.Infer a -> pp_atom ppf a
-  | Rule.Require c -> pp_cond ppf c
+  | Rule.Infer a -> pp_atom ~shrink ppf a
+  | Rule.Require c -> pp_cond ~shrink ppf c
   | Rule.Bottom -> Format.pp_print_string ppf "false");
   Format.fprintf ppf " ."
 
-let pp_program ppf rules =
+let pp_rule ppf r = pp_rule_shrunk ~shrink:Fun.id ppf r
+
+let pp_program_shrunk ~shrink ppf rules =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
-    pp_rule ppf rules
+    (pp_rule_shrunk ~shrink) ppf rules
 
-let rule_to_string r = Format.asprintf "%a" pp_rule r
+let pp_program ppf rules = pp_program_shrunk ~shrink:Fun.id ppf rules
 
-let program_to_string rules = Format.asprintf "@[<v>%a@]" pp_program rules
+let rule_to_string ?(shrink = Fun.id) r =
+  Format.asprintf "%a" (pp_rule_shrunk ~shrink) r
+
+let program_to_string ?(shrink = Fun.id) rules =
+  Format.asprintf "@[<v>%a@]" (pp_program_shrunk ~shrink) rules

@@ -1,10 +1,18 @@
-(** Serialise rules back to the surface syntax (round-trips through
-    {!Parser.parse_string}). *)
+(** Serialise rules back to the surface syntax.
+
+    Rules store predicates and IRI constants fully expanded; the parser
+    only accepts prefixed names. Pass [shrink] (typically
+    [Kg.Namespace.shrink ns]) to compact them so the output round-trips
+    through {!Parser.parse_string} — the session state dump relies on
+    this. The default identity prints the stored (expanded) names, for
+    display. *)
 
 val pp_rule : Format.formatter -> Logic.Rule.t -> unit
+(** Display form: stored (expanded) names, no shrinking. *)
 
 val pp_program : Format.formatter -> Logic.Rule.t list -> unit
 
-val rule_to_string : Logic.Rule.t -> string
+val rule_to_string : ?shrink:(string -> string) -> Logic.Rule.t -> string
 
-val program_to_string : Logic.Rule.t list -> string
+val program_to_string :
+  ?shrink:(string -> string) -> Logic.Rule.t list -> string

@@ -16,6 +16,8 @@ type error_kind =
   | Overloaded
   | Timed_out
   | Evicted
+  | Expired
+  | Storage
   | Shutting_down
   | Internal
 
@@ -28,6 +30,8 @@ let kind_name = function
   | Overloaded -> "overloaded"
   | Timed_out -> "timed_out"
   | Evicted -> "evicted"
+  | Expired -> "expired"
+  | Storage -> "storage"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 

@@ -46,6 +46,14 @@ type error_kind =
   | Evicted
       (** the connection's session was LRU-evicted under
           [--max-sessions]; re-attach with [hello] *)
+  | Expired
+      (** the connection's session sat idle past [--idle-ttl]; with a
+          state dir it was parked to disk and [hello] recovers it,
+          otherwise it was discarded *)
+  | Storage
+      (** the session's write-ahead journal hit an IO failure; the edit
+          applied in memory but is no longer durable (see
+          [docs/SERVER.md]) *)
   | Shutting_down  (** the server is stopping *)
   | Internal  (** contained unexpected failure; the connection survives *)
 
@@ -54,7 +62,8 @@ type error = { kind : error_kind; line : int; column : int; message : string }
 val kind_name : error_kind -> string
 (** Lowercase tag used in the wire error object and [serve.*] metrics:
     ["parse"], ["exec"], ["rejected"], ["overloaded"], ["timed_out"],
-    ["evicted"], ["shutting_down"], ["internal"]. *)
+    ["evicted"], ["expired"], ["storage"], ["shutting_down"],
+    ["internal"]. *)
 
 val strip_cr : string -> string
 (** Drop one trailing [\r], so LF and CRLF clients look the same. *)

@@ -1,6 +1,8 @@
 module Session = Tecore.Session
 module Engine = Tecore.Engine
 module Deadline = Prelude.Deadline
+module Journal = Journal
+module Protocol = Protocol
 
 type config = {
   engine : Engine.engine;
@@ -10,6 +12,10 @@ type config = {
   max_line_bytes : int;
   allow_shutdown : bool;
   max_sessions : int option;
+  state_dir : string option;
+  fsync : Journal.fsync_policy;
+  compact_every : int;
+  idle_ttl_s : float option;
 }
 
 let default_config =
@@ -21,6 +27,10 @@ let default_config =
     max_line_bytes = 1 lsl 20;
     allow_shutdown = false;
     max_sessions = None;
+    state_dir = None;
+    fsync = Journal.Always;
+    compact_every = 256;
+    idle_ttl_s = None;
   }
 
 type listen = [ `Tcp of int | `Unix of string ]
@@ -127,9 +137,18 @@ type entry = {
   session : Session.t;
   lock : Mutex.t;
   mutable last_used : int;  (** registry clock tick, for LRU eviction *)
+  mutable last_wall : float;  (** wall-clock of last use, for idle TTL *)
   mutable evicted : bool;
       (** set when LRU-evicted; connections still holding the entry get
           a typed [evicted] error on their next use *)
+  mutable expired : bool;
+      (** set when the idle-TTL janitor parked (or discarded) the
+          session; connections still holding the entry get a typed
+          [expired] error and re-attach with [hello] *)
+  mutable journal : Journal.t option;
+      (** the session's write-ahead journal when [--state-dir] is set *)
+  mutable recovery : string option;
+      (** {!Journal.status_name} when the session came back from disk *)
 }
 
 type job = {
@@ -146,7 +165,7 @@ type job = {
 let outcomes =
   [|
     "ok"; "parse"; "exec"; "rejected"; "overloaded"; "timed_out"; "evicted";
-    "shutting_down"; "internal";
+    "expired"; "storage"; "shutting_down"; "internal";
   |]
 
 let outcome_index = function
@@ -159,8 +178,10 @@ let outcome_index = function
       | Protocol.Overloaded -> 4
       | Protocol.Timed_out -> 5
       | Protocol.Evicted -> 6
-      | Protocol.Shutting_down -> 7
-      | Protocol.Internal -> 8)
+      | Protocol.Expired -> 7
+      | Protocol.Storage -> 8
+      | Protocol.Shutting_down -> 9
+      | Protocol.Internal -> 10)
 
 type t = {
   config : config;
@@ -172,6 +193,8 @@ type t = {
   registry_lock : Mutex.t;
   mutable registry_clock : int;  (** bumps on every session use (LRU) *)
   evicted_total : int Atomic.t;
+  expired_total : int Atomic.t;
+  recovered_total : int Atomic.t;
   queue : job Queue.t;
   queue_lock : Mutex.t;
   queue_cv : Condition.t;
@@ -186,6 +209,7 @@ type t = {
   mutable conn_threads : Thread.t list;
   mutable accept_thread : Thread.t option;
   mutable resolver_thread : Thread.t option;
+  mutable janitor_thread : Thread.t option;
 }
 
 let sessions_open t =
@@ -210,12 +234,17 @@ let shed_count t = t.shed
 
 let sessions_evicted t = Atomic.get t.evicted_total
 
+let sessions_expired t = Atomic.get t.expired_total
+
+let sessions_recovered t = Atomic.get t.recovered_total
+
 let requests_total t = Atomic.get t.requests
 
 let touch t entry =
   Mutex.lock t.registry_lock;
   t.registry_clock <- t.registry_clock + 1;
   entry.last_used <- t.registry_clock;
+  entry.last_wall <- Unix.gettimeofday ();
   Mutex.unlock t.registry_lock
 
 let port t = t.tcp_port
@@ -262,6 +291,14 @@ let metrics_text t =
   Buffer.add_string b
     (Printf.sprintf "serve_sessions_evicted_total %d\n"
        (Atomic.get t.evicted_total));
+  Buffer.add_string b "# TYPE serve_sessions_expired_total counter\n";
+  Buffer.add_string b
+    (Printf.sprintf "serve_sessions_expired_total %d\n"
+       (Atomic.get t.expired_total));
+  Buffer.add_string b "# TYPE serve_sessions_recovered_total counter\n";
+  Buffer.add_string b
+    (Printf.sprintf "serve_sessions_recovered_total %d\n"
+       (Atomic.get t.recovered_total));
   Buffer.add_string b eof;
   Buffer.contents b
 
@@ -273,6 +310,82 @@ let json_num n = Obs.Json.Num (float_of_int n)
 
 let exec_error ~line message =
   { Protocol.kind = Protocol.Exec; line; column = 1; message }
+
+let expired_error ~line id =
+  {
+    Protocol.kind = Protocol.Expired;
+    line;
+    column = 1;
+    message =
+      Printf.sprintf
+        "session %S expired after idle TTL; send: hello <client-id> to \
+         re-attach"
+        id;
+  }
+
+let storage_error ~line msg =
+  {
+    Protocol.kind = Protocol.Storage;
+    line;
+    column = 1;
+    message = "journal write failed; session is no longer durable: " ^ msg;
+  }
+
+(* Open the durable backing of a fresh registry entry: recover the
+   session from its directory when one exists, create a generation-0
+   journal otherwise. (No-op triple without [--state-dir].) *)
+let open_session t id =
+  match t.config.state_dir with
+  | None -> (Session.create (), None, None)
+  | Some state_dir ->
+      let fsync = t.config.fsync in
+      let compact_every = t.config.compact_every in
+      if Sys.file_exists (Journal.session_dir ~state_dir id) then begin
+        let r = Journal.recover ~state_dir ~fsync ~compact_every id in
+        Atomic.incr t.recovered_total;
+        Obs.count "serve.sessions_recovered";
+        ( r.Journal.session,
+          Some r.Journal.journal,
+          Some (Journal.status_name r.Journal.status) )
+      end
+      else
+        ( Session.create (),
+          Some (Journal.create ~state_dir ~fsync ~compact_every id),
+          None )
+
+(* Write-ahead persistence of one accepted edit; called with the entry
+   lock held, after the edit applied. An IO failure surfaces as a typed
+   [storage] error: the edit stays applied in memory but is no longer
+   durable, and the journal stays failed (sticky) so every later edit
+   says so too. *)
+let persist entry ~line ~raw ok =
+  match entry.journal with
+  | None -> Ok ok
+  | Some j -> (
+      try
+        Journal.append j raw;
+        (try
+           ignore
+             (Journal.maybe_compact j (fun () ->
+                  Session.dump_state entry.session))
+         with Sys_error _ ->
+           (* The record itself is durable in the old generation; a
+              failed compaction only defers truncation. *)
+           ());
+        Ok ok
+      with Sys_error msg -> Error (storage_error ~line msg))
+
+(* [load FILE] is never journaled — the file can change or vanish
+   before a replay. Snapshot the loaded state instead, so recovery is
+   self-contained. *)
+let persist_snapshot entry ~line ok =
+  match entry.journal with
+  | None -> Ok ok
+  | Some j -> (
+      try
+        Journal.compact j (Session.dump_state entry.session);
+        Ok ok
+      with Sys_error msg -> Error (storage_error ~line msg))
 
 (* The queue-side half of a resolve: admission control, hand-off to the
    resolver thread, and the wait for its reply. *)
@@ -460,6 +573,7 @@ let handle_request t conn_state ~line raw =
                        capacity); send: hello <client-id> to start over"
                       entry.id;
                 }
+          | Some entry when entry.expired -> Error (expired_error ~line entry.id)
           | Some entry ->
               touch t entry;
               k entry
@@ -468,25 +582,25 @@ let handle_request t conn_state ~line raw =
                 (exec_error ~line
                    "no session selected (send: hello <client-id>)")
         in
-        let with_graph k =
-          with_entry (fun entry ->
-              Mutex.lock entry.lock;
-              Fun.protect
-                ~finally:(fun () -> Mutex.unlock entry.lock)
-                (fun () ->
-                  match Session.graph entry.session with
-                  | Some g -> k entry g
-                  | None ->
-                      Error
-                        (exec_error ~line
-                           "no graph loaded (send: load FILE, or: open)")))
-        in
         let locked k =
           with_entry (fun entry ->
               Mutex.lock entry.lock;
               Fun.protect
                 ~finally:(fun () -> Mutex.unlock entry.lock)
-                (fun () -> k entry))
+                (fun () ->
+                  (* Re-check under the lock: the janitor may have parked
+                     the session between [with_entry] and here. *)
+                  if entry.expired then Error (expired_error ~line entry.id)
+                  else k entry))
+        in
+        let with_graph k =
+          locked (fun entry ->
+              match Session.graph entry.session with
+              | Some g -> k entry g
+              | None ->
+                  Error
+                    (exec_error ~line
+                       "no graph loaded (send: load FILE, or: open)"))
         in
         match req with
         | Protocol.Ping -> Ok (Protocol.ok_line [ ("pong", Obs.Json.Bool true) ])
@@ -497,16 +611,17 @@ let handle_request t conn_state ~line raw =
             else Error (exec_error ~line "shutdown is disabled on this server")
         | Protocol.Metrics ->
             Ok (Protocol.ok_line [ ("metrics", Obs.Json.Str (metrics_text t)) ])
-        | Protocol.Hello id ->
+        | Protocol.Hello id -> (
             Mutex.lock t.registry_lock;
             t.registry_clock <- t.registry_clock + 1;
-            let evicted_ids = ref [] in
-            let entry, created =
+            let evicted_entries = ref [] in
+            let attach =
               match Hashtbl.find_opt t.sessions id with
               | Some e ->
                   e.last_used <- t.registry_clock;
-                  (e, false)
-              | None ->
+                  e.last_wall <- Unix.gettimeofday ();
+                  Ok (e, false)
+              | None -> (
                   (* LRU eviction: creating one past [max_sessions] drops
                      the least-recently-used session. The evicted entry
                      is only unlinked here — connections still holding
@@ -530,46 +645,82 @@ let handle_request t conn_state ~line raw =
                         | Some e ->
                             e.evicted <- true;
                             Hashtbl.remove t.sessions e.id;
-                            evicted_ids := e.id :: !evicted_ids
+                            evicted_entries := e :: !evicted_entries
                       done
                   | None -> ());
-                  let e =
-                    {
-                      id;
-                      session = Session.create ();
-                      lock = Mutex.create ();
-                      last_used = t.registry_clock;
-                      evicted = false;
-                    }
-                  in
-                  Hashtbl.add t.sessions id e;
-                  (e, true)
+                  match open_session t id with
+                  | session, journal, recovery ->
+                      let e =
+                        {
+                          id;
+                          session;
+                          lock = Mutex.create ();
+                          last_used = t.registry_clock;
+                          last_wall = Unix.gettimeofday ();
+                          evicted = false;
+                          expired = false;
+                          journal;
+                          recovery;
+                        }
+                      in
+                      Hashtbl.add t.sessions id e;
+                      Ok (e, true)
+                  | exception Sys_error msg -> Error (storage_error ~line msg)
+                  | exception Unix.Unix_error (e, fn, _) ->
+                      Error
+                        (storage_error ~line
+                           (fn ^ ": " ^ Unix.error_message e)))
             in
             let open_now = Hashtbl.length t.sessions in
             Mutex.unlock t.registry_lock;
-            conn_state := Some entry;
+            (* Park evicted sessions' durable state outside the registry
+               lock (their data is already on disk; closing releases the
+               fd so a later hello can recover them). *)
             List.iter
-              (fun old_id ->
+              (fun old ->
+                Mutex.lock old.lock;
+                (match old.journal with
+                | Some j -> Journal.close j
+                | None -> ());
+                old.journal <- None;
+                Mutex.unlock old.lock;
                 Atomic.incr t.evicted_total;
                 Obs.count "serve.sessions_evicted";
                 Obs.event "serve.session_evict"
-                  [ ("client", Obs.Events.Str old_id) ])
-              !evicted_ids;
-            if created then begin
-              Obs.gauge "serve.sessions_open" (float_of_int open_now);
-              Obs.event "serve.session_open"
-                [ ("client", Obs.Events.Str id) ]
-            end;
-            Ok
-              (Protocol.ok_line
-                 [
-                   ("session", Obs.Json.Str id);
-                   ("created", Obs.Json.Bool created);
-                 ])
+                  [ ("client", Obs.Events.Str old.id) ])
+              !evicted_entries;
+            match attach with
+            | Error e -> Error e
+            | Ok (entry, created) ->
+                conn_state := Some entry;
+                if created then begin
+                  Obs.gauge "serve.sessions_open" (float_of_int open_now);
+                  Obs.event "serve.session_open"
+                    [ ("client", Obs.Events.Str id) ]
+                end;
+                let fields =
+                  [
+                    ("session", Obs.Json.Str id);
+                    ("created", Obs.Json.Bool created);
+                  ]
+                in
+                let fields =
+                  (* Durability fields only when --state-dir is set, so
+                     plain servers keep their exact response bytes. *)
+                  if t.config.state_dir = None then fields
+                  else
+                    fields
+                    @ [
+                        ( "recovery",
+                          Obs.Json.Str
+                            (Option.value ~default:"none" entry.recovery) );
+                      ]
+                in
+                Ok (Protocol.ok_line fields))
         | Protocol.Open_ ->
             locked (fun entry ->
                 Session.load_graph entry.session (Kg.Graph.create ());
-                Ok
+                persist entry ~line ~raw:(Protocol.strip_cr raw)
                   (Protocol.ok_line
                      [ ("opened", Obs.Json.Bool true); ("facts", json_num 0) ]))
         | Protocol.Stat ->
@@ -581,21 +732,40 @@ let handle_request t conn_state ~line raw =
                   | None -> 0
                 in
                 let cache = Engine.cache_stats (Session.engine_state session) in
-                Ok
-                  (Protocol.ok_line
-                     [
-                       ("session", Obs.Json.Str entry.id);
-                       ("facts", json_num facts);
-                       ("rules", json_num (List.length (Session.rules session)));
-                       ("pending_edits", json_num (Session.pending_edits session));
-                       ( "rules_dirty",
-                         Obs.Json.Bool (Session.rules_dirty session) );
-                       ( "resolved",
-                         Obs.Json.Bool (Session.last_result session <> None) );
-                       ("cache_entries", json_num cache.Engine.solve_entries);
-                       ("cache_hits", json_num cache.Engine.solve_hits);
-                       ("cache_misses", json_num cache.Engine.solve_misses);
-                     ]))
+                let fields =
+                  [
+                    ("session", Obs.Json.Str entry.id);
+                    ("facts", json_num facts);
+                    ("rules", json_num (List.length (Session.rules session)));
+                    ("pending_edits", json_num (Session.pending_edits session));
+                    ( "rules_dirty",
+                      Obs.Json.Bool (Session.rules_dirty session) );
+                    ( "resolved",
+                      Obs.Json.Bool (Session.last_result session <> None) );
+                    ("cache_entries", json_num cache.Engine.solve_entries);
+                    ("cache_hits", json_num cache.Engine.solve_hits);
+                    ("cache_misses", json_num cache.Engine.solve_misses);
+                  ]
+                in
+                let fields =
+                  (* Durability fields only when --state-dir is set, so
+                     plain servers keep their exact response bytes. *)
+                  if t.config.state_dir = None then fields
+                  else
+                    fields
+                    @ [
+                        ("durable", Obs.Json.Bool (entry.journal <> None));
+                        ( "recovery",
+                          Obs.Json.Str
+                            (Option.value ~default:"none" entry.recovery) );
+                        ( "journal_records",
+                          json_num
+                            (match entry.journal with
+                            | Some j -> Journal.records_since_snapshot j
+                            | None -> 0) );
+                      ]
+                in
+                Ok (Protocol.ok_line fields))
         | Protocol.Result_ ->
             locked (fun entry ->
                 let session = entry.session in
@@ -640,7 +810,7 @@ let handle_request t conn_state ~line raw =
                       | Some g -> Kg.Graph.size g
                       | None -> 0
                     in
-                    Ok
+                    persist_snapshot entry ~line
                       (Protocol.ok_line
                          [
                            ("loaded", Obs.Json.Str path);
@@ -657,7 +827,7 @@ let handle_request t conn_state ~line raw =
                 | Ok q -> (
                     match Session.assert_fact entry.session q with
                     | Ok _ ->
-                        Ok
+                        persist entry ~line ~raw:(Protocol.strip_cr raw)
                           (Protocol.ok_line
                              [ ("asserted", Obs.Json.Str (Kg.Quad.to_string q)) ])
                     | Error e ->
@@ -671,7 +841,7 @@ let handle_request t conn_state ~line raw =
                 | Ok q -> (
                     match Session.retract entry.session q with
                     | Ok _ ->
-                        Ok
+                        persist entry ~line ~raw:(Protocol.strip_cr raw)
                           (Protocol.ok_line
                              [ ("retracted", Obs.Json.Str (Kg.Quad.to_string q)) ])
                     | Error e ->
@@ -680,7 +850,7 @@ let handle_request t conn_state ~line raw =
             locked (fun entry ->
                 match Session.add_rules entry.session payload with
                 | Ok rules ->
-                    Ok
+                    persist entry ~line ~raw:(Protocol.strip_cr raw)
                       (Protocol.ok_line
                          [
                            ( "added",
@@ -694,7 +864,8 @@ let handle_request t conn_state ~line raw =
         | Protocol.Cmd (Tecore.Script.Unrule name) ->
             locked (fun entry ->
                 if Session.remove_rule entry.session name then
-                  Ok (Protocol.ok_line [ ("removed", Obs.Json.Str name) ])
+                  persist entry ~line ~raw:(Protocol.strip_cr raw)
+                    (Protocol.ok_line [ ("removed", Obs.Json.Str name) ])
                 else
                   Error
                     (exec_error ~line (Printf.sprintf "no rule named %S" name)))
@@ -806,6 +977,50 @@ let accept_loop t =
   loop ()
 
 (* ------------------------------------------------------------------ *)
+(* Idle-session TTL                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Expire sessions idle past the TTL. With a state dir this parks them:
+   the journal is closed (all acked edits are already on disk) and a
+   later [hello] transparently recovers the session; without one the
+   in-memory state is discarded. Connections still attached get a typed
+   [expired] error on their next request. *)
+let janitor_loop t ttl =
+  let period = Float.max 0.02 (Float.min (ttl /. 4.) 0.5) in
+  while not (Atomic.get t.stop_requested) do
+    Thread.delay period;
+    let now = Unix.gettimeofday () in
+    Mutex.lock t.registry_lock;
+    let stale =
+      Hashtbl.fold
+        (fun _ e acc -> if now -. e.last_wall > ttl then e :: acc else acc)
+        t.sessions []
+    in
+    List.iter
+      (fun e ->
+        e.expired <- true;
+        Hashtbl.remove t.sessions e.id)
+      stale;
+    Mutex.unlock t.registry_lock;
+    List.iter
+      (fun e ->
+        (* Take the entry lock so an in-flight edit finishes (and its
+           journal append lands) before the fd goes away. *)
+        Mutex.lock e.lock;
+        (match e.journal with Some j -> Journal.close j | None -> ());
+        e.journal <- None;
+        Mutex.unlock e.lock;
+        Atomic.incr t.expired_total;
+        Obs.count "serve.sessions_expired";
+        Obs.event "serve.session_expire"
+          [
+            ("client", Obs.Events.Str e.id);
+            ("parked", Obs.Events.Bool (t.config.state_dir <> None));
+          ])
+      stale
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -843,6 +1058,8 @@ let start ?(config = default_config) (listen : listen) =
       registry_lock = Mutex.create ();
       registry_clock = 0;
       evicted_total = Atomic.make 0;
+      expired_total = Atomic.make 0;
+      recovered_total = Atomic.make 0;
       queue = Queue.create ();
       queue_lock = Mutex.create ();
       queue_cv = Condition.create ();
@@ -857,11 +1074,51 @@ let start ?(config = default_config) (listen : listen) =
       conn_threads = [];
       accept_thread = None;
       resolver_thread = None;
+      janitor_thread = None;
     }
   in
+  (* Startup recovery: rebuild the registry from every session directory
+     under the state dir before accepting connections. A session whose
+     recovery fails environmentally is skipped (logged), never fatal. *)
+  (match config.state_dir with
+  | None -> ()
+  | Some state_dir ->
+      List.iter
+        (fun id ->
+          t.registry_clock <- t.registry_clock + 1;
+          match
+            Journal.recover ~state_dir ~fsync:config.fsync
+              ~compact_every:config.compact_every id
+          with
+          | r ->
+              Atomic.incr t.recovered_total;
+              Obs.count "serve.sessions_recovered";
+              Hashtbl.replace t.sessions id
+                {
+                  id;
+                  session = r.Journal.session;
+                  lock = Mutex.create ();
+                  last_used = t.registry_clock;
+                  last_wall = Unix.gettimeofday ();
+                  evicted = false;
+                  expired = false;
+                  journal = Some r.Journal.journal;
+                  recovery = Some (Journal.status_name r.Journal.status);
+                }
+          | exception e ->
+              Obs.event ~level:Obs.Events.Error "recovery.failed"
+                [
+                  ("session", Obs.Events.Str id);
+                  ("error", Obs.Events.Str (Printexc.to_string e));
+                ])
+        (Journal.list_sessions ~state_dir));
   Obs.event "serve.listening" [ ("address", Obs.Events.Str addr_str) ];
   t.resolver_thread <- Some (Thread.create (fun () -> resolver_loop t) ());
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  (match config.idle_ttl_s with
+  | Some ttl when ttl > 0. ->
+      t.janitor_thread <- Some (Thread.create (fun () -> janitor_loop t ttl) ())
+  | _ -> ());
   t
 
 let connect t =
@@ -898,6 +1155,7 @@ let stop t =
       conns;
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
     (match t.resolver_thread with Some th -> Thread.join th | None -> ());
+    (match t.janitor_thread with Some th -> Thread.join th | None -> ());
     (* The resolver has exited; answer whatever is still queued. *)
     Mutex.lock t.queue_lock;
     Queue.iter
@@ -929,6 +1187,19 @@ let stop t =
           drain ()
     in
     drain ();
+    (* Every connection thread has exited: no append can be in flight.
+       Flush and release the journals for a clean next start. *)
+    Mutex.lock t.registry_lock;
+    let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.sessions [] in
+    Mutex.unlock t.registry_lock;
+    List.iter
+      (fun e ->
+        match e.journal with
+        | Some j ->
+            Journal.close j;
+            e.journal <- None
+        | None -> ())
+      entries;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     match t.sockaddr with
     | Unix.ADDR_UNIX path -> (

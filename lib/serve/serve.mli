@@ -26,6 +26,14 @@
     exceptions inside a request are contained as typed [internal]
     errors and the connection stays usable. *)
 
+module Journal = Journal
+(** Re-export: the durability layer (see {!Journal}), so callers can
+    name [Serve.Journal.fsync_policy] without linking the internal
+    module path. *)
+
+module Protocol = Protocol
+(** Re-export: the wire protocol, for tests and embedding clients. *)
+
 type config = {
   engine : Tecore.Engine.engine;  (** engine for every resolve *)
   jobs : int option;
@@ -56,11 +64,38 @@ type config = {
           attached to an evicted session get a typed [evicted] error on
           their next use and must [hello] again. [None] (default): no
           bound. *)
+  state_dir : string option;
+      (** durability root. When set, every session keeps a write-ahead
+          journal under [STATE_DIR/sessions/]: accepted edits are
+          journaled before they are acked, [start] rebuilds the registry
+          by replaying every session directory (tolerating torn tails —
+          see {!Journal}), and [hello]/[stat] responses gain durability
+          fields. [None] (default): in-memory only, byte-identical
+          responses to previous releases. *)
+  fsync : Journal.fsync_policy;
+      (** journal fsync policy (default {!Journal.Always}: an acked edit
+          survives SIGKILL). Snapshots and manifests are always
+          fsynced. *)
+  compact_every : int;
+      (** compact a session's journal into a fresh snapshot once this
+          many records accumulate since the last snapshot ([<= 0]
+          disables size-triggered compaction; [load] still forces
+          one). *)
+  idle_ttl_s : float option;
+      (** idle-session TTL in seconds. Sessions idle past it are expired
+          by a janitor thread (counted in
+          [serve_sessions_expired_total]): parked to disk when
+          [state_dir] is set (a later [hello] recovers them
+          transparently), discarded otherwise. Attached connections get
+          a typed [expired] error on their next use. [None] (default):
+          sessions never expire. *)
 }
 
 val default_config : config
 (** [Auto] engine, env-default jobs, queue bound 64, no budget, 1 MiB
-    line cap, shutdown disabled, unbounded sessions. *)
+    line cap, shutdown disabled, unbounded sessions, no state dir
+    (fsync [Always], compaction at 256 records when one is set), no
+    idle TTL. *)
 
 type listen = [ `Tcp of int | `Unix of string ]
 (** [`Tcp port] binds 127.0.0.1:[port] ([0] picks a free port);
@@ -70,8 +105,12 @@ type listen = [ `Tcp of int | `Unix of string ]
 type t
 
 val start : ?config:config -> listen -> t
-(** Bind, spawn the accept and resolver threads, and return. Raises
-    [Unix.Unix_error] when the address cannot be bound. *)
+(** Bind, spawn the accept and resolver threads, and return. With
+    [state_dir] set, first rebuilds the session registry by recovering
+    every session directory (replaying snapshots and journals; torn or
+    corrupt content degrades to a typed recovery status, never an
+    exception). Raises [Unix.Unix_error] when the address cannot be
+    bound. *)
 
 val port : t -> int option
 (** The actual TCP port ([None] for Unix-domain servers). *)
@@ -98,6 +137,13 @@ val shed_count : t -> int
 val sessions_evicted : t -> int
 (** Sessions LRU-evicted under [max_sessions] since [start]. *)
 
+val sessions_expired : t -> int
+(** Sessions expired by the idle TTL since [start]. *)
+
+val sessions_recovered : t -> int
+(** Sessions recovered from the state dir (at [start] or lazily on
+    [hello]) since [start]. *)
+
 val requests_total : t -> int
 (** Requests parsed off all connections since [start]. *)
 
@@ -105,8 +151,10 @@ val metrics_text : t -> string
 (** Live OpenMetrics exposition: the whole {!Obs} report (span times,
     counters, solver histograms) plus [serve_sessions_open],
     [serve_queue_depth], [serve_requests_total{outcome=...}],
-    [serve_shed_total] and [serve_sessions_evicted_total], terminated
-    by [# EOF]. Passes {!Obs.Export.validate_metrics}. *)
+    [serve_shed_total], [serve_sessions_evicted_total],
+    [serve_sessions_expired_total] and
+    [serve_sessions_recovered_total], terminated by [# EOF]. Passes
+    {!Obs.Export.validate_metrics}. *)
 
 val request_stop : t -> unit
 (** Ask the server to stop (signal-handler safe: only sets a flag; the

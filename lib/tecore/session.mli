@@ -78,6 +78,16 @@ val complete_predicate : t -> string -> string list
 (** Auto-completion for the constraints editor (Figure 5): predicates of
     the loaded KG starting with the prefix. *)
 
+val dump_state : t -> string list
+(** The session's durable state as replayable script lines: [@prefix]
+    directives for the namespace, [open] when a graph is loaded, one
+    [rule]/[constraint] declaration per rule and one [assert] line per
+    live fact (in insertion order, so retract tie-breaking survives a
+    round-trip). Floats render through {!Prelude.Floatlit} so weights
+    and confidences reparse bit-identically. This is the body the
+    server's journal writes at snapshot compaction (see
+    [docs/SERVER.md]). *)
+
 val analyse : t -> (Translator.report, string) result
 (** The translator's verification pass for the current selection. *)
 

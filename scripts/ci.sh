@@ -152,11 +152,93 @@ expect_exit 4 "unbindable listen address" \
 expect_exit 4 "client against a dead server" \
   "$CLI" client --socket "$SERVE_SOCK" --send "ping"
 
+echo "== serve crash smoke (SIGKILL mid-journal-append, recover) =="
+# A durable daemon killed with SIGKILL half-way through a journal
+# write must come back with exactly the acked prefix: start it with
+# the journal_torn fault armed (the 6th append on the session's
+# journal writes half a frame and stalls), drive five acked records
+# in, let the sixth tear, kill -9, restart over the same state dir,
+# and check the recovered session resolves identically to an
+# uninterrupted session fed the same five records.
+CRASH_DIR=$(mktemp -d)
+CRASH_SOCK=$(mktemp -u)
+TECORE_FAULTS=journal_torn:6 "$CLI" serve \
+  --socket "$CRASH_SOCK" --state-dir "$CRASH_DIR" >/dev/null 2>&1 &
+CRASH_PID=$!
+for _ in $(seq 50); do [ -S "$CRASH_SOCK" ] && break; sleep 0.1; done
+[ -S "$CRASH_SOCK" ] || { echo "crash smoke: serve did not bind $CRASH_SOCK" >&2; exit 1; }
+expect_exit 0 "crash smoke: acked prefix" \
+  "$CLI" client --socket "$CRASH_SOCK" \
+  --send "hello crash" --send "open" \
+  --send "assert ex:P1 ex:playsFor ex:T1 [2000,2004] 0.9 ." \
+  --send "assert ex:P1 ex:playsFor ex:T2 [2002,2006] 0.8 ." \
+  --send "assert ex:P2 ex:playsFor ex:T1 [2001,2005] 0.7 ." \
+  --send "assert ex:P2 ex:playsFor ex:T2 [2003,2007] 0.6 ."
+# The sixth append tears mid-frame and stalls before the ack; the
+# client must hang (timeout exits 124), at which point the daemon is
+# killed hard with the torn record on disk.
+TORN_EXIT=0
+timeout 5 "$CLI" client --socket "$CRASH_SOCK" \
+  --send "hello crash" \
+  --send "assert ex:P3 ex:playsFor ex:T3 [2004,2008] 0.5 ." \
+  >/dev/null 2>&1 || TORN_EXIT=$?
+[ "$TORN_EXIT" -eq 124 ] \
+  || { echo "crash smoke: torn append did not stall the ack (exit $TORN_EXIT)" >&2; exit 1; }
+kill -9 "$CRASH_PID" 2>/dev/null || true
+wait "$CRASH_PID" 2>/dev/null || true
+
+# Restart (no fault) over the same state dir, binding elsewhere and
+# moving the socket into place so a client retrying against the stale
+# socket only ever sees ECONNREFUSED or the live daemon — this is the
+# documented --retries scenario (a daemon mid-restart).
+RETRY_OUT=$(mktemp)
+"$CLI" client --socket "$CRASH_SOCK" --retries 20 --backoff 100 \
+  --send "hello crash" --send "stat" > "$RETRY_OUT" &
+RETRY_PID=$!
+"$CLI" serve --socket "$CRASH_SOCK.next" --state-dir "$CRASH_DIR" \
+  >/dev/null 2>&1 &
+CRASH_PID=$!
+for _ in $(seq 50); do [ -S "$CRASH_SOCK.next" ] && break; sleep 0.1; done
+[ -S "$CRASH_SOCK.next" ] || { echo "crash smoke: restarted serve did not bind" >&2; exit 1; }
+mv "$CRASH_SOCK.next" "$CRASH_SOCK"
+RETRY_EXIT=0; wait "$RETRY_PID" || RETRY_EXIT=$?
+[ "$RETRY_EXIT" -eq 0 ] \
+  || { echo "client --retries did not ride out the restart (exit $RETRY_EXIT)" >&2; exit 1; }
+grep -q '"recovery":"partial"' "$RETRY_OUT" \
+  || { echo "crash smoke: recovered hello does not report a partial recovery" >&2; cat "$RETRY_OUT" >&2; exit 1; }
+grep -q '"facts":4' "$RETRY_OUT" \
+  || { echo "crash smoke: recovered stat does not report the 4 acked facts" >&2; cat "$RETRY_OUT" >&2; exit 1; }
+# The recovered resolution must match an uninterrupted session fed the
+# same acked prefix (a fresh session on the same daemon and engine).
+CRASH_OBJ=$("$CLI" client --socket "$CRASH_SOCK" \
+  --send "hello crash" --send "resolve" | grep -o '"objective":[0-9.eE+-]*')
+REF_OBJ=$("$CLI" client --socket "$CRASH_SOCK" \
+  --send "hello crash-ref" --send "open" \
+  --send "assert ex:P1 ex:playsFor ex:T1 [2000,2004] 0.9 ." \
+  --send "assert ex:P1 ex:playsFor ex:T2 [2002,2006] 0.8 ." \
+  --send "assert ex:P2 ex:playsFor ex:T1 [2001,2005] 0.7 ." \
+  --send "assert ex:P2 ex:playsFor ex:T2 [2003,2007] 0.6 ." \
+  --send "resolve" | grep -o '"objective":[0-9.eE+-]*')
+[ -n "$CRASH_OBJ" ] && [ "$CRASH_OBJ" = "$REF_OBJ" ] \
+  || { echo "crash smoke: recovered objective ($CRASH_OBJ) != reference ($REF_OBJ)" >&2; exit 1; }
+expect_exit 0 "crash smoke: shutdown" \
+  "$CLI" client --socket "$CRASH_SOCK" --send "shutdown"
+wait "$CRASH_PID" || { echo "restarted serve exited non-zero" >&2; exit 1; }
+rm -rf "$CRASH_DIR"; rm -f "$CRASH_SOCK" "$RETRY_OUT"
+
 echo "== bench serve --check (committed BENCH_serve.json) =="
 # Re-measures wire latency/throughput at 1..N concurrent sessions and
 # compares against the committed baseline (generous tolerance), plus
 # the committed warm-beats-cold headline at one session.
 BENCH_FAST=1 dune exec bench/main.exe -- serve --check
+
+echo "== bench durability --check (committed BENCH_durability.json) =="
+# Re-measures the warm edit-path ack latency with no journal, an
+# unfsynced journal and a per-record fsync, compares each cell against
+# the committed baseline (generous tolerance), and re-asserts the
+# headline on both the committed and the live numbers: journaling
+# without fsync stays within a small factor of the in-memory ack.
+BENCH_FAST=1 dune exec bench/main.exe -- durability --check
 
 echo "== bench incr --check (committed BENCH_incremental.json) =="
 # Re-measures fresh vs incremental and compares against the committed

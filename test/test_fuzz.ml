@@ -436,6 +436,154 @@ let test_wire_oversized_line () =
           Alcotest.(check string)
             "usable after overflow" "ok {\"pong\":true}" (input_line ic)))
 
+(* ------------------------------------------------------------------ *)
+(* Journal files: random damage must never escape typed recovery       *)
+(* ------------------------------------------------------------------ *)
+
+(* [Serve.Journal.recover] claims to be a total function of the bytes
+   on disk: truncated, bit-flipped, duplicated or garbage-stuffed
+   journals must yield a typed status and a consistent (possibly
+   shorter) session — never an exception — and a second recovery of the
+   same directory must be clean and identical (the self-heal
+   converges). Frames are built by hand from the documented format
+   (length.be32 ++ crc32.be32 ++ payload ++ '\n') so this fuzz also
+   pins the on-disk contract itself. *)
+
+module Journal = Serve.Journal
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 9) in
+  let be32 v =
+    List.iter
+      (fun sh -> Buffer.add_char b (Char.chr ((v lsr sh) land 0xff)))
+      [ 24; 16; 8; 0 ]
+  in
+  be32 (String.length payload);
+  be32 (Journal.crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let journal_records =
+  "open"
+  :: List.init 9 (fun i ->
+         Printf.sprintf "assert ex:P%d ex:playsFor ex:T%d [%d,%d] 0.7 ."
+           (i mod 4) (i mod 3) (2000 + i) (2001 + i))
+
+let journal_bytes = String.concat "" (List.map frame journal_records)
+
+let write_file path content =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc content)
+
+let session_facts session =
+  match Tecore.Session.graph session with
+  | Some g -> Kg.Graph.size g
+  | None -> 0
+
+let splice data ~at insert = String.sub data 0 at ^ insert
+                             ^ String.sub data at (String.length data - at)
+
+let mutate rng data =
+  let n = String.length data in
+  match Prng.int rng 4 with
+  | 0 ->
+      (* truncation (torn tail, lost write) *)
+      String.sub data 0 (Prng.int rng (n + 1))
+  | 1 when n > 0 ->
+      (* single bit flip (media corruption) *)
+      let b = Bytes.of_string data in
+      let i = Prng.int rng n in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int rng 8)));
+      Bytes.to_string b
+  | 2 ->
+      (* duplicated slice (replayed write, doubled sector) *)
+      let a = Prng.int rng (n + 1) in
+      let len = Prng.int rng (n - a + 1) in
+      splice data ~at:(Prng.int rng (n + 1)) (String.sub data a len)
+  | _ ->
+      (* interleaved garbage *)
+      let garbage =
+        String.init
+          (1 + Prng.int rng 24)
+          (fun _ -> Char.chr (Prng.int rng 256))
+      in
+      splice data ~at:(Prng.int rng (n + 1)) garbage
+
+(* One damaged-directory round: build a pristine session dir, overwrite
+   [victim] with mutated bytes, recover twice. *)
+let damage_round rng ~iter ~victim =
+  let state_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tecore-fuzz-journal-%d-%d" (Unix.getpid ()) iter)
+  in
+  rm_rf state_dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf state_dir)
+    (fun () ->
+      Journal.close
+        (Journal.create ~state_dir ~fsync:Journal.Never ~compact_every:0 "fz");
+      let dir = Journal.session_dir ~state_dir "fz" in
+      write_file (Filename.concat dir "journal.0") journal_bytes;
+      let target = Filename.concat dir victim in
+      let pristine =
+        In_channel.with_open_bin target In_channel.input_all
+      in
+      write_file target (mutate rng pristine);
+      let r =
+        try
+          Journal.recover ~state_dir ~fsync:Journal.Never ~compact_every:0
+            "fz"
+        with e ->
+          Alcotest.failf "iter %d (%s): recovery raised %s" iter victim
+            (Printexc.to_string e)
+      in
+      let facts = session_facts r.Journal.session in
+      ignore (Journal.status_name r.Journal.status);
+      Journal.close r.Journal.journal;
+      (* The first recovery repaired whatever it found: recovering the
+         same directory again must be clean and identical. *)
+      let r2 =
+        try
+          Journal.recover ~state_dir ~fsync:Journal.Never ~compact_every:0
+            "fz"
+        with e ->
+          Alcotest.failf "iter %d (%s): second recovery raised %s" iter
+            victim (Printexc.to_string e)
+      in
+      (match r2.Journal.status with
+      | Journal.Full -> ()
+      | s ->
+          Alcotest.failf "iter %d (%s): self-heal did not converge: %s" iter
+            victim (Journal.status_name s));
+      if session_facts r2.Journal.session <> facts then
+        Alcotest.failf "iter %d (%s): facts drifted across self-heal: %d -> %d"
+          iter victim facts
+          (session_facts r2.Journal.session);
+      Journal.close r2.Journal.journal)
+
+let test_journal_damage_total () =
+  let rng = Prng.create 501 in
+  for iter = 1 to 120 do
+    damage_round rng ~iter ~victim:"journal.0"
+  done
+
+let test_manifest_damage_total () =
+  let rng = Prng.create 502 in
+  for iter = 1 to 40 do
+    damage_round rng ~iter ~victim:"MANIFEST"
+  done
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -477,5 +625,12 @@ let () =
             test_wire_mutations_total;
           Alcotest.test_case "oversized frames refused, connection survives"
             `Quick test_wire_oversized_line;
+        ] );
+      ( "journal files",
+        [
+          Alcotest.test_case "damaged journals recover, typed" `Quick
+            test_journal_damage_total;
+          Alcotest.test_case "damaged manifests recover, typed" `Quick
+            test_manifest_damage_total;
         ] );
     ]
