@@ -2170,11 +2170,100 @@ let serve_check_run () =
            (List.length fs)
            (String.concat "\n  " (List.rev fs)))
 
+(* Tracing sanity gate: with every-request sampling on, each traced
+   request's phase durations must sum to at most its wall time (phases
+   are disjoint sub-intervals of the request; 5% + 1 ms covers timer
+   quantisation), and the slowest resolve must attribute a meaningful
+   share of its wall time to named phases — a regression here means the
+   phase brackets fell off the hot path. *)
+let serve_trace_gate () =
+  let config = { Serve.default_config with Serve.trace_every = 1 } in
+  let server = Serve.start ~config (`Tcp 0) in
+  let records =
+    Fun.protect
+      ~finally:(fun () -> Serve.stop server)
+      (fun () ->
+        let fd = Serve.connect server in
+        let ic = Unix.in_channel_of_descr fd in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let req = serve_client_request fd ic in
+            req "hello trace-gate";
+            req "open";
+            req
+              "constraint one_team: ex:playsFor(x, y)@t ^ \
+               ex:playsFor(x, z)@t2 ^ y != z => disjoint(t, t2) .";
+            for f = 1 to 30 do
+              req
+                (Printf.sprintf
+                   "assert ex:P%d ex:playsFor ex:T%d [%d,%d] 0.8 ."
+                   (f mod 6) (f mod 3)
+                   (1900 + (3 * (f / 6)))
+                   (1904 + (3 * (f / 6))))
+            done;
+            req "resolve";
+            req "assert ex:P99 ex:playsFor ex:T0 [2000,2001] 0.6 .";
+            req "resolve");
+        (* Stop joins the connection thread, so every record — including
+           the final resolve's, emitted after its reply — is in the
+           ring before we read it. *)
+        Serve.stop server;
+        Serve.recent_records server)
+  in
+  if List.length records < 10 then
+    failwith
+      (Printf.sprintf "serve trace gate: only %d traced requests recorded"
+         (List.length records));
+  let phase_sum (r : Serve.Access_log.record) =
+    List.fold_left (fun acc (_, ms) -> acc +. ms) 0. r.phases
+  in
+  List.iter
+    (fun (r : Serve.Access_log.record) ->
+      let sum = phase_sum r in
+      if sum > (r.wall_ms *. 1.05) +. 1.0 then
+        failwith
+          (Printf.sprintf
+             "serve trace gate: req %d (%s): phases sum to %.3f ms, \
+              exceeding the %.3f ms wall time"
+             r.req r.verb sum r.wall_ms))
+    records;
+  let slowest_resolve =
+    List.fold_left
+      (fun acc (r : Serve.Access_log.record) ->
+        if r.verb <> "resolve" then acc
+        else
+          match acc with
+          | Some (b : Serve.Access_log.record) when b.wall_ms >= r.wall_ms ->
+              acc
+          | _ -> Some r)
+      None records
+  in
+  (match slowest_resolve with
+  | None -> failwith "serve trace gate: no traced resolve"
+  | Some r ->
+      (* The cold resolve is dominated by ground + solve; well under
+         half attributed means the brackets are broken. The floor is
+         deliberately loose: wall time also absorbs scheduler noise on
+         a loaded host. *)
+      if phase_sum r < 0.25 *. r.wall_ms then
+        failwith
+          (Printf.sprintf
+             "serve trace gate: resolve req %d attributes only %.3f of \
+              %.3f ms to phases"
+             r.req (phase_sum r) r.wall_ms));
+  row "serve trace gate: %d traced requests, phase sums within wall time\n"
+    (List.length records)
+
 let serve_bench () =
-  if !obs_check then serve_check_run ()
+  if !obs_check then begin
+    serve_check_run ();
+    serve_trace_gate ()
+  end
   else begin
     section "SERVE"
       "serve: wire latency and throughput -> BENCH_serve.json";
+    serve_trace_gate ();
     let reps, cells = serve_measure () in
     (* Write-time gate: at one session, warm resolves through the server
        must beat the cold (from-scratch) resolve on median. *)

@@ -763,7 +763,8 @@ let serve_listen socket port : Serve.listen =
   | None, None -> `Tcp 0
 
 let serve_config engine jobs queue timeout max_sessions state_dir fsync
-    compact_every idle_ttl allow_shutdown =
+    compact_every idle_ttl access_log access_log_max_bytes access_log_keep
+    trace_every allow_shutdown =
   {
     Serve.default_config with
     Serve.engine;
@@ -776,13 +777,19 @@ let serve_config engine jobs queue timeout max_sessions state_dir fsync
     fsync;
     compact_every;
     idle_ttl_s = idle_ttl;
+    access_log;
+    access_log_max_bytes;
+    access_log_keep;
+    trace_every;
   }
 
 let serve_run socket port engine jobs queue timeout max_sessions state_dir
-    fsync compact_every idle_ttl script =
+    fsync compact_every idle_ttl access_log access_log_max_bytes
+    access_log_keep trace_every script =
   handle (fun () ->
       let serve_config = serve_config engine jobs queue timeout max_sessions
-          state_dir fsync compact_every idle_ttl
+          state_dir fsync compact_every idle_ttl access_log
+          access_log_max_bytes access_log_keep trace_every
       in
       match script with
       | Some script_file ->
@@ -934,6 +941,45 @@ let serve_cmd =
              it is discarded. Connections still attached get a typed \
              $(b,expired) error on their next request.")
   in
+  let access_log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON-lines record per traced request to FILE: \
+             request id, session, verb, outcome, wall time and the \
+             per-phase breakdown (parse, queue, lock, ground, solve, \
+             journal, fsync, reply). Rotated at \
+             $(b,--access-log-max-bytes); analysed offline with \
+             $(b,tecore logstat). Implies $(b,--trace-every 1) unless a \
+             period is given explicitly.")
+  in
+  let access_log_max_bytes =
+    Arg.(
+      value & opt int (4 * 1024 * 1024)
+      & info [ "access-log-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Rotate the access log before it would exceed BYTES \
+             (FILE -> FILE.1 -> ... -> FILE.N, oldest dropped).")
+  in
+  let access_log_keep =
+    Arg.(
+      value & opt int 3
+      & info [ "access-log-keep" ] ~docv:"N"
+          ~doc:"Rotated access-log files kept before the oldest is dropped.")
+  in
+  let trace_every =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-every" ] ~docv:"N"
+          ~doc:
+            "Request-trace sampling period: 0 off (default), 1 every \
+             request, N every Nth request (by request id). Traced \
+             requests carry a $(b,req) field in their response, feed the \
+             $(b,tail) verb and the $(b,serve_request_phase_ms) metrics, \
+             and land in $(b,--access-log) when one is set. Adjustable \
+             at runtime with the $(b,trace) verb.")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits:serve_exits
        ~doc:"Serve many incremental sessions over a line protocol"
@@ -944,10 +990,11 @@ let serve_cmd =
              "Long-lived daemon multiplexing many incremental resolution \
               sessions over a line-oriented wire protocol (the session \
               edit-script language plus server verbs: hello, open, stat, \
-              result, metrics, ping, quit, shutdown). Responses are \
-              single-line $(b,ok)/$(b,err) JSON objects; a bounded run \
-              queue sheds excess resolves with typed $(b,overloaded) \
-              responses. See docs/SERVER.md for the protocol grammar.";
+              result, metrics, ping, quit, shutdown, trace, tail). \
+              Responses are single-line $(b,ok)/$(b,err) JSON objects; a \
+              bounded run queue sheds excess resolves with typed \
+              $(b,overloaded) responses. See docs/SERVER.md for the \
+              protocol grammar and the request-tracing model.";
            `P
              "Exit status 0 on clean shutdown (SIGINT, SIGTERM or the \
               $(b,shutdown) verb).";
@@ -955,7 +1002,8 @@ let serve_cmd =
     Term.(
       const serve_run $ socket_arg $ port_arg $ engine_arg $ jobs_arg
       $ queue $ timeout $ max_sessions $ state_dir $ fsync $ compact_every
-      $ idle_ttl $ script)
+      $ idle_ttl $ access_log $ access_log_max_bytes $ access_log_keep
+      $ trace_every $ script)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1073,12 +1121,89 @@ let client_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* Offline analyzer for the server's access log: the same aggregation
+   as Serve.Access_log.stats (and therefore the same quantiles as the
+   live serve_request_phase_ms summaries over the same records). *)
+let logstat file top =
+  handle (fun () ->
+      let records, warnings =
+        try Serve.Access_log.read_file file
+        with Sys_error msg -> raise (Cli_error (exit_io, msg))
+      in
+      List.iter
+        (fun w ->
+          Printf.eprintf "warning: %s\n"
+            (Serve.Access_log.warning_to_string w))
+        warnings;
+      let s = Serve.Access_log.stats ~top records in
+      Printf.printf "%d requests\n" s.Serve.Access_log.total;
+      if s.Serve.Access_log.total > 0 then begin
+      Printf.printf "%-8s %8s %10s %10s %10s %12s\n" "phase" "count"
+        "p50 ms" "p95 ms" "max ms" "total ms";
+        let row name h =
+          Printf.printf "%-8s %8d %10.3f %10.3f %10.3f %12.3f\n" name
+            (Obs.Histogram.count h)
+            (Obs.Histogram.quantile h 0.5)
+            (Obs.Histogram.quantile h 0.95)
+            (Obs.Histogram.maximum h) (Obs.Histogram.total h)
+        in
+        row "wall" s.Serve.Access_log.wall;
+        List.iter (fun (name, h) -> row name h) s.Serve.Access_log.phase_hists;
+        print_endline "-- slowest requests --";
+        List.iter
+          (fun (r : Serve.Access_log.record) ->
+            Printf.printf "%10.3f ms  req=%d %s %s%s\n"
+              r.Serve.Access_log.wall_ms r.req r.verb r.outcome
+              (match r.session with None -> "" | Some s -> " session=" ^ s))
+          s.Serve.Access_log.slowest
+      end;
+      (* A torn tail is expected after a crash and only warns; damaged
+         records anywhere else mean the file cannot be trusted. *)
+      if
+        List.exists
+          (function Serve.Access_log.Bad_record _ -> true | _ -> false)
+          warnings
+      then failwith "access log contains malformed records")
+
+let logstat_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Access log written by $(b,tecore serve --access-log).")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Slowest requests listed.")
+  in
+  Cmd.v
+    (Cmd.info "logstat" ~exits:io_exits
+       ~doc:
+         "Summarise a tecore serve access log (per-phase p50/p95, \
+          slowest requests)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Reads the JSON-lines access log of $(b,tecore serve \
+              --access-log) and prints per-phase latency quantiles \
+              (computed exactly like the live \
+              $(b,serve_request_phase_ms) summaries) plus the top-N \
+              slowest requests. A torn final line — the signature of a \
+              crash mid-append — is skipped with a warning; malformed \
+              records anywhere else fail the run.";
+         ])
+    Term.(const logstat $ file $ top)
+
+(* ------------------------------------------------------------------ *)
+
 let main =
   Cmd.group
     (Cmd.info "tecore" ~version:"1.0.0"
        ~doc:"Temporal conflict resolution in uncertain knowledge graphs")
     [ resolve_cmd; analyse_cmd; complete_cmd; generate_cmd; query_cmd;
       suggest_cmd; export_cmd; coalesce_cmd; learn_cmd; diff_cmd;
-      session_cmd; serve_cmd; client_cmd; demo_cmd ]
+      session_cmd; serve_cmd; client_cmd; logstat_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -7,42 +7,73 @@
    its instrumentation in release builds. *)
 
 module Histogram = struct
-  type t = { mutable data : float array; mutable len : int }
+  (* Exact sample storage below [cap]; past it the stored samples
+     degrade to a uniform reservoir (Vitter's algorithm R, driven by a
+     per-histogram splitmix64 state so replays are deterministic),
+     while [count], [total], [minimum] and [maximum] stay exact for the
+     whole stream. Memory is O(cap) however long the process runs —
+     the bound a long-lived server's per-phase histograms rely on. *)
+  type t = {
+    cap : int;
+    mutable data : float array;
+    mutable len : int;
+    mutable seen : int;
+    mutable sum : float;
+    mutable lo : float;
+    mutable hi : float;
+    rng : Prelude.Prng.t;
+  }
 
-  let create () = { data = Array.make 16 0.0; len = 0 }
+  let default_cap = 4096
+  let reservoir_seed = 0x0b5e55ed
+
+  let create ?(cap = default_cap) () =
+    let cap = max 1 cap in
+    {
+      cap;
+      data = Array.make (min cap 16) 0.0;
+      len = 0;
+      seen = 0;
+      sum = 0.0;
+      lo = Float.nan;
+      hi = Float.nan;
+      rng = Prelude.Prng.create reservoir_seed;
+    }
 
   let add h x =
-    if h.len = Array.length h.data then begin
-      let bigger = Array.make (2 * Array.length h.data) 0.0 in
-      Array.blit h.data 0 bigger 0 h.len;
-      h.data <- bigger
-    end;
-    h.data.(h.len) <- x;
-    h.len <- h.len + 1
-
-  let count h = h.len
-
-  let total h =
-    let acc = ref 0.0 in
-    for i = 0 to h.len - 1 do
-      acc := !acc +. h.data.(i)
-    done;
-    !acc
-
-  let mean h = if h.len = 0 then Float.nan else total h /. float_of_int h.len
-
-  let fold_extreme better h =
-    if h.len = 0 then Float.nan
+    h.seen <- h.seen + 1;
+    h.sum <- h.sum +. x;
+    if h.seen = 1 then begin
+      h.lo <- x;
+      h.hi <- x
+    end
     else begin
-      let acc = ref h.data.(0) in
-      for i = 1 to h.len - 1 do
-        if better h.data.(i) !acc then acc := h.data.(i)
-      done;
-      !acc
+      if x < h.lo then h.lo <- x;
+      if x > h.hi then h.hi <- x
+    end;
+    if h.len < h.cap then begin
+      if h.len = Array.length h.data then begin
+        let bigger = Array.make (min h.cap (2 * Array.length h.data)) 0.0 in
+        Array.blit h.data 0 bigger 0 h.len;
+        h.data <- bigger
+      end;
+      h.data.(h.len) <- x;
+      h.len <- h.len + 1
+    end
+    else begin
+      (* Algorithm R: every sample of the stream ends up stored with
+         probability cap/seen. *)
+      let j = Prelude.Prng.int h.rng h.seen in
+      if j < h.cap then h.data.(j) <- x
     end
 
-  let minimum h = fold_extreme ( < ) h
-  let maximum h = fold_extreme ( > ) h
+  let count h = h.seen
+  let total h = h.sum
+  let mean h = if h.seen = 0 then Float.nan else h.sum /. float_of_int h.seen
+  let minimum h = h.lo
+  let maximum h = h.hi
+  let stored h = h.len
+  let capacity h = h.cap
 
   let quantile h q =
     if h.len = 0 then Float.nan
@@ -55,13 +86,84 @@ module Histogram = struct
     end
 
   let merge a b =
-    let h = { data = Array.make (max 16 (a.len + b.len)) 0.0; len = 0 } in
-    Array.blit a.data 0 h.data 0 a.len;
-    Array.blit b.data 0 h.data a.len b.len;
-    h.len <- a.len + b.len;
-    h
+    (* PRNG-free and never aliasing either input: when both stored
+       sample sets fit under the larger cap they are kept whole,
+       otherwise the concatenation is decimated at a fixed stride — so
+       merging the same pair twice gives identical histograms. *)
+    let cap = max a.cap b.cap in
+    let n = a.len + b.len in
+    let all = Array.make (max 1 n) 0.0 in
+    Array.blit a.data 0 all 0 a.len;
+    Array.blit b.data 0 all a.len b.len;
+    let data, len =
+      if n <= cap then (all, n)
+      else begin
+        let out = Array.make cap 0.0 in
+        for i = 0 to cap - 1 do
+          out.(i) <- all.(i * n / cap)
+        done;
+        (out, cap)
+      end
+    in
+    let lo, hi =
+      if a.seen = 0 then (b.lo, b.hi)
+      else if b.seen = 0 then (a.lo, a.hi)
+      else (Float.min a.lo b.lo, Float.max a.hi b.hi)
+    in
+    {
+      cap;
+      data;
+      len;
+      seen = a.seen + b.seen;
+      sum = a.sum +. b.sum;
+      lo;
+      hi;
+      rng = Prelude.Prng.create reservoir_seed;
+    }
 
   let to_list h = Array.to_list (Array.sub h.data 0 h.len)
+end
+
+(* Per-request phase accumulators for [tecore serve]: a request's trace
+   context collects (phase, elapsed-ms) pairs independently of the
+   process-wide span tree, so the server can attribute one request's
+   time to parse/queue/lock/ground/solve/journal/fsync/reply even while
+   global collection is disabled. Contexts are installed per systhread
+   (see [with_phases] below) and explicitly handed between threads by
+   the owner — the connection thread installs the context, the resolver
+   re-installs it around the solve. *)
+module Phases = struct
+  type ctx = {
+    only : string list option;
+        (* when set, spans outside this list are not captured *)
+    mutable depth : int;
+        (* open captured spans; nested ones attribute to the outermost *)
+    mutable acc : (string * float) list; (* reversed insertion order *)
+  }
+
+  let create ?only () = { only; depth = 0; acc = [] }
+
+  let interested ctx name =
+    match ctx.only with
+    | None -> true
+    | Some names -> List.mem name names
+
+  let record ctx name ms = ctx.acc <- (name, ms) :: ctx.acc
+
+  (* Span-capture bracket: [enter] before running the body, [leave]
+     after. Only the outermost captured span records, so a cutting-plane
+     re-ground nested inside [solve] is not double-counted. *)
+  let enter ctx =
+    let outer = ctx.depth in
+    ctx.depth <- outer + 1;
+    outer
+
+  let leave ctx name ms ~outer =
+    ctx.depth <- outer;
+    if outer = 0 then record ctx name ms
+
+  let entries ctx = List.rev ctx.acc
+  let total ctx = List.fold_left (fun s (_, ms) -> s +. ms) 0.0 ctx.acc
 end
 
 module Series = struct
@@ -509,6 +611,51 @@ let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+(* Installed per-request phase contexts, keyed by systhread id: all
+   server threads share one domain, so Domain-local storage cannot tell
+   a connection thread from the resolver. [phases_installed] is a plain
+   load on the hot path — when zero (no tracing anywhere), [span] and
+   [phase] cost exactly two flag reads. *)
+let phase_ctxs : (int, Phases.ctx) Hashtbl.t = Hashtbl.create 8
+let phases_installed = ref 0
+
+let current_phase_ctx () =
+  if !phases_installed = 0 then None
+  else
+    let tid = Thread.id (Thread.self ()) in
+    locked (fun () -> Hashtbl.find_opt phase_ctxs tid)
+
+let with_phases ctx f =
+  let tid = Thread.id (Thread.self ()) in
+  let prev =
+    locked (fun () ->
+        let prev = Hashtbl.find_opt phase_ctxs tid in
+        Hashtbl.replace phase_ctxs tid ctx;
+        incr phases_installed;
+        prev)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      locked (fun () ->
+          (match prev with
+          | Some p -> Hashtbl.replace phase_ctxs tid p
+          | None -> Hashtbl.remove phase_ctxs tid);
+          decr phases_installed))
+    f
+
+(* Time [f] into the calling thread's installed phase context, without
+   ever touching the global span tree — safe on connection threads even
+   while process-wide collection is enabled. No context, no cost. *)
+let phase name f =
+  match current_phase_ctx () with
+  | None -> f ()
+  | Some ctx when Phases.interested ctx name ->
+      let outer = Phases.enter ctx in
+      let t0 = Prelude.Timing.now_ms () in
+      Fun.protect f ~finally:(fun () ->
+          Phases.leave ctx name (Prelude.Timing.now_ms () -. t0) ~outer)
+  | Some _ -> f ()
+
 let enabled () = !is_enabled
 let set_enabled b = locked (fun () -> is_enabled := b)
 let set_trace h = locked (fun () -> trace_hook := h)
@@ -569,10 +716,19 @@ let node_of_frame ~epoch fr elapsed =
   }
 
 let span name f =
-  if not !is_enabled then f ()
+  if not !is_enabled then
+    (* Process-wide collection off: spans still feed an installed
+       per-request phase context, and stay a tail call without one. *)
+    phase name f
   else begin
     let fr = fresh_frame name in
     let did = (Domain.self () :> int) in
+    let pctx =
+      match current_phase_ctx () with
+      | Some ctx when Phases.interested ctx name ->
+          Some (ctx, Phases.enter ctx)
+      | _ -> None
+    in
     locked (fun () ->
         if did = !main_domain then stack := fr :: !stack
         else begin
@@ -596,6 +752,9 @@ let span name f =
         end);
     let close () =
       let elapsed = Prelude.Timing.now_ms () -. fr.start_ms in
+      (match pctx with
+      | Some (ctx, outer) -> Phases.leave ctx name elapsed ~outer
+      | None -> ());
       locked (fun () ->
           let finish parent depth =
             parent.fchildren <-
@@ -1219,7 +1378,7 @@ module Export = struct
                   (metric_value y)
             | [] -> ())
           rows);
-    (if r.events <> [] || r.events_dropped > 0 then begin
+    (if r.events <> [] then begin
        line "# TYPE tecore_events counter";
        List.iter
          (fun lv ->
@@ -1229,10 +1388,12 @@ module Export = struct
            line "tecore_events_total%s %d"
              (labels [ ("level", Events.level_name lv) ])
              n)
-         [ Events.Debug; Events.Info; Events.Warn; Events.Error ];
-       line "# TYPE tecore_events_dropped counter";
-       line "tecore_events_dropped_total %d" r.events_dropped
+         [ Events.Debug; Events.Info; Events.Warn; Events.Error ]
      end);
+    (* Always emitted, so scrapers can alert on ring overflow even when
+       the ring itself is empty (e.g. right after a capacity resize). *)
+    line "# TYPE tecore_events_dropped counter";
+    line "tecore_events_dropped_total %d" r.events_dropped;
     line "# EOF";
     Buffer.contents buf
 

@@ -44,7 +44,9 @@ val span : string -> (unit -> 'a) -> 'a
     the same parent are merged at {!Report.capture} time (their call
     counts and durations accumulate). On a domain other than the main
     stack's owner the span lands in that domain's ["workers/<i>"] lane.
-    Disabled: tail-calls [f]. *)
+    Whether or not collection is enabled, a span also records its
+    elapsed time into the calling thread's installed {!Phases.ctx}, if
+    any. Disabled and with no context installed: tail-calls [f]. *)
 
 val count : ?n:int -> string -> unit
 (** [count name] bumps the counter [name] of the innermost open span by
@@ -114,14 +116,25 @@ val event_capacity : unit -> int
 val events_dropped : unit -> int
 (** Events lost to ring overflow since the last {!reset}. *)
 
-(** Growable sample reservoir with quantile queries, used for
-    solver-iteration metrics (flips per solve, nodes per MILP call, ...). *)
+(** Bounded sample reservoir with quantile queries, used for
+    solver-iteration metrics (flips per solve, nodes per MILP call, ...)
+    and the server's per-phase latency histograms. Storage is exact up
+    to [cap] samples; past that it degrades to a uniform reservoir
+    (deterministic Vitter algorithm R), so quantiles below the cap are
+    exact, quantiles above are estimates, and memory stays O(cap)
+    however long the stream runs. [count], [total], [mean], [minimum]
+    and [maximum] are exact for the whole stream regardless. *)
 module Histogram : sig
   type t
 
-  val create : unit -> t
+  val create : ?cap:int -> unit -> t
+  (** [cap] is the retained-sample bound (default 4096, clamped
+      to >= 1). *)
+
   val add : t -> float -> unit
   val count : t -> int
+  (** Samples offered, including reservoir-displaced ones. *)
+
   val total : t -> float
   val mean : t -> float
   (** [nan] when empty. *)
@@ -129,18 +142,76 @@ module Histogram : sig
   val minimum : t -> float
   val maximum : t -> float
 
+  val stored : t -> int
+  (** Samples currently retained ([<= capacity]). *)
+
+  val capacity : t -> int
+
   val quantile : t -> float -> float
-  (** Nearest-rank quantile: [quantile h q] with [q] clamped to [0, 1]
-      returns the smallest sample s.t. at least [ceil (q * count)]
-      samples are [<=] it ([q = 0] gives the minimum). [nan] when
-      empty. *)
+  (** Nearest-rank quantile over the retained samples: [quantile h q]
+      with [q] clamped to [0, 1] returns the smallest retained sample
+      s.t. at least [ceil (q * stored)] retained samples are [<=] it
+      ([q = 0] gives the minimum). Exact while [count <= capacity].
+      [nan] when empty. *)
 
   val merge : t -> t -> t
-  (** A new histogram holding both sample sets. *)
+  (** A new histogram holding both sample sets, never aliasing either
+      input, with capacity [max (capacity a) (capacity b)]. When the
+      combined retained samples exceed that capacity they are decimated
+      at a fixed stride, so merging is deterministic: merging the same
+      pair twice gives identical histograms. Stream-exact fields
+      ([count], [total], [minimum], [maximum]) combine exactly. *)
 
   val to_list : t -> float list
-  (** Samples in insertion order. *)
+  (** Retained samples in insertion order (up to reservoir
+      displacement). *)
 end
+
+(** Per-request phase accumulators, the server-side complement to the
+    process-wide span tree: a {!Phases.ctx} installed with
+    {!with_phases} captures the elapsed time of every {!span} and
+    {!phase} run by the installing thread, whether or not global
+    collection is enabled. [tecore serve] uses one context per traced
+    request to attribute its latency to
+    parse/queue/lock/ground/solve/journal/fsync/reply. *)
+module Phases : sig
+  type ctx
+
+  val create : ?only:string list -> unit -> ctx
+  (** A fresh, empty context. With [only], spans whose name is not
+      listed are ignored (the server's filter against non-taxonomy
+      engine spans); nested captured spans attribute to the outermost
+      one, so e.g. a cutting-plane re-ground inside ["solve"] is not
+      double-counted. *)
+
+  val record : ctx -> string -> float -> unit
+  (** Append a directly-measured [(phase, elapsed-ms)] entry, bypassing
+      the [only] filter (used for queue wait, which is computed from
+      timestamps rather than a bracket). *)
+
+  val entries : ctx -> (string * float) list
+  (** Captured entries in insertion order. *)
+
+  val total : ctx -> float
+  (** Sum of all captured durations. *)
+end
+
+val with_phases : Phases.ctx -> (unit -> 'a) -> 'a
+(** [with_phases ctx f] installs [ctx] as the calling {e systhread}'s
+    phase context for the duration of [f] (restoring any previously
+    installed one afterwards, so nesting is safe). While installed,
+    {!span} and {!phase} on this thread record into [ctx]. A context
+    may be handed between threads — the server installs the same
+    request context on the connection thread and, for the solve, on the
+    resolver thread — but must only be installed on one running thread
+    at a time. *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase name f] times [f ()] into the calling thread's installed
+    phase context. Unlike {!span} it never touches the global span
+    tree, so it is safe on server connection threads even while
+    process-wide collection is enabled. Without an installed context it
+    tail-calls [f]. *)
 
 (** Bounded [(x, y)] timeline for convergence curves. Downsampling is by
     decimation (drop every other kept point and double the stride when

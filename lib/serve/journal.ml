@@ -388,7 +388,7 @@ let live_fd t =
 
 let policy_fsync t fd =
   let sync () =
-    Unix.fsync fd;
+    Obs.phase "fsync" (fun () -> Unix.fsync fd);
     t.unsynced <- 0;
     Obs.count "journal.fsync"
   in
@@ -411,7 +411,7 @@ let append t payload =
        Unix.sleepf 30.;
        write_all fd b half (Bytes.length b - half)
      end
-     else write_all fd b 0 (Bytes.length b);
+     else Obs.phase "journal" (fun () -> write_all fd b 0 (Bytes.length b));
      t.unsynced <- t.unsynced + 1;
      policy_fsync t fd
    with Unix.Unix_error (e, fn, _) ->

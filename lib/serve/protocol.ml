@@ -8,6 +8,8 @@ type request =
   | Ping
   | Quit
   | Shutdown
+  | Trace of int
+  | Tail of int
 
 type error_kind =
   | Parse
@@ -79,6 +81,21 @@ let parse_request ~line raw =
   | "ping" -> no_arg "ping" Ping
   | "quit" -> no_arg "quit" Quit
   | "shutdown" -> no_arg "shutdown" Shutdown
+  | "trace" -> (
+      match payload with
+      | "" -> err Parse col_arg "trace: expected on, off or a period N"
+      | "on" -> Ok (Trace 1)
+      | "off" -> Ok (Trace 0)
+      | p -> (
+          match int_of_string_opt p with
+          | Some n when n >= 0 -> Ok (Trace n)
+          | _ -> err Parse col_arg "trace: expected on, off or a period N"))
+  | "tail" -> (
+      if payload = "" then Ok (Tail 10)
+      else
+        match int_of_string_opt payload with
+        | Some n when n > 0 -> Ok (Tail n)
+        | _ -> err Parse col_arg "tail: expected a positive count")
   | "" -> err Parse col_kw "empty request"
   | _ -> (
       (* Everything else is the session edit-script language, with its
@@ -89,11 +106,45 @@ let parse_request ~line raw =
       | Error e ->
           err Parse e.Tecore.Script.column e.Tecore.Script.message)
 
+let request_verb = function
+  | Hello _ -> "hello"
+  | Open_ -> "open"
+  | Stat -> "stat"
+  | Result_ -> "result"
+  | Metrics -> "metrics"
+  | Ping -> "ping"
+  | Quit -> "quit"
+  | Shutdown -> "shutdown"
+  | Trace _ -> "trace"
+  | Tail _ -> "tail"
+  | Cmd c -> (
+      match c with
+      | Tecore.Script.Load _ -> "load"
+      | Tecore.Script.Assert_ _ -> "assert"
+      | Tecore.Script.Retract _ -> "retract"
+      | Tecore.Script.Rule _ -> "rule"
+      | Tecore.Script.Unrule _ -> "unrule"
+      | Tecore.Script.Resolve _ -> "resolve"
+      | Tecore.Script.Diff -> "diff")
+
 (* ------------------------------------------------------------------ *)
 (* Response rendering                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let ok_line fields = "ok " ^ Obs.Json.to_string (Obs.Json.Obj fields)
+
+let with_request_id ~req line =
+  (* Splice ["req":N] in as the first field of the response object, so
+     a traced request's id rides every ok/err line without re-rendering
+     the payload. Lines without an object (never produced by this
+     module) pass through unchanged. *)
+  match String.index_opt line '{' with
+  | None -> line
+  | Some i ->
+      let head = String.sub line 0 (i + 1) in
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      let sep = if rest = "}" then "" else "," in
+      Printf.sprintf "%s\"req\":%d%s%s" head req sep rest
 
 let err_line e =
   "err "

@@ -17,6 +17,8 @@
     ping                   liveness probe
     quit                   close this connection
     shutdown               stop the server (when enabled)
+    trace on|off|N         set request-trace sampling (N = every Nth)
+    tail [K]               the K most recent traced requests (default 10)
     v}
 
     Responses are ["ok <json-object>"] or ["err <json-object>"]; the
@@ -36,6 +38,10 @@ type request =
   | Ping
   | Quit
   | Shutdown
+  | Trace of int
+      (** request-trace sampling period: [0] off, [1] every request,
+          [N] every Nth ([trace on] = 1, [trace off] = 0) *)
+  | Tail of int  (** the K most recent traced requests *)
 
 type error_kind =
   | Parse  (** the request line does not parse *)
@@ -81,8 +87,18 @@ val parse_request : line:int -> string -> (request, error) result
     comment lines are an error on the wire (there is no transcript to
     skip them in). *)
 
+val request_verb : request -> string
+(** The request's first keyword — the [verb] field of access-log
+    records (script commands report their command word, e.g.
+    ["assert"] or ["resolve"]). *)
+
 val ok_line : (string * Obs.Json.t) list -> string
 (** ["ok <compact-json-object>"] — the fields in the given order. *)
 
 val err_line : error -> string
 (** ["err {\"kind\":...,\"line\":...,\"column\":...,\"message\":...}"]. *)
+
+val with_request_id : req:int -> string -> string
+(** Splice [{"req":N}] in as the first field of a rendered response
+    line's JSON object — how a traced request's id is echoed without
+    re-rendering the payload. *)

@@ -3,6 +3,7 @@ module Engine = Tecore.Engine
 module Deadline = Prelude.Deadline
 module Journal = Journal
 module Protocol = Protocol
+module Access_log = Access_log
 
 type config = {
   engine : Engine.engine;
@@ -16,6 +17,10 @@ type config = {
   fsync : Journal.fsync_policy;
   compact_every : int;
   idle_ttl_s : float option;
+  access_log : string option;
+  access_log_max_bytes : int;
+  access_log_keep : int;
+  trace_every : int;
 }
 
 let default_config =
@@ -31,6 +36,10 @@ let default_config =
     fsync = Journal.Always;
     compact_every = 256;
     idle_ttl_s = None;
+    access_log = None;
+    access_log_max_bytes = 4 * 1024 * 1024;
+    access_log_keep = 3;
+    trace_every = 0;
   }
 
 type listen = [ `Tcp of int | `Unix of string ]
@@ -149,6 +158,9 @@ type entry = {
       (** the session's write-ahead journal when [--state-dir] is set *)
   mutable recovery : string option;
       (** {!Journal.status_name} when the session came back from disk *)
+  served : int Atomic.t;
+      (** requests attributed to this session, for the per-session
+          exposition counters *)
 }
 
 type job = {
@@ -156,6 +168,9 @@ type job = {
   mode : [ `Fresh | `Incremental ];
   deadline : Deadline.t;
   job_line : int;
+  trace : Obs.Phases.ctx option;
+      (** the submitting request's phase context, when traced *)
+  submitted_ms : float;  (** enqueue timestamp, for the queue-wait phase *)
   mutable reply : (string, Protocol.error) result option;
   jm : Mutex.t;
   jcv : Condition.t;
@@ -202,6 +217,17 @@ type t = {
   mutable shed : int;
   counters : int Atomic.t array;  (** indexed like [outcomes] *)
   requests : int Atomic.t;
+  start_wall : float;  (** Unix epoch seconds at {!start} *)
+  trace_period : int Atomic.t;
+      (** request-trace sampling period: 0 off, N = every Nth request *)
+  access_writer : Access_log.writer option;
+  trace_lock : Mutex.t;
+      (** orders histogram updates, the recent ring and log writes, so
+          the offline analyzer sees exactly what the live summaries saw *)
+  phase_hists : (string, Obs.Histogram.t) Hashtbl.t;
+  recent : Access_log.record option array;  (** ring of traced requests *)
+  mutable recent_head : int;  (** next write position *)
+  mutable recent_len : int;
   stop_requested : bool Atomic.t;
   mutable stopped : bool;
   conns_lock : Mutex.t;
@@ -239,6 +265,56 @@ let sessions_expired t = Atomic.get t.expired_total
 let sessions_recovered t = Atomic.get t.recovered_total
 
 let requests_total t = Atomic.get t.requests
+
+let start_time t = t.start_wall
+
+let trace_period t = Atomic.get t.trace_period
+
+(* Traced requests still in the ring, oldest first. *)
+let recent_records t =
+  Mutex.lock t.trace_lock;
+  let n = t.recent_len in
+  let cap = Array.length t.recent in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    match t.recent.((t.recent_head - 1 - i + (2 * cap)) mod cap) with
+    | Some r -> out := r :: !out
+    | None -> ()
+  done;
+  Mutex.unlock t.trace_lock;
+  !out
+
+(* Fold one completed traced request into every live view: the
+   per-phase histograms behind [serve_request_phase_ms], the [tail]
+   ring, and the access log. One lock so their contents never diverge —
+   the analyzer ≡ live-summary equivalence the tests pin depends on
+   seeing the same record set everywhere. *)
+let record_trace t (r : Access_log.record) =
+  Mutex.lock t.trace_lock;
+  List.iter
+    (fun (p, ms) ->
+      let h =
+        match Hashtbl.find_opt t.phase_hists p with
+        | Some h -> h
+        | None ->
+            let h = Obs.Histogram.create () in
+            Hashtbl.add t.phase_hists p h;
+            h
+      in
+      Obs.Histogram.add h ms)
+    r.Access_log.phases;
+  let cap = Array.length t.recent in
+  t.recent.(t.recent_head) <- Some r;
+  t.recent_head <- (t.recent_head + 1) mod cap;
+  t.recent_len <- min (t.recent_len + 1) cap;
+  (match t.access_writer with
+  | Some w -> (
+      try Access_log.write w r
+      with Unix.Unix_error _ | Sys_error _ ->
+        (* A failing access log must never take a connection down. *)
+        Obs.count "serve.access_log_error")
+  | None -> ());
+  Mutex.unlock t.trace_lock
 
 let touch t entry =
   Mutex.lock t.registry_lock;
@@ -299,6 +375,70 @@ let metrics_text t =
   Buffer.add_string b
     (Printf.sprintf "serve_sessions_recovered_total %d\n"
        (Atomic.get t.recovered_total));
+  Buffer.add_string b "# TYPE serve_uptime_seconds gauge\n";
+  Buffer.add_string b
+    (Printf.sprintf "serve_uptime_seconds %s\n"
+       (Obs.Json.number (Unix.gettimeofday () -. t.start_wall)));
+  (* Per-phase request-latency summaries, fed by traced requests. The
+     quantile values are Json.number-rendered so the offline analyzer's
+     floats compare byte-for-byte. *)
+  let escape_label s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  Mutex.lock t.trace_lock;
+  let phase_rows =
+    List.filter_map
+      (fun p ->
+        Option.map (fun h -> (p, h)) (Hashtbl.find_opt t.phase_hists p))
+      Access_log.phase_names
+  in
+  if phase_rows <> [] then begin
+    Buffer.add_string b "# TYPE serve_request_phase_ms summary\n";
+    List.iter
+      (fun (p, h) ->
+        List.iter
+          (fun q ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "serve_request_phase_ms{phase=\"%s\",quantile=\"%s\"} %s\n" p
+                 (Obs.Json.number q)
+                 (Obs.Json.number (Obs.Histogram.quantile h q))))
+          [ 0.5; 0.95 ];
+        Buffer.add_string b
+          (Printf.sprintf "serve_request_phase_ms_sum{phase=\"%s\"} %s\n" p
+             (Obs.Json.number (Obs.Histogram.total h)));
+        Buffer.add_string b
+          (Printf.sprintf "serve_request_phase_ms_count{phase=\"%s\"} %d\n" p
+             (Obs.Histogram.count h)))
+      phase_rows
+  end;
+  Mutex.unlock t.trace_lock;
+  Mutex.lock t.registry_lock;
+  let session_rows =
+    Hashtbl.fold
+      (fun id e acc -> (id, Atomic.get e.served) :: acc)
+      t.sessions []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Mutex.unlock t.registry_lock;
+  if session_rows <> [] then begin
+    Buffer.add_string b "# TYPE serve_session_requests_total counter\n";
+    List.iter
+      (fun (id, n) ->
+        Buffer.add_string b
+          (Printf.sprintf "serve_session_requests_total{session=\"%s\"} %d\n"
+             (escape_label id) n))
+      session_rows
+  end;
   Buffer.add_string b eof;
   Buffer.contents b
 
@@ -389,7 +529,7 @@ let persist_snapshot entry ~line ok =
 
 (* The queue-side half of a resolve: admission control, hand-off to the
    resolver thread, and the wait for its reply. *)
-let submit_resolve t ~line entry mode =
+let submit_resolve t ~line ~trace entry mode =
   let deadline = Deadline.of_timeout_ms t.config.request_timeout_ms in
   let job =
     {
@@ -397,6 +537,8 @@ let submit_resolve t ~line entry mode =
       mode;
       deadline;
       job_line = line;
+      trace;
+      submitted_ms = Prelude.Timing.now_ms ();
       reply = None;
       jm = Mutex.create ();
       jcv = Condition.create ();
@@ -504,6 +646,11 @@ let resolver_loop t =
       let draining = Atomic.get t.stop_requested in
       t.running <- 1;
       Mutex.unlock t.queue_lock;
+      (match job.trace with
+      | Some ctx ->
+          Obs.Phases.record ctx "queue"
+            (Prelude.Timing.now_ms () -. job.submitted_ms)
+      | None -> ());
       let reply =
         if draining then
           Error
@@ -525,19 +672,34 @@ let resolver_loop t =
           (* Deterministic slow-resolve injection for the overload tests:
              TECORE_FAULTS=slow_resolve:MS stretches the busy window. *)
           Deadline.Faults.delay "slow_resolve";
+          let lock_t0 = Prelude.Timing.now_ms () in
           Mutex.lock job.entry.lock;
+          (match job.trace with
+          | Some ctx ->
+              Obs.Phases.record ctx "lock"
+                (Prelude.Timing.now_ms () -. lock_t0)
+          | None -> ());
           Fun.protect
             ~finally:(fun () -> Mutex.unlock job.entry.lock)
             (fun () ->
-              try run_resolve t.config job
-              with e ->
-                Error
-                  {
-                    Protocol.kind = Protocol.Internal;
-                    line = job.job_line;
-                    column = 1;
-                    message = "resolve failed: " ^ Printexc.to_string e;
-                  })
+              let run () =
+                try run_resolve t.config job
+                with e ->
+                  Error
+                    {
+                      Protocol.kind = Protocol.Internal;
+                      line = job.job_line;
+                      column = 1;
+                      message = "resolve failed: " ^ Printexc.to_string e;
+                    }
+              in
+              (* The resolver is a different systhread from the
+                 connection that owns the context (which is blocked in
+                 [Condition.wait] until we reply), so the engine's
+                 ground/solve spans need the context installed here. *)
+              match job.trace with
+              | Some ctx -> Obs.with_phases ctx run
+              | None -> run ())
         end
       in
       Mutex.lock job.jm;
@@ -552,11 +714,12 @@ let resolver_loop t =
   in
   loop ()
 
-(* One request, parsed and executed. Returns the response line plus a
-   directive for the connection loop. *)
-let handle_request t conn_state ~line raw =
+(* One parsed request, executed. [trace] is the request's phase context
+   when it was sampled — its presence also gates the trace-only response
+   fields, so untraced servers keep their exact response bytes. *)
+let handle_request t conn_state ~line ~trace parsed raw =
   let result =
-    match Protocol.parse_request ~line raw with
+    match parsed with
     | Error e -> Error e
     | Ok req -> (
         let with_entry k =
@@ -584,7 +747,7 @@ let handle_request t conn_state ~line raw =
         in
         let locked k =
           with_entry (fun entry ->
-              Mutex.lock entry.lock;
+              Obs.phase "lock" (fun () -> Mutex.lock entry.lock);
               Fun.protect
                 ~finally:(fun () -> Mutex.unlock entry.lock)
                 (fun () ->
@@ -611,6 +774,21 @@ let handle_request t conn_state ~line raw =
             else Error (exec_error ~line "shutdown is disabled on this server")
         | Protocol.Metrics ->
             Ok (Protocol.ok_line [ ("metrics", Obs.Json.Str (metrics_text t)) ])
+        | Protocol.Trace n ->
+            Atomic.set t.trace_period n;
+            Obs.event "serve.trace" [ ("every", Obs.Events.Int n) ];
+            Ok (Protocol.ok_line [ ("trace", json_num n) ])
+        | Protocol.Tail k ->
+            let records = recent_records t in
+            let skip = max 0 (List.length records - k) in
+            let records = List.filteri (fun i _ -> i >= skip) records in
+            Ok
+              (Protocol.ok_line
+                 [
+                   ( "requests",
+                     Obs.Json.Arr (List.map Access_log.record_to_json records)
+                   );
+                 ])
         | Protocol.Hello id -> (
             Mutex.lock t.registry_lock;
             t.registry_clock <- t.registry_clock + 1;
@@ -661,6 +839,7 @@ let handle_request t conn_state ~line raw =
                           expired = false;
                           journal;
                           recovery;
+                          served = Atomic.make 0;
                         }
                       in
                       Hashtbl.add t.sessions id e;
@@ -715,6 +894,12 @@ let handle_request t conn_state ~line raw =
                           Obs.Json.Str
                             (Option.value ~default:"none" entry.recovery) );
                       ]
+                in
+                let fields =
+                  (* The start-time echo rides only traced responses,
+                     gated like the durability fields above. *)
+                  if trace = None then fields
+                  else fields @ [ ("started", Obs.Json.Num t.start_wall) ]
                 in
                 Ok (Protocol.ok_line fields))
         | Protocol.Open_ ->
@@ -800,7 +985,7 @@ let handle_request t conn_state ~line raw =
                            ("resolution", resolution_json);
                          ]))
         | Protocol.Cmd (Tecore.Script.Resolve mode) ->
-            with_entry (fun entry -> submit_resolve t ~line entry mode)
+            with_entry (fun entry -> submit_resolve t ~line ~trace entry mode)
         | Protocol.Cmd (Tecore.Script.Load path) ->
             locked (fun entry ->
                 match Session.load entry.session path with
@@ -895,6 +1080,45 @@ let remove_conn t fd =
   Mutex.unlock t.conns_lock;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* Span names captured into a traced request's phase context: the
+   engine's grounding/solving spans plus the serve-side lock/journal
+   brackets. "encode" folds into the solve phase at emission; spans
+   outside this list (resolve, translate, interpret, closure, ...) are
+   nested inside or around the captured ones and would double-count. *)
+let span_phases = [ "ground"; "encode"; "solve"; "lock"; "journal"; "fsync" ]
+
+(* Aggregate a context's raw entries into the canonical taxonomy:
+   duplicates sum (two journal appends in one request), "encode" counts
+   as solve, and phases that never occurred stay absent. *)
+let canonical_phases ctx =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (n, ms) ->
+      let n = if n = "encode" then "solve" else n in
+      Hashtbl.replace tbl n
+        (ms +. Option.value ~default:0.0 (Hashtbl.find_opt tbl n)))
+    (Obs.Phases.entries ctx);
+  List.filter_map
+    (fun p -> Option.map (fun ms -> (p, ms)) (Hashtbl.find_opt tbl p))
+    Access_log.phase_names
+
+let emit_trace t ~req ~session ~parsed ~result ~wall ctx =
+  let verb =
+    match parsed with
+    | Ok r -> Protocol.request_verb r
+    | Error _ -> "invalid"
+  in
+  record_trace t
+    {
+      Access_log.req;
+      ts = Unix.gettimeofday ();
+      session;
+      verb;
+      outcome = outcomes.(outcome_index result);
+      wall_ms = wall;
+      phases = canonical_phases ctx;
+    }
+
 let connection_loop t fd =
   let reader = Reader.create ~max:t.config.max_line_bytes fd in
   let conn_state = ref None in
@@ -920,13 +1144,34 @@ let connection_loop t fd =
         loop ()
     | `Line raw -> (
         incr line;
-        Atomic.incr t.requests;
+        (* Request ids are unique and monotone across all connections:
+           the fetch-and-add is the same counter behind
+           [serve_requests_total]. *)
+        let req = 1 + Atomic.fetch_and_add t.requests 1 in
         Obs.count "serve.requests";
-        let result =
+        let period = Atomic.get t.trace_period in
+        let trace =
+          if period > 0 && (period = 1 || req mod period = 0) then
+            Some (Obs.Phases.create ~only:span_phases ())
+          else None
+        in
+        let t_start =
+          match trace with Some _ -> Prelude.Timing.now_ms () | None -> 0.0
+        in
+        let parsed =
+          match trace with
+          | None -> Protocol.parse_request ~line:!line raw
+          | Some ctx ->
+              let t0 = Prelude.Timing.now_ms () in
+              let p = Protocol.parse_request ~line:!line raw in
+              Obs.Phases.record ctx "parse" (Prelude.Timing.now_ms () -. t0);
+              p
+        in
+        let run () =
           (* Nothing a request does may escape the loop: any unexpected
              exception is contained as a typed internal error and the
              connection keeps serving. *)
-          try handle_request t conn_state ~line:!line raw
+          try handle_request t conn_state ~line:!line ~trace parsed raw
           with e ->
             let err =
               {
@@ -939,11 +1184,36 @@ let connection_loop t fd =
             count_outcome t (Error err);
             Error err
         in
+        let result =
+          match trace with
+          | None -> run ()
+          | Some ctx -> Obs.with_phases ctx run
+        in
+        (match !conn_state with
+        | Some entry -> Atomic.incr entry.served
+        | None -> ());
         let response =
           match result with Ok s -> s | Error e -> Protocol.err_line e
         in
-        send_line fd response;
-        match Protocol.parse_request ~line:!line raw with
+        let response =
+          match trace with
+          | Some _ -> Protocol.with_request_id ~req response
+          | None -> response
+        in
+        (match trace with
+        | None -> send_line fd response
+        | Some ctx ->
+            let t0 = Prelude.Timing.now_ms () in
+            send_line fd response;
+            Obs.Phases.record ctx "reply" (Prelude.Timing.now_ms () -. t0);
+            let wall = Prelude.Timing.now_ms () -. t_start in
+            let session =
+              match !conn_state with
+              | Some entry -> Some entry.id
+              | None -> None
+            in
+            emit_trace t ~req ~session ~parsed ~result ~wall ctx);
+        match parsed with
         | Ok Protocol.Quit -> ()
         | Ok Protocol.Shutdown when t.config.allow_shutdown ->
             Atomic.set t.stop_requested true;
@@ -1047,6 +1317,25 @@ let start ?(config = default_config) (listen : listen) =
     | Unix.ADDR_INET (_, p) -> (Some p, Printf.sprintf "127.0.0.1:%d" p)
     | Unix.ADDR_UNIX path -> (None, path)
   in
+  let access_writer =
+    match config.access_log with
+    | None -> None
+    | Some path -> (
+        try
+          Some
+            (Access_log.open_writer ~path
+               ~max_bytes:config.access_log_max_bytes
+               ~keep:config.access_log_keep)
+        with e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e)
+  in
+  (* An access log without an explicit sampling period traces every
+     request — an empty log from `--access-log` would be a trap. *)
+  let trace_every =
+    if config.trace_every = 0 && access_writer <> None then 1
+    else config.trace_every
+  in
   let t =
     {
       config;
@@ -1067,6 +1356,14 @@ let start ?(config = default_config) (listen : listen) =
       shed = 0;
       counters = Array.map (fun _ -> Atomic.make 0) outcomes;
       requests = Atomic.make 0;
+      start_wall = Unix.gettimeofday ();
+      trace_period = Atomic.make (max 0 trace_every);
+      access_writer;
+      trace_lock = Mutex.create ();
+      phase_hists = Hashtbl.create 8;
+      recent = Array.make 64 None;
+      recent_head = 0;
+      recent_len = 0;
       stop_requested = Atomic.make false;
       stopped = false;
       conns_lock = Mutex.create ();
@@ -1104,6 +1401,7 @@ let start ?(config = default_config) (listen : listen) =
                   expired = false;
                   journal = Some r.Journal.journal;
                   recovery = Some (Journal.status_name r.Journal.status);
+                  served = Atomic.make 0;
                 }
           | exception e ->
               Obs.event ~level:Obs.Events.Error "recovery.failed"
@@ -1200,6 +1498,9 @@ let stop t =
             e.journal <- None
         | None -> ())
       entries;
+    (match t.access_writer with
+    | Some w -> Access_log.close_writer w
+    | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     match t.sockaddr with
     | Unix.ADDR_UNIX path -> (

@@ -34,6 +34,11 @@ module Journal = Journal
 module Protocol = Protocol
 (** Re-export: the wire protocol, for tests and embedding clients. *)
 
+module Access_log = Access_log
+(** Re-export: the structured access-log format, writer and offline
+    analyzer (see {!Access_log}), shared by the server, the [tecore
+    logstat] subcommand and the tests. *)
+
 type config = {
   engine : Tecore.Engine.engine;  (** engine for every resolve *)
   jobs : int option;
@@ -89,13 +94,30 @@ type config = {
           transparently), discarded otherwise. Attached connections get
           a typed [expired] error on their next use. [None] (default):
           sessions never expire. *)
+  access_log : string option;
+      (** when set, every traced request appends one JSON-lines record
+          to this file (see {!Access_log}): request id, session, verb,
+          outcome, wall time and the per-phase breakdown. [None]
+          (default): no log. *)
+  access_log_max_bytes : int;
+      (** access-log rotation threshold (default 4 MiB; clamped
+          to >= 1024) — see {!Access_log.open_writer} *)
+  access_log_keep : int;  (** rotated access-log files kept (default 3) *)
+  trace_every : int;
+      (** initial request-trace sampling period: [0] off, [1] every
+          request, [N] every Nth (by request id). [0] with [access_log]
+          set starts at [1] instead — an access log that logs nothing
+          would be a trap. Adjustable at runtime with the [trace] verb.
+          Traced requests carry their request id as a ["req"] field in
+          the response; untraced requests keep their exact previous
+          response bytes. *)
 }
 
 val default_config : config
 (** [Auto] engine, env-default jobs, queue bound 64, no budget, 1 MiB
     line cap, shutdown disabled, unbounded sessions, no state dir
     (fsync [Always], compaction at 256 records when one is set), no
-    idle TTL. *)
+    idle TTL, no access log, tracing off. *)
 
 type listen = [ `Tcp of int | `Unix of string ]
 (** [`Tcp port] binds 127.0.0.1:[port] ([0] picks a free port);
@@ -147,14 +169,30 @@ val sessions_recovered : t -> int
 val requests_total : t -> int
 (** Requests parsed off all connections since [start]. *)
 
+val start_time : t -> float
+(** Unix epoch seconds at {!start} — the value echoed as [started] in
+    traced [hello] responses and behind [serve_uptime_seconds]. *)
+
+val trace_period : t -> int
+(** Current request-trace sampling period (0 = off), as last set by the
+    config or the [trace] verb. *)
+
+val recent_records : t -> Access_log.record list
+(** The traced requests still in the [tail] ring (up to 64), oldest
+    first. *)
+
 val metrics_text : t -> string
 (** Live OpenMetrics exposition: the whole {!Obs} report (span times,
     counters, solver histograms) plus [serve_sessions_open],
     [serve_queue_depth], [serve_requests_total{outcome=...}],
     [serve_shed_total], [serve_sessions_evicted_total],
-    [serve_sessions_expired_total] and
-    [serve_sessions_recovered_total], terminated by [# EOF]. Passes
-    {!Obs.Export.validate_metrics}. *)
+    [serve_sessions_expired_total], [serve_sessions_recovered_total],
+    [serve_uptime_seconds], per-phase [serve_request_phase_ms]
+    summaries (p50/p95 + [_sum]/[_count], fed by traced requests;
+    quantiles computed exactly like {!Access_log.stats}, so a complete
+    access log reproduces them) and per-session
+    [serve_session_requests_total{session=...}] counters, terminated by
+    [# EOF]. Passes {!Obs.Export.validate_metrics}. *)
 
 val request_stop : t -> unit
 (** Ask the server to stop (signal-handler safe: only sets a flag; the

@@ -152,6 +152,64 @@ expect_exit 4 "unbindable listen address" \
 expect_exit 4 "client against a dead server" \
   "$CLI" client --socket "$SERVE_SOCK" --send "ping"
 
+echo "== serve access-log smoke (tracing, request ids, analyzer) =="
+# A daemon with --access-log traces every request: responses carry
+# unique, monotone request ids, the JSON-lines log validates (schema +
+# phase-sum sanity), and the offline analyzer digests it.
+ACCESS_LOG=$(mktemp) ACCESS_SOCK=$(mktemp -u) ACCESS_OUT=$(mktemp)
+"$CLI" serve --socket "$ACCESS_SOCK" --access-log "$ACCESS_LOG" \
+  >/dev/null 2>&1 &
+ACCESS_PID=$!
+for _ in $(seq 50); do [ -S "$ACCESS_SOCK" ] && break; sleep 0.1; done
+[ -S "$ACCESS_SOCK" ] || { echo "access-log smoke: serve did not bind" >&2; exit 1; }
+"$CLI" client --socket "$ACCESS_SOCK" \
+  --send "hello ci-trace" --send "open" \
+  --send "constraint one_team: ex:playsFor(x, y)@t ^ ex:playsFor(x, z)@t2 ^ y != z => disjoint(t, t2) ." \
+  --send "assert ex:P1 ex:playsFor ex:T1 [2000,2004] 0.9 ." \
+  --send "assert ex:P1 ex:playsFor ex:T2 [2002,2006] 0.8 ." \
+  --send "resolve" \
+  --send "tail 5" \
+  --send "quit" > "$ACCESS_OUT"
+expect_exit 0 "access-log smoke: shutdown" \
+  "$CLI" client --socket "$ACCESS_SOCK" --send "shutdown"
+wait "$ACCESS_PID" || { echo "access-log serve exited non-zero" >&2; exit 1; }
+# Every response line leads with its request id (the tail payload nests
+# more req fields, so only the leading one counts) — all present,
+# unique, strictly increasing.
+REQ_IDS=$(sed -n 's/^\(ok\|err\) {"req":\([0-9]*\).*/\2/p' "$ACCESS_OUT")
+[ "$(echo "$REQ_IDS" | wc -l)" -eq 8 ] \
+  || { echo "access-log smoke: not every response carries a request id" >&2; cat "$ACCESS_OUT" >&2; exit 1; }
+[ "$(echo "$REQ_IDS" | sort -n -u | wc -l)" -eq 8 ] \
+  || { echo "access-log smoke: request ids are not unique" >&2; exit 1; }
+[ "$(echo "$REQ_IDS" | sort -n)" = "$REQ_IDS" ] \
+  || { echo "access-log smoke: request ids are not monotone" >&2; exit 1; }
+# The log itself: resolve attributed to ground/solve, every line valid.
+grep -q '"verb":"resolve"' "$ACCESS_LOG" \
+  || { echo "access-log smoke: no resolve record in the log" >&2; exit 1; }
+grep -q '"ground":' "$ACCESS_LOG" \
+  || { echo "access-log smoke: resolve record lacks a ground phase" >&2; exit 1; }
+_build/default/tools/telemetry_check.exe accesslog "$ACCESS_LOG"
+"$CLI" logstat "$ACCESS_LOG" --top 3 > /dev/null \
+  || { echo "access-log smoke: tecore logstat failed" >&2; exit 1; }
+rm -f "$ACCESS_LOG" "$ACCESS_OUT"
+# Zero-cost contract: without --access-log/--trace-every the server's
+# responses stay byte-identical to previous releases — in particular,
+# no request ids.
+PLAIN_SOCK=$(mktemp -u) PLAIN_OUT=$(mktemp)
+"$CLI" serve --socket "$PLAIN_SOCK" >/dev/null 2>&1 &
+PLAIN_PID=$!
+for _ in $(seq 50); do [ -S "$PLAIN_SOCK" ] && break; sleep 0.1; done
+[ -S "$PLAIN_SOCK" ] || { echo "zero-cost smoke: serve did not bind" >&2; exit 1; }
+"$CLI" client --socket "$PLAIN_SOCK" \
+  --send "hello ci-plain" --send "ping" --send "stat" --send "quit" \
+  > "$PLAIN_OUT"
+grep -q '"req":' "$PLAIN_OUT" \
+  && { echo "zero-cost smoke: untraced responses grew request ids" >&2; cat "$PLAIN_OUT" >&2; exit 1; }
+expect_exit 0 "zero-cost smoke: shutdown" \
+  "$CLI" client --socket "$PLAIN_SOCK" --send "shutdown"
+wait "$PLAIN_PID" || { echo "zero-cost serve exited non-zero" >&2; exit 1; }
+rm -f "$PLAIN_OUT"
+
 echo "== serve crash smoke (SIGKILL mid-journal-append, recover) =="
 # A durable daemon killed with SIGKILL half-way through a journal
 # write must come back with exactly the acked prefix: start it with

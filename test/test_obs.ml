@@ -135,6 +135,166 @@ let test_histogram_merge () =
   Obs.Histogram.add m 99.0;
   Alcotest.(check int) "input a untouched" 2 (Obs.Histogram.count a)
 
+let test_histogram_reservoir_cap () =
+  let h = Obs.Histogram.create ~cap:64 () in
+  for i = 1 to 10_000 do
+    Obs.Histogram.add h (float_of_int i)
+  done;
+  (* Stream statistics stay exact past the cap; only the quantile
+     sample is bounded. *)
+  Alcotest.(check int) "count is stream-exact" 10_000 (Obs.Histogram.count h);
+  Alcotest.(check int) "stored bounded by cap" 64 (Obs.Histogram.stored h);
+  Alcotest.(check int) "capacity reported" 64 (Obs.Histogram.capacity h);
+  Alcotest.(check (float 1e-3))
+    "total is stream-exact" 50_005_000.0 (Obs.Histogram.total h);
+  Alcotest.(check (float 1e-9)) "min exact" 1.0 (Obs.Histogram.minimum h);
+  Alcotest.(check (float 1e-9)) "max exact" 10_000.0 (Obs.Histogram.maximum h);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        "retained samples come from the stream" true
+        (Float.is_integer v && v >= 1.0 && v <= 10_000.0))
+    (Obs.Histogram.to_list h);
+  (* The reservoir is seeded deterministically, so this is a stable
+     (loose) check that the median estimate sits in the bulk of the
+     uniform stream rather than at an extreme. *)
+  let p50 = Obs.Histogram.quantile h 0.5 in
+  Alcotest.(check bool)
+    "median estimate in the bulk" true
+    (p50 >= 1_000.0 && p50 <= 9_000.0)
+
+let prop_histogram_merge_stable =
+  QCheck.Test.make
+    ~name:"histogram merge: exact stream stats, deterministic, unaliased"
+    ~count:100
+    QCheck.(pair (small_list small_nat) (small_list small_nat))
+    (fun (xs, ys) ->
+      let cap = 32 in
+      let fill vals =
+        let h = Obs.Histogram.create ~cap () in
+        List.iter (fun v -> Obs.Histogram.add h (float_of_int v)) vals;
+        h
+      in
+      let a = fill xs and b = fill ys in
+      let m1 = Obs.Histogram.merge a b in
+      let m2 = Obs.Histogram.merge a b in
+      let all = xs @ ys in
+      (* Small-integer sums are exactly representable, so the stream
+         fields must combine exactly, not approximately. *)
+      let ok_stream =
+        Obs.Histogram.count m1 = List.length all
+        && Obs.Histogram.total m1
+           = List.fold_left (fun acc v -> acc +. float_of_int v) 0.0 all
+        &&
+        match all with
+        | [] -> Obs.Histogram.stored m1 = 0
+        | _ ->
+            Obs.Histogram.minimum m1
+            = float_of_int (List.fold_left min max_int all)
+            && Obs.Histogram.maximum m1
+               = float_of_int (List.fold_left max min_int all)
+      in
+      let qs = [ 0.0; 0.25; 0.5; 0.75; 0.95; 1.0 ] in
+      let same q1 q2 = q1 = q2 || (Float.is_nan q1 && Float.is_nan q2) in
+      (* Merging the same pair twice yields identical histograms. *)
+      let deterministic =
+        Obs.Histogram.to_list m1 = Obs.Histogram.to_list m2
+        && List.for_all
+             (fun q ->
+               same (Obs.Histogram.quantile m1 q) (Obs.Histogram.quantile m2 q))
+             qs
+      in
+      (* While everything fits the capacity, a merge is exactly the
+         histogram of the concatenated stream. *)
+      let exact_below_cap =
+        List.length all > cap
+        || (let c = fill all in
+            List.for_all
+              (fun q ->
+                same (Obs.Histogram.quantile m1 q) (Obs.Histogram.quantile c q))
+              qs)
+      in
+      Obs.Histogram.add m1 1234.0;
+      let unaliased =
+        Obs.Histogram.count a = List.length xs
+        && Obs.Histogram.count b = List.length ys
+      in
+      ok_stream && deterministic && exact_below_cap && unaliased)
+
+(* ------------------------------------------------------------------ *)
+(* Per-request phase contexts.                                        *)
+
+let test_phases_capture_when_disabled () =
+  (* Phase capture is independent of global collection: with Obs
+     disabled an installed context still times spans, the [only] filter
+     drops non-taxonomy names, direct records bypass the filter, and
+     the global report stays empty. *)
+  Obs.reset ();
+  Obs.set_enabled false;
+  let ctx = Obs.Phases.create ~only:[ "ground"; "solve" ] () in
+  Obs.with_phases ctx (fun () ->
+      Obs.span "ground" (fun () -> ());
+      Obs.span "translate" (fun () -> ());
+      Obs.span "solve" (fun () -> ()));
+  Obs.Phases.record ctx "queue" 1.5;
+  Alcotest.(check (list string))
+    "interesting spans + direct records, in order"
+    [ "ground"; "solve"; "queue" ]
+    (List.map fst (Obs.Phases.entries ctx));
+  List.iter
+    (fun (_, ms) ->
+      Alcotest.(check bool) "durations non-negative" true (ms >= 0.0))
+    (Obs.Phases.entries ctx);
+  Alcotest.(check (float 1e-9))
+    "total sums the entries"
+    (List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0
+       (Obs.Phases.entries ctx))
+    (Obs.Phases.total ctx);
+  Obs.set_enabled true;
+  let r = Obs.Report.capture () in
+  Obs.set_enabled false;
+  Alcotest.(check int)
+    "global report untouched" 0
+    (List.length r.Obs.Report.spans)
+
+let test_phases_nested_outermost () =
+  (* A captured span inside a captured span attributes to the outer one
+     only (a cutting-plane re-ground inside solve is not
+     double-counted) — on both the enabled and the disabled path. *)
+  let check_with enabled =
+    Obs.reset ();
+    Obs.set_enabled enabled;
+    let ctx = Obs.Phases.create ~only:[ "solve"; "ground" ] () in
+    Obs.with_phases ctx (fun () ->
+        Obs.span "solve" (fun () -> Obs.span "ground" (fun () -> ())));
+    Obs.set_enabled false;
+    Alcotest.(check (list string))
+      (Printf.sprintf "outermost only (enabled=%b)" enabled)
+      [ "solve" ]
+      (List.map fst (Obs.Phases.entries ctx))
+  in
+  check_with false;
+  check_with true;
+  Obs.reset ()
+
+let test_phases_uninstalled_context () =
+  (* Spans outside [with_phases] never touch a context, and contexts
+     nest: the inner installation wins for its extent only. *)
+  Obs.reset ();
+  Obs.set_enabled false;
+  let outer = Obs.Phases.create () and inner = Obs.Phases.create () in
+  Obs.span "stray" (fun () -> ());
+  Obs.with_phases outer (fun () ->
+      Obs.span "a" (fun () -> ());
+      Obs.with_phases inner (fun () -> Obs.span "b" (fun () -> ()));
+      Obs.span "c" (fun () -> ()));
+  Alcotest.(check (list string))
+    "outer saw its own extent" [ "a"; "c" ]
+    (List.map fst (Obs.Phases.entries outer));
+  Alcotest.(check (list string))
+    "inner saw the nested extent" [ "b" ]
+    (List.map fst (Obs.Phases.entries inner))
+
 (* ------------------------------------------------------------------ *)
 (* JSON round-trip.                                                   *)
 
@@ -736,6 +896,18 @@ let () =
         [
           Alcotest.test_case "quantiles 1..100" `Quick test_histogram_quantiles;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "reservoir past the cap" `Quick
+            test_histogram_reservoir_cap;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_stable;
+        ] );
+      ( "phases",
+        [
+          Alcotest.test_case "captures with collection disabled" `Quick
+            test_phases_capture_when_disabled;
+          Alcotest.test_case "nested spans attribute to outermost" `Quick
+            test_phases_nested_outermost;
+          Alcotest.test_case "installation scoping" `Quick
+            test_phases_uninstalled_context;
         ] );
       ( "json",
         [

@@ -379,6 +379,244 @@ let test_metrics_validate () =
       close c)
 
 (* ------------------------------------------------------------------ *)
+(* Request tracing and the access log                                  *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_request_ids_and_zero_cost () =
+  (* Traced server: every response carries a unique, strictly monotone
+     request id, ok and err alike, and hello echoes the start time. *)
+  let config = { Serve.default_config with Serve.trace_every = 1 } in
+  let server = Serve.start ~config (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      let c = connect server in
+      let hj = expect_ok "hello" (request c "hello ids") in
+      Alcotest.(check (float 1.0))
+        "hello echoes the server start time" (Serve.start_time server)
+        (num_field hj "started");
+      let last = ref 0 in
+      for _ = 1 to 10 do
+        let j = expect_ok "ping" (request c "ping") in
+        let req = int_of_float (num_field j "req") in
+        Alcotest.(check bool)
+          (Printf.sprintf "req %d strictly after %d" req !last)
+          true (req > !last);
+        last := req
+      done;
+      (match parse_response (request c "bogus !!") with
+      | `Err j ->
+          Alcotest.(check bool)
+            "err responses carry the id too" true
+            (num_field j "req" > 0.0)
+      | `Ok _ -> Alcotest.fail "bogus request accepted");
+      close c);
+  (* Zero-cost contract: with tracing off, no response ever mentions a
+     request id (byte-identity with pre-tracing servers). *)
+  let plain = Serve.start (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop plain)
+    (fun () ->
+      let c = connect plain in
+      List.iter
+        (fun line ->
+          let resp = request c line in
+          Alcotest.(check bool)
+            (Printf.sprintf "no req field in %S" resp)
+            false
+            (contains resp "\"req\":"))
+        [ "ping"; "hello plain"; "open"; "stat"; "bogus !!" ];
+      close c)
+
+let test_trace_verb_sampling () =
+  let server = Serve.start (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      let c = connect server in
+      (* req 1: tracing starts off. *)
+      Alcotest.(check bool)
+        "off by default" false
+        (contains (request c "ping") "\"req\":");
+      Alcotest.(check int) "period 0" 0 (Serve.trace_period server);
+      (* req 2 sets the period; the deciding happens before execution,
+         so the trace request itself is still untraced. *)
+      let resp = request c "trace 3" in
+      Alcotest.(check bool) "trace 3 accepted" true (contains resp "ok ");
+      Alcotest.(check int) "period 3" 3 (Serve.trace_period server);
+      (* reqs 3..6: ids divisible by 3 are traced. *)
+      Alcotest.(check (list bool))
+        "every 3rd request traced"
+        [ true; false; false; true ]
+        (List.map
+           (fun _ -> contains (request c "ping") "\"req\":")
+           [ (); (); (); () ])
+      ;
+      ignore (expect_ok "trace off" (request c "trace off"));
+      Alcotest.(check int) "period back to 0" 0 (Serve.trace_period server);
+      Alcotest.(check bool)
+        "off again" false
+        (contains (request c "ping") "\"req\":");
+      (match parse_response (request c "trace sometimes") with
+      | `Err _ -> ()
+      | `Ok _ -> Alcotest.fail "malformed trace accepted");
+      close c)
+
+let test_tail_verb () =
+  let config = { Serve.default_config with Serve.trace_every = 1 } in
+  let server = Serve.start ~config (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      let c = connect server in
+      ignore (expect_ok "hello" (request c "hello tail"));
+      for _ = 1 to 5 do
+        ignore (expect_ok "ping" (request c "ping"))
+      done;
+      let j = expect_ok "tail 3" (request c "tail 3") in
+      let reqs =
+        match List.assoc_opt "requests" (fields j) with
+        | Some (Obs.Json.Arr rs) -> rs
+        | _ -> Alcotest.fail "tail carries no requests array"
+      in
+      Alcotest.(check int) "tail bounded" 3 (List.length reqs);
+      (* Chronological, with the schema fields present. *)
+      let ids = List.map (fun r -> num_field r "req") reqs in
+      Alcotest.(check bool)
+        "tail ids ascending" true
+        (List.sort compare ids = ids);
+      List.iter
+        (fun r ->
+          Alcotest.(check string) "verb" "ping" (str_field r "verb");
+          Alcotest.(check string) "outcome" "ok" (str_field r "outcome");
+          Alcotest.(check bool) "wall_ms present" true
+            (num_field r "wall_ms" >= 0.0))
+        reqs;
+      close c)
+
+(* The tentpole's acceptance loop: a traced workload's access-log
+   records have phase sums within tolerance of the request wall time,
+   and the offline analyzer reproduces the live summary quantiles
+   byte-for-byte. *)
+let test_access_log_analyzer_matches_live () =
+  let log = Filename.temp_file "tecore_access" ".log" in
+  let config =
+    {
+      Serve.default_config with
+      Serve.access_log = Some log;
+      trace_every = 1;
+    }
+  in
+  let server = Serve.start ~config (`Tcp 0) in
+  let metrics =
+    Fun.protect
+      ~finally:(fun () -> Serve.stop server)
+      (fun () ->
+        let c = connect server in
+        let ok line = expect_ok line (request c line) in
+        ignore (ok "hello analyzer");
+        ignore (ok "open");
+        ignore
+          (ok
+             "constraint one_team: ex:playsFor(x, y)@t ^ ex:playsFor(x, \
+              z)@t2 ^ y != z => disjoint(t, t2) .");
+        for i = 1 to 6 do
+          ignore
+            (ok
+               (Printf.sprintf
+                  "assert ex:P%d ex:playsFor ex:T0 [%d,%d] 0.8 ." i
+                  (1990 + i) (1995 + i)))
+        done;
+        ignore (ok "resolve");
+        ignore (ok "assert ex:P1 ex:playsFor ex:T1 [2010,2011] 0.6 .");
+        ignore (ok "resolve");
+        close c;
+        (* Stop first: joins the connection thread (so the final record
+           is emitted) and flushes the access log. The live summaries
+           survive stop. *)
+        Serve.stop server;
+        Serve.metrics_text server)
+  in
+  let records, warnings = Serve.Access_log.read_file log in
+  Sys.remove log;
+  Alcotest.(check int) "no reader warnings" 0 (List.length warnings);
+  Alcotest.(check int)
+    "tail ring and log agree"
+    (List.length (Serve.recent_records server))
+    (List.length records);
+  List.iter
+    (fun (r : Serve.Access_log.record) ->
+      let sum =
+        List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0
+          r.Serve.Access_log.phases
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "req %d: phase sum %.3f within wall %.3f"
+           r.Serve.Access_log.req sum r.Serve.Access_log.wall_ms)
+        true
+        (sum <= (r.Serve.Access_log.wall_ms *. 1.05) +. 1.0))
+    records;
+  (* The resolve must attribute time to ground and solve. *)
+  let resolve_phases =
+    List.concat_map
+      (fun (r : Serve.Access_log.record) ->
+        if r.Serve.Access_log.verb = "resolve" then
+          List.map fst r.Serve.Access_log.phases
+        else [])
+      records
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p ^ " attributed on resolve") true
+        (List.mem p resolve_phases))
+    [ "ground"; "solve" ];
+  (* Live summary quantiles = analyzer quantiles, byte for byte: both
+     sides are Json.number renderings of Obs.Histogram.quantile over
+     the same record set. *)
+  let s = Serve.Access_log.stats records in
+  let metric_lines = String.split_on_char '\n' metrics in
+  let live_value phase q =
+    let prefix =
+      Printf.sprintf "serve_request_phase_ms{phase=\"%s\",quantile=\"%s\"} "
+        phase q
+    in
+    let n = String.length prefix in
+    match
+      List.find_opt
+        (fun l -> String.length l > n && String.sub l 0 n = prefix)
+        metric_lines
+    with
+    | Some l -> String.sub l n (String.length l - n)
+    | None -> Alcotest.failf "no %s p%s row in metrics" phase q
+  in
+  Alcotest.(check bool)
+    "analyzer saw phases" true
+    (s.Serve.Access_log.phase_hists <> []);
+  List.iter
+    (fun (phase, h) ->
+      List.iter
+        (fun (qs, q) ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s p%s: live = offline" phase qs)
+            (Obs.Json.number (Obs.Histogram.quantile h q))
+            (live_value phase qs))
+        [ ("0.5", 0.5); ("0.95", 0.95) ])
+    s.Serve.Access_log.phase_hists;
+  (* Per-session counters made it into the exposition. *)
+  Alcotest.(check bool)
+    "per-session counter exported" true
+    (List.exists
+       (fun l ->
+         contains l "serve_session_requests_total{session=\"analyzer\"}")
+       metric_lines)
 
 let () =
   Alcotest.run "serve"
@@ -391,5 +629,16 @@ let () =
         [
           Alcotest.test_case "live exposition validates" `Quick
             test_metrics_validate;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "request ids and zero-cost contract" `Quick
+            test_request_ids_and_zero_cost;
+          Alcotest.test_case "trace verb adjusts sampling" `Quick
+            test_trace_verb_sampling;
+          Alcotest.test_case "tail returns recent records" `Quick
+            test_tail_verb;
+          Alcotest.test_case "analyzer matches live summaries" `Quick
+            test_access_log_analyzer_matches_live;
         ] );
     ]
