@@ -1998,7 +1998,7 @@ let serve_client_request fd ic line =
   if String.length resp < 2 || String.sub resp 0 2 <> "ok" then
     failwith (Printf.sprintf "bench serve: request %S failed: %s" line resp)
 
-let serve_measure () =
+let serve_measure ?(lanes = 1) () =
   let reps = if !fast_mode then 4 else 12 in
   let session_counts = if !fast_mode then [ 1; 8 ] else [ 1; 8; 64 ] in
   let percentile p xs =
@@ -2011,7 +2011,7 @@ let serve_measure () =
     List.map
       (fun sessions ->
         let config =
-          { Serve.default_config with Serve.queue_cap = 4 * sessions }
+          { Serve.default_config with Serve.queue_cap = 4 * sessions; lanes }
         in
         let server = Serve.start ~config (`Tcp 0) in
         Fun.protect
@@ -2107,6 +2107,15 @@ let serve_check_run () =
         failwith (Printf.sprintf "serve --check: %s: %s" serve_json_path e)
     | Ok doc -> doc
   in
+  (match Obs.Json.member "schema" committed with
+  | Some (Obs.Json.Str "tecore-bench-serve/2") -> ()
+  | Some (Obs.Json.Str s) ->
+      failwith
+        (Printf.sprintf
+           "serve --check: %s has schema %s, expected tecore-bench-serve/2; \
+            run `bench serve` to regenerate it"
+           serve_json_path s)
+  | _ -> failwith (serve_json_path ^ ": missing schema"));
   let committed_runs =
     match Obs.Json.member "runs" committed with
     | Some (Obs.Json.Arr runs) -> runs
@@ -2117,17 +2126,21 @@ let serve_check_run () =
     | Some (Obs.Json.Num v) when Float.is_finite v -> v
     | _ -> failwith (Printf.sprintf "%s: bad %s" serve_json_path field)
   in
+  (* The single-lane cells are the latency baseline CI re-measures;
+     multi-lane rows (when the producing machine had the cores for
+     them) are covered by the write-time throughput gate instead. *)
   let lookup sessions =
     List.find_opt
       (fun r ->
         Obs.Json.member "sessions" r
-        = Some (Obs.Json.Num (float_of_int sessions)))
+          = Some (Obs.Json.Num (float_of_int sessions))
+        && Obs.Json.member "lanes" r = Some (Obs.Json.Num 1.0))
       committed_runs
   in
   (* The committed headline: warm-path service beats cold resolution on
      the machine that produced the file. *)
   (match lookup 1 with
-  | None -> failwith (serve_json_path ^ ": no sessions=1 run")
+  | None -> failwith (serve_json_path ^ ": no sessions=1, lanes=1 run")
   | Some r ->
       if num "warm_ms" r >= num "cold_ms" r then
         failwith
@@ -2276,31 +2289,95 @@ let serve_bench () =
                 at 1 session"
                warm_ms cold_ms))
       cells;
-    let runs =
-      List.map
-        (fun (sessions, cold_ms, warm_ms, warm_p95_ms, resolve_rps, req_rps)
-           ->
-          row
-            "serve %2d sessions  cold %8.2f ms  warm %8.2f ms  p95 %8.2f \
-             ms  %7.1f resolve/s  %8.1f req/s\n"
-            sessions cold_ms warm_ms warm_p95_ms resolve_rps req_rps;
-          Obs.Json.Obj
-            [
-              ("sessions", Obs.Json.Num (float_of_int sessions));
-              ("cold_ms", Obs.Json.Num cold_ms);
-              ("warm_ms", Obs.Json.Num warm_ms);
-              ("warm_p95_ms", Obs.Json.Num warm_p95_ms);
-              ("resolves_per_s", Obs.Json.Num resolve_rps);
-              ("requests_per_s", Obs.Json.Num req_rps);
-            ])
-        cells
+    let run_json lanes
+        (sessions, cold_ms, warm_ms, warm_p95_ms, resolve_rps, req_rps) =
+      row
+        "serve %2d sessions  lanes %d  cold %8.2f ms  warm %8.2f ms  p95 \
+         %8.2f ms  %7.1f resolve/s  %8.1f req/s\n"
+        sessions lanes cold_ms warm_ms warm_p95_ms resolve_rps req_rps;
+      Obs.Json.Obj
+        [
+          ("sessions", Obs.Json.Num (float_of_int sessions));
+          ("lanes", Obs.Json.Num (float_of_int lanes));
+          ("cold_ms", Obs.Json.Num cold_ms);
+          ("warm_ms", Obs.Json.Num warm_ms);
+          ("warm_p95_ms", Obs.Json.Num warm_p95_ms);
+          ("resolves_per_s", Obs.Json.Num resolve_rps);
+          ("requests_per_s", Obs.Json.Num req_rps);
+        ]
     in
+    let runs = List.map (run_json 1) cells in
+    (* The lanes dimension: re-measure multi-lane and gate its
+       throughput against single-lane — but only on hardware where
+       lanes can overlap at all. On a single core the measurement is
+       skipped entirely (per the `bench par` pattern) and the reason is
+       recorded in the JSON instead of a gate result. *)
+    let lanes_hi = 4 in
+    let cores = Prelude.Pool.recommended_jobs () in
+    let lanes_gate, lane_runs =
+      if cores < 2 then begin
+        let reason =
+          Printf.sprintf
+            "%d core(s) available: resolver lanes cannot overlap here; \
+             lanes>1 throughput gate skipped"
+            cores
+        in
+        row "serve lanes=%d gate SKIPPED: %s\n" lanes_hi reason;
+        ( Obs.Json.Obj
+            [
+              ("lanes", Obs.Json.Num (float_of_int lanes_hi));
+              ("skip_reason", Obs.Json.Str reason);
+            ],
+          [] )
+      end
+      else begin
+        let _, mcells = serve_measure ~lanes:lanes_hi () in
+        let lane_runs = List.map (run_json lanes_hi) mcells in
+        let rps (_, _, _, _, resolve_rps, _) = resolve_rps in
+        let sessions_of (s, _, _, _, _, _) = s in
+        let base = List.nth cells (List.length cells - 1) in
+        let multi = List.nth mcells (List.length mcells - 1) in
+        let ratio = rps multi /. rps base in
+        let floor =
+          match
+            Option.bind
+              (Sys.getenv_opt "BENCH_SERVE_LANES_FACTOR")
+              float_of_string_opt
+          with
+          | Some v when v > 0.0 -> v
+          | Some _ | None -> 0.75
+        in
+        row
+          "serve lanes gate: %d sessions, lanes=%d %.1f resolve/s vs \
+           lanes=1 %.1f resolve/s (%.2fx, floor %.2fx) %s\n"
+          (sessions_of multi) lanes_hi (rps multi) (rps base) ratio floor
+          (if ratio >= floor then "ok" else "FAIL");
+        if ratio < floor then
+          failwith
+            (Printf.sprintf
+               "serve: lanes=%d throughput is %.2fx of lanes=1 at %d \
+                sessions (floor %.2fx) on %d cores"
+               lanes_hi ratio (sessions_of multi) floor cores);
+        ( Obs.Json.Obj
+            [
+              ("lanes", Obs.Json.Num (float_of_int lanes_hi));
+              ("sessions", Obs.Json.Num (float_of_int (sessions_of multi)));
+              ("baseline_resolves_per_s", Obs.Json.Num (rps base));
+              ("multi_resolves_per_s", Obs.Json.Num (rps multi));
+              ("ratio", Obs.Json.Num ratio);
+              ("floor", Obs.Json.Num floor);
+            ],
+          lane_runs )
+      end
+    in
+    let runs = runs @ lane_runs in
     let doc =
       Obs.Json.Obj
         [
-          ("schema", Obs.Json.Str "tecore-bench-serve/1");
+          ("schema", Obs.Json.Str "tecore-bench-serve/2");
           ("fast", Obs.Json.Bool !fast_mode);
           ("reps", Obs.Json.Num (float_of_int reps));
+          ("lanes_gate", lanes_gate);
           ("runs", Obs.Json.Arr runs);
         ]
     in
@@ -2330,7 +2407,7 @@ let serve_bench () =
                           (Printf.sprintf "%s: run misses %s" serve_json_path
                              field))
                   [
-                    "sessions"; "cold_ms"; "warm_ms"; "warm_p95_ms";
+                    "sessions"; "lanes"; "cold_ms"; "warm_ms"; "warm_p95_ms";
                     "resolves_per_s"; "requests_per_s";
                   ])
               rs

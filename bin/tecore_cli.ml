@@ -762,13 +762,14 @@ let serve_listen socket port : Serve.listen =
   | None, Some p -> `Tcp p
   | None, None -> `Tcp 0
 
-let serve_config engine jobs queue timeout max_sessions state_dir fsync
+let serve_config engine jobs lanes queue timeout max_sessions state_dir fsync
     compact_every idle_ttl access_log access_log_max_bytes access_log_keep
     trace_every allow_shutdown =
   {
     Serve.default_config with
     Serve.engine;
     jobs;
+    lanes = max 1 lanes;
     queue_cap = queue;
     request_timeout_ms = Option.map (fun s -> s *. 1000.) timeout;
     max_sessions;
@@ -783,12 +784,12 @@ let serve_config engine jobs queue timeout max_sessions state_dir fsync
     trace_every;
   }
 
-let serve_run socket port engine jobs queue timeout max_sessions state_dir
-    fsync compact_every idle_ttl access_log access_log_max_bytes
+let serve_run socket port engine jobs lanes queue timeout max_sessions
+    state_dir fsync compact_every idle_ttl access_log access_log_max_bytes
     access_log_keep trace_every script =
   handle (fun () ->
-      let serve_config = serve_config engine jobs queue timeout max_sessions
-          state_dir fsync compact_every idle_ttl access_log
+      let serve_config = serve_config engine jobs lanes queue timeout
+          max_sessions state_dir fsync compact_every idle_ttl access_log
           access_log_max_bytes access_log_keep trace_every
       in
       match script with
@@ -846,6 +847,20 @@ let port_arg =
   Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
 
 let serve_cmd =
+  let lanes =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.lanes
+      & info [ "lanes" ] ~docv:"N"
+          ~doc:
+            "Resolver lanes. Each session is pinned to one of N lanes \
+             by a stable hash of its id: a session's resolves stay in \
+             submission order, while sessions on different lanes no \
+             longer head-of-line-block each other. The solve itself is \
+             serialised across lanes, so results are byte-identical at \
+             any lane count. Defaults to \\$TECORE_LANES, else 1 (the \
+             previous single-resolver behaviour).")
+  in
   let queue =
     Arg.(
       value & opt int 64
@@ -1001,9 +1016,9 @@ let serve_cmd =
          ])
     Term.(
       const serve_run $ socket_arg $ port_arg $ engine_arg $ jobs_arg
-      $ queue $ timeout $ max_sessions $ state_dir $ fsync $ compact_every
-      $ idle_ttl $ access_log $ access_log_max_bytes $ access_log_keep
-      $ trace_every $ script)
+      $ lanes $ queue $ timeout $ max_sessions $ state_dir $ fsync
+      $ compact_every $ idle_ttl $ access_log $ access_log_max_bytes
+      $ access_log_keep $ trace_every $ script)
 
 (* ------------------------------------------------------------------ *)
 

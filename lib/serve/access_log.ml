@@ -10,6 +10,7 @@ type record = {
   req : int;
   ts : float; (* Unix epoch seconds at request completion *)
   session : string option;
+  lane : int option; (* resolver lane of the session, on multi-lane servers *)
   verb : string;
   outcome : string; (* "ok" or the typed error kind *)
   wall_ms : float;
@@ -30,6 +31,9 @@ let record_to_json r =
      ]
     @ (match r.session with
       | Some s -> [ ("session", Obs.Json.Str s) ]
+      | None -> [])
+    @ (match r.lane with
+      | Some l -> [ ("lane", Obs.Json.Num (float_of_int l)) ]
       | None -> [])
     @ [
         ("verb", Obs.Json.Str r.verb);
@@ -61,6 +65,13 @@ let record_of_json j =
     | Some (Obs.Json.Str s) -> Some s
     | _ -> None
   in
+  let lane =
+    match Obs.Json.member "lane" j with
+    | Some (Obs.Json.Num v)
+      when v >= 0.0 && Float.of_int (Float.to_int v) = v ->
+        Some (Float.to_int v)
+    | _ -> None
+  in
   let* verb = str "verb" in
   let* outcome = str "outcome" in
   let* wall_ms = num "wall_ms" in
@@ -88,6 +99,7 @@ let record_of_json j =
         req = Float.to_int req;
         ts;
         session;
+        lane;
         verb;
         outcome;
         wall_ms;

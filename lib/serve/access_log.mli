@@ -15,6 +15,9 @@ type record = {
   ts : float;  (** Unix epoch seconds at request completion *)
   session : string option;
       (** session bound to the connection, once [hello] succeeded *)
+  lane : int option;
+      (** resolver lane the session is pinned to; only emitted by
+          servers running with more than one lane ([--lanes]) *)
   verb : string;  (** first keyword of the request, or ["invalid"] *)
   outcome : string;  (** ["ok"] or the typed error kind *)
   wall_ms : float;

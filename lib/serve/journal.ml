@@ -47,6 +47,17 @@ type t = {
   mutable since_snapshot : int;
   mutable appends : int;
   mutable unsynced : int;
+  mutable group : group option;
+      (* cross-session commit group this handle pools its [Every n]
+         fsync budget with, when the server runs one *)
+}
+
+and group = {
+  glock : Mutex.t;
+      (* guards [members] and every member's [unsynced] counter while
+         the handle belongs to the group *)
+  mutable members : t list;
+  commits : int Atomic.t;
 }
 
 type recovery = { session : Tecore.Session.t; journal : t; status : status }
@@ -362,7 +373,52 @@ let open_gen ~dir ~id ~fsync ~compact_every ~gen ~since =
     since_snapshot = since;
     appends = 0;
     unsynced = 0;
+    group = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-session group commit                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create_group () =
+  { glock = Mutex.create (); members = []; commits = Atomic.make 0 }
+
+let group_commits g = Atomic.get g.commits
+
+let attach t g =
+  Mutex.lock g.glock;
+  if not (List.memq t g.members) then g.members <- t :: g.members;
+  t.group <- Some g;
+  Mutex.unlock g.glock
+
+let detach t =
+  match t.group with
+  | None -> ()
+  | Some g ->
+      Mutex.lock g.glock;
+      g.members <- List.filter (fun m -> m != t) g.members;
+      t.group <- None;
+      Mutex.unlock g.glock
+
+(* One coalesced flush pass: fsync every group member that still has
+   unsynced appends. Sibling failures are swallowed (each handle's own
+   appends keep surfacing its sticky error); called with [glock]
+   held. *)
+let group_flush g =
+  List.iter
+    (fun m ->
+      if m.unsynced > 0 && m.failed = None then
+        match m.fd with
+        | Some fd -> (
+            try
+              Obs.phase "fsync" (fun () -> Unix.fsync fd);
+              m.unsynced <- 0;
+              Obs.count "journal.fsync"
+            with Unix.Unix_error _ -> ())
+        | None -> ())
+    g.members;
+  Atomic.incr g.commits;
+  Obs.count "journal.group_commit"
 
 let create ~state_dir ~fsync ~compact_every id =
   let dir = session_dir ~state_dir id in
@@ -386,6 +442,12 @@ let live_fd t =
   | Some fd -> fd
   | None -> raise (Sys_error (Printf.sprintf "journal %s: closed" t.id))
 
+(* Count one completed append against the fsync policy. Handles
+   attached to a {!group} pool their [Every n] budget: the threshold
+   applies to the pending total across the whole group, and crossing it
+   flushes every dirty member in one pass (group commit) — the
+   server-wide bound on acked-but-unsynced edits is [n - 1] in total
+   rather than per session. *)
 let policy_fsync t fd =
   let sync () =
     Obs.phase "fsync" (fun () -> Unix.fsync fd);
@@ -393,9 +455,31 @@ let policy_fsync t fd =
     Obs.count "journal.fsync"
   in
   match t.fsync with
-  | Never -> ()
-  | Always -> sync ()
-  | Every n -> if t.unsynced >= n then sync ()
+  | Never -> t.unsynced <- t.unsynced + 1
+  | Always ->
+      t.unsynced <- t.unsynced + 1;
+      sync ()
+  | Every n -> (
+      match t.group with
+      | None ->
+          t.unsynced <- t.unsynced + 1;
+          if t.unsynced >= n then sync ()
+      | Some g ->
+          Mutex.lock g.glock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock g.glock)
+            (fun () ->
+              t.unsynced <- t.unsynced + 1;
+              let total =
+                List.fold_left (fun acc m -> acc + m.unsynced) 0 g.members
+              in
+              if total >= n then begin
+                (* The appending handle syncs through the failing path
+                   so its own IO errors stay sticky; the rest of the
+                   group is flushed best-effort. *)
+                sync ();
+                group_flush g
+              end))
 
 let append t payload =
   let fd = live_fd t in
@@ -412,7 +496,6 @@ let append t payload =
        write_all fd b half (Bytes.length b - half)
      end
      else Obs.phase "journal" (fun () -> write_all fd b 0 (Bytes.length b));
-     t.unsynced <- t.unsynced + 1;
      policy_fsync t fd
    with Unix.Unix_error (e, fn, _) ->
      fail t
@@ -493,6 +576,7 @@ let sync t =
 
 let close t =
   (try sync t with Sys_error _ -> ());
+  detach t;
   match t.fd with
   | Some fd ->
       t.fd <- None;

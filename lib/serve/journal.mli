@@ -53,7 +53,30 @@ val fsync_policy_name : fsync_policy -> string
 
 type t
 (** An open journal handle. Not thread-safe on its own: the server
-    serialises all access through the owning session's lock. *)
+    serialises all access through the owning session's lock. (The
+    cross-session {!group} state is the one exception — it carries its
+    own lock, so appends on different sessions may pool their fsync
+    budget concurrently.) *)
+
+type group
+(** A cross-session commit group. Handles {!attach}ed to one pool
+    their [Every n] fsync budget: the threshold counts pending
+    (acked-but-unsynced) appends across the {e whole group}, and
+    crossing it fsyncs every dirty member behind one flush pass — a
+    group commit. This turns the per-session durability bound of
+    [Every n] (up to [n - 1] unsynced edits {e per session}) into a
+    server-wide bound ([n - 1] unsynced edits in total), and lets
+    resolver lanes batch their fsyncs instead of each session paying
+    its own. [Always] and [Never] policies ignore the group. *)
+
+val create_group : unit -> group
+
+val attach : t -> group -> unit
+(** Join a commit group. Thread-safe; a handle belongs to at most one
+    group ({!close} detaches it). *)
+
+val group_commits : group -> int
+(** Completed group-commit flush passes since {!create_group}. *)
 
 type status =
   | Full  (** every record replayed; the journal tail was clean *)
@@ -135,7 +158,8 @@ val sync : t -> unit
 (** Force an fsync of the journal fd (used at clean shutdown). *)
 
 val close : t -> unit
-(** {!sync} (best-effort) and release the fd. Idempotent. *)
+(** {!sync} (best-effort), leave any commit {!group} and release the
+    fd. Idempotent. *)
 
 (**/**)
 

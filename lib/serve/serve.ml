@@ -21,6 +21,7 @@ type config = {
   access_log_max_bytes : int;
   access_log_keep : int;
   trace_every : int;
+  lanes : int;
 }
 
 let default_config =
@@ -40,6 +41,16 @@ let default_config =
     access_log_max_bytes = 4 * 1024 * 1024;
     access_log_keep = 3;
     trace_every = 0;
+    lanes =
+      (* TECORE_LANES mirrors TECORE_JOBS: it lets the whole serve test
+         matrix re-run against a multi-lane resolver without touching
+         each [start] call site. *)
+      (match Sys.getenv_opt "TECORE_LANES" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 1 -> n
+          | _ -> 1)
+      | None -> 1);
   }
 
 type listen = [ `Tcp of int | `Unix of string ]
@@ -176,6 +187,25 @@ type job = {
   jcv : Condition.t;
 }
 
+(* A resolver lane: a FIFO sub-queue plus the thread draining it.
+   Sessions are affinity-pinned to a lane by a stable hash of their id,
+   so one session's resolves always run on one lane — per-session FIFO
+   ordering holds by construction, while independent sessions on
+   different lanes no longer head-of-line-block each other. All lanes'
+   queues are guarded by the server's single [queue_lock]; only the
+   condition variable is per-lane, so a submit wakes exactly the lane
+   it fed. *)
+type lane = {
+  lane_index : int;
+  lqueue : job Queue.t;
+  lcv : Condition.t;
+  mutable lrunning : int;  (** jobs executing on this lane (0 or 1) *)
+  lserved : int Atomic.t;
+      (** resolves completed by this lane, for the per-lane exposition
+          counters *)
+  mutable lthread : Thread.t option;
+}
+
 (* Request outcomes, for the by-outcome counters. *)
 let outcomes =
   [|
@@ -210,10 +240,16 @@ type t = {
   evicted_total : int Atomic.t;
   expired_total : int Atomic.t;
   recovered_total : int Atomic.t;
-  queue : job Queue.t;
-  queue_lock : Mutex.t;
-  queue_cv : Condition.t;
-  mutable running : int;  (** resolver jobs executing right now (0 or 1) *)
+  lanes : lane array;
+  queue_lock : Mutex.t;  (** guards every lane's queue and running flag *)
+  solve_lock : Mutex.t;
+      (** serialises the solve itself across lanes: the shared domain
+          pool stays single-tenant, so engine results (and their bytes)
+          are independent of the lane count. Uncontended (and skipped)
+          on single-lane servers. *)
+  journal_group : Journal.group option;
+      (** cross-session commit group pooling the [Every n] fsync budget
+          (see {!Journal.attach}), when [--state-dir] is set *)
   mutable shed : int;
   counters : int Atomic.t array;  (** indexed like [outcomes] *)
   requests : int Atomic.t;
@@ -234,9 +270,33 @@ type t = {
   mutable conns : Unix.file_descr list;
   mutable conn_threads : Thread.t list;
   mutable accept_thread : Thread.t option;
-  mutable resolver_thread : Thread.t option;
   mutable janitor_thread : Thread.t option;
 }
+
+let lane_count t = Array.length t.lanes
+
+(* FNV-1a (32-bit): a stable, platform-independent hash of the session
+   id. Lane pinning must not depend on [Hashtbl.hash]'s
+   version-specific behaviour — a restarted server has to route a
+   recovered session to the same lane its journal group saw. Total for
+   any byte string, including empty, huge and non-ASCII ids. *)
+let fnv1a_32 s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+(* Which lane serves a session id. The [lane_collide:L] fault point
+   (TECORE_FAULTS) pins every session to lane [L mod lanes], the test
+   hook for forcing hash collisions. *)
+let lane_of_session t id =
+  let n = lane_count t in
+  if Deadline.Faults.active "lane_collide" then
+    ((Deadline.Faults.arg "lane_collide" mod n) + n) mod n
+  else fnv1a_32 id mod n
 
 let sessions_open t =
   Mutex.lock t.registry_lock;
@@ -246,13 +306,15 @@ let sessions_open t =
 
 let queue_depth t =
   Mutex.lock t.queue_lock;
-  let n = Queue.length t.queue in
+  let n =
+    Array.fold_left (fun acc l -> acc + Queue.length l.lqueue) 0 t.lanes
+  in
   Mutex.unlock t.queue_lock;
   n
 
 let busy t =
   Mutex.lock t.queue_lock;
-  let b = t.running > 0 in
+  let b = Array.exists (fun l -> l.lrunning > 0) t.lanes in
   Mutex.unlock t.queue_lock;
   b
 
@@ -354,6 +416,28 @@ let metrics_text t =
   Buffer.add_string b "# TYPE serve_queue_depth gauge\n";
   Buffer.add_string b
     (Printf.sprintf "serve_queue_depth %d\n" (queue_depth t));
+  (* Per-lane pending work (queued + running) and completed resolves,
+     so a stuck or hot lane is visible from the exposition. *)
+  Mutex.lock t.queue_lock;
+  let lane_rows =
+    Array.map
+      (fun l -> (Queue.length l.lqueue + l.lrunning, Atomic.get l.lserved))
+      t.lanes
+  in
+  Mutex.unlock t.queue_lock;
+  Buffer.add_string b "# TYPE serve_lane_depth gauge\n";
+  Array.iteri
+    (fun i (depth, _) ->
+      Buffer.add_string b
+        (Printf.sprintf "serve_lane_depth{lane=\"%d\"} %d\n" i depth))
+    lane_rows;
+  Buffer.add_string b "# TYPE serve_lane_requests_total counter\n";
+  Array.iteri
+    (fun i (_, served) ->
+      Buffer.add_string b
+        (Printf.sprintf "serve_lane_requests_total{lane=\"%d\"} %d\n" i
+           served))
+    lane_rows;
   Buffer.add_string b "# TYPE serve_requests_total counter\n";
   Array.iteri
     (fun i name ->
@@ -480,17 +564,23 @@ let open_session t id =
   | Some state_dir ->
       let fsync = t.config.fsync in
       let compact_every = t.config.compact_every in
+      let grouped j =
+        (match t.journal_group with
+        | Some g -> Journal.attach j g
+        | None -> ());
+        j
+      in
       if Sys.file_exists (Journal.session_dir ~state_dir id) then begin
         let r = Journal.recover ~state_dir ~fsync ~compact_every id in
         Atomic.incr t.recovered_total;
         Obs.count "serve.sessions_recovered";
         ( r.Journal.session,
-          Some r.Journal.journal,
+          Some (grouped r.Journal.journal),
           Some (Journal.status_name r.Journal.status) )
       end
       else
         ( Session.create (),
-          Some (Journal.create ~state_dir ~fsync ~compact_every id),
+          Some (grouped (Journal.create ~state_dir ~fsync ~compact_every id)),
           None )
 
 (* Write-ahead persistence of one accepted edit; called with the entry
@@ -528,7 +618,9 @@ let persist_snapshot entry ~line ok =
       with Sys_error msg -> Error (storage_error ~line msg))
 
 (* The queue-side half of a resolve: admission control, hand-off to the
-   resolver thread, and the wait for its reply. *)
+   session's resolver lane, and the wait for its reply. Admission is
+   global — the pending count spans every lane, so [--queue] bounds the
+   server, not each lane. *)
 let submit_resolve t ~line ~trace entry mode =
   let deadline = Deadline.of_timeout_ms t.config.request_timeout_ms in
   let job =
@@ -544,8 +636,13 @@ let submit_resolve t ~line ~trace entry mode =
       jcv = Condition.create ();
     }
   in
+  let lane = t.lanes.(lane_of_session t entry.id) in
   Mutex.lock t.queue_lock;
-  let pending = Queue.length t.queue + t.running in
+  let pending =
+    Array.fold_left
+      (fun acc l -> acc + Queue.length l.lqueue + l.lrunning)
+      0 t.lanes
+  in
   if t.stopped || Atomic.get t.stop_requested then begin
     Mutex.unlock t.queue_lock;
     Error
@@ -573,9 +670,11 @@ let submit_resolve t ~line ~trace entry mode =
       }
   end
   else begin
-    Queue.add job t.queue;
-    Obs.gauge "serve.queue_depth" (float_of_int (Queue.length t.queue));
-    Condition.signal t.queue_cv;
+    Queue.add job lane.lqueue;
+    Obs.gauge "serve.queue_depth"
+      (float_of_int
+         (Array.fold_left (fun acc l -> acc + Queue.length l.lqueue) 0 t.lanes));
+    Condition.signal lane.lcv;
     Mutex.unlock t.queue_lock;
     Mutex.lock job.jm;
     while job.reply = None do
@@ -629,22 +728,31 @@ let run_resolve config job =
         }
   | Error e -> Error (exec_error ~line:job.job_line (Session.error_message e))
 
-let resolver_loop t =
+(* One lane's resolver thread: drain the lane's sub-queue in FIFO
+   order. Within the request, everything but the solve itself (queue
+   wait, deadline shedding, fault windows, session locking, the reply
+   hand-off) overlaps freely with the other lanes; the solve takes
+   [solve_lock] so the shared domain pool stays single-tenant. *)
+let lane_loop t lane =
   let rec loop () =
     Mutex.lock t.queue_lock;
-    while Queue.is_empty t.queue && not (Atomic.get t.stop_requested) do
-      Condition.wait t.queue_cv t.queue_lock
+    while Queue.is_empty lane.lqueue && not (Atomic.get t.stop_requested) do
+      Condition.wait lane.lcv t.queue_lock
     done;
-    if Queue.is_empty t.queue then begin
+    if Queue.is_empty lane.lqueue then begin
       (* Stop requested and nothing left to drain. *)
       Mutex.unlock t.queue_lock;
       ()
     end
     else begin
-      let job = Queue.pop t.queue in
-      Obs.gauge "serve.queue_depth" (float_of_int (Queue.length t.queue));
+      let job = Queue.pop lane.lqueue in
+      Obs.gauge "serve.queue_depth"
+        (float_of_int
+           (Array.fold_left
+              (fun acc l -> acc + Queue.length l.lqueue)
+              0 t.lanes));
       let draining = Atomic.get t.stop_requested in
-      t.running <- 1;
+      lane.lrunning <- 1;
       Mutex.unlock t.queue_lock;
       (match job.trace with
       | Some ctx ->
@@ -669,9 +777,20 @@ let resolver_loop t =
               message = "request budget expired while queued";
             }
         else begin
-          (* Deterministic slow-resolve injection for the overload tests:
-             TECORE_FAULTS=slow_resolve:MS stretches the busy window. *)
-          Deadline.Faults.delay "slow_resolve";
+          (* Deterministic slow-resolve injection for the overload and
+             head-of-line tests: TECORE_FAULTS=slow_resolve:MS stretches
+             the busy window. Adding slow_resolve_lane:L confines the
+             stall to lane [L mod lanes], so a sibling lane's progress
+             past a stalled one is observable (and deterministic) even
+             on a single core. *)
+          (if Deadline.Faults.active "slow_resolve_lane" then begin
+             let n = Array.length t.lanes in
+             if
+               ((Deadline.Faults.arg "slow_resolve_lane" mod n) + n) mod n
+               = lane.lane_index
+             then Deadline.Faults.delay "slow_resolve"
+           end
+           else Deadline.Faults.delay "slow_resolve");
           let lock_t0 = Prelude.Timing.now_ms () in
           Mutex.lock job.entry.lock;
           (match job.trace with
@@ -693,6 +812,26 @@ let resolver_loop t =
                       message = "resolve failed: " ^ Printexc.to_string e;
                     }
               in
+              let run () =
+                (* Single-lane servers skip the solve lock entirely:
+                   their execution path (and byte traffic) is exactly
+                   the previous single-resolver release's. The wait for
+                   a contended solve lock lands in the "lock" phase
+                   (entries sum at emission). *)
+                if Array.length t.lanes = 1 then run ()
+                else begin
+                  let sl_t0 = Prelude.Timing.now_ms () in
+                  Mutex.lock t.solve_lock;
+                  (match job.trace with
+                  | Some ctx ->
+                      Obs.Phases.record ctx "lock"
+                        (Prelude.Timing.now_ms () -. sl_t0)
+                  | None -> ());
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock t.solve_lock)
+                    run
+                end
+              in
               (* The resolver is a different systhread from the
                  connection that owns the context (which is blocked in
                  [Condition.wait] until we reply), so the engine's
@@ -707,8 +846,9 @@ let resolver_loop t =
       Condition.signal job.jcv;
       Mutex.unlock job.jm;
       Mutex.lock t.queue_lock;
-      t.running <- 0;
+      lane.lrunning <- 0;
       Mutex.unlock t.queue_lock;
+      Atomic.incr lane.lserved;
       loop ()
     end
   in
@@ -950,6 +1090,15 @@ let handle_request t conn_state ~line ~trace parsed raw =
                             | None -> 0) );
                       ]
                 in
+                let fields =
+                  (* Lane pinning is only surfaced on multi-lane
+                     servers, so single-lane responses keep their exact
+                     previous bytes. *)
+                  if Array.length t.lanes <= 1 then fields
+                  else
+                    fields
+                    @ [ ("lane", json_num (lane_of_session t entry.id)) ]
+                in
                 Ok (Protocol.ok_line fields))
         | Protocol.Result_ ->
             locked (fun entry ->
@@ -1108,11 +1257,20 @@ let emit_trace t ~req ~session ~parsed ~result ~wall ctx =
     | Ok r -> Protocol.request_verb r
     | Error _ -> "invalid"
   in
+  let lane =
+    (* Like the stat field: lane ids ride traced records only on
+       multi-lane servers, so single-lane logs keep their exact
+       previous schema. *)
+    match session with
+    | Some id when Array.length t.lanes > 1 -> Some (lane_of_session t id)
+    | _ -> None
+  in
   record_trace t
     {
       Access_log.req;
       ts = Unix.gettimeofday ();
       session;
+      lane;
       verb;
       outcome = outcomes.(outcome_index result);
       wall_ms = wall;
@@ -1218,7 +1376,7 @@ let connection_loop t fd =
         | Ok Protocol.Shutdown when t.config.allow_shutdown ->
             Atomic.set t.stop_requested true;
             Mutex.lock t.queue_lock;
-            Condition.broadcast t.queue_cv;
+            Array.iter (fun l -> Condition.broadcast l.lcv) t.lanes;
             Mutex.unlock t.queue_lock
         | _ -> loop ())
   in
@@ -1349,10 +1507,22 @@ let start ?(config = default_config) (listen : listen) =
       evicted_total = Atomic.make 0;
       expired_total = Atomic.make 0;
       recovered_total = Atomic.make 0;
-      queue = Queue.create ();
+      lanes =
+        Array.init (max 1 config.lanes) (fun i ->
+            {
+              lane_index = i;
+              lqueue = Queue.create ();
+              lcv = Condition.create ();
+              lrunning = 0;
+              lserved = Atomic.make 0;
+              lthread = None;
+            });
       queue_lock = Mutex.create ();
-      queue_cv = Condition.create ();
-      running = 0;
+      solve_lock = Mutex.create ();
+      journal_group =
+        (match config.state_dir with
+        | None -> None
+        | Some _ -> Some (Journal.create_group ()));
       shed = 0;
       counters = Array.map (fun _ -> Atomic.make 0) outcomes;
       requests = Atomic.make 0;
@@ -1370,7 +1540,6 @@ let start ?(config = default_config) (listen : listen) =
       conns = [];
       conn_threads = [];
       accept_thread = None;
-      resolver_thread = None;
       janitor_thread = None;
     }
   in
@@ -1390,6 +1559,9 @@ let start ?(config = default_config) (listen : listen) =
           | r ->
               Atomic.incr t.recovered_total;
               Obs.count "serve.sessions_recovered";
+              (match t.journal_group with
+              | Some g -> Journal.attach r.Journal.journal g
+              | None -> ());
               Hashtbl.replace t.sessions id
                 {
                   id;
@@ -1411,7 +1583,10 @@ let start ?(config = default_config) (listen : listen) =
                 ])
         (Journal.list_sessions ~state_dir));
   Obs.event "serve.listening" [ ("address", Obs.Events.Str addr_str) ];
-  t.resolver_thread <- Some (Thread.create (fun () -> resolver_loop t) ());
+  Array.iter
+    (fun lane ->
+      lane.lthread <- Some (Thread.create (fun () -> lane_loop t lane) ()))
+    t.lanes;
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   (match config.idle_ttl_s with
   | Some ttl when ttl > 0. ->
@@ -1439,7 +1614,7 @@ let stop t =
   Mutex.lock t.queue_lock;
   let already = t.stopped in
   t.stopped <- true;
-  Condition.broadcast t.queue_cv;
+  Array.iter (fun l -> Condition.broadcast l.lcv) t.lanes;
   Mutex.unlock t.queue_lock;
   if not already then begin
     (* Wake blocked readers: a shutdown makes every connection thread's
@@ -1452,26 +1627,33 @@ let stop t =
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       conns;
     (match t.accept_thread with Some th -> Thread.join th | None -> ());
-    (match t.resolver_thread with Some th -> Thread.join th | None -> ());
+    Array.iter
+      (fun l ->
+        match l.lthread with Some th -> Thread.join th | None -> ())
+      t.lanes;
     (match t.janitor_thread with Some th -> Thread.join th | None -> ());
-    (* The resolver has exited; answer whatever is still queued. *)
+    (* Every lane has exited; answer whatever is still queued on any of
+       them. *)
     Mutex.lock t.queue_lock;
-    Queue.iter
-      (fun job ->
-        Mutex.lock job.jm;
-        job.reply <-
-          Some
-            (Error
-               {
-                 Protocol.kind = Protocol.Shutting_down;
-                 line = job.job_line;
-                 column = 1;
-                 message = "server is shutting down";
-               });
-        Condition.signal job.jcv;
-        Mutex.unlock job.jm)
-      t.queue;
-    Queue.clear t.queue;
+    Array.iter
+      (fun l ->
+        Queue.iter
+          (fun job ->
+            Mutex.lock job.jm;
+            job.reply <-
+              Some
+                (Error
+                   {
+                     Protocol.kind = Protocol.Shutting_down;
+                     line = job.job_line;
+                     column = 1;
+                     message = "server is shutting down";
+                   });
+            Condition.signal job.jcv;
+            Mutex.unlock job.jm)
+          l.lqueue;
+        Queue.clear l.lqueue)
+      t.lanes;
     Mutex.unlock t.queue_lock;
     let rec drain () =
       Mutex.lock t.conns_lock;

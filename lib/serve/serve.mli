@@ -10,8 +10,18 @@
     - one {e connection thread} per accepted socket reads length-bounded
       lines, parses them totally, executes cheap edits inline (under the
       session's lock) and routes [resolve] through admission control;
-    - {e admission control}: a bounded run queue in front of a single
-      resolver thread that owns the shared solver {!Prelude.Pool}.
+    - {e resolver lanes}: [resolve] requests run on one of [lanes]
+      resolver threads. Each session is affinity-pinned to a lane by a
+      stable (FNV-1a) hash of its id, so a session's resolves execute
+      in submission order by construction, while sessions on different
+      lanes no longer head-of-line-block each other. The solve itself
+      is serialised across lanes behind a single lock (the shared
+      domain {!Prelude.Pool} stays single-tenant), so engine results —
+      and response bytes — are independent of the lane count. The
+      default of one lane preserves the previous single-resolver
+      behaviour exactly;
+    - {e admission control}: a bounded run queue (the lanes' sub-queues
+      under one global budget) in front of the resolver lanes.
       When the pending count exceeds the bound the request is shed
       immediately with a typed [overloaded] response — the queue never
       grows without bound. A per-request budget (when configured) sheds
@@ -111,13 +121,23 @@ type config = {
           Traced requests carry their request id as a ["req"] field in
           the response; untraced requests keep their exact previous
           response bytes. *)
+  lanes : int;
+      (** resolver lanes (clamped to >= 1). Sessions are pinned to a
+          lane by a stable hash of their id; more lanes let independent
+          sessions overlap everything but the solve itself. With more
+          than one lane, [stat] responses and traced access-log records
+          gain a [lane] field and the exposition gains per-lane rows;
+          at the default of [1] the server is byte-identical to the
+          previous single-resolver release. *)
 }
 
 val default_config : config
 (** [Auto] engine, env-default jobs, queue bound 64, no budget, 1 MiB
     line cap, shutdown disabled, unbounded sessions, no state dir
     (fsync [Always], compaction at 256 records when one is set), no
-    idle TTL, no access log, tracing off. *)
+    idle TTL, no access log, tracing off, and [TECORE_LANES] resolver
+    lanes (default 1) — the env override exists so the whole serve test
+    matrix can re-run multi-lane, like [TECORE_JOBS] for the pool. *)
 
 type listen = [ `Tcp of int | `Unix of string ]
 (** [`Tcp port] binds 127.0.0.1:[port] ([0] picks a free port);
@@ -147,11 +167,23 @@ val connect : t -> Unix.file_descr
 
 val sessions_open : t -> int
 
+val lane_count : t -> int
+(** Number of resolver lanes this server runs. *)
+
+val lane_of_session : t -> string -> int
+(** The lane a session id is pinned to: a stable 32-bit FNV-1a hash
+    modulo {!lane_count}. Total for any string (empty, huge and
+    non-ASCII ids included) and always in [[0, lane_count)]. The
+    [lane_collide:L] fault point (TECORE_FAULTS) overrides it to
+    [L mod lane_count] for every id — the test hook for forcing hash
+    collisions. *)
+
 val queue_depth : t -> int
-(** Resolves currently queued (not counting the running one). *)
+(** Resolves currently queued across all lanes (not counting running
+    ones). *)
 
 val busy : t -> bool
-(** Whether the resolver thread is executing a request right now. *)
+(** Whether any resolver lane is executing a request right now. *)
 
 val shed_count : t -> int
 (** Requests shed by admission control since [start]. *)
@@ -184,7 +216,9 @@ val recent_records : t -> Access_log.record list
 val metrics_text : t -> string
 (** Live OpenMetrics exposition: the whole {!Obs} report (span times,
     counters, solver histograms) plus [serve_sessions_open],
-    [serve_queue_depth], [serve_requests_total{outcome=...}],
+    [serve_queue_depth], per-lane [serve_lane_depth{lane=...}] gauges
+    (queued + running) and [serve_lane_requests_total{lane=...}]
+    counters, [serve_requests_total{outcome=...}],
     [serve_shed_total], [serve_sessions_evicted_total],
     [serve_sessions_expired_total], [serve_sessions_recovered_total],
     [serve_uptime_seconds], per-phase [serve_request_phase_ms]

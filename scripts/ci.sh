@@ -2,7 +2,9 @@
 # CI entry point: build, run the full test suite (once sequential, once
 # with TECORE_JOBS=4 to exercise the multicore paths, once with
 # TECORE_FAULTS injecting worker crashes and slow grounding to exercise
-# the robustness paths), audit the CLI exit-code contract, then
+# the robustness paths, plus the serve suites once more with
+# TECORE_LANES=4 to exercise the multi-lane resolver), audit the CLI
+# exit-code contract, then
 # smoke-run the benchmark harness and check that it produced valid
 # machine-readable observability, parallel-speedup and anytime-curve
 # output. Fails on the first broken step.
@@ -24,6 +26,15 @@ echo "== dune runtest (TECORE_FAULTS=worker_crash,slow_ground) =="
 # crashes and every grounding closure round sleeps 1 ms. The suite must
 # still pass — crash containment keeps results sound at every job count.
 TECORE_FAULTS=worker_crash,slow_ground dune runtest --force
+
+echo "== serve suites (TECORE_LANES=4) =="
+# The serve test matrix re-runs multi-lane: the differential and
+# lane-determinism oracles, the journal crash oracles and the wire/lane
+# fuzz must hold at any lane count — responses may only differ by the
+# lane observability fields the tests account for.
+for t in test_serve test_serve_concurrent test_journal test_fuzz; do
+  TECORE_LANES=4 dune exec "test/$t.exe"
+done
 
 echo "== CLI exit codes =="
 CLI=_build/default/bin/tecore_cli.exe

@@ -437,6 +437,256 @@ let test_wire_oversized_line () =
             "usable after overflow" "ok {\"pong\":true}" (input_line ic)))
 
 (* ------------------------------------------------------------------ *)
+(* Lane routing: adversarial session ids must always land on a lane    *)
+(* ------------------------------------------------------------------ *)
+
+module Faults = Prelude.Deadline.Faults
+
+(* Ids chosen to stress the hash: empty, huge, non-ASCII, invalid
+   UTF-8, control bytes, whitespace. *)
+let adversarial_ids =
+  [
+    "";
+    " ";
+    "plain";
+    String.make 65_536 'x';
+    "\xc3\xbcber-s\xc3\xa9ssion";
+    "\xff\xfe\x80\x80";
+    "\x01\x02\x7f";
+    "id with spaces and\ttabs";
+    "%2Fsessions%2F..%2F..";
+  ]
+
+(* [Serve.lane_of_session] is total: every string — plus a pile of
+   random byte soup — routes to a valid lane, deterministically; a
+   single-lane server routes everything to lane 0. *)
+let test_lane_routing_total () =
+  let config = { Serve.default_config with Serve.lanes = 4 } in
+  let server = Serve.start ~config (`Tcp 0) in
+  let single =
+    Serve.start ~config:{ Serve.default_config with Serve.lanes = 1 } (`Tcp 0)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop server;
+      Serve.stop single)
+    (fun () ->
+      let n = Serve.lane_count server in
+      Alcotest.(check int) "lane count" 4 n;
+      let any_byte = Array.init 256 Char.chr in
+      let rng = Prng.create 601 in
+      let ids =
+        adversarial_ids
+        @ List.init 400 (fun _ -> random_string rng 48 any_byte)
+      in
+      List.iter
+        (fun id ->
+          let l = Serve.lane_of_session server id in
+          if l < 0 || l >= n then
+            Alcotest.failf "id %S routed out of range: %d" id l;
+          if Serve.lane_of_session server id <> l then
+            Alcotest.failf "routing of %S is not deterministic" id;
+          if Serve.lane_of_session single id <> 0 then
+            Alcotest.failf "single-lane server routed %S off lane 0" id)
+        ids;
+      (* The hash actually spreads sessions — a constant function would
+         pass totality and defeat the point of lanes. *)
+      let spread =
+        List.sort_uniq compare
+          (List.map
+             (fun i -> Serve.lane_of_session server (string_of_int i))
+             (List.init 32 (fun i -> i)))
+      in
+      Alcotest.(check bool) "hash spreads across lanes" true
+        (List.length spread > 1))
+
+(* The [lane_collide:L] fault point forces every id onto one lane — the
+   test hook for deterministic hash collisions. *)
+let test_lane_collide_hook () =
+  let config = { Serve.default_config with Serve.lanes = 4 } in
+  let server = Serve.start ~config (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () ->
+      Faults.clear ();
+      Serve.stop server)
+    (fun () ->
+      Faults.configure "lane_collide:6";
+      List.iter
+        (fun id ->
+          Alcotest.(check int)
+            (Printf.sprintf "collides %S onto lane 6 mod 4" id)
+            2
+            (Serve.lane_of_session server id))
+        [ "a"; "b"; ""; String.make 1_000 'q' ];
+      Faults.clear ();
+      Alcotest.(check bool) "hook off: normal routing returns" true
+        (Serve.lane_of_session server "a" < 4))
+
+(* Live multi-lane server: adversarial hello ids get typed responses,
+   sessions that open really work end to end (the [stat] lane field
+   agrees with the routing function), and the accept loop survives it
+   all. *)
+let test_lane_adversarial_hellos_live () =
+  let config = { Serve.default_config with Serve.lanes = 4 } in
+  let server = Serve.start ~config (`Tcp 0) in
+  Fun.protect
+    ~finally:(fun () -> Serve.stop server)
+    (fun () ->
+      (* Whitespace-trimmed and empty ids are refused at parse time
+         (covered below); everything else must open a working session. *)
+      let wire_safe id =
+        (not (String.contains id '\n')) && String.trim id = id
+      in
+      let ok_fields line resp =
+        if String.length resp >= 3 && String.sub resp 0 3 = "ok " then
+          match Obs.Json.parse (String.sub resp 3 (String.length resp - 3)) with
+          | Ok (Obs.Json.Obj fs) -> fs
+          | Ok _ | Error _ ->
+              Alcotest.failf "%S: malformed ok body %S" line resp
+        else Alcotest.failf "%S: expected ok, got %S" line resp
+      in
+      List.iter
+        (fun id ->
+          if wire_safe id && id <> "" then begin
+            let fd = Serve.connect server in
+            let ic = Unix.in_channel_of_descr fd in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                let ok line =
+                  wire_send fd line;
+                  ok_fields line (input_line ic)
+                in
+                ignore (ok ("hello " ^ id));
+                let sj = ok "stat" in
+                (match List.assoc_opt "lane" sj with
+                | Some (Obs.Json.Num l) ->
+                    Alcotest.(check int)
+                      (Printf.sprintf "stat lane agrees for %S" id)
+                      (Serve.lane_of_session server id)
+                      (int_of_float l)
+                | _ ->
+                    Alcotest.failf "stat for %S carries no lane field" id);
+                ignore (ok "open");
+                ignore
+                  (ok "assert ex:A ex:playsFor ex:B [2001,2003] 0.8 .");
+                ignore (ok "resolve"))
+          end)
+        adversarial_ids;
+      (* Empty id: typed parse error, connection survives. *)
+      let fd = Serve.connect server in
+      let ic = Unix.in_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          wire_send fd "hello ";
+          let resp = input_line ic in
+          Alcotest.(check bool)
+            "empty id refused, typed" true
+            (String.length resp >= 4 && String.sub resp 0 4 = "err ");
+          wire_send fd "ping";
+          Alcotest.(check string)
+            "accept loop alive" "ok {\"pong\":true}" (input_line ic)))
+
+(* Shutdown drains every lane: with all lanes wedged behind a slow
+   resolve and one more job queued, the [shutdown] verb answers running
+   jobs normally and every still-queued job with a typed
+   [shutting_down] error — nothing hangs, nothing is dropped
+   silently. *)
+let test_shutdown_drains_lanes () =
+  let config =
+    { Serve.default_config with Serve.lanes = 2; Serve.allow_shutdown = true }
+  in
+  let server = Serve.start ~config (`Tcp 0) in
+  Faults.configure "slow_resolve:400";
+  Fun.protect
+    ~finally:(fun () ->
+      Faults.clear ();
+      Serve.stop server)
+    (fun () ->
+      let find_id prefix lane =
+        let rec go i =
+          let id = Printf.sprintf "%s%d" prefix i in
+          if Serve.lane_of_session server id = lane then id else go (i + 1)
+        in
+        go 0
+      in
+      let id_a = find_id "drain-a" 0 in
+      let id_a2 = find_id "drain-c" 0 in
+      let id_b = find_id "drain-b" 1 in
+      let open_session id =
+        let fd = Serve.connect server in
+        let ic = Unix.in_channel_of_descr fd in
+        let ok line =
+          wire_send fd line;
+          let resp = input_line ic in
+          if not (String.length resp >= 3 && String.sub resp 0 3 = "ok ")
+          then Alcotest.failf "%s: %S refused: %S" id line resp
+        in
+        ok ("hello " ^ id);
+        ok "open";
+        ok "assert ex:A ex:playsFor ex:B [2001,2003] 0.8 .";
+        (fd, ic)
+      in
+      let fd_a, ic_a = open_session id_a in
+      let fd_a2, ic_a2 = open_session id_a2 in
+      let fd_b, ic_b = open_session id_b in
+      Fun.protect
+        ~finally:(fun () ->
+          close_in_noerr ic_a;
+          close_in_noerr ic_a2;
+          close_in_noerr ic_b)
+        (fun () ->
+          (* Wedge lane 0, then queue a second job behind it and a
+             third on lane 1, and pull the plug while the slow resolve
+             still holds its lane. *)
+          wire_send fd_a "resolve";
+          let deadline = Unix.gettimeofday () +. 5. in
+          while (not (Serve.busy server)) && Unix.gettimeofday () < deadline
+          do
+            Thread.yield ()
+          done;
+          Alcotest.(check bool) "lane 0 is wedged" true (Serve.busy server);
+          wire_send fd_a2 "resolve";
+          wire_send fd_b "resolve";
+          let fd_ctl = Serve.connect server in
+          let ic_ctl = Unix.in_channel_of_descr fd_ctl in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic_ctl)
+            (fun () ->
+              wire_send fd_ctl "shutdown";
+              let resp = input_line ic_ctl in
+              Alcotest.(check bool)
+                "shutdown acknowledged" true
+                (String.length resp >= 3 && String.sub resp 0 3 = "ok "));
+          (* The running job completes normally... *)
+          let resp_a = input_line ic_a in
+          Alcotest.(check bool)
+            "running resolve completed" true
+            (String.length resp_a >= 3 && String.sub resp_a 0 3 = "ok ");
+          (* ...the job queued behind it is drained with a typed error,
+             not dropped. *)
+          let resp_a2 = input_line ic_a2 in
+          let contains hay affix =
+            let n = String.length affix in
+            let rec go i =
+              i + n <= String.length hay
+              && (String.sub hay i n = affix || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool)
+            "queued job answered with typed shutting_down" true
+            (contains resp_a2 "\"kind\":\"shutting_down\"");
+          (* Lane 1's job either ran to completion or was drained —
+             either way a typed response, never a hang. *)
+          let resp_b = input_line ic_b in
+          Alcotest.(check bool)
+            "sibling lane drained or served, typed" true
+            ((String.length resp_b >= 3 && String.sub resp_b 0 3 = "ok ")
+            || contains resp_b "\"kind\":\"shutting_down\"")))
+
+(* ------------------------------------------------------------------ *)
 (* Journal files: random damage must never escape typed recovery       *)
 (* ------------------------------------------------------------------ *)
 
@@ -595,6 +845,7 @@ let mk_record req =
     Access_log.req;
     ts = 1000.0 +. float_of_int req;
     session = (if req mod 2 = 0 then Some "fz" else None);
+    lane = (if req mod 4 = 0 then Some (req mod 3) else None);
     verb = "ping";
     outcome = "ok";
     wall_ms = 0.5;
@@ -762,6 +1013,17 @@ let () =
             test_wire_mutations_total;
           Alcotest.test_case "oversized frames refused, connection survives"
             `Quick test_wire_oversized_line;
+        ] );
+      ( "lane routing",
+        [
+          Alcotest.test_case "adversarial ids always land on a lane" `Quick
+            test_lane_routing_total;
+          Alcotest.test_case "lane_collide hook forces one lane" `Quick
+            test_lane_collide_hook;
+          Alcotest.test_case "live multi-lane server survives hostile ids"
+            `Quick test_lane_adversarial_hellos_live;
+          Alcotest.test_case "shutdown drains every lane, typed" `Quick
+            test_shutdown_drains_lanes;
         ] );
       ( "journal files",
         [

@@ -729,7 +729,7 @@ let cli_binary =
     (Filename.dirname Sys.executable_name)
     (Filename.concat ".." (Filename.concat "bin" "tecore_cli.exe"))
 
-let spawn_daemon ~socket ~state_dir ~faults =
+let spawn_daemon ?(extra_args = []) ~socket ~state_dir ~faults () =
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
   let keep s =
     not
@@ -742,7 +742,9 @@ let spawn_daemon ~socket ~state_dir ~faults =
   in
   let pid =
     Unix.create_process_env cli_binary
-      [| cli_binary; "serve"; "--socket"; socket; "--state-dir"; state_dir |]
+      (Array.of_list
+         ([ cli_binary; "serve"; "--socket"; socket; "--state-dir"; state_dir ]
+         @ extra_args))
       env devnull devnull devnull
   in
   Unix.close devnull;
@@ -813,6 +815,7 @@ let test_sigkill_crash_oracle () =
       let pid =
         spawn_daemon ~socket ~state_dir:sd
           ~faults:(Printf.sprintf "journal_torn:%d" torn_at)
+          ()
       in
       let acked = ref [] in
       Fun.protect
@@ -935,6 +938,199 @@ let test_sigkill_crash_oracle () =
         engines)
 
 (* ------------------------------------------------------------------ *)
+(* Cross-session group commit                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Direct API: handles attached to one group pool their [Every n]
+   budget — the threshold counts pending appends across the whole
+   group, a flush pass resets every member, attach deduplicates, and
+   [close] detaches. *)
+let test_group_commit_pooling () =
+  with_state_dir "group" (fun sd ->
+      let open_j id =
+        Journal.create ~state_dir:sd ~fsync:(Journal.Every 3) ~compact_every:0
+          id
+      in
+      let g = Journal.create_group () in
+      let ja = open_j "ga" and jb = open_j "gb" in
+      Journal.attach ja g;
+      Journal.attach ja g (* double attach must not double-count *);
+      Journal.attach jb g;
+      Alcotest.(check int) "no commits yet" 0 (Journal.group_commits g);
+      Journal.append ja (assert_line 1);
+      Journal.append jb (assert_line 2);
+      Alcotest.(check int)
+        "two pooled appends stay below the budget (attach deduplicates)" 0
+        (Journal.group_commits g);
+      Journal.append ja (assert_line 3);
+      Alcotest.(check int) "third pooled append triggers a group commit" 1
+        (Journal.group_commits g);
+      (* The flush resets every member: the next budget starts from
+         zero across the group. *)
+      Journal.append jb (assert_line 4);
+      Journal.append jb (assert_line 5);
+      Alcotest.(check int) "flush reset the whole pool" 1
+        (Journal.group_commits g);
+      Journal.append ja (assert_line 6);
+      Alcotest.(check int) "second group commit" 2 (Journal.group_commits g);
+      (* [close] detaches: the survivor pools alone from then on. *)
+      Journal.close ja;
+      Journal.append jb (assert_line 7);
+      Journal.append jb (assert_line 8);
+      Journal.append jb (assert_line 9);
+      Alcotest.(check int) "detached member no longer counts" 3
+        (Journal.group_commits g);
+      Journal.close jb;
+      (* [Always] and [Never] members never trip the group budget. *)
+      let g2 = Journal.create_group () in
+      let jc =
+        Journal.create ~state_dir:sd ~fsync:Journal.Always ~compact_every:0
+          "gc"
+      and jd =
+        Journal.create ~state_dir:sd ~fsync:Journal.Never ~compact_every:0
+          "gd"
+      in
+      Journal.attach jc g2;
+      Journal.attach jd g2;
+      for i = 1 to 4 do
+        Journal.append jc (assert_line i);
+        Journal.append jd (assert_line (i + 4))
+      done;
+      Alcotest.(check int) "always/never ignore the group" 0
+        (Journal.group_commits g2);
+      Journal.close jc;
+      Journal.close jd)
+
+(* Fork the real daemon multi-lane with a pooled fsync budget, drive
+   edits on TWO sessions in strict alternation until session A's
+   [torn_at]-th append stalls mid-frame (the fault index is
+   per-handle, so the stall point is deterministic), SIGKILL it there —
+   mid-group-commit, with acked-but-unsynced edits pending on both
+   sessions under [Every n] — and check recovery per session: every
+   acked edit present, the torn (unacked) one absent, for each fsync
+   policy. SIGKILL preserves page-cache writes, so acked edits must
+   survive even under [never]. *)
+let test_group_commit_crash ~fsync () =
+  with_state_dir ("gcrash-" ^ fsync) (fun sd ->
+      mkdir_p sd (* the daemon binds its socket under here *);
+      let socket = Filename.concat sd "daemon.sock" in
+      let torn_at = 8 in
+      let script_a = gen_script ~seed:71 ~ops:10 in
+      let script_b = gen_script ~seed:72 ~ops:10 in
+      Alcotest.(check bool) "scripts reach the fault point" true
+        (List.length script_a > torn_at && List.length script_b > torn_at);
+      let pid =
+        spawn_daemon ~socket ~state_dir:sd
+          ~extra_args:[ "--fsync"; fsync; "--lanes"; "2" ]
+          ~faults:(Printf.sprintf "journal_torn:%d" torn_at)
+          ()
+      in
+      let acked_a = ref [] and acked_b = ref [] in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          let fd_a = connect_unix socket in
+          let fd_b = connect_unix socket in
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.close fd_a with Unix.Unix_error _ -> ());
+              try Unix.close fd_b with Unix.Unix_error _ -> ())
+            (fun () ->
+              let raw_a = { rfd = fd_a; rbuf = Buffer.create 256 } in
+              let raw_b = { rfd = fd_b; rbuf = Buffer.create 256 } in
+              let hello raw fd id =
+                send_line fd ("hello " ^ id);
+                match recv_line ~timeout:10. raw with
+                | Some resp when starts_with_ok resp -> ()
+                | Some resp -> Alcotest.failf "hello %s refused: %s" id resp
+                | None -> Alcotest.failf "daemon did not answer hello %s" id
+              in
+              hello raw_a fd_a "gc-a";
+              hello raw_b fd_b "gc-b";
+              let stalled = ref false in
+              let step raw fd acked line =
+                send_line fd line;
+                match recv_line ~timeout:2. raw with
+                | Some resp when starts_with_ok resp ->
+                    acked := line :: !acked
+                | Some resp -> Alcotest.failf "daemon refused %S: %s" line resp
+                | None ->
+                    stalled := true;
+                    raise Exit
+              in
+              (try
+                 List.iter2
+                   (fun la lb ->
+                     step raw_a fd_a acked_a la;
+                     step raw_b fd_b acked_b lb)
+                   (List.filteri (fun i _ -> i <= torn_at) script_a)
+                   (List.filteri (fun i _ -> i <= torn_at) script_b)
+               with Exit -> ());
+              Alcotest.(check bool) "stalled at the torn append" true !stalled;
+              Alcotest.(check int) "torn session acked prefix" (torn_at - 1)
+                (List.length !acked_a);
+              Alcotest.(check int) "sibling session acked prefix" (torn_at - 1)
+                (List.length !acked_b)));
+      (* Per-session references holding exactly the acked prefixes. *)
+      let reference acked =
+        let s = Session.create () in
+        List.iteri
+          (fun i line ->
+            match Journal.replay_line s ~line:(i + 1) line with
+            | Ok () -> ()
+            | Error m -> Alcotest.failf "reference replay %S: %s" line m)
+          acked;
+        s
+      in
+      let ref_a = reference (List.rev !acked_a) in
+      let ref_b = reference (List.rev !acked_b) in
+      (* Wire level: a fresh daemon over the same state dir recovers
+         both sessions — the torn one as [partial], the sibling clean —
+         and serves exactly the acked facts for each. *)
+      let config = { Serve.default_config with Serve.state_dir = Some sd } in
+      let server = Serve.start ~config (`Tcp 0) in
+      Fun.protect
+        ~finally:(fun () -> Serve.stop server)
+        (fun () ->
+          let c = connect server in
+          let ok line = expect_ok line (request c line) in
+          let check_session id expected_recovery reference =
+            let hj = ok ("hello " ^ id) in
+            Alcotest.(check string)
+              (id ^ ": recovery status")
+              expected_recovery (str_field hj "recovery");
+            let sj = ok "stat" in
+            Alcotest.(check (float 0.))
+              (id ^ ": recovered facts = acked facts")
+              (float_of_int (facts reference))
+              (num_field sj "facts");
+            Alcotest.(check (float 0.))
+              (id ^ ": recovered rules = acked rules")
+              (float_of_int (List.length (Session.rules reference)))
+              (num_field sj "rules")
+          in
+          check_session "gc-a" "partial" ref_a;
+          check_session "gc-b" "full" ref_b;
+          close c);
+      (* Journal level: after the self-heal both directories replay to
+         exactly the acked state, token for token. *)
+      List.iter
+        (fun (id, reference) ->
+          let r =
+            recover_full
+              (id ^ ": healed recovery")
+              ~state_dir:sd ~fsync:Journal.Always ~compact_every:256 id
+          in
+          Alcotest.(check (list string))
+            (id ^ ": recovered state dump")
+            (Session.dump_state reference)
+            (Session.dump_state r.Journal.session);
+          Journal.close r.Journal.journal)
+        [ ("gc-a", ref_a); ("gc-b", ref_b) ])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "journal"
@@ -945,6 +1141,8 @@ let () =
           Alcotest.test_case "session-id codec" `Quick test_id_codec;
           Alcotest.test_case "fsync policy parsing" `Quick test_fsync_policy;
           Alcotest.test_case "record replay" `Quick test_replay_line;
+          Alcotest.test_case "group-commit pooling" `Quick
+            test_group_commit_pooling;
         ] );
       ( "round trips",
         [
@@ -978,5 +1176,14 @@ let () =
         [
           Alcotest.test_case "SIGKILL mid-append, recover, re-resolve"
             `Quick test_sigkill_crash_oracle;
+          Alcotest.test_case "group-commit SIGKILL, two sessions (always)"
+            `Quick
+            (test_group_commit_crash ~fsync:"always");
+          Alcotest.test_case "group-commit SIGKILL, two sessions (every 5)"
+            `Quick
+            (test_group_commit_crash ~fsync:"5");
+          Alcotest.test_case "group-commit SIGKILL, two sessions (never)"
+            `Quick
+            (test_group_commit_crash ~fsync:"never");
         ] );
     ]
